@@ -1,0 +1,80 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
+//! selection scheme, fitness-averaging depth, and the cache model's effect
+//! on access-virus evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, WORST_WORD};
+use dstress_ga::{
+    AveragedFitness, BitGenome, Fitness, FnFitness, GaConfig, GaEngine, SelectionScheme,
+};
+use dstress_vpl::BoundValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    // Selection schemes on a noisy popcount (how fast each converges).
+    for (name, scheme) in [
+        ("selection_roulette", SelectionScheme::Roulette),
+        ("selection_tournament2", SelectionScheme::Tournament { k: 2 }),
+        ("selection_truncation50", SelectionScheme::Truncation { keep_percent: 50 }),
+    ] {
+        group.bench_function(name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut config = GaConfig::paper_defaults();
+                config.selection = scheme;
+                config.max_generations = 60;
+                let mut engine = GaEngine::new(config, seed);
+                let mut noise = StdRng::seed_from_u64(seed);
+                let mut fitness = FnFitness::new(move |g: &BitGenome| {
+                    g.count_ones() as f64 + noise.gen_range(0.0..4.0)
+                });
+                let r = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+                std::hint::black_box(r.best_fitness)
+            })
+        });
+    }
+
+    // Averaging depth under noise (paper: 10 runs per virus).
+    for runs in [1u32, 10] {
+        group.bench_function(format!("averaging_depth_{runs}"), |b| {
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                let mut noise = StdRng::seed_from_u64(seed);
+                let inner = FnFitness::new(move |g: &BitGenome| {
+                    g.count_ones() as f64 + noise.gen_range(0.0..16.0)
+                });
+                let mut avg = AveragedFitness::new(inner, runs);
+                let g = BitGenome::repeat_word(WORST_WORD, 64);
+                std::hint::black_box(avg.evaluate(&g))
+            })
+        });
+    }
+
+    // Cache model on the access-virus path: evaluation cost with the
+    // full replay pipeline.
+    let scale = ExperimentScale::quick();
+    let mut dstress = DStress::new(scale, 1);
+    let victims = dstress.profile_victims(60.0, WORST_WORD).expect("victims");
+    let metric = Metric::CeInRows(victims.clone());
+    let mut evaluator = dstress
+        .evaluator(&EnvKind::RowAccess { victims, fill: WORST_WORD }, 60.0, metric)
+        .expect("evaluator");
+    group.bench_function("access_eval_with_cache_model", |b| {
+        b.iter(|| {
+            let outcome = evaluator
+                .evaluate_bindings([("SEL".to_string(), BoundValue::Array(vec![1u64; 64]))].into())
+                .expect("evaluation");
+            std::hint::black_box(outcome.fitness)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the Fig. 1b kernel: deploying a workload across the
+//! four DIMMs and evaluating one run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::{ExperimentScale, Workload};
+use dstress_platform::XGene2Server;
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let mut group = c.benchmark_group("fig01_workloads");
+    group.sample_size(10);
+    for workload in [Workload::Kmeans, Workload::Memcached] {
+        group.bench_function(workload.name(), |b| {
+            b.iter(|| {
+                let mut server = XGene2Server::new(scale.server);
+                server.relax_second_domain();
+                let run = workload.deploy(&mut server, 7).expect("deploy");
+                std::hint::black_box(server.evaluate_run(&run, 1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

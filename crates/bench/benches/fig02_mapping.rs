@@ -1,0 +1,20 @@
+//! Criterion bench for the Fig. 2 kernel: the address-mapping function.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress_dram::{AddressMap, DimmGeometry};
+
+fn bench(c: &mut Criterion) {
+    let map = AddressMap::new(DimmGeometry::default());
+    let capacity = DimmGeometry::default().capacity_bytes();
+    c.bench_function("fig02_map_unmap_roundtrip", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 8) % capacity;
+            let loc = map.map(addr).expect("in range");
+            std::hint::black_box(map.unmap(loc).expect("valid"))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

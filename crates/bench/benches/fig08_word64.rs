@@ -1,0 +1,29 @@
+//! Criterion bench for the Fig. 8 kernel: one 64-bit data-pattern virus
+//! evaluation (instantiate, execute, replay, classify).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, WORST_WORD};
+use dstress_vpl::BoundValue;
+
+fn bench(c: &mut Criterion) {
+    let dstress = DStress::new(ExperimentScale::quick(), 1);
+    let mut evaluator = dstress
+        .evaluator(&EnvKind::Word64, 60.0, Metric::CeAverage)
+        .expect("evaluator");
+    let mut group = c.benchmark_group("fig08_word64");
+    group.sample_size(10);
+    group.bench_function("evaluate_worst_virus", |b| {
+        b.iter(|| {
+            let outcome = evaluator
+                .evaluate_bindings(
+                    [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into(),
+                )
+                .expect("evaluation");
+            std::hint::black_box(outcome.fitness)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

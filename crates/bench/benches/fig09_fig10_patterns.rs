@@ -1,0 +1,38 @@
+//! Criterion bench for the Fig. 9/10 kernel: one row-triple pattern virus
+//! evaluation around profiled victim rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, BEST_WORD, WORST_WORD};
+use dstress_vpl::BoundValue;
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let mut dstress = DStress::new(scale, 1);
+    let victims = dstress.profile_victims(60.0, WORST_WORD).expect("victims");
+    let row_words = scale.row_words() as usize;
+    let metric = Metric::CeInRows(victims.clone());
+    let mut evaluator = dstress
+        .evaluator(&EnvKind::RowTriple { victims }, 60.0, metric)
+        .expect("evaluator");
+    let mut group = c.benchmark_group("fig09_fig10");
+    group.sample_size(10);
+    group.bench_function("evaluate_triple_virus", |b| {
+        b.iter(|| {
+            let outcome = evaluator
+                .evaluate_bindings(
+                    [
+                        ("PREV_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
+                        ("VICTIM_PATTERN".to_string(), BoundValue::Array(vec![WORST_WORD; row_words])),
+                        ("NEXT_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
+                    ]
+                    .into(),
+                )
+                .expect("evaluation");
+            std::hint::black_box(outcome.fitness)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

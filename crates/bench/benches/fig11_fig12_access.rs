@@ -1,0 +1,44 @@
+//! Criterion bench for the Fig. 11/12 kernel: one access-pattern virus
+//! evaluation (row bitmap and stride variants).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, WORST_WORD};
+use dstress_vpl::BoundValue;
+
+fn bench(c: &mut Criterion) {
+    let scale = ExperimentScale::quick();
+    let mut dstress = DStress::new(scale, 1);
+    let victims = dstress.profile_victims(60.0, WORST_WORD).expect("victims");
+    let mut group = c.benchmark_group("fig11_fig12");
+    group.sample_size(10);
+
+    let metric = Metric::CeInRows(victims.clone());
+    let mut row_eval = dstress
+        .evaluator(&EnvKind::RowAccess { victims: victims.clone(), fill: WORST_WORD }, 60.0, metric.clone())
+        .expect("evaluator");
+    group.bench_function("evaluate_row_access_virus", |b| {
+        b.iter(|| {
+            let outcome = row_eval
+                .evaluate_bindings([("SEL".to_string(), BoundValue::Array(vec![1u64; 64]))].into())
+                .expect("evaluation");
+            std::hint::black_box(outcome.fitness)
+        })
+    });
+
+    let mut stride_eval = dstress
+        .evaluator(&EnvKind::StrideAccess { victims, fill: WORST_WORD }, 60.0, metric)
+        .expect("evaluator");
+    group.bench_function("evaluate_stride_virus", |b| {
+        b.iter(|| {
+            let coeffs: Vec<u64> = (0..32).map(|i| (i * 7) % 21).collect();
+            let outcome = stride_eval
+                .evaluate_bindings([("COEFFS".to_string(), BoundValue::Array(coeffs))].into())
+                .expect("evaluation");
+            std::hint::black_box(outcome.fitness)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the Fig. 13 kernel: randomized-virus sampling and
+//! the D'Agostino–Pearson normality test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::{DStress, EnvKind, ExperimentScale, Metric};
+use dstress_stats::{dagostino_pearson, Moments};
+use dstress_vpl::BoundValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let dstress = DStress::new(ExperimentScale::quick(), 1);
+    let mut evaluator = dstress
+        .evaluator(&EnvKind::Word64, 60.0, Metric::CeAverage)
+        .expect("evaluator");
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("fig13_random");
+    group.sample_size(10);
+    group.bench_function("sample_random_pattern", |b| {
+        b.iter(|| {
+            let word: u64 = rng.gen();
+            let outcome = evaluator
+                .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(word))].into())
+                .expect("evaluation");
+            std::hint::black_box(outcome.fitness)
+        })
+    });
+    group.bench_function("dagostino_pearson_5000", |b| {
+        let mut noise = StdRng::seed_from_u64(6);
+        let m: Moments = (0..5000)
+            .map(|_| (0..12).map(|_| noise.gen::<f64>()).sum::<f64>() - 6.0)
+            .collect();
+        b.iter(|| std::hint::black_box(dagostino_pearson(&m).expect("test runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

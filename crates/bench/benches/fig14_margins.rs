@@ -1,0 +1,33 @@
+//! Criterion bench for the Fig. 14 kernel: one marginal-TREFP sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::usecases::{find_marginal_trefp, SafetyCriterion};
+use dstress::{DStress, EnvKind, ExperimentScale, WORST_WORD};
+use dstress_vpl::BoundValue;
+use std::collections::HashMap;
+
+fn bench(c: &mut Criterion) {
+    let dstress = DStress::new(ExperimentScale::quick(), 1);
+    let chromosome: HashMap<String, BoundValue> =
+        [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into();
+    let mut group = c.benchmark_group("fig14_margins");
+    group.sample_size(10);
+    group.bench_function("margin_sweep_6pt", |b| {
+        b.iter(|| {
+            let margin = find_marginal_trefp(
+                &dstress,
+                &EnvKind::Word64,
+                &chromosome,
+                60.0,
+                SafetyCriterion::NoErrors,
+                6,
+            )
+            .expect("margin sweep");
+            std::hint::black_box(margin.marginal_trefp_s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

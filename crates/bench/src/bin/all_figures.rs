@@ -1,0 +1,46 @@
+//! Runs the complete evaluation campaign: every table and figure in order,
+//! passing discovered artifacts between dependent experiments (the Fig. 9
+//! winner feeds the Fig. 11 comparison; the Fig. 8/11 winners feed the
+//! Fig. 13 tail estimates).
+
+use dstress::experiments;
+
+fn main() {
+    let scale = dstress_bench::scale();
+    let seed = dstress_bench::CAMPAIGN_SEED;
+
+    let ga = experiments::ga_params::run(if scale.name == "quick" { 3 } else { 10 });
+    dstress_bench::emit("ga_params", &ga.render(), &ga);
+
+    let f1 = experiments::fig01b::run(scale, seed).expect("fig01b");
+    dstress_bench::emit("fig01b", &f1.render(), &f1);
+
+    let f8 = experiments::fig08::run(scale, seed).expect("fig08");
+    dstress_bench::emit("fig08", &f8.render(), &f8);
+
+    let f910 = experiments::fig09_fig10::run(scale, seed).expect("fig09/10");
+    dstress_bench::emit("fig09_fig10", &f910.render(), &f910);
+
+    let f1112 = experiments::fig11_fig12::run(scale, seed, Some(f910.triple_ce)).expect("fig11/12");
+    dstress_bench::emit("fig11_fig12", &f1112.render(), &f1112);
+
+    let f13 = experiments::efficiency::run(
+        scale,
+        seed,
+        Some(f8.ga_worst_ce),
+        Some(f1112.row_access_ce),
+    )
+    .expect("fig13");
+    dstress_bench::emit("fig13", &f13.render(), &f13);
+
+    let f14 = experiments::fig14::run(scale, seed).expect("fig14");
+    dstress_bench::emit("fig14", &f14.render(), &f14);
+
+    let march = experiments::march_comparison::run(scale, seed).expect("march");
+    dstress_bench::emit("march_comparison", &march.render(), &march);
+
+    let rh = experiments::rowhammer::run(scale, seed).expect("rowhammer");
+    dstress_bench::emit("rowhammer", &rh.render(), &rh);
+
+    println!("\ncampaign complete.");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Fig. 2: the address → physical-layout mapping function,
+//! demonstrated on the first chunks of the DIMM (paper §II).
+
+use dstress_dram::{AddressMap, DimmGeometry};
+
+fn main() {
+    let geo = DimmGeometry::default();
+    let map = AddressMap::new(geo);
+    println!("==== fig02: address mapping (8KB-chunk striping) ====");
+    println!("{:<12} {:<8} {:<6} {:<6}", "addr", "rank", "bank", "row");
+    for chunk in 0..20u64 {
+        let addr = chunk * geo.row_bytes as u64;
+        let loc = map.map(addr).expect("address in range");
+        println!("{addr:<12} {:<8} {:<6} {:<6}", loc.rank, loc.bank, loc.row);
+    }
+    println!("\nchunks 0, 8, 16 land in adjacent rows of bank 0 (paper Fig. 1a):");
+    for chunk in [0u64, 8, 16] {
+        let loc = map.map(chunk * geo.row_bytes as u64).expect("address in range");
+        println!("  chunk {chunk:>2} -> {loc}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Fig. 8 (a–e): the 64-bit data-pattern searches and the
+//! micro-benchmark comparison.
+
+fn main() {
+    let report = dstress::experiments::fig08::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+        .expect("fig08 experiment");
+    dstress_bench::emit("fig08", &report.render(), &report);
+    println!("headline: {}", report.headline());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figs. 9 & 10: the 24 KB-class and 512 KB-class data-pattern
+//! searches.
+
+fn main() {
+    let report = dstress::experiments::fig09_fig10::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+        .expect("fig09/fig10 experiment");
+    dstress_bench::emit("fig09_fig10", &report.render(), &report);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 13: the GA-efficiency estimate from randomized viruses.
+
+fn main() {
+    let report = dstress::experiments::efficiency::run(
+        dstress_bench::scale(),
+        dstress_bench::CAMPAIGN_SEED,
+        None,
+        None,
+    )
+    .expect("fig13 experiment");
+    dstress_bench::emit("fig13", &report.render(), &report);
+}

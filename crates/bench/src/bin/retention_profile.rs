@@ -1,0 +1,28 @@
+//! Regenerates the retention-profiling use case (extension, paper §I/§VI).
+
+use dstress::usecases_retention::profile_retention;
+use dstress::{DStress, BEST_WORD, WORST_WORD};
+
+fn main() {
+    let dstress = DStress::new(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED);
+    println!("==== retention profile (scale: {}) ====", dstress.scale.name);
+    for (label, fill) in [("worst-case fill", WORST_WORD), ("benign fill", BEST_WORD)] {
+        let profile = profile_retention(&dstress, fill, 60.0, 8).expect("profiling");
+        println!(
+            "\n{label} ({:#018x}): {} weak rows of {} total",
+            fill,
+            profile.weak_rows.len(),
+            profile.total_rows
+        );
+        for (trefp, rows) in profile.bins() {
+            println!("  rows needing refresh <= {trefp:.3} s: {rows}");
+        }
+        println!(
+            "  fraction of rows safe at 4x nominal refresh: {:.3}",
+            profile.strong_fraction_at(4.0 * 0.064)
+        );
+    }
+    println!(
+        "\n(profiling under a benign pattern overestimates margins - the paper's §I critique)"
+    );
+}

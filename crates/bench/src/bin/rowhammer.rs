@@ -1,0 +1,7 @@
+//! Regenerates the rowhammer-regime exploration (extension, paper §VI).
+
+fn main() {
+    let report = dstress::experiments::rowhammer::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+        .expect("rowhammer exploration");
+    dstress_bench::emit("rowhammer", &report.render(), &report);
+}

@@ -1,0 +1,58 @@
+//! Shared utilities for the figure-regeneration binaries and benches.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §5 for the index). The experiment scale is selected through
+//! the `DSTRESS_SCALE` environment variable (`paper` by default, `quick`
+//! for smoke runs); results print to stdout and, when `DSTRESS_JSON_DIR`
+//! is set, are also written as JSON for archival.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dstress::ExperimentScale;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Resolves the experiment scale from the environment.
+pub fn scale() -> ExperimentScale {
+    ExperimentScale::from_env()
+}
+
+/// A fixed seed shared by the figure binaries so reruns reproduce exactly.
+pub const CAMPAIGN_SEED: u64 = 0xD57E_55;
+
+/// Prints a report and optionally archives it as JSON under
+/// `DSTRESS_JSON_DIR`.
+pub fn emit<R: Serialize>(figure: &str, rendered: &str, report: &R) {
+    println!("==== {figure} (scale: {}) ====", scale().name);
+    println!("{rendered}");
+    if let Ok(dir) = std::env::var("DSTRESS_JSON_DIR") {
+        let path = PathBuf::from(dir).join(format!("{figure}.json"));
+        match serde_json::to_string_pretty(report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize {figure}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_paper() {
+        // The test environment does not set DSTRESS_SCALE.
+        if std::env::var("DSTRESS_SCALE").is_err() {
+            assert_eq!(scale().name, "paper");
+        }
+    }
+
+    #[test]
+    fn emit_prints_without_json_dir() {
+        emit("smoke", "hello", &42u32);
+    }
+}

@@ -1,0 +1,269 @@
+//! The `dstress` command-line tool: synthesize, measure and exploit DRAM
+//! stress viruses on the simulated experimental platform.
+//!
+//! ```text
+//! dstress search-word64 [--temp C] [--minimize] [--ue] [--scale quick|paper] [--seed N] [--db FILE]
+//! dstress measure --pattern HEX [--temp C]
+//! dstress baselines [--temp C]
+//! dstress victims [--temp C]
+//! dstress margins [--temp C] [--ce-tolerated]
+//! dstress march
+//! dstress info
+//! ```
+
+use dstress::usecases::{find_marginal_trefp, savings_at_margin, SafetyCriterion};
+use dstress::{Baseline, DStress, EnvKind, ExperimentScale, Metric, WORST_WORD};
+use dstress_vpl::BoundValue;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Minimal flag parser: `--name value` and boolean `--name`.
+struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: Vec<String>) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    fn u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => {
+                if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("--{name}: {e}"))
+                } else {
+                    v.parse().map_err(|e| format!("--{name}: {e}"))
+                }
+            }
+        }
+    }
+
+    fn bool(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    fn str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+}
+
+fn scale_from(args: &Args) -> Result<ExperimentScale, String> {
+    match args.str("scale") {
+        None | Some("paper") => Ok(ExperimentScale::paper()),
+        Some("quick") => Ok(ExperimentScale::quick()),
+        Some(other) => Err(format!("unknown scale `{other}` (quick|paper)")),
+    }
+}
+
+fn usage() -> &'static str {
+    "dstress - automatic synthesis of DRAM reliability stress viruses\n\
+     \n\
+     USAGE:\n\
+       dstress <command> [flags]\n\
+     \n\
+     COMMANDS:\n\
+       search-word64   GA search for the worst 64-bit data pattern\n\
+                       [--temp C] [--minimize] [--ue] [--scale quick|paper]\n\
+                       [--seed N] [--db FILE]\n\
+       measure         Measure one data pattern  --pattern HEX [--temp C]\n\
+       baselines       Measure the classic micro-benchmarks [--temp C]\n\
+       victims         Profile the error-prone rows [--temp C]\n\
+       margins         Find the safe TREFP margin [--temp C] [--ce-tolerated]\n\
+       march           Compare MARCH tests against the synthesized virus\n\
+       info            Show the platform configuration\n"
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    let command = args.positional.first().map(String::as_str).unwrap_or("help");
+    let scale = scale_from(&args)?;
+    let seed = args.u64("seed", 42)?;
+    let temp = args.f64("temp", 60.0)?;
+    match command {
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        "info" => {
+            let geo = scale.server.dimm.geometry;
+            println!("scale           : {}", scale.name);
+            println!(
+                "DIMM geometry   : {} ranks x {} banks x {} rows x {} B rows ({} KiB)",
+                geo.ranks,
+                geo.banks,
+                geo.rows_per_bank,
+                geo.row_bytes,
+                geo.capacity_bytes() / 1024
+            );
+            println!("windows per run : {}", scale.server.windows_per_run);
+            println!("runs per virus  : {}", scale.runs_per_virus);
+            println!(
+                "GA              : population {}, mutation {}, crossover {}, budget {} generations",
+                scale.ga.population_size,
+                scale.ga.mutation_prob,
+                scale.ga.crossover_prob,
+                scale.ga.max_generations
+            );
+            Ok(())
+        }
+        "search-word64" => {
+            let mut dstress = DStress::new(scale, seed);
+            let metric = if args.bool("ue") { Metric::UeRuns } else { Metric::CeAverage };
+            let minimize = args.bool("minimize");
+            println!(
+                "searching 64-bit patterns at {temp} C ({}, {}) ...",
+                if args.bool("ue") { "UE runs" } else { "CEs" },
+                if minimize { "minimizing" } else { "maximizing" }
+            );
+            let campaign = dstress
+                .search_word64(temp, metric, minimize)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "best pattern {:#018x}  fitness {:.1}  ({} generations, SMF {:.2}, converged {})",
+                campaign.result.best.to_words()[0],
+                campaign.result.best_fitness,
+                campaign.result.generations,
+                campaign.result.similarity,
+                campaign.result.converged,
+            );
+            println!("top of the leaderboard:");
+            for (genome, fitness) in campaign.result.leaderboard.iter().take(5) {
+                println!("  {:#018x}  {fitness:.1}", genome.to_words()[0]);
+            }
+            if let Some(path) = args.str("db") {
+                dstress
+                    .db
+                    .save(std::path::Path::new(path))
+                    .map_err(|e| format!("saving database: {e}"))?;
+                println!("virus database written to {path}");
+            }
+            Ok(())
+        }
+        "measure" => {
+            let pattern = args.u64("pattern", WORST_WORD)?;
+            let dstress = DStress::new(scale, seed);
+            let outcome = dstress
+                .measure(
+                    &EnvKind::Word64,
+                    [("PATTERN".to_string(), BoundValue::Scalar(pattern))].into(),
+                    temp,
+                    Metric::CeAverage,
+                )
+                .map_err(|e| e.to_string())?;
+            println!(
+                "pattern {pattern:#018x} at {temp} C: {:.1} CEs/run, {} UEs total, {} runs stopped",
+                outcome.fitness, outcome.total_ue, outcome.ue_runs
+            );
+            Ok(())
+        }
+        "baselines" => {
+            let dstress = DStress::new(scale, seed);
+            println!("classic micro-benchmarks at {temp} C:");
+            for baseline in Baseline::all(seed) {
+                let outcome = dstress
+                    .measure(
+                        &EnvKind::CycleFill { cycle: baseline.cycle() },
+                        HashMap::new(),
+                        temp,
+                        Metric::CeAverage,
+                    )
+                    .map_err(|e| e.to_string())?;
+                println!("  {:<14} {:>10.1} CEs/run", baseline.name(), outcome.fitness);
+            }
+            let worst = dstress
+                .measure(
+                    &EnvKind::Word64,
+                    [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into(),
+                    temp,
+                    Metric::CeAverage,
+                )
+                .map_err(|e| e.to_string())?;
+            println!("  {:<14} {:>10.1} CEs/run", "worst virus", worst.fitness);
+            Ok(())
+        }
+        "victims" => {
+            let mut dstress = DStress::new(scale, seed);
+            let victims = dstress.profile_victims(temp, WORST_WORD).map_err(|e| e.to_string())?;
+            println!("error-prone rows at {temp} C (worst-case fill):");
+            for v in victims {
+                println!("  {v}");
+            }
+            Ok(())
+        }
+        "margins" => {
+            let dstress = DStress::new(scale, seed);
+            let criterion = if args.bool("ce-tolerated") {
+                SafetyCriterion::NoUncorrectable
+            } else {
+                SafetyCriterion::NoErrors
+            };
+            let chromosome: HashMap<String, BoundValue> =
+                [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into();
+            let margin = find_marginal_trefp(
+                &dstress,
+                &EnvKind::Word64,
+                &chromosome,
+                temp,
+                criterion,
+                10,
+            )
+            .map_err(|e| e.to_string())?;
+            let savings = savings_at_margin(margin.marginal_trefp_s, 1.0e6);
+            println!(
+                "marginal TREFP at {temp} C: {:.3} s (criterion: {})",
+                margin.marginal_trefp_s,
+                if args.bool("ce-tolerated") { "CEs tolerated" } else { "no errors" }
+            );
+            println!(
+                "power savings: {:.1} % DRAM, {:.1} % system",
+                savings.dram_savings * 100.0,
+                savings.system_savings * 100.0
+            );
+            Ok(())
+        }
+        "march" => {
+            let report = dstress::experiments::march_comparison::run(scale, seed)
+                .map_err(|e| e.to_string())?;
+            println!("{}", report.render());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,54 @@
+//! Framework-level errors.
+
+use dstress_vpl::VplError;
+
+/// Any error raised by the DStress framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DStressError {
+    /// Template processing or execution failed.
+    Vpl(VplError),
+    /// A search was configured inconsistently (bad victim rows, impossible
+    /// geometry…).
+    Config(String),
+    /// An experiment could not produce its result (e.g. no error-prone rows
+    /// found to centre the neighbour-row experiments on).
+    Experiment(String),
+}
+
+impl std::fmt::Display for DStressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DStressError::Vpl(e) => write!(f, "virus template error: {e}"),
+            DStressError::Config(m) => write!(f, "configuration error: {m}"),
+            DStressError::Experiment(m) => write!(f, "experiment error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DStressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DStressError::Vpl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VplError> for DStressError {
+    fn from(e: VplError) -> Self {
+        DStressError::Vpl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: DStressError = VplError::Template("x".into()).into();
+        assert!(e.to_string().contains("template"));
+        assert!(DStressError::Config("bad".into()).to_string().contains("bad"));
+        assert!(DStressError::Experiment("no rows".into()).to_string().contains("no rows"));
+    }
+}

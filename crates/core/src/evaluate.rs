@@ -1,0 +1,305 @@
+//! The evaluation phase (paper §III-F): instantiate a candidate virus, run
+//! it on the experimental server, and count the DRAM errors it manifests.
+
+use crate::error::DStressError;
+use crate::patterns::{BitCodec, IntCodec};
+use dstress_dram::geometry::RowKey;
+use dstress_ga::{BitGenome, Fitness, IntGenome};
+use dstress_platform::{RunOutcome, XGene2Server};
+use dstress_vpl::{BoundValue, ExecLimits, Interpreter, ProcessedTemplate};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The quantity a search maximizes (§III-C: CEs or UEs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Mean correctable errors per run, across the whole server.
+    CeAverage,
+    /// Mean correctable errors per run within a set of rows on the target
+    /// MCU — the victim-focused fitness of the neighbour-row experiments
+    /// ("increase the probability to obtain a CE in these rows", §III-B).
+    CeInRows(Vec<RowKey>),
+    /// Number of runs (out of `runs`) in which ECC raised at least one
+    /// uncorrectable error — the Fig. 8d fitness ("the number of
+    /// experimental runs when UEs have been obtained").
+    UeRuns,
+}
+
+/// What one virus evaluation produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalOutcome {
+    /// The fitness value under the evaluator's metric.
+    pub fitness: f64,
+    /// Total CEs summed over all runs.
+    pub total_ce: u64,
+    /// Total UEs summed over all runs.
+    pub total_ue: u64,
+    /// Runs in which a UE stopped the virus.
+    pub ue_runs: u32,
+    /// Recorded DRAM access-trace length of the virus body.
+    pub trace_len: usize,
+}
+
+/// Evaluates candidate viruses for one search campaign.
+///
+/// Owns the server for the duration of the campaign; each evaluation resets
+/// memory and counters, instantiates the template with the chromosome's
+/// bindings plus the campaign's environment bindings, executes the virus
+/// body once through the interpreter, then replays it for
+/// `runs` independent evaluation runs (the paper's 10-run averaging).
+#[derive(Debug)]
+pub struct VirusEvaluator {
+    server: XGene2Server,
+    template: ProcessedTemplate,
+    env: HashMap<String, BoundValue>,
+    metric: Metric,
+    runs: u32,
+    target_mcu: usize,
+    limits: ExecLimits,
+    eval_seq: u64,
+    /// Outcome of the most recent evaluation (for database recording).
+    pub last: Option<EvalOutcome>,
+    /// Evaluations that failed (template runtime errors); such candidates
+    /// score 0.
+    pub failed_evaluations: u64,
+}
+
+impl VirusEvaluator {
+    /// Creates an evaluator.
+    pub fn new(
+        server: XGene2Server,
+        template: ProcessedTemplate,
+        env: HashMap<String, BoundValue>,
+        metric: Metric,
+        runs: u32,
+        target_mcu: usize,
+    ) -> Self {
+        VirusEvaluator {
+            server,
+            template,
+            env,
+            metric,
+            runs,
+            target_mcu,
+            limits: ExecLimits::default(),
+            eval_seq: 0,
+            last: None,
+            failed_evaluations: 0,
+        }
+    }
+
+    /// The server (e.g. to inspect counters after a campaign).
+    pub fn server(&self) -> &XGene2Server {
+        &self.server
+    }
+
+    /// Mutable server access between campaigns (parameter sweeps).
+    pub fn server_mut(&mut self) -> &mut XGene2Server {
+        &mut self.server
+    }
+
+    /// Releases the server.
+    pub fn into_server(self) -> XGene2Server {
+        self.server
+    }
+
+    /// Replaces the campaign metric.
+    pub fn set_metric(&mut self, metric: Metric) {
+        self.metric = metric;
+    }
+
+    /// Evaluates a fully-bound candidate virus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template instantiation and execution failures.
+    pub fn evaluate_bindings(
+        &mut self,
+        chromosome: HashMap<String, BoundValue>,
+    ) -> Result<EvalOutcome, DStressError> {
+        let mut bindings = self.env.clone();
+        bindings.extend(chromosome);
+        let program = self.template.instantiate(&bindings)?;
+        self.server.reset_memory();
+        let mut session = self.server.session(self.target_mcu);
+        Interpreter::new(self.limits).run(&program, &mut session)?;
+        let run = session.finish();
+        let base_nonce = self.eval_seq.wrapping_mul(0x9E37_79B9);
+        self.eval_seq += 1;
+        let outcomes = self.server.evaluate_runs(&run, self.runs, base_nonce);
+        let outcome = self.summarize(&outcomes, run.len());
+        self.last = Some(outcome.clone());
+        Ok(outcome)
+    }
+
+    fn summarize(&self, outcomes: &[RunOutcome], trace_len: usize) -> EvalOutcome {
+        let total_ce: u64 = outcomes.iter().map(|o| o.totals.ce).sum();
+        let total_ue: u64 = outcomes.iter().map(|o| o.totals.ue).sum();
+        let ue_runs = outcomes.iter().filter(|o| o.stopped_on_ue).count() as u32;
+        let fitness = match &self.metric {
+            Metric::CeAverage => total_ce as f64 / outcomes.len().max(1) as f64,
+            Metric::CeInRows(rows) => {
+                let in_rows: u64 = outcomes
+                    .iter()
+                    .flat_map(|o| &o.row_errors)
+                    .filter(|r| r.mcu == self.target_mcu && rows.contains(&r.row))
+                    .map(|r| r.ce)
+                    .sum();
+                in_rows as f64 / outcomes.len().max(1) as f64
+            }
+            Metric::UeRuns => ue_runs as f64,
+        };
+        EvalOutcome { fitness, total_ce, total_ue, ue_runs, trace_len }
+    }
+
+    /// Evaluates and returns the fitness only, scoring failed candidates 0
+    /// (a virus that crashes stresses nothing).
+    pub fn fitness_of(&mut self, chromosome: HashMap<String, BoundValue>) -> f64 {
+        match self.evaluate_bindings(chromosome) {
+            Ok(outcome) => outcome.fitness,
+            Err(_) => {
+                self.failed_evaluations += 1;
+                0.0
+            }
+        }
+    }
+}
+
+/// [`Fitness`] adapter for bit-genome searches.
+#[derive(Debug)]
+pub struct BitFitness<'a> {
+    /// The campaign evaluator.
+    pub evaluator: &'a mut VirusEvaluator,
+    /// The chromosome codec.
+    pub codec: BitCodec,
+}
+
+impl Fitness<BitGenome> for BitFitness<'_> {
+    fn evaluate(&mut self, genome: &BitGenome) -> f64 {
+        self.evaluator.fitness_of(self.codec.bindings(genome))
+    }
+}
+
+/// [`Fitness`] adapter for integer-genome searches.
+#[derive(Debug)]
+pub struct IntFitness<'a> {
+    /// The campaign evaluator.
+    pub evaluator: &'a mut VirusEvaluator,
+    /// The chromosome codec.
+    pub codec: IntCodec,
+}
+
+impl Fitness<IntGenome> for IntFitness<'_> {
+    fn evaluate(&mut self, genome: &IntGenome) -> f64 {
+        self.evaluator.fitness_of(self.codec.bindings(genome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use crate::templates;
+
+    /// A word64 evaluator on a quick-scale server heated to 60 °C.
+    fn evaluator(metric: Metric) -> VirusEvaluator {
+        let scale = ExperimentScale::quick();
+        let mut server = XGene2Server::new(scale.server);
+        server.relax_second_domain();
+        server.set_dimm_temperature(2, 60.0);
+        let template = templates::process(templates::WORD64, &scale).unwrap();
+        let mem_words = scale.dimm_words();
+        let env: HashMap<String, BoundValue> = [
+            ("MEM_BYTES".to_string(), BoundValue::Scalar(mem_words * 8)),
+            ("MEM_WORDS".to_string(), BoundValue::Scalar(mem_words)),
+        ]
+        .into_iter()
+        .collect();
+        VirusEvaluator::new(server, template, env, metric, 3, 2)
+    }
+
+    #[test]
+    fn worst_word_outscores_best_word() {
+        let mut eval = evaluator(Metric::CeAverage);
+        let worst = eval
+            .evaluate_bindings(
+                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+            )
+            .unwrap();
+        let best = eval
+            .evaluate_bindings(
+                [("PATTERN".to_string(), BoundValue::Scalar(0xCCCC_CCCC_CCCC_CCCC))].into(),
+            )
+            .unwrap();
+        assert!(
+            worst.fitness > 2.0 * best.fitness.max(1.0),
+            "worst {} vs best {}",
+            worst.fitness,
+            best.fitness
+        );
+        assert!(worst.total_ce > 0);
+        assert!(worst.trace_len > 0);
+    }
+
+    #[test]
+    fn fitness_adapter_matches_direct_evaluation() {
+        let mut eval = evaluator(Metric::CeAverage);
+        let g = BitGenome::from_words(&[0x3333_3333_3333_3333], 64);
+        let direct = eval
+            .evaluate_bindings(
+                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+            )
+            .unwrap()
+            .fitness;
+        let mut fit = BitFitness {
+            evaluator: &mut eval,
+            codec: BitCodec::Word64 { param: "PATTERN".into() },
+        };
+        let adapted = fit.evaluate(&g);
+        // VRT noise differs between evaluations; both must land in the same
+        // regime.
+        assert!(adapted > 0.0);
+        assert!((adapted - direct).abs() < 0.5 * direct.max(adapted));
+    }
+
+    #[test]
+    fn missing_binding_is_an_error_and_scores_zero() {
+        let mut eval = evaluator(Metric::CeAverage);
+        assert!(eval.evaluate_bindings(HashMap::new()).is_err());
+        assert_eq!(eval.fitness_of(HashMap::new()), 0.0);
+        assert_eq!(eval.failed_evaluations, 1);
+    }
+
+    #[test]
+    fn ue_metric_counts_runs() {
+        let mut eval = evaluator(Metric::UeRuns);
+        eval.server_mut().set_dimm_temperature(2, 70.0);
+        let outcome = eval
+            .evaluate_bindings(
+                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+            )
+            .unwrap();
+        assert!(outcome.ue_runs > 0, "70C must raise UEs");
+        assert_eq!(outcome.fitness, outcome.ue_runs as f64);
+    }
+
+    #[test]
+    fn ce_in_rows_metric_filters() {
+        let mut eval = evaluator(Metric::CeAverage);
+        let all = eval
+            .evaluate_bindings(
+                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+            )
+            .unwrap()
+            .fitness;
+        // Focus on a single row: strictly less than the whole-DIMM count.
+        eval.set_metric(Metric::CeInRows(vec![RowKey::new(0, 0, 0)]));
+        let one_row = eval
+            .evaluate_bindings(
+                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+            )
+            .unwrap()
+            .fitness;
+        assert!(one_row <= all, "one-row count {one_row} vs whole-DIMM {all}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Figs. 9 & 10 — the row-triple ("24 KB") and chunk-span ("512 KB")
+//! data-pattern searches.
+//!
+//! Paper observations reproduced here:
+//!
+//! * the worst-case 24 KB pattern manifests ≈ 16 % more CEs (in the
+//!   error-prone rows) than the worst-case 64-bit pattern — inter-row
+//!   interference from the neighbouring rows (Fig. 9, SMF 0.89);
+//! * the 512 KB pattern gains nothing over the 24 KB one — there is no
+//!   cell-to-cell interference across banks, confirming the §II address
+//!   mapping (Fig. 10, SMF 0.88).
+
+use crate::error::DStressError;
+use crate::evaluate::Metric;
+use crate::report::{percent_delta, TextTable};
+use crate::scale::ExperimentScale;
+use crate::search::{DStress, EnvKind, WORST_WORD};
+use dstress_dram::geometry::RowKey;
+use dstress_vpl::BoundValue;
+use serde::{Deserialize, Serialize};
+
+/// The Figs. 9–10 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig0910Report {
+    /// The error-prone rows the experiment centres on.
+    pub victims: Vec<RowKey>,
+    /// Victim-row CEs/run of the worst-case 64-bit pattern (reference).
+    pub word64_ce: f64,
+    /// Best victim-row CEs/run of the 24 KB search.
+    pub triple_ce: f64,
+    /// 24 KB search leaderboard similarity.
+    pub triple_smf: f64,
+    /// Whether the 24 KB search converged.
+    pub triple_converged: bool,
+    /// Generations the 24 KB search ran.
+    pub triple_generations: u32,
+    /// Best victim-row CEs/run of the 512 KB search.
+    pub chunks_ce: f64,
+    /// 512 KB search leaderboard similarity.
+    pub chunks_smf: f64,
+    /// Whether the 512 KB search converged.
+    pub chunks_converged: bool,
+    /// The winning 24 KB chromosome packed as words
+    /// (prev-row ++ victim-row ++ next-row patterns).
+    pub triple_words: Vec<u64>,
+    /// Words per row at this scale (to slice `triple_words`).
+    pub row_words: usize,
+}
+
+/// Runs the Fig. 9 + Fig. 10 experiments.
+///
+/// # Errors
+///
+/// Propagates profiling and campaign failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig0910Report, DStressError> {
+    let mut dstress = DStress::new(scale, seed);
+    let temp = 60.0;
+    let victims = dstress.profile_victims(temp, WORST_WORD)?;
+
+    // Reference: the worst 64-bit pattern measured on the same victim rows.
+    let word64_ce = dstress
+        .measure(
+            &EnvKind::Word64,
+            [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into(),
+            temp,
+            Metric::CeInRows(victims.clone()),
+        )?
+        .fitness;
+
+    let triple = dstress.search_row_triple(temp, victims.clone())?;
+    let chunks = dstress.search_chunks(temp, victims.clone())?;
+
+    Ok(Fig0910Report {
+        victims,
+        word64_ce,
+        triple_ce: triple.result.best_fitness,
+        triple_smf: triple.result.similarity,
+        triple_converged: triple.result.converged,
+        triple_generations: triple.result.generations,
+        chunks_ce: chunks.result.best_fitness,
+        chunks_smf: chunks.result.similarity,
+        chunks_converged: chunks.result.converged,
+        triple_words: triple.result.best.to_words(),
+        row_words: dstress.scale.row_words() as usize,
+    })
+}
+
+impl Fig0910Report {
+    /// Fraction of a word slice's cells that are charged under the TTAA
+    /// reading (diagnostic: victim slice should approach 1.0, neighbour
+    /// slices should fall well below).
+    pub fn charged_fraction(words: &[u64]) -> f64 {
+        // Under the TTAA layout, logical bit pattern `1100` (LSB-first) =
+        // 0x3 per nibble charges all four cells; count per-nibble matches.
+        let mut charged = 0u32;
+        let mut total = 0u32;
+        for w in words {
+            for nibble in 0..16 {
+                let n = (w >> (4 * nibble)) & 0xF;
+                // Cells: bits 0,1 are true-cells (charged by 1), bits 2,3
+                // anti-cells (charged by 0).
+                charged += (n & 1) as u32;
+                charged += ((n >> 1) & 1) as u32;
+                charged += (1 - ((n >> 2) & 1)) as u32;
+                charged += (1 - ((n >> 3) & 1)) as u32;
+                total += 4;
+            }
+        }
+        charged as f64 / total as f64
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Fig. 9 - worst-case row-triple (24 KB-class) patterns, 60C\n  victims: {:?}\n",
+            self.victims.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        ));
+        let mut t = TextTable::new(vec!["virus", "victim-row CEs/run", "vs 64-bit worst"]);
+        t.row(vec!["64-bit worst (reference)".into(), format!("{:.1}", self.word64_ce), "-".into()]);
+        t.row(vec![
+            "24 KB-class GA best".into(),
+            format!("{:.1}", self.triple_ce),
+            percent_delta(self.triple_ce, self.word64_ce),
+        ]);
+        t.row(vec![
+            "512 KB-class GA best".into(),
+            format!("{:.1}", self.chunks_ce),
+            percent_delta(self.chunks_ce, self.word64_ce),
+        ]);
+        out.push_str(&t.render());
+        let prev = &self.triple_words[..self.row_words];
+        let victim = &self.triple_words[self.row_words..2 * self.row_words];
+        let next = &self.triple_words[2 * self.row_words..];
+        out.push_str(&format!(
+            "\n24 KB winner structure: charged fraction prev {:.2}, victim {:.2}, next {:.2}\n",
+            Self::charged_fraction(prev),
+            Self::charged_fraction(victim),
+            Self::charged_fraction(next),
+        ));
+        out.push_str(&format!(
+            "24 KB search: SMF {:.2}, converged {}, {} generations\n",
+            self.triple_smf, self.triple_converged, self.triple_generations
+        ));
+        out.push_str(&format!(
+            "\nFig. 10 - 512 KB-class patterns: SMF {:.2}, converged {}, best {} vs 24 KB {}\n",
+            self.chunks_smf,
+            self.chunks_converged,
+            format!("{:.1}", self.chunks_ce),
+            format!("{:.1}", self.triple_ce),
+        ));
+        out.push_str(
+            "  (no gain over the 24 KB pattern: no cell-to-cell interference across banks)\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charged_fraction_extremes() {
+        assert_eq!(Fig0910Report::charged_fraction(&[0x3333_3333_3333_3333]), 1.0);
+        assert_eq!(Fig0910Report::charged_fraction(&[0xCCCC_CCCC_CCCC_CCCC]), 0.0);
+        let half = Fig0910Report::charged_fraction(&[0u64]);
+        assert!((half - 0.5).abs() < 1e-12);
+        let half1 = Fig0910Report::charged_fraction(&[u64::MAX]);
+        assert!((half1 - 0.5).abs() < 1e-12);
+    }
+}

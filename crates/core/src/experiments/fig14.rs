@@ -1,0 +1,210 @@
+//! Fig. 14 — scaling the DRAM operating parameters with the discovered
+//! viruses (use case, paper §VI).
+//!
+//! For each virus family (64-bit pattern, 24 KB-class pattern, access
+//! pattern) and each temperature {50, 60, 70 °C}, find the marginal TREFP
+//! under relaxed VDD for both safety criteria, then convert the margins
+//! into power savings. Paper shape targets: the access virus discovers the
+//! most pessimistic (smallest) margins, the UE-only criterion allows larger
+//! margins than the no-error criterion, and the no-error margins buy
+//! ≈ 17.7 % DRAM / ≈ 8.6 % system energy.
+
+use crate::error::DStressError;
+use crate::report::TextTable;
+use crate::scale::ExperimentScale;
+use crate::search::{DStress, EnvKind, BEST_WORD, WORST_WORD};
+use crate::usecases::{find_marginal_trefp, savings_at_margin, SafetyCriterion, SavingsReport};
+use dstress_vpl::BoundValue;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One virus family probed by the margin sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VirusFamily {
+    /// The worst-case 64-bit data-pattern virus.
+    Word64,
+    /// The worst-case row-triple (24 KB-class) data-pattern virus.
+    RowTriple,
+    /// The worst-case neighbour-row access virus.
+    RowAccess,
+}
+
+impl VirusFamily {
+    /// Figure label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VirusFamily::Word64 => "64-bit data virus",
+            VirusFamily::RowTriple => "24KB-class data virus",
+            VirusFamily::RowAccess => "access virus",
+        }
+    }
+}
+
+/// One margin measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginPoint {
+    /// The virus family.
+    pub family: VirusFamily,
+    /// DIMM temperature (°C).
+    pub temp_c: f64,
+    /// The safety criterion.
+    pub criterion: SafetyCriterion,
+    /// The discovered marginal TREFP (seconds).
+    pub marginal_trefp_s: f64,
+}
+
+/// The Fig. 14 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig14Report {
+    /// Every probed (family × temperature × criterion) point.
+    pub points: Vec<MarginPoint>,
+    /// Savings at the most pessimistic no-error margin per temperature.
+    pub savings: Vec<(f64, SavingsReport)>,
+}
+
+/// Runs the Fig. 14 margin sweeps using the canonical worst-case artifacts
+/// (the converged forms the searches discover; see EXPERIMENTS.md).
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig14Report, DStressError> {
+    let mut dstress = DStress::new(scale, seed);
+    let temps = [50.0, 60.0, 70.0];
+    let grid_points = 10;
+
+    // Victim rows for the neighbourhood viruses, profiled at 60 °C.
+    let victims = dstress.profile_victims(60.0, WORST_WORD)?;
+    let row_words = scale.row_words() as usize;
+
+    // Canonical artifacts.
+    let word64_env = EnvKind::Word64;
+    let word64_chromosome: HashMap<String, BoundValue> =
+        [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into();
+
+    let triple_env = EnvKind::RowTriple { victims: victims.clone() };
+    let triple_chromosome: HashMap<String, BoundValue> = [
+        ("PREV_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
+        ("VICTIM_PATTERN".to_string(), BoundValue::Array(vec![WORST_WORD; row_words])),
+        ("NEXT_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
+    ]
+    .into();
+
+    let access_env = EnvKind::RowAccess { victims: victims.clone(), fill: WORST_WORD };
+    let access_chromosome: HashMap<String, BoundValue> =
+        [("SEL".to_string(), BoundValue::Array(vec![1u64; 64]))].into();
+
+    let families: Vec<(VirusFamily, EnvKind, HashMap<String, BoundValue>)> = vec![
+        (VirusFamily::Word64, word64_env, word64_chromosome),
+        (VirusFamily::RowTriple, triple_env, triple_chromosome),
+        (VirusFamily::RowAccess, access_env, access_chromosome),
+    ];
+
+    let mut points = Vec::new();
+    for temp in temps {
+        for (family, env, chromosome) in &families {
+            for criterion in [SafetyCriterion::NoErrors, SafetyCriterion::NoUncorrectable] {
+                let margin = find_marginal_trefp(
+                    &dstress, env, chromosome, temp, criterion, grid_points,
+                )?;
+                points.push(MarginPoint {
+                    family: *family,
+                    temp_c: temp,
+                    criterion,
+                    marginal_trefp_s: margin.marginal_trefp_s,
+                });
+            }
+        }
+    }
+
+    // Savings at the most pessimistic no-error margin per temperature.
+    let mut savings = Vec::new();
+    for temp in temps {
+        let margin = points
+            .iter()
+            .filter(|p| p.temp_c == temp && p.criterion == SafetyCriterion::NoErrors)
+            .map(|p| p.marginal_trefp_s)
+            .fold(f64::INFINITY, f64::min);
+        savings.push((temp, savings_at_margin(margin, 1.0e6)));
+    }
+
+    Ok(Fig14Report { points, savings })
+}
+
+impl Fig14Report {
+    /// The margin discovered by a family at a temperature/criterion.
+    pub fn margin(&self, family: VirusFamily, temp_c: f64, criterion: SafetyCriterion) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.family == family && p.temp_c == temp_c && p.criterion == criterion)
+            .map(|p| p.marginal_trefp_s)
+    }
+
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Fig. 14 - marginal (safe) TREFP under relaxed VDD\n");
+        for criterion in [SafetyCriterion::NoErrors, SafetyCriterion::NoUncorrectable] {
+            out.push_str(&format!(
+                "\ncriterion: {}\n",
+                match criterion {
+                    SafetyCriterion::NoErrors => "no errors",
+                    SafetyCriterion::NoUncorrectable => "single-bit errors allowed",
+                }
+            ));
+            let mut t = TextTable::new(vec!["virus", "50C", "60C", "70C"]);
+            for family in
+                [VirusFamily::Word64, VirusFamily::RowTriple, VirusFamily::RowAccess]
+            {
+                let cells: Vec<String> = [50.0, 60.0, 70.0]
+                    .iter()
+                    .map(|&temp| {
+                        self.margin(family, temp, criterion)
+                            .map(|m| format!("{m:.3} s"))
+                            .unwrap_or_else(|| "-".into())
+                    })
+                    .collect();
+                t.row(
+                    std::iter::once(family.name().to_string()).chain(cells).collect(),
+                );
+            }
+            out.push_str(&t.render());
+        }
+        out.push_str("\npower savings at the most pessimistic no-error margin:\n");
+        let mut t = TextTable::new(vec!["temp", "margin", "DRAM savings", "system savings"]);
+        for (temp, s) in &self.savings {
+            t.row(vec![
+                format!("{temp:.0}C"),
+                format!("{:.3} s", s.marginal_trefp_s),
+                format!("{:.1} %", s.dram_savings * 100.0),
+                format!("{:.1} %", s.system_savings * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_lookup_and_render() {
+        let report = Fig14Report {
+            points: vec![MarginPoint {
+                family: VirusFamily::Word64,
+                temp_c: 50.0,
+                criterion: SafetyCriterion::NoErrors,
+                marginal_trefp_s: 0.5,
+            }],
+            savings: vec![(50.0, savings_at_margin(0.5, 1.0e6))],
+        };
+        assert_eq!(
+            report.margin(VirusFamily::Word64, 50.0, SafetyCriterion::NoErrors),
+            Some(0.5)
+        );
+        assert_eq!(report.margin(VirusFamily::RowAccess, 50.0, SafetyCriterion::NoErrors), None);
+        assert!(report.render().contains("0.500 s"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Rowhammer-scenario exploration (paper §VI "Security") — an extension
+//! experiment beyond the paper's figures.
+//!
+//! The paper's own access viruses run *cache-filtered* (no `clflush`,
+//! §V-A.4), which is why their Fig. 11 results do not show the classic
+//! ±1-row aggressor signature. This experiment contrasts the two regimes
+//! on the same victim rows:
+//!
+//! * **cached** — the paper's regime: ordinary loads, the cache absorbs
+//!   most of the access stream;
+//! * **flush** — the attacker's regime: every access reaches DRAM
+//!   (`clflush` analogue), raising the activation rate by the inverse miss
+//!   ratio and pushing the nearest same-bank rows deep into saturation.
+
+use crate::error::DStressError;
+use crate::evaluate::Metric;
+use crate::report::TextTable;
+use crate::scale::ExperimentScale;
+use crate::search::{DStress, EnvKind, WORST_WORD};
+use dstress_dram::geometry::RowKey;
+use dstress_vpl::BoundValue;
+use serde::{Deserialize, Serialize};
+
+/// One regime's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeOutcome {
+    /// Regime label.
+    pub regime: String,
+    /// Victim-row CEs per run.
+    pub ce_per_run: f64,
+    /// Total UEs over the runs.
+    pub total_ue: u64,
+    /// Runs stopped by a UE.
+    pub ue_runs: u32,
+}
+
+/// The rowhammer-exploration report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowhammerReport {
+    /// Victim rows under attack.
+    pub victims: Vec<RowKey>,
+    /// Outcomes per regime (data-only, cached hammer, flush hammer).
+    pub regimes: Vec<RegimeOutcome>,
+}
+
+/// Runs the experiment: data-only baseline, cached hammering, and
+/// flush-mode hammering of the nearest same-bank aggressor rows.
+///
+/// # Errors
+///
+/// Propagates profiling and evaluation failures.
+pub fn run(scale: ExperimentScale, seed: u64) -> Result<RowhammerReport, DStressError> {
+    let temp = 60.0;
+    let mut dstress = DStress::new(scale, seed);
+    let victims = dstress.profile_victims(temp, WORST_WORD)?;
+    let metric = Metric::CeInRows(victims.clone());
+
+    // The classic double-sided aggressor selection: only the immediate
+    // same-bank neighbours (chunk offsets ±8 → bits 24 and 39).
+    let mut double_sided = vec![0u64; 64];
+    double_sided[24] = 1; // chunk offset -8 (same bank, row-1)
+    double_sided[39] = 1; // chunk offset +8 (same bank, row+1)
+
+    let mut regimes = Vec::new();
+
+    // Data-only reference.
+    let data = dstress.measure(
+        &EnvKind::Word64,
+        [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into(),
+        temp,
+        metric.clone(),
+    )?;
+    regimes.push(RegimeOutcome {
+        regime: "data-only".into(),
+        ce_per_run: data.fitness,
+        total_ue: data.total_ue,
+        ue_runs: data.ue_runs,
+    });
+
+    // Cached hammering (the paper's regime).
+    let env = EnvKind::RowAccess { victims: victims.clone(), fill: WORST_WORD };
+    let cached = dstress.measure(
+        &env,
+        [("SEL".to_string(), BoundValue::Array(double_sided.clone()))].into(),
+        temp,
+        metric.clone(),
+    )?;
+    regimes.push(RegimeOutcome {
+        regime: "hammer (cached)".into(),
+        ce_per_run: cached.fitness,
+        total_ue: cached.total_ue,
+        ue_runs: cached.ue_runs,
+    });
+
+    // Flush-mode hammering (the attacker's regime): every access reaches
+    // DRAM.
+    let mut flush_scale = dstress.scale;
+    flush_scale.server.access.model_cache = false;
+    let flush_dstress = DStress::new(flush_scale, seed);
+    let flushed = flush_dstress.measure(
+        &env,
+        [("SEL".to_string(), BoundValue::Array(double_sided))].into(),
+        temp,
+        metric,
+    )?;
+    regimes.push(RegimeOutcome {
+        regime: "hammer (clflush)".into(),
+        ce_per_run: flushed.fitness,
+        total_ue: flushed.total_ue,
+        ue_runs: flushed.ue_runs,
+    });
+
+    Ok(RowhammerReport { victims, regimes })
+}
+
+impl RowhammerReport {
+    /// Renders the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Rowhammer exploration (extension, paper §VI Security)\n  victims: {:?}\n",
+            self.victims.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        ));
+        let mut t = TextTable::new(vec!["regime", "victim CEs/run", "UEs", "runs stopped"]);
+        for r in &self.regimes {
+            t.row(vec![
+                r.regime.clone(),
+                format!("{:.1}", r.ce_per_run),
+                r.total_ue.to_string(),
+                r.ue_runs.to_string(),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(
+            "\n(double-sided aggressors at chunk offsets ±8 — the same-bank adjacent rows)\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flush_mode_hammers_at_least_as_hard_as_cached_mode() {
+        let report = run(ExperimentScale::quick(), 41).unwrap();
+        assert_eq!(report.regimes.len(), 3);
+        let data = report.regimes[0].ce_per_run;
+        let cached = report.regimes[1].ce_per_run;
+        let flushed = report.regimes[2].ce_per_run;
+        // Stress ordering: hammering >= data-only; flush >= cached (both
+        // may saturate at the same plateau).
+        assert!(cached >= data, "cached hammer {cached} vs data {data}");
+        assert!(flushed >= cached * 0.99, "flush {flushed} vs cached {cached}");
+        assert!(!report.render().is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! The classic data-pattern micro-benchmarks used for DRAM characterization
+//! (paper §V-A.1, Fig. 8e): MSCAN all-0s/all-1s, checkerboard, walking 0s,
+//! walking 1s, and a randomized pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A traditional DRAM-test data pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Baseline {
+    /// MSCAN: every bit `0`.
+    All0s,
+    /// MSCAN: every bit `1`.
+    All1s,
+    /// Alternating `0101…` (bit-level checkerboard).
+    Checkerboard,
+    /// A single `0` walking through a field of `1`s, one position per word.
+    Walking0s,
+    /// A single `1` walking through a field of `0`s.
+    Walking1s,
+    /// Uniformly random data (seeded).
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+}
+
+impl Baseline {
+    /// All baselines the paper compares against, in Fig. 8e order.
+    pub fn all(random_seed: u64) -> Vec<Baseline> {
+        vec![
+            Baseline::All0s,
+            Baseline::All1s,
+            Baseline::Checkerboard,
+            Baseline::Walking0s,
+            Baseline::Walking1s,
+            Baseline::Random { seed: random_seed },
+        ]
+    }
+
+    /// Human-readable name (matches the paper's figure labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::All0s => "all0s",
+            Baseline::All1s => "all1s",
+            Baseline::Checkerboard => "checkerboard",
+            Baseline::Walking0s => "walking0s",
+            Baseline::Walking1s => "walking1s",
+            Baseline::Random { .. } => "random",
+        }
+    }
+
+    /// The 64-word cycle this micro-benchmark fills memory with.
+    pub fn cycle(&self) -> Vec<u64> {
+        match self {
+            Baseline::All0s => vec![0; 64],
+            Baseline::All1s => vec![u64::MAX; 64],
+            Baseline::Checkerboard => vec![0x5555_5555_5555_5555; 64],
+            Baseline::Walking0s => (0..64).map(|i| !(1u64 << i)).collect(),
+            Baseline::Walking1s => (0..64).map(|i| 1u64 << i).collect(),
+            Baseline::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                (0..64).map(|_| rng.gen()).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_six_baselines() {
+        let all = Baseline::all(1);
+        assert_eq!(all.len(), 6);
+        let names: Vec<&str> = all.iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec!["all0s", "all1s", "checkerboard", "walking0s", "walking1s", "random"]
+        );
+    }
+
+    #[test]
+    fn cycles_have_64_words() {
+        for b in Baseline::all(2) {
+            assert_eq!(b.cycle().len(), 64, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn walking_patterns_walk() {
+        let w0 = Baseline::Walking0s.cycle();
+        assert_eq!(w0[0], !1u64);
+        assert_eq!(w0[63], !(1u64 << 63));
+        for (i, w) in w0.iter().enumerate() {
+            assert_eq!(w.count_ones(), 63, "word {i}");
+        }
+        let w1 = Baseline::Walking1s.cycle();
+        for w in &w1 {
+            assert_eq!(w.count_ones(), 1);
+        }
+        assert_eq!(w1[5], 1 << 5);
+    }
+
+    #[test]
+    fn random_is_seeded_and_reproducible() {
+        assert_eq!(Baseline::Random { seed: 9 }.cycle(), Baseline::Random { seed: 9 }.cycle());
+        assert_ne!(Baseline::Random { seed: 9 }.cycle(), Baseline::Random { seed: 10 }.cycle());
+    }
+
+    #[test]
+    fn uniform_patterns_are_uniform() {
+        assert!(Baseline::All0s.cycle().iter().all(|&w| w == 0));
+        assert!(Baseline::All1s.cycle().iter().all(|&w| w == u64::MAX));
+        assert!(Baseline::Checkerboard
+            .cycle()
+            .iter()
+            .all(|&w| w == 0x5555_5555_5555_5555));
+    }
+}

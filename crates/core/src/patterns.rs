@@ -1,0 +1,153 @@
+//! Chromosome ↔ template-binding codecs.
+//!
+//! The GA works on genomes; the template interpreter works on
+//! [`BoundValue`] bindings. Each search family has a codec mapping one to
+//! the other, in the parameter order the template declares (which defines
+//! the chromosome layout, §III-D).
+
+use dstress_ga::{BitGenome, Genome, IntGenome};
+use dstress_vpl::BoundValue;
+use std::collections::HashMap;
+
+/// How a [`BitGenome`] maps onto template parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitCodec {
+    /// A single 64-bit word bound to one scalar parameter (the 64-bit
+    /// data-pattern search, Fig. 8).
+    Word64 {
+        /// Parameter name (`PATTERN`).
+        param: String,
+    },
+    /// The genome split into equal word-array segments bound to several
+    /// array parameters in order (the 24 KB row-triple patterns, Fig. 9,
+    /// and the chunk-span patterns, Fig. 10).
+    WordArrays {
+        /// `(parameter name, length in 64-bit words)` per segment.
+        segments: Vec<(String, usize)>,
+    },
+    /// Each bit becomes one 0/1 element of an integer array parameter (the
+    /// row-selection access virus, Fig. 11).
+    BitFlags {
+        /// Parameter name (`SEL`).
+        param: String,
+    },
+}
+
+impl BitCodec {
+    /// Chromosome length in bits for this codec.
+    pub fn genome_bits(&self) -> usize {
+        match self {
+            BitCodec::Word64 { .. } => 64,
+            BitCodec::WordArrays { segments } => {
+                segments.iter().map(|(_, words)| words * 64).sum()
+            }
+            BitCodec::BitFlags { .. } => 64,
+        }
+    }
+
+    /// Converts a chromosome into template bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome length does not match [`Self::genome_bits`].
+    pub fn bindings(&self, genome: &BitGenome) -> HashMap<String, BoundValue> {
+        assert_eq!(genome.len(), self.genome_bits(), "genome length mismatch for {self:?}");
+        let mut out = HashMap::new();
+        match self {
+            BitCodec::Word64 { param } => {
+                out.insert(param.clone(), BoundValue::Scalar(genome.to_words()[0]));
+            }
+            BitCodec::WordArrays { segments } => {
+                let words = genome.to_words();
+                let mut cursor = 0usize;
+                for (name, len) in segments {
+                    out.insert(
+                        name.clone(),
+                        BoundValue::Array(words[cursor..cursor + len].to_vec()),
+                    );
+                    cursor += len;
+                }
+            }
+            BitCodec::BitFlags { param } => {
+                let flags: Vec<u64> = (0..genome.len()).map(|i| genome.bit(i) as u64).collect();
+                out.insert(param.clone(), BoundValue::Array(flags));
+            }
+        }
+        out
+    }
+}
+
+/// Maps an [`IntGenome`] onto one integer-array parameter (the stride
+/// coefficients of access template 2, Fig. 12).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntCodec {
+    /// Parameter name (`COEFFS`).
+    pub param: String,
+}
+
+impl IntCodec {
+    /// Converts a chromosome into template bindings.
+    pub fn bindings(&self, genome: &IntGenome) -> HashMap<String, BoundValue> {
+        let mut out = HashMap::new();
+        out.insert(self.param.clone(), BoundValue::Array(genome.values().to_vec()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn word64_codec_roundtrip() {
+        let codec = BitCodec::Word64 { param: "PATTERN".into() };
+        assert_eq!(codec.genome_bits(), 64);
+        let g = BitGenome::from_words(&[0x3333_3333_3333_3333], 64);
+        let b = codec.bindings(&g);
+        assert_eq!(b["PATTERN"], BoundValue::Scalar(0x3333_3333_3333_3333));
+    }
+
+    #[test]
+    fn word_arrays_codec_splits_in_order() {
+        let codec = BitCodec::WordArrays {
+            segments: vec![("A".into(), 2), ("B".into(), 1)],
+        };
+        assert_eq!(codec.genome_bits(), 192);
+        let g = BitGenome::from_words(&[1, 2, 3], 192);
+        let b = codec.bindings(&g);
+        assert_eq!(b["A"], BoundValue::Array(vec![1, 2]));
+        assert_eq!(b["B"], BoundValue::Array(vec![3]));
+    }
+
+    #[test]
+    fn bit_flags_codec_exposes_bits() {
+        let codec = BitCodec::BitFlags { param: "SEL".into() };
+        let g = BitGenome::from_words(&[0b1010], 64);
+        let b = codec.bindings(&g);
+        match &b["SEL"] {
+            BoundValue::Array(flags) => {
+                assert_eq!(flags.len(), 64);
+                assert_eq!(&flags[..4], &[0, 1, 0, 1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "genome length mismatch")]
+    fn codec_validates_length() {
+        let codec = BitCodec::Word64 { param: "P".into() };
+        codec.bindings(&BitGenome::zeros(32));
+    }
+
+    #[test]
+    fn int_codec_copies_values() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = IntGenome::random(&mut rng, 32, 0, 20);
+        let codec = IntCodec { param: "COEFFS".into() };
+        let b = codec.bindings(&g);
+        assert_eq!(b["COEFFS"], BoundValue::Array(g.values().to_vec()));
+    }
+}

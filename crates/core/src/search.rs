@@ -1,0 +1,922 @@
+//! Search campaigns: the synthesis phase wired to the evaluation phase
+//! (paper Fig. 4).
+
+use crate::error::DStressError;
+use crate::evaluate::{BitFitness, IntFitness, Metric, VirusEvaluator};
+use crate::patterns::{BitCodec, IntCodec};
+use crate::scale::ExperimentScale;
+use crate::templates;
+use dstress_dram::geometry::RowKey;
+use dstress_ga::{
+    BitGenome, GaEngine, Genome, IntGenome, SearchResult, VirusDatabase, VirusRecord,
+};
+use dstress_platform::{RowErrors, XGene2Server};
+use dstress_vpl::BoundValue;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The 64-bit word the TTAA cell layout is most stressed by — repeating
+/// `1100` in bit order, the paper's headline discovery (§V-A.1). The GA is
+/// expected to *find* this; experiments verify it does.
+pub const WORST_WORD: u64 = 0x3333_3333_3333_3333;
+
+/// The opposite phase: discharges nearly every cell (the best-case pattern
+/// of Fig. 8c).
+pub const BEST_WORD: u64 = 0xCCCC_CCCC_CCCC_CCCC;
+
+/// The environment a virus template runs in: which template it is and the
+/// campaign-fixed inputs it needs (victim rows, fill word…). Bindings are
+/// recomputed from the scale so the same artifact can be re-run under
+/// different operating parameters (the Fig. 14 margin sweeps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EnvKind {
+    /// The 64-bit data-pattern virus (whole-memory fill).
+    Word64,
+    /// The row-triple ("24 KB") data-pattern virus around victim rows.
+    RowTriple {
+        /// The error-prone rows the patterns centre on.
+        victims: Vec<RowKey>,
+    },
+    /// The chunk-span ("512 KB") data-pattern virus around victim rows.
+    Chunks {
+        /// The error-prone rows the spans cover.
+        victims: Vec<RowKey>,
+    },
+    /// Access template 1 (neighbour-row bitmap), memory pre-filled with
+    /// `fill`.
+    RowAccess {
+        /// The error-prone rows whose neighbours are hammered.
+        victims: Vec<RowKey>,
+        /// The data pattern the memory is filled with first.
+        fill: u64,
+    },
+    /// Access template 2 (per-row strides), memory pre-filled with `fill`.
+    StrideAccess {
+        /// The error-prone rows whose neighbours are accessed.
+        victims: Vec<RowKey>,
+        /// The data pattern the memory is filled with first.
+        fill: u64,
+    },
+    /// A classic micro-benchmark fill cycling 64 words.
+    CycleFill {
+        /// The 64-word cycle written across memory.
+        cycle: Vec<u64>,
+    },
+}
+
+impl EnvKind {
+    /// The template source this environment belongs to.
+    pub fn template_source(&self) -> &'static str {
+        match self {
+            EnvKind::Word64 => templates::WORD64,
+            EnvKind::RowTriple { .. } => templates::ROW_TRIPLE,
+            EnvKind::Chunks { .. } => templates::CHUNKS,
+            EnvKind::RowAccess { .. } => templates::ROW_ACCESS,
+            EnvKind::StrideAccess { .. } => templates::STRIDE_ACCESS,
+            EnvKind::CycleFill { .. } => templates::CYCLE_FILL,
+        }
+    }
+
+    /// Rows the template's `global_data` occupies before the big buffer.
+    fn globals_rows(&self, scale: &ExperimentScale) -> u64 {
+        let row_words = scale.row_words();
+        let rows_for = |words: u64| words.div_ceil(row_words);
+        match self {
+            EnvKind::Word64 => 0,
+            EnvKind::RowTriple { victims } => {
+                3 * rows_for(row_words) + rows_for(victims.len() as u64)
+            }
+            EnvKind::Chunks { victims } => {
+                rows_for(64 * row_words) + rows_for(victims.len() as u64)
+            }
+            EnvKind::RowAccess { victims, .. } => {
+                rows_for(64) + rows_for(victims.len() as u64 * 64)
+            }
+            EnvKind::StrideAccess { victims, .. } => {
+                rows_for(32) + rows_for(victims.len() as u64 * 16)
+            }
+            EnvKind::CycleFill { .. } => rows_for(64),
+        }
+    }
+
+    /// The victim rows, if this environment has any.
+    pub fn victims(&self) -> &[RowKey] {
+        match self {
+            EnvKind::RowTriple { victims }
+            | EnvKind::Chunks { victims }
+            | EnvKind::RowAccess { victims, .. }
+            | EnvKind::StrideAccess { victims, .. } => victims,
+            _ => &[],
+        }
+    }
+
+    /// Builds the environment bindings for a scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DStressError::Config`] when a victim row cannot host the
+    /// template's neighbourhood inside the buffer.
+    pub fn bindings(
+        &self,
+        scale: &ExperimentScale,
+    ) -> Result<HashMap<String, BoundValue>, DStressError> {
+        let row_words = scale.row_words();
+        let globals_rows = self.globals_rows(scale);
+        let buf_base_words = globals_rows * row_words;
+        let total_words = scale.dimm_words();
+        let mem_words = total_words - buf_base_words;
+        let mut env: HashMap<String, BoundValue> = [
+            ("MEM_BYTES".to_string(), BoundValue::Scalar(mem_words * 8)),
+            ("MEM_WORDS".to_string(), BoundValue::Scalar(mem_words)),
+            ("ROW_WORDS".to_string(), BoundValue::Scalar(row_words)),
+        ]
+        .into_iter()
+        .collect();
+
+        let chunk_of = |row: &RowKey| -> u64 {
+            let geo = &scale.server.dimm.geometry;
+            (row.rank as u64 * geo.rows_per_bank as u64 + row.row as u64) * geo.banks as u64
+                + row.bank as u64
+        };
+        let offset_of = |chunk: u64| -> Result<u64, DStressError> {
+            let words = chunk * row_words;
+            if words < buf_base_words {
+                return Err(DStressError::Config(format!(
+                    "chunk {chunk} lies inside the template's global data"
+                )));
+            }
+            Ok(words - buf_base_words)
+        };
+        let total_chunks = total_words / row_words;
+
+        match self {
+            EnvKind::Word64 => {}
+            EnvKind::RowTriple { victims } => {
+                let stride_chunks = scale.server.dimm.geometry.banks as u64;
+                let mut offs = Vec::with_capacity(victims.len());
+                for v in victims {
+                    let c = chunk_of(v);
+                    if c < stride_chunks + globals_rows || c + stride_chunks >= total_chunks {
+                        return Err(DStressError::Config(format!(
+                            "victim {v} has no same-bank neighbours inside the buffer"
+                        )));
+                    }
+                    offs.push(offset_of(c)?);
+                }
+                env.insert("VICTIM_OFFS".into(), BoundValue::Array(offs));
+                env.insert("NV".into(), BoundValue::Scalar(victims.len() as u64));
+                env.insert(
+                    "BANK_STRIDE".into(),
+                    BoundValue::Scalar(scale.bank_stride_words()),
+                );
+                env.insert("FILL".into(), BoundValue::Scalar(0));
+            }
+            EnvKind::Chunks { victims } => {
+                let mut starts = Vec::with_capacity(victims.len());
+                for v in victims {
+                    let c = chunk_of(v);
+                    let start = c.saturating_sub(32).max(globals_rows);
+                    if start + 64 > total_chunks {
+                        return Err(DStressError::Config(format!(
+                            "victim {v} has no 64-chunk span inside the buffer"
+                        )));
+                    }
+                    starts.push(offset_of(start)?);
+                }
+                env.insert("CHUNK_STARTS".into(), BoundValue::Array(starts));
+                env.insert("NV".into(), BoundValue::Scalar(victims.len() as u64));
+                env.insert("SPAN_WORDS".into(), BoundValue::Scalar(64 * row_words));
+                env.insert("FILL".into(), BoundValue::Scalar(0));
+            }
+            EnvKind::RowAccess { victims, fill } => {
+                let mut neigh = Vec::with_capacity(victims.len() * 64);
+                for v in victims {
+                    let c = chunk_of(v);
+                    if c < 32 + globals_rows || c + 32 >= total_chunks {
+                        return Err(DStressError::Config(format!(
+                            "victim {v} has no +-32-chunk neighbourhood inside the buffer"
+                        )));
+                    }
+                    // r = 0..32 -> predecessors c-32 .. c-1;
+                    // r = 32..64 -> successors c+1 .. c+32.
+                    for r in 0..64u64 {
+                        let chunk = if r < 32 { c - 32 + r } else { c + (r - 31) };
+                        neigh.push(offset_of(chunk)?);
+                    }
+                }
+                env.insert("NEIGH_OFFS".into(), BoundValue::Array(neigh));
+                env.insert("NV".into(), BoundValue::Scalar(victims.len() as u64));
+                env.insert("FILL".into(), BoundValue::Scalar(*fill));
+                env.insert("REPS".into(), BoundValue::Scalar(64));
+            }
+            EnvKind::StrideAccess { victims, fill } => {
+                let mut neigh = Vec::with_capacity(victims.len() * 16);
+                for v in victims {
+                    let c = chunk_of(v);
+                    if c < 8 + globals_rows || c + 8 >= total_chunks {
+                        return Err(DStressError::Config(format!(
+                            "victim {v} has no +-8-chunk neighbourhood inside the buffer"
+                        )));
+                    }
+                    for r in 0..16u64 {
+                        let chunk = if r < 8 { c - 8 + r } else { c + (r - 7) };
+                        neigh.push(offset_of(chunk)?);
+                    }
+                }
+                env.insert("NEIGH16_OFFS".into(), BoundValue::Array(neigh));
+                env.insert("NV".into(), BoundValue::Scalar(victims.len() as u64));
+                env.insert("FILL".into(), BoundValue::Scalar(*fill));
+                env.insert("X_ITERS".into(), BoundValue::Scalar(scale.stride_iters));
+            }
+            EnvKind::CycleFill { cycle } => {
+                if cycle.len() != 64 {
+                    return Err(DStressError::Config(format!(
+                        "cycle fill needs exactly 64 words, got {}",
+                        cycle.len()
+                    )));
+                }
+                env.insert("CYCLE".into(), BoundValue::Array(cycle.clone()));
+            }
+        }
+        Ok(env)
+    }
+}
+
+/// Picks victim (error-prone) rows for the neighbour-row experiments from a
+/// profiling run's per-row error tallies, enforcing the buffer-margin
+/// constraints of every template and a minimum spacing so neighbourhoods do
+/// not overlap.
+pub fn pick_victims(
+    row_errors: &[RowErrors],
+    scale: &ExperimentScale,
+    target_mcu: usize,
+    wanted: usize,
+) -> Vec<RowKey> {
+    let geo = &scale.server.dimm.geometry;
+    let total_chunks = scale.dimm_words() / scale.row_words();
+    // The chunk-span template has the largest global-data prefix (65 rows).
+    let min_chunk = 65 + 32;
+    let chunk_of = |row: &RowKey| -> u64 {
+        (row.rank as u64 * geo.rows_per_bank as u64 + row.row as u64) * geo.banks as u64
+            + row.bank as u64
+    };
+    let mut victims: Vec<RowKey> = Vec::new();
+    for e in row_errors {
+        if e.mcu != target_mcu {
+            continue;
+        }
+        let c = chunk_of(&e.row);
+        if c < min_chunk || c + 33 > total_chunks {
+            continue;
+        }
+        if victims.iter().any(|v| chunk_of(v).abs_diff(c) < 80) {
+            continue;
+        }
+        victims.push(e.row);
+        if victims.len() == wanted {
+            break;
+        }
+    }
+    victims
+}
+
+/// How a bit-genome campaign's initial population is drawn (paper §III-E:
+/// "the chromosomes from the first offspring are generated randomly";
+/// §III-F: continuation searches start from the discovered worst-case
+/// viruses in the database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seeding {
+    /// Fully random initial population.
+    Random,
+    /// A slice of the chromosome (64-bit words `[start, start+len)`) is
+    /// seeded with a known word in every member; the rest stays random.
+    /// The neighbour-row pattern searches use this to start from the
+    /// already-discovered worst 64-bit pattern *in the victim rows* while
+    /// exploring the surrounding rows freely.
+    WordSlice {
+        /// The known word.
+        word: u64,
+        /// First seeded word index.
+        start: usize,
+        /// Seeded length in words.
+        len: usize,
+    },
+}
+
+impl Seeding {
+    fn initial_genome(&self, rng: &mut rand::rngs::StdRng, bits: usize) -> BitGenome {
+        match self {
+            Seeding::Random => BitGenome::random(rng, bits),
+            Seeding::WordSlice { word, start, len } => {
+                let mut g = BitGenome::random(rng, bits);
+                for w in *start..(*start + *len) {
+                    for b in 0..64 {
+                        let idx = w * 64 + b;
+                        if idx < bits {
+                            g.set_bit(idx, (word >> b) & 1 == 1);
+                        }
+                    }
+                }
+                g
+            }
+        }
+    }
+}
+
+/// A finished search campaign over bit genomes.
+#[derive(Debug, Clone)]
+pub struct BitCampaign {
+    /// Campaign identifier (database key).
+    pub name: String,
+    /// The GA outcome.
+    pub result: SearchResult<BitGenome>,
+    /// The environment the viruses ran in.
+    pub env: EnvKind,
+    /// Evaluations that failed at runtime.
+    pub failed_evaluations: u64,
+}
+
+/// A finished search campaign over integer genomes.
+#[derive(Debug, Clone)]
+pub struct IntCampaign {
+    /// Campaign identifier (database key).
+    pub name: String,
+    /// The GA outcome.
+    pub result: SearchResult<IntGenome>,
+    /// The environment the viruses ran in.
+    pub env: EnvKind,
+    /// Evaluations that failed at runtime.
+    pub failed_evaluations: u64,
+}
+
+/// The DStress framework facade: processing + synthesis + evaluation phases
+/// over a simulated experimental server (paper Fig. 4).
+#[derive(Debug)]
+pub struct DStress {
+    /// The campaign scale.
+    pub scale: ExperimentScale,
+    /// The virus database (§III-F).
+    pub db: VirusDatabase,
+    seed: u64,
+    campaign_seq: u64,
+}
+
+impl DStress {
+    /// Creates a framework instance.
+    pub fn new(scale: ExperimentScale, seed: u64) -> Self {
+        DStress { scale, db: VirusDatabase::new(), seed, campaign_seq: 0 }
+    }
+
+    /// Boots the experimental server: the paper's §IV memory configuration
+    /// (second domain relaxed) with DIMM2 heated to `temp_c`.
+    pub fn server_at(&self, temp_c: f64) -> XGene2Server {
+        let mut server = XGene2Server::new(self.scale.server);
+        server.relax_second_domain();
+        server.set_dimm_temperature(2, temp_c);
+        server
+    }
+
+    /// Builds an evaluator for an environment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template processing and environment-binding failures.
+    pub fn evaluator(
+        &self,
+        env: &EnvKind,
+        temp_c: f64,
+        metric: Metric,
+    ) -> Result<VirusEvaluator, DStressError> {
+        let template = templates::process(env.template_source(), &self.scale)?;
+        let bindings = env.bindings(&self.scale)?;
+        Ok(VirusEvaluator::new(
+            self.server_at(temp_c),
+            template,
+            bindings,
+            metric,
+            self.scale.runs_per_virus,
+            2,
+        ))
+    }
+
+    fn next_campaign_seed(&mut self) -> u64 {
+        self.campaign_seq += 1;
+        self.seed.wrapping_add(self.campaign_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn record_bit_leaderboard(&mut self, name: &str, result: &SearchResult<BitGenome>) {
+        for (genome, fitness) in &result.leaderboard {
+            self.db.record(VirusRecord {
+                campaign: name.to_string(),
+                genes: genome.to_words(),
+                gene_len: genome.len(),
+                fitness: *fitness,
+                ce: fitness.max(0.0) as u64,
+                ue: 0,
+                sequence: 0,
+            });
+        }
+    }
+
+    /// Runs a bit-genome campaign: GA search with the given codec over the
+    /// given environment, recording the leaderboard in the database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator construction failures.
+    pub fn run_bit_campaign(
+        &mut self,
+        name: &str,
+        env: EnvKind,
+        codec: BitCodec,
+        temp_c: f64,
+        metric: Metric,
+        minimize: bool,
+        seeding: Seeding,
+    ) -> Result<BitCampaign, DStressError> {
+        let mut evaluator = self.evaluator(&env, temp_c, metric)?;
+        let mut ga_config = self.scale.ga;
+        ga_config.minimize = minimize;
+        let bits = codec.genome_bits();
+        if bits > 1024 {
+            // Large pattern chromosomes: only a sparse subset of bits moves
+            // the fitness (the weak cells and their coupled neighbours), so
+            // give mutation more reach and the stagnation check more
+            // patience — the paper's large-pattern searches ran for two
+            // weeks where the 64-bit ones took one.
+            ga_config.gene_rate = Some(4.0 / bits as f64);
+            ga_config.stagnation_window = ga_config.stagnation_window.max(40);
+        }
+        let seed = self.next_campaign_seed();
+        let mut engine = GaEngine::new(ga_config, seed);
+        let mut fitness = BitFitness { evaluator: &mut evaluator, codec: codec.clone() };
+        let result = engine.run(|rng| seeding.initial_genome(rng, bits), &mut fitness);
+        let failed = evaluator.failed_evaluations;
+        self.record_bit_leaderboard(name, &result);
+        Ok(BitCampaign { name: name.to_string(), result, env, failed_evaluations: failed })
+    }
+
+    /// Runs an integer-genome campaign (the stride access search).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator construction failures.
+    pub fn run_int_campaign(
+        &mut self,
+        name: &str,
+        env: EnvKind,
+        codec: IntCodec,
+        temp_c: f64,
+        metric: Metric,
+        genes: usize,
+        lo: u64,
+        hi: u64,
+    ) -> Result<IntCampaign, DStressError> {
+        let mut evaluator = self.evaluator(&env, temp_c, metric)?;
+        let ga_config = self.scale.ga;
+        let seed = self.next_campaign_seed();
+        let mut engine = GaEngine::new(ga_config, seed);
+        let mut fitness = IntFitness { evaluator: &mut evaluator, codec };
+        let result = engine.run(|rng| IntGenome::random(rng, genes, lo, hi), &mut fitness);
+        for (genome, fit) in &result.leaderboard {
+            self.db.record(VirusRecord {
+                campaign: name.to_string(),
+                genes: genome.values().to_vec(),
+                gene_len: genome.len(),
+                fitness: *fit,
+                ce: fit.max(0.0) as u64,
+                ue: 0,
+                sequence: 0,
+            });
+        }
+        let failed = evaluator.failed_evaluations;
+        Ok(IntCampaign { name: name.to_string(), result, env, failed_evaluations: failed })
+    }
+
+    /// The 64-bit data-pattern search (Fig. 8a/b: maximize CEs; Fig. 8c:
+    /// minimize; Fig. 8d: maximize UE runs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign failures.
+    pub fn search_word64(
+        &mut self,
+        temp_c: f64,
+        metric: Metric,
+        minimize: bool,
+    ) -> Result<BitCampaign, DStressError> {
+        let name = format!(
+            "word64-{}-{}C",
+            match (&metric, minimize) {
+                (Metric::UeRuns, _) => "ue",
+                (_, true) => "ce-min",
+                (_, false) => "ce-max",
+            },
+            temp_c as i64
+        );
+        self.run_bit_campaign(
+            &name,
+            EnvKind::Word64,
+            BitCodec::Word64 { param: "PATTERN".into() },
+            temp_c,
+            metric,
+            minimize,
+            Seeding::Random,
+        )
+    }
+
+    /// Profiles error-prone rows: runs the given 64-bit fill word and
+    /// aggregates per-row CE counts over several runs (the paper collected
+    /// error addresses from all prior experiments, §V-A.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator failures; fails if no rows erred.
+    pub fn profile_victims(&mut self, temp_c: f64, fill: u64) -> Result<Vec<RowKey>, DStressError> {
+        let mut evaluator = self.evaluator(&EnvKind::Word64, temp_c, Metric::CeAverage)?;
+        evaluator
+            .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(fill))].into())?;
+        // Re-run directly to gather row errors across several nonces.
+        let mut tallies: HashMap<RowKey, u64> = HashMap::new();
+        let template = templates::process(templates::WORD64, &self.scale)?;
+        let mut bindings = EnvKind::Word64.bindings(&self.scale)?;
+        bindings.insert("PATTERN".into(), BoundValue::Scalar(fill));
+        let program = template.instantiate(&bindings)?;
+        let server = evaluator.server_mut();
+        server.reset_memory();
+        let mut session = server.session(2);
+        dstress_vpl::Interpreter::new(dstress_vpl::ExecLimits::default())
+            .run(&program, &mut session)
+            .map_err(DStressError::from)?;
+        let run = session.finish();
+        for outcome in server.evaluate_runs(&run, self.scale.runs_per_virus, 0xF00D) {
+            for e in &outcome.row_errors {
+                if e.mcu == 2 {
+                    *tallies.entry(e.row).or_insert(0) += e.ce;
+                }
+            }
+        }
+        if tallies.is_empty() {
+            return Err(DStressError::Experiment(
+                "no error-prone rows manifested during profiling".into(),
+            ));
+        }
+        let mut rows: Vec<RowErrors> = tallies
+            .into_iter()
+            .map(|(row, ce)| RowErrors { mcu: 2, row, ce, ue: 0 })
+            .collect();
+        rows.sort_by(|a, b| b.ce.cmp(&a.ce).then(a.row.cmp(&b.row)));
+        let victims = pick_victims(&rows, &self.scale, 2, self.scale.victims);
+        if victims.is_empty() {
+            return Err(DStressError::Experiment(
+                "no victim rows satisfy the neighbourhood margins".into(),
+            ));
+        }
+        Ok(victims)
+    }
+
+    /// The row-triple ("24 KB") data-pattern search (Fig. 9).
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign failures.
+    pub fn search_row_triple(
+        &mut self,
+        temp_c: f64,
+        victims: Vec<RowKey>,
+    ) -> Result<BitCampaign, DStressError> {
+        let row_words = self.scale.row_words() as usize;
+        let metric = Metric::CeInRows(victims.clone());
+        self.run_bit_campaign(
+            &format!("row-triple-ce-{}C", temp_c as i64),
+            EnvKind::RowTriple { victims },
+            BitCodec::WordArrays {
+                segments: vec![
+                    ("PREV_PATTERN".into(), row_words),
+                    ("VICTIM_PATTERN".into(), row_words),
+                    ("NEXT_PATTERN".into(), row_words),
+                ],
+            },
+            temp_c,
+            metric,
+            false,
+            // Victim slice starts from the known worst word (§III-F);
+            // neighbour rows explore freely.
+            Seeding::WordSlice { word: WORST_WORD, start: row_words, len: row_words },
+        )
+    }
+
+    /// The chunk-span ("512 KB") data-pattern search (Fig. 10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign failures.
+    pub fn search_chunks(
+        &mut self,
+        temp_c: f64,
+        victims: Vec<RowKey>,
+    ) -> Result<BitCampaign, DStressError> {
+        let row_words = self.scale.row_words() as usize;
+        let metric = Metric::CeInRows(victims.clone());
+        self.run_bit_campaign(
+            &format!("chunks-ce-{}C", temp_c as i64),
+            EnvKind::Chunks { victims },
+            BitCodec::WordArrays {
+                segments: vec![("CHUNK_PATTERN".into(), 64 * row_words)],
+            },
+            temp_c,
+            metric,
+            false,
+            // The victim row sits 32 chunks into the span.
+            Seeding::WordSlice { word: WORST_WORD, start: 32 * row_words, len: row_words },
+        )
+    }
+
+    /// Access-pattern search, template 1 (Fig. 11): which neighbour rows to
+    /// stream, memory pre-filled with the worst 64-bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign failures.
+    pub fn search_row_access(
+        &mut self,
+        temp_c: f64,
+        victims: Vec<RowKey>,
+        fill: u64,
+    ) -> Result<BitCampaign, DStressError> {
+        let metric = Metric::CeInRows(victims.clone());
+        self.run_bit_campaign(
+            &format!("row-access-ce-{}C", temp_c as i64),
+            EnvKind::RowAccess { victims, fill },
+            BitCodec::BitFlags { param: "SEL".into() },
+            temp_c,
+            metric,
+            false,
+            Seeding::Random,
+        )
+    }
+
+    /// Access-pattern search, template 2 (Fig. 12): per-row stride
+    /// coefficients `aᵢ·x + bᵢ` with `aᵢ, bᵢ ∈ [0, 20]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign failures.
+    pub fn search_stride_access(
+        &mut self,
+        temp_c: f64,
+        victims: Vec<RowKey>,
+        fill: u64,
+    ) -> Result<IntCampaign, DStressError> {
+        let metric = Metric::CeInRows(victims.clone());
+        self.run_int_campaign(
+            &format!("stride-access-ce-{}C", temp_c as i64),
+            EnvKind::StrideAccess { victims, fill },
+            IntCodec { param: "COEFFS".into() },
+            temp_c,
+            metric,
+            32,
+            0,
+            20,
+        )
+    }
+
+    /// Measures a single concrete virus (no search): used for baselines and
+    /// cross-experiment comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn measure(
+        &self,
+        env: &EnvKind,
+        chromosome: HashMap<String, BoundValue>,
+        temp_c: f64,
+        metric: Metric,
+    ) -> Result<crate::evaluate::EvalOutcome, DStressError> {
+        let mut evaluator = self.evaluator(env, temp_c, metric)?;
+        evaluator.evaluate_bindings(chromosome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scale() -> ExperimentScale {
+        ExperimentScale::quick()
+    }
+
+    #[test]
+    fn word64_env_has_no_globals() {
+        let s = scale();
+        let env = EnvKind::Word64.bindings(&s).unwrap();
+        assert_eq!(env["MEM_WORDS"], BoundValue::Scalar(s.dimm_words()));
+    }
+
+    #[test]
+    fn row_triple_env_accounts_for_globals() {
+        let s = scale();
+        let victims = vec![RowKey::new(0, 0, 13)];
+        let kind = EnvKind::RowTriple { victims };
+        let env = kind.bindings(&s).unwrap();
+        // 3 pattern rows + 1 victims row before the buffer.
+        let expected_words = s.dimm_words() - 4 * s.row_words();
+        assert_eq!(env["MEM_WORDS"], BoundValue::Scalar(expected_words));
+        match &env["VICTIM_OFFS"] {
+            BoundValue::Array(offs) => {
+                // Victim (rank0, bank0, row13): chunk 13*8 = 104; offset
+                // = 104 rows - 4 globals rows, in words.
+                assert_eq!(offs[0], (104 - 4) * s.row_words());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_triple_rejects_edge_victims() {
+        let s = scale();
+        let kind = EnvKind::RowTriple { victims: vec![RowKey::new(0, 0, 0)] };
+        assert!(matches!(kind.bindings(&s), Err(DStressError::Config(_))));
+    }
+
+    #[test]
+    fn row_access_neighbourhood_layout() {
+        let s = scale();
+        let victim = RowKey::new(0, 0, 13); // chunk 104
+        let kind = EnvKind::RowAccess { victims: vec![victim], fill: WORST_WORD };
+        let env = kind.bindings(&s).unwrap();
+        let globals_rows = 2;
+        match &env["NEIGH_OFFS"] {
+            BoundValue::Array(offs) => {
+                assert_eq!(offs.len(), 64);
+                // r=31 is the immediate predecessor chunk 103.
+                assert_eq!(offs[31], (103 - globals_rows) * s.row_words());
+                // r=32 is the immediate successor chunk 105.
+                assert_eq!(offs[32], (105 - globals_rows) * s.row_words());
+                // r=0 is chunk 104-32 = 72.
+                assert_eq!(offs[0], (72 - globals_rows) * s.row_words());
+                // r=63 is chunk 104+32 = 136.
+                assert_eq!(offs[63], (136 - globals_rows) * s.row_words());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cycle_fill_validates_length() {
+        let s = scale();
+        assert!(EnvKind::CycleFill { cycle: vec![0; 63] }.bindings(&s).is_err());
+        assert!(EnvKind::CycleFill { cycle: vec![0; 64] }.bindings(&s).is_ok());
+    }
+
+    #[test]
+    fn pick_victims_respects_margins_and_spacing() {
+        let s = scale();
+        // Synthesize row errors over many rows of mcu 2.
+        let mut rows = Vec::new();
+        for bank in 0..8u8 {
+            for row in 0..16u32 {
+                rows.push(RowErrors {
+                    mcu: 2,
+                    row: RowKey::new(1, bank, row),
+                    ce: (bank as u64 + 1) * (row as u64 + 1),
+                    ue: 0,
+                });
+            }
+        }
+        rows.sort_by(|a, b| b.ce.cmp(&a.ce));
+        let victims = pick_victims(&rows, &s, 2, 4);
+        assert!(!victims.is_empty());
+        let chunk_of = |r: &RowKey| {
+            (r.rank as u64 * 16 + r.row as u64) * 8 + r.bank as u64
+        };
+        for v in &victims {
+            let c = chunk_of(v);
+            assert!(c >= 97, "victim chunk {c} violates the global-data margin");
+            assert!(c + 33 <= 256);
+        }
+        for (i, a) in victims.iter().enumerate() {
+            for b in &victims[i + 1..] {
+                assert!(chunk_of(a).abs_diff(chunk_of(b)) >= 80);
+            }
+        }
+        // Rows from other MCUs are ignored.
+        let foreign = vec![RowErrors { mcu: 1, row: RowKey::new(1, 4, 8), ce: 999, ue: 0 }];
+        assert!(pick_victims(&foreign, &s, 2, 2).is_empty());
+    }
+
+    #[test]
+    fn word64_quick_search_finds_a_strong_pattern() {
+        // An end-to-end miniature of the Fig. 8a campaign: the GA must beat
+        // the all-zeros baseline clearly within a tiny budget.
+        let mut dstress = DStress::new(scale(), 7);
+        let campaign = dstress.search_word64(60.0, Metric::CeAverage, false).unwrap();
+        let baseline = dstress
+            .measure(
+                &EnvKind::Word64,
+                [("PATTERN".to_string(), BoundValue::Scalar(0u64))].into(),
+                60.0,
+                Metric::CeAverage,
+            )
+            .unwrap();
+        assert!(
+            campaign.result.best_fitness > baseline.fitness,
+            "GA best {} vs all-zeros {}",
+            campaign.result.best_fitness,
+            baseline.fitness
+        );
+        assert_eq!(campaign.failed_evaluations, 0);
+        // The leaderboard was recorded in the database.
+        assert!(dstress.db.best(&campaign.name).is_some());
+    }
+}
+
+#[cfg(test)]
+mod env_tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+
+    fn scale() -> ExperimentScale {
+        ExperimentScale::quick()
+    }
+
+    #[test]
+    fn chunks_env_spans_64_chunks_inside_the_buffer() {
+        let s = scale();
+        // Victim at chunk 104 (rank0, bank0, row13).
+        let kind = EnvKind::Chunks { victims: vec![RowKey::new(0, 0, 13)] };
+        let env = kind.bindings(&s).unwrap();
+        assert_eq!(env["SPAN_WORDS"], BoundValue::Scalar(64 * s.row_words()));
+        match &env["CHUNK_STARTS"] {
+            BoundValue::Array(starts) => {
+                assert_eq!(starts.len(), 1);
+                // globals = 65 rows; span start = max(104-32, 65) = 72.
+                assert_eq!(starts[0], (72 - 65) * s.row_words());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stride_env_lists_16_neighbours_per_victim() {
+        let s = scale();
+        let kind = EnvKind::StrideAccess {
+            victims: vec![RowKey::new(0, 0, 13), RowKey::new(1, 0, 5)],
+            fill: WORST_WORD,
+        };
+        let env = kind.bindings(&s).unwrap();
+        assert_eq!(env["X_ITERS"], BoundValue::Scalar(s.stride_iters));
+        assert_eq!(env["FILL"], BoundValue::Scalar(WORST_WORD));
+        match &env["NEIGH16_OFFS"] {
+            BoundValue::Array(offs) => {
+                assert_eq!(offs.len(), 32);
+                // First victim chunk 104, globals 2 rows: r=7 is chunk 103.
+                assert_eq!(offs[7], (103 - 2) * s.row_words());
+                // r=8 is chunk 105.
+                assert_eq!(offs[8], (105 - 2) * s.row_words());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn victims_accessor_reflects_the_environment() {
+        let v = vec![RowKey::new(0, 1, 9)];
+        assert_eq!(EnvKind::Word64.victims(), &[] as &[RowKey]);
+        assert_eq!(EnvKind::RowTriple { victims: v.clone() }.victims(), v.as_slice());
+        assert_eq!(
+            EnvKind::RowAccess { victims: v.clone(), fill: 0 }.victims(),
+            v.as_slice()
+        );
+        assert_eq!(EnvKind::CycleFill { cycle: vec![0; 64] }.victims(), &[] as &[RowKey]);
+    }
+
+    #[test]
+    fn template_sources_match_kinds() {
+        assert!(EnvKind::Word64.template_source().contains("PATTERN"));
+        assert!(EnvKind::Chunks { victims: vec![] }.template_source().contains("CHUNK_PATTERN"));
+        assert!(EnvKind::StrideAccess { victims: vec![], fill: 0 }
+            .template_source()
+            .contains("COEFFS"));
+    }
+
+    #[test]
+    fn server_at_heats_only_dimm2() {
+        let dstress = DStress::new(scale(), 1);
+        let server = dstress.server_at(65.0);
+        assert!((server.dimm_temperature(2) - 65.0).abs() < 0.5);
+        assert!((server.dimm_temperature(0) - scale().server.ambient_c).abs() < 0.5);
+        assert_eq!(server.trefp(2), dstress_dram::env::MAX_TREFP_S);
+        assert_eq!(server.trefp(0), dstress_dram::env::NOMINAL_TREFP_S);
+    }
+
+    #[test]
+    fn chunks_span_rejects_victims_too_close_to_the_end() {
+        let s = scale();
+        // Last chunk index is 255; a victim at chunk 255 has no room for a
+        // 64-chunk span starting at 223 (255-32) since 223+64 > 256.
+        let kind = EnvKind::Chunks { victims: vec![RowKey::new(1, 7, 15)] };
+        assert!(matches!(kind.bindings(&s), Err(DStressError::Config(_))));
+    }
+}

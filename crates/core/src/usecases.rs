@@ -1,0 +1,235 @@
+//! Use cases (paper §VI): operating-parameter margin discovery and the
+//! resulting power savings.
+//!
+//! "We use the discovered viruses to find the maximum TREFP (or the
+//! marginal TREFP) under relaxed VDD that do not trigger DRAM errors …
+//! By setting such a TREFP under relaxed VDD, we can reduce the DRAM power
+//! without compromising reliability." (Fig. 14; 17.7 % DRAM / 8.6 % system
+//! energy savings.)
+
+use crate::error::DStressError;
+use crate::evaluate::Metric;
+use crate::search::{DStress, EnvKind};
+use dstress_dram::env::{MAX_TREFP_S, NOMINAL_TREFP_S, NOMINAL_VDD_V};
+use dstress_platform::PowerModel;
+use dstress_vpl::BoundValue;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What "safe" means for a margin search (Fig. 14 reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SafetyCriterion {
+    /// No errors at all (neither CEs nor UEs) — Fig. 14 "No errors".
+    NoErrors,
+    /// Only correctable errors tolerated; no UEs — Fig. 14 "Single-bit
+    /// errors".
+    NoUncorrectable,
+}
+
+impl SafetyCriterion {
+    fn is_safe(&self, ce: u64, ue: u64) -> bool {
+        match self {
+            SafetyCriterion::NoErrors => ce == 0 && ue == 0,
+            SafetyCriterion::NoUncorrectable => ue == 0,
+        }
+    }
+}
+
+/// The outcome of one margin search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarginResult {
+    /// The largest safe refresh period found (seconds).
+    pub marginal_trefp_s: f64,
+    /// The refresh periods probed, descending.
+    pub probed: Vec<f64>,
+    /// CE totals observed at each probed point.
+    pub ce_at: Vec<u64>,
+    /// UE totals observed at each probed point.
+    pub ue_at: Vec<u64>,
+}
+
+/// The refresh-period grid probed by margin searches: nominal 64 ms up to
+/// the platform maximum 2.283 s, log-spaced.
+pub fn trefp_grid(points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a margin sweep needs at least two grid points");
+    let lo = NOMINAL_TREFP_S.ln();
+    let hi = MAX_TREFP_S.ln();
+    (0..points)
+        .map(|i| (lo + (hi - lo) * i as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+/// Finds the marginal TREFP for one virus at one temperature: the largest
+/// grid point at which the virus manifests no (disqualifying) errors under
+/// relaxed VDD.
+///
+/// The virus is the `(env, chromosome)` pair — typically the worst-case
+/// artifact a search campaign discovered.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn find_marginal_trefp(
+    dstress: &DStress,
+    env: &EnvKind,
+    chromosome: &HashMap<String, BoundValue>,
+    temp_c: f64,
+    criterion: SafetyCriterion,
+    grid_points: usize,
+) -> Result<MarginResult, DStressError> {
+    let grid = trefp_grid(grid_points);
+    let mut probed = Vec::new();
+    let mut ce_at = Vec::new();
+    let mut ue_at = Vec::new();
+    let mut marginal = NOMINAL_TREFP_S;
+    // Descend from the most aggressive setting; the first safe point is the
+    // margin (error counts increase monotonically with TREFP).
+    for &trefp in grid.iter().rev() {
+        let mut evaluator = dstress.evaluator(env, temp_c, Metric::CeAverage)?;
+        let server = evaluator.server_mut();
+        server.set_trefp(2, trefp);
+        server.set_trefp(3, trefp);
+        let outcome = evaluator.evaluate_bindings(chromosome.clone())?;
+        probed.push(trefp);
+        ce_at.push(outcome.total_ce);
+        ue_at.push(outcome.total_ue);
+        if criterion.is_safe(outcome.total_ce, outcome.total_ue) {
+            marginal = trefp;
+            break;
+        }
+    }
+    if probed.len() == grid.len()
+        && !criterion.is_safe(*ce_at.last().expect("probed"), *ue_at.last().expect("probed"))
+    {
+        // Even the nominal point errs — report nominal as the floor.
+        marginal = NOMINAL_TREFP_S;
+    }
+    Ok(MarginResult { marginal_trefp_s: marginal, probed, ce_at, ue_at })
+}
+
+/// Power savings from running the second memory domain at a discovered
+/// margin instead of nominal parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavingsReport {
+    /// The margin applied to DIMM2/DIMM3 (seconds).
+    pub marginal_trefp_s: f64,
+    /// DRAM power at nominal parameters (W).
+    pub dram_nominal_w: f64,
+    /// DRAM power at the margin (W).
+    pub dram_margin_w: f64,
+    /// Relative DRAM savings.
+    pub dram_savings: f64,
+    /// Relative whole-system savings.
+    pub system_savings: f64,
+}
+
+/// Computes the savings of applying `marginal_trefp_s` (with relaxed VDD)
+/// to the second memory domain, as Fig. 14's accompanying text does.
+pub fn savings_at_margin(marginal_trefp_s: f64, dram_access_rate: f64) -> SavingsReport {
+    let model = PowerModel::default();
+    let nominal = model.report((0..4).map(|_| (NOMINAL_TREFP_S, NOMINAL_VDD_V, dram_access_rate)));
+    let margin = model.report((0..4).map(|mcu| {
+        if mcu >= 2 {
+            (marginal_trefp_s, 1.428, dram_access_rate)
+        } else {
+            (NOMINAL_TREFP_S, NOMINAL_VDD_V, dram_access_rate)
+        }
+    }));
+    SavingsReport {
+        marginal_trefp_s,
+        dram_nominal_w: nominal.dram_w,
+        dram_margin_w: margin.dram_w,
+        dram_savings: PowerModel::dram_savings(&nominal, &margin),
+        system_savings: PowerModel::system_savings(&nominal, &margin),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+
+    #[test]
+    fn grid_is_log_spaced_and_bounded() {
+        let grid = trefp_grid(8);
+        assert_eq!(grid.len(), 8);
+        assert!((grid[0] - NOMINAL_TREFP_S).abs() < 1e-12);
+        assert!((grid[7] - MAX_TREFP_S).abs() < 1e-9);
+        for w in grid.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Log spacing: constant ratio.
+        let r0 = grid[1] / grid[0];
+        let r1 = grid[7] / grid[6];
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn criteria_differ_on_ce_only_points() {
+        assert!(SafetyCriterion::NoErrors.is_safe(0, 0));
+        assert!(!SafetyCriterion::NoErrors.is_safe(3, 0));
+        assert!(SafetyCriterion::NoUncorrectable.is_safe(3, 0));
+        assert!(!SafetyCriterion::NoUncorrectable.is_safe(0, 1));
+    }
+
+    #[test]
+    fn margin_search_finds_a_mid_grid_point() {
+        let dstress = DStress::new(ExperimentScale::quick(), 3);
+        let chromosome: HashMap<String, BoundValue> =
+            [("PATTERN".to_string(), BoundValue::Scalar(crate::search::WORST_WORD))].into();
+        let result = find_marginal_trefp(
+            &dstress,
+            &EnvKind::Word64,
+            &chromosome,
+            60.0,
+            SafetyCriterion::NoErrors,
+            8,
+        )
+        .unwrap();
+        // At 60 °C the max TREFP errs and the nominal one doesn't, so the
+        // margin lies strictly inside the grid.
+        assert!(result.marginal_trefp_s < MAX_TREFP_S);
+        assert!(result.marginal_trefp_s >= NOMINAL_TREFP_S);
+        assert!(result.ce_at[0] > 0, "the most aggressive point must err");
+    }
+
+    #[test]
+    fn ue_criterion_gives_higher_margin_than_no_errors() {
+        let dstress = DStress::new(ExperimentScale::quick(), 3);
+        let chromosome: HashMap<String, BoundValue> =
+            [("PATTERN".to_string(), BoundValue::Scalar(crate::search::WORST_WORD))].into();
+        let strict = find_marginal_trefp(
+            &dstress,
+            &EnvKind::Word64,
+            &chromosome,
+            60.0,
+            SafetyCriterion::NoErrors,
+            8,
+        )
+        .unwrap();
+        let lenient = find_marginal_trefp(
+            &dstress,
+            &EnvKind::Word64,
+            &chromosome,
+            60.0,
+            SafetyCriterion::NoUncorrectable,
+            8,
+        )
+        .unwrap();
+        assert!(
+            lenient.marginal_trefp_s >= strict.marginal_trefp_s,
+            "CE-tolerant margin {} must be >= no-error margin {}",
+            lenient.marginal_trefp_s,
+            strict.marginal_trefp_s
+        );
+    }
+
+    #[test]
+    fn savings_are_positive_and_double_digit_at_good_margins() {
+        let report = savings_at_margin(1.0, 1.0e6);
+        assert!(report.dram_savings > 0.05, "DRAM savings {}", report.dram_savings);
+        assert!(report.system_savings > 0.0);
+        assert!(report.system_savings < report.dram_savings);
+        assert!(report.dram_margin_w < report.dram_nominal_w);
+    }
+}

@@ -1,0 +1,218 @@
+//! Sparse storage of DIMM contents.
+//!
+//! Only rows that were actually written are materialized; everything else
+//! reads as the configured default fill (the content the OS/firmware left
+//! behind). A generation counter lets the device model cache data-dependent
+//! interference terms and invalidate them when contents change.
+
+use crate::geometry::{DimmGeometry, Location, RowKey};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sparse row-granular storage of every 64-bit word on a DIMM.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_dram::contents::RowStore;
+/// use dstress_dram::{DimmGeometry, Location};
+///
+/// let mut store = RowStore::new(DimmGeometry::default(), 0);
+/// let loc = Location::new(0, 0, 0, 9);
+/// assert_eq!(store.read_word(loc), 0);
+/// store.write_word(loc, 0xFF);
+/// assert_eq!(store.read_word(loc), 0xFF);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowStore {
+    geometry: DimmGeometry,
+    default_word: u64,
+    rows: HashMap<RowKey, Vec<u64>>,
+    generation: u64,
+}
+
+impl RowStore {
+    /// Creates a store where every word initially reads `default_word`.
+    pub fn new(geometry: DimmGeometry, default_word: u64) -> Self {
+        RowStore { geometry, default_word, rows: HashMap::new(), generation: 0 }
+    }
+
+    /// The geometry this store covers.
+    pub fn geometry(&self) -> DimmGeometry {
+        self.geometry
+    }
+
+    /// Monotonic counter bumped on every mutation; used to invalidate
+    /// derived caches.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of materialized (written) rows.
+    pub fn materialized_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Reads one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the geometry.
+    pub fn read_word(&self, loc: Location) -> u64 {
+        assert!(self.geometry.contains(loc), "location {loc} outside geometry");
+        match self.rows.get(&loc.row_key()) {
+            Some(row) => row[loc.col as usize],
+            None => self.default_word,
+        }
+    }
+
+    /// Writes one word, materializing the row on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the geometry.
+    pub fn write_word(&mut self, loc: Location, value: u64) {
+        assert!(self.geometry.contains(loc), "location {loc} outside geometry");
+        let words = self.geometry.words_per_row();
+        let default = self.default_word;
+        let row = self.rows.entry(loc.row_key()).or_insert_with(|| vec![default; words]);
+        row[loc.col as usize] = value;
+        self.generation += 1;
+    }
+
+    /// Reads the logical bit `bit_in_row` (word column × 64 + bit) of a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row or bit is outside the geometry.
+    pub fn read_bit(&self, row: RowKey, bit_in_row: u32) -> bool {
+        assert!(
+            (bit_in_row as usize) < self.geometry.bits_per_row(),
+            "bit {bit_in_row} outside row"
+        );
+        let loc = Location::new(row.rank, row.bank, row.row, bit_in_row / 64);
+        (self.read_word(loc) >> (bit_in_row % 64)) & 1 == 1
+    }
+
+    /// Overwrites a whole row from a word slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` does not match the row length or the row is outside
+    /// the geometry.
+    pub fn write_row(&mut self, row: RowKey, words: &[u64]) {
+        assert_eq!(words.len(), self.geometry.words_per_row(), "row length mismatch");
+        assert!(
+            row.rank < self.geometry.ranks
+                && row.bank < self.geometry.banks
+                && row.row < self.geometry.rows_per_bank,
+            "row {row} outside geometry"
+        );
+        self.rows.insert(row, words.to_vec());
+        self.generation += 1;
+    }
+
+    /// Forgets all written rows, restoring the default fill.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn store() -> RowStore {
+        RowStore::new(DimmGeometry::default(), 0xAAAA_AAAA_AAAA_AAAA)
+    }
+
+    #[test]
+    fn unwritten_words_read_default() {
+        let s = store();
+        assert_eq!(s.read_word(Location::new(1, 7, 63, 1023)), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(s.materialized_rows(), 0);
+    }
+
+    #[test]
+    fn writes_materialize_one_row() {
+        let mut s = store();
+        s.write_word(Location::new(0, 0, 5, 10), 42);
+        assert_eq!(s.materialized_rows(), 1);
+        assert_eq!(s.read_word(Location::new(0, 0, 5, 10)), 42);
+        // Other words of the same row read default.
+        assert_eq!(s.read_word(Location::new(0, 0, 5, 11)), 0xAAAA_AAAA_AAAA_AAAA);
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation() {
+        let mut s = store();
+        let g0 = s.generation();
+        s.write_word(Location::new(0, 0, 0, 0), 1);
+        assert!(s.generation() > g0);
+        let g1 = s.generation();
+        s.clear();
+        assert!(s.generation() > g1);
+    }
+
+    #[test]
+    fn read_bit_addresses_lsb_first() {
+        let mut s = store();
+        s.write_word(Location::new(0, 0, 0, 2), 0b101);
+        let row = RowKey::new(0, 0, 0);
+        assert!(s.read_bit(row, 2 * 64));
+        assert!(!s.read_bit(row, 2 * 64 + 1));
+        assert!(s.read_bit(row, 2 * 64 + 2));
+    }
+
+    #[test]
+    fn write_row_replaces_contents() {
+        let mut s = store();
+        let words = vec![7u64; 1024];
+        s.write_row(RowKey::new(0, 1, 2), &words);
+        assert_eq!(s.read_word(Location::new(0, 1, 2, 500)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn write_row_validates_length() {
+        let mut s = store();
+        s.write_row(RowKey::new(0, 0, 0), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside geometry")]
+    fn read_outside_geometry_panics() {
+        store().read_word(Location::new(3, 0, 0, 0));
+    }
+
+    #[test]
+    fn clear_restores_default() {
+        let mut s = store();
+        s.write_word(Location::new(0, 0, 0, 0), 5);
+        s.clear();
+        assert_eq!(s.read_word(Location::new(0, 0, 0, 0)), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(s.materialized_rows(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn read_back_what_was_written(
+            bank in 0u8..8, row in 0u32..64, col in 0u32..1024, value in any::<u64>(),
+        ) {
+            let mut s = store();
+            let loc = Location::new(0, bank, row, col);
+            s.write_word(loc, value);
+            prop_assert_eq!(s.read_word(loc), value);
+        }
+
+        #[test]
+        fn word_and_bit_views_agree(col in 0u32..1024, value in any::<u64>(), bit in 0u32..64) {
+            let mut s = store();
+            s.write_word(Location::new(0, 0, 0, col), value);
+            let got = s.read_bit(RowKey::new(0, 0, 0), col * 64 + bit);
+            prop_assert_eq!(got, (value >> bit) & 1 == 1);
+        }
+    }
+}

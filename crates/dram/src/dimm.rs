@@ -1,0 +1,574 @@
+//! The simulated DIMM: contents, hidden topology, weak cells and the
+//! per-refresh-window fault evaluation.
+
+use crate::address::AddressMap;
+use crate::contents::RowStore;
+use crate::disturb::{ActivationCounts, DisturbanceModel};
+use crate::env::OperatingEnv;
+use crate::events::WordEvent;
+use crate::faults::FaultSet;
+use crate::geometry::{DimmGeometry, Location, RowKey};
+use crate::retention::PhysicsParams;
+use crate::topology::{Topology, TopologyConfig};
+use crate::weak::{vrt_degraded, WeakCellConfig, WeakCellPopulation};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Full configuration of a simulated DIMM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct DimmConfig {
+    /// Array organization.
+    pub geometry: DimmGeometry,
+    /// Hidden-layout parameters (scrambling, remapping).
+    pub topology: TopologyConfig,
+    /// Retention-physics coefficients.
+    pub physics: PhysicsParams,
+    /// Weak-cell population parameters.
+    pub weak: WeakCellConfig,
+    /// Row-disturbance coefficients.
+    pub disturbance: DisturbanceModel,
+    /// The word value unwritten memory reads as.
+    pub default_fill: u64,
+}
+
+/// Cached per-weak-cell state that depends only on stored data (not on the
+/// operating point or on activations): whether the cell is charged and the
+/// data-dependent interference multiplier.
+#[derive(Debug, Clone, Copy)]
+struct CellState {
+    charged: bool,
+    interference: f64,
+}
+
+/// A simulated DIMM.
+///
+/// The public surface mirrors what a platform can do with real memory —
+/// write words, read words, activate rows (implicitly, via the platform's
+/// access accounting) and observe per-window fault events. The hidden
+/// internals (topology, weak cells) are reachable read-only for calibration
+/// and tests, mirroring a vendor's fab-level knowledge; the DStress
+/// framework layers never touch them.
+#[derive(Debug, Clone)]
+pub struct Dimm {
+    config: DimmConfig,
+    seed: u64,
+    topology: Topology,
+    population: WeakCellPopulation,
+    contents: RowStore,
+    map: AddressMap,
+    cache: Vec<Vec<CellState>>,
+    cache_generation: Option<u64>,
+    faults: FaultSet,
+}
+
+impl Dimm {
+    /// Builds a DIMM from a configuration and a device seed (the paper's
+    /// DIMM-to-DIMM variation: each physical module is a different seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails validation.
+    pub fn new(config: DimmConfig, seed: u64) -> Self {
+        config.geometry.validate().expect("invalid DIMM geometry");
+        let topology = Topology::new(config.geometry, config.topology, seed);
+        let population = WeakCellPopulation::sample(config.geometry, &config.weak, seed);
+        let contents = RowStore::new(config.geometry, config.default_fill);
+        let map = AddressMap::new(config.geometry);
+        let cache = population.words().iter().map(|w| Vec::with_capacity(w.cells.len())).collect();
+        Dimm {
+            config,
+            seed,
+            topology,
+            population,
+            contents,
+            map,
+            cache,
+            cache_generation: None,
+            faults: FaultSet::new(),
+        }
+    }
+
+    /// The DIMM's geometry.
+    pub fn geometry(&self) -> DimmGeometry {
+        self.config.geometry
+    }
+
+    /// The configuration the DIMM was built with.
+    pub fn config(&self) -> &DimmConfig {
+        &self.config
+    }
+
+    /// The device seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The address-mapping function of this DIMM (paper Fig. 2).
+    pub fn address_map(&self) -> AddressMap {
+        self.map
+    }
+
+    /// Read-only view of the hidden weak-cell population. **Calibration and
+    /// test use only** — the DStress framework never inspects this,
+    /// mirroring the paper's no-internal-knowledge premise.
+    pub fn population(&self) -> &WeakCellPopulation {
+        &self.population
+    }
+
+    /// Read-only view of the hidden topology. **Calibration and test use
+    /// only.**
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Injects a logical (hard) fault into the array — see
+    /// [`crate::faults`] for the fault classes. Used by the MARCH-test
+    /// experiments; the GA campaigns run on fault-free devices, as the
+    /// paper's DIMMs passed their vendor tests.
+    pub fn inject_fault(&mut self, fault: crate::faults::LogicalFault) {
+        self.faults.inject(fault);
+    }
+
+    /// The injected logical faults.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Writes one 64-bit word (honouring injected transition and coupling
+    /// faults).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the geometry.
+    pub fn write_word(&mut self, loc: Location, value: u64) {
+        if self.faults.is_empty() {
+            self.contents.write_word(loc, value);
+            return;
+        }
+        let old = self.contents.read_word(loc);
+        let stored = self.faults.apply_on_write(loc, old, value);
+        self.contents.write_word(loc, stored);
+        for (victim, bit, forced) in self.faults.coupling_side_effects(loc, old, stored) {
+            let current = self.contents.read_word(victim);
+            let new = if forced { current | (1 << bit) } else { current & !(1 << bit) };
+            self.contents.write_word(victim, new);
+        }
+    }
+
+    /// Reads one 64-bit word (logical contents; transient retention errors
+    /// are corrected by the platform's scrubbing, so reads return what was
+    /// written — except where an injected stuck-at fault corrupts the
+    /// read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is outside the geometry.
+    pub fn read_word(&self, loc: Location) -> u64 {
+        let value = self.contents.read_word(loc);
+        if self.faults.is_empty() {
+            value
+        } else {
+            self.faults.apply_on_read(loc, value)
+        }
+    }
+
+    /// Overwrites a whole row at once (fast path for fill phases).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the row size.
+    pub fn write_row(&mut self, row: RowKey, words: &[u64]) {
+        self.contents.write_row(row, words);
+    }
+
+    /// Restores all memory to the default fill.
+    pub fn clear_contents(&mut self) {
+        self.contents.clear();
+    }
+
+    /// Number of rows the workload has materialized.
+    pub fn materialized_rows(&self) -> usize {
+        self.contents.materialized_rows()
+    }
+
+    /// Advances one refresh window under the given operating point and
+    /// activation profile, returning every word whose stored bits leaked.
+    ///
+    /// `nonce` identifies the (run, window) pair and seeds the VRT state;
+    /// repeat runs with different nonces to observe run-to-run variation
+    /// (the paper averages each virus over 10 runs, §V-A.1).
+    ///
+    /// The platform is expected to scrub-correct CE words after each window
+    /// (patrol scrubbing), so contents are not mutated here; persistent weak
+    /// cells re-fail every window, which is how EDAC accumulates counts on
+    /// the real server.
+    pub fn advance_window(
+        &mut self,
+        env: &OperatingEnv,
+        acts: &ActivationCounts,
+        nonce: u64,
+    ) -> Vec<WordEvent> {
+        let disturbance = self.disturbance_profile(acts);
+        self.advance_window_profiled(env, &disturbance, nonce)
+    }
+
+    /// Precomputes the per-weak-word disturbance factors for an activation
+    /// profile (aligned with the population's word order). The profile is
+    /// invariant across the refresh windows of a run, so callers evaluating
+    /// many windows compute it once and use
+    /// [`Self::advance_window_profiled`].
+    pub fn disturbance_profile(&self, acts: &ActivationCounts) -> Vec<f64> {
+        let by_row = self.disturbance_by_row(acts);
+        self.population
+            .words()
+            .iter()
+            .map(|w| {
+                if by_row.is_empty() {
+                    0.0
+                } else {
+                    by_row.get(&w.loc.row_key()).copied().unwrap_or(0.0)
+                }
+            })
+            .collect()
+    }
+
+    /// [`Self::advance_window`] with a precomputed disturbance profile
+    /// (see [`Self::disturbance_profile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile length does not match the weak-word count.
+    pub fn advance_window_profiled(
+        &mut self,
+        env: &OperatingEnv,
+        disturbance: &[f64],
+        nonce: u64,
+    ) -> Vec<WordEvent> {
+        assert_eq!(
+            disturbance.len(),
+            self.population.words().len(),
+            "disturbance profile length mismatch"
+        );
+        self.refresh_cache_if_stale();
+        let physics = &self.config.physics;
+        let env_factor = physics.env_factor(env);
+        let mut events = Vec::new();
+        for ((word, states), &row_disturb) in
+            self.population.words().iter().zip(&self.cache).zip(disturbance)
+        {
+            // Clustered defect pairs are comparatively hammer-resistant
+            // (see PhysicsParams::pair_disturbance_mult).
+            let word_disturb = if word.cells.len() >= 2 {
+                row_disturb * physics.pair_disturbance_mult
+            } else {
+                row_disturb
+            };
+            let mut flip_mask = 0u64;
+            for (cell, state) in word.cells.iter().zip(states) {
+                let mut retention = cell.base_retention_s * env_factor;
+                if cell.is_vrt
+                    && vrt_degraded(self.seed, nonce, cell.vrt_index, physics.vrt_degraded_prob)
+                {
+                    retention *= physics.vrt_degraded_mult;
+                }
+                if state.charged {
+                    retention /= state.interference * (1.0 + word_disturb);
+                } else {
+                    retention *= physics.discharged_retention_mult;
+                }
+                if retention < env.trefp_s {
+                    flip_mask |= 1u64 << cell.bit;
+                }
+            }
+            if flip_mask != 0 {
+                let written = self.contents.read_word(word.loc);
+                events.push(WordEvent { loc: word.loc, written, flip_mask });
+            }
+        }
+        events
+    }
+
+    /// Recomputes the data-dependent per-cell state when contents changed.
+    fn refresh_cache_if_stale(&mut self) {
+        if self.cache_generation == Some(self.contents.generation()) {
+            return;
+        }
+        let physics = self.config.physics;
+        let geometry = self.config.geometry;
+        let mut cache: Vec<Vec<CellState>> = Vec::with_capacity(self.population.words().len());
+        for word in self.population.words() {
+            let row = word.loc.row_key();
+            let mut states = Vec::with_capacity(word.cells.len());
+            for cell in &word.cells {
+                let logical = word.loc.col * 64 + cell.bit as u32;
+                let value = self.contents.read_bit(row, logical);
+                let phys = self.topology.physical_bit(row, logical);
+                let kind = self.topology.kind_at_physical(phys);
+                let charged = kind.charged(value);
+                let interference = if charged {
+                    let mut intra = 0u32;
+                    let (left, right) = self.topology.physical_neighbours(phys);
+                    for np in [left, right].into_iter().flatten() {
+                        if self.physical_cell_charged(row, np) {
+                            intra += 1;
+                        }
+                    }
+                    // Inter-row interference: a charged victim node facing a
+                    // *discharged* node in the adjacent row of the same bank
+                    // sees the largest field and leaks fastest. (A uniform
+                    // worst-word fill charges everything and gets none of
+                    // this — which is exactly why the per-row 24 KB patterns
+                    // can beat it, Fig. 9.)
+                    let mut inter = 0u32;
+                    for adj in [row.row.checked_sub(1), row.row.checked_add(1)]
+                        .into_iter()
+                        .flatten()
+                        .filter(|&r| r < geometry.rows_per_bank)
+                    {
+                        let adj_row = RowKey::new(row.rank, row.bank, adj);
+                        if !self.physical_cell_charged(adj_row, phys) {
+                            inter += 1;
+                        }
+                    }
+                    1.0 + physics.intra_row_coupling * intra as f64
+                        + physics.inter_row_coupling * inter as f64
+                } else {
+                    1.0
+                };
+                states.push(CellState { charged, interference });
+            }
+            cache.push(states);
+        }
+        self.cache = cache;
+        self.cache_generation = Some(self.contents.generation());
+    }
+
+    /// Whether the cell at a *physical* bitline position of a row is
+    /// charged, given current contents.
+    fn physical_cell_charged(&self, row: RowKey, phys: u32) -> bool {
+        let logical = self.topology.logical_bit(row, phys);
+        let value = self.contents.read_bit(row, logical);
+        self.topology.kind_at_physical(phys).charged(value)
+    }
+
+    /// Precomputes the disturbance factor for every row hosting weak cells.
+    ///
+    /// Activations are bucketed per (rank, bank) first so each victim row
+    /// only scans the aggressors that can actually disturb it — the full
+    /// cross-product is quadratic in row count and dominates window
+    /// evaluation otherwise.
+    fn disturbance_by_row(&self, acts: &ActivationCounts) -> HashMap<RowKey, f64> {
+        let mut map = HashMap::new();
+        if acts.total() == 0 {
+            return map;
+        }
+        let mut by_bank: HashMap<(u8, u8), Vec<(u32, u64)>> = HashMap::new();
+        for (row, count) in acts.iter() {
+            by_bank.entry((row.rank, row.bank)).or_default().push((row.row, count));
+        }
+        let model = &self.config.disturbance;
+        for word in self.population.words() {
+            let row = word.loc.row_key();
+            map.entry(row).or_insert_with(|| {
+                let Some(bank_acts) = by_bank.get(&(row.rank, row.bank)) else {
+                    return 0.0;
+                };
+                let mut hammer = 0.0;
+                for &(aggressor, count) in bank_acts {
+                    if aggressor == row.row {
+                        continue;
+                    }
+                    let distance = (aggressor as f64 - row.row as f64).abs();
+                    hammer += count as f64 * (-distance / model.decay_rows).exp();
+                }
+                model.factor_from_hammer(hammer)
+            });
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worst-case word under the TTAA layout: LSB-first bit string
+    /// `1100 1100 …` = hex 0x3333….
+    const WORST: u64 = 0x3333_3333_3333_3333;
+    /// The opposite phase discharges every unscrambled cell.
+    const BEST: u64 = 0xCCCC_CCCC_CCCC_CCCC;
+
+    fn dimm(seed: u64) -> Dimm {
+        Dimm::new(DimmConfig::default(), seed)
+    }
+
+    fn fill_all(d: &mut Dimm, word: u64) {
+        let geo = d.geometry();
+        let row_words = vec![word; geo.words_per_row()];
+        for rank in 0..geo.ranks {
+            for bank in 0..geo.banks {
+                for row in 0..geo.rows_per_bank {
+                    d.write_row(RowKey::new(rank, bank, row), &row_words);
+                }
+            }
+        }
+    }
+
+    fn count_flips(events: &[WordEvent]) -> u64 {
+        events.iter().map(|e| e.flipped_bits() as u64).sum()
+    }
+
+    #[test]
+    fn no_errors_at_nominal_parameters() {
+        let mut d = dimm(11);
+        fill_all(&mut d, WORST);
+        let env = OperatingEnv::nominal(55.0);
+        let events = d.advance_window(&env, &ActivationCounts::new(), 0);
+        assert!(events.is_empty(), "{} events at nominal parameters", events.len());
+    }
+
+    #[test]
+    fn relaxed_parameters_manifest_errors() {
+        let mut d = dimm(11);
+        fill_all(&mut d, WORST);
+        let env = OperatingEnv::relaxed(60.0);
+        let events = d.advance_window(&env, &ActivationCounts::new(), 0);
+        assert!(!events.is_empty(), "relaxed 60C should manifest errors");
+    }
+
+    #[test]
+    fn worst_pattern_beats_uniform_patterns() {
+        // The 1100 pattern charges ~every cell; all-0s / all-1s /
+        // checkerboard charge ~half (paper §V-A.1).
+        let env = OperatingEnv::relaxed(60.0);
+        let mut counts = HashMap::new();
+        for (name, word) in
+            [("worst", WORST), ("all0", 0u64), ("all1", u64::MAX), ("cb", 0x5555_5555_5555_5555)]
+        {
+            let mut d = dimm(11);
+            fill_all(&mut d, word);
+            let events = d.advance_window(&env, &ActivationCounts::new(), 0);
+            counts.insert(name, count_flips(&events));
+        }
+        let worst = counts["worst"];
+        for name in ["all0", "all1", "cb"] {
+            assert!(
+                worst as f64 >= 1.45 * counts[name] as f64,
+                "worst={} vs {}={}",
+                worst,
+                name,
+                counts[name]
+            );
+        }
+    }
+
+    #[test]
+    fn best_pattern_is_roughly_8x_below_worst() {
+        let env = OperatingEnv::relaxed(60.0);
+        let mut d = dimm(11);
+        fill_all(&mut d, WORST);
+        let worst = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
+        let mut d = dimm(11);
+        fill_all(&mut d, BEST);
+        let best = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
+        let ratio = worst as f64 / best.max(1) as f64;
+        assert!((3.0..30.0).contains(&ratio), "worst/best ratio {ratio} (worst={worst} best={best})");
+    }
+
+    #[test]
+    fn hammering_neighbour_rows_increases_errors() {
+        let env = OperatingEnv::relaxed(60.0);
+        let mut d = dimm(11);
+        fill_all(&mut d, WORST);
+        let quiet = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
+        let mut acts = ActivationCounts::new();
+        let geo = d.geometry();
+        for rank in 0..geo.ranks {
+            for bank in 0..geo.banks {
+                for row in 0..geo.rows_per_bank {
+                    acts.add(RowKey::new(rank, bank, row), 3000);
+                }
+            }
+        }
+        let hammered = count_flips(&d.advance_window(&env, &acts, 0));
+        assert!(
+            hammered as f64 > 1.2 * quiet as f64,
+            "hammered={hammered} quiet={quiet}"
+        );
+    }
+
+    #[test]
+    fn temperature_increases_error_count_monotonically() {
+        let mut previous = 0u64;
+        for temp in [50.0, 55.0, 60.0, 65.0, 70.0] {
+            let mut d = dimm(13);
+            fill_all(&mut d, WORST);
+            let env = OperatingEnv::relaxed(temp);
+            let flips = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
+            assert!(flips >= previous, "errors dropped from {previous} to {flips} at {temp}C");
+            previous = flips;
+        }
+        assert!(previous > 0);
+    }
+
+    #[test]
+    fn multi_bit_words_appear_only_at_high_temperature() {
+        let worst_multi = |temp: f64| {
+            let mut d = dimm(17);
+            fill_all(&mut d, WORST);
+            let env = OperatingEnv::relaxed(temp);
+            d.advance_window(&env, &ActivationCounts::new(), 0)
+                .iter()
+                .filter(|e| e.flipped_bits() >= 2)
+                .count()
+        };
+        assert_eq!(worst_multi(55.0), 0, "UE-prone pairs must not fail at 55C");
+        assert!(worst_multi(66.0) > 0, "UE-prone pairs must fail by 66C");
+    }
+
+    #[test]
+    fn run_to_run_variation_from_vrt() {
+        let env = OperatingEnv::relaxed(60.0);
+        let mut d = dimm(19);
+        fill_all(&mut d, WORST);
+        let counts: Vec<u64> = (0..10)
+            .map(|run| count_flips(&d.advance_window(&env, &ActivationCounts::new(), run)))
+            .collect();
+        let distinct: std::collections::HashSet<_> = counts.iter().collect();
+        assert!(distinct.len() > 1, "VRT should cause run-to-run variation: {counts:?}");
+    }
+
+    #[test]
+    fn different_seeds_have_different_error_counts() {
+        let env = OperatingEnv::relaxed(60.0);
+        let count_for = |seed| {
+            let mut d = dimm(seed);
+            fill_all(&mut d, WORST);
+            count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0))
+        };
+        assert_ne!(count_for(1), count_for(2));
+    }
+
+    #[test]
+    fn events_report_written_data() {
+        let env = OperatingEnv::relaxed(65.0);
+        let mut d = dimm(11);
+        fill_all(&mut d, WORST);
+        for e in d.advance_window(&env, &ActivationCounts::new(), 0) {
+            assert_eq!(e.written, WORST);
+            assert_ne!(e.flip_mask, 0);
+            assert_ne!(e.corrupted(), e.written);
+        }
+    }
+
+    #[test]
+    fn cache_invalidation_on_write() {
+        let env = OperatingEnv::relaxed(60.0);
+        let mut d = dimm(11);
+        fill_all(&mut d, WORST);
+        let with_worst = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
+        fill_all(&mut d, BEST);
+        let with_best = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
+        assert!(with_worst > with_best, "cache must follow contents changes");
+    }
+}

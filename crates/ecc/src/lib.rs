@@ -1,0 +1,40 @@
+//! SECDED (72,64) ECC, as implemented by server-grade memory controllers.
+//!
+//! The paper's fitness signal is the ECC hardware of the X-Gene 2 server:
+//! single-bit errors per 64-bit word are corrected and counted as CEs
+//! (Correctable Errors), 2-bit errors are detected and counted as UEs
+//! (Uncorrectable Errors), and words with more than two flipped bits may
+//! escape detection or be miscorrected — Silent Data Corruption (§III-C).
+//!
+//! This crate implements a real extended Hamming (72,64) code rather than a
+//! lookup-table stub, so multi-bit behaviour (the 100 % 2-bit detection
+//! guarantee and the probabilistic fate of ≥3-bit words) is faithful.
+//!
+//! * [`hamming`] — code construction, encode, syndrome decode.
+//! * [`classify`] — mapping raw in-DRAM bit flips to ECC events.
+//! * [`counters`] — EDAC-style CE/UE/SDC counters.
+//!
+//! # Examples
+//!
+//! ```
+//! use dstress_ecc::{Codeword, EccEvent};
+//!
+//! let cw = Codeword::encode(0xDEAD_BEEF_0123_4567);
+//! // Flip one data bit in "DRAM":
+//! let faulty = cw.with_data_flips(1 << 17);
+//! match faulty.decode() {
+//!     EccEvent::Corrected { data, .. } => assert_eq!(data, 0xDEAD_BEEF_0123_4567),
+//!     other => panic!("expected correction, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod counters;
+pub mod hamming;
+
+pub use classify::{classify_flips, EventKind};
+pub use counters::{CounterSnapshot, EccCounters};
+pub use hamming::{Codeword, EccEvent, CHECK_BITS, DATA_BITS, TOTAL_BITS};

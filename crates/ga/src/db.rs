@@ -1,0 +1,221 @@
+//! The virus database (paper §III-F).
+//!
+//! "We record each virus, i.e. the chromosomes that encode the data and
+//! memory access patterns, and the number of manifested DRAM errors for the
+//! virus in a database. This enables us to start a new search process using
+//! the discovered worst-case viruses if the previous search process has been
+//! interrupted."
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// One evaluated virus: its chromosome and the errors it manifested.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirusRecord {
+    /// The search campaign this record belongs to (e.g. `"word64-ce"`).
+    pub campaign: String,
+    /// The chromosome's genes, packed as 64-bit values (bit genomes pack
+    /// LSB-first; integer genomes store genes directly).
+    pub genes: Vec<u64>,
+    /// Gene count (bit genomes: number of bits).
+    pub gene_len: usize,
+    /// The averaged fitness the search observed.
+    pub fitness: f64,
+    /// Correctable errors observed (summed over evaluation runs).
+    pub ce: u64,
+    /// Uncorrectable errors observed.
+    pub ue: u64,
+    /// Monotonic sequence number within the campaign.
+    pub sequence: u64,
+}
+
+/// An append-only store of evaluated viruses with JSON persistence.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_ga::{VirusDatabase, VirusRecord};
+///
+/// let mut db = VirusDatabase::new();
+/// db.record(VirusRecord {
+///     campaign: "word64-ce".into(),
+///     genes: vec![0x3333_3333_3333_3333],
+///     gene_len: 64,
+///     fitness: 812.0,
+///     ce: 8120,
+///     ue: 0,
+///     sequence: 0,
+/// });
+/// let best = db.best("word64-ce").unwrap();
+/// assert_eq!(best.genes[0], 0x3333_3333_3333_3333);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct VirusDatabase {
+    records: Vec<VirusRecord>,
+    #[serde(default)]
+    next_sequence: HashMap<String, u64>,
+}
+
+impl VirusDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        VirusDatabase::default()
+    }
+
+    /// Appends a record, assigning the campaign's next sequence number if
+    /// the caller left `sequence` at 0 and records already exist.
+    pub fn record(&mut self, mut record: VirusRecord) {
+        let next = self.next_sequence.entry(record.campaign.clone()).or_insert(0);
+        if record.sequence == 0 {
+            record.sequence = *next;
+        }
+        *next = (*next).max(record.sequence) + 1;
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[VirusRecord] {
+        &self.records
+    }
+
+    /// All records of one campaign.
+    pub fn campaign<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a VirusRecord> + 'a {
+        let name = name.to_string();
+        self.records.iter().filter(move |r| r.campaign == name)
+    }
+
+    /// The highest-fitness record of a campaign.
+    pub fn best(&self, name: &str) -> Option<&VirusRecord> {
+        self.campaign(name)
+            .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
+    }
+
+    /// The `n` highest-fitness records of a campaign (for resuming a search
+    /// from the best discovered viruses).
+    pub fn top(&self, name: &str, n: usize) -> Vec<&VirusRecord> {
+        let mut all: Vec<&VirusRecord> = self.campaign(name).collect();
+        all.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).expect("finite fitness"));
+        all.truncate(n);
+        all
+    }
+
+    /// Merges another database's records into this one.
+    pub fn merge(&mut self, other: VirusDatabase) {
+        for r in other.records {
+            self.record(r);
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and serialization failures.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(json.as_bytes())
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and parse failures.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let mut json = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut json)?;
+        VirusDatabase::from_json(&json).map_err(std::io::Error::other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(campaign: &str, fitness: f64, genes: Vec<u64>) -> VirusRecord {
+        VirusRecord {
+            campaign: campaign.into(),
+            genes,
+            gene_len: 64,
+            fitness,
+            ce: fitness as u64,
+            ue: 0,
+            sequence: 0,
+        }
+    }
+
+    #[test]
+    fn records_get_sequences() {
+        let mut db = VirusDatabase::new();
+        db.record(record("a", 1.0, vec![1]));
+        db.record(record("a", 2.0, vec![2]));
+        db.record(record("b", 3.0, vec![3]));
+        let seqs: Vec<u64> = db.campaign("a").map(|r| r.sequence).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(db.campaign("b").next().unwrap().sequence, 0);
+    }
+
+    #[test]
+    fn best_and_top_rank_by_fitness() {
+        let mut db = VirusDatabase::new();
+        for (f, g) in [(5.0, 50u64), (9.0, 90), (1.0, 10)] {
+            db.record(record("c", f, vec![g]));
+        }
+        assert_eq!(db.best("c").unwrap().genes, vec![90]);
+        let top2: Vec<u64> = db.top("c", 2).iter().map(|r| r.genes[0]).collect();
+        assert_eq!(top2, vec![90, 50]);
+        assert!(db.best("missing").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = VirusDatabase::new();
+        db.record(record("x", 7.5, vec![0xABC]));
+        let json = db.to_json().unwrap();
+        let restored = VirusDatabase::from_json(&json).unwrap();
+        assert_eq!(db, restored);
+    }
+
+    #[test]
+    fn file_roundtrip_and_merge() {
+        let dir = std::env::temp_dir().join("dstress-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("viruses.json");
+        let mut a = VirusDatabase::new();
+        a.record(record("x", 1.0, vec![1]));
+        a.save(&path).unwrap();
+        let mut b = VirusDatabase::load(&path).unwrap();
+        let mut extra = VirusDatabase::new();
+        extra.record(record("x", 2.0, vec![2]));
+        b.merge(extra);
+        assert_eq!(b.campaign("x").count(), 2);
+        assert_eq!(b.best("x").unwrap().genes, vec![2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        assert!(VirusDatabase::load(Path::new("/nonexistent/zzz.json")).is_err());
+    }
+}

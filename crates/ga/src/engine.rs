@@ -1,0 +1,514 @@
+//! The GA main loop (paper §III-E).
+//!
+//! Convergence follows the paper's observable: Fig. 8 plots "the 40
+//! discovered worst-case patterns which trigger the highest number of CEs"
+//! and §V-A.1 says "GA stopped the search process when the similarity
+//! function for the 40 worst-case 64-bit patterns exceeded 0.85". The
+//! engine therefore maintains a **leaderboard** of the top-N *distinct*
+//! chromosomes ever evaluated and stops when the leaderboard's mean pairwise
+//! similarity crosses the threshold. A unimodal landscape funnels the
+//! leaderboard into one neighbourhood (convergence); a multi-modal or
+//! saturating landscape fills it with unrelated high scorers and the search
+//! runs out its generation budget — exactly the paper's convergent CE
+//! searches vs. non-convergent UE/access searches.
+
+use crate::fitness::Fitness;
+use crate::genome::Genome;
+use crate::ops::selection::SelectionScheme;
+use dstress_stats::mean_pairwise;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// GA hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Population size (paper optimum: 40). Also the leaderboard size.
+    pub population_size: usize,
+    /// Per-chromosome probability of undergoing mutation (paper optimum:
+    /// 0.5).
+    pub mutation_prob: f64,
+    /// Per-gene perturbation rate applied when a chromosome mutates. `None`
+    /// selects `1.5/len`.
+    pub gene_rate: Option<f64>,
+    /// Per-pair probability of crossover (paper optimum: 0.9); otherwise
+    /// the parents are copied unchanged.
+    pub crossover_prob: f64,
+    /// Members copied verbatim into the next generation, best-first.
+    pub elitism: usize,
+    /// Parent-selection scheme.
+    pub selection: SelectionScheme,
+    /// Mean pairwise leaderboard similarity above which the search is
+    /// converged (paper: 0.85).
+    pub convergence_threshold: f64,
+    /// Generation budget — the stand-in for the paper's two-week wall-clock
+    /// cap on a search.
+    pub max_generations: u32,
+    /// Minimize instead of maximize (the paper's best-case data-pattern
+    /// search flips the fitness function, §V-A.1).
+    pub minimize: bool,
+    /// Generations without a new best required (together with the
+    /// similarity threshold) to declare convergence. Guards against
+    /// stopping while the search is still climbing.
+    pub stagnation_window: u32,
+}
+
+impl GaConfig {
+    /// The paper's calibrated parameters: population 40, mutation 0.5,
+    /// crossover 0.9 ("GA finds the 64-bit chromosome … for the minimum
+    /// number of generations, which is about 80", §V).
+    pub fn paper_defaults() -> Self {
+        GaConfig {
+            population_size: 40,
+            mutation_prob: 0.5,
+            gene_rate: None,
+            crossover_prob: 0.9,
+            elitism: 2,
+            selection: SelectionScheme::Tournament { k: 2 },
+            convergence_threshold: 0.85,
+            max_generations: 400,
+            minimize: false,
+            stagnation_window: 20,
+        }
+    }
+
+    /// Validates the hyper-parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population_size < 2 {
+            return Err("population must have at least two members".into());
+        }
+        for (name, p) in [
+            ("mutation_prob", self.mutation_prob),
+            ("crossover_prob", self.crossover_prob),
+            ("convergence_threshold", self.convergence_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must lie in [0, 1], got {p}"));
+            }
+        }
+        if let Some(r) = self.gene_rate {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("gene_rate must lie in [0, 1], got {r}"));
+            }
+        }
+        if self.max_generations == 0 {
+            return Err("max_generations must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::paper_defaults()
+    }
+}
+
+/// Per-generation progress record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: u32,
+    /// Best objective value so far (in the user's orientation — larger is
+    /// better for maximization searches, smaller for minimization).
+    pub best: f64,
+    /// Mean objective value of the generation.
+    pub mean: f64,
+    /// Mean pairwise similarity of the leaderboard.
+    pub similarity: f64,
+}
+
+/// The outcome of a GA search.
+#[derive(Debug, Clone)]
+pub struct SearchResult<G> {
+    /// The best chromosome found.
+    pub best: G,
+    /// Its objective value (user orientation).
+    pub best_fitness: f64,
+    /// The leaderboard: the top distinct chromosomes discovered over the
+    /// whole search, best-first — the paper's "40 worst-case patterns"
+    /// (Fig. 8/9/10/11/12 plot exactly this set).
+    pub leaderboard: Vec<(G, f64)>,
+    /// Generations executed.
+    pub generations: u32,
+    /// Whether the similarity criterion was met (vs. hitting the budget —
+    /// the paper reports both outcomes: CE searches converge, UE/access
+    /// searches run out their two weeks).
+    pub converged: bool,
+    /// Final mean pairwise leaderboard similarity.
+    pub similarity: f64,
+    /// Per-generation history.
+    pub history: Vec<GenerationStats>,
+}
+
+/// The top-N distinct chromosomes seen so far.
+#[derive(Debug, Clone)]
+struct Leaderboard<G> {
+    entries: Vec<(G, f64)>,
+    capacity: usize,
+}
+
+impl<G: Genome + PartialEq> Leaderboard<G> {
+    fn new(capacity: usize) -> Self {
+        Leaderboard { entries: Vec::with_capacity(capacity + 1), capacity }
+    }
+
+    /// Offers a scored chromosome (engine orientation: higher is better).
+    fn offer(&mut self, genome: &G, score: f64) {
+        if let Some(existing) = self.entries.iter_mut().find(|(g, _)| g == genome) {
+            existing.1 = existing.1.max(score);
+            self.entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((genome.clone(), score));
+        } else if score > self.entries.last().expect("leaderboard non-empty").1 {
+            *self.entries.last_mut().expect("leaderboard non-empty") = (genome.clone(), score);
+        } else {
+            return;
+        }
+        self.entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+    }
+
+    fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    fn similarity(&self) -> f64 {
+        let genomes: Vec<&G> = self.entries.iter().map(|(g, _)| g).collect();
+        mean_pairwise(&genomes, |a, b| a.similarity(b))
+    }
+}
+
+/// The search engine.
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct GaEngine {
+    config: GaConfig,
+    rng: StdRng,
+}
+
+impl GaEngine {
+    /// Creates an engine with a validated configuration and a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`GaConfig::validate`]).
+    pub fn new(config: GaConfig, seed: u64) -> Self {
+        config.validate().expect("invalid GA configuration");
+        GaEngine { config, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs a search from a randomly initialized population ("the
+    /// chromosomes from the first offspring are generated randomly",
+    /// §III-E).
+    pub fn run<G, F, Init>(&mut self, mut init: Init, fitness: &mut F) -> SearchResult<G>
+    where
+        G: Genome + PartialEq,
+        F: Fitness<G>,
+        Init: FnMut(&mut StdRng) -> G,
+    {
+        let population: Vec<G> =
+            (0..self.config.population_size).map(|_| init(&mut self.rng)).collect();
+        self.run_from(population, fitness)
+    }
+
+    /// Runs a search from a caller-supplied initial population — how an
+    /// interrupted search resumes from the virus database (§III-F).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population size does not match the configuration.
+    pub fn run_from<G, F>(&mut self, mut population: Vec<G>, fitness: &mut F) -> SearchResult<G>
+    where
+        G: Genome + PartialEq,
+        F: Fitness<G>,
+    {
+        assert_eq!(
+            population.len(),
+            self.config.population_size,
+            "initial population size mismatch"
+        );
+        let sign = if self.config.minimize { -1.0 } else { 1.0 };
+        let mut leaderboard = Leaderboard::new(self.config.population_size);
+        let mut scores: Vec<f64> = population
+            .iter()
+            .map(|g| {
+                let s = sign * fitness.evaluate(g);
+                leaderboard.offer(g, s);
+                s
+            })
+            .collect();
+        let mut history = Vec::new();
+        let mut generations = 0;
+        let mut converged = false;
+        let mut similarity = leaderboard.similarity();
+        let mut best_so_far = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut stagnant_generations = 0u32;
+
+        for generation in 0..self.config.max_generations {
+            generations = generation + 1;
+            history.push(self.stats(generation, &scores, sign, similarity));
+
+            // Elitism: carry the best members over unchanged.
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).expect("fitness values are comparable")
+            });
+            let mut next: Vec<G> = order
+                .iter()
+                .take(self.config.elitism.min(population.len()))
+                .map(|&i| population[i].clone())
+                .collect();
+
+            // Offspring via selection + crossover + mutation.
+            while next.len() < self.config.population_size {
+                let a = self.config.selection.pick(&scores, &mut self.rng);
+                let b = self.config.selection.pick(&scores, &mut self.rng);
+                let (mut c, mut d) = if self.rng.gen::<f64>() < self.config.crossover_prob {
+                    population[a].crossover(&population[b], &mut self.rng)
+                } else {
+                    (population[a].clone(), population[b].clone())
+                };
+                for child in [&mut c, &mut d] {
+                    if self.rng.gen::<f64>() < self.config.mutation_prob {
+                        let rate = self
+                            .config
+                            .gene_rate
+                            .unwrap_or(1.5 / child.len().max(1) as f64);
+                        child.mutate(&mut self.rng, rate);
+                    }
+                }
+                next.push(c);
+                if next.len() < self.config.population_size {
+                    next.push(d);
+                }
+            }
+
+            population = next;
+            scores = population
+                .iter()
+                .map(|g| {
+                    let s = sign * fitness.evaluate(g);
+                    leaderboard.offer(g, s);
+                    s
+                })
+                .collect();
+            similarity = leaderboard.similarity();
+            let generation_best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if generation_best > best_so_far {
+                best_so_far = generation_best;
+                stagnant_generations = 0;
+            } else {
+                stagnant_generations += 1;
+            }
+            if leaderboard.is_full()
+                && similarity >= self.config.convergence_threshold
+                && stagnant_generations >= self.config.stagnation_window
+            {
+                converged = true;
+                history.push(self.stats(generation + 1, &scores, sign, similarity));
+                break;
+            }
+        }
+
+        let leaderboard: Vec<(G, f64)> =
+            leaderboard.entries.into_iter().map(|(g, s)| (g, sign * s)).collect();
+        let (best, best_fitness) = leaderboard[0].clone();
+        SearchResult {
+            best,
+            best_fitness,
+            leaderboard,
+            generations,
+            converged,
+            similarity,
+            history,
+        }
+    }
+
+    fn stats(&self, generation: u32, scores: &[f64], sign: f64, similarity: f64) -> GenerationStats {
+        let best_engine = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean_engine = scores.iter().sum::<f64>() / scores.len() as f64;
+        GenerationStats {
+            generation,
+            best: sign * best_engine,
+            mean: sign * mean_engine,
+            similarity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitness::FnFitness;
+    use crate::genome::{BitGenome, IntGenome};
+
+    #[test]
+    fn config_validation() {
+        assert!(GaConfig::paper_defaults().validate().is_ok());
+        let mut c = GaConfig::paper_defaults();
+        c.population_size = 1;
+        assert!(c.validate().is_err());
+        let mut c = GaConfig::paper_defaults();
+        c.mutation_prob = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = GaConfig::paper_defaults();
+        c.max_generations = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn popcount_calibration_reaches_optimum_in_tens_of_generations() {
+        // The paper's §V calibration: with mutation 0.5 / crossover 0.9 /
+        // population 40 the GA solves 64-bit popcount in ~80 generations.
+        let mut engine = GaEngine::new(GaConfig::paper_defaults(), 11);
+        let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+        let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+        assert!(result.best_fitness >= 63.0, "best = {}", result.best_fitness);
+        assert!(result.converged, "popcount search should converge");
+        assert!(
+            (20..=250).contains(&result.generations),
+            "generations = {}",
+            result.generations
+        );
+    }
+
+    #[test]
+    fn history_best_is_monotone_with_elitism() {
+        let mut engine = GaEngine::new(GaConfig::paper_defaults(), 3);
+        let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+        let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+        for w in result.history.windows(2) {
+            assert!(w[1].best >= w[0].best - 1e-9, "best dropped: {w:?}");
+        }
+    }
+
+    #[test]
+    fn minimization_mode_minimizes() {
+        let mut config = GaConfig::paper_defaults();
+        config.minimize = true;
+        let mut engine = GaEngine::new(config, 5);
+        let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+        let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+        assert!(result.best_fitness <= 1.0, "best = {}", result.best_fitness);
+        // Leaderboard is sorted best-first in the *minimization* sense.
+        for w in result.leaderboard.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn flat_fitness_never_converges() {
+        // A constant fitness keeps the leaderboard at its first 40 distinct
+        // random entries: similarity stays ~0.5 and the budget expires —
+        // the paper's non-convergent UE/access searches behave like this.
+        let mut config = GaConfig::paper_defaults();
+        config.max_generations = 60;
+        let mut engine = GaEngine::new(config, 9);
+        let mut fitness = FnFitness::new(|_: &BitGenome| 1.0);
+        let result = engine.run(|rng| BitGenome::random(rng, 256), &mut fitness);
+        assert!(!result.converged);
+        assert_eq!(result.generations, 60);
+        assert!(result.similarity < 0.65, "similarity {}", result.similarity);
+    }
+
+    #[test]
+    fn noisy_plateau_resists_convergence() {
+        // A saturating landscape with evaluation noise: every genome with
+        // at least half its bits set scores on the same plateau, and noise
+        // reorders them. The leaderboard keeps collecting *unrelated*
+        // plateau members, capping its similarity — the mechanism behind
+        // the paper's non-convergent access-pattern searches (Fig. 11,
+        // SMF ≈ 0.5: disturbance saturates, VRT adds noise).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut config = GaConfig::paper_defaults();
+        config.max_generations = 120;
+        let mut engine = GaEngine::new(config, 21);
+        let mut noise = StdRng::seed_from_u64(99);
+        let mut fitness = FnFitness::new(move |g: &BitGenome| {
+            let plateau = (g.count_ones() as f64).min(32.0);
+            plateau * 10.0 + noise.gen_range(0.0..30.0)
+        });
+        let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+        assert!(!result.converged, "plateau search must not converge");
+        assert!(result.similarity < 0.8, "similarity {}", result.similarity);
+    }
+
+    #[test]
+    fn leaderboard_is_distinct_and_sorted() {
+        let mut engine = GaEngine::new(GaConfig::paper_defaults(), 13);
+        let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+        let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+        assert_eq!(result.leaderboard.len(), 40);
+        for w in result.leaderboard.windows(2) {
+            assert!(w[0].1 >= w[1].1, "leaderboard must be sorted best-first");
+        }
+        for i in 0..result.leaderboard.len() {
+            for j in (i + 1)..result.leaderboard.len() {
+                assert_ne!(
+                    result.leaderboard[i].0, result.leaderboard[j].0,
+                    "leaderboard entries must be distinct"
+                );
+            }
+        }
+        assert_eq!(result.best_fitness, result.leaderboard[0].1);
+    }
+
+    #[test]
+    fn int_genome_search_works() {
+        // Maximize the sum of 16 genes in [0, 20].
+        let mut engine = GaEngine::new(GaConfig::paper_defaults(), 17);
+        let mut fitness =
+            FnFitness::new(|g: &IntGenome| g.values().iter().sum::<u64>() as f64);
+        let result = engine.run(|rng| IntGenome::random(rng, 16, 0, 20), &mut fitness);
+        assert!(result.best_fitness >= 0.9 * 320.0, "best = {}", result.best_fitness);
+    }
+
+    #[test]
+    fn run_from_resumes_a_seeded_population() {
+        // Seeding the population near the optimum lets the leaderboard fill
+        // with near-optimal variants quickly.
+        let mut config = GaConfig::paper_defaults();
+        let mut engine = GaEngine::new(config, 19);
+        let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+        let seeded = vec![BitGenome::from_words(&[u64::MAX], 64); 40];
+        let seeded_result = engine.run_from(seeded, &mut fitness);
+        assert_eq!(seeded_result.best_fitness, 64.0);
+        config.max_generations = seeded_result.generations;
+        // A fresh random search given the same (small) budget does worse on
+        // its first generations.
+        let mut fresh_engine = GaEngine::new(config, 19);
+        let fresh = fresh_engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+        assert!(seeded_result.generations <= fresh.generations);
+    }
+
+    #[test]
+    #[should_panic(expected = "population size mismatch")]
+    fn run_from_validates_population_size() {
+        let mut engine = GaEngine::new(GaConfig::paper_defaults(), 1);
+        let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+        engine.run_from(vec![BitGenome::zeros(8); 3], &mut fitness);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut engine = GaEngine::new(GaConfig::paper_defaults(), seed);
+            let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+            engine.run(|rng| BitGenome::random(rng, 64), &mut fitness).best_fitness
+        };
+        assert_eq!(run(23), run(23));
+    }
+}

@@ -1,0 +1,117 @@
+//! Fitness evaluation.
+
+use crate::genome::Genome;
+
+/// Something that scores chromosomes. Higher is always better inside the
+/// engine; minimization searches (the paper's best-case data pattern,
+/// §V-A.1) are handled by the engine's `minimize` flag, which negates the
+/// reported objective.
+pub trait Fitness<G: Genome> {
+    /// Scores one chromosome. May be stochastic (DRAM fitness is: VRT makes
+    /// error counts vary run-to-run).
+    fn evaluate(&mut self, genome: &G) -> f64;
+}
+
+/// Adapts a closure into a [`Fitness`].
+///
+/// # Examples
+///
+/// ```
+/// use dstress_ga::{BitGenome, Fitness, FnFitness};
+///
+/// let mut f = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+/// let g = BitGenome::from_words(&[0xFF], 64);
+/// assert_eq!(f.evaluate(&g), 8.0);
+/// ```
+pub struct FnFitness<F> {
+    f: F,
+}
+
+impl<F> FnFitness<F> {
+    /// Wraps a closure.
+    pub fn new(f: F) -> Self {
+        FnFitness { f }
+    }
+}
+
+impl<G: Genome, F: FnMut(&G) -> f64> Fitness<G> for FnFitness<F> {
+    fn evaluate(&mut self, genome: &G) -> f64 {
+        (self.f)(genome)
+    }
+}
+
+impl<F> std::fmt::Debug for FnFitness<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnFitness").finish_non_exhaustive()
+    }
+}
+
+/// Averages a noisy inner fitness over `runs` evaluations — the paper runs
+/// "each virus ten times and average\[s\] the number of obtained CEs since the
+/// number of errors may vary from run-to-run due to … Variable Retention
+/// Time" (§V-A.1).
+#[derive(Debug)]
+pub struct AveragedFitness<F> {
+    inner: F,
+    runs: u32,
+}
+
+impl<F> AveragedFitness<F> {
+    /// Wraps `inner`, averaging over `runs` evaluations per chromosome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    pub fn new(inner: F, runs: u32) -> Self {
+        assert!(runs > 0, "averaging requires at least one run");
+        AveragedFitness { inner, runs }
+    }
+
+    /// The configured number of runs.
+    pub fn runs(&self) -> u32 {
+        self.runs
+    }
+}
+
+impl<G: Genome, F: Fitness<G>> Fitness<G> for AveragedFitness<F> {
+    fn evaluate(&mut self, genome: &G) -> f64 {
+        let sum: f64 = (0..self.runs).map(|_| self.inner.evaluate(genome)).sum();
+        sum / self.runs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::BitGenome;
+
+    #[test]
+    fn fn_fitness_delegates() {
+        let mut f = FnFitness::new(|g: &BitGenome| g.len() as f64);
+        assert_eq!(f.evaluate(&BitGenome::zeros(10)), 10.0);
+    }
+
+    #[test]
+    fn averaging_reduces_noise() {
+        // A fitness that alternates 0/10: the average over 10 runs is 5±1.
+        let mut toggle = 0u32;
+        let noisy = FnFitness::new(move |_: &BitGenome| {
+            toggle += 1;
+            if toggle.is_multiple_of(2) {
+                10.0
+            } else {
+                0.0
+            }
+        });
+        let mut avg = AveragedFitness::new(noisy, 10);
+        let v = avg.evaluate(&BitGenome::zeros(4));
+        assert!((v - 5.0).abs() <= 1.0, "averaged value {v}");
+        assert_eq!(avg.runs(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        AveragedFitness::new(FnFitness::new(|_: &BitGenome| 0.0), 0);
+    }
+}

@@ -1,0 +1,4 @@
+//! Genetic operators.
+
+pub mod crossover;
+pub mod selection;

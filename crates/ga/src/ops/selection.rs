@@ -1,0 +1,152 @@
+//! Parent-selection schemes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How parents are drawn from the scored population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum SelectionScheme {
+    /// Classic fitness-proportional roulette wheel (scores shifted so the
+    /// weakest member has a small positive weight).
+    #[default]
+    Roulette,
+    /// k-way tournament: draw `k` members, keep the best.
+    Tournament {
+        /// Tournament size (≥ 1).
+        k: usize,
+    },
+    /// Truncation: parents drawn uniformly from the best `fraction` of the
+    /// population.
+    Truncation {
+        /// Surviving fraction in `(0, 1]`, in percent to stay `Eq`-able.
+        keep_percent: u8,
+    },
+}
+
+
+impl SelectionScheme {
+    /// Draws the index of one parent. `scores` are engine-internal (already
+    /// negated for minimization), higher is better.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population, a zero tournament size, or a zero
+    /// truncation fraction.
+    pub fn pick(&self, scores: &[f64], rng: &mut StdRng) -> usize {
+        assert!(!scores.is_empty(), "selection over an empty population");
+        match *self {
+            SelectionScheme::Roulette => {
+                let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let span = (max - min).max(1e-12);
+                // Shift so the weakest still has ~5 % of the strongest's
+                // weight; degenerate (all-equal) populations become uniform.
+                let weights: Vec<f64> =
+                    scores.iter().map(|s| (s - min) / span + 0.05).collect();
+                let total: f64 = weights.iter().sum();
+                let mut target = rng.gen::<f64>() * total;
+                for (i, w) in weights.iter().enumerate() {
+                    target -= w;
+                    if target <= 0.0 {
+                        return i;
+                    }
+                }
+                scores.len() - 1
+            }
+            SelectionScheme::Tournament { k } => {
+                assert!(k > 0, "tournament size must be positive");
+                let mut best = rng.gen_range(0..scores.len());
+                for _ in 1..k {
+                    let challenger = rng.gen_range(0..scores.len());
+                    if scores[challenger] > scores[best] {
+                        best = challenger;
+                    }
+                }
+                best
+            }
+            SelectionScheme::Truncation { keep_percent } => {
+                assert!(
+                    (1..=100).contains(&keep_percent),
+                    "truncation keep_percent must be in 1..=100"
+                );
+                let mut order: Vec<usize> = (0..scores.len()).collect();
+                order.sort_by(|&a, &b| {
+                    scores[b].partial_cmp(&scores[a]).expect("scores are comparable")
+                });
+                let survivors =
+                    ((scores.len() * keep_percent as usize).div_ceil(100)).max(1);
+                order[rng.gen_range(0..survivors)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn pick_histogram(scheme: SelectionScheme, scores: &[f64], draws: usize) -> Vec<usize> {
+        let mut rng = rng();
+        let mut hist = vec![0usize; scores.len()];
+        for _ in 0..draws {
+            hist[scheme.pick(scores, &mut rng)] += 1;
+        }
+        hist
+    }
+
+    #[test]
+    fn roulette_prefers_fitter_members() {
+        let hist = pick_histogram(SelectionScheme::Roulette, &[1.0, 1.0, 100.0], 3000);
+        assert!(hist[2] > hist[0] * 3, "histogram {hist:?}");
+        assert!(hist[0] > 0, "weak members keep a nonzero chance");
+    }
+
+    #[test]
+    fn roulette_handles_uniform_scores() {
+        let hist = pick_histogram(SelectionScheme::Roulette, &[5.0, 5.0, 5.0, 5.0], 4000);
+        for &h in &hist {
+            assert!((700..1300).contains(&h), "expected near-uniform, got {hist:?}");
+        }
+    }
+
+    #[test]
+    fn roulette_handles_negative_scores() {
+        let hist = pick_histogram(SelectionScheme::Roulette, &[-10.0, -1.0], 2000);
+        assert!(hist[1] > hist[0]);
+    }
+
+    #[test]
+    fn tournament_concentrates_with_k() {
+        let scores = [1.0, 2.0, 3.0, 4.0];
+        let loose = pick_histogram(SelectionScheme::Tournament { k: 2 }, &scores, 4000);
+        let tight = pick_histogram(SelectionScheme::Tournament { k: 4 }, &scores, 4000);
+        assert!(tight[3] > loose[3], "larger k should pick the best more often");
+    }
+
+    #[test]
+    fn truncation_only_picks_survivors() {
+        let scores = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        let hist =
+            pick_histogram(SelectionScheme::Truncation { keep_percent: 30 }, &scores, 1000);
+        for (i, &h) in hist.iter().enumerate() {
+            if i < 7 {
+                assert_eq!(h, 0, "member {i} should never be selected: {hist:?}");
+            } else {
+                assert!(h > 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        SelectionScheme::Roulette.pick(&[], &mut rng());
+    }
+}

@@ -1,0 +1,133 @@
+//! Server configuration.
+
+use dstress_dram::DimmConfig;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the access-intensity model: how a recorded virus trace is
+/// replayed against DRAM for the duration of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessModelConfig {
+    /// Total cache capacity in bytes (a combined L1+L2 stand-in; the
+    /// X-Gene 2 has 32 KB L1D per core and 256 KB shared L2 per pair).
+    pub cache_bytes: usize,
+    /// Cache associativity.
+    pub cache_ways: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Memory operations the virus core sustains per second (explicit
+    /// loads/stores; the paper's viruses use no `clflush`, so only misses
+    /// reach DRAM).
+    pub accesses_per_s: f64,
+    /// Maximum recorded trace length before the session refuses further
+    /// accesses (guards runaway templates).
+    pub max_trace_len: usize,
+    /// Whether the cache hierarchy filters accesses. `false` models a
+    /// `clflush`-style attacker (paper §VI Security: rowhammer exploits
+    /// flush lines to reach DRAM on every access); the paper's own viruses
+    /// run cache-filtered (§V-A.4).
+    pub model_cache: bool,
+}
+
+impl Default for AccessModelConfig {
+    fn default() -> Self {
+        AccessModelConfig {
+            cache_bytes: 256 * 1024,
+            cache_ways: 8,
+            line_bytes: 64,
+            accesses_per_s: 20.0e6,
+            max_trace_len: 8 << 20,
+            model_cache: true,
+        }
+    }
+}
+
+/// Configuration of the whole experimental server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// The DIMM model shared by all four modules (per-module seeds and
+    /// density multipliers make each physical DIMM distinct).
+    pub dimm: DimmConfig,
+    /// Device seed per DIMM (MCU0..MCU3).
+    pub dimm_seeds: [u64; 4],
+    /// Weak-cell density multiplier per DIMM — the paper's DIMM-to-DIMM
+    /// variation (§II, Fig. 1b) comes from manufacturing differences.
+    pub density_multipliers: [f64; 4],
+    /// Access-intensity model.
+    pub access: AccessModelConfig,
+    /// Whether hardware interleaving is enabled. The paper patches firmware
+    /// to *disable* it so data can be pinned to a specific DIMM (§IV).
+    pub interleaving: bool,
+    /// Refresh windows evaluated per virus run (the simulated stand-in for
+    /// the paper's 2-hour exposures).
+    pub windows_per_run: u32,
+    /// Ambient temperature in °C (DIMMs idle at this temperature until the
+    /// thermal testbed raises them).
+    pub ambient_c: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            dimm: DimmConfig::default(),
+            dimm_seeds: [0xD1_00, 0xD1_01, 0xD1_02, 0xD1_03],
+            density_multipliers: [0.6, 0.3, 1.0, 0.1],
+            access: AccessModelConfig::default(),
+            interleaving: false,
+            windows_per_run: 24,
+            ambient_c: 45.0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A reduced configuration for unit tests and doc examples: fewer weak
+    /// cells and fewer windows, same structure.
+    pub fn small() -> Self {
+        let mut config = ServerConfig::default();
+        config.dimm.weak.singles_per_rank = 600;
+        config.dimm.weak.pairs_per_rank = 20;
+        config.windows_per_run = 6;
+        config
+    }
+
+    /// The DIMM configuration for a given MCU slot, with the per-module
+    /// density multiplier applied.
+    pub fn dimm_config_for(&self, mcu: usize) -> DimmConfig {
+        let mut dimm = self.dimm;
+        let mult = self.density_multipliers[mcu];
+        dimm.weak.singles_per_rank =
+            ((dimm.weak.singles_per_rank as f64 * mult).round() as usize).max(1);
+        dimm.weak.pairs_per_rank = ((dimm.weak.pairs_per_rank as f64 * mult).round() as usize).max(1);
+        dimm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_plausible() {
+        let c = ServerConfig::default();
+        assert!(!c.interleaving, "the paper disables interleaving");
+        assert_eq!(c.dimm_seeds.len(), 4);
+        assert!(c.windows_per_run > 0);
+    }
+
+    #[test]
+    fn density_multiplier_scales_population() {
+        let c = ServerConfig::default();
+        let d2 = c.dimm_config_for(2);
+        let d3 = c.dimm_config_for(3);
+        assert!(d2.weak.singles_per_rank > d3.weak.singles_per_rank);
+        assert!(d3.weak.singles_per_rank >= 1);
+    }
+
+    #[test]
+    fn small_config_shrinks_population() {
+        let s = ServerConfig::small();
+        let d = ServerConfig::default();
+        assert!(s.dimm.weak.singles_per_rank < d.dimm.weak.singles_per_rank);
+        assert!(s.windows_per_run < d.windows_per_run);
+    }
+}

@@ -1,0 +1,166 @@
+//! DRAM and system power model.
+//!
+//! Fig. 14's use case converts discovered TREFP/VDD margins into energy
+//! savings: "17.7 % DRAM energy savings and 8.6 % total system energy
+//! savings on average". The model below captures the three DRAM power
+//! components the DDR3 literature decomposes (and the paper's §II
+//! background motivates):
+//!
+//! * **refresh power** — proportional to the refresh rate (`1 / TREFP`) and
+//!   to the stored charge (`VDD²`);
+//! * **background power** — peripheral/standby power, `∝ VDD²`;
+//! * **access power** — per-access energy at the observed DRAM access rate,
+//!   `∝ VDD²`.
+//!
+//! System power adds a constant non-DRAM platform draw, sized so DRAM is a
+//! large-but-not-dominant consumer, as on the real X-Gene 2 board.
+
+use dstress_dram::env::{NOMINAL_TREFP_S, NOMINAL_VDD_V};
+use serde::{Deserialize, Serialize};
+
+/// Coefficients of the power model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Background (standby/peripheral) power per DIMM at nominal VDD, watts.
+    pub background_w: f64,
+    /// Refresh power per DIMM at nominal VDD *and* nominal 64 ms TREFP,
+    /// watts.
+    pub refresh_w_at_nominal: f64,
+    /// Energy per DRAM access (one cache-line transfer), joules.
+    pub access_energy_j: f64,
+    /// Non-DRAM platform power (SoC, fans, VRs), watts.
+    pub platform_w: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            background_w: 2.8,
+            refresh_w_at_nominal: 1.3,
+            access_energy_j: 20e-9,
+            platform_w: 22.0,
+        }
+    }
+}
+
+/// A power measurement for one server configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Power per DIMM, watts.
+    pub per_dimm_w: Vec<f64>,
+    /// Total DRAM power, watts.
+    pub dram_w: f64,
+    /// Total system power (DRAM + platform), watts.
+    pub system_w: f64,
+}
+
+impl PowerModel {
+    /// Power of one DIMM at the given operating point and DRAM access rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trefp_s` or `vdd_v` is not positive.
+    pub fn dimm_power_w(&self, trefp_s: f64, vdd_v: f64, dram_accesses_per_s: f64) -> f64 {
+        assert!(trefp_s > 0.0, "refresh period must be positive");
+        assert!(vdd_v > 0.0, "supply voltage must be positive");
+        let v2 = (vdd_v / NOMINAL_VDD_V).powi(2);
+        let refresh = self.refresh_w_at_nominal * (NOMINAL_TREFP_S / trefp_s) * v2;
+        let background = self.background_w * v2;
+        let access = self.access_energy_j * dram_accesses_per_s.max(0.0) * v2;
+        refresh + background + access
+    }
+
+    /// Full-server report given per-DIMM operating points.
+    ///
+    /// `points` yields `(trefp_s, vdd_v, dram_accesses_per_s)` per DIMM.
+    pub fn report<I>(&self, points: I) -> PowerReport
+    where
+        I: IntoIterator<Item = (f64, f64, f64)>,
+    {
+        let per_dimm_w: Vec<f64> =
+            points.into_iter().map(|(t, v, a)| self.dimm_power_w(t, v, a)).collect();
+        let dram_w = per_dimm_w.iter().sum();
+        PowerReport { per_dimm_w, dram_w, system_w: dram_w + self.platform_w }
+    }
+
+    /// Relative DRAM savings of configuration `b` against baseline `a`.
+    pub fn dram_savings(a: &PowerReport, b: &PowerReport) -> f64 {
+        if a.dram_w == 0.0 {
+            0.0
+        } else {
+            1.0 - b.dram_w / a.dram_w
+        }
+    }
+
+    /// Relative system savings of configuration `b` against baseline `a`.
+    pub fn system_savings(a: &PowerReport, b: &PowerReport) -> f64 {
+        if a.system_w == 0.0 {
+            0.0
+        } else {
+            1.0 - b.system_w / a.system_w
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::default()
+    }
+
+    #[test]
+    fn refresh_power_scales_inversely_with_trefp() {
+        let m = model();
+        let nominal = m.dimm_power_w(0.064, 1.5, 0.0);
+        let relaxed = m.dimm_power_w(2.283, 1.5, 0.0);
+        let saved = nominal - relaxed;
+        // Nearly the whole refresh component disappears at 35x TREFP.
+        assert!((saved - m.refresh_w_at_nominal * (1.0 - 0.064 / 2.283)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn voltage_scales_quadratically() {
+        let m = model();
+        let hi = m.dimm_power_w(0.064, 1.5, 0.0);
+        let lo = m.dimm_power_w(0.064, 1.428, 0.0);
+        assert!((lo / hi - (1.428f64 / 1.5).powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_power_adds_linearly() {
+        let m = model();
+        let idle = m.dimm_power_w(0.064, 1.5, 0.0);
+        let busy = m.dimm_power_w(0.064, 1.5, 10.0e6);
+        assert!((busy - idle - m.access_energy_j * 10.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relaxed_margins_save_double_digit_dram_power() {
+        // The shape target: relaxing TREFP to a sub-second margin under
+        // lowered VDD saves on the order of the paper's 17.7 %.
+        let m = model();
+        let nominal = m.report((0..4).map(|_| (0.064, 1.5, 1.0e6)));
+        let relaxed = m.report((0..4).map(|_| (0.9, 1.428, 1.0e6)));
+        let dram = PowerModel::dram_savings(&nominal, &relaxed);
+        let system = PowerModel::system_savings(&nominal, &relaxed);
+        assert!((0.10..0.40).contains(&dram), "DRAM savings {dram}");
+        assert!(system > 0.02 && system < dram, "system savings {system}");
+    }
+
+    #[test]
+    fn report_sums_dimms_and_platform() {
+        let m = model();
+        let r = m.report(vec![(0.064, 1.5, 0.0); 4]);
+        assert_eq!(r.per_dimm_w.len(), 4);
+        assert!((r.dram_w - 4.0 * r.per_dimm_w[0]).abs() < 1e-9);
+        assert!((r.system_w - r.dram_w - m.platform_w).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "refresh period must be positive")]
+    fn zero_trefp_panics() {
+        model().dimm_power_w(0.0, 1.5, 0.0);
+    }
+}

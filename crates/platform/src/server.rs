@@ -1,0 +1,531 @@
+//! The experimental server: MCUs, MCBs, ECC counters, parameter knobs and
+//! virus-run evaluation (paper §IV, Fig. 5).
+
+use crate::config::ServerConfig;
+use crate::power::{PowerModel, PowerReport};
+use crate::replay::ReplayProfile;
+use crate::session::{RecordedRun, Session};
+use crate::thermal::{SettleReport, ThermalTestbed};
+use dstress_dram::{AddressMap, Dimm, OperatingEnv};
+use dstress_ecc::{classify_flips, CounterSnapshot, EccCounters, EventKind};
+use serde::{Deserialize, Serialize};
+
+/// Number of memory controller units on the X-Gene 2 (paper Fig. 5).
+pub const MCUS: usize = 4;
+/// Number of memory controller bridges; each spans two MCUs and owns the
+/// VDD rail (paper §IV).
+pub const MCBS: usize = 2;
+/// Ranks per DIMM.
+pub const RANKS: usize = 2;
+
+/// One memory controller unit: its DIMM, refresh period and allocation
+/// cursor.
+#[derive(Debug)]
+struct Mcu {
+    dimm: Dimm,
+    trefp_s: f64,
+    alloc_cursor: u64,
+}
+
+/// One memory controller bridge: the VDD rail for two MCUs.
+#[derive(Debug, Clone, Copy)]
+struct Mcb {
+    vdd_v: f64,
+}
+
+/// Error counts attributed to one (MCU, rank) error domain — what Linux
+/// EDAC exposes per DIMM/rank on the real server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainCounts {
+    /// MCU (and therefore DIMM slot) index.
+    pub mcu: usize,
+    /// Rank within the DIMM.
+    pub rank: usize,
+    /// The counter values.
+    pub counts: CounterSnapshot,
+}
+
+/// Error counts attributed to one DRAM row during a run — what the paper
+/// aggregates to find "error-prone rows" for the neighbour-row experiments
+/// (§V-A.2: "We identified the row addresses where errors were detected
+/// using the mapping function").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowErrors {
+    /// MCU (DIMM slot) index.
+    pub mcu: usize,
+    /// The affected row.
+    pub row: dstress_dram::geometry::RowKey,
+    /// Correctable errors observed in the row.
+    pub ce: u64,
+    /// Uncorrectable errors observed in the row.
+    pub ue: u64,
+}
+
+/// The observable outcome of evaluating one virus run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Error totals across all domains for this run.
+    pub totals: CounterSnapshot,
+    /// Per-(MCU, rank) breakdown.
+    pub per_domain: Vec<DomainCounts>,
+    /// Refresh windows completed before the run ended.
+    pub windows_completed: u32,
+    /// Whether the run was stopped early because ECC raised an
+    /// uncorrectable error (the paper's framework kills the virus on UE,
+    /// §V-A.1).
+    pub stopped_on_ue: bool,
+    /// Per-row error tallies for this run, sorted by descending CE count.
+    pub row_errors: Vec<RowErrors>,
+}
+
+/// The simulated X-Gene 2 server.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug)]
+pub struct XGene2Server {
+    config: ServerConfig,
+    mcus: Vec<Mcu>,
+    mcbs: [Mcb; MCBS],
+    thermal: ThermalTestbed,
+    counters: Vec<Vec<EccCounters>>,
+}
+
+impl XGene2Server {
+    /// Boots a server: builds four DIMMs from their per-slot seeds and
+    /// density multipliers, nominal operating parameters everywhere, all
+    /// DIMMs at ambient temperature.
+    pub fn new(config: ServerConfig) -> Self {
+        let mcus = (0..MCUS)
+            .map(|i| Mcu {
+                dimm: Dimm::new(config.dimm_config_for(i), config.dimm_seeds[i]),
+                trefp_s: dstress_dram::env::NOMINAL_TREFP_S,
+                alloc_cursor: 0,
+            })
+            .collect();
+        let counters = (0..MCUS)
+            .map(|_| (0..RANKS).map(|_| EccCounters::new()).collect())
+            .collect();
+        XGene2Server {
+            config,
+            mcus,
+            mcbs: [Mcb { vdd_v: dstress_dram::env::NOMINAL_VDD_V }; MCBS],
+            thermal: ThermalTestbed::new(MCUS, config.ambient_c),
+            counters,
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Whether hardware interleaving is enabled.
+    pub fn interleaving(&self) -> bool {
+        self.config.interleaving
+    }
+
+    /// Row size of the installed DIMMs in bytes.
+    pub fn row_bytes(&self) -> u64 {
+        self.config.dimm.geometry.row_bytes as u64
+    }
+
+    /// Sets the refresh period of one MCU (the X-Gene 2 configures TREFP
+    /// per MCU, §IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mcu` is out of range or `trefp_s` is not positive.
+    pub fn set_trefp(&mut self, mcu: usize, trefp_s: f64) {
+        assert!(trefp_s > 0.0, "refresh period must be positive");
+        self.mcus[mcu].trefp_s = trefp_s;
+    }
+
+    /// The refresh period of one MCU.
+    pub fn trefp(&self, mcu: usize) -> f64 {
+        self.mcus[mcu].trefp_s
+    }
+
+    /// Sets the supply voltage of one MCB (two MCUs share a rail, §IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mcb` is out of range or the voltage is not positive.
+    pub fn set_vdd(&mut self, mcb: usize, vdd_v: f64) {
+        assert!(vdd_v > 0.0, "supply voltage must be positive");
+        self.mcbs[mcb].vdd_v = vdd_v;
+    }
+
+    /// The supply voltage feeding an MCU.
+    pub fn vdd_for_mcu(&self, mcu: usize) -> f64 {
+        self.mcbs[mcu / 2].vdd_v
+    }
+
+    /// Drives one DIMM to a temperature setpoint through the PID testbed
+    /// and returns the settling report.
+    pub fn set_dimm_temperature(&mut self, mcu: usize, temp_c: f64) -> SettleReport {
+        self.thermal.settle(mcu, temp_c)
+    }
+
+    /// The current temperature of a DIMM.
+    pub fn dimm_temperature(&self, mcu: usize) -> f64 {
+        self.thermal.temperature(mcu)
+    }
+
+    /// The operating point currently applied to one MCU's DIMM.
+    pub fn operating_env(&self, mcu: usize) -> OperatingEnv {
+        OperatingEnv {
+            temp_c: self.thermal.temperature(mcu),
+            vdd_v: self.vdd_for_mcu(mcu),
+            trefp_s: self.mcus[mcu].trefp_s,
+        }
+    }
+
+    /// Applies the paper's relaxed stress point (max TREFP, min VDD) to the
+    /// second memory domain (MCU2+MCU3 behind MCB1), leaving MCU0/MCU1
+    /// nominal — the §IV memory configuration.
+    pub fn relax_second_domain(&mut self) {
+        self.set_trefp(2, dstress_dram::env::MAX_TREFP_S);
+        self.set_trefp(3, dstress_dram::env::MAX_TREFP_S);
+        self.set_vdd(1, 1.428);
+    }
+
+    /// Opens a memory session that allocates from `target_mcu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_mcu` is out of range.
+    pub fn session(&mut self, target_mcu: usize) -> Session<'_> {
+        assert!(target_mcu < MCUS, "MCU index {target_mcu} out of range");
+        let max_trace = self.config.access.max_trace_len;
+        Session::new(self, target_mcu, max_trace)
+    }
+
+    /// Read-only access to one DIMM (diagnostics / calibration).
+    pub fn dimm(&self, mcu: usize) -> &Dimm {
+        &self.mcus[mcu].dimm
+    }
+
+    /// Mutable access to one DIMM (workload setup outside a session).
+    pub fn dimm_mut(&mut self, mcu: usize) -> &mut Dimm {
+        &mut self.mcus[mcu].dimm
+    }
+
+    /// Clears the contents of every DIMM and resets allocation cursors —
+    /// fresh memory between experiments.
+    pub fn reset_memory(&mut self) {
+        for mcu in &mut self.mcus {
+            mcu.dimm.clear_contents();
+            mcu.alloc_cursor = 0;
+        }
+    }
+
+    pub(crate) fn allocate(&mut self, mcu: usize, bytes: u64) -> Option<u64> {
+        let capacity = self.mcus[mcu].dimm.geometry().capacity_bytes();
+        let cursor = self.mcus[mcu].alloc_cursor;
+        if cursor + bytes > capacity {
+            return None;
+        }
+        self.mcus[mcu].alloc_cursor += bytes;
+        Some(cursor)
+    }
+
+    pub(crate) fn available(&self, mcu: usize) -> u64 {
+        self.mcus[mcu].dimm.geometry().capacity_bytes() - self.mcus[mcu].alloc_cursor
+    }
+
+    pub(crate) fn read_local(&self, mcu: usize, local_addr: u64) -> u64 {
+        let map = self.mcus[mcu].dimm.address_map();
+        let loc = map.map(local_addr & !7).expect("session addresses are within capacity");
+        self.mcus[mcu].dimm.read_word(loc)
+    }
+
+    pub(crate) fn write_local(&mut self, mcu: usize, local_addr: u64, value: u64) {
+        let map = self.mcus[mcu].dimm.address_map();
+        let loc = map.map(local_addr & !7).expect("session addresses are within capacity");
+        self.mcus[mcu].dimm.write_word(loc, value);
+    }
+
+    /// Zeroes all EDAC counters (done between virus runs, as on the real
+    /// server).
+    pub fn reset_counters(&mut self) {
+        for per_mcu in &self.counters {
+            for c in per_mcu {
+                c.reset();
+            }
+        }
+    }
+
+    /// Snapshot of every (MCU, rank) error domain.
+    pub fn counters(&self) -> Vec<DomainCounts> {
+        let mut out = Vec::with_capacity(MCUS * RANKS);
+        for (mcu, per_mcu) in self.counters.iter().enumerate() {
+            for (rank, c) in per_mcu.iter().enumerate() {
+                out.push(DomainCounts { mcu, rank, counts: c.snapshot() });
+            }
+        }
+        out
+    }
+
+    /// Evaluates one virus run: replays the recorded trace for
+    /// `windows_per_run` refresh windows under the current operating points
+    /// and tallies ECC events. `nonce` distinguishes repeat runs of the
+    /// same virus (VRT makes them differ, so callers average several runs,
+    /// as the paper does with 10).
+    ///
+    /// The run stops at the end of the first window in which ECC reported
+    /// an uncorrectable error, mirroring the OS killing the virus (§V-A.1).
+    pub fn evaluate_run(&mut self, run: &RecordedRun, nonce: u64) -> RunOutcome {
+        let profile = self.build_profile(run);
+        let disturbances = self.disturbance_profiles(&profile);
+        self.evaluate_with_profile(&disturbances, nonce)
+    }
+
+    /// Evaluates `runs` repeat runs of the same virus, building the replay
+    /// profile once (the paper's 10-run averaging workflow, §V-A.1).
+    pub fn evaluate_runs(&mut self, run: &RecordedRun, runs: u32, base_nonce: u64) -> Vec<RunOutcome> {
+        let profile = self.build_profile(run);
+        let disturbances = self.disturbance_profiles(&profile);
+        (0..runs as u64)
+            .map(|r| self.evaluate_with_profile(&disturbances, base_nonce.wrapping_add(r)))
+            .collect()
+    }
+
+    /// Precomputes each DIMM's per-weak-word disturbance factors for a
+    /// replay profile (they are invariant across windows and runs).
+    fn disturbance_profiles(&self, profile: &ReplayProfile) -> Vec<Vec<f64>> {
+        (0..MCUS)
+            .map(|mcu| self.mcus[mcu].dimm.disturbance_profile(&profile.acts_per_window[mcu]))
+            .collect()
+    }
+
+    /// Builds the analytic replay profile for a recorded run under the
+    /// current per-MCU refresh periods.
+    pub fn build_profile(&self, run: &RecordedRun) -> ReplayProfile {
+        let maps: Vec<AddressMap> = self.mcus.iter().map(|m| m.dimm.address_map()).collect();
+        let trefps: Vec<f64> = self.mcus.iter().map(|m| m.trefp_s).collect();
+        ReplayProfile::build(run, &self.config.access, &maps, &trefps)
+    }
+
+    fn evaluate_with_profile(&mut self, disturbances: &[Vec<f64>], nonce: u64) -> RunOutcome {
+        let before = self.counters();
+        let mut stopped_on_ue = false;
+        let mut windows_completed = 0;
+        let mut row_errors: std::collections::HashMap<(usize, dstress_dram::geometry::RowKey), (u64, u64)> =
+            std::collections::HashMap::new();
+        'windows: for window in 0..self.config.windows_per_run {
+            for mcu in 0..MCUS {
+                let env = self.operating_env(mcu);
+                let window_nonce = nonce
+                    .wrapping_mul(0x0100_0000_01B3)
+                    .wrapping_add(window as u64)
+                    .wrapping_add((mcu as u64) << 32);
+                let events = self.mcus[mcu].dimm.advance_window_profiled(
+                    &env,
+                    &disturbances[mcu],
+                    window_nonce,
+                );
+                for event in events {
+                    let kind = classify_flips(event.written, event.flip_mask, 0);
+                    self.counters[mcu][event.loc.rank as usize].record(kind);
+                    if kind.is_visible() {
+                        let entry = row_errors
+                            .entry((mcu, event.loc.row_key()))
+                            .or_insert((0u64, 0u64));
+                        match kind {
+                            EventKind::Ce => entry.0 += 1,
+                            EventKind::Ue => entry.1 += 1,
+                            _ => {}
+                        }
+                    }
+                    if kind == EventKind::Ue {
+                        stopped_on_ue = true;
+                    }
+                }
+            }
+            windows_completed = window + 1;
+            if stopped_on_ue {
+                break 'windows;
+            }
+        }
+        let after = self.counters();
+        let per_domain: Vec<DomainCounts> = after
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| DomainCounts {
+                mcu: a.mcu,
+                rank: a.rank,
+                counts: a.counts.since(&b.counts),
+            })
+            .collect();
+        let totals = per_domain
+            .iter()
+            .fold(CounterSnapshot::default(), |acc, d| acc + d.counts);
+        let mut row_errors: Vec<RowErrors> = row_errors
+            .into_iter()
+            .map(|((mcu, row), (ce, ue))| RowErrors { mcu, row, ce, ue })
+            .collect();
+        row_errors.sort_by(|a, b| b.ce.cmp(&a.ce).then(b.ue.cmp(&a.ue)).then(a.row.cmp(&b.row)));
+        RunOutcome { totals, per_domain, windows_completed, stopped_on_ue, row_errors }
+    }
+
+    /// Measures server power at the current operating points, given the
+    /// DRAM access rate each DIMM sustains.
+    pub fn measure_power(&self, model: &PowerModel, dram_accesses_per_s: &[f64; MCUS]) -> PowerReport {
+        model.report((0..MCUS).map(|i| {
+            (self.mcus[i].trefp_s, self.vdd_for_mcu(i), dram_accesses_per_s[i])
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::MemoryBus;
+
+    const WORST: u64 = 0x3333_3333_3333_3333;
+
+    fn server() -> XGene2Server {
+        XGene2Server::new(ServerConfig::small())
+    }
+
+    /// Fills the whole target DIMM with a word pattern and returns the
+    /// recorded run (the paper's data-pattern viruses malloc as much memory
+    /// as possible so the pattern covers the module).
+    fn fill_run(server: &mut XGene2Server, mcu: usize, word: u64) -> RecordedRun {
+        server.reset_memory();
+        let bytes = server.config().dimm.geometry.capacity_bytes();
+        let mut s = server.session(mcu);
+        let base = s.alloc(bytes).expect("allocation fits");
+        for w in 0..(bytes / 8) {
+            s.write_u64(base + w * 8, word).expect("write in range");
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn knobs_are_per_mcu_and_per_mcb() {
+        let mut sv = server();
+        sv.set_trefp(2, 1.0);
+        assert_eq!(sv.trefp(2), 1.0);
+        assert_eq!(sv.trefp(0), dstress_dram::env::NOMINAL_TREFP_S);
+        sv.set_vdd(1, 1.428);
+        assert_eq!(sv.vdd_for_mcu(2), 1.428);
+        assert_eq!(sv.vdd_for_mcu(3), 1.428);
+        assert_eq!(sv.vdd_for_mcu(0), 1.5);
+    }
+
+    #[test]
+    fn relax_second_domain_matches_paper_setup() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        assert_eq!(sv.trefp(2), dstress_dram::env::MAX_TREFP_S);
+        assert_eq!(sv.trefp(3), dstress_dram::env::MAX_TREFP_S);
+        assert_eq!(sv.trefp(0), dstress_dram::env::NOMINAL_TREFP_S);
+        assert!((sv.vdd_for_mcu(2) - 1.428).abs() < 1e-9);
+        assert_eq!(sv.vdd_for_mcu(0), 1.5);
+    }
+
+    #[test]
+    fn thermal_setpoint_sticks() {
+        let mut sv = server();
+        let report = sv.set_dimm_temperature(2, 60.0);
+        assert!(report.settled);
+        assert!((sv.dimm_temperature(2) - 60.0).abs() < 0.5);
+        assert!((sv.dimm_temperature(0) - sv.config().ambient_c).abs() < 0.5);
+    }
+
+    #[test]
+    fn nominal_run_is_error_free() {
+        let mut sv = server();
+        sv.set_dimm_temperature(2, 60.0);
+        let run = fill_run(&mut sv, 2, WORST);
+        let outcome = sv.evaluate_run(&run, 0);
+        assert_eq!(outcome.totals.visible(), 0, "no errors at nominal parameters");
+        assert!(!outcome.stopped_on_ue);
+    }
+
+    #[test]
+    fn relaxed_run_manifests_ces_on_the_stressed_dimm_only() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 60.0);
+        let run = fill_run(&mut sv, 2, WORST);
+        let outcome = sv.evaluate_run(&run, 0);
+        assert!(outcome.totals.ce > 0, "relaxed DIMM2 at 60C must show CEs");
+        let ce_of = |mcu: usize| -> u64 {
+            outcome.per_domain.iter().filter(|d| d.mcu == mcu).map(|d| d.counts.visible()).sum()
+        };
+        // MCU0/MCU1 run at nominal parameters: no errors there.
+        assert_eq!(ce_of(0), 0, "nominal MCU0 must stay clean");
+        assert_eq!(ce_of(1), 0, "nominal MCU1 must stay clean");
+        // DIMM3 is relaxed too but idle at ambient: only background errors,
+        // far fewer than the heated, virus-filled DIMM2.
+        assert!(ce_of(2) > 10 * ce_of(3).max(1), "DIMM2 must dominate: {} vs {}", ce_of(2), ce_of(3));
+    }
+
+    #[test]
+    fn high_temperature_triggers_ue_and_stops_the_run() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 70.0);
+        // Fill the whole DIMM so the UE-prone pairs are covered.
+        let run = fill_run(&mut sv, 2, WORST);
+        let outcome = sv.evaluate_run(&run, 0);
+        assert!(outcome.stopped_on_ue, "70C must raise a UE");
+        assert!(outcome.totals.ue > 0);
+        assert!(outcome.windows_completed <= sv.config().windows_per_run);
+    }
+
+    #[test]
+    fn counters_accumulate_across_runs_and_reset() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 60.0);
+        let run = fill_run(&mut sv, 2, WORST);
+        let a = sv.evaluate_run(&run, 0);
+        let b = sv.evaluate_run(&run, 1);
+        let total: u64 = sv.counters().iter().map(|d| d.counts.visible()).sum();
+        assert_eq!(total, a.totals.visible() + b.totals.visible());
+        sv.reset_counters();
+        let zero: u64 = sv.counters().iter().map(|d| d.counts.visible()).sum();
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn run_outcomes_vary_across_nonces() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 60.0);
+        let run = fill_run(&mut sv, 2, WORST);
+        let counts: Vec<u64> = (0..8).map(|n| sv.evaluate_run(&run, n).totals.ce).collect();
+        let distinct: std::collections::HashSet<_> = counts.iter().collect();
+        assert!(distinct.len() > 1, "VRT must differentiate runs: {counts:?}");
+    }
+
+    #[test]
+    fn worst_pattern_beats_all_zeros_at_server_level() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 60.0);
+        let run = fill_run(&mut sv, 2, WORST);
+        let worst: u64 = (0..4).map(|n| sv.evaluate_run(&run, n).totals.ce).sum();
+        sv.reset_memory();
+        let run = fill_run(&mut sv, 2, 0);
+        let zeros: u64 = (0..4).map(|n| sv.evaluate_run(&run, n).totals.ce).sum();
+        assert!(
+            worst as f64 >= 1.4 * zeros.max(1) as f64,
+            "worst={worst} zeros={zeros}"
+        );
+    }
+
+    #[test]
+    fn measure_power_reflects_knobs() {
+        let mut sv = server();
+        let model = PowerModel::default();
+        let before = sv.measure_power(&model, &[0.0; 4]);
+        sv.relax_second_domain();
+        let after = sv.measure_power(&model, &[0.0; 4]);
+        assert!(after.dram_w < before.dram_w);
+        assert!(after.system_w < before.system_w);
+    }
+}

@@ -1,0 +1,376 @@
+//! Virtual memory sessions: what a running virus sees.
+//!
+//! A [`Session`] is the view a virus process has of memory on the server:
+//! `malloc`-style allocation, 64-bit loads and stores. Every access is
+//! recorded into a trace; stores are applied to the backing DIMM
+//! immediately. When the virus body finishes, [`Session::finish`] yields a
+//! [`RecordedRun`] that the server replays analytically for the duration of
+//! the experiment (see [`crate::replay`]).
+//!
+//! The paper pins application data to a chosen MCU by disabling hardware
+//! interleaving in firmware (§IV "Memory Configuration"); a session is
+//! created against a target MCU accordingly. With interleaving enabled,
+//! consecutive cache lines stripe across all four MCUs instead.
+
+use serde::{Deserialize, Serialize};
+
+/// A virtual address inside a session.
+pub type VirtAddr = u64;
+
+/// The abstract memory interface a virus interpreter drives.
+///
+/// Implemented by [`Session`]; the `dstress-vpl` interpreter is written
+/// against this trait so it can also run against mocks in tests.
+pub trait MemoryBus {
+    /// Allocates `bytes` of zero-initialized memory, returning its virtual
+    /// base address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the backing DIMM is exhausted.
+    fn alloc(&mut self, bytes: u64) -> Result<VirtAddr, SessionError>;
+
+    /// Loads a 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or unaligned addresses.
+    fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, SessionError>;
+
+    /// Stores a 64-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or unaligned addresses.
+    fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), SessionError>;
+}
+
+/// Error raised by session memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The target DIMM has no room for the requested allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes remaining on the target DIMM.
+        available: u64,
+    },
+    /// Address not 8-byte aligned.
+    Unaligned(VirtAddr),
+    /// Address not inside any allocation.
+    Unmapped(VirtAddr),
+    /// Allocation of zero bytes requested.
+    ZeroAllocation,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::OutOfMemory { requested, available } => {
+                write!(f, "out of memory: requested {requested} bytes, {available} available")
+            }
+            SessionError::Unaligned(a) => write!(f, "address {a:#x} is not 64-bit aligned"),
+            SessionError::Unmapped(a) => write!(f, "address {a:#x} is not mapped"),
+            SessionError::ZeroAllocation => write!(f, "cannot allocate zero bytes"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One recorded memory access: which MCU and DIMM-local physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceOp {
+    /// MCU index (0–3).
+    pub mcu: u8,
+    /// DIMM-local physical byte address.
+    pub local_addr: u64,
+    /// Whether the access was a store.
+    pub is_write: bool,
+}
+
+/// The result of executing a virus body once: its DRAM access trace.
+///
+/// Stores were already applied to the DIMMs; the trace is replayed
+/// analytically to model the access intensity over a full run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedRun {
+    /// The recorded access trace, in program order.
+    pub trace: Vec<TraceOp>,
+    /// The MCU the session allocated from.
+    pub target_mcu: usize,
+    /// Whether the trace hit the recording cap (the replay then uses the
+    /// recorded prefix as the periodic unit).
+    pub truncated: bool,
+}
+
+impl RecordedRun {
+    /// An empty run (no accesses — idle memory under test).
+    pub fn idle(target_mcu: usize) -> Self {
+        RecordedRun { trace: Vec::new(), target_mcu, truncated: false }
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+/// One contiguous allocation.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    virt_base: u64,
+    bytes: u64,
+    phys_base: u64,
+}
+
+/// A live memory session against a server.
+///
+/// Created by [`crate::XGene2Server::session`]. See the crate-level example.
+#[derive(Debug)]
+pub struct Session<'a> {
+    server: &'a mut crate::server::XGene2Server,
+    target_mcu: usize,
+    segments: Vec<Segment>,
+    next_virt: u64,
+    trace: Vec<TraceOp>,
+    max_trace: usize,
+    truncated: bool,
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn new(
+        server: &'a mut crate::server::XGene2Server,
+        target_mcu: usize,
+        max_trace: usize,
+    ) -> Self {
+        Session {
+            server,
+            target_mcu,
+            segments: Vec::new(),
+            next_virt: 0x1_0000,
+            trace: Vec::new(),
+            max_trace,
+            truncated: false,
+        }
+    }
+
+    /// The MCU this session allocates from.
+    pub fn target_mcu(&self) -> usize {
+        self.target_mcu
+    }
+
+    /// Translates a virtual address to `(mcu, local physical address)`.
+    fn translate(&self, addr: VirtAddr) -> Result<(usize, u64), SessionError> {
+        if !addr.is_multiple_of(8) {
+            return Err(SessionError::Unaligned(addr));
+        }
+        let seg = self
+            .segments
+            .iter()
+            .find(|s| addr >= s.virt_base && addr < s.virt_base + s.bytes)
+            .ok_or(SessionError::Unmapped(addr))?;
+        let offset = addr - seg.virt_base;
+        if self.server.interleaving() {
+            // Consecutive 64-byte lines stripe across the four MCUs.
+            let line = (seg.phys_base + offset) / 64;
+            let within = (seg.phys_base + offset) % 64;
+            let mcu = (line % crate::server::MCUS as u64) as usize;
+            let local = (line / crate::server::MCUS as u64) * 64 + within;
+            Ok((mcu, local))
+        } else {
+            Ok((self.target_mcu, seg.phys_base + offset))
+        }
+    }
+
+    fn record(&mut self, mcu: usize, local_addr: u64, is_write: bool) {
+        if self.trace.len() >= self.max_trace {
+            self.truncated = true;
+            return;
+        }
+        self.trace.push(TraceOp { mcu: mcu as u8, local_addr, is_write });
+    }
+
+    /// Consumes the session, returning the recorded run.
+    pub fn finish(self) -> RecordedRun {
+        RecordedRun { trace: self.trace, target_mcu: self.target_mcu, truncated: self.truncated }
+    }
+}
+
+impl MemoryBus for Session<'_> {
+    fn alloc(&mut self, bytes: u64) -> Result<VirtAddr, SessionError> {
+        if bytes == 0 {
+            return Err(SessionError::ZeroAllocation);
+        }
+        // Round to whole rows so big arrays land on row boundaries, as the
+        // paper's 8 KB-chunk analysis assumes for page-aligned mallocs.
+        let row_bytes = self.server.row_bytes();
+        let rounded = bytes.div_ceil(row_bytes) * row_bytes;
+        let phys_base = self.server.allocate(self.target_mcu, rounded).ok_or({
+            SessionError::OutOfMemory {
+                requested: bytes,
+                available: self.server.available(self.target_mcu),
+            }
+        })?;
+        let virt = self.next_virt;
+        self.segments.push(Segment { virt_base: virt, bytes: rounded, phys_base });
+        self.next_virt += rounded;
+        Ok(virt)
+    }
+
+    fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, SessionError> {
+        let (mcu, local) = self.translate(addr)?;
+        self.record(mcu, local, false);
+        Ok(self.server.read_local(mcu, local))
+    }
+
+    fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), SessionError> {
+        let (mcu, local) = self.translate(addr)?;
+        self.record(mcu, local, true);
+        self.server.write_local(mcu, local, value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use crate::server::XGene2Server;
+
+    fn server() -> XGene2Server {
+        XGene2Server::new(ServerConfig::small())
+    }
+
+    #[test]
+    fn alloc_read_write_roundtrip() {
+        let mut server = server();
+        let mut s = server.session(2);
+        let base = s.alloc(1024).unwrap();
+        s.write_u64(base, 0xDEAD).unwrap();
+        s.write_u64(base + 8, 0xBEEF).unwrap();
+        assert_eq!(s.read_u64(base).unwrap(), 0xDEAD);
+        assert_eq!(s.read_u64(base + 8).unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_default_fill() {
+        let mut server = server();
+        let fill = server.config().dimm.default_fill;
+        let mut s = server.session(2);
+        let base = s.alloc(64).unwrap();
+        assert_eq!(s.read_u64(base + 32).unwrap(), fill);
+    }
+
+    #[test]
+    fn alignment_and_mapping_checks() {
+        let mut server = server();
+        let mut s = server.session(1);
+        let base = s.alloc(64).unwrap();
+        assert_eq!(s.read_u64(base + 1).unwrap_err(), SessionError::Unaligned(base + 1));
+        assert!(matches!(s.read_u64(0x8).unwrap_err(), SessionError::Unmapped(_)));
+        assert_eq!(s.alloc(0).unwrap_err(), SessionError::ZeroAllocation);
+    }
+
+    #[test]
+    fn allocations_round_to_rows_and_do_not_overlap() {
+        let mut server = server();
+        let row = server.row_bytes();
+        let mut s = server.session(0);
+        let a = s.alloc(10).unwrap();
+        let b = s.alloc(10).unwrap();
+        assert_eq!(b - a, row, "second allocation must start a new row");
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut server = server();
+        let capacity = server.config().dimm.geometry.capacity_bytes();
+        let mut s = server.session(3);
+        assert!(s.alloc(capacity / 2).is_ok());
+        let err = s.alloc(capacity).unwrap_err();
+        assert!(matches!(err, SessionError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn trace_records_accesses_in_order() {
+        let mut server = server();
+        let mut s = server.session(2);
+        let base = s.alloc(64).unwrap();
+        s.write_u64(base, 1).unwrap();
+        s.read_u64(base).unwrap();
+        let run = s.finish();
+        assert_eq!(run.len(), 2);
+        assert!(run.trace[0].is_write);
+        assert!(!run.trace[1].is_write);
+        assert_eq!(run.trace[0].local_addr, run.trace[1].local_addr);
+        assert_eq!(run.target_mcu, 2);
+        assert!(!run.truncated);
+    }
+
+    #[test]
+    fn trace_truncates_at_cap() {
+        let mut config = ServerConfig::small();
+        config.access.max_trace_len = 4;
+        let mut server = XGene2Server::new(config);
+        let mut s = server.session(2);
+        let base = s.alloc(128).unwrap();
+        for i in 0..10 {
+            s.write_u64(base + i * 8, i).unwrap();
+        }
+        let run = s.finish();
+        assert_eq!(run.len(), 4);
+        assert!(run.truncated);
+    }
+
+    #[test]
+    fn writes_reach_the_target_dimm_even_when_truncated() {
+        let mut config = ServerConfig::small();
+        config.access.max_trace_len = 1;
+        let mut server = XGene2Server::new(config);
+        let mut s = server.session(2);
+        let base = s.alloc(64).unwrap();
+        s.write_u64(base, 1).unwrap();
+        s.write_u64(base + 8, 2).unwrap();
+        assert_eq!(s.read_u64(base + 8).unwrap(), 2);
+    }
+
+    #[test]
+    fn interleaving_spreads_lines_across_mcus() {
+        let mut config = ServerConfig::small();
+        config.interleaving = true;
+        let mut server = XGene2Server::new(config);
+        let mut s = server.session(0);
+        let base = s.alloc(4096).unwrap();
+        for line in 0..8 {
+            s.read_u64(base + line * 64).unwrap();
+        }
+        let run = s.finish();
+        let mcus: std::collections::HashSet<u8> = run.trace.iter().map(|t| t.mcu).collect();
+        assert_eq!(mcus.len(), 4, "8 consecutive lines must touch all 4 MCUs");
+    }
+
+    #[test]
+    fn without_interleaving_everything_stays_on_target() {
+        let mut server = server();
+        let mut s = server.session(3);
+        let base = s.alloc(4096).unwrap();
+        for line in 0..8 {
+            s.read_u64(base + line * 64).unwrap();
+        }
+        let run = s.finish();
+        assert!(run.trace.iter().all(|t| t.mcu == 3));
+    }
+
+    #[test]
+    fn idle_run_is_empty() {
+        let run = RecordedRun::idle(1);
+        assert!(run.is_empty());
+        assert_eq!(run.len(), 0);
+    }
+}

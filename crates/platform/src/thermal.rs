@@ -1,0 +1,247 @@
+//! The temperature-controlled testbed (paper §IV, Figs. 6–7).
+//!
+//! The paper fits each DIMM with resistive heating elements driven by
+//! solid-state relays under four closed-loop PID controllers on a Raspberry
+//! Pi. This module simulates that rig: a first-order thermal plant per DIMM
+//! and a discrete PID controller that drives the heater power to hold a
+//! setpoint. Experiments call [`ThermalTestbed::settle`] before each
+//! measurement, exactly as the real campaign waited for thermal
+//! stabilization.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order thermal plant: a DIMM with a heater attached.
+///
+/// `dT/dt = (heater_gain · P + ambient − T) / tau`
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPlant {
+    /// Current temperature (°C).
+    pub temp_c: f64,
+    /// Ambient temperature (°C) the DIMM relaxes to with the heater off.
+    pub ambient_c: f64,
+    /// Thermal time constant (seconds).
+    pub tau_s: f64,
+    /// Steady-state °C above ambient per watt of heater power.
+    pub gain_c_per_w: f64,
+}
+
+impl ThermalPlant {
+    /// A plant at ambient temperature.
+    pub fn new(ambient_c: f64) -> Self {
+        ThermalPlant { temp_c: ambient_c, ambient_c, tau_s: 30.0, gain_c_per_w: 2.5 }
+    }
+
+    /// Advances the plant by `dt_s` seconds with `power_w` heater power.
+    pub fn step(&mut self, power_w: f64, dt_s: f64) {
+        let target = self.ambient_c + self.gain_c_per_w * power_w.max(0.0);
+        self.temp_c += (target - self.temp_c) * (dt_s / self.tau_s).min(1.0);
+    }
+}
+
+/// A discrete PID controller with clamped output and anti-windup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidController {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Output clamp (watts).
+    pub max_output_w: f64,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl PidController {
+    /// Creates a controller with the given gains and output clamp.
+    pub fn new(kp: f64, ki: f64, kd: f64, max_output_w: f64) -> Self {
+        PidController { kp, ki, kd, max_output_w, integral: 0.0, last_error: None }
+    }
+
+    /// Gains tuned for the default [`ThermalPlant`].
+    pub fn tuned() -> Self {
+        PidController::new(2.0, 0.08, 2.0, 40.0)
+    }
+
+    /// One control step; returns the heater power to apply.
+    pub fn step(&mut self, setpoint_c: f64, measured_c: f64, dt_s: f64) -> f64 {
+        let error = setpoint_c - measured_c;
+        let derivative = match self.last_error {
+            Some(prev) => (error - prev) / dt_s,
+            None => 0.0,
+        };
+        self.last_error = Some(error);
+        let unclamped = self.kp * error + self.ki * self.integral + self.kd * derivative;
+        // Anti-windup: only integrate when not saturated in that direction.
+        let saturated_high = unclamped >= self.max_output_w && error > 0.0;
+        let saturated_low = unclamped <= 0.0 && error < 0.0;
+        if !saturated_high && !saturated_low {
+            self.integral += error * dt_s;
+        }
+        unclamped.clamp(0.0, self.max_output_w)
+    }
+
+    /// Resets controller memory (integral and derivative history).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+}
+
+/// The settling result for one channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettleReport {
+    /// Final temperature reached (°C).
+    pub final_temp_c: f64,
+    /// Simulated seconds until the temperature stayed within the band.
+    pub settle_time_s: f64,
+    /// Whether the controller settled within the allowed time.
+    pub settled: bool,
+    /// Sampled temperature trajectory (one sample per control period).
+    pub trajectory: Vec<f64>,
+}
+
+/// The four-channel thermal rig: one plant + PID per DIMM.
+#[derive(Debug, Clone)]
+pub struct ThermalTestbed {
+    plants: Vec<ThermalPlant>,
+    controllers: Vec<PidController>,
+}
+
+impl ThermalTestbed {
+    /// Builds a rig with `channels` DIMM channels at ambient temperature.
+    pub fn new(channels: usize, ambient_c: f64) -> Self {
+        ThermalTestbed {
+            plants: vec![ThermalPlant::new(ambient_c); channels],
+            controllers: vec![PidController::tuned(); channels],
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.plants.len()
+    }
+
+    /// Current temperature of a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn temperature(&self, channel: usize) -> f64 {
+        self.plants[channel].temp_c
+    }
+
+    /// Drives one channel to a setpoint, simulating the PID loop until the
+    /// temperature stays within ±0.25 °C for 30 consecutive seconds (or a
+    /// 1-hour simulated timeout elapses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn settle(&mut self, channel: usize, setpoint_c: f64) -> SettleReport {
+        const DT: f64 = 1.0;
+        const BAND: f64 = 0.25;
+        const HOLD_S: f64 = 30.0;
+        const TIMEOUT_S: f64 = 3600.0;
+        let plant = &mut self.plants[channel];
+        let pid = &mut self.controllers[channel];
+        pid.reset();
+        let mut trajectory = Vec::new();
+        let mut in_band_s = 0.0;
+        let mut t = 0.0;
+        while t < TIMEOUT_S {
+            let power = pid.step(setpoint_c, plant.temp_c, DT);
+            plant.step(power, DT);
+            trajectory.push(plant.temp_c);
+            t += DT;
+            if (plant.temp_c - setpoint_c).abs() <= BAND {
+                in_band_s += DT;
+                if in_band_s >= HOLD_S {
+                    return SettleReport {
+                        final_temp_c: plant.temp_c,
+                        settle_time_s: t,
+                        settled: true,
+                        trajectory,
+                    };
+                }
+            } else {
+                in_band_s = 0.0;
+            }
+        }
+        SettleReport { final_temp_c: plant.temp_c, settle_time_s: t, settled: false, trajectory }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_relaxes_to_ambient() {
+        let mut p = ThermalPlant::new(45.0);
+        p.temp_c = 70.0;
+        for _ in 0..1000 {
+            p.step(0.0, 1.0);
+        }
+        assert!((p.temp_c - 45.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn plant_heats_toward_gain_times_power() {
+        let mut p = ThermalPlant::new(45.0);
+        for _ in 0..2000 {
+            p.step(10.0, 1.0);
+        }
+        assert!((p.temp_c - (45.0 + 25.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn pid_settles_on_setpoints_in_paper_range() {
+        for setpoint in [50.0, 55.0, 60.0, 62.0, 65.0, 70.0] {
+            let mut rig = ThermalTestbed::new(4, 45.0);
+            let report = rig.settle(0, setpoint);
+            assert!(report.settled, "did not settle at {setpoint}: {}", report.final_temp_c);
+            assert!(
+                (report.final_temp_c - setpoint).abs() <= 0.3,
+                "settled at {} instead of {setpoint}",
+                report.final_temp_c
+            );
+        }
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut rig = ThermalTestbed::new(4, 45.0);
+        rig.settle(1, 65.0);
+        assert!((rig.temperature(1) - 65.0).abs() < 0.5);
+        assert!((rig.temperature(0) - 45.0).abs() < 0.5, "channel 0 must stay ambient");
+    }
+
+    #[test]
+    fn settle_records_a_trajectory() {
+        let mut rig = ThermalTestbed::new(1, 45.0);
+        let report = rig.settle(0, 60.0);
+        assert!(report.trajectory.len() as f64 >= report.settle_time_s);
+        assert!(report.trajectory.first().unwrap() < report.trajectory.last().unwrap());
+    }
+
+    #[test]
+    fn pid_output_is_clamped() {
+        let mut pid = PidController::tuned();
+        let power = pid.step(500.0, 20.0, 1.0);
+        assert!(power <= pid.max_output_w);
+        let cool = pid.step(0.0, 100.0, 1.0);
+        assert_eq!(cool, 0.0, "heater cannot cool");
+    }
+
+    #[test]
+    fn pid_reset_clears_memory() {
+        let mut pid = PidController::tuned();
+        pid.step(60.0, 45.0, 1.0);
+        pid.step(60.0, 46.0, 1.0);
+        pid.reset();
+        let mut fresh = PidController::tuned();
+        assert_eq!(pid.step(60.0, 45.0, 1.0), fresh.step(60.0, 45.0, 1.0));
+    }
+}

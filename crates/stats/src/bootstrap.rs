@@ -1,0 +1,167 @@
+//! Percentile bootstrap for confidence intervals.
+//!
+//! Fig. 13's tail probabilities (`P(a better pattern exists)`) come from a
+//! Gaussian fitted to a few hundred random-virus samples; the point
+//! estimate deserves an uncertainty. The percentile bootstrap resamples the
+//! data with replacement and reports the empirical quantiles of any
+//! statistic computed on the resamples.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The statistic on the original sample.
+    pub point: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// The confidence level the bounds correspond to (e.g. 0.95).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether a value lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// The interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Error running a bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BootstrapError {
+    /// The sample was empty.
+    EmptySample,
+    /// Zero resamples requested or a level outside `(0, 1)`.
+    BadParameters,
+}
+
+impl std::fmt::Display for BootstrapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootstrapError::EmptySample => write!(f, "bootstrap requires a non-empty sample"),
+            BootstrapError::BadParameters => {
+                write!(f, "bootstrap needs resamples > 0 and a level in (0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BootstrapError {}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// # Errors
+///
+/// Returns [`BootstrapError`] for empty samples or bad parameters.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_stats::bootstrap::bootstrap_ci;
+///
+/// let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+/// let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+/// let ci = bootstrap_ci(&data, mean, 500, 0.95, 7)?;
+/// assert!(ci.contains(49.5));
+/// assert!(ci.width() < 15.0);
+/// # Ok::<(), dstress_stats::bootstrap::BootstrapError>(())
+/// ```
+pub fn bootstrap_ci<F>(
+    data: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval, BootstrapError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if data.is_empty() {
+        return Err(BootstrapError::EmptySample);
+    }
+    if resamples == 0 || !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(BootstrapError::BadParameters);
+    }
+    let point = statistic(data);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.gen_range(0..data.len())];
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 * alpha) as usize).min(stats.len() - 1);
+    let hi_idx = ((stats.len() as f64 * (1.0 - alpha)) as usize).min(stats.len() - 1);
+    Ok(ConfidenceInterval { point, lo: stats[lo_idx], hi: stats[hi_idx], level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn interval_covers_the_true_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<f64> = (0..400)
+            .map(|_| 50.0 + 10.0 * ((0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0))
+            .collect();
+        let ci = bootstrap_ci(&data, mean, 1000, 0.95, 2).unwrap();
+        assert!(ci.contains(50.0), "CI [{}, {}] should cover 50", ci.lo, ci.hi);
+        assert!(ci.lo < ci.point && ci.point < ci.hi);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let narrow = bootstrap_ci(&data, mean, 800, 0.80, 3).unwrap();
+        let wide = bootstrap_ci(&data, mean, 800, 0.99, 3).unwrap();
+        assert!(wide.width() > narrow.width());
+    }
+
+    #[test]
+    fn degenerate_sample_gives_zero_width() {
+        let data = vec![7.0; 50];
+        let ci = bootstrap_ci(&data, mean, 200, 0.95, 4).unwrap();
+        assert_eq!(ci.lo, 7.0);
+        assert_eq!(ci.hi, 7.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert_eq!(bootstrap_ci(&[], mean, 10, 0.9, 1).unwrap_err(), BootstrapError::EmptySample);
+        assert_eq!(
+            bootstrap_ci(&[1.0], mean, 0, 0.9, 1).unwrap_err(),
+            BootstrapError::BadParameters
+        );
+        assert_eq!(
+            bootstrap_ci(&[1.0], mean, 10, 1.5, 1).unwrap_err(),
+            BootstrapError::BadParameters
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_ci(&data, mean, 300, 0.95, 9).unwrap();
+        let b = bootstrap_ci(&data, mean, 300, 0.95, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

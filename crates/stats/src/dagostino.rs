@@ -1,0 +1,189 @@
+//! The D'Agostino–Pearson K² omnibus test for departure from normality.
+//!
+//! The paper confirms that the distribution of CE counts obtained from random
+//! data patterns "follows the normal distribution" using the
+//! D'Agostino–Pearson test (§V-A.5, citing D'Agostino & Pearson 1973). The
+//! omnibus statistic combines a transformed skewness statistic `Z(√b₁)`
+//! (D'Agostino 1970) with a transformed kurtosis statistic `Z(b₂)`
+//! (Anscombe & Glynn 1983):
+//!
+//! `K² = Z(√b₁)² + Z(b₂)²` which is χ²(2) under normality.
+
+use crate::descriptive::Moments;
+use serde::{Deserialize, Serialize};
+
+/// The result of a D'Agostino–Pearson K² normality test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagostinoPearson {
+    /// Transformed skewness statistic (standard normal under H₀).
+    pub z_skew: f64,
+    /// Transformed kurtosis statistic (standard normal under H₀).
+    pub z_kurt: f64,
+    /// The omnibus statistic `K² = z_skew² + z_kurt²` (χ²(2) under H₀).
+    pub k2: f64,
+    /// Two-sided p-value of `K²` against χ²(2): `exp(-K²/2)`.
+    pub p_value: f64,
+    /// Number of observations the test was computed from.
+    pub n: u64,
+}
+
+impl DagostinoPearson {
+    /// Whether normality is *not* rejected at the given significance level
+    /// (i.e. the data is consistent with a Gaussian).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dstress_stats::{dagostino_pearson, Moments};
+    ///
+    /// // A coarse triangular-ish sample: not enough evidence against normality.
+    /// let m: Moments = [1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0, 4.0, 5.0, 2.5, 3.5]
+    ///     .iter().copied().collect();
+    /// let t = dagostino_pearson(&m)?;
+    /// assert!(t.is_normal(0.05));
+    /// # Ok::<(), dstress_stats::dagostino::NormalityTestError>(())
+    /// ```
+    pub fn is_normal(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Error performing a normality test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalityTestError {
+    /// The test requires at least 9 observations (below that the Anscombe &
+    /// Glynn kurtosis transform is undefined).
+    TooFewObservations,
+    /// All observations were identical; normality is undefined.
+    DegenerateData,
+}
+
+impl std::fmt::Display for NormalityTestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalityTestError::TooFewObservations => {
+                write!(f, "D'Agostino-Pearson test requires at least 9 observations")
+            }
+            NormalityTestError::DegenerateData => {
+                write!(f, "normality test is undefined for zero-variance data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalityTestError {}
+
+/// Runs the D'Agostino–Pearson K² test on accumulated moments.
+///
+/// # Errors
+///
+/// Returns [`NormalityTestError::TooFewObservations`] for `n < 9` and
+/// [`NormalityTestError::DegenerateData`] for zero-variance samples.
+pub fn dagostino_pearson(moments: &Moments) -> Result<DagostinoPearson, NormalityTestError> {
+    let n_u = moments.count();
+    if n_u < 9 {
+        return Err(NormalityTestError::TooFewObservations);
+    }
+    if moments.population_variance() <= 0.0 {
+        return Err(NormalityTestError::DegenerateData);
+    }
+    let n = n_u as f64;
+    let z_skew = skewness_z(moments.skewness(), n);
+    let z_kurt = kurtosis_z(moments.kurtosis(), n);
+    let k2 = z_skew * z_skew + z_kurt * z_kurt;
+    // Survival function of chi-square with 2 dof: exp(-x/2).
+    let p_value = (-k2 / 2.0).exp();
+    Ok(DagostinoPearson { z_skew, z_kurt, k2, p_value, n: n_u })
+}
+
+/// D'Agostino (1970) transformation of sample skewness `√b₁` to an
+/// approximately standard normal `Z`.
+fn skewness_z(sqrt_b1: f64, n: f64) -> f64 {
+    let y = sqrt_b1 * ((n + 1.0) * (n + 3.0) / (6.0 * (n - 2.0))).sqrt();
+    let beta2 = 3.0 * (n * n + 27.0 * n - 70.0) * (n + 1.0) * (n + 3.0)
+        / ((n - 2.0) * (n + 5.0) * (n + 7.0) * (n + 9.0));
+    let w2 = -1.0 + (2.0 * (beta2 - 1.0)).sqrt();
+    let w = w2.max(1.0 + 1e-12).sqrt();
+    let delta = 1.0 / w.ln().sqrt();
+    let alpha = (2.0 / (w2 - 1.0)).sqrt();
+    let y_over_alpha = y / alpha;
+    delta * (y_over_alpha + (y_over_alpha * y_over_alpha + 1.0).sqrt()).ln()
+}
+
+/// Anscombe & Glynn (1983) transformation of sample kurtosis `b₂` to an
+/// approximately standard normal `Z`.
+fn kurtosis_z(b2: f64, n: f64) -> f64 {
+    let e_b2 = 3.0 * (n - 1.0) / (n + 1.0);
+    let var_b2 = 24.0 * n * (n - 2.0) * (n - 3.0) / ((n + 1.0).powi(2) * (n + 3.0) * (n + 5.0));
+    let x = (b2 - e_b2) / var_b2.sqrt();
+    let sqrt_beta1 = 6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0))
+        * (6.0 * (n + 3.0) * (n + 5.0) / (n * (n - 2.0) * (n - 3.0))).sqrt();
+    let a = 6.0 + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
+    let t = (1.0 - 2.0 / a) / (1.0 + x * (2.0 / (a - 4.0)).sqrt());
+    // Guard against numerically negative cube-root argument for tiny samples.
+    let t = t.max(1e-300);
+    (1.0 - 2.0 / (9.0 * a) - t.powf(1.0 / 3.0)) * (9.0 * a / 2.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Samples an approximately standard-normal value via the sum of 12
+    /// uniforms (Irwin–Hall) — plenty for these tests.
+    fn normal_sample(rng: &mut StdRng) -> f64 {
+        (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0
+    }
+
+    #[test]
+    fn accepts_gaussian_data() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m: Moments = (0..5000).map(|_| 100.0 + 15.0 * normal_sample(&mut rng)).collect();
+        let test = dagostino_pearson(&m).unwrap();
+        assert!(test.is_normal(0.01), "K2 = {}, p = {}", test.k2, test.p_value);
+    }
+
+    #[test]
+    fn rejects_heavily_skewed_data() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Exponential-ish data: -ln(U) is strongly right-skewed.
+        let m: Moments = (0..5000).map(|_| -(rng.gen::<f64>().max(1e-12)).ln()).collect();
+        let test = dagostino_pearson(&m).unwrap();
+        assert!(!test.is_normal(0.05), "expected rejection, p = {}", test.p_value);
+        assert!(test.z_skew > 3.0);
+    }
+
+    #[test]
+    fn rejects_uniform_data_on_kurtosis() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let m: Moments = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        let test = dagostino_pearson(&m).unwrap();
+        // Uniform is symmetric (skew ~ 0) but platykurtic (b2 ~ 1.8).
+        assert!(test.z_skew.abs() < 3.0);
+        assert!(test.z_kurt.abs() > 3.0);
+        assert!(!test.is_normal(0.05));
+    }
+
+    #[test]
+    fn too_few_observations_is_an_error() {
+        let m: Moments = (0..8).map(|i| i as f64).collect();
+        assert_eq!(dagostino_pearson(&m).unwrap_err(), NormalityTestError::TooFewObservations);
+    }
+
+    #[test]
+    fn degenerate_data_is_an_error() {
+        let m: Moments = (0..20).map(|_| 5.0).collect();
+        assert_eq!(dagostino_pearson(&m).unwrap_err(), NormalityTestError::DegenerateData);
+    }
+
+    #[test]
+    fn k2_is_sum_of_squares() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let m: Moments = (0..500).map(|_| normal_sample(&mut rng)).collect();
+        let t = dagostino_pearson(&m).unwrap();
+        assert!((t.k2 - (t.z_skew.powi(2) + t.z_kurt.powi(2))).abs() < 1e-12);
+        assert!((t.p_value - (-t.k2 / 2.0).exp()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Running descriptive statistics (mean, variance, skewness, kurtosis).
+//!
+//! Implemented as a single-pass accumulator over central moments so the same
+//! structure feeds both the normal-distribution fit (Fig. 13) and the
+//! D'Agostino–Pearson normality test, which needs sample skewness `√b₁` and
+//! kurtosis `b₂`.
+
+use serde::{Deserialize, Serialize};
+
+/// Single-pass accumulator of the first four central moments.
+///
+/// Uses the numerically stable one-pass update formulas (Welford/Terriberry)
+/// so large CE counts do not lose precision.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_stats::Moments;
+///
+/// let m: Moments = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(m.count(), 8);
+/// assert!((m.mean() - 5.0).abs() < 1e-12);
+/// assert!((m.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean. Returns `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation. Returns `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation. Returns `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Population (biased, `/n`) variance. Returns `0.0` for fewer than one
+    /// observation.
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (unbiased, `/(n-1)`) variance. Returns `0.0` for fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation (square root of [`Self::sample_variance`]).
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Sample skewness `g₁ = m₃ / m₂^{3/2}` (the `√b₁` statistic of the
+    /// D'Agostino test). Returns `0.0` when variance is zero.
+    pub fn skewness(&self) -> f64 {
+        if self.n == 0 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Sample kurtosis `b₂ = n·m₄ / m₂²` (not excess kurtosis; a normal
+    /// distribution gives ≈ 3). Returns `0.0` when variance is zero.
+    pub fn kurtosis(&self) -> f64 {
+        if self.n == 0 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2)
+    }
+}
+
+impl FromIterator<f64> for Moments {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut m = Moments::new();
+        for x in iter {
+            m.push(x);
+        }
+        m
+    }
+}
+
+impl Extend<f64> for Moments {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_moments_are_neutral() {
+        let m = Moments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.population_variance(), 0.0);
+        assert_eq!(m.sample_variance(), 0.0);
+        assert_eq!(m.skewness(), 0.0);
+        assert_eq!(m.kurtosis(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut m = Moments::new();
+        m.push(42.0);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), 42.0);
+        assert_eq!(m.min(), 42.0);
+        assert_eq!(m.max(), 42.0);
+        assert_eq!(m.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skew() {
+        let m: Moments = [-2.0, -1.0, 0.0, 1.0, 2.0].iter().copied().collect();
+        assert!(m.skewness().abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_kurtosis_is_platykurtic() {
+        // Kurtosis of a discrete uniform on many points approaches 1.8 (< 3).
+        let m: Moments = (0..10_000).map(|i| i as f64).collect();
+        assert!((m.kurtosis() - 1.8).abs() < 0.01, "kurtosis = {}", m.kurtosis());
+    }
+
+    #[test]
+    fn right_skewed_data_has_positive_skew() {
+        let m: Moments = [1.0, 1.0, 1.0, 1.0, 10.0].iter().copied().collect();
+        assert!(m.skewness() > 1.0);
+    }
+
+    #[test]
+    fn extend_matches_push() {
+        let mut a = Moments::new();
+        a.extend([1.0, 2.0, 3.0]);
+        let b: Moments = [1.0, 2.0, 3.0].iter().copied().collect();
+        assert!((a.mean() - b.mean()).abs() < 1e-15);
+        assert_eq!(a.count(), b.count());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_two_pass_formulas(xs in proptest::collection::vec(-1e3f64..1e3, 2..200)) {
+            let m: Moments = xs.iter().copied().collect();
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((m.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((m.sample_variance() - var).abs() < 1e-6 * (1.0 + var.abs()));
+            prop_assert!(m.min() <= m.mean() + 1e-9 && m.mean() <= m.max() + 1e-9);
+        }
+
+        #[test]
+        fn variance_is_nonnegative(xs in proptest::collection::vec(-1e6f64..1e6, 0..100)) {
+            let m: Moments = xs.iter().copied().collect();
+            prop_assert!(m.population_variance() >= -1e-9);
+            prop_assert!(m.sample_variance() >= -1e-9);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Similarity measures used as GA convergence criteria.
+//!
+//! The paper (§III-E) stops a search when the mean pairwise similarity of the
+//! final offspring exceeds 0.85. Binary chromosomes use the Sokal & Michener
+//! simple-matching function built from Operational Taxonomic Units (OTUs,
+//! Table I); integer/real chromosomes (memory access patterns) use the
+//! weighted Jaccard similarity.
+
+use serde::{Deserialize, Serialize};
+
+/// Operational Taxonomic Units for a pair of binary feature vectors
+/// (paper Table I).
+///
+/// For chromosomes `X` and `Y` with features `x_i`, `y_i`:
+///
+/// * `a` — count of positions where both are `1`,
+/// * `b` — count where `x_i = 0`, `y_i = 1`,
+/// * `c` — count where `x_i = 1`, `y_i = 0`,
+/// * `d` — count where both are `0`.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_stats::Otu;
+///
+/// let otu = Otu::from_features(&[true, false, true], &[true, true, false]);
+/// assert_eq!((otu.a, otu.b, otu.c, otu.d), (1, 1, 1, 0));
+/// assert!((otu.sokal_michener() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Otu {
+    /// Positions where both features are `1`.
+    pub a: usize,
+    /// Positions where `x` is `0` and `y` is `1`.
+    pub b: usize,
+    /// Positions where `x` is `1` and `y` is `0`.
+    pub c: usize,
+    /// Positions where both features are `0`.
+    pub d: usize,
+}
+
+impl Otu {
+    /// Builds the contingency table for two equal-length binary vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different lengths.
+    pub fn from_features(x: &[bool], y: &[bool]) -> Self {
+        assert_eq!(x.len(), y.len(), "OTU requires equal-length feature vectors");
+        let mut otu = Otu::default();
+        for (&xi, &yi) in x.iter().zip(y) {
+            match (xi, yi) {
+                (true, true) => otu.a += 1,
+                (false, true) => otu.b += 1,
+                (true, false) => otu.c += 1,
+                (false, false) => otu.d += 1,
+            }
+        }
+        otu
+    }
+
+    /// Total number of features (`a + b + c + d`).
+    pub fn total(&self) -> usize {
+        self.a + self.b + self.c + self.d
+    }
+
+    /// The Sokal & Michener simple-matching function (paper Eq. 2):
+    /// `(a + d) / (a + b + c + d)` — the fraction of matching features.
+    ///
+    /// Returns `1.0` for empty vectors (two empty chromosomes are identical).
+    pub fn sokal_michener(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        (self.a + self.d) as f64 / total as f64
+    }
+}
+
+/// The Sokal & Michener similarity of two binary feature vectors
+/// (paper Eq. 2): the ratio of matching positions.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_stats::sokal_michener;
+///
+/// assert_eq!(sokal_michener(&[true, true], &[true, true]), 1.0);
+/// assert_eq!(sokal_michener(&[true, false], &[false, true]), 0.0);
+/// ```
+pub fn sokal_michener(x: &[bool], y: &[bool]) -> f64 {
+    Otu::from_features(x, y).sokal_michener()
+}
+
+/// The weighted Jaccard similarity of two non-negative real vectors
+/// (paper Eq. 3): `sum(min(x_i, y_i)) / sum(max(x_i, y_i))`.
+///
+/// Returns `1.0` when both vectors are all zero (identical chromosomes).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths, or if any feature is
+/// negative or non-finite (the measure is only defined for non-negative
+/// features).
+///
+/// # Examples
+///
+/// ```
+/// use dstress_stats::weighted_jaccard;
+///
+/// let sim = weighted_jaccard(&[1.0, 2.0], &[2.0, 2.0]);
+/// assert!((sim - 0.75).abs() < 1e-12);
+/// ```
+pub fn weighted_jaccard(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "weighted Jaccard requires equal-length vectors");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        assert!(
+            xi >= 0.0 && yi >= 0.0 && xi.is_finite() && yi.is_finite(),
+            "weighted Jaccard requires finite non-negative features, got ({xi}, {yi})"
+        );
+        num += xi.min(yi);
+        den += xi.max(yi);
+    }
+    if den == 0.0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+/// Mean pairwise similarity over a population, given any pairwise measure.
+///
+/// This is how the paper aggregates similarity over the final offspring: the
+/// measure is estimated "for each possible pair of chromosomes in an
+/// offspring" and averaged (§III-E). Populations of fewer than two members
+/// are trivially converged and yield `1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_stats::{mean_pairwise, sokal_michener};
+///
+/// let pop = vec![vec![true, true], vec![true, true], vec![true, false]];
+/// let avg = mean_pairwise(&pop, |a, b| sokal_michener(a, b));
+/// // pairs: (0,1)=1.0, (0,2)=0.5, (1,2)=0.5 -> 2/3
+/// assert!((avg - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn mean_pairwise<T, F>(population: &[T], mut measure: F) -> f64
+where
+    F: FnMut(&T, &T) -> f64,
+{
+    let n = population.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            sum += measure(&population[i], &population[j]);
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn otu_counts_all_quadrants() {
+        let x = [true, true, false, false, true];
+        let y = [true, false, true, false, true];
+        let otu = Otu::from_features(&x, &y);
+        assert_eq!(otu, Otu { a: 2, b: 1, c: 1, d: 1 });
+        assert_eq!(otu.total(), 5);
+    }
+
+    #[test]
+    fn smf_identical_is_one() {
+        let x = [true, false, true, false];
+        assert_eq!(sokal_michener(&x, &x), 1.0);
+    }
+
+    #[test]
+    fn smf_complement_is_zero() {
+        let x = [true, false, true];
+        let y = [false, true, false];
+        assert_eq!(sokal_michener(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn smf_empty_is_one() {
+        assert_eq!(sokal_michener(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn smf_length_mismatch_panics() {
+        sokal_michener(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn jaccard_identical_is_one() {
+        let x = [0.5, 2.0, 7.0];
+        assert!((weighted_jaccard(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_disjoint_support_is_zero() {
+        assert_eq!(weighted_jaccard(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_all_zero_is_one() {
+        assert_eq!(weighted_jaccard(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jaccard_rejects_negative() {
+        weighted_jaccard(&[-1.0], &[1.0]);
+    }
+
+    #[test]
+    fn mean_pairwise_single_member_is_converged() {
+        let pop = vec![vec![true]];
+        assert_eq!(mean_pairwise(&pop, |a, b| sokal_michener(a, b)), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn smf_is_symmetric(x in proptest::collection::vec(any::<bool>(), 0..64),
+                            y_seed in any::<u64>()) {
+            // Build y as a pseudo-random vector of the same length.
+            let y: Vec<bool> = x.iter().enumerate()
+                .map(|(i, _)| (y_seed >> (i % 64)) & 1 == 1)
+                .collect();
+            let ab = sokal_michener(&x, &y);
+            let ba = sokal_michener(&y, &x);
+            prop_assert!((ab - ba).abs() < 1e-15);
+        }
+
+        #[test]
+        fn smf_is_bounded(x in proptest::collection::vec(any::<bool>(), 1..64),
+                          flips in any::<u64>()) {
+            let y: Vec<bool> = x.iter().enumerate()
+                .map(|(i, &b)| b ^ ((flips >> (i % 64)) & 1 == 1))
+                .collect();
+            let s = sokal_michener(&x, &y);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn jaccard_is_symmetric_and_bounded(
+            x in proptest::collection::vec(0.0f64..100.0, 1..32),
+            y in proptest::collection::vec(0.0f64..100.0, 1..32),
+        ) {
+            let n = x.len().min(y.len());
+            let (x, y) = (&x[..n], &y[..n]);
+            let ab = weighted_jaccard(x, y);
+            let ba = weighted_jaccard(y, x);
+            prop_assert!((ab - ba).abs() < 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        }
+
+        #[test]
+        fn otu_quadrants_partition_the_features(
+            x in proptest::collection::vec(any::<bool>(), 0..128),
+            seed in any::<u64>(),
+        ) {
+            let y: Vec<bool> = x.iter().enumerate()
+                .map(|(i, _)| seed.rotate_left(i as u32) & 1 == 1)
+                .collect();
+            let otu = Otu::from_features(&x, &y);
+            prop_assert_eq!(otu.total(), x.len());
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Abstract syntax of virus programs.
+
+use serde::{Deserialize, Serialize};
+
+/// Declared storage class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Storage {
+    /// Declared in `->global_data`: lives in DRAM; every access is a real
+    /// memory operation.
+    Global,
+    /// Declared in `->local_data` or the body: register-resident.
+    Local,
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decl {
+    /// Variable name.
+    pub name: String,
+    /// Whether it was declared as an array (`name[]`).
+    pub is_array: bool,
+    /// Whether the declared type was a pointer (`unsigned long long*`).
+    pub is_pointer: bool,
+    /// Initializer, if any.
+    pub init: Option<Init>,
+}
+
+/// A declaration initializer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Init {
+    /// A single expression.
+    Expr(Expr),
+    /// A brace-enclosed list (array literal).
+    List(Vec<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Num(u64),
+    /// Variable reference.
+    Var(String),
+    /// `$$$_NAME_$$$` placeholder used as a scalar value.
+    Placeholder(String),
+    /// Array/pointer element read: `base[index]`.
+    Index {
+        /// The array or pointer variable.
+        base: String,
+        /// The element index.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Builtin call: only `malloc(bytes)` exists.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation (wrapping).
+    Neg,
+    /// Logical not (`!x` → 0 or 1).
+    Not,
+}
+
+/// Binary operators. Arithmetic wraps; comparisons yield 0 or 1; `&&`/`||`
+/// short-circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Shl,
+    Shr,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    And,
+    Or,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// An assignable place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array/pointer element.
+    Index {
+        /// The array or pointer variable.
+        base: String,
+        /// The element index.
+        index: Expr,
+    },
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// An in-body local declaration.
+    Decl(Decl),
+    /// An expression evaluated for its side effects.
+    Expr(Expr),
+    /// An assignment.
+    Assign {
+        /// Target place.
+        target: LValue,
+        /// Operator.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// Postfix increment/decrement (`x++`, `x--`).
+    IncDec {
+        /// Target place.
+        target: LValue,
+        /// `+1` for `++`, `-1` for `--`.
+        increment: bool,
+    },
+    /// `for (init; cond; step) { body }`
+    For {
+        /// Initialization statement (may be empty `Stmt::Block(vec![])`).
+        init: Box<Stmt>,
+        /// Loop condition (non-zero = continue).
+        cond: Expr,
+        /// Per-iteration step statement.
+        step: Box<Stmt>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if (cond) { then } else { else }`
+    If {
+        /// Condition (non-zero = take `then`).
+        cond: Expr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// A braced block.
+    Block(Vec<Stmt>),
+}
+
+/// A complete virus program: global declarations (DRAM), local declarations
+/// (registers), and the body.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// `->global_data` declarations.
+    pub globals: Vec<Decl>,
+    /// `->local_data` declarations.
+    pub locals: Vec<Decl>,
+    /// `->body` statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Visits every expression in the program (declarations and body).
+    pub fn visit_exprs<F: FnMut(&Expr)>(&self, mut f: F) {
+        fn walk_init<F: FnMut(&Expr)>(init: &Option<Init>, f: &mut F) {
+            match init {
+                Some(Init::Expr(e)) => walk_expr(e, f),
+                Some(Init::List(es)) => es.iter().for_each(|e| walk_expr(e, f)),
+                None => {}
+            }
+        }
+        fn walk_expr<F: FnMut(&Expr)>(e: &Expr, f: &mut F) {
+            f(e);
+            match e {
+                Expr::Index { index, .. } => walk_expr(index, f),
+                Expr::Unary { operand, .. } => walk_expr(operand, f),
+                Expr::Binary { lhs, rhs, .. } => {
+                    walk_expr(lhs, f);
+                    walk_expr(rhs, f);
+                }
+                Expr::Call { args, .. } => args.iter().for_each(|a| walk_expr(a, f)),
+                Expr::Num(_) | Expr::Var(_) | Expr::Placeholder(_) => {}
+            }
+        }
+        fn walk_stmt<F: FnMut(&Expr)>(s: &Stmt, f: &mut F) {
+            match s {
+                Stmt::Decl(d) => walk_init(&d.init, f),
+                Stmt::Expr(e) => walk_expr(e, f),
+                Stmt::Assign { target, value, .. } => {
+                    if let LValue::Index { index, .. } = target {
+                        walk_expr(index, f);
+                    }
+                    walk_expr(value, f);
+                }
+                Stmt::IncDec { target, .. } => {
+                    if let LValue::Index { index, .. } = target {
+                        walk_expr(index, f);
+                    }
+                }
+                Stmt::For { init, cond, step, body } => {
+                    walk_stmt(init, f);
+                    walk_expr(cond, f);
+                    walk_stmt(step, f);
+                    body.iter().for_each(|s| walk_stmt(s, f));
+                }
+                Stmt::If { cond, then, els } => {
+                    walk_expr(cond, f);
+                    then.iter().for_each(|s| walk_stmt(s, f));
+                    els.iter().for_each(|s| walk_stmt(s, f));
+                }
+                Stmt::Block(stmts) => stmts.iter().for_each(|s| walk_stmt(s, f)),
+            }
+        }
+        for d in self.globals.iter().chain(&self.locals) {
+            walk_init(&d.init, &mut f);
+        }
+        for s in &self.body {
+            walk_stmt(s, &mut f);
+        }
+    }
+
+    /// Collects the names of all placeholders referenced anywhere.
+    pub fn placeholder_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.visit_exprs(|e| {
+            if let Expr::Placeholder(p) = e {
+                if !names.contains(p) {
+                    names.push(p.clone());
+                }
+            }
+        });
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placeholder_collection_walks_everything() {
+        let program = Program {
+            globals: vec![Decl {
+                name: "g".into(),
+                is_array: true,
+                is_pointer: false,
+                init: Some(Init::Expr(Expr::Placeholder("A".into()))),
+            }],
+            locals: vec![],
+            body: vec![Stmt::For {
+                init: Box::new(Stmt::Block(vec![])),
+                cond: Expr::Binary {
+                    op: BinOp::Lt,
+                    lhs: Box::new(Expr::Var("i".into())),
+                    rhs: Box::new(Expr::Placeholder("B".into())),
+                },
+                step: Box::new(Stmt::Block(vec![])),
+                body: vec![Stmt::Assign {
+                    target: LValue::Index { base: "g".into(), index: Expr::Var("i".into()) },
+                    op: AssignOp::Set,
+                    value: Expr::Placeholder("C".into()),
+                }],
+            }],
+        };
+        assert_eq!(program.placeholder_names(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn duplicate_placeholders_collected_once() {
+        let program = Program {
+            globals: vec![],
+            locals: vec![],
+            body: vec![
+                Stmt::Expr(Expr::Placeholder("P".into())),
+                Stmt::Expr(Expr::Placeholder("P".into())),
+            ],
+        };
+        assert_eq!(program.placeholder_names(), vec!["P"]);
+    }
+}

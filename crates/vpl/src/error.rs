@@ -1,0 +1,104 @@
+//! Errors of the template language pipeline.
+
+use dstress_platform::session::SessionError;
+
+/// Any error raised while lexing, parsing, analysing, instantiating or
+/// executing a virus template.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VplError {
+    /// Lexical error: unexpected character or malformed literal.
+    Lex {
+        /// Human-readable description.
+        message: String,
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+    },
+    /// Syntax error.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// 1-based source line (0 when at end of input).
+        line: u32,
+    },
+    /// Template structure error (bad section marker, malformed parameter
+    /// declaration…).
+    Template(String),
+    /// Semantic error (undeclared identifier, placeholder misuse…).
+    Sema(String),
+    /// Instantiation error (missing/mistyped binding, value out of domain).
+    Binding(String),
+    /// Runtime error during interpretation.
+    Runtime(String),
+    /// The interpreter exceeded its step budget — the candidate virus does
+    /// not terminate quickly enough to be evaluated.
+    ExecutionLimit {
+        /// The configured budget that was exhausted.
+        steps: u64,
+    },
+    /// A memory operation failed in the platform session.
+    Memory(SessionError),
+}
+
+impl std::fmt::Display for VplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VplError::Lex { message, line, col } => {
+                write!(f, "lexical error at {line}:{col}: {message}")
+            }
+            VplError::Parse { message, line } => write!(f, "syntax error at line {line}: {message}"),
+            VplError::Template(m) => write!(f, "template error: {m}"),
+            VplError::Sema(m) => write!(f, "semantic error: {m}"),
+            VplError::Binding(m) => write!(f, "binding error: {m}"),
+            VplError::Runtime(m) => write!(f, "runtime error: {m}"),
+            VplError::ExecutionLimit { steps } => {
+                write!(f, "execution exceeded the {steps}-step budget")
+            }
+            VplError::Memory(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VplError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VplError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for VplError {
+    fn from(e: SessionError) -> Self {
+        VplError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<VplError> = vec![
+            VplError::Lex { message: "bad char".into(), line: 1, col: 2 },
+            VplError::Parse { message: "expected ;".into(), line: 3 },
+            VplError::Template("no body".into()),
+            VplError::Sema("undeclared x".into()),
+            VplError::Binding("missing P".into()),
+            VplError::Runtime("division by zero".into()),
+            VplError::ExecutionLimit { steps: 10 },
+            VplError::Memory(SessionError::ZeroAllocation),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn session_error_converts() {
+        let e: VplError = SessionError::Unaligned(3).into();
+        assert!(matches!(e, VplError::Memory(_)));
+    }
+}

@@ -1,0 +1,362 @@
+//! Lexical analysis (the first step of the paper's processing phase).
+
+use crate::error::VplError;
+use crate::token::{Keyword, Punct, Spanned, Token};
+
+/// Tokenizes template source code.
+///
+/// Handles identifiers, decimal and `0x` hexadecimal 64-bit literals,
+/// `$$$_NAME_$$$` placeholders, all operators of the language, and both
+/// comment styles (`/* … */`, `// …`).
+///
+/// # Errors
+///
+/// Returns [`VplError::Lex`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use dstress_vpl::lexer::lex;
+///
+/// let tokens = lex("x = $$$_P_$$$ + 0x10;")?;
+/// assert_eq!(tokens.len(), 6);
+/// # Ok::<(), dstress_vpl::VplError>(())
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Spanned>, VplError> {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn run(mut self) -> Result<Vec<Spanned>, VplError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else { break };
+            let token = match c {
+                'a'..='z' | 'A'..='Z' | '_' => self.ident(),
+                '0'..='9' => self.number()?,
+                '$' => self.placeholder()?,
+                _ => self.punct()?,
+            };
+            out.push(Spanned { token, line, col });
+        }
+        Ok(out)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, message: impl Into<String>) -> VplError {
+        VplError::Lex { message: message.into(), line: self.line, col: self.col }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), VplError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek_at(1) == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Token {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&s) {
+            Some(k) => Token::Keyword(k),
+            None => Token::Ident(s),
+        }
+    }
+
+    fn number(&mut self) -> Result<Token, VplError> {
+        let mut s = String::new();
+        let hex = self.peek() == Some('0') && matches!(self.peek_at(1), Some('x' | 'X'));
+        if hex {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+            u64::from_str_radix(&cleaned, 16)
+                .map(Token::Number)
+                .map_err(|e| self.error(format!("bad hex literal `0x{s}`: {e}")))
+        } else {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Tolerate C suffixes (ULL etc.) since templates are C-flavoured.
+            while matches!(self.peek(), Some('u' | 'U' | 'l' | 'L')) {
+                self.bump();
+            }
+            let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+            cleaned
+                .parse::<u64>()
+                .map(Token::Number)
+                .map_err(|e| self.error(format!("bad integer literal `{s}`: {e}")))
+        }
+    }
+
+    fn placeholder(&mut self) -> Result<Token, VplError> {
+        // Expect the exact frame `$$$_NAME_$$$`.
+        for _ in 0..3 {
+            if self.bump() != Some('$') {
+                return Err(self.error("placeholders start with `$$$_`"));
+            }
+        }
+        if self.bump() != Some('_') {
+            return Err(self.error("placeholders start with `$$$_`"));
+        }
+        let mut name = String::new();
+        loop {
+            match self.peek() {
+                Some('_') if self.peek_at(1) == Some('$') => break,
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    // A trailing `_$$$` closes the placeholder; an interior
+                    // underscore is part of the name.
+                    name.push(c);
+                    self.bump();
+                }
+                _ => return Err(self.error("unterminated placeholder")),
+            }
+        }
+        self.bump(); // the closing `_`
+        for _ in 0..3 {
+            if self.bump() != Some('$') {
+                return Err(self.error("placeholders end with `_$$$`"));
+            }
+        }
+        if name.is_empty() {
+            return Err(self.error("placeholder name is empty"));
+        }
+        Ok(Token::Placeholder(name))
+    }
+
+    fn punct(&mut self) -> Result<Token, VplError> {
+        let c = self.bump().expect("punct called with input remaining");
+        let two = |lexer: &mut Lexer, next: char, yes: Punct, no: Punct| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let p = match c {
+            '(' => Punct::LParen,
+            ')' => Punct::RParen,
+            '{' => Punct::LBrace,
+            '}' => Punct::RBrace,
+            '[' => Punct::LBracket,
+            ']' => Punct::RBracket,
+            ';' => Punct::Semicolon,
+            ',' => Punct::Comma,
+            '%' => Punct::Percent,
+            '^' => Punct::Caret,
+            '!' => two(self, '=', Punct::Ne, Punct::Bang),
+            '=' => two(self, '=', Punct::Eq, Punct::Assign),
+            '*' => two(self, '=', Punct::StarAssign, Punct::Star),
+            '/' => two(self, '=', Punct::SlashAssign, Punct::Slash),
+            '&' => two(self, '&', Punct::AmpAmp, Punct::Amp),
+            '|' => two(self, '|', Punct::PipePipe, Punct::Pipe),
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    Punct::PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    Punct::PlusAssign
+                }
+                _ => Punct::Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    Punct::MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    Punct::MinusAssign
+                }
+                _ => Punct::Minus,
+            },
+            '<' => match self.peek() {
+                Some('<') => {
+                    self.bump();
+                    Punct::Shl
+                }
+                Some('=') => {
+                    self.bump();
+                    Punct::Le
+                }
+                _ => Punct::Lt,
+            },
+            '>' => match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    Punct::Shr
+                }
+                Some('=') => {
+                    self.bump();
+                    Punct::Ge
+                }
+                _ => Punct::Gt,
+            },
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        };
+        Ok(Token::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).expect("lexes").into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_keywords_numbers() {
+        let t = tokens("for x1 42 0xFF unsigned");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::For),
+                Token::Ident("x1".into()),
+                Token::Number(42),
+                Token::Number(255),
+                Token::Keyword(Keyword::Unsigned),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_placeholders() {
+        assert_eq!(tokens("$$$_ARRAY1_VEC_$$$"), vec![Token::Placeholder("ARRAY1_VEC".into())]);
+        assert_eq!(tokens("$$$_P_$$$"), vec![Token::Placeholder("P".into())]);
+    }
+
+    #[test]
+    fn placeholder_errors() {
+        assert!(lex("$$_P_$$$").is_err());
+        assert!(lex("$$$_P").is_err());
+        assert!(lex("$$$__$$$").is_err());
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        let t = tokens("a += 1; b << 2; c <= d; e++ && f--");
+        assert!(t.contains(&Token::Punct(Punct::PlusAssign)));
+        assert!(t.contains(&Token::Punct(Punct::Shl)));
+        assert!(t.contains(&Token::Punct(Punct::Le)));
+        assert!(t.contains(&Token::Punct(Punct::PlusPlus)));
+        assert!(t.contains(&Token::Punct(Punct::AmpAmp)));
+        assert!(t.contains(&Token::Punct(Punct::MinusMinus)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = tokens("a /* comment ; */ b // trailing\n c");
+        assert_eq!(
+            t,
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Ident("c".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(matches!(lex("a /* oops"), Err(VplError::Lex { .. })));
+    }
+
+    #[test]
+    fn c_suffixes_are_tolerated() {
+        assert_eq!(tokens("7ULL"), vec![Token::Number(7)]);
+    }
+
+    #[test]
+    fn max_u64_literal() {
+        assert_eq!(tokens("18446744073709551615"), vec![Token::Number(u64::MAX)]);
+        assert!(lex("18446744073709551616").is_err(), "overflow must be a lex error");
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unexpected_character_is_reported() {
+        let err = lex("a ? b").unwrap_err();
+        assert!(matches!(err, VplError::Lex { .. }));
+        assert!(err.to_string().contains('?'));
+    }
+}

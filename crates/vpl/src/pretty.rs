@@ -1,0 +1,260 @@
+//! Pretty-printer: renders an AST back to C-like source.
+//!
+//! The evaluation phase records every synthesized virus in the database
+//! (§III-F); rendering the instantiated program lets an operator read *the
+//! actual program* a chromosome encodes — useful for audit trails and for
+//! porting a discovered virus to real hardware.
+
+use crate::ast::{AssignOp, BinOp, Decl, Expr, Init, LValue, Program, Stmt, UnOp};
+
+/// Renders a whole program as C-like source with the template's section
+/// structure.
+pub fn render_program(program: &Program) -> String {
+    let mut out = String::new();
+    if !program.globals.is_empty() {
+        out.push_str("/* global_data */\n");
+        for d in &program.globals {
+            out.push_str(&render_decl(d, true));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    if !program.locals.is_empty() {
+        out.push_str("/* local_data */\n");
+        for d in &program.locals {
+            out.push_str(&render_decl(d, false));
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out.push_str("/* body */\n");
+    for s in &program.body {
+        out.push_str(&render_stmt(s, 0));
+    }
+    out
+}
+
+fn indent(depth: usize) -> String {
+    "    ".repeat(depth)
+}
+
+fn render_decl(d: &Decl, global: bool) -> String {
+    let qualifier = if global { "volatile " } else { "" };
+    let ty = if d.is_pointer { "unsigned long long*" } else { "unsigned long long" };
+    let array = if d.is_array { "[]" } else { "" };
+    match &d.init {
+        None => format!("{qualifier}{ty} {}{array};", d.name),
+        Some(Init::Expr(e)) => {
+            format!("{qualifier}{ty} {}{array} = {};", d.name, render_expr(e))
+        }
+        Some(Init::List(items)) => {
+            let rendered: Vec<String> = if items.len() > 8 {
+                items[..8]
+                    .iter()
+                    .map(render_expr)
+                    .chain(std::iter::once(format!("/* … {} more */", items.len() - 8)))
+                    .collect()
+            } else {
+                items.iter().map(render_expr).collect()
+            };
+            format!("{qualifier}{ty} {}[] = {{ {} }};", d.name, rendered.join(", "))
+        }
+    }
+}
+
+/// Renders one statement at the given indentation depth.
+pub fn render_stmt(s: &Stmt, depth: usize) -> String {
+    let pad = indent(depth);
+    match s {
+        Stmt::Decl(d) => format!("{pad}{}\n", render_decl(d, false)),
+        Stmt::Expr(e) => format!("{pad}{};\n", render_expr(e)),
+        Stmt::Assign { target, op, value } => {
+            let op_str = match op {
+                AssignOp::Set => "=",
+                AssignOp::Add => "+=",
+                AssignOp::Sub => "-=",
+                AssignOp::Mul => "*=",
+                AssignOp::Div => "/=",
+            };
+            format!("{pad}{} {op_str} {};\n", render_lvalue(target), render_expr(value))
+        }
+        Stmt::IncDec { target, increment } => {
+            format!("{pad}{}{};\n", render_lvalue(target), if *increment { "++" } else { "--" })
+        }
+        Stmt::For { init, cond, step, body } => {
+            let init_str = render_stmt(init, 0);
+            let step_str = render_stmt(step, 0);
+            let mut out = format!(
+                "{pad}for ({}; {}; {}) {{\n",
+                init_str.trim().trim_end_matches(';'),
+                render_expr(cond),
+                step_str.trim().trim_end_matches(';'),
+            );
+            for s in body {
+                out.push_str(&render_stmt(s, depth + 1));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+        Stmt::If { cond, then, els } => {
+            let mut out = format!("{pad}if ({}) {{\n", render_expr(cond));
+            for s in then {
+                out.push_str(&render_stmt(s, depth + 1));
+            }
+            if els.is_empty() {
+                out.push_str(&format!("{pad}}}\n"));
+            } else {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                for s in els {
+                    out.push_str(&render_stmt(s, depth + 1));
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            out
+        }
+        Stmt::Block(stmts) => {
+            let mut out = format!("{pad}{{\n");
+            for s in stmts {
+                out.push_str(&render_stmt(s, depth + 1));
+            }
+            out.push_str(&format!("{pad}}}\n"));
+            out
+        }
+    }
+}
+
+fn render_lvalue(lv: &LValue) -> String {
+    match lv {
+        LValue::Var(name) => name.clone(),
+        LValue::Index { base, index } => format!("{base}[{}]", render_expr(index)),
+    }
+}
+
+/// Renders one expression (fully parenthesized at binary nodes so the
+/// output is unambiguous without a precedence table).
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Num(n) => {
+            if *n > 0xFFFF {
+                format!("{n:#x}")
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::Placeholder(p) => format!("$$$_{p}_$$$"),
+        Expr::Index { base, index } => format!("{base}[{}]", render_expr(index)),
+        Expr::Unary { op, operand } => {
+            let op_str = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            // Parenthesized so nested unaries (`--x`) do not lex as
+            // decrement operators when re-parsed.
+            format!("{op_str}({})", render_expr(operand))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let op_str = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Shl => "<<",
+                BinOp::Shr => ">>",
+                BinOp::BitAnd => "&",
+                BinOp::BitOr => "|",
+                BinOp::BitXor => "^",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {op_str} {})", render_expr(lhs), render_expr(rhs))
+        }
+        Expr::Call { name, args } => {
+            let rendered: Vec<String> = args.iter().map(render_expr).collect();
+            format!("{name}({})", rendered.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip_body(body: &str) -> String {
+        let program = parse_program("", "", body).expect("parses");
+        render_program(&program)
+    }
+
+    #[test]
+    fn renders_fill_loop() {
+        let out = roundtrip_body(
+            "unsigned long long p = malloc(64); for (p = 0; p < 8; p += 1) { p[0] = 7; }",
+        );
+        assert!(out.contains("malloc(64)"));
+        assert!(out.contains("for (p = 0; (p < 8); p += 1) {"));
+        assert!(out.contains("p[0] = 7;"));
+    }
+
+    #[test]
+    fn renders_if_else_and_incdec() {
+        let program = parse_program("", "int i = 0;", "if (i) { i++; } else { i--; }").unwrap();
+        let out = render_program(&program);
+        assert!(out.contains("if (i) {"));
+        assert!(out.contains("i++;"));
+        assert!(out.contains("} else {"));
+        assert!(out.contains("i--;"));
+    }
+
+    #[test]
+    fn renders_globals_with_long_arrays_elided() {
+        let items: Vec<String> = (0..20).map(|i| i.to_string()).collect();
+        let src = format!("volatile unsigned long long v[] = {{ {} }};", items.join(", "));
+        let program = parse_program(&src, "", "").unwrap();
+        let out = render_program(&program);
+        assert!(out.contains("… 12 more"));
+        assert!(out.starts_with("/* global_data */"));
+    }
+
+    #[test]
+    fn renders_placeholders_in_template_syntax() {
+        let program = parse_program("", "int i = 0;", "i = $$$_P_$$$;").unwrap();
+        let out = render_program(&program);
+        assert!(out.contains("i = $$$_P_$$$;"));
+    }
+
+    #[test]
+    fn rendered_body_reparses() {
+        // The pretty-printed body is itself valid template code.
+        let original = parse_program(
+            "",
+            "int i = 0; unsigned long long acc = 0;",
+            "unsigned long long p = malloc(512);\
+             for (i = 0; i < 64; i += 1) { p[i] = i * 3 + 1; }\
+             for (i = 0; i < 64; i += 1) { acc += p[(i * 9) % 64]; }",
+        )
+        .unwrap();
+        let rendered = render_program(&original);
+        // Strip the section comments and re-parse the body.
+        let body: String = rendered
+            .lines()
+            .filter(|l| !l.starts_with("/*"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_program("", "", &body);
+        assert!(reparsed.is_ok(), "rendered source must reparse: {rendered}");
+    }
+
+    #[test]
+    fn big_numbers_render_hex() {
+        assert_eq!(render_expr(&Expr::Num(0x3333_3333_3333_3333)), "0x3333333333333333");
+        assert_eq!(render_expr(&Expr::Num(42)), "42");
+    }
+}

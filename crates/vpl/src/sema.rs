@@ -1,0 +1,229 @@
+//! Semantic analysis (the third step of the paper's processing phase).
+//!
+//! Checks that every referenced variable is declared, that `malloc` is the
+//! only function called, and that array-shaped parameters are used only as
+//! whole-array initializers. Placeholders that are *not* declared
+//! parameters are permitted: they are environment inputs (e.g. target-row
+//! address arrays computed by the framework) and must be bound at
+//! instantiation.
+
+use crate::ast::{Decl, Expr, Init, LValue, Program, Stmt};
+use crate::error::VplError;
+use crate::template::{ParamDecl, ParamShape};
+use std::collections::HashSet;
+
+/// Runs all semantic checks on a processed program.
+///
+/// # Errors
+///
+/// Returns [`VplError::Sema`] describing the first violation found.
+pub fn check_program(program: &Program, params: &[ParamDecl]) -> Result<(), VplError> {
+    let mut checker = Checker {
+        declared: HashSet::new(),
+        array_params: params
+            .iter()
+            .filter(|p| matches!(p.shape, ParamShape::Array { .. }))
+            .map(|p| p.name.clone())
+            .collect(),
+    };
+    for d in &program.globals {
+        checker.declare(d)?;
+        checker.check_init(d)?;
+    }
+    for d in &program.locals {
+        checker.declare(d)?;
+        checker.check_init(d)?;
+    }
+    for s in &program.body {
+        checker.check_stmt(s)?;
+    }
+    Ok(())
+}
+
+struct Checker {
+    declared: HashSet<String>,
+    array_params: HashSet<String>,
+}
+
+impl Checker {
+    fn declare(&mut self, d: &Decl) -> Result<(), VplError> {
+        if !self.declared.insert(d.name.clone()) {
+            return Err(VplError::Sema(format!("variable `{}` declared twice", d.name)));
+        }
+        Ok(())
+    }
+
+    fn check_init(&mut self, d: &Decl) -> Result<(), VplError> {
+        match &d.init {
+            // A whole-array placeholder initializer is the one place an
+            // array parameter may appear.
+            Some(Init::Expr(Expr::Placeholder(_))) if d.is_array => Ok(()),
+            Some(Init::Expr(e)) => self.check_expr(e),
+            Some(Init::List(es)) => es.iter().try_for_each(|e| self.check_expr(e)),
+            None => Ok(()),
+        }
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) -> Result<(), VplError> {
+        match s {
+            Stmt::Decl(d) => {
+                self.declare(d)?;
+                self.check_init(d)
+            }
+            Stmt::Expr(e) => self.check_expr(e),
+            Stmt::Assign { target, value, .. } => {
+                self.check_lvalue(target)?;
+                self.check_expr(value)
+            }
+            Stmt::IncDec { target, .. } => self.check_lvalue(target),
+            Stmt::For { init, cond, step, body } => {
+                self.check_stmt(init)?;
+                self.check_expr(cond)?;
+                self.check_stmt(step)?;
+                body.iter().try_for_each(|s| self.check_stmt(s))
+            }
+            Stmt::If { cond, then, els } => {
+                self.check_expr(cond)?;
+                then.iter().try_for_each(|s| self.check_stmt(s))?;
+                els.iter().try_for_each(|s| self.check_stmt(s))
+            }
+            Stmt::Block(stmts) => stmts.iter().try_for_each(|s| self.check_stmt(s)),
+        }
+    }
+
+    fn check_lvalue(&self, lv: &LValue) -> Result<(), VplError> {
+        match lv {
+            LValue::Var(name) => self.check_var(name),
+            LValue::Index { base, index } => {
+                self.check_var(base)?;
+                self.check_expr(index)
+            }
+        }
+    }
+
+    fn check_var(&self, name: &str) -> Result<(), VplError> {
+        if self.declared.contains(name) {
+            Ok(())
+        } else {
+            Err(VplError::Sema(format!("variable `{name}` is not declared")))
+        }
+    }
+
+    fn check_expr(&self, e: &Expr) -> Result<(), VplError> {
+        match e {
+            Expr::Num(_) => Ok(()),
+            Expr::Var(name) => self.check_var(name),
+            Expr::Placeholder(p) => {
+                if self.array_params.contains(p) {
+                    Err(VplError::Sema(format!(
+                        "array parameter `{p}` used as a scalar expression; bind it to an \
+                         array initializer instead"
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            Expr::Index { base, index } => {
+                self.check_var(base)?;
+                self.check_expr(index)
+            }
+            Expr::Unary { operand, .. } => self.check_expr(operand),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.check_expr(lhs)?;
+                self.check_expr(rhs)
+            }
+            Expr::Call { name, args } => {
+                if name != "malloc" {
+                    return Err(VplError::Sema(format!(
+                        "unknown function `{name}` (only `malloc` is available)"
+                    )));
+                }
+                if args.len() != 1 {
+                    return Err(VplError::Sema("malloc takes exactly one argument".into()));
+                }
+                self.check_expr(&args[0])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn check(global: &str, local: &str, body: &str) -> Result<(), VplError> {
+        let program = parse_program(global, local, body).expect("parses");
+        check_program(&program, &[])
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        check(
+            "volatile unsigned long long buf[] = { 1, 2 };",
+            "int i = 0;",
+            "for (i = 0; i < 2; i += 1) { buf[i] = i; }",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let err = check("", "", "x = 1;").unwrap_err();
+        assert!(err.to_string().contains("`x`"));
+    }
+
+    #[test]
+    fn rejects_double_declaration() {
+        let err = check("", "int i = 0; int i = 1;", "").unwrap_err();
+        assert!(err.to_string().contains("twice"));
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err = check("", "", "unsigned long long p = free(1);").unwrap_err();
+        assert!(err.to_string().contains("free"));
+    }
+
+    #[test]
+    fn rejects_malloc_arity_errors() {
+        assert!(check("", "", "unsigned long long p = malloc();").is_err());
+        assert!(check("", "", "unsigned long long p = malloc(1, 2);").is_err());
+    }
+
+    #[test]
+    fn body_declarations_enter_scope() {
+        check("", "", "unsigned long long p = malloc(8); p[0] = 1;").unwrap();
+    }
+
+    #[test]
+    fn array_param_as_scalar_is_rejected() {
+        let program = parse_program("", "int i = 0;", "i = $$$_A_$$$;").unwrap();
+        let params = vec![ParamDecl {
+            name: "A".into(),
+            shape: ParamShape::Array { len: 2, lo: 0, hi: 1 },
+        }];
+        let err = check_program(&program, &params).unwrap_err();
+        assert!(err.to_string().contains("array parameter"));
+    }
+
+    #[test]
+    fn array_param_as_array_initializer_is_accepted() {
+        let program = parse_program(
+            "volatile unsigned long long v[] = $$$_A_$$$;",
+            "",
+            "v[0] = 1;",
+        )
+        .unwrap();
+        let params = vec![ParamDecl {
+            name: "A".into(),
+            shape: ParamShape::Array { len: 2, lo: 0, hi: 1 },
+        }];
+        check_program(&program, &params).unwrap();
+    }
+
+    #[test]
+    fn undeclared_scalar_placeholders_are_environment_inputs() {
+        check("", "int i = 0;", "i = $$$_ENV_$$$;").unwrap();
+    }
+}

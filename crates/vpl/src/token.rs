@@ -1,0 +1,134 @@
+//! Tokens of the virus template language.
+
+use serde::{Deserialize, Serialize};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Token {
+    /// Identifier (variable or constant name).
+    Ident(String),
+    /// Unsigned 64-bit integer literal (decimal or `0x` hex).
+    Number(u64),
+    /// A `$$$_NAME_$$$` placeholder; carries `NAME`.
+    Placeholder(String),
+    /// A keyword.
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+}
+
+/// Reserved words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Keyword {
+    /// `volatile` — parsed and honoured trivially: all DRAM accesses are
+    /// real in the interpreter.
+    Volatile,
+    /// `unsigned`
+    Unsigned,
+    /// `long`
+    Long,
+    /// `int`
+    Int,
+    /// `for`
+    For,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+}
+
+impl Keyword {
+    /// Looks up a keyword by spelling.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "volatile" => Keyword::Volatile,
+            "unsigned" => Keyword::Unsigned,
+            "long" => Keyword::Long,
+            "int" => Keyword::Int,
+            "for" => Keyword::For,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Shl,
+    Shr,
+    Amp,
+    Pipe,
+    Caret,
+    AmpAmp,
+    PipePipe,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Bang,
+}
+
+/// A token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Line number (1-based).
+    pub line: u32,
+    /// Column number (1-based).
+    pub col: u32,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier `{s}`"),
+            Token::Number(n) => write!(f, "number `{n}`"),
+            Token::Placeholder(p) => write!(f, "placeholder `$$$_{p}_$$$`"),
+            Token::Keyword(k) => write!(f, "keyword `{k:?}`"),
+            Token::Punct(p) => write!(f, "`{p:?}`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(Keyword::from_str("for"), Some(Keyword::For));
+        assert_eq!(Keyword::from_str("while"), None);
+    }
+
+    #[test]
+    fn token_display_is_informative() {
+        assert!(Token::Ident("x".into()).to_string().contains('x'));
+        assert!(Token::Placeholder("P".into()).to_string().contains("$$$_P_$$$"));
+    }
+}

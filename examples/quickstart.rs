@@ -1,0 +1,60 @@
+//! Quickstart: synthesize a worst-case 64-bit DRAM data-pattern virus.
+//!
+//! Boots the simulated X-Gene 2 server, relaxes the second memory domain
+//! (TREFP 2.283 s, VDD 1.428 V), heats DIMM2 to 60 °C, and runs a small GA
+//! search for the 64-bit data pattern that maximizes correctable errors —
+//! the paper's Fig. 8 campaign in miniature.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dstress::report::pattern_prefix;
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, WORST_WORD};
+use dstress_vpl::BoundValue;
+
+fn main() -> Result<(), dstress::DStressError> {
+    // `quick()` keeps this example snappy; use `paper()` for a full
+    // campaign (see crates/bench/src/bin for the figure regenerations).
+    let scale = ExperimentScale::quick();
+    let mut dstress = DStress::new(scale, 42);
+
+    println!("searching for the worst-case 64-bit data pattern at 60 °C ...");
+    let campaign = dstress.search_word64(60.0, Metric::CeAverage, false)?;
+
+    let word = campaign.result.best.to_words()[0];
+    println!();
+    println!("best pattern : {:#018x}", word);
+    println!("bit string   : {} ...", pattern_prefix(&[word], 32));
+    println!("fitness      : {:.1} CEs per run", campaign.result.best_fitness);
+    println!(
+        "search       : {} generations, leaderboard SMF {:.2}, converged: {}",
+        campaign.result.generations, campaign.result.similarity, campaign.result.converged
+    );
+
+    // Compare against the classic MSCAN all-zeros micro-benchmark.
+    let baseline = dstress.measure(
+        &EnvKind::Word64,
+        [("PATTERN".to_string(), BoundValue::Scalar(0u64))].into(),
+        60.0,
+        Metric::CeAverage,
+    )?;
+    println!();
+    println!("all-0s MSCAN : {:.1} CEs per run", baseline.fitness);
+    println!(
+        "the synthesized virus manifests {:.0} % more errors",
+        (campaign.result.best_fitness / baseline.fitness.max(1.0) - 1.0) * 100.0
+    );
+
+    // The canonical TTAA worst word, for reference (the paper's repeating
+    // `1100` discovery — a converged search lands on or near it).
+    println!();
+    println!(
+        "canonical worst word {:#018x} renders as {} ...",
+        WORST_WORD,
+        pattern_prefix(&[WORST_WORD], 16)
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+export DSTRESS_JSON_DIR="$PWD/results"
+cargo run --release -p dstress-bench --bin all_figures | tee results/all_figures.log
+for extra in march_comparison rowhammer retention_profile sdc_accounting ablation_study; do
+    cargo run --release -p dstress-bench --bin "$extra" | tee "results/${extra}.log"
+done

@@ -1,0 +1,175 @@
+//! Integration: the full DStress pipeline (paper Fig. 4) across all crates
+//! — processing phase (vpl) → synthesis phase (ga) → evaluation phase
+//! (platform + dram + ecc).
+
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, BEST_WORD, WORST_WORD};
+use dstress_vpl::{BoundValue, ExecLimits, Interpreter, Template};
+use std::collections::HashMap;
+
+/// A tiny scale for fast integration runs.
+fn tiny() -> ExperimentScale {
+    let mut scale = ExperimentScale::quick();
+    scale.server.dimm.weak.singles_per_rank = 400;
+    scale.server.dimm.weak.pairs_per_rank = 15;
+    scale.ga.population_size = 8;
+    scale.ga.max_generations = 6;
+    scale.ga.stagnation_window = 2;
+    scale.runs_per_virus = 2;
+    scale
+}
+
+#[test]
+fn template_processing_extracts_fig3_style_parameters() {
+    // A template shaped like the paper's Fig. 3 flows through the whole
+    // processing phase.
+    let src = r#"
+->parameters
+$$$_ARRAY1_VEC_$$$ [N1][DB1,UP1]
+$$$_VAR1_$$$ [DB3,UP3]
+
+->global_data
+volatile unsigned long long var1[] = $$$_ARRAY1_VEC_$$$;
+
+->local_data
+unsigned long long var3 = $$$_VAR1_$$$;
+int i = 0;
+int j = 0;
+
+->body
+volatile unsigned long long* temp_array = (unsigned long long*)(malloc(N1 * 8));
+/* data pattern */
+for (i = 0; i < N1; i += 1) {
+    temp_array[i] = var1[i] + var3;
+}
+"#;
+    let constants: HashMap<String, u64> = [
+        ("N1".to_string(), 8u64),
+        ("DB1".to_string(), 0),
+        ("UP1".to_string(), u64::MAX),
+        ("DB3".to_string(), 0),
+        ("UP3".to_string(), 255),
+    ]
+    .into_iter()
+    .collect();
+    // N1 also appears in the body as an identifier-like constant: bind it
+    // as an environment scalar at instantiation.
+    let src = src.replace("N1 * 8", "$$$_N1_$$$ * 8").replace("i < N1", "i < $$$_N1_$$$");
+    let processed = Template::parse(&src).expect("parses").process(&constants).expect("processes");
+    assert_eq!(processed.params().len(), 2);
+    let mut bindings: HashMap<String, BoundValue> = HashMap::new();
+    bindings.insert("ARRAY1_VEC".into(), BoundValue::Array((0..8).collect()));
+    bindings.insert("VAR1".into(), BoundValue::Scalar(7));
+    bindings.insert("N1".into(), BoundValue::Scalar(8));
+    let program = processed.instantiate(&bindings).expect("instantiates");
+    assert!(program.placeholder_names().is_empty());
+}
+
+#[test]
+fn instantiated_virus_runs_against_the_real_server() {
+    let scale = tiny();
+    let dstress = DStress::new(scale, 1);
+    let mut server = dstress.server_at(60.0);
+    let template =
+        dstress::templates::process(dstress::templates::WORD64, &scale).expect("processes");
+    let mut bindings = EnvKind::Word64.bindings(&scale).expect("env binds");
+    bindings.insert("PATTERN".into(), BoundValue::Scalar(WORST_WORD));
+    let program = template.instantiate(&bindings).expect("instantiates");
+    let mut session = server.session(2);
+    let stats = Interpreter::new(ExecLimits::default())
+        .run(&program, &mut session)
+        .expect("virus executes");
+    // The virus wrote the whole DIMM and then swept it.
+    assert_eq!(stats.writes as u64, scale.dimm_words());
+    assert_eq!(stats.reads as u64, scale.dimm_words());
+    let run = session.finish();
+    assert!(!run.truncated);
+    let outcome = server.evaluate_run(&run, 0);
+    assert!(outcome.totals.ce > 0, "relaxed DIMM2 at 60C must err");
+}
+
+#[test]
+fn allocation_layout_matches_environment_prediction() {
+    // The environment binding computation predicts where the big buffer
+    // starts (after the template's global data). Verify against reality:
+    // instantiate the row-triple template with a marker pattern and check
+    // the marker lands in the predicted victim row of the DIMM.
+    let scale = tiny();
+    let dstress = DStress::new(scale, 3);
+    let mut server = dstress.server_at(50.0);
+    let victims = vec![dstress_dram::geometry::RowKey::new(0, 4, 13)];
+    let env = EnvKind::RowTriple { victims: victims.clone() };
+    let template =
+        dstress::templates::process(dstress::templates::ROW_TRIPLE, &scale).expect("processes");
+    let row_words = scale.row_words() as usize;
+    let mut bindings = env.bindings(&scale).expect("env binds");
+    let marker = 0xDEAD_BEEF_0000_0001u64;
+    bindings.insert("PREV_PATTERN".into(), BoundValue::Array(vec![1; row_words]));
+    bindings.insert("VICTIM_PATTERN".into(), BoundValue::Array(vec![marker; row_words]));
+    bindings.insert("NEXT_PATTERN".into(), BoundValue::Array(vec![2; row_words]));
+    let program = template.instantiate(&bindings).expect("instantiates");
+    let mut session = server.session(2);
+    Interpreter::new(ExecLimits::default()).run(&program, &mut session).expect("executes");
+    drop(session);
+    // The marker must sit exactly in the victim row on the DIMM.
+    let loc = dstress_dram::Location::new(0, 4, 13, 7);
+    assert_eq!(
+        server.dimm(2).read_word(loc),
+        marker,
+        "victim-row offset arithmetic must agree with the session allocator"
+    );
+}
+
+#[test]
+fn quick_campaign_beats_baselines_and_records_database() {
+    let mut dstress = DStress::new(tiny(), 5);
+    let campaign =
+        dstress.search_word64(60.0, Metric::CeAverage, false).expect("campaign runs");
+    // The database holds the leaderboard.
+    let best = dstress.db.best(&campaign.name).expect("db recorded");
+    assert_eq!(best.genes, campaign.result.best.to_words());
+    // The discovered pattern beats the all-zeros and best-case references.
+    let zeros = dstress
+        .measure(
+            &EnvKind::Word64,
+            [("PATTERN".to_string(), BoundValue::Scalar(0u64))].into(),
+            60.0,
+            Metric::CeAverage,
+        )
+        .expect("baseline");
+    let best_case = dstress
+        .measure(
+            &EnvKind::Word64,
+            [("PATTERN".to_string(), BoundValue::Scalar(BEST_WORD))].into(),
+            60.0,
+            Metric::CeAverage,
+        )
+        .expect("baseline");
+    assert!(campaign.result.best_fitness > zeros.fitness);
+    assert!(zeros.fitness > best_case.fitness);
+}
+
+#[test]
+fn campaigns_are_deterministic_per_seed() {
+    let run = |seed| {
+        let mut dstress = DStress::new(tiny(), seed);
+        let campaign =
+            dstress.search_word64(60.0, Metric::CeAverage, false).expect("campaign runs");
+        (campaign.result.best.to_words(), campaign.result.generations)
+    };
+    assert_eq!(run(9), run(9), "same seed must reproduce the campaign exactly");
+}
+
+#[test]
+fn virus_database_roundtrips_through_disk() {
+    let mut dstress = DStress::new(tiny(), 11);
+    let campaign =
+        dstress.search_word64(60.0, Metric::CeAverage, false).expect("campaign runs");
+    let dir = std::env::temp_dir().join("dstress-integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("db.json");
+    dstress.db.save(&path).expect("saves");
+    let restored = dstress_ga::VirusDatabase::load(&path).expect("loads");
+    assert_eq!(restored, dstress.db);
+    assert!(restored.best(&campaign.name).is_some());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,168 @@
+//! Property test: pretty-printing an arbitrary generated program yields
+//! source that re-parses to the *same* AST (modulo the printer's explicit
+//! parenthesization, which the parser normalizes away).
+
+use dstress_vpl::ast::{AssignOp, BinOp, Decl, Expr, Init, LValue, Program, Stmt, UnOp};
+use dstress_vpl::parser::parse_program;
+use dstress_vpl::pretty::render_program;
+use proptest::prelude::*;
+
+/// Variable names the generator draws from (all pre-declared).
+const VARS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+const ARRAYS: [&str; 2] = ["table", "buffer"];
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0u64..1_000_000).prop_map(Expr::Num),
+        (0usize..VARS.len()).prop_map(|i| Expr::Var(VARS[i].into())),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Binary operations over the full operator set.
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Rem),
+                    Just(BinOp::Shl),
+                    Just(BinOp::Shr),
+                    Just(BinOp::BitAnd),
+                    Just(BinOp::BitOr),
+                    Just(BinOp::BitXor),
+                    Just(BinOp::Eq),
+                    Just(BinOp::Ne),
+                    Just(BinOp::Lt),
+                    Just(BinOp::Gt),
+                    Just(BinOp::Le),
+                    Just(BinOp::Ge),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, lhs, rhs)| Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs)
+                }),
+            (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(
+                |(op, operand)| Expr::Unary { op, operand: Box::new(operand) }
+            ),
+            ((0usize..ARRAYS.len()), inner).prop_map(|(a, index)| Expr::Index {
+                base: ARRAYS[a].into(),
+                index: Box::new(index)
+            }),
+        ]
+    })
+}
+
+fn arb_lvalue() -> impl Strategy<Value = LValue> {
+    prop_oneof![
+        (0usize..VARS.len()).prop_map(|i| LValue::Var(VARS[i].into())),
+        ((0usize..ARRAYS.len()), arb_expr()).prop_map(|(a, index)| LValue::Index {
+            base: ARRAYS[a].into(),
+            index
+        }),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (
+            arb_lvalue(),
+            prop_oneof![
+                Just(AssignOp::Set),
+                Just(AssignOp::Add),
+                Just(AssignOp::Sub),
+                Just(AssignOp::Mul),
+                Just(AssignOp::Div)
+            ],
+            arb_expr()
+        )
+            .prop_map(|(target, op, value)| Stmt::Assign { target, op, value }),
+        (arb_lvalue(), any::<bool>())
+            .prop_map(|(target, increment)| Stmt::IncDec { target, increment }),
+    ];
+    simple.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            (arb_expr(), proptest::collection::vec(inner.clone(), 1..3),
+             proptest::collection::vec(inner.clone(), 0..2))
+                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
+            (proptest::collection::vec(inner, 1..3)).prop_map(Stmt::Block),
+        ]
+    })
+}
+
+/// A program whose variables are all declared up front, so it also passes
+/// semantic checking.
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_stmt(), 1..6).prop_map(|body| Program {
+        globals: ARRAYS
+            .iter()
+            .map(|name| Decl {
+                name: (*name).into(),
+                is_array: true,
+                is_pointer: false,
+                init: Some(Init::List(vec![Expr::Num(1), Expr::Num(2), Expr::Num(3)])),
+            })
+            .collect(),
+        locals: VARS
+            .iter()
+            .map(|name| Decl {
+                name: (*name).into(),
+                is_array: false,
+                is_pointer: false,
+                init: Some(Init::Expr(Expr::Num(0))),
+            })
+            .collect(),
+        body,
+    })
+}
+
+/// Strips the printer's section comments, leaving parseable sections.
+fn split_rendered(rendered: &str) -> (String, String, String) {
+    let mut sections = vec![String::new()];
+    for line in rendered.lines() {
+        if line.starts_with("/*") {
+            sections.push(String::new());
+            continue;
+        }
+        let current = sections.last_mut().expect("at least one section");
+        current.push_str(line);
+        current.push('\n');
+    }
+    // sections[0] is the empty prefix; then global, local, body.
+    let mut iter = sections.into_iter().skip(1);
+    (
+        iter.next().unwrap_or_default(),
+        iter.next().unwrap_or_default(),
+        iter.next().unwrap_or_default(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_print_reparse_is_identity(program in arb_program()) {
+        let rendered = render_program(&program);
+        let (globals, locals, body) = split_rendered(&rendered);
+        let reparsed = parse_program(&globals, &locals, &body);
+        prop_assert!(reparsed.is_ok(), "rendered program must reparse:\n{rendered}\n{reparsed:?}");
+        let reparsed = reparsed.expect("checked");
+        // The body ASTs must match exactly (the printer's parentheses are
+        // redundant to the parser's precedence).
+        prop_assert_eq!(
+            &reparsed.body, &program.body,
+            "round-trip changed the AST:\n{}", rendered
+        );
+        prop_assert_eq!(&reparsed.locals, &program.locals);
+        prop_assert_eq!(&reparsed.globals, &program.globals);
+    }
+}
