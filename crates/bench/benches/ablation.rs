@@ -18,8 +18,14 @@ fn bench(c: &mut Criterion) {
     // Selection schemes on a noisy popcount (how fast each converges).
     for (name, scheme) in [
         ("selection_roulette", SelectionScheme::Roulette),
-        ("selection_tournament2", SelectionScheme::Tournament { k: 2 }),
-        ("selection_truncation50", SelectionScheme::Truncation { keep_percent: 50 }),
+        (
+            "selection_tournament2",
+            SelectionScheme::Tournament { k: 2 },
+        ),
+        (
+            "selection_truncation50",
+            SelectionScheme::Truncation { keep_percent: 50 },
+        ),
     ] {
         group.bench_function(name, |b| {
             let mut seed = 0u64;
@@ -41,7 +47,7 @@ fn bench(c: &mut Criterion) {
 
     // Averaging depth under noise (paper: 10 runs per virus).
     for runs in [1u32, 10] {
-        group.bench_function(format!("averaging_depth_{runs}"), |b| {
+        group.bench_function(&format!("averaging_depth_{runs}"), |b| {
             let mut seed = 100u64;
             b.iter(|| {
                 seed += 1;
@@ -63,7 +69,14 @@ fn bench(c: &mut Criterion) {
     let victims = dstress.profile_victims(60.0, WORST_WORD).expect("victims");
     let metric = Metric::CeInRows(victims.clone());
     let mut evaluator = dstress
-        .evaluator(&EnvKind::RowAccess { victims, fill: WORST_WORD }, 60.0, metric)
+        .evaluator(
+            &EnvKind::RowAccess {
+                victims,
+                fill: WORST_WORD,
+            },
+            60.0,
+            metric,
+        )
         .expect("evaluator");
     group.bench_function("access_eval_with_cache_model", |b| {
         b.iter(|| {

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("evaluate_worst_virus", |b| {
         b.iter(|| {
             let outcome = evaluator
-                .evaluate_bindings(
-                    [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into(),
-                )
+                .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into())
                 .expect("evaluation");
             std::hint::black_box(outcome.fitness)
         })

@@ -21,9 +21,18 @@ fn bench(c: &mut Criterion) {
             let outcome = evaluator
                 .evaluate_bindings(
                     [
-                        ("PREV_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
-                        ("VICTIM_PATTERN".to_string(), BoundValue::Array(vec![WORST_WORD; row_words])),
-                        ("NEXT_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
+                        (
+                            "PREV_PATTERN".to_string(),
+                            BoundValue::Array(vec![BEST_WORD; row_words]),
+                        ),
+                        (
+                            "VICTIM_PATTERN".to_string(),
+                            BoundValue::Array(vec![WORST_WORD; row_words]),
+                        ),
+                        (
+                            "NEXT_PATTERN".to_string(),
+                            BoundValue::Array(vec![BEST_WORD; row_words]),
+                        ),
                     ]
                     .into(),
                 )

@@ -14,7 +14,14 @@ fn bench(c: &mut Criterion) {
 
     let metric = Metric::CeInRows(victims.clone());
     let mut row_eval = dstress
-        .evaluator(&EnvKind::RowAccess { victims: victims.clone(), fill: WORST_WORD }, 60.0, metric.clone())
+        .evaluator(
+            &EnvKind::RowAccess {
+                victims: victims.clone(),
+                fill: WORST_WORD,
+            },
+            60.0,
+            metric.clone(),
+        )
         .expect("evaluator");
     group.bench_function("evaluate_row_access_virus", |b| {
         b.iter(|| {
@@ -26,7 +33,14 @@ fn bench(c: &mut Criterion) {
     });
 
     let mut stride_eval = dstress
-        .evaluator(&EnvKind::StrideAccess { victims, fill: WORST_WORD }, 60.0, metric)
+        .evaluator(
+            &EnvKind::StrideAccess {
+                victims,
+                fill: WORST_WORD,
+            },
+            60.0,
+            metric,
+        )
         .expect("evaluator");
     group.bench_function("evaluate_stride_virus", |b| {
         b.iter(|| {

@@ -1,0 +1,67 @@
+//! Population-evaluation throughput: one GA generation's worth of distinct
+//! chromosomes scored on the DStress substrate, serially vs. spread across
+//! parallel evaluation workers (each owning a server replica).
+//!
+//! The acceptance target for the parallel path is a >= 2x speedup over the
+//! serial path on a multi-core host. Both variants evaluate the same 40
+//! distinct chromosomes; the printed per-sample times are directly
+//! comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dstress::patterns::BitCodec;
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, ParallelBitFitness};
+use dstress_ga::{BitGenome, Fitness, ParallelFitness};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluates every chromosome on `workers` replicas, returning the score
+/// sum (mirrors one engine evaluation round without the GA bookkeeping).
+fn evaluate_population(
+    fitness: &ParallelBitFitness,
+    population: &[BitGenome],
+    workers: usize,
+) -> f64 {
+    let mut replicas: Vec<ParallelBitFitness> = (0..workers).map(|_| fitness.replicate()).collect();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = replicas
+            .iter_mut()
+            .enumerate()
+            .map(|(w, replica)| {
+                let share: Vec<&BitGenome> = population.iter().skip(w).step_by(workers).collect();
+                s.spawn(move |_| share.into_iter().map(|g| replica.evaluate(g)).sum::<f64>())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+    .expect("scope")
+}
+
+fn bench(c: &mut Criterion) {
+    let dstress = DStress::new(ExperimentScale::quick(), 99);
+    let fitness = ParallelBitFitness {
+        evaluator: dstress
+            .evaluator(&EnvKind::Word64, 60.0, Metric::CeAverage)
+            .expect("evaluator builds"),
+        codec: BitCodec::Word64 {
+            param: "PATTERN".into(),
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(4);
+    let population: Vec<BitGenome> = (0..40).map(|_| BitGenome::random(&mut rng, 64)).collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("population_eval");
+    group.sample_size(10);
+    group.bench_function("serial_40", |b| {
+        b.iter(|| std::hint::black_box(evaluate_population(&fitness, &population, 1)))
+    });
+    group.bench_function(&format!("parallel_40_x{cores}"), |b| {
+        b.iter(|| std::hint::black_box(evaluate_population(&fitness, &population, cores)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,8 +1,12 @@
 //! Regenerates the design-choice ablation study (DESIGN.md §6).
 
 fn main() {
-    let seeds = if dstress_bench::scale().name == "quick" { 3 } else { 8 };
-    let report = dstress::experiments::ablation::run(dstress_bench::scale(), seeds)
-        .expect("ablation study");
+    let seeds = if dstress_bench::scale().name == "quick" {
+        3
+    } else {
+        8
+    };
+    let report =
+        dstress::experiments::ablation::run(dstress_bench::scale(), seeds).expect("ablation study");
     dstress_bench::emit("ablation_study", &report.render(), &report);
 }

@@ -24,13 +24,9 @@ fn main() {
     let f1112 = experiments::fig11_fig12::run(scale, seed, Some(f910.triple_ce)).expect("fig11/12");
     dstress_bench::emit("fig11_fig12", &f1112.render(), &f1112);
 
-    let f13 = experiments::efficiency::run(
-        scale,
-        seed,
-        Some(f8.ga_worst_ce),
-        Some(f1112.row_access_ce),
-    )
-    .expect("fig13");
+    let f13 =
+        experiments::efficiency::run(scale, seed, Some(f8.ga_worst_ce), Some(f1112.row_access_ce))
+            .expect("fig13");
     dstress_bench::emit("fig13", &f13.render(), &f13);
 
     let f14 = experiments::fig14::run(scale, seed).expect("fig14");

@@ -1,7 +1,8 @@
 //! Regenerates Fig. 1b: workload-dependent single-bit error distribution.
 
 fn main() {
-    let report = dstress::experiments::fig01b::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
-        .expect("fig01b experiment");
+    let report =
+        dstress::experiments::fig01b::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+            .expect("fig01b experiment");
     dstress_bench::emit("fig01b", &report.render(), &report);
 }

@@ -15,7 +15,9 @@ fn main() {
     }
     println!("\nchunks 0, 8, 16 land in adjacent rows of bank 0 (paper Fig. 1a):");
     for chunk in [0u64, 8, 16] {
-        let loc = map.map(chunk * geo.row_bytes as u64).expect("address in range");
+        let loc = map
+            .map(chunk * geo.row_bytes as u64)
+            .expect("address in range");
         println!("  chunk {chunk:>2} -> {loc}");
     }
 }

@@ -2,8 +2,9 @@
 //! micro-benchmark comparison.
 
 fn main() {
-    let report = dstress::experiments::fig08::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
-        .expect("fig08 experiment");
+    let report =
+        dstress::experiments::fig08::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+            .expect("fig08 experiment");
     dstress_bench::emit("fig08", &report.render(), &report);
     println!("headline: {}", report.headline());
 }

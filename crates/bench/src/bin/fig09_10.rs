@@ -2,7 +2,10 @@
 //! searches.
 
 fn main() {
-    let report = dstress::experiments::fig09_fig10::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
-        .expect("fig09/fig10 experiment");
+    let report = dstress::experiments::fig09_fig10::run(
+        dstress_bench::scale(),
+        dstress_bench::CAMPAIGN_SEED,
+    )
+    .expect("fig09/fig10 experiment");
     dstress_bench::emit("fig09_fig10", &report.render(), &report);
 }

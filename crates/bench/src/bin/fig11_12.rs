@@ -1,8 +1,11 @@
 //! Regenerates Figs. 11 & 12: the memory-access-pattern searches.
 
 fn main() {
-    let report =
-        dstress::experiments::fig11_fig12::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED, None)
-            .expect("fig11/fig12 experiment");
+    let report = dstress::experiments::fig11_fig12::run(
+        dstress_bench::scale(),
+        dstress_bench::CAMPAIGN_SEED,
+        None,
+    )
+    .expect("fig11/fig12 experiment");
     dstress_bench::emit("fig11_fig12", &report.render(), &report);
 }

@@ -1,7 +1,8 @@
 //! Regenerates Fig. 14: marginal TREFP discovery and power savings.
 
 fn main() {
-    let report = dstress::experiments::fig14::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
-        .expect("fig14 experiment");
+    let report =
+        dstress::experiments::fig14::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+            .expect("fig14 experiment");
     dstress_bench::emit("fig14", &report.render(), &report);
 }

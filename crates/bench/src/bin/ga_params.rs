@@ -1,7 +1,11 @@
 //! Regenerates the §V GA-parameter calibration table (popcount fitness).
 
 fn main() {
-    let seeds = if dstress_bench::scale().name == "quick" { 3 } else { 10 };
+    let seeds = if dstress_bench::scale().name == "quick" {
+        3
+    } else {
+        10
+    };
     let report = dstress::experiments::ga_params::run(seeds);
     dstress_bench::emit("ga_params", &report.render(), &report);
 }

@@ -1,8 +1,10 @@
 //! Regenerates the MARCH-test comparison (extension, paper §II/§VII).
 
 fn main() {
-    let report =
-        dstress::experiments::march_comparison::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
-            .expect("march comparison");
+    let report = dstress::experiments::march_comparison::run(
+        dstress_bench::scale(),
+        dstress_bench::CAMPAIGN_SEED,
+    )
+    .expect("march comparison");
     dstress_bench::emit("march_comparison", &report.render(), &report);
 }

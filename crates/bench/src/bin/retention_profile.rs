@@ -5,7 +5,10 @@ use dstress::{DStress, BEST_WORD, WORST_WORD};
 
 fn main() {
     let dstress = DStress::new(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED);
-    println!("==== retention profile (scale: {}) ====", dstress.scale.name);
+    println!(
+        "==== retention profile (scale: {}) ====",
+        dstress.scale.name
+    );
     for (label, fill) in [("worst-case fill", WORST_WORD), ("benign fill", BEST_WORD)] {
         let profile = profile_retention(&dstress, fill, 60.0, 8).expect("profiling");
         println!(

@@ -1,7 +1,8 @@
 //! Regenerates the rowhammer-regime exploration (extension, paper §VI).
 
 fn main() {
-    let report = dstress::experiments::rowhammer::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
-        .expect("rowhammer exploration");
+    let report =
+        dstress::experiments::rowhammer::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+            .expect("rowhammer exploration");
     dstress_bench::emit("rowhammer", &report.render(), &report);
 }

@@ -1,7 +1,8 @@
 //! Regenerates the SDC-accounting extension experiment (paper §III-C).
 
 fn main() {
-    let report = dstress::experiments::sdc::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
-        .expect("sdc accounting");
+    let report =
+        dstress::experiments::sdc::run(dstress_bench::scale(), dstress_bench::CAMPAIGN_SEED)
+            .expect("sdc accounting");
     dstress_bench::emit("sdc_accounting", &report.render(), &report);
 }

@@ -19,7 +19,7 @@ pub fn scale() -> ExperimentScale {
 }
 
 /// A fixed seed shared by the figure binaries so reruns reproduce exactly.
-pub const CAMPAIGN_SEED: u64 = 0xD57E_55;
+pub const CAMPAIGN_SEED: u64 = 0x00D5_7E55;
 
 /// Prints a report and optionally archives it as JSON under
 /// `DSTRESS_JSON_DIR`.

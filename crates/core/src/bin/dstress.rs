@@ -2,7 +2,7 @@
 //! stress viruses on the simulated experimental platform.
 //!
 //! ```text
-//! dstress search-word64 [--temp C] [--minimize] [--ue] [--scale quick|paper] [--seed N] [--db FILE]
+//! dstress search-word64 [--temp C] [--minimize] [--ue] [--scale quick|paper] [--seed N] [--db FILE] [--workers N]
 //! dstress measure --pattern HEX [--temp C]
 //! dstress baselines [--temp C]
 //! dstress victims [--temp C]
@@ -88,7 +88,7 @@ fn usage() -> &'static str {
      COMMANDS:\n\
        search-word64   GA search for the worst 64-bit data pattern\n\
                        [--temp C] [--minimize] [--ue] [--scale quick|paper]\n\
-                       [--seed N] [--db FILE]\n\
+                       [--seed N] [--db FILE] [--workers N]\n\
        measure         Measure one data pattern  --pattern HEX [--temp C]\n\
        baselines       Measure the classic micro-benchmarks [--temp C]\n\
        victims         Profile the error-prone rows [--temp C]\n\
@@ -112,7 +112,11 @@ fn main() -> ExitCode {
 
 fn run(raw: Vec<String>) -> Result<(), String> {
     let args = Args::parse(raw)?;
-    let command = args.positional.first().map(String::as_str).unwrap_or("help");
+    let command = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     let scale = scale_from(&args)?;
     let seed = args.u64("seed", 42)?;
     let temp = args.f64("temp", 60.0)?;
@@ -144,8 +148,14 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         "search-word64" => {
+            let workers = args.u64("workers", 1)?.max(1) as usize;
             let mut dstress = DStress::new(scale, seed);
-            let metric = if args.bool("ue") { Metric::UeRuns } else { Metric::CeAverage };
+            dstress.set_workers(workers);
+            let metric = if args.bool("ue") {
+                Metric::UeRuns
+            } else {
+                Metric::CeAverage
+            };
             let minimize = args.bool("minimize");
             println!(
                 "searching 64-bit patterns at {temp} C ({}, {}) ...",
@@ -167,6 +177,15 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             for (genome, fitness) in campaign.result.leaderboard.iter().take(5) {
                 println!("  {:#018x}  {fitness:.1}", genome.to_words()[0]);
             }
+            let stats = &campaign.result.eval_stats;
+            println!(
+                "evaluations: {} run, {} served from cache, {} worker{} ({:.2} s evaluating)",
+                stats.evaluations,
+                stats.cache_hits,
+                stats.workers,
+                if stats.workers == 1 { "" } else { "s" },
+                stats.eval_seconds(),
+            );
             if let Some(path) = args.str("db") {
                 dstress
                     .db
@@ -199,13 +218,19 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             for baseline in Baseline::all(seed) {
                 let outcome = dstress
                     .measure(
-                        &EnvKind::CycleFill { cycle: baseline.cycle() },
+                        &EnvKind::CycleFill {
+                            cycle: baseline.cycle(),
+                        },
                         HashMap::new(),
                         temp,
                         Metric::CeAverage,
                     )
                     .map_err(|e| e.to_string())?;
-                println!("  {:<14} {:>10.1} CEs/run", baseline.name(), outcome.fitness);
+                println!(
+                    "  {:<14} {:>10.1} CEs/run",
+                    baseline.name(),
+                    outcome.fitness
+                );
             }
             let worst = dstress
                 .measure(
@@ -220,7 +245,9 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         }
         "victims" => {
             let mut dstress = DStress::new(scale, seed);
-            let victims = dstress.profile_victims(temp, WORST_WORD).map_err(|e| e.to_string())?;
+            let victims = dstress
+                .profile_victims(temp, WORST_WORD)
+                .map_err(|e| e.to_string())?;
             println!("error-prone rows at {temp} C (worst-case fill):");
             for v in victims {
                 println!("  {v}");
@@ -236,20 +263,18 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             };
             let chromosome: HashMap<String, BoundValue> =
                 [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into();
-            let margin = find_marginal_trefp(
-                &dstress,
-                &EnvKind::Word64,
-                &chromosome,
-                temp,
-                criterion,
-                10,
-            )
-            .map_err(|e| e.to_string())?;
+            let margin =
+                find_marginal_trefp(&dstress, &EnvKind::Word64, &chromosome, temp, criterion, 10)
+                    .map_err(|e| e.to_string())?;
             let savings = savings_at_margin(margin.marginal_trefp_s, 1.0e6);
             println!(
                 "marginal TREFP at {temp} C: {:.3} s (criterion: {})",
                 margin.marginal_trefp_s,
-                if args.bool("ce-tolerated") { "CEs tolerated" } else { "no errors" }
+                if args.bool("ce-tolerated") {
+                    "CEs tolerated"
+                } else {
+                    "no errors"
+                }
             );
             println!(
                 "power savings: {:.1} % DRAM, {:.1} % system",

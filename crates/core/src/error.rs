@@ -48,7 +48,11 @@ mod tests {
     fn display_and_conversion() {
         let e: DStressError = VplError::Template("x".into()).into();
         assert!(e.to_string().contains("template"));
-        assert!(DStressError::Config("bad".into()).to_string().contains("bad"));
-        assert!(DStressError::Experiment("no rows".into()).to_string().contains("no rows"));
+        assert!(DStressError::Config("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(DStressError::Experiment("no rows".into())
+            .to_string()
+            .contains("no rows"));
     }
 }

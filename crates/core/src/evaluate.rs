@@ -4,11 +4,54 @@
 use crate::error::DStressError;
 use crate::patterns::{BitCodec, IntCodec};
 use dstress_dram::geometry::RowKey;
-use dstress_ga::{BitGenome, Fitness, IntGenome};
+use dstress_ga::{BitGenome, Fitness, IntGenome, ParallelFitness};
 use dstress_platform::{RunOutcome, XGene2Server};
 use dstress_vpl::{BoundValue, ExecLimits, Interpreter, ProcessedTemplate};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Derives the base VRT nonce for one evaluation from the fully-bound
+/// chromosome (FNV-1a over the sorted bindings).
+///
+/// Making the nonce a pure function of the bindings — instead of an
+/// evaluation-order counter — makes every evaluation a pure function of the
+/// candidate virus: the same chromosome manifests the same errors no matter
+/// which worker evaluates it, in which order, or whether the score comes
+/// from the engine's evaluation cache. Distinct chromosomes still draw
+/// distinct noise, so VRT keeps differentiating candidates run-to-run
+/// across the `runs` repeats (which offset the base nonce).
+fn bindings_nonce(bindings: &HashMap<String, BoundValue>) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    fn eat(hash: &mut u64, value: u64) {
+        for byte in value.to_le_bytes() {
+            *hash ^= byte as u64;
+            *hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut keys: Vec<&String> = bindings.keys().collect();
+    keys.sort();
+    for key in keys {
+        for byte in key.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+        match &bindings[key] {
+            BoundValue::Scalar(v) => {
+                eat(&mut hash, 0);
+                eat(&mut hash, *v);
+            }
+            BoundValue::Array(vs) => {
+                eat(&mut hash, 1);
+                eat(&mut hash, vs.len() as u64);
+                for v in vs {
+                    eat(&mut hash, *v);
+                }
+            }
+        }
+    }
+    hash
+}
 
 /// The quantity a search maximizes (§III-C: CEs or UEs).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,7 +99,6 @@ pub struct VirusEvaluator {
     runs: u32,
     target_mcu: usize,
     limits: ExecLimits,
-    eval_seq: u64,
     /// Outcome of the most recent evaluation (for database recording).
     pub last: Option<EvalOutcome>,
     /// Evaluations that failed (template runtime errors); such candidates
@@ -82,7 +124,26 @@ impl VirusEvaluator {
             runs,
             target_mcu,
             limits: ExecLimits::default(),
-            eval_seq: 0,
+            last: None,
+            failed_evaluations: 0,
+        }
+    }
+
+    /// Creates an independent replica of this evaluator for a parallel
+    /// evaluation worker: its own copy of the server (DIMMs, thermal state,
+    /// ECC counters), template and environment. Evaluation outcomes depend
+    /// only on the chromosome (the VRT nonce is chromosome-derived), so a
+    /// replica scores every candidate exactly as the original would.
+    /// Bookkeeping (`last`, `failed_evaluations`) starts fresh.
+    pub fn replicate(&self) -> VirusEvaluator {
+        VirusEvaluator {
+            server: self.server.clone(),
+            template: self.template.clone(),
+            env: self.env.clone(),
+            metric: self.metric.clone(),
+            runs: self.runs,
+            target_mcu: self.target_mcu,
+            limits: self.limits,
             last: None,
             failed_evaluations: 0,
         }
@@ -124,8 +185,7 @@ impl VirusEvaluator {
         let mut session = self.server.session(self.target_mcu);
         Interpreter::new(self.limits).run(&program, &mut session)?;
         let run = session.finish();
-        let base_nonce = self.eval_seq.wrapping_mul(0x9E37_79B9);
-        self.eval_seq += 1;
+        let base_nonce = bindings_nonce(&bindings);
         let outcomes = self.server.evaluate_runs(&run, self.runs, base_nonce);
         let outcome = self.summarize(&outcomes, run.len());
         self.last = Some(outcome.clone());
@@ -149,7 +209,13 @@ impl VirusEvaluator {
             }
             Metric::UeRuns => ue_runs as f64,
         };
-        EvalOutcome { fitness, total_ce, total_ue, ue_runs, trace_len }
+        EvalOutcome {
+            fitness,
+            total_ce,
+            total_ue,
+            ue_runs,
+            trace_len,
+        }
     }
 
     /// Evaluates and returns the fitness only, scoring failed candidates 0
@@ -195,6 +261,64 @@ impl Fitness<IntGenome> for IntFitness<'_> {
     }
 }
 
+/// Owning [`ParallelFitness`] adapter for bit-genome campaigns: each
+/// evaluation worker gets a replica that owns its own evaluator, server
+/// included, so workers never contend for the substrate.
+#[derive(Debug)]
+pub struct ParallelBitFitness {
+    /// The campaign evaluator this fitness owns.
+    pub evaluator: VirusEvaluator,
+    /// The chromosome codec.
+    pub codec: BitCodec,
+}
+
+impl Fitness<BitGenome> for ParallelBitFitness {
+    fn evaluate(&mut self, genome: &BitGenome) -> f64 {
+        self.evaluator.fitness_of(self.codec.bindings(genome))
+    }
+}
+
+impl ParallelFitness<BitGenome> for ParallelBitFitness {
+    fn replicate(&self) -> Self {
+        ParallelBitFitness {
+            evaluator: self.evaluator.replicate(),
+            codec: self.codec.clone(),
+        }
+    }
+
+    fn absorb(&mut self, replica: Self) {
+        self.evaluator.failed_evaluations += replica.evaluator.failed_evaluations;
+    }
+}
+
+/// Owning [`ParallelFitness`] adapter for integer-genome campaigns.
+#[derive(Debug)]
+pub struct ParallelIntFitness {
+    /// The campaign evaluator this fitness owns.
+    pub evaluator: VirusEvaluator,
+    /// The chromosome codec.
+    pub codec: IntCodec,
+}
+
+impl Fitness<IntGenome> for ParallelIntFitness {
+    fn evaluate(&mut self, genome: &IntGenome) -> f64 {
+        self.evaluator.fitness_of(self.codec.bindings(genome))
+    }
+}
+
+impl ParallelFitness<IntGenome> for ParallelIntFitness {
+    fn replicate(&self) -> Self {
+        ParallelIntFitness {
+            evaluator: self.evaluator.replicate(),
+            codec: self.codec.clone(),
+        }
+    }
+
+    fn absorb(&mut self, replica: Self) {
+        self.evaluator.failed_evaluations += replica.evaluator.failed_evaluations;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,12 +347,20 @@ mod tests {
         let mut eval = evaluator(Metric::CeAverage);
         let worst = eval
             .evaluate_bindings(
-                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0x3333_3333_3333_3333),
+                )]
+                .into(),
             )
             .unwrap();
         let best = eval
             .evaluate_bindings(
-                [("PATTERN".to_string(), BoundValue::Scalar(0xCCCC_CCCC_CCCC_CCCC))].into(),
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0xCCCC_CCCC_CCCC_CCCC),
+                )]
+                .into(),
             )
             .unwrap();
         assert!(
@@ -247,19 +379,77 @@ mod tests {
         let g = BitGenome::from_words(&[0x3333_3333_3333_3333], 64);
         let direct = eval
             .evaluate_bindings(
-                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0x3333_3333_3333_3333),
+                )]
+                .into(),
             )
             .unwrap()
             .fitness;
         let mut fit = BitFitness {
             evaluator: &mut eval,
-            codec: BitCodec::Word64 { param: "PATTERN".into() },
+            codec: BitCodec::Word64 {
+                param: "PATTERN".into(),
+            },
         };
         let adapted = fit.evaluate(&g);
         // VRT noise differs between evaluations; both must land in the same
         // regime.
         assert!(adapted > 0.0);
         assert!((adapted - direct).abs() < 0.5 * direct.max(adapted));
+    }
+
+    #[test]
+    fn evaluation_is_a_pure_function_of_the_chromosome() {
+        let mut eval = evaluator(Metric::CeAverage);
+        let worst: HashMap<String, BoundValue> = [(
+            "PATTERN".to_string(),
+            BoundValue::Scalar(0x3333_3333_3333_3333),
+        )]
+        .into();
+        // Re-evaluating the same chromosome reproduces the outcome exactly:
+        // the VRT nonce is chromosome-derived, not order-derived.
+        let a = eval.evaluate_bindings(worst.clone()).unwrap();
+        let b = eval.evaluate_bindings(worst.clone()).unwrap();
+        assert_eq!(a, b, "same chromosome must manifest the same errors");
+        // A replica produces the same outcome as the original.
+        let mut replica = eval.replicate();
+        let c = replica.evaluate_bindings(worst).unwrap();
+        assert_eq!(a, c, "replica must score identically");
+        assert_eq!(replica.failed_evaluations, 0);
+        // Distinct chromosomes draw distinct VRT noise.
+        let other = eval
+            .evaluate_bindings(
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0x3333_3333_3333_7333),
+                )]
+                .into(),
+            )
+            .unwrap();
+        assert_ne!(a, other, "different chromosomes should differ");
+    }
+
+    #[test]
+    fn parallel_adapter_replicates_and_absorbs_failures() {
+        let mut fit = ParallelBitFitness {
+            evaluator: evaluator(Metric::CeAverage),
+            codec: BitCodec::Word64 {
+                param: "PATTERN".into(),
+            },
+        };
+        let g = BitGenome::from_words(&[0x3333_3333_3333_3333], 64);
+        let direct = fit.evaluate(&g);
+        let mut replica = fit.replicate();
+        assert_eq!(
+            replica.evaluate(&g),
+            direct,
+            "replica must score identically"
+        );
+        replica.evaluator.failed_evaluations = 3;
+        fit.absorb(replica);
+        assert_eq!(fit.evaluator.failed_evaluations, 3);
     }
 
     #[test]
@@ -276,7 +466,11 @@ mod tests {
         eval.server_mut().set_dimm_temperature(2, 70.0);
         let outcome = eval
             .evaluate_bindings(
-                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0x3333_3333_3333_3333),
+                )]
+                .into(),
             )
             .unwrap();
         assert!(outcome.ue_runs > 0, "70C must raise UEs");
@@ -288,7 +482,11 @@ mod tests {
         let mut eval = evaluator(Metric::CeAverage);
         let all = eval
             .evaluate_bindings(
-                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0x3333_3333_3333_3333),
+                )]
+                .into(),
             )
             .unwrap()
             .fitness;
@@ -296,10 +494,17 @@ mod tests {
         eval.set_metric(Metric::CeInRows(vec![RowKey::new(0, 0, 0)]));
         let one_row = eval
             .evaluate_bindings(
-                [("PATTERN".to_string(), BoundValue::Scalar(0x3333_3333_3333_3333))].into(),
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0x3333_3333_3333_3333),
+                )]
+                .into(),
             )
             .unwrap()
             .fitness;
-        assert!(one_row <= all, "one-row count {one_row} vs whole-DIMM {all}");
+        assert!(
+            one_row <= all,
+            "one-row count {one_row} vs whole-DIMM {all}"
+        );
     }
 }

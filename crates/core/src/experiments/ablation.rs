@@ -17,9 +17,7 @@ use crate::evaluate::Metric;
 use crate::report::TextTable;
 use crate::scale::ExperimentScale;
 use crate::search::{DStress, EnvKind, WORST_WORD};
-use dstress_ga::{
-    BitGenome, CrossoverOp, FnFitness, GaConfig, GaEngine, Genome, SelectionScheme,
-};
+use dstress_ga::{BitGenome, CrossoverOp, FnFitness, GaConfig, GaEngine, Genome, SelectionScheme};
 use dstress_stats::Moments;
 use dstress_vpl::BoundValue;
 use rand::rngs::StdRng;
@@ -78,11 +76,7 @@ fn noisy_popcount_run(config: GaConfig, seed: u64) -> (bool, u32) {
     (solved, solved_at)
 }
 
-fn knob_sweep<F: Fn(&mut GaConfig)>(
-    label: &str,
-    seeds: u64,
-    apply: F,
-) -> KnobRow {
+fn knob_sweep<F: Fn(&mut GaConfig)>(label: &str, seeds: u64, apply: F) -> KnobRow {
     let mut solved = 0u64;
     let mut gens = 0.0;
     for seed in 0..seeds {
@@ -116,7 +110,9 @@ pub fn run(scale: ExperimentScale, seeds: u64) -> Result<AblationReport, DStress
         knob_sweep("tournament k=4", seeds, |c| {
             c.selection = SelectionScheme::Tournament { k: 4 }
         }),
-        knob_sweep("roulette", seeds, |c| c.selection = SelectionScheme::Roulette),
+        knob_sweep("roulette", seeds, |c| {
+            c.selection = SelectionScheme::Roulette
+        }),
         knob_sweep("truncation 50%", seeds, |c| {
             c.selection = SelectionScheme::Truncation { keep_percent: 50 }
         }),
@@ -195,7 +191,9 @@ pub fn run(scale: ExperimentScale, seeds: u64) -> Result<AblationReport, DStress
     let dstress = DStress::new(scale, 5);
     for runs in [1u32, 3, 10] {
         // An evaluator with the requested averaging depth.
-        let server = dstress.evaluator(&EnvKind::Word64, 60.0, Metric::CeAverage)?.into_server();
+        let server = dstress
+            .evaluator(&EnvKind::Word64, 60.0, Metric::CeAverage)?
+            .into_server();
         let template = crate::templates::process(crate::templates::WORD64, &scale)?;
         let env = EnvKind::Word64.bindings(&scale)?;
         let mut scaled =
@@ -215,17 +213,27 @@ pub fn run(scale: ExperimentScale, seeds: u64) -> Result<AblationReport, DStress
         } else {
             0.0
         };
-        averaging.push(AveragingRow { runs, relative_std_dev: rel });
+        averaging.push(AveragingRow {
+            runs,
+            relative_std_dev: rel,
+        });
     }
 
     // 4. Convergence threshold.
     let threshold = vec![
         knob_sweep("threshold 0.75", seeds, |c| c.convergence_threshold = 0.75),
-        knob_sweep("threshold 0.85 (paper)", seeds, |c| c.convergence_threshold = 0.85),
+        knob_sweep("threshold 0.85 (paper)", seeds, |c| {
+            c.convergence_threshold = 0.85
+        }),
         knob_sweep("threshold 0.95", seeds, |c| c.convergence_threshold = 0.95),
     ];
 
-    Ok(AblationReport { selection, crossover, averaging, threshold })
+    Ok(AblationReport {
+        selection,
+        crossover,
+        averaging,
+        threshold,
+    })
 }
 
 impl AblationReport {
@@ -252,7 +260,10 @@ impl AblationReport {
         out.push_str("ablation: fitness averaging depth (real evaluator, VRT noise)\n");
         let mut t = TextTable::new(vec!["runs averaged", "relative std dev"]);
         for r in &self.averaging {
-            t.row(vec![r.runs.to_string(), format!("{:.4}", r.relative_std_dev)]);
+            t.row(vec![
+                r.runs.to_string(),
+                format!("{:.4}", r.relative_std_dev),
+            ]);
         }
         out.push_str(&t.render());
         out.push_str("(the paper averages 10 runs per virus, §V-A.1)\n");

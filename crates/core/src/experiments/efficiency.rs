@@ -13,7 +13,10 @@ use crate::evaluate::Metric;
 use crate::scale::ExperimentScale;
 use crate::search::{DStress, EnvKind, WORST_WORD};
 use dstress_dram::geometry::RowKey;
-use dstress_stats::{bootstrap_ci, dagostino_pearson, ConfidenceInterval, DagostinoPearson, Histogram, Moments, Normal};
+use dstress_stats::{
+    bootstrap_ci, dagostino_pearson, ConfidenceInterval, DagostinoPearson, Histogram, Moments,
+    Normal,
+};
 use dstress_vpl::BoundValue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -61,10 +64,7 @@ pub struct Fig13Report {
     pub access_patterns: RandomDistribution,
 }
 
-fn summarize(
-    values: &[f64],
-    ga_best: f64,
-) -> Result<RandomDistribution, DStressError> {
+fn summarize(values: &[f64], ga_best: f64) -> Result<RandomDistribution, DStressError> {
     let moments: Moments = values.iter().copied().collect();
     let normality = dagostino_pearson(&moments)
         .map_err(|e| DStressError::Experiment(format!("normality test failed: {e}")))?;
@@ -134,14 +134,17 @@ pub fn run(
 
     // (b) random access patterns over the victim neighbourhood.
     let victims = dstress.profile_victims(temp, WORST_WORD)?;
-    let env = EnvKind::RowAccess { victims: victims.clone(), fill: WORST_WORD };
+    let env = EnvKind::RowAccess {
+        victims: victims.clone(),
+        fill: WORST_WORD,
+    };
     let metric = Metric::CeInRows(victims.clone());
     let mut evaluator = dstress.evaluator(&env, temp, metric)?;
     let mut access_values = Vec::with_capacity(scale.random_samples);
     for _ in 0..scale.random_samples {
         let flags: Vec<u64> = (0..64).map(|_| rng.gen_range(0..=1u64)).collect();
-        let outcome = evaluator
-            .evaluate_bindings([("SEL".to_string(), BoundValue::Array(flags))].into())?;
+        let outcome =
+            evaluator.evaluate_bindings([("SEL".to_string(), BoundValue::Array(flags))].into())?;
         access_values.push(outcome.fitness);
     }
     let ga_access_best = match ga_access_best {
@@ -215,7 +218,11 @@ mod tests {
             .collect();
         let d = summarize(&values, 150.0).unwrap();
         assert!(d.normality.is_normal(0.01));
-        assert!(d.p_better_exists < 1e-4, "5-sigma tail: {}", d.p_better_exists);
+        assert!(
+            d.p_better_exists < 1e-4,
+            "5-sigma tail: {}",
+            d.p_better_exists
+        );
         assert!(d.p_found_worst() > 0.999);
         // A mid-distribution "best" leaves a large tail.
         let weak = summarize(&values, 100.0).unwrap();

@@ -84,7 +84,11 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig01bReport, DStressErr
         }
     }
 
-    Ok(Fig01bReport { workloads: results, max_workload_ratio, max_dimm_ratio })
+    Ok(Fig01bReport {
+        workloads: results,
+        max_workload_ratio,
+        max_dimm_ratio,
+    })
 }
 
 impl Fig01bReport {

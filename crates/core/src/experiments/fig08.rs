@@ -68,9 +68,7 @@ pub struct Fig08Report {
     pub ga_best_ce: f64,
 }
 
-fn summarize(
-    campaign: &crate::search::BitCampaign,
-) -> PatternSearchSummary {
+fn summarize(campaign: &crate::search::BitCampaign) -> PatternSearchSummary {
     let leaderboard: Vec<(u64, f64)> = campaign
         .result
         .leaderboard
@@ -160,7 +158,11 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig08Report, DStressErro
         )?
         .fitness;
 
-    let worst_over_best = if ga_best_ce > 0.0 { ga_worst_ce / ga_best_ce } else { f64::INFINITY };
+    let worst_over_best = if ga_best_ce > 0.0 {
+        ga_worst_ce / ga_best_ce
+    } else {
+        f64::INFINITY
+    };
     let report = Fig08Report {
         cross_temperature_smf: cross_smf(&worst_55, &worst_60),
         worst_vs_best_smf: cross_smf(&worst_55, &best_55),
@@ -192,7 +194,11 @@ impl Fig08Report {
             ));
             let mut t = TextTable::new(vec!["#", "pattern (bits 0..31)", "fitness"]);
             for (i, (w, f)) in s.leaderboard.iter().take(8).enumerate() {
-                t.row(vec![i.to_string(), pattern_prefix(&[*w], 32), format!("{f:.1}")]);
+                t.row(vec![
+                    i.to_string(),
+                    pattern_prefix(&[*w], 32),
+                    format!("{f:.1}"),
+                ]);
             }
             out.push_str(&t.render());
             out.push('\n');
@@ -213,7 +219,11 @@ impl Fig08Report {
             "-".into(),
         ]);
         for (name, ce) in &self.baselines_60c {
-            t.row(vec![name.clone(), format!("{ce:.1}"), percent_delta(*ce, self.ga_worst_ce)]);
+            t.row(vec![
+                name.clone(),
+                format!("{ce:.1}"),
+                percent_delta(*ce, self.ga_worst_ce),
+            ]);
         }
         t.row(vec![
             "GA best-case".into(),

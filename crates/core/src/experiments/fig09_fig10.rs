@@ -114,10 +114,17 @@ impl Fig0910Report {
         let mut out = String::new();
         out.push_str(&format!(
             "Fig. 9 - worst-case row-triple (24 KB-class) patterns, 60C\n  victims: {:?}\n",
-            self.victims.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            self.victims
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
         ));
         let mut t = TextTable::new(vec!["virus", "victim-row CEs/run", "vs 64-bit worst"]);
-        t.row(vec!["64-bit worst (reference)".into(), format!("{:.1}", self.word64_ce), "-".into()]);
+        t.row(vec![
+            "64-bit worst (reference)".into(),
+            format!("{:.1}", self.word64_ce),
+            "-".into(),
+        ]);
         t.row(vec![
             "24 KB-class GA best".into(),
             format!("{:.1}", self.triple_ce),
@@ -143,11 +150,8 @@ impl Fig0910Report {
             self.triple_smf, self.triple_converged, self.triple_generations
         ));
         out.push_str(&format!(
-            "\nFig. 10 - 512 KB-class patterns: SMF {:.2}, converged {}, best {} vs 24 KB {}\n",
-            self.chunks_smf,
-            self.chunks_converged,
-            format!("{:.1}", self.chunks_ce),
-            format!("{:.1}", self.triple_ce),
+            "\nFig. 10 - 512 KB-class patterns: SMF {:.2}, converged {}, best {:.1} vs 24 KB {:.1}\n",
+            self.chunks_smf, self.chunks_converged, self.chunks_ce, self.triple_ce,
         ));
         out.push_str(
             "  (no gain over the 24 KB pattern: no cell-to-cell interference across banks)\n",
@@ -162,8 +166,14 @@ mod tests {
 
     #[test]
     fn charged_fraction_extremes() {
-        assert_eq!(Fig0910Report::charged_fraction(&[0x3333_3333_3333_3333]), 1.0);
-        assert_eq!(Fig0910Report::charged_fraction(&[0xCCCC_CCCC_CCCC_CCCC]), 0.0);
+        assert_eq!(
+            Fig0910Report::charged_fraction(&[0x3333_3333_3333_3333]),
+            1.0
+        );
+        assert_eq!(
+            Fig0910Report::charged_fraction(&[0xCCCC_CCCC_CCCC_CCCC]),
+            0.0
+        );
         let half = Fig0910Report::charged_fraction(&[0u64]);
         assert!((half - 0.5).abs() < 1e-12);
         let half1 = Fig0910Report::charged_fraction(&[u64::MAX]);

@@ -115,7 +115,10 @@ impl Fig1112Report {
         let mut out = String::new();
         out.push_str(&format!(
             "Fig. 11 - access virus (row bitmap), 60C\n  victims: {:?}\n",
-            self.victims.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            self.victims
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
         ));
         let mut t = TextTable::new(vec!["virus", "victim-row CEs/run", "vs data pattern"]);
         t.row(vec![

@@ -82,15 +82,29 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig14Report, DStressErro
     let word64_chromosome: HashMap<String, BoundValue> =
         [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into();
 
-    let triple_env = EnvKind::RowTriple { victims: victims.clone() };
+    let triple_env = EnvKind::RowTriple {
+        victims: victims.clone(),
+    };
     let triple_chromosome: HashMap<String, BoundValue> = [
-        ("PREV_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
-        ("VICTIM_PATTERN".to_string(), BoundValue::Array(vec![WORST_WORD; row_words])),
-        ("NEXT_PATTERN".to_string(), BoundValue::Array(vec![BEST_WORD; row_words])),
+        (
+            "PREV_PATTERN".to_string(),
+            BoundValue::Array(vec![BEST_WORD; row_words]),
+        ),
+        (
+            "VICTIM_PATTERN".to_string(),
+            BoundValue::Array(vec![WORST_WORD; row_words]),
+        ),
+        (
+            "NEXT_PATTERN".to_string(),
+            BoundValue::Array(vec![BEST_WORD; row_words]),
+        ),
     ]
     .into();
 
-    let access_env = EnvKind::RowAccess { victims: victims.clone(), fill: WORST_WORD };
+    let access_env = EnvKind::RowAccess {
+        victims: victims.clone(),
+        fill: WORST_WORD,
+    };
     let access_chromosome: HashMap<String, BoundValue> =
         [("SEL".to_string(), BoundValue::Array(vec![1u64; 64]))].into();
 
@@ -104,9 +118,8 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig14Report, DStressErro
     for temp in temps {
         for (family, env, chromosome) in &families {
             for criterion in [SafetyCriterion::NoErrors, SafetyCriterion::NoUncorrectable] {
-                let margin = find_marginal_trefp(
-                    &dstress, env, chromosome, temp, criterion, grid_points,
-                )?;
+                let margin =
+                    find_marginal_trefp(&dstress, env, chromosome, temp, criterion, grid_points)?;
                 points.push(MarginPoint {
                     family: *family,
                     temp_c: temp,
@@ -133,7 +146,12 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig14Report, DStressErro
 
 impl Fig14Report {
     /// The margin discovered by a family at a temperature/criterion.
-    pub fn margin(&self, family: VirusFamily, temp_c: f64, criterion: SafetyCriterion) -> Option<f64> {
+    pub fn margin(
+        &self,
+        family: VirusFamily,
+        temp_c: f64,
+        criterion: SafetyCriterion,
+    ) -> Option<f64> {
         self.points
             .iter()
             .find(|p| p.family == family && p.temp_c == temp_c && p.criterion == criterion)
@@ -153,9 +171,11 @@ impl Fig14Report {
                 }
             ));
             let mut t = TextTable::new(vec!["virus", "50C", "60C", "70C"]);
-            for family in
-                [VirusFamily::Word64, VirusFamily::RowTriple, VirusFamily::RowAccess]
-            {
+            for family in [
+                VirusFamily::Word64,
+                VirusFamily::RowTriple,
+                VirusFamily::RowAccess,
+            ] {
                 let cells: Vec<String> = [50.0, 60.0, 70.0]
                     .iter()
                     .map(|&temp| {
@@ -165,7 +185,9 @@ impl Fig14Report {
                     })
                     .collect();
                 t.row(
-                    std::iter::once(family.name().to_string()).chain(cells).collect(),
+                    std::iter::once(family.name().to_string())
+                        .chain(cells)
+                        .collect(),
                 );
             }
             out.push_str(&t.render());
@@ -204,7 +226,10 @@ mod tests {
             report.margin(VirusFamily::Word64, 50.0, SafetyCriterion::NoErrors),
             Some(0.5)
         );
-        assert_eq!(report.margin(VirusFamily::RowAccess, 50.0, SafetyCriterion::NoErrors), None);
+        assert_eq!(
+            report.margin(VirusFamily::RowAccess, 50.0, SafetyCriterion::NoErrors),
+            None
+        );
         assert!(report.render().contains("0.500 s"));
     }
 }

@@ -41,7 +41,11 @@ impl GaParamsReport {
     /// Renders the sweep as a text table.
     pub fn render(&self) -> String {
         let mut t = TextTable::new(vec![
-            "mutation", "crossover", "population", "mean gens", "solve rate",
+            "mutation",
+            "crossover",
+            "population",
+            "mean gens",
+            "solve rate",
         ]);
         for p in &self.points {
             t.row(vec![
@@ -139,7 +143,11 @@ mod tests {
             .iter()
             .find(|p| p.mutation == 0.5 && p.crossover == 0.9 && p.population == 40)
             .expect("grid contains the paper point");
-        assert!(strong.solve_rate > 0.49, "paper point solve rate {}", strong.solve_rate);
+        assert!(
+            strong.solve_rate > 0.49,
+            "paper point solve rate {}",
+            strong.solve_rate
+        );
         assert!(!report.render().is_empty());
     }
 }

@@ -72,8 +72,12 @@ impl MarchReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("MARCH-test comparison (extension, paper §II/§VII), 60C\n");
-        let mut t =
-            TextTable::new(vec!["test", "complexity", "CEs/run", "vs synthesized virus"]);
+        let mut t = TextTable::new(vec![
+            "test",
+            "complexity",
+            "CEs/run",
+            "vs synthesized virus",
+        ]);
         for row in &self.tests {
             t.row(vec![
                 row.name.clone(),

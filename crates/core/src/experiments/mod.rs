@@ -4,12 +4,12 @@
 
 pub mod ablation;
 pub mod efficiency;
-pub mod march_comparison;
 pub mod fig01b;
 pub mod fig08;
 pub mod fig09_fig10;
 pub mod fig11_fig12;
 pub mod fig14;
 pub mod ga_params;
+pub mod march_comparison;
 pub mod rowhammer;
 pub mod sdc;

@@ -78,7 +78,10 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<RowhammerReport, DStress
     });
 
     // Cached hammering (the paper's regime).
-    let env = EnvKind::RowAccess { victims: victims.clone(), fill: WORST_WORD };
+    let env = EnvKind::RowAccess {
+        victims: victims.clone(),
+        fill: WORST_WORD,
+    };
     let cached = dstress.measure(
         &env,
         [("SEL".to_string(), BoundValue::Array(double_sided.clone()))].into(),
@@ -119,7 +122,10 @@ impl RowhammerReport {
         let mut out = String::new();
         out.push_str(&format!(
             "Rowhammer exploration (extension, paper §VI Security)\n  victims: {:?}\n",
-            self.victims.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            self.victims
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
         ));
         let mut t = TextTable::new(vec!["regime", "victim CEs/run", "UEs", "runs stopped"]);
         for r in &self.regimes {
@@ -152,7 +158,10 @@ mod tests {
         // Stress ordering: hammering >= data-only; flush >= cached (both
         // may saturate at the same plateau).
         assert!(cached >= data, "cached hammer {cached} vs data {data}");
-        assert!(flushed >= cached * 0.99, "flush {flushed} vs cached {cached}");
+        assert!(
+            flushed >= cached * 0.99,
+            "flush {flushed} vs cached {cached}"
+        );
         assert!(!report.render().is_empty());
     }
 }

@@ -64,11 +64,9 @@ pub fn run(mut scale: ExperimentScale, seed: u64) -> Result<SdcReport, DStressEr
     let dstress = DStress::new(scale, seed);
     let mut points = Vec::new();
     for temp in [58i64, 62, 66, 70] {
-        let mut evaluator =
-            dstress.evaluator(&EnvKind::Word64, temp as f64, Metric::CeAverage)?;
-        evaluator.evaluate_bindings(
-            [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into(),
-        )?;
+        let mut evaluator = dstress.evaluator(&EnvKind::Word64, temp as f64, Metric::CeAverage)?;
+        evaluator
+            .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into())?;
         let counters = evaluator.server().counters();
         let sum = |f: fn(&dstress_ecc::CounterSnapshot) -> u64| -> u64 {
             counters.iter().map(|d| f(&d.counts)).sum()
@@ -81,7 +79,10 @@ pub fn run(mut scale: ExperimentScale, seed: u64) -> Result<SdcReport, DStressEr
             sdc_undetected: sum(|c| c.sdc_undetected),
         });
     }
-    Ok(SdcReport { triples_per_rank: triples, points })
+    Ok(SdcReport {
+        triples_per_rank: triples,
+        points,
+    })
 }
 
 impl SdcReport {
@@ -93,7 +94,12 @@ impl SdcReport {
             self.triples_per_rank
         ));
         let mut t = TextTable::new(vec![
-            "temp", "CE (visible)", "UE (visible)", "miscorrected", "undetected", "silent fraction",
+            "temp",
+            "CE (visible)",
+            "UE (visible)",
+            "miscorrected",
+            "undetected",
+            "silent fraction",
         ]);
         for p in &self.points {
             t.row(vec![
@@ -128,7 +134,10 @@ mod tests {
         // run early, truncating the windows CEs accumulate over.)
         let cool_silent = cool.sdc_miscorrected + cool.sdc_undetected;
         let hot_silent = hot.sdc_miscorrected + hot.sdc_undetected;
-        assert!(hot_silent >= cool_silent, "silent corruption grows with temperature");
+        assert!(
+            hot_silent >= cool_silent,
+            "silent corruption grows with temperature"
+        );
         assert!(
             hot_silent > 0,
             "triple clusters must defeat SECDED by 70C: {hot:?}"
@@ -147,9 +156,7 @@ mod tests {
             .evaluator(&EnvKind::Word64, 70.0, Metric::CeAverage)
             .unwrap();
         evaluator
-            .evaluate_bindings(
-                [("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into(),
-            )
+            .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into())
             .unwrap();
         let silent: u64 = evaluator
             .server()

@@ -62,7 +62,7 @@ pub mod usecases_retention;
 pub mod workloads;
 
 pub use error::DStressError;
-pub use evaluate::{EvalOutcome, Metric, VirusEvaluator};
+pub use evaluate::{EvalOutcome, Metric, ParallelBitFitness, ParallelIntFitness, VirusEvaluator};
 pub use microbench::Baseline;
 pub use scale::ExperimentScale;
 pub use search::{DStress, EnvKind, BEST_WORD, WORST_WORD};

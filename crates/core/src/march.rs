@@ -208,7 +208,11 @@ impl MarchTest {
                 }
             }
         }
-        Ok(MarchRunReport { mismatches, words, operations })
+        Ok(MarchRunReport {
+            mismatches,
+            words,
+            operations,
+        })
     }
 
     /// Theoretical complexity in operations per word (the conventional
@@ -329,13 +333,20 @@ mod tests {
             }
             fn read_u64(&mut self, addr: u64) -> Result<u64, SessionError> {
                 let v = self.inner.read_u64(addr)?;
-                Ok(if addr == self.fault_addr { v | (1 << 5) } else { v })
+                Ok(if addr == self.fault_addr {
+                    v | (1 << 5)
+                } else {
+                    v
+                })
             }
             fn write_u64(&mut self, addr: u64, value: u64) -> Result<(), SessionError> {
                 self.inner.write_u64(addr, value)
             }
         }
-        let mut bus = StuckBus { inner: MockBus::default(), fault_addr: 8 * 3 };
+        let mut bus = StuckBus {
+            inner: MockBus::default(),
+            fault_addr: 8 * 3,
+        };
         let report = MarchTest::mats_plus().execute(&mut bus, 0, 16).unwrap();
         // r0 sees the stuck bit in elements reading the 0 background.
         assert!(report.mismatches > 0, "stuck-at fault must be detected");
@@ -347,7 +358,10 @@ mod tests {
         MarchTest::mats_plus().execute(&mut bus, 0, 4).unwrap();
         // Element 3 (⇓ r1,w0) must touch addresses in descending order:
         // find the last 8 log entries (4 words x r+w).
-        let tail: Vec<u64> = bus.log[bus.log.len() - 8..].iter().map(|(a, _)| *a).collect();
+        let tail: Vec<u64> = bus.log[bus.log.len() - 8..]
+            .iter()
+            .map(|(a, _)| *a)
+            .collect();
         assert_eq!(tail, vec![24, 24, 16, 16, 8, 8, 0, 0]);
     }
 
@@ -356,8 +370,7 @@ mod tests {
         // The paper's point (§VII): MARCH tests use simple backgrounds, so
         // they under-stress pattern-sensitive cells.
         let dstress = DStress::new(ExperimentScale::quick(), 21);
-        let (march, report) =
-            measure_march(&dstress, &MarchTest::march_cminus(), 60.0).unwrap();
+        let (march, report) = measure_march(&dstress, &MarchTest::march_cminus(), 60.0).unwrap();
         assert_eq!(report.mismatches, 0);
         let virus = dstress
             .measure(
@@ -456,7 +469,10 @@ pub fn fault_detection(
             .map_err(|e| DStressError::Experiment(format!("march execution failed: {e}")))?;
         detections.push((test.name.clone(), report.mismatches));
     }
-    Ok(DetectionReport { injected: (stuck, transition, coupling), detections })
+    Ok(DetectionReport {
+        injected: (stuck, transition, coupling),
+        detections,
+    })
 }
 
 #[cfg(test)]

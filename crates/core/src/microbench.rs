@@ -78,7 +78,14 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|b| b.name()).collect();
         assert_eq!(
             names,
-            vec!["all0s", "all1s", "checkerboard", "walking0s", "walking1s", "random"]
+            vec![
+                "all0s",
+                "all1s",
+                "checkerboard",
+                "walking0s",
+                "walking1s",
+                "random"
+            ]
         );
     }
 
@@ -106,8 +113,14 @@ mod tests {
 
     #[test]
     fn random_is_seeded_and_reproducible() {
-        assert_eq!(Baseline::Random { seed: 9 }.cycle(), Baseline::Random { seed: 9 }.cycle());
-        assert_ne!(Baseline::Random { seed: 9 }.cycle(), Baseline::Random { seed: 10 }.cycle());
+        assert_eq!(
+            Baseline::Random { seed: 9 }.cycle(),
+            Baseline::Random { seed: 9 }.cycle()
+        );
+        assert_ne!(
+            Baseline::Random { seed: 9 }.cycle(),
+            Baseline::Random { seed: 10 }.cycle()
+        );
     }
 
     #[test]

@@ -38,9 +38,7 @@ impl BitCodec {
     pub fn genome_bits(&self) -> usize {
         match self {
             BitCodec::Word64 { .. } => 64,
-            BitCodec::WordArrays { segments } => {
-                segments.iter().map(|(_, words)| words * 64).sum()
-            }
+            BitCodec::WordArrays { segments } => segments.iter().map(|(_, words)| words * 64).sum(),
             BitCodec::BitFlags { .. } => 64,
         }
     }
@@ -51,7 +49,11 @@ impl BitCodec {
     ///
     /// Panics if the genome length does not match [`Self::genome_bits`].
     pub fn bindings(&self, genome: &BitGenome) -> HashMap<String, BoundValue> {
-        assert_eq!(genome.len(), self.genome_bits(), "genome length mismatch for {self:?}");
+        assert_eq!(
+            genome.len(),
+            self.genome_bits(),
+            "genome length mismatch for {self:?}"
+        );
         let mut out = HashMap::new();
         match self {
             BitCodec::Word64 { param } => {
@@ -89,7 +91,10 @@ impl IntCodec {
     /// Converts a chromosome into template bindings.
     pub fn bindings(&self, genome: &IntGenome) -> HashMap<String, BoundValue> {
         let mut out = HashMap::new();
-        out.insert(self.param.clone(), BoundValue::Array(genome.values().to_vec()));
+        out.insert(
+            self.param.clone(),
+            BoundValue::Array(genome.values().to_vec()),
+        );
         out
     }
 }
@@ -102,7 +107,9 @@ mod tests {
 
     #[test]
     fn word64_codec_roundtrip() {
-        let codec = BitCodec::Word64 { param: "PATTERN".into() };
+        let codec = BitCodec::Word64 {
+            param: "PATTERN".into(),
+        };
         assert_eq!(codec.genome_bits(), 64);
         let g = BitGenome::from_words(&[0x3333_3333_3333_3333], 64);
         let b = codec.bindings(&g);
@@ -123,7 +130,9 @@ mod tests {
 
     #[test]
     fn bit_flags_codec_exposes_bits() {
-        let codec = BitCodec::BitFlags { param: "SEL".into() };
+        let codec = BitCodec::BitFlags {
+            param: "SEL".into(),
+        };
         let g = BitGenome::from_words(&[0b1010], 64);
         let b = codec.bindings(&g);
         match &b["SEL"] {
@@ -146,7 +155,9 @@ mod tests {
     fn int_codec_copies_values() {
         let mut rng = StdRng::seed_from_u64(4);
         let g = IntGenome::random(&mut rng, 32, 0, 20);
-        let codec = IntCodec { param: "COEFFS".into() };
+        let codec = IntCodec {
+            param: "COEFFS".into(),
+        };
         let b = codec.bindings(&g);
         assert_eq!(b["COEFFS"], BoundValue::Array(g.values().to_vec()));
     }

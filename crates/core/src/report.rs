@@ -22,7 +22,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<&str>) -> Self {
-        TextTable { header: header.into_iter().map(String::from).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (shorter rows are padded with empty cells).
@@ -32,9 +35,10 @@ impl TextTable {
 
     /// Renders with aligned columns.
     pub fn render(&self) -> String {
-        let columns = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         let all = std::iter::once(&self.header).chain(&self.rows);
         for row in all {
@@ -116,6 +120,9 @@ mod tests {
 
     #[test]
     fn pattern_prefix_groups_by_four() {
-        assert_eq!(pattern_prefix(&[0x3333_3333_3333_3333], 12), "1100 1100 1100");
+        assert_eq!(
+            pattern_prefix(&[0x3333_3333_3333_3333], 12),
+            "1100 1100 1100"
+        );
     }
 }

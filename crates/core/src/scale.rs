@@ -42,8 +42,12 @@ impl ExperimentScale {
     /// The figure-regeneration scale (see module docs).
     pub fn paper() -> Self {
         let mut server = ServerConfig::default();
-        server.dimm.geometry =
-            DimmGeometry { ranks: 2, banks: 8, rows_per_bank: 32, row_bytes: 2048 };
+        server.dimm.geometry = DimmGeometry {
+            ranks: 2,
+            banks: 8,
+            rows_per_bank: 32,
+            row_bytes: 2048,
+        };
         server.windows_per_run = 12;
         // The DIMM is scaled 4x down from 8 KB rows, so scale the cache the
         // same way (the paper's viruses are cache-filtered, not cache-free).
@@ -75,8 +79,12 @@ impl ExperimentScale {
     /// generations — seconds instead of minutes.
     pub fn quick() -> Self {
         let mut server = ServerConfig::default();
-        server.dimm.geometry =
-            DimmGeometry { ranks: 2, banks: 8, rows_per_bank: 16, row_bytes: 1024 };
+        server.dimm.geometry = DimmGeometry {
+            ranks: 2,
+            banks: 8,
+            rows_per_bank: 16,
+            row_bytes: 1024,
+        };
         server.dimm.weak.singles_per_rank = 800;
         server.dimm.weak.pairs_per_rank = 30;
         server.windows_per_run = 4;

@@ -2,7 +2,7 @@
 //! (paper Fig. 4).
 
 use crate::error::DStressError;
-use crate::evaluate::{BitFitness, IntFitness, Metric, VirusEvaluator};
+use crate::evaluate::{Metric, ParallelBitFitness, ParallelIntFitness, VirusEvaluator};
 use crate::patterns::{BitCodec, IntCodec};
 use crate::scale::ExperimentScale;
 use crate::templates;
@@ -359,12 +359,36 @@ pub struct DStress {
     pub db: VirusDatabase,
     seed: u64,
     campaign_seq: u64,
+    workers: usize,
 }
 
 impl DStress {
-    /// Creates a framework instance.
+    /// Creates a framework instance (single evaluation worker).
     pub fn new(scale: ExperimentScale, seed: u64) -> Self {
-        DStress { scale, db: VirusDatabase::new(), seed, campaign_seq: 0 }
+        DStress {
+            scale,
+            db: VirusDatabase::new(),
+            seed,
+            campaign_seq: 0,
+            workers: 1,
+        }
+    }
+
+    /// Sets the number of evaluation worker threads campaigns use. Each
+    /// worker owns an independent replica of the evaluation substrate, and
+    /// results are bit-identical for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn set_workers(&mut self, workers: usize) {
+        assert!(workers >= 1, "at least one evaluation worker is required");
+        self.workers = workers;
+    }
+
+    /// The configured evaluation worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Boots the experimental server: the paper's §IV memory configuration
@@ -401,7 +425,8 @@ impl DStress {
 
     fn next_campaign_seed(&mut self) -> u64 {
         self.campaign_seq += 1;
-        self.seed.wrapping_add(self.campaign_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        self.seed
+            .wrapping_add(self.campaign_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     fn record_bit_leaderboard(&mut self, name: &str, result: &SearchResult<BitGenome>) {
@@ -424,6 +449,7 @@ impl DStress {
     /// # Errors
     ///
     /// Propagates evaluator construction failures.
+    #[allow(clippy::too_many_arguments)] // campaign knobs mirror the paper's experiment table
     pub fn run_bit_campaign(
         &mut self,
         name: &str,
@@ -434,7 +460,7 @@ impl DStress {
         minimize: bool,
         seeding: Seeding,
     ) -> Result<BitCampaign, DStressError> {
-        let mut evaluator = self.evaluator(&env, temp_c, metric)?;
+        let evaluator = self.evaluator(&env, temp_c, metric)?;
         let mut ga_config = self.scale.ga;
         ga_config.minimize = minimize;
         let bits = codec.genome_bits();
@@ -449,11 +475,23 @@ impl DStress {
         }
         let seed = self.next_campaign_seed();
         let mut engine = GaEngine::new(ga_config, seed);
-        let mut fitness = BitFitness { evaluator: &mut evaluator, codec: codec.clone() };
-        let result = engine.run(|rng| seeding.initial_genome(rng, bits), &mut fitness);
-        let failed = evaluator.failed_evaluations;
+        let mut fitness = ParallelBitFitness {
+            evaluator,
+            codec: codec.clone(),
+        };
+        let result = engine.run_parallel(
+            self.workers,
+            |rng| seeding.initial_genome(rng, bits),
+            &mut fitness,
+        );
+        let failed = fitness.evaluator.failed_evaluations;
         self.record_bit_leaderboard(name, &result);
-        Ok(BitCampaign { name: name.to_string(), result, env, failed_evaluations: failed })
+        Ok(BitCampaign {
+            name: name.to_string(),
+            result,
+            env,
+            failed_evaluations: failed,
+        })
     }
 
     /// Runs an integer-genome campaign (the stride access search).
@@ -461,6 +499,7 @@ impl DStress {
     /// # Errors
     ///
     /// Propagates evaluator construction failures.
+    #[allow(clippy::too_many_arguments)] // campaign knobs mirror the paper's experiment table
     pub fn run_int_campaign(
         &mut self,
         name: &str,
@@ -472,12 +511,16 @@ impl DStress {
         lo: u64,
         hi: u64,
     ) -> Result<IntCampaign, DStressError> {
-        let mut evaluator = self.evaluator(&env, temp_c, metric)?;
+        let evaluator = self.evaluator(&env, temp_c, metric)?;
         let ga_config = self.scale.ga;
         let seed = self.next_campaign_seed();
         let mut engine = GaEngine::new(ga_config, seed);
-        let mut fitness = IntFitness { evaluator: &mut evaluator, codec };
-        let result = engine.run(|rng| IntGenome::random(rng, genes, lo, hi), &mut fitness);
+        let mut fitness = ParallelIntFitness { evaluator, codec };
+        let result = engine.run_parallel(
+            self.workers,
+            |rng| IntGenome::random(rng, genes, lo, hi),
+            &mut fitness,
+        );
         for (genome, fit) in &result.leaderboard {
             self.db.record(VirusRecord {
                 campaign: name.to_string(),
@@ -489,8 +532,13 @@ impl DStress {
                 sequence: 0,
             });
         }
-        let failed = evaluator.failed_evaluations;
-        Ok(IntCampaign { name: name.to_string(), result, env, failed_evaluations: failed })
+        let failed = fitness.evaluator.failed_evaluations;
+        Ok(IntCampaign {
+            name: name.to_string(),
+            result,
+            env,
+            failed_evaluations: failed,
+        })
     }
 
     /// The 64-bit data-pattern search (Fig. 8a/b: maximize CEs; Fig. 8c:
@@ -517,7 +565,9 @@ impl DStress {
         self.run_bit_campaign(
             &name,
             EnvKind::Word64,
-            BitCodec::Word64 { param: "PATTERN".into() },
+            BitCodec::Word64 {
+                param: "PATTERN".into(),
+            },
             temp_c,
             metric,
             minimize,
@@ -534,8 +584,7 @@ impl DStress {
     /// Propagates evaluator failures; fails if no rows erred.
     pub fn profile_victims(&mut self, temp_c: f64, fill: u64) -> Result<Vec<RowKey>, DStressError> {
         let mut evaluator = self.evaluator(&EnvKind::Word64, temp_c, Metric::CeAverage)?;
-        evaluator
-            .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(fill))].into())?;
+        evaluator.evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(fill))].into())?;
         // Re-run directly to gather row errors across several nonces.
         let mut tallies: HashMap<RowKey, u64> = HashMap::new();
         let template = templates::process(templates::WORD64, &self.scale)?;
@@ -563,7 +612,12 @@ impl DStress {
         }
         let mut rows: Vec<RowErrors> = tallies
             .into_iter()
-            .map(|(row, ce)| RowErrors { mcu: 2, row, ce, ue: 0 })
+            .map(|(row, ce)| RowErrors {
+                mcu: 2,
+                row,
+                ce,
+                ue: 0,
+            })
             .collect();
         rows.sort_by(|a, b| b.ce.cmp(&a.ce).then(a.row.cmp(&b.row)));
         let victims = pick_victims(&rows, &self.scale, 2, self.scale.victims);
@@ -602,7 +656,11 @@ impl DStress {
             false,
             // Victim slice starts from the known worst word (§III-F);
             // neighbour rows explore freely.
-            Seeding::WordSlice { word: WORST_WORD, start: row_words, len: row_words },
+            Seeding::WordSlice {
+                word: WORST_WORD,
+                start: row_words,
+                len: row_words,
+            },
         )
     }
 
@@ -628,7 +686,11 @@ impl DStress {
             metric,
             false,
             // The victim row sits 32 chunks into the span.
-            Seeding::WordSlice { word: WORST_WORD, start: 32 * row_words, len: row_words },
+            Seeding::WordSlice {
+                word: WORST_WORD,
+                start: 32 * row_words,
+                len: row_words,
+            },
         )
     }
 
@@ -648,7 +710,9 @@ impl DStress {
         self.run_bit_campaign(
             &format!("row-access-ce-{}C", temp_c as i64),
             EnvKind::RowAccess { victims, fill },
-            BitCodec::BitFlags { param: "SEL".into() },
+            BitCodec::BitFlags {
+                param: "SEL".into(),
+            },
             temp_c,
             metric,
             false,
@@ -672,7 +736,9 @@ impl DStress {
         self.run_int_campaign(
             &format!("stride-access-ce-{}C", temp_c as i64),
             EnvKind::StrideAccess { victims, fill },
-            IntCodec { param: "COEFFS".into() },
+            IntCodec {
+                param: "COEFFS".into(),
+            },
             temp_c,
             metric,
             32,
@@ -736,7 +802,9 @@ mod tests {
     #[test]
     fn row_triple_rejects_edge_victims() {
         let s = scale();
-        let kind = EnvKind::RowTriple { victims: vec![RowKey::new(0, 0, 0)] };
+        let kind = EnvKind::RowTriple {
+            victims: vec![RowKey::new(0, 0, 0)],
+        };
         assert!(matches!(kind.bindings(&s), Err(DStressError::Config(_))));
     }
 
@@ -744,7 +812,10 @@ mod tests {
     fn row_access_neighbourhood_layout() {
         let s = scale();
         let victim = RowKey::new(0, 0, 13); // chunk 104
-        let kind = EnvKind::RowAccess { victims: vec![victim], fill: WORST_WORD };
+        let kind = EnvKind::RowAccess {
+            victims: vec![victim],
+            fill: WORST_WORD,
+        };
         let env = kind.bindings(&s).unwrap();
         let globals_rows = 2;
         match &env["NEIGH_OFFS"] {
@@ -766,8 +837,12 @@ mod tests {
     #[test]
     fn cycle_fill_validates_length() {
         let s = scale();
-        assert!(EnvKind::CycleFill { cycle: vec![0; 63] }.bindings(&s).is_err());
-        assert!(EnvKind::CycleFill { cycle: vec![0; 64] }.bindings(&s).is_ok());
+        assert!(EnvKind::CycleFill { cycle: vec![0; 63] }
+            .bindings(&s)
+            .is_err());
+        assert!(EnvKind::CycleFill { cycle: vec![0; 64] }
+            .bindings(&s)
+            .is_ok());
     }
 
     #[test]
@@ -785,12 +860,10 @@ mod tests {
                 });
             }
         }
-        rows.sort_by(|a, b| b.ce.cmp(&a.ce));
+        rows.sort_by_key(|r| std::cmp::Reverse(r.ce));
         let victims = pick_victims(&rows, &s, 2, 4);
         assert!(!victims.is_empty());
-        let chunk_of = |r: &RowKey| {
-            (r.rank as u64 * 16 + r.row as u64) * 8 + r.bank as u64
-        };
+        let chunk_of = |r: &RowKey| (r.rank as u64 * 16 + r.row as u64) * 8 + r.bank as u64;
         for v in &victims {
             let c = chunk_of(v);
             assert!(c >= 97, "victim chunk {c} violates the global-data margin");
@@ -802,7 +875,12 @@ mod tests {
             }
         }
         // Rows from other MCUs are ignored.
-        let foreign = vec![RowErrors { mcu: 1, row: RowKey::new(1, 4, 8), ce: 999, ue: 0 }];
+        let foreign = vec![RowErrors {
+            mcu: 1,
+            row: RowKey::new(1, 4, 8),
+            ce: 999,
+            ue: 0,
+        }];
         assert!(pick_victims(&foreign, &s, 2, 2).is_empty());
     }
 
@@ -811,7 +889,9 @@ mod tests {
         // An end-to-end miniature of the Fig. 8a campaign: the GA must beat
         // the all-zeros baseline clearly within a tiny budget.
         let mut dstress = DStress::new(scale(), 7);
-        let campaign = dstress.search_word64(60.0, Metric::CeAverage, false).unwrap();
+        let campaign = dstress
+            .search_word64(60.0, Metric::CeAverage, false)
+            .unwrap();
         let baseline = dstress
             .measure(
                 &EnvKind::Word64,
@@ -845,7 +925,9 @@ mod env_tests {
     fn chunks_env_spans_64_chunks_inside_the_buffer() {
         let s = scale();
         // Victim at chunk 104 (rank0, bank0, row13).
-        let kind = EnvKind::Chunks { victims: vec![RowKey::new(0, 0, 13)] };
+        let kind = EnvKind::Chunks {
+            victims: vec![RowKey::new(0, 0, 13)],
+        };
         let env = kind.bindings(&s).unwrap();
         assert_eq!(env["SPAN_WORDS"], BoundValue::Scalar(64 * s.row_words()));
         match &env["CHUNK_STARTS"] {
@@ -884,21 +966,36 @@ mod env_tests {
     fn victims_accessor_reflects_the_environment() {
         let v = vec![RowKey::new(0, 1, 9)];
         assert_eq!(EnvKind::Word64.victims(), &[] as &[RowKey]);
-        assert_eq!(EnvKind::RowTriple { victims: v.clone() }.victims(), v.as_slice());
         assert_eq!(
-            EnvKind::RowAccess { victims: v.clone(), fill: 0 }.victims(),
+            EnvKind::RowTriple { victims: v.clone() }.victims(),
             v.as_slice()
         );
-        assert_eq!(EnvKind::CycleFill { cycle: vec![0; 64] }.victims(), &[] as &[RowKey]);
+        assert_eq!(
+            EnvKind::RowAccess {
+                victims: v.clone(),
+                fill: 0
+            }
+            .victims(),
+            v.as_slice()
+        );
+        assert_eq!(
+            EnvKind::CycleFill { cycle: vec![0; 64] }.victims(),
+            &[] as &[RowKey]
+        );
     }
 
     #[test]
     fn template_sources_match_kinds() {
         assert!(EnvKind::Word64.template_source().contains("PATTERN"));
-        assert!(EnvKind::Chunks { victims: vec![] }.template_source().contains("CHUNK_PATTERN"));
-        assert!(EnvKind::StrideAccess { victims: vec![], fill: 0 }
+        assert!(EnvKind::Chunks { victims: vec![] }
             .template_source()
-            .contains("COEFFS"));
+            .contains("CHUNK_PATTERN"));
+        assert!(EnvKind::StrideAccess {
+            victims: vec![],
+            fill: 0
+        }
+        .template_source()
+        .contains("COEFFS"));
     }
 
     #[test]
@@ -916,7 +1013,9 @@ mod env_tests {
         let s = scale();
         // Last chunk index is 255; a victim at chunk 255 has no room for a
         // 64-chunk span starting at 223 (255-32) since 223+64 > 256.
-        let kind = EnvKind::Chunks { victims: vec![RowKey::new(1, 7, 15)] };
+        let kind = EnvKind::Chunks {
+            victims: vec![RowKey::new(1, 7, 15)],
+        };
         assert!(matches!(kind.bindings(&s), Err(DStressError::Config(_))));
     }
 }

@@ -259,7 +259,13 @@ mod tests {
         let t = process(WORD64, &scale()).unwrap();
         assert_eq!(t.params().len(), 1);
         assert_eq!(t.params()[0].name, "PATTERN");
-        assert_eq!(t.params()[0].shape, ParamShape::Scalar { lo: 0, hi: u64::MAX });
+        assert_eq!(
+            t.params()[0].shape,
+            ParamShape::Scalar {
+                lo: 0,
+                hi: u64::MAX
+            }
+        );
     }
 
     #[test]
@@ -270,7 +276,11 @@ mod tests {
         for p in t.params() {
             assert_eq!(
                 p.shape,
-                ParamShape::Array { len: s.row_words(), lo: 0, hi: u64::MAX },
+                ParamShape::Array {
+                    len: s.row_words(),
+                    lo: 0,
+                    hi: u64::MAX
+                },
                 "{}",
                 p.name
             );
@@ -284,20 +294,38 @@ mod tests {
         assert_eq!(t.params().len(), 1);
         assert_eq!(
             t.params()[0].shape,
-            ParamShape::Array { len: 64 * s.row_words(), lo: 0, hi: u64::MAX }
+            ParamShape::Array {
+                len: 64 * s.row_words(),
+                lo: 0,
+                hi: u64::MAX
+            }
         );
     }
 
     #[test]
     fn row_access_template_processes() {
         let t = process(ROW_ACCESS, &scale()).unwrap();
-        assert_eq!(t.params()[0].shape, ParamShape::Array { len: 64, lo: 0, hi: 1 });
+        assert_eq!(
+            t.params()[0].shape,
+            ParamShape::Array {
+                len: 64,
+                lo: 0,
+                hi: 1
+            }
+        );
     }
 
     #[test]
     fn stride_access_template_processes() {
         let t = process(STRIDE_ACCESS, &scale()).unwrap();
-        assert_eq!(t.params()[0].shape, ParamShape::Array { len: 32, lo: 0, hi: 20 });
+        assert_eq!(
+            t.params()[0].shape,
+            ParamShape::Array {
+                len: 32,
+                lo: 0,
+                hi: 20
+            }
+        );
     }
 
     #[test]

@@ -55,7 +55,17 @@ pub fn trefp_grid(points: usize) -> Vec<f64> {
     let lo = NOMINAL_TREFP_S.ln();
     let hi = MAX_TREFP_S.ln();
     (0..points)
-        .map(|i| (lo + (hi - lo) * i as f64 / (points - 1) as f64).exp())
+        .map(|i| {
+            // Pin the endpoints: exp(ln(x)) can round one ulp below x, and
+            // margin results are compared exactly against the nominal bound.
+            if i == 0 {
+                NOMINAL_TREFP_S
+            } else if i == points - 1 {
+                MAX_TREFP_S
+            } else {
+                (lo + (hi - lo) * i as f64 / (points - 1) as f64).exp()
+            }
+        })
         .collect()
 }
 
@@ -99,12 +109,20 @@ pub fn find_marginal_trefp(
         }
     }
     if probed.len() == grid.len()
-        && !criterion.is_safe(*ce_at.last().expect("probed"), *ue_at.last().expect("probed"))
+        && !criterion.is_safe(
+            *ce_at.last().expect("probed"),
+            *ue_at.last().expect("probed"),
+        )
     {
         // Even the nominal point errs — report nominal as the floor.
         marginal = NOMINAL_TREFP_S;
     }
-    Ok(MarginResult { marginal_trefp_s: marginal, probed, ce_at, ue_at })
+    Ok(MarginResult {
+        marginal_trefp_s: marginal,
+        probed,
+        ce_at,
+        ue_at,
+    })
 }
 
 /// Power savings from running the second memory domain at a discovered
@@ -175,8 +193,11 @@ mod tests {
     #[test]
     fn margin_search_finds_a_mid_grid_point() {
         let dstress = DStress::new(ExperimentScale::quick(), 3);
-        let chromosome: HashMap<String, BoundValue> =
-            [("PATTERN".to_string(), BoundValue::Scalar(crate::search::WORST_WORD))].into();
+        let chromosome: HashMap<String, BoundValue> = [(
+            "PATTERN".to_string(),
+            BoundValue::Scalar(crate::search::WORST_WORD),
+        )]
+        .into();
         let result = find_marginal_trefp(
             &dstress,
             &EnvKind::Word64,
@@ -196,8 +217,11 @@ mod tests {
     #[test]
     fn ue_criterion_gives_higher_margin_than_no_errors() {
         let dstress = DStress::new(ExperimentScale::quick(), 3);
-        let chromosome: HashMap<String, BoundValue> =
-            [("PATTERN".to_string(), BoundValue::Scalar(crate::search::WORST_WORD))].into();
+        let chromosome: HashMap<String, BoundValue> = [(
+            "PATTERN".to_string(),
+            BoundValue::Scalar(crate::search::WORST_WORD),
+        )]
+        .into();
         let strict = find_marginal_trefp(
             &dstress,
             &EnvKind::Word64,
@@ -227,7 +251,11 @@ mod tests {
     #[test]
     fn savings_are_positive_and_double_digit_at_good_margins() {
         let report = savings_at_margin(1.0, 1.0e6);
-        assert!(report.dram_savings > 0.05, "DRAM savings {}", report.dram_savings);
+        assert!(
+            report.dram_savings > 0.05,
+            "DRAM savings {}",
+            report.dram_savings
+        );
         assert!(report.system_savings > 0.0);
         assert!(report.system_savings < report.dram_savings);
         assert!(report.dram_margin_w < report.dram_nominal_w);

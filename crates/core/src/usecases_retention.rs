@@ -118,11 +118,21 @@ pub fn profile_retention(
                 (row, grid[idx.saturating_sub(1)])
             })
             .collect();
-        rows.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite margins").then(a.0.cmp(&b.0)));
+        rows.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite margins")
+                .then(a.0.cmp(&b.0))
+        });
         rows
     };
     let strong_rows = total_rows - weak_rows.len() as u64;
-    Ok(RetentionProfile { fill, grid, weak_rows, strong_rows, total_rows })
+    Ok(RetentionProfile {
+        fill,
+        grid,
+        weak_rows,
+        strong_rows,
+        total_rows,
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +156,10 @@ mod tests {
             best.weak_rows.len()
         );
         assert_eq!(worst.total_rows, 2 * 8 * 16);
-        assert_eq!(worst.strong_rows + worst.weak_rows.len() as u64, worst.total_rows);
+        assert_eq!(
+            worst.strong_rows + worst.weak_rows.len() as u64,
+            worst.total_rows
+        );
     }
 
     #[test]
@@ -163,6 +176,9 @@ mod tests {
         assert!((0.0..=1.0).contains(&f_max));
         // Most rows tolerate far more than the nominal period (RAIDR's
         // premise).
-        assert!(f_nominal > 0.99, "nominal refresh must be safe for ~all rows");
+        assert!(
+            f_nominal > 0.99,
+            "nominal refresh must be safe for ~all rows"
+        );
     }
 }

@@ -71,7 +71,12 @@ impl Workload {
     /// # Errors
     ///
     /// Propagates session memory errors.
-    fn drive(&self, session: &mut dyn MemoryBus, bytes: u64, seed: u64) -> Result<(), SessionError> {
+    fn drive(
+        &self,
+        session: &mut dyn MemoryBus,
+        bytes: u64,
+        seed: u64,
+    ) -> Result<(), SessionError> {
         let mut rng = StdRng::seed_from_u64(seed);
         let base = session.alloc(bytes)?;
         let words = bytes / 8;
@@ -107,7 +112,11 @@ impl Workload {
     /// # Errors
     ///
     /// Propagates session memory errors.
-    pub fn deploy(&self, server: &mut XGene2Server, seed: u64) -> Result<RecordedRun, SessionError> {
+    pub fn deploy(
+        &self,
+        server: &mut XGene2Server,
+        seed: u64,
+    ) -> Result<RecordedRun, SessionError> {
         server.reset_memory();
         let capacity = server.config().dimm.geometry.capacity_bytes();
         let row = server.row_bytes();
@@ -183,11 +192,17 @@ mod tests {
         sv.set_dimm_temperature(2, 60.0);
         sv.set_dimm_temperature(3, 60.0);
         let kmeans_run = Workload::Kmeans.deploy(&mut sv, 5).unwrap();
-        let kmeans: u64 =
-            sv.evaluate_runs(&kmeans_run, 3, 1).iter().map(|o| o.totals.ce).sum();
+        let kmeans: u64 = sv
+            .evaluate_runs(&kmeans_run, 3, 1)
+            .iter()
+            .map(|o| o.totals.ce)
+            .sum();
         let memcached_run = Workload::Memcached.deploy(&mut sv, 5).unwrap();
-        let memcached: u64 =
-            sv.evaluate_runs(&memcached_run, 3, 2).iter().map(|o| o.totals.ce).sum();
+        let memcached: u64 = sv
+            .evaluate_runs(&memcached_run, 3, 2)
+            .iter()
+            .map(|o| o.totals.ce)
+            .sum();
         assert_ne!(kmeans, memcached, "workloads must differ in error counts");
     }
 }

@@ -105,7 +105,9 @@ impl AddressMap {
         let bank = chunk % banks;
         let row = (chunk / banks) % rows;
         let rank = chunk / (banks * rows);
-        Ok(Location::new(rank as u8, bank as u8, row as u32, col as u32))
+        Ok(Location::new(
+            rank as u8, bank as u8, row as u32, col as u32,
+        ))
     }
 
     /// Inverse of [`Self::map`]: physical location back to the DIMM-local
@@ -218,7 +220,10 @@ mod tests {
 
     #[test]
     fn unmap_rejects_bad_location() {
-        assert_eq!(map().unmap(Location::new(5, 0, 0, 0)).unwrap_err(), AddressError::BadLocation);
+        assert_eq!(
+            map().unmap(Location::new(5, 0, 0, 0)).unwrap_err(),
+            AddressError::BadLocation
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub struct RowStore {
 impl RowStore {
     /// Creates a store where every word initially reads `default_word`.
     pub fn new(geometry: DimmGeometry, default_word: u64) -> Self {
-        RowStore { geometry, default_word, rows: HashMap::new(), generation: 0 }
+        RowStore {
+            geometry,
+            default_word,
+            rows: HashMap::new(),
+            generation: 0,
+        }
     }
 
     /// The geometry this store covers.
@@ -59,7 +64,10 @@ impl RowStore {
     ///
     /// Panics if the location is outside the geometry.
     pub fn read_word(&self, loc: Location) -> u64 {
-        assert!(self.geometry.contains(loc), "location {loc} outside geometry");
+        assert!(
+            self.geometry.contains(loc),
+            "location {loc} outside geometry"
+        );
         match self.rows.get(&loc.row_key()) {
             Some(row) => row[loc.col as usize],
             None => self.default_word,
@@ -72,10 +80,16 @@ impl RowStore {
     ///
     /// Panics if the location is outside the geometry.
     pub fn write_word(&mut self, loc: Location, value: u64) {
-        assert!(self.geometry.contains(loc), "location {loc} outside geometry");
+        assert!(
+            self.geometry.contains(loc),
+            "location {loc} outside geometry"
+        );
         let words = self.geometry.words_per_row();
         let default = self.default_word;
-        let row = self.rows.entry(loc.row_key()).or_insert_with(|| vec![default; words]);
+        let row = self
+            .rows
+            .entry(loc.row_key())
+            .or_insert_with(|| vec![default; words]);
         row[loc.col as usize] = value;
         self.generation += 1;
     }
@@ -101,7 +115,11 @@ impl RowStore {
     /// Panics if `words` does not match the row length or the row is outside
     /// the geometry.
     pub fn write_row(&mut self, row: RowKey, words: &[u64]) {
-        assert_eq!(words.len(), self.geometry.words_per_row(), "row length mismatch");
+        assert_eq!(
+            words.len(),
+            self.geometry.words_per_row(),
+            "row length mismatch"
+        );
         assert!(
             row.rank < self.geometry.ranks
                 && row.bank < self.geometry.banks
@@ -131,7 +149,10 @@ mod tests {
     #[test]
     fn unwritten_words_read_default() {
         let s = store();
-        assert_eq!(s.read_word(Location::new(1, 7, 63, 1023)), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(
+            s.read_word(Location::new(1, 7, 63, 1023)),
+            0xAAAA_AAAA_AAAA_AAAA
+        );
         assert_eq!(s.materialized_rows(), 0);
     }
 
@@ -142,7 +163,10 @@ mod tests {
         assert_eq!(s.materialized_rows(), 1);
         assert_eq!(s.read_word(Location::new(0, 0, 5, 10)), 42);
         // Other words of the same row read default.
-        assert_eq!(s.read_word(Location::new(0, 0, 5, 11)), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(
+            s.read_word(Location::new(0, 0, 5, 11)),
+            0xAAAA_AAAA_AAAA_AAAA
+        );
     }
 
     #[test]
@@ -192,7 +216,10 @@ mod tests {
         let mut s = store();
         s.write_word(Location::new(0, 0, 0, 0), 5);
         s.clear();
-        assert_eq!(s.read_word(Location::new(0, 0, 0, 0)), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(
+            s.read_word(Location::new(0, 0, 0, 0)),
+            0xAAAA_AAAA_AAAA_AAAA
+        );
         assert_eq!(s.materialized_rows(), 0);
     }
 

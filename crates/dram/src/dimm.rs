@@ -74,7 +74,11 @@ impl Dimm {
         let population = WeakCellPopulation::sample(config.geometry, &config.weak, seed);
         let contents = RowStore::new(config.geometry, config.default_fill);
         let map = AddressMap::new(config.geometry);
-        let cache = population.words().iter().map(|w| Vec::with_capacity(w.cells.len())).collect();
+        let cache = population
+            .words()
+            .iter()
+            .map(|w| Vec::with_capacity(w.cells.len()))
+            .collect();
         Dimm {
             config,
             seed,
@@ -150,7 +154,11 @@ impl Dimm {
         self.contents.write_word(loc, stored);
         for (victim, bit, forced) in self.faults.coupling_side_effects(loc, old, stored) {
             let current = self.contents.read_word(victim);
-            let new = if forced { current | (1 << bit) } else { current & !(1 << bit) };
+            let new = if forced {
+                current | (1 << bit)
+            } else {
+                current & !(1 << bit)
+            };
             self.contents.write_word(victim, new);
         }
     }
@@ -253,8 +261,12 @@ impl Dimm {
         let physics = &self.config.physics;
         let env_factor = physics.env_factor(env);
         let mut events = Vec::new();
-        for ((word, states), &row_disturb) in
-            self.population.words().iter().zip(&self.cache).zip(disturbance)
+        for ((word, states), &row_disturb) in self
+            .population
+            .words()
+            .iter()
+            .zip(&self.cache)
+            .zip(disturbance)
         {
             // Clustered defect pairs are comparatively hammer-resistant
             // (see PhysicsParams::pair_disturbance_mult).
@@ -282,7 +294,11 @@ impl Dimm {
             }
             if flip_mask != 0 {
                 let written = self.contents.read_word(word.loc);
-                events.push(WordEvent { loc: word.loc, written, flip_mask });
+                events.push(WordEvent {
+                    loc: word.loc,
+                    written,
+                    flip_mask,
+                });
             }
         }
         events
@@ -335,7 +351,10 @@ impl Dimm {
                 } else {
                     1.0
                 };
-                states.push(CellState { charged, interference });
+                states.push(CellState {
+                    charged,
+                    interference,
+                });
             }
             cache.push(states);
         }
@@ -364,7 +383,10 @@ impl Dimm {
         }
         let mut by_bank: HashMap<(u8, u8), Vec<(u32, u64)>> = HashMap::new();
         for (row, count) in acts.iter() {
-            by_bank.entry((row.rank, row.bank)).or_default().push((row.row, count));
+            by_bank
+                .entry((row.rank, row.bank))
+                .or_default()
+                .push((row.row, count));
         }
         let model = &self.config.disturbance;
         for word in self.population.words() {
@@ -424,7 +446,11 @@ mod tests {
         fill_all(&mut d, WORST);
         let env = OperatingEnv::nominal(55.0);
         let events = d.advance_window(&env, &ActivationCounts::new(), 0);
-        assert!(events.is_empty(), "{} events at nominal parameters", events.len());
+        assert!(
+            events.is_empty(),
+            "{} events at nominal parameters",
+            events.len()
+        );
     }
 
     #[test]
@@ -442,9 +468,12 @@ mod tests {
         // checkerboard charge ~half (paper §V-A.1).
         let env = OperatingEnv::relaxed(60.0);
         let mut counts = HashMap::new();
-        for (name, word) in
-            [("worst", WORST), ("all0", 0u64), ("all1", u64::MAX), ("cb", 0x5555_5555_5555_5555)]
-        {
+        for (name, word) in [
+            ("worst", WORST),
+            ("all0", 0u64),
+            ("all1", u64::MAX),
+            ("cb", 0x5555_5555_5555_5555),
+        ] {
             let mut d = dimm(11);
             fill_all(&mut d, word);
             let events = d.advance_window(&env, &ActivationCounts::new(), 0);
@@ -472,7 +501,10 @@ mod tests {
         fill_all(&mut d, BEST);
         let best = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
         let ratio = worst as f64 / best.max(1) as f64;
-        assert!((3.0..30.0).contains(&ratio), "worst/best ratio {ratio} (worst={worst} best={best})");
+        assert!(
+            (3.0..30.0).contains(&ratio),
+            "worst/best ratio {ratio} (worst={worst} best={best})"
+        );
     }
 
     #[test]
@@ -505,7 +537,10 @@ mod tests {
             fill_all(&mut d, WORST);
             let env = OperatingEnv::relaxed(temp);
             let flips = count_flips(&d.advance_window(&env, &ActivationCounts::new(), 0));
-            assert!(flips >= previous, "errors dropped from {previous} to {flips} at {temp}C");
+            assert!(
+                flips >= previous,
+                "errors dropped from {previous} to {flips} at {temp}C"
+            );
             previous = flips;
         }
         assert!(previous > 0);
@@ -535,7 +570,10 @@ mod tests {
             .map(|run| count_flips(&d.advance_window(&env, &ActivationCounts::new(), run)))
             .collect();
         let distinct: std::collections::HashSet<_> = counts.iter().collect();
-        assert!(distinct.len() > 1, "VRT should cause run-to-run variation: {counts:?}");
+        assert!(
+            distinct.len() > 1,
+            "VRT should cause run-to-run variation: {counts:?}"
+        );
     }
 
     #[test]

@@ -226,10 +226,12 @@ mod tests {
     fn other_bank_and_rank_do_not_disturb() {
         let m = model();
         let victim = RowKey::new(0, 0, 10);
-        let other_bank: ActivationCounts =
-            [(RowKey::new(0, 1, 11), 1_000_000u64)].into_iter().collect();
-        let other_rank: ActivationCounts =
-            [(RowKey::new(1, 0, 11), 1_000_000u64)].into_iter().collect();
+        let other_bank: ActivationCounts = [(RowKey::new(0, 1, 11), 1_000_000u64)]
+            .into_iter()
+            .collect();
+        let other_rank: ActivationCounts = [(RowKey::new(1, 0, 11), 1_000_000u64)]
+            .into_iter()
+            .collect();
         assert_eq!(m.factor(victim, &other_bank), 0.0);
         assert_eq!(m.factor(victim, &other_rank), 0.0);
     }
@@ -238,8 +240,9 @@ mod tests {
     fn factor_saturates_at_max() {
         let m = model();
         let victim = RowKey::new(0, 0, 10);
-        let heavy: ActivationCounts =
-            [(RowKey::new(0, 0, 11), 100_000_000u64)].into_iter().collect();
+        let heavy: ActivationCounts = [(RowKey::new(0, 0, 11), 100_000_000u64)]
+            .into_iter()
+            .collect();
         let f = m.factor(victim, &heavy);
         assert!(f > 0.99 * m.max_factor && f <= m.max_factor);
     }

@@ -39,14 +39,22 @@ impl OperatingEnv {
     /// Nominal operating parameters (64 ms refresh, 1.5 V) at the given
     /// temperature.
     pub fn nominal(temp_c: f64) -> Self {
-        OperatingEnv { temp_c, vdd_v: NOMINAL_VDD_V, trefp_s: NOMINAL_TREFP_S }
+        OperatingEnv {
+            temp_c,
+            vdd_v: NOMINAL_VDD_V,
+            trefp_s: NOMINAL_TREFP_S,
+        }
     }
 
     /// The paper's relaxed stress point: maximum refresh period (2.283 s)
     /// and lowered supply voltage (1.428 V) at the given temperature
     /// (§V "DRAM parameters and Temperature").
     pub fn relaxed(temp_c: f64) -> Self {
-        OperatingEnv { temp_c, vdd_v: 1.428, trefp_s: MAX_TREFP_S }
+        OperatingEnv {
+            temp_c,
+            vdd_v: 1.428,
+            trefp_s: MAX_TREFP_S,
+        }
     }
 
     /// Returns a copy with a different refresh period (for margin sweeps,
@@ -128,15 +136,30 @@ mod tests {
     fn validation_rejects_nonsense() {
         assert!(OperatingEnv::nominal(55.0).validate().is_ok());
         assert!(matches!(
-            OperatingEnv { temp_c: f64::NAN, vdd_v: 1.5, trefp_s: 0.064 }.validate(),
+            OperatingEnv {
+                temp_c: f64::NAN,
+                vdd_v: 1.5,
+                trefp_s: 0.064
+            }
+            .validate(),
             Err(EnvError::Temperature(_))
         ));
         assert!(matches!(
-            OperatingEnv { temp_c: 50.0, vdd_v: 0.0, trefp_s: 0.064 }.validate(),
+            OperatingEnv {
+                temp_c: 50.0,
+                vdd_v: 0.0,
+                trefp_s: 0.064
+            }
+            .validate(),
             Err(EnvError::Voltage(_))
         ));
         assert!(matches!(
-            OperatingEnv { temp_c: 50.0, vdd_v: 1.5, trefp_s: -1.0 }.validate(),
+            OperatingEnv {
+                temp_c: 50.0,
+                vdd_v: 1.5,
+                trefp_s: -1.0
+            }
+            .validate(),
             Err(EnvError::Refresh(_))
         ));
     }

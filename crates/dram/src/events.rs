@@ -59,7 +59,11 @@ mod tests {
 
     #[test]
     fn display_mentions_location_and_count() {
-        let e = WordEvent { loc: Location::new(0, 0, 0, 0), written: 0, flip_mask: 1 };
+        let e = WordEvent {
+            loc: Location::new(0, 0, 0, 0),
+            written: 0,
+            flip_mask: 1,
+        };
         let s = e.to_string();
         assert!(s.contains("rank0/bank0/row0/col0"));
         assert!(s.contains("1 bit(s)"));

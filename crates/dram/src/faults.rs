@@ -66,7 +66,11 @@ impl LogicalFault {
     /// Applies the fault to a value being read from `loc`.
     pub fn apply_on_read(&self, loc: Location, value: u64) -> u64 {
         match self {
-            LogicalFault::StuckAt { loc: fault_loc, bit, value: stuck } if *fault_loc == loc => {
+            LogicalFault::StuckAt {
+                loc: fault_loc,
+                bit,
+                value: stuck,
+            } if *fault_loc == loc => {
                 if *stuck {
                     value | (1 << bit)
                 } else {
@@ -82,7 +86,11 @@ impl LogicalFault {
     /// handled separately by [`FaultSet::coupling_side_effects`].
     pub fn apply_on_write(&self, loc: Location, old: u64, new: u64) -> u64 {
         match self {
-            LogicalFault::Transition { loc: fault_loc, bit, to } if *fault_loc == loc => {
+            LogicalFault::Transition {
+                loc: fault_loc,
+                bit,
+                to,
+            } if *fault_loc == loc => {
                 let mask = 1u64 << bit;
                 let old_bit = old & mask != 0;
                 let new_bit = new & mask != 0;
@@ -186,23 +194,51 @@ mod tests {
 
     #[test]
     fn stuck_at_forces_reads() {
-        let f = LogicalFault::StuckAt { loc: loc(3), bit: 5, value: true };
+        let f = LogicalFault::StuckAt {
+            loc: loc(3),
+            bit: 5,
+            value: true,
+        };
         assert_eq!(f.apply_on_read(loc(3), 0), 1 << 5);
         assert_eq!(f.apply_on_read(loc(3), u64::MAX), u64::MAX);
         // Other words unaffected.
         assert_eq!(f.apply_on_read(loc(4), 0), 0);
-        let f0 = LogicalFault::StuckAt { loc: loc(3), bit: 5, value: false };
-        assert_eq!(f0.apply_on_read(loc(3), u64::MAX), u64::MAX & !(1 << 5));
+        let f0 = LogicalFault::StuckAt {
+            loc: loc(3),
+            bit: 5,
+            value: false,
+        };
+        assert_eq!(f0.apply_on_read(loc(3), u64::MAX), !(1u64 << 5));
     }
 
     #[test]
     fn transition_fault_blocks_one_direction() {
         // 0 -> 1 transition fails.
-        let f = LogicalFault::Transition { loc: loc(1), bit: 0, to: true };
-        assert_eq!(f.apply_on_write(loc(1), 0b0, 0b1), 0b0, "up-transition must fail");
-        assert_eq!(f.apply_on_write(loc(1), 0b1, 0b0), 0b0, "down-transition works");
-        assert_eq!(f.apply_on_write(loc(1), 0b1, 0b1), 0b1, "no transition, no effect");
-        assert_eq!(f.apply_on_write(loc(2), 0b0, 0b1), 0b1, "other words unaffected");
+        let f = LogicalFault::Transition {
+            loc: loc(1),
+            bit: 0,
+            to: true,
+        };
+        assert_eq!(
+            f.apply_on_write(loc(1), 0b0, 0b1),
+            0b0,
+            "up-transition must fail"
+        );
+        assert_eq!(
+            f.apply_on_write(loc(1), 0b1, 0b0),
+            0b0,
+            "down-transition works"
+        );
+        assert_eq!(
+            f.apply_on_write(loc(1), 0b1, 0b1),
+            0b1,
+            "no transition, no effect"
+        );
+        assert_eq!(
+            f.apply_on_write(loc(2), 0b0, 0b1),
+            0b1,
+            "other words unaffected"
+        );
     }
 
     #[test]
@@ -230,8 +266,16 @@ mod tests {
     #[test]
     fn fault_set_composes() {
         let mut set = FaultSet::new();
-        set.inject(LogicalFault::StuckAt { loc: loc(0), bit: 0, value: true });
-        set.inject(LogicalFault::StuckAt { loc: loc(0), bit: 1, value: false });
+        set.inject(LogicalFault::StuckAt {
+            loc: loc(0),
+            bit: 0,
+            value: true,
+        });
+        set.inject(LogicalFault::StuckAt {
+            loc: loc(0),
+            bit: 1,
+            value: false,
+        });
         assert_eq!(set.apply_on_read(loc(0), 0b10), 0b01);
         assert_eq!(set.len(), 2);
         assert!(!set.is_empty());

@@ -34,7 +34,12 @@ pub struct DimmGeometry {
 
 impl Default for DimmGeometry {
     fn default() -> Self {
-        DimmGeometry { ranks: 2, banks: 8, rows_per_bank: 64, row_bytes: 8192 }
+        DimmGeometry {
+            ranks: 2,
+            banks: 8,
+            rows_per_bank: 64,
+            row_bytes: 8192,
+        }
     }
 }
 
@@ -116,18 +121,31 @@ pub struct Location {
 impl Location {
     /// Creates a location from raw coordinates.
     pub fn new(rank: u8, bank: u8, row: u32, col: u32) -> Self {
-        Location { rank, bank, row, col }
+        Location {
+            rank,
+            bank,
+            row,
+            col,
+        }
     }
 
     /// The (rank, bank, row) triple identifying the row this word lives in.
     pub fn row_key(&self) -> RowKey {
-        RowKey { rank: self.rank, bank: self.bank, row: self.row }
+        RowKey {
+            rank: self.rank,
+            bank: self.bank,
+            row: self.row,
+        }
     }
 }
 
 impl std::fmt::Display for Location {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "rank{}/bank{}/row{}/col{}", self.rank, self.bank, self.row, self.col)
+        write!(
+            f,
+            "rank{}/bank{}/row{}/col{}",
+            self.rank, self.bank, self.row, self.col
+        )
     }
 }
 
@@ -170,11 +188,15 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_geometry() {
-        let mut geo = DimmGeometry::default();
-        geo.banks = 0;
+        let geo = DimmGeometry {
+            banks: 0,
+            ..Default::default()
+        };
         assert_eq!(geo.validate().unwrap_err(), GeometryError::ZeroDimension);
-        let mut geo = DimmGeometry::default();
-        geo.row_bytes = 12;
+        let geo = DimmGeometry {
+            row_bytes: 12,
+            ..Default::default()
+        };
         assert_eq!(geo.validate().unwrap_err(), GeometryError::UnalignedRow);
     }
 
@@ -197,7 +219,10 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        assert_eq!(Location::new(0, 1, 2, 3).to_string(), "rank0/bank1/row2/col3");
+        assert_eq!(
+            Location::new(0, 1, 2, 3).to_string(),
+            "rank0/bank1/row2/col3"
+        );
         assert_eq!(RowKey::new(1, 2, 3).to_string(), "rank1/bank2/row3");
     }
 }

@@ -65,7 +65,11 @@ pub struct TopologyConfig {
 
 impl Default for TopologyConfig {
     fn default() -> Self {
-        TopologyConfig { scrambled_row_fraction: 0.10, scramble_mask: 0b10, remapped_pairs_per_bank: 2 }
+        TopologyConfig {
+            scrambled_row_fraction: 0.10,
+            scramble_mask: 0b10,
+            remapped_pairs_per_bank: 2,
+        }
     }
 }
 
@@ -85,7 +89,11 @@ pub struct Topology {
 impl Topology {
     /// Builds the hidden topology of a DIMM from its seed.
     pub fn new(geometry: DimmGeometry, config: TopologyConfig, seed: u64) -> Self {
-        Topology { geometry, config, seed }
+        Topology {
+            geometry,
+            config,
+            seed,
+        }
     }
 
     /// The geometry this topology covers.
@@ -96,7 +104,9 @@ impl Topology {
     /// Whether a row's column order is scrambled.
     pub fn is_scrambled(&self, row: RowKey) -> bool {
         let h = splitmix64(
-            self.seed ^ 0x5C3A_11ED_u64 ^ ((row.rank as u64) << 48)
+            self.seed
+                ^ 0x5C3A_11ED_u64
+                ^ ((row.rank as u64) << 48)
                 ^ ((row.bank as u64) << 40)
                 ^ row.row as u64,
         );
@@ -181,7 +191,11 @@ impl Topology {
     pub fn physical_neighbours(&self, physical_bit: u32) -> (Option<u32>, Option<u32>) {
         let last = self.geometry.bits_per_row() as u32 - 1;
         let left = physical_bit.checked_sub(1);
-        let right = if physical_bit < last { Some(physical_bit + 1) } else { None };
+        let right = if physical_bit < last {
+            Some(physical_bit + 1)
+        } else {
+            None
+        };
         (left, right)
     }
 }
@@ -264,7 +278,10 @@ mod tests {
     fn unscrambled_rows_are_identity_modulo_remap() {
         let t = Topology::new(
             DimmGeometry::default(),
-            TopologyConfig { remapped_pairs_per_bank: 0, ..TopologyConfig::default() },
+            TopologyConfig {
+                remapped_pairs_per_bank: 0,
+                ..TopologyConfig::default()
+            },
             9,
         );
         let row = (0..64)

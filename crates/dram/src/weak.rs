@@ -119,11 +119,11 @@ impl WeakCellPopulation {
         // temperature onset); a pair's second bit is forced into its
         // sibling's word.
         let place = |rng: &mut StdRng,
-                         by_word: &mut HashMap<Location, Vec<WeakCell>>,
-                         occupied: &mut HashMap<Location, u64>,
-                         rank: u8,
-                         cell: WeakCell,
-                         forced_loc: Option<Location>|
+                     by_word: &mut HashMap<Location, Vec<WeakCell>>,
+                     occupied: &mut HashMap<Location, u64>,
+                     rank: u8,
+                     cell: WeakCell,
+                     forced_loc: Option<Location>|
          -> Option<Location> {
             for _attempt in 0..64 {
                 let loc = forced_loc.unwrap_or_else(|| {
@@ -137,7 +137,11 @@ impl WeakCellPopulation {
                 let vacant_word = !occupied.contains_key(&loc);
                 let mask = occupied.entry(loc).or_insert(0);
                 let bit_free = *mask & (1u64 << cell.bit) == 0;
-                let ok = if forced_loc.is_some() { bit_free } else { vacant_word };
+                let ok = if forced_loc.is_some() {
+                    bit_free
+                } else {
+                    vacant_word
+                };
                 if ok {
                     *mask |= 1u64 << cell.bit;
                     by_word.entry(loc).or_default().push(cell);
@@ -183,8 +187,7 @@ impl WeakCellPopulation {
                     vrt_index += 1;
                     match anchor {
                         None => {
-                            anchor =
-                                place(&mut rng, &mut by_word, &mut occupied, rank, cell, None);
+                            anchor = place(&mut rng, &mut by_word, &mut occupied, rank, cell, None);
                         }
                         Some(loc) => {
                             place(&mut rng, &mut by_word, &mut occupied, rank, cell, Some(loc));
@@ -214,16 +217,24 @@ impl WeakCellPopulation {
                     vrt_index,
                 };
                 vrt_index += 1;
-                if let Some(loc) =
-                    place(&mut rng, &mut by_word, &mut occupied, rank, cell_a, None)
+                if let Some(loc) = place(&mut rng, &mut by_word, &mut occupied, rank, cell_a, None)
                 {
-                    place(&mut rng, &mut by_word, &mut occupied, rank, cell_b, Some(loc));
+                    place(
+                        &mut rng,
+                        &mut by_word,
+                        &mut occupied,
+                        rank,
+                        cell_b,
+                        Some(loc),
+                    );
                 }
             }
         }
 
-        let mut words: Vec<WeakWord> =
-            by_word.into_iter().map(|(loc, cells)| WeakWord { loc, cells }).collect();
+        let mut words: Vec<WeakWord> = by_word
+            .into_iter()
+            .map(|(loc, cells)| WeakWord { loc, cells })
+            .collect();
         words.sort_by_key(|w| w.loc);
         let total_cells = words.iter().map(|w| w.cells.len()).sum();
         WeakCellPopulation { words, total_cells }
@@ -315,7 +326,13 @@ mod tests {
         for w in pop.words() {
             let mut mask = 0u64;
             for c in &w.cells {
-                assert_eq!(mask & (1 << c.bit), 0, "duplicate bit {} in {}", c.bit, w.loc);
+                assert_eq!(
+                    mask & (1 << c.bit),
+                    0,
+                    "duplicate bit {} in {}",
+                    c.bit,
+                    w.loc
+                );
                 mask |= 1 << c.bit;
             }
         }
@@ -342,7 +359,10 @@ mod tests {
         // Pairs are drawn with sigma 0.15 around 14 s: their minimum stays
         // far above the weakest singles (lognormal sigma 1.0 around 30 s).
         let single_min = singles.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(single_min < pair_min, "weakest single {single_min} vs weakest pair {pair_min}");
+        assert!(
+            single_min < pair_min,
+            "weakest single {single_min} vs weakest pair {pair_min}"
+        );
         assert!((10.0..=80.0).contains(&single_median));
     }
 
@@ -365,7 +385,10 @@ mod tests {
         let b = vrt_degraded(1, 100, 7, 0.3);
         assert_eq!(a, b);
         let flips = (0..1000).filter(|&n| vrt_degraded(1, n, 7, 0.3)).count();
-        assert!((200..400).contains(&flips), "degraded in {flips}/1000 windows");
+        assert!(
+            (200..400).contains(&flips),
+            "degraded in {flips}/1000 windows"
+        );
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub fn classify_flips(data: u64, data_flips: u64, check_flips: u8) -> EventKind 
     if data_flips == 0 && check_flips == 0 {
         return EventKind::None;
     }
-    let stored = Codeword::encode(data).with_data_flips(data_flips).with_check_flips(check_flips);
+    let stored = Codeword::encode(data)
+        .with_data_flips(data_flips)
+        .with_check_flips(check_flips);
     match stored.decode() {
         EccEvent::Clean { data: d } => {
             if d == data {
@@ -110,14 +112,22 @@ mod tests {
     #[test]
     fn one_data_flip_is_ce() {
         for i in [0, 17, 63] {
-            assert_eq!(classify_flips(u64::MAX, 1 << i, 0), EventKind::Ce, "bit {i}");
+            assert_eq!(
+                classify_flips(u64::MAX, 1 << i, 0),
+                EventKind::Ce,
+                "bit {i}"
+            );
         }
     }
 
     #[test]
     fn one_check_flip_is_ce() {
         for j in 0..8 {
-            assert_eq!(classify_flips(0xABCD, 0, 1 << j), EventKind::Ce, "check {j}");
+            assert_eq!(
+                classify_flips(0xABCD, 0, 1 << j),
+                EventKind::Ce,
+                "check {j}"
+            );
         }
     }
 

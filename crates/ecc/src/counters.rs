@@ -43,7 +43,9 @@ impl CounterSnapshot {
         CounterSnapshot {
             ce: self.ce.saturating_sub(earlier.ce),
             ue: self.ue.saturating_sub(earlier.ue),
-            sdc_miscorrected: self.sdc_miscorrected.saturating_sub(earlier.sdc_miscorrected),
+            sdc_miscorrected: self
+                .sdc_miscorrected
+                .saturating_sub(earlier.sdc_miscorrected),
             sdc_undetected: self.sdc_undetected.saturating_sub(earlier.sdc_undetected),
             clean: self.clean.saturating_sub(earlier.clean),
         }
@@ -81,6 +83,17 @@ impl std::ops::Add for CounterSnapshot {
 #[derive(Debug, Default)]
 pub struct EccCounters {
     inner: Mutex<CounterSnapshot>,
+}
+
+impl Clone for EccCounters {
+    /// Clones by snapshotting: the replica starts with the same counts but
+    /// its own lock, so parallel evaluation workers can own independent
+    /// copies of a server.
+    fn clone(&self) -> Self {
+        EccCounters {
+            inner: Mutex::new(self.snapshot()),
+        }
+    }
 }
 
 impl EccCounters {
@@ -166,8 +179,20 @@ mod tests {
 
     #[test]
     fn since_diffs_and_saturates() {
-        let a = CounterSnapshot { ce: 10, ue: 1, sdc_miscorrected: 0, sdc_undetected: 0, clean: 5 };
-        let b = CounterSnapshot { ce: 4, ue: 2, sdc_miscorrected: 0, sdc_undetected: 0, clean: 1 };
+        let a = CounterSnapshot {
+            ce: 10,
+            ue: 1,
+            sdc_miscorrected: 0,
+            sdc_undetected: 0,
+            clean: 5,
+        };
+        let b = CounterSnapshot {
+            ce: 4,
+            ue: 2,
+            sdc_miscorrected: 0,
+            sdc_undetected: 0,
+            clean: 1,
+        };
         let d = a.since(&b);
         assert_eq!(d.ce, 6);
         assert_eq!(d.ue, 0, "saturating subtraction");
@@ -176,7 +201,13 @@ mod tests {
 
     #[test]
     fn add_is_elementwise() {
-        let a = CounterSnapshot { ce: 1, ue: 2, sdc_miscorrected: 3, sdc_undetected: 4, clean: 5 };
+        let a = CounterSnapshot {
+            ce: 1,
+            ue: 2,
+            sdc_miscorrected: 3,
+            sdc_undetected: 4,
+            clean: 5,
+        };
         let sum = a + a;
         assert_eq!(sum.ce, 2);
         assert_eq!(sum.ue, 4);

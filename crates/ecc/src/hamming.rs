@@ -112,7 +112,10 @@ impl Codeword {
         // parity bit so the total number of ones is even.
         let ones = data.count_ones() + (hamming as u32).count_ones();
         let parity = (ones & 1) as u8;
-        Codeword { data, check: hamming | (parity << 7) }
+        Codeword {
+            data,
+            check: hamming | (parity << 7),
+        }
     }
 
     /// Reconstructs a codeword from raw stored bits (e.g. read back from the
@@ -135,14 +138,20 @@ impl Codeword {
     /// helper modelling in-array retention errors).
     #[must_use]
     pub fn with_data_flips(&self, mask: u64) -> Self {
-        Codeword { data: self.data ^ mask, check: self.check }
+        Codeword {
+            data: self.data ^ mask,
+            check: self.check,
+        }
     }
 
     /// Returns a copy with the given check bits flipped (faults in the ECC
     /// chip of the DIMM).
     #[must_use]
     pub fn with_check_flips(&self, mask: u8) -> Self {
-        Codeword { data: self.data, check: self.check ^ mask }
+        Codeword {
+            data: self.data,
+            check: self.check ^ mask,
+        }
     }
 
     /// Total number of flipped bits relative to a reference codeword.
@@ -177,14 +186,20 @@ impl Codeword {
             (0, false) => EccEvent::Clean { data: self.data },
             (0, true) => {
                 // Only the overall parity bit disagrees: correct it.
-                EccEvent::Corrected { data: self.data, bit: 71 }
+                EccEvent::Corrected {
+                    data: self.data,
+                    bit: 71,
+                }
             }
             (s, true) => {
                 // Odd parity, non-zero syndrome: single-bit error at
                 // position `s` (if that position is in use).
                 if s.count_ones() == 1 {
                     let j = s.trailing_zeros() as u8;
-                    EccEvent::Corrected { data: self.data, bit: 64 + j }
+                    EccEvent::Corrected {
+                        data: self.data,
+                        bit: 64 + j,
+                    }
                 } else {
                     let idx = SYNDROME_TO_DATA[s as usize];
                     if idx == u8::MAX {
@@ -192,7 +207,10 @@ impl Codeword {
                         // cannot be a single-bit error.
                         EccEvent::DetectedUncorrectable
                     } else {
-                        EccEvent::Corrected { data: self.data ^ (1u64 << idx), bit: idx }
+                        EccEvent::Corrected {
+                            data: self.data ^ (1u64 << idx),
+                            bit: idx,
+                        }
                     }
                 }
             }
@@ -288,7 +306,11 @@ mod tests {
         for i in 0..64 {
             for j in 0..8 {
                 let faulty = cw.with_data_flips(1u64 << i).with_check_flips(1 << j);
-                assert_eq!(faulty.decode(), EccEvent::DetectedUncorrectable, "data {i} + check {j}");
+                assert_eq!(
+                    faulty.decode(),
+                    EccEvent::DetectedUncorrectable,
+                    "data {i} + check {j}"
+                );
             }
         }
     }

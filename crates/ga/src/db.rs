@@ -67,7 +67,10 @@ impl VirusDatabase {
     /// Appends a record, assigning the campaign's next sequence number if
     /// the caller left `sequence` at 0 and records already exist.
     pub fn record(&mut self, mut record: VirusRecord) {
-        let next = self.next_sequence.entry(record.campaign.clone()).or_insert(0);
+        let next = self
+            .next_sequence
+            .entry(record.campaign.clone())
+            .or_insert(0);
         if record.sequence == 0 {
             record.sequence = *next;
         }

@@ -12,13 +12,16 @@
 //! runs out its generation budget — exactly the paper's convergent CE
 //! searches vs. non-convergent UE/access searches.
 
-use crate::fitness::Fitness;
+use crate::fitness::{Fitness, ParallelFitness};
 use crate::genome::Genome;
 use crate::ops::selection::SelectionScheme;
 use dstress_stats::mean_pairwise;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::Instant;
 
 /// GA hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -122,6 +125,31 @@ pub struct GenerationStats {
     pub similarity: f64,
 }
 
+/// Evaluation-side bookkeeping for one search: how much substrate work the
+/// fitness evaluations cost and how it was distributed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EvalStats {
+    /// Fitness evaluations actually executed on the substrate.
+    pub evaluations: u64,
+    /// Population slots served without touching the substrate because the
+    /// chromosome had already been scored (elites, converged populations and
+    /// within-generation duplicates). Only the parallel path caches; the
+    /// legacy serial path always reports zero.
+    pub cache_hits: u64,
+    /// Evaluation worker threads used (1 = serial).
+    pub workers: usize,
+    /// Wall-clock seconds spent evaluating each scored round; index 0 is
+    /// the initial population, subsequent entries are generations.
+    pub generation_eval_seconds: Vec<f64>,
+}
+
+impl EvalStats {
+    /// Total wall-clock seconds spent in fitness evaluation.
+    pub fn eval_seconds(&self) -> f64 {
+        self.generation_eval_seconds.iter().sum()
+    }
+}
+
 /// The outcome of a GA search.
 #[derive(Debug, Clone)]
 pub struct SearchResult<G> {
@@ -143,6 +171,9 @@ pub struct SearchResult<G> {
     pub similarity: f64,
     /// Per-generation history.
     pub history: Vec<GenerationStats>,
+    /// Evaluation bookkeeping (substrate evaluations, cache hits, workers,
+    /// wall-clock).
+    pub eval_stats: EvalStats,
 }
 
 /// The top-N distinct chromosomes seen so far.
@@ -154,14 +185,18 @@ struct Leaderboard<G> {
 
 impl<G: Genome + PartialEq> Leaderboard<G> {
     fn new(capacity: usize) -> Self {
-        Leaderboard { entries: Vec::with_capacity(capacity + 1), capacity }
+        Leaderboard {
+            entries: Vec::with_capacity(capacity + 1),
+            capacity,
+        }
     }
 
     /// Offers a scored chromosome (engine orientation: higher is better).
     fn offer(&mut self, genome: &G, score: f64) {
         if let Some(existing) = self.entries.iter_mut().find(|(g, _)| g == genome) {
             existing.1 = existing.1.max(score);
-            self.entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+            self.entries
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
             return;
         }
         if self.entries.len() < self.capacity {
@@ -171,7 +206,8 @@ impl<G: Genome + PartialEq> Leaderboard<G> {
         } else {
             return;
         }
-        self.entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+        self.entries
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
     }
 
     fn is_full(&self) -> bool {
@@ -201,7 +237,10 @@ impl GaEngine {
     /// Panics if the configuration is invalid (see [`GaConfig::validate`]).
     pub fn new(config: GaConfig, seed: u64) -> Self {
         config.validate().expect("invalid GA configuration");
-        GaEngine { config, rng: StdRng::seed_from_u64(seed) }
+        GaEngine {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The engine's configuration.
@@ -218,8 +257,9 @@ impl GaEngine {
         F: Fitness<G>,
         Init: FnMut(&mut StdRng) -> G,
     {
-        let population: Vec<G> =
-            (0..self.config.population_size).map(|_| init(&mut self.rng)).collect();
+        let population: Vec<G> = (0..self.config.population_size)
+            .map(|_| init(&mut self.rng))
+            .collect();
         self.run_from(population, fitness)
     }
 
@@ -229,10 +269,150 @@ impl GaEngine {
     /// # Panics
     ///
     /// Panics if the population size does not match the configuration.
-    pub fn run_from<G, F>(&mut self, mut population: Vec<G>, fitness: &mut F) -> SearchResult<G>
+    pub fn run_from<G, F>(&mut self, population: Vec<G>, fitness: &mut F) -> SearchResult<G>
     where
         G: Genome + PartialEq,
         F: Fitness<G>,
+    {
+        self.search_loop(population, 1, |pop, stats| {
+            stats.evaluations += pop.len() as u64;
+            pop.iter().map(|g| fitness.evaluate(g)).collect()
+        })
+    }
+
+    /// Runs a search from a randomly initialized population, evaluating
+    /// each generation's chromosomes on `workers` threads.
+    ///
+    /// Each worker owns an independent replica of the fitness substrate
+    /// (see [`ParallelFitness`]); repeat chromosomes are served from an
+    /// evaluation cache instead of re-running the substrate. Because the
+    /// fitness contract requires purity, the result is bit-identical for
+    /// any worker count, including `workers = 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or an evaluation worker panics.
+    pub fn run_parallel<G, F, Init>(
+        &mut self,
+        workers: usize,
+        mut init: Init,
+        fitness: &mut F,
+    ) -> SearchResult<G>
+    where
+        G: Genome + PartialEq + Eq + Hash + Sync,
+        F: ParallelFitness<G>,
+        Init: FnMut(&mut StdRng) -> G,
+    {
+        let population: Vec<G> = (0..self.config.population_size)
+            .map(|_| init(&mut self.rng))
+            .collect();
+        self.run_from_parallel(workers, population, fitness)
+    }
+
+    /// Runs a search from a caller-supplied population on `workers`
+    /// evaluation threads — the parallel counterpart of [`run_from`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, the population size does not match the
+    /// configuration, or an evaluation worker panics.
+    ///
+    /// [`run_from`]: GaEngine::run_from
+    pub fn run_from_parallel<G, F>(
+        &mut self,
+        workers: usize,
+        population: Vec<G>,
+        fitness: &mut F,
+    ) -> SearchResult<G>
+    where
+        G: Genome + PartialEq + Eq + Hash + Sync,
+        F: ParallelFitness<G>,
+    {
+        assert!(workers >= 1, "at least one evaluation worker is required");
+        let mut replicas: Vec<F> = (0..workers).map(|_| fitness.replicate()).collect();
+        let mut cache: HashMap<G, f64> = HashMap::new();
+        let result = self.search_loop(population, workers, |pop, stats| {
+            let mut scores = vec![0.0f64; pop.len()];
+            // Resolve repeats first: chromosomes scored in an earlier round
+            // come from the cache, and a chromosome occurring several times
+            // in this round is evaluated once. `pending` holds each distinct
+            // new chromosome with the population slots it fills.
+            let mut pending: Vec<(&G, Vec<usize>)> = Vec::new();
+            let mut pending_index: HashMap<&G, usize> = HashMap::new();
+            for (i, g) in pop.iter().enumerate() {
+                if let Some(&hit) = cache.get(g) {
+                    scores[i] = hit;
+                    stats.cache_hits += 1;
+                } else if let Some(&p) = pending_index.get(g) {
+                    pending[p].1.push(i);
+                    stats.cache_hits += 1;
+                } else {
+                    pending_index.insert(g, pending.len());
+                    pending.push((g, vec![i]));
+                }
+            }
+            stats.evaluations += pending.len() as u64;
+            if pending.is_empty() {
+                return scores;
+            }
+            // Deal the distinct chromosomes round-robin across the workers.
+            // Purity makes the partitioning irrelevant to the scores, so the
+            // worker count cannot change the search outcome.
+            let evaluated: Vec<Vec<(usize, f64)>> = crossbeam::scope(|s| {
+                let handles: Vec<_> = replicas
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(w, replica)| {
+                        let share: Vec<(usize, &G)> = pending
+                            .iter()
+                            .enumerate()
+                            .filter(|(j, _)| j % workers == w)
+                            .map(|(j, (g, _))| (j, *g))
+                            .collect();
+                        s.spawn(move |_| {
+                            share
+                                .into_iter()
+                                .map(|(j, g)| (j, replica.evaluate(g)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("evaluation worker panicked"))
+                    .collect()
+            })
+            .expect("evaluation scope panicked");
+            for (j, value) in evaluated.into_iter().flatten() {
+                let (genome, slots) = &pending[j];
+                cache.insert((*genome).clone(), value);
+                for &i in slots {
+                    scores[i] = value;
+                }
+            }
+            scores
+        });
+        for replica in replicas {
+            fitness.absorb(replica);
+        }
+        result
+    }
+
+    /// The shared generation loop: scores rounds through `evaluate` (which
+    /// returns raw user-orientation fitness values, one per member, and
+    /// updates the evaluation counters), then applies selection, crossover,
+    /// mutation and the convergence criterion. All engine-side randomness
+    /// stays in this (single-threaded) loop, so every evaluation strategy
+    /// draws the same RNG stream.
+    fn search_loop<G, E>(
+        &mut self,
+        mut population: Vec<G>,
+        workers: usize,
+        mut evaluate: E,
+    ) -> SearchResult<G>
+    where
+        G: Genome + PartialEq,
+        E: FnMut(&[G], &mut EvalStats) -> Vec<f64>,
     {
         assert_eq!(
             population.len(),
@@ -240,15 +420,28 @@ impl GaEngine {
             "initial population size mismatch"
         );
         let sign = if self.config.minimize { -1.0 } else { 1.0 };
+        let mut eval_stats = EvalStats {
+            workers,
+            ..EvalStats::default()
+        };
         let mut leaderboard = Leaderboard::new(self.config.population_size);
-        let mut scores: Vec<f64> = population
-            .iter()
-            .map(|g| {
-                let s = sign * fitness.evaluate(g);
-                leaderboard.offer(g, s);
-                s
-            })
-            .collect();
+        // Scores one round and offers every member to the leaderboard in
+        // population order — the same order the serial loop used, so the
+        // leaderboard's tie-breaking is identical across strategies.
+        let mut score_round =
+            |pop: &[G], leaderboard: &mut Leaderboard<G>, stats: &mut EvalStats| -> Vec<f64> {
+                let started = Instant::now();
+                let raw = evaluate(pop, stats);
+                stats
+                    .generation_eval_seconds
+                    .push(started.elapsed().as_secs_f64());
+                let scores: Vec<f64> = raw.into_iter().map(|v| sign * v).collect();
+                for (g, s) in pop.iter().zip(&scores) {
+                    leaderboard.offer(g, *s);
+                }
+                scores
+            };
+        let mut scores = score_round(&population, &mut leaderboard, &mut eval_stats);
         let mut history = Vec::new();
         let mut generations = 0;
         let mut converged = false;
@@ -263,7 +456,9 @@ impl GaEngine {
             // Elitism: carry the best members over unchanged.
             let mut order: Vec<usize> = (0..population.len()).collect();
             order.sort_by(|&a, &b| {
-                scores[b].partial_cmp(&scores[a]).expect("fitness values are comparable")
+                scores[b]
+                    .partial_cmp(&scores[a])
+                    .expect("fitness values are comparable")
             });
             let mut next: Vec<G> = order
                 .iter()
@@ -296,14 +491,7 @@ impl GaEngine {
             }
 
             population = next;
-            scores = population
-                .iter()
-                .map(|g| {
-                    let s = sign * fitness.evaluate(g);
-                    leaderboard.offer(g, s);
-                    s
-                })
-                .collect();
+            scores = score_round(&population, &mut leaderboard, &mut eval_stats);
             similarity = leaderboard.similarity();
             let generation_best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             if generation_best > best_so_far {
@@ -322,8 +510,11 @@ impl GaEngine {
             }
         }
 
-        let leaderboard: Vec<(G, f64)> =
-            leaderboard.entries.into_iter().map(|(g, s)| (g, sign * s)).collect();
+        let leaderboard: Vec<(G, f64)> = leaderboard
+            .entries
+            .into_iter()
+            .map(|(g, s)| (g, sign * s))
+            .collect();
         let (best, best_fitness) = leaderboard[0].clone();
         SearchResult {
             best,
@@ -333,10 +524,17 @@ impl GaEngine {
             converged,
             similarity,
             history,
+            eval_stats,
         }
     }
 
-    fn stats(&self, generation: u32, scores: &[f64], sign: f64, similarity: f64) -> GenerationStats {
+    fn stats(
+        &self,
+        generation: u32,
+        scores: &[f64],
+        sign: f64,
+        similarity: f64,
+    ) -> GenerationStats {
         let best_engine = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mean_engine = scores.iter().sum::<f64>() / scores.len() as f64;
         GenerationStats {
@@ -375,7 +573,11 @@ mod tests {
         let mut engine = GaEngine::new(GaConfig::paper_defaults(), 11);
         let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
         let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
-        assert!(result.best_fitness >= 63.0, "best = {}", result.best_fitness);
+        assert!(
+            result.best_fitness >= 63.0,
+            "best = {}",
+            result.best_fitness
+        );
         assert!(result.converged, "popcount search should converge");
         assert!(
             (20..=250).contains(&result.generations),
@@ -470,10 +672,13 @@ mod tests {
     fn int_genome_search_works() {
         // Maximize the sum of 16 genes in [0, 20].
         let mut engine = GaEngine::new(GaConfig::paper_defaults(), 17);
-        let mut fitness =
-            FnFitness::new(|g: &IntGenome| g.values().iter().sum::<u64>() as f64);
+        let mut fitness = FnFitness::new(|g: &IntGenome| g.values().iter().sum::<u64>() as f64);
         let result = engine.run(|rng| IntGenome::random(rng, 16, 0, 20), &mut fitness);
-        assert!(result.best_fitness >= 0.9 * 320.0, "best = {}", result.best_fitness);
+        assert!(
+            result.best_fitness >= 0.9 * 320.0,
+            "best = {}",
+            result.best_fitness
+        );
     }
 
     #[test]
@@ -502,12 +707,153 @@ mod tests {
         engine.run_from(vec![BitGenome::zeros(8); 3], &mut fitness);
     }
 
+    /// A pure, replicable fitness that counts how many substrate
+    /// evaluations actually ran across all replicas.
+    struct CountingPopcount {
+        executed: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl CountingPopcount {
+        fn new() -> Self {
+            CountingPopcount {
+                executed: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+            }
+        }
+
+        fn executed(&self) -> u64 {
+            self.executed.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl Fitness<BitGenome> for CountingPopcount {
+        fn evaluate(&mut self, genome: &BitGenome) -> f64 {
+            self.executed
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            genome.count_ones() as f64
+        }
+    }
+
+    impl ParallelFitness<BitGenome> for CountingPopcount {
+        fn replicate(&self) -> Self {
+            CountingPopcount {
+                executed: self.executed.clone(),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        // The tentpole acceptance criterion: the same seed produces the
+        // same SearchResult (leaderboard, history, everything but timing)
+        // through the legacy serial path and through the parallel path at
+        // any worker count.
+        let serial = {
+            let mut engine = GaEngine::new(GaConfig::paper_defaults(), 29);
+            let mut fitness = CountingPopcount::new();
+            engine.run(|rng| BitGenome::random(rng, 64), &mut fitness)
+        };
+        for workers in [1usize, 4] {
+            let mut engine = GaEngine::new(GaConfig::paper_defaults(), 29);
+            let mut fitness = CountingPopcount::new();
+            let parallel =
+                engine.run_parallel(workers, |rng| BitGenome::random(rng, 64), &mut fitness);
+            assert_eq!(parallel.best, serial.best, "workers={workers}");
+            assert_eq!(parallel.best_fitness, serial.best_fitness);
+            assert_eq!(parallel.leaderboard, serial.leaderboard);
+            assert_eq!(parallel.generations, serial.generations);
+            assert_eq!(parallel.converged, serial.converged);
+            assert_eq!(parallel.similarity, serial.similarity);
+            assert_eq!(parallel.history, serial.history);
+            assert_eq!(parallel.eval_stats.workers, workers);
+        }
+    }
+
+    #[test]
+    fn parallel_worker_counts_agree_on_eval_stats() {
+        let run = |workers| {
+            let mut engine = GaEngine::new(GaConfig::paper_defaults(), 31);
+            let mut fitness = CountingPopcount::new();
+            let result =
+                engine.run_parallel(workers, |rng| BitGenome::random(rng, 64), &mut fitness);
+            (result, fitness.executed())
+        };
+        let (one, one_executed) = run(1);
+        let (four, four_executed) = run(4);
+        // The cache makes the substrate work identical, not just the
+        // scores: every distinct chromosome runs exactly once either way.
+        assert_eq!(one.eval_stats.evaluations, four.eval_stats.evaluations);
+        assert_eq!(one.eval_stats.cache_hits, four.eval_stats.cache_hits);
+        assert_eq!(one.eval_stats.evaluations, one_executed);
+        assert_eq!(four.eval_stats.evaluations, four_executed);
+        assert_eq!(
+            one.eval_stats.generation_eval_seconds.len(),
+            four.eval_stats.generation_eval_seconds.len()
+        );
+    }
+
+    #[test]
+    fn eval_cache_hits_repeats_and_misses_mutants() {
+        let mut config = GaConfig::paper_defaults();
+        config.population_size = 8;
+        config.max_generations = 1;
+        let mut engine = GaEngine::new(config, 3);
+        let mut fitness = CountingPopcount::new();
+        let a = BitGenome::from_words(&[0x00FF], 64);
+        let mut b = a.clone();
+        b.set_bit(63, true); // a mutated copy must miss the cache
+        let mut population = vec![a; 4];
+        population.extend(std::iter::repeat_n(b, 4));
+        let result = engine.run_from_parallel(2, population, &mut fitness);
+        // Initial round: 8 slots but only 2 distinct chromosomes.
+        assert!(
+            result.eval_stats.cache_hits >= 6,
+            "stats: {:?}",
+            result.eval_stats
+        );
+        // Cache transparency: counted evaluations are exactly the substrate
+        // runs that happened, everything else was served from the cache.
+        assert_eq!(result.eval_stats.evaluations, fitness.executed());
+        assert_eq!(
+            result.eval_stats.evaluations + result.eval_stats.cache_hits,
+            2 * 8,
+            "every population slot is either evaluated or a cache hit"
+        );
+        assert_eq!(result.eval_stats.workers, 2);
+        // One initial round + one generation were timed.
+        assert_eq!(result.eval_stats.generation_eval_seconds.len(), 2);
+        assert!(result.eval_stats.eval_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn serial_path_reports_eval_stats_without_cache() {
+        let mut engine = GaEngine::new(GaConfig::paper_defaults(), 7);
+        let mut fitness = CountingPopcount::new();
+        let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
+        assert_eq!(result.eval_stats.workers, 1);
+        assert_eq!(result.eval_stats.cache_hits, 0);
+        assert_eq!(result.eval_stats.evaluations, fitness.executed());
+        assert_eq!(
+            result.eval_stats.generation_eval_seconds.len() as u32,
+            result.generations + 1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one evaluation worker")]
+    fn zero_workers_panics() {
+        let mut engine = GaEngine::new(GaConfig::paper_defaults(), 1);
+        let mut fitness = CountingPopcount::new();
+        engine.run_parallel(0, |rng| BitGenome::random(rng, 64), &mut fitness);
+    }
+
     #[test]
     fn deterministic_per_seed() {
         let run = |seed| {
             let mut engine = GaEngine::new(GaConfig::paper_defaults(), seed);
             let mut fitness = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
-            engine.run(|rng| BitGenome::random(rng, 64), &mut fitness).best_fitness
+            engine
+                .run(|rng| BitGenome::random(rng, 64), &mut fitness)
+                .best_fitness
         };
         assert_eq!(run(23), run(23));
     }

@@ -12,6 +12,42 @@ pub trait Fitness<G: Genome> {
     fn evaluate(&mut self, genome: &G) -> f64;
 }
 
+/// A fitness that can be replicated across evaluation workers.
+///
+/// The engine's parallel path ([`crate::GaEngine::run_parallel`]) hands each
+/// worker thread its own replica and splits every generation's population
+/// among them, so implementations must uphold two contracts:
+///
+/// * **Purity** — `evaluate` must be a pure function of the genome: the same
+///   chromosome scores identically on every replica, in any order. This is
+///   what makes `workers = 1` and `workers = N` produce bit-identical
+///   [`crate::SearchResult`]s, and what makes the engine's evaluation cache
+///   transparent. Stochastic substrates satisfy this by deriving their noise
+///   from the chromosome itself (as the DStress evaluator derives its VRT
+///   nonce from the bound chromosome) rather than from call order.
+/// * **Replica independence** — a replica owns all the state it mutates;
+///   evaluating on one replica must not affect another.
+///
+/// Bookkeeping that replicas accumulate (failed-evaluation counts, run
+/// logs …) is folded back into the master through [`absorb`] when the
+/// search finishes.
+///
+/// [`absorb`]: ParallelFitness::absorb
+pub trait ParallelFitness<G: Genome>: Fitness<G> + Send {
+    /// Creates an independent replica that scores identically to `self`.
+    fn replicate(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Folds a worker replica's bookkeeping back into the master after the
+    /// search. The default drops the replica.
+    fn absorb(&mut self, _replica: Self)
+    where
+        Self: Sized,
+    {
+    }
+}
+
 /// Adapts a closure into a [`Fitness`].
 ///
 /// # Examples

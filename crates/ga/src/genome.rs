@@ -66,7 +66,10 @@ impl BitGenome {
 
     /// All-zero chromosome.
     pub fn zeros(len: usize) -> Self {
-        BitGenome { words: vec![0; len.div_ceil(64)], len }
+        BitGenome {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Builds from packed 64-bit words (LSB-first within each word),
@@ -145,7 +148,9 @@ impl BitGenome {
     /// Renders the chromosome as a `0`/`1` string, bit 0 first — the
     /// orientation of the paper's Fig. 8 x-axis.
     pub fn render(&self) -> String {
-        (0..self.len).map(|i| if self.bit(i) { '1' } else { '0' }).collect()
+        (0..self.len)
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect()
     }
 }
 
@@ -292,7 +297,11 @@ impl IntGenome {
     /// Panics if `lo > hi`.
     pub fn random(rng: &mut StdRng, len: usize, lo: u64, hi: u64) -> Self {
         assert!(lo <= hi, "empty domain [{lo}, {hi}]");
-        IntGenome { values: (0..len).map(|_| rng.gen_range(lo..=hi)).collect(), lo, hi }
+        IntGenome {
+            values: (0..len).map(|_| rng.gen_range(lo..=hi)).collect(),
+            lo,
+            hi,
+        }
     }
 
     /// The gene values.
@@ -316,7 +325,11 @@ impl Genome for IntGenome {
     }
 
     fn crossover(&self, other: &Self, rng: &mut StdRng) -> (Self, Self) {
-        assert_eq!(self.values.len(), other.values.len(), "crossover needs equal lengths");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "crossover needs equal lengths"
+        );
         if self.values.len() < 2 {
             return (self.clone(), other.clone());
         }
@@ -414,7 +427,10 @@ mod tests {
             total += g.count_ones();
         }
         let avg = total as f64 / 50.0;
-        assert!((60.0..140.0).contains(&avg), "average flips {avg}, expected ~100");
+        assert!(
+            (60.0..140.0).contains(&avg),
+            "average flips {avg}, expected ~100"
+        );
     }
 
     #[test]
@@ -496,10 +512,16 @@ mod tests {
         assert!((2000..4500).contains(&small), "sum {small}, expected ~3200");
         // Poisson regime.
         let poisson: usize = (0..200).map(|_| binomial_draw(&mut r, 10_000, 0.001)).sum();
-        assert!((1300..2800).contains(&poisson), "sum {poisson}, expected ~2000");
+        assert!(
+            (1300..2800).contains(&poisson),
+            "sum {poisson}, expected ~2000"
+        );
         // Normal regime.
         let normal: usize = (0..50).map(|_| binomial_draw(&mut r, 100_000, 0.01)).sum();
-        assert!((40_000..60_000).contains(&normal), "sum {normal}, expected ~50000");
+        assert!(
+            (40_000..60_000).contains(&normal),
+            "sum {normal}, expected ~50000"
+        );
         // Edge cases.
         assert_eq!(binomial_draw(&mut r, 0, 0.5), 0);
         assert_eq!(binomial_draw(&mut r, 100, 0.0), 0);

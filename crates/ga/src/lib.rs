@@ -48,8 +48,8 @@ pub mod genome;
 pub mod ops;
 
 pub use db::{VirusDatabase, VirusRecord};
-pub use engine::{GaConfig, GaEngine, GenerationStats, SearchResult};
-pub use fitness::{AveragedFitness, Fitness, FnFitness};
+pub use engine::{EvalStats, GaConfig, GaEngine, GenerationStats, SearchResult};
+pub use fitness::{AveragedFitness, Fitness, FnFitness, ParallelFitness};
 pub use genome::{BitGenome, Genome, IntGenome};
 pub use ops::crossover::CrossoverOp;
 pub use ops::selection::SelectionScheme;

@@ -135,7 +135,9 @@ mod tests {
     }
 
     fn boundaries(g: &BitGenome) -> usize {
-        (0..g.len() - 1).filter(|&i| g.bit(i) != g.bit(i + 1)).count()
+        (0..g.len() - 1)
+            .filter(|&i| g.bit(i) != g.bit(i + 1))
+            .count()
     }
 
     #[test]
@@ -170,7 +172,11 @@ mod tests {
         let mut r = rng();
         let a = BitGenome::random(&mut r, 48);
         let b = BitGenome::random(&mut r, 48);
-        for op in [CrossoverOp::SinglePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+        for op in [
+            CrossoverOp::SinglePoint,
+            CrossoverOp::TwoPoint,
+            CrossoverOp::Uniform,
+        ] {
             let (c, d) = op.cross_bits(&a, &b, &mut r);
             for i in 0..48 {
                 assert!(c.bit(i) == a.bit(i) || c.bit(i) == b.bit(i));
@@ -184,7 +190,11 @@ mod tests {
         let mut r = rng();
         let a = IntGenome::random(&mut r, 16, 0, 20);
         let b = IntGenome::random(&mut r, 16, 0, 20);
-        for op in [CrossoverOp::SinglePoint, CrossoverOp::TwoPoint, CrossoverOp::Uniform] {
+        for op in [
+            CrossoverOp::SinglePoint,
+            CrossoverOp::TwoPoint,
+            CrossoverOp::Uniform,
+        ] {
             let (c, d) = op.cross_ints(&a, &b, &mut r);
             assert!(c.values().iter().all(|&v| v <= 20));
             assert!(d.values().iter().all(|&v| v <= 20));

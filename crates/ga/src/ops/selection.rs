@@ -5,8 +5,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// How parents are drawn from the scored population.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SelectionScheme {
     /// Classic fitness-proportional roulette wheel (scores shifted so the
     /// weakest member has a small positive weight).
@@ -25,7 +24,6 @@ pub enum SelectionScheme {
     },
 }
 
-
 impl SelectionScheme {
     /// Draws the index of one parent. `scores` are engine-internal (already
     /// negated for minimization), higher is better.
@@ -43,8 +41,7 @@ impl SelectionScheme {
                 let span = (max - min).max(1e-12);
                 // Shift so the weakest still has ~5 % of the strongest's
                 // weight; degenerate (all-equal) populations become uniform.
-                let weights: Vec<f64> =
-                    scores.iter().map(|s| (s - min) / span + 0.05).collect();
+                let weights: Vec<f64> = scores.iter().map(|s| (s - min) / span + 0.05).collect();
                 let total: f64 = weights.iter().sum();
                 let mut target = rng.gen::<f64>() * total;
                 for (i, w) in weights.iter().enumerate() {
@@ -73,10 +70,11 @@ impl SelectionScheme {
                 );
                 let mut order: Vec<usize> = (0..scores.len()).collect();
                 order.sort_by(|&a, &b| {
-                    scores[b].partial_cmp(&scores[a]).expect("scores are comparable")
+                    scores[b]
+                        .partial_cmp(&scores[a])
+                        .expect("scores are comparable")
                 });
-                let survivors =
-                    ((scores.len() * keep_percent as usize).div_ceil(100)).max(1);
+                let survivors = ((scores.len() * keep_percent as usize).div_ceil(100)).max(1);
                 order[rng.gen_range(0..survivors)]
             }
         }
@@ -112,7 +110,10 @@ mod tests {
     fn roulette_handles_uniform_scores() {
         let hist = pick_histogram(SelectionScheme::Roulette, &[5.0, 5.0, 5.0, 5.0], 4000);
         for &h in &hist {
-            assert!((700..1300).contains(&h), "expected near-uniform, got {hist:?}");
+            assert!(
+                (700..1300).contains(&h),
+                "expected near-uniform, got {hist:?}"
+            );
         }
     }
 
@@ -127,14 +128,20 @@ mod tests {
         let scores = [1.0, 2.0, 3.0, 4.0];
         let loose = pick_histogram(SelectionScheme::Tournament { k: 2 }, &scores, 4000);
         let tight = pick_histogram(SelectionScheme::Tournament { k: 4 }, &scores, 4000);
-        assert!(tight[3] > loose[3], "larger k should pick the best more often");
+        assert!(
+            tight[3] > loose[3],
+            "larger k should pick the best more often"
+        );
     }
 
     #[test]
     fn truncation_only_picks_survivors() {
         let scores = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
-        let hist =
-            pick_histogram(SelectionScheme::Truncation { keep_percent: 30 }, &scores, 1000);
+        let hist = pick_histogram(
+            SelectionScheme::Truncation { keep_percent: 30 },
+            &scores,
+            1000,
+        );
         for (i, &h) in hist.iter().enumerate() {
             if i < 7 {
                 assert_eq!(h, 0, "member {i} should never be selected: {hist:?}");

@@ -75,13 +75,19 @@ impl Cache {
         }
         self.misses += 1;
         if set.len() < self.ways {
-            set.push(CacheLine { tag, last_used: self.tick });
+            set.push(CacheLine {
+                tag,
+                last_used: self.tick,
+            });
         } else {
             let victim = set
                 .iter_mut()
                 .min_by_key(|l| l.last_used)
                 .expect("non-empty set has an LRU victim");
-            *victim = CacheLine { tag, last_used: self.tick };
+            *victim = CacheLine {
+                tag,
+                last_used: self.tick,
+            };
         }
         false
     }

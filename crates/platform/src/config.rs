@@ -97,7 +97,8 @@ impl ServerConfig {
         let mult = self.density_multipliers[mcu];
         dimm.weak.singles_per_rank =
             ((dimm.weak.singles_per_rank as f64 * mult).round() as usize).max(1);
-        dimm.weak.pairs_per_rank = ((dimm.weak.pairs_per_rank as f64 * mult).round() as usize).max(1);
+        dimm.weak.pairs_per_rank =
+            ((dimm.weak.pairs_per_rank as f64 * mult).round() as usize).max(1);
         dimm
     }
 }

@@ -77,10 +77,16 @@ impl PowerModel {
     where
         I: IntoIterator<Item = (f64, f64, f64)>,
     {
-        let per_dimm_w: Vec<f64> =
-            points.into_iter().map(|(t, v, a)| self.dimm_power_w(t, v, a)).collect();
+        let per_dimm_w: Vec<f64> = points
+            .into_iter()
+            .map(|(t, v, a)| self.dimm_power_w(t, v, a))
+            .collect();
         let dram_w = per_dimm_w.iter().sum();
-        PowerReport { per_dimm_w, dram_w, system_w: dram_w + self.platform_w }
+        PowerReport {
+            per_dimm_w,
+            dram_w,
+            system_w: dram_w + self.platform_w,
+        }
     }
 
     /// Relative DRAM savings of configuration `b` against baseline `a`.

@@ -46,7 +46,11 @@ impl ReplayProfile {
         let mut acts: Vec<ActivationCounts> = vec![ActivationCounts::new(); mcus];
         let mut dram_accesses = vec![0u64; mcus];
         if run.is_empty() {
-            return ReplayProfile { acts_per_window: acts, cache_hit_rate: 0.0, dram_accesses };
+            return ReplayProfile {
+                acts_per_window: acts,
+                cache_hit_rate: 0.0,
+                dram_accesses,
+            };
         }
         let mut cache = Cache::new(access.cache_bytes, access.cache_ways, access.line_bytes);
         // Open-row tracker per (mcu, rank, bank).
@@ -95,7 +99,11 @@ impl ReplayProfile {
             let passes_per_window = access.accesses_per_s * trefp_s[mcu] / read_ops as f64;
             a.scale_rounded(passes_per_window);
         }
-        ReplayProfile { acts_per_window: acts, cache_hit_rate: cache.hit_rate(), dram_accesses }
+        ReplayProfile {
+            acts_per_window: acts,
+            cache_hit_rate: cache.hit_rate(),
+            dram_accesses,
+        }
     }
 
     /// Total DRAM-reaching accesses per second implied by the profile
@@ -118,7 +126,9 @@ mod tests {
     use dstress_dram::DimmGeometry;
 
     fn maps() -> Vec<AddressMap> {
-        (0..4).map(|_| AddressMap::new(DimmGeometry::default())).collect()
+        (0..4)
+            .map(|_| AddressMap::new(DimmGeometry::default()))
+            .collect()
     }
 
     fn access() -> AccessModelConfig {
@@ -126,7 +136,11 @@ mod tests {
     }
 
     fn run_of(ops: Vec<TraceOp>) -> RecordedRun {
-        RecordedRun { trace: ops, target_mcu: 2, truncated: false }
+        RecordedRun {
+            trace: ops,
+            target_mcu: 2,
+            truncated: false,
+        }
     }
 
     /// A trace that streams `rows` whole rows on MCU 2 (touching each word).
@@ -158,7 +172,11 @@ mod tests {
         let mut ops = Vec::new();
         for _ in 0..1000 {
             for line in 0..8u64 {
-                ops.push(TraceOp { mcu: 2, local_addr: line * 64, is_write: false });
+                ops.push(TraceOp {
+                    mcu: 2,
+                    local_addr: line * 64,
+                    is_write: false,
+                });
             }
         }
         let p = ReplayProfile::build(&run_of(ops), &access(), &maps(), &[2.283; 4]);
@@ -171,7 +189,10 @@ mod tests {
         // 64 rows x 8 KB = 512 KB working set > 256 KB cache.
         let p = ReplayProfile::build(&streaming_rows(64), &access(), &maps(), &[2.283; 4]);
         assert!(p.cache_hit_rate < 0.95);
-        assert!(p.acts_per_window[2].distinct_rows() > 32, "many rows must activate");
+        assert!(
+            p.acts_per_window[2].distinct_rows() > 32,
+            "many rows must activate"
+        );
         assert_eq!(p.acts_per_window[0].total(), 0, "other MCUs stay quiet");
     }
 

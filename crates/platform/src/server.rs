@@ -20,7 +20,7 @@ pub const RANKS: usize = 2;
 
 /// One memory controller unit: its DIMM, refresh period and allocation
 /// cursor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Mcu {
     dimm: Dimm,
     trefp_s: f64,
@@ -81,7 +81,12 @@ pub struct RunOutcome {
 /// The simulated X-Gene 2 server.
 ///
 /// See the crate-level example for typical use.
-#[derive(Debug)]
+///
+/// The server is `Clone`: a clone is a fully independent replica (its own
+/// DIMMs, thermal state and ECC counters) whose future behaviour is
+/// identical to the original's for the same inputs — the substrate the
+/// parallel GA evaluation workers each own a copy of.
+#[derive(Debug, Clone)]
 pub struct XGene2Server {
     config: ServerConfig,
     mcus: Vec<Mcu>,
@@ -108,7 +113,9 @@ impl XGene2Server {
         XGene2Server {
             config,
             mcus,
-            mcbs: [Mcb { vdd_v: dstress_dram::env::NOMINAL_VDD_V }; MCBS],
+            mcbs: [Mcb {
+                vdd_v: dstress_dram::env::NOMINAL_VDD_V,
+            }; MCBS],
             thermal: ThermalTestbed::new(MCUS, config.ambient_c),
             counters,
         }
@@ -235,13 +242,17 @@ impl XGene2Server {
 
     pub(crate) fn read_local(&self, mcu: usize, local_addr: u64) -> u64 {
         let map = self.mcus[mcu].dimm.address_map();
-        let loc = map.map(local_addr & !7).expect("session addresses are within capacity");
+        let loc = map
+            .map(local_addr & !7)
+            .expect("session addresses are within capacity");
         self.mcus[mcu].dimm.read_word(loc)
     }
 
     pub(crate) fn write_local(&mut self, mcu: usize, local_addr: u64, value: u64) {
         let map = self.mcus[mcu].dimm.address_map();
-        let loc = map.map(local_addr & !7).expect("session addresses are within capacity");
+        let loc = map
+            .map(local_addr & !7)
+            .expect("session addresses are within capacity");
         self.mcus[mcu].dimm.write_word(loc, value);
     }
 
@@ -260,7 +271,11 @@ impl XGene2Server {
         let mut out = Vec::with_capacity(MCUS * RANKS);
         for (mcu, per_mcu) in self.counters.iter().enumerate() {
             for (rank, c) in per_mcu.iter().enumerate() {
-                out.push(DomainCounts { mcu, rank, counts: c.snapshot() });
+                out.push(DomainCounts {
+                    mcu,
+                    rank,
+                    counts: c.snapshot(),
+                });
             }
         }
         out
@@ -282,7 +297,12 @@ impl XGene2Server {
 
     /// Evaluates `runs` repeat runs of the same virus, building the replay
     /// profile once (the paper's 10-run averaging workflow, §V-A.1).
-    pub fn evaluate_runs(&mut self, run: &RecordedRun, runs: u32, base_nonce: u64) -> Vec<RunOutcome> {
+    pub fn evaluate_runs(
+        &mut self,
+        run: &RecordedRun,
+        runs: u32,
+        base_nonce: u64,
+    ) -> Vec<RunOutcome> {
         let profile = self.build_profile(run);
         let disturbances = self.disturbance_profiles(&profile);
         (0..runs as u64)
@@ -294,7 +314,11 @@ impl XGene2Server {
     /// replay profile (they are invariant across windows and runs).
     fn disturbance_profiles(&self, profile: &ReplayProfile) -> Vec<Vec<f64>> {
         (0..MCUS)
-            .map(|mcu| self.mcus[mcu].dimm.disturbance_profile(&profile.acts_per_window[mcu]))
+            .map(|mcu| {
+                self.mcus[mcu]
+                    .dimm
+                    .disturbance_profile(&profile.acts_per_window[mcu])
+            })
             .collect()
     }
 
@@ -310,9 +334,15 @@ impl XGene2Server {
         let before = self.counters();
         let mut stopped_on_ue = false;
         let mut windows_completed = 0;
-        let mut row_errors: std::collections::HashMap<(usize, dstress_dram::geometry::RowKey), (u64, u64)> =
-            std::collections::HashMap::new();
+        let mut row_errors: std::collections::HashMap<
+            (usize, dstress_dram::geometry::RowKey),
+            (u64, u64),
+        > = std::collections::HashMap::new();
         'windows: for window in 0..self.config.windows_per_run {
+            // The MCU index addresses four parallel arrays (`mcus`, `counters`,
+            // `disturbances`, the per-MCU operating env), so an index loop is
+            // clearer than nested enumerate/zip over disjoint borrows of self.
+            #[allow(clippy::needless_range_loop)]
             for mcu in 0..MCUS {
                 let env = self.operating_env(mcu);
                 let window_nonce = nonce
@@ -364,15 +394,33 @@ impl XGene2Server {
             .into_iter()
             .map(|((mcu, row), (ce, ue))| RowErrors { mcu, row, ce, ue })
             .collect();
-        row_errors.sort_by(|a, b| b.ce.cmp(&a.ce).then(b.ue.cmp(&a.ue)).then(a.row.cmp(&b.row)));
-        RunOutcome { totals, per_domain, windows_completed, stopped_on_ue, row_errors }
+        row_errors.sort_by(|a, b| {
+            b.ce.cmp(&a.ce)
+                .then(b.ue.cmp(&a.ue))
+                .then(a.row.cmp(&b.row))
+        });
+        RunOutcome {
+            totals,
+            per_domain,
+            windows_completed,
+            stopped_on_ue,
+            row_errors,
+        }
     }
 
     /// Measures server power at the current operating points, given the
     /// DRAM access rate each DIMM sustains.
-    pub fn measure_power(&self, model: &PowerModel, dram_accesses_per_s: &[f64; MCUS]) -> PowerReport {
+    pub fn measure_power(
+        &self,
+        model: &PowerModel,
+        dram_accesses_per_s: &[f64; MCUS],
+    ) -> PowerReport {
         model.report((0..MCUS).map(|i| {
-            (self.mcus[i].trefp_s, self.vdd_for_mcu(i), dram_accesses_per_s[i])
+            (
+                self.mcus[i].trefp_s,
+                self.vdd_for_mcu(i),
+                dram_accesses_per_s[i],
+            )
         }))
     }
 }
@@ -440,7 +488,11 @@ mod tests {
         sv.set_dimm_temperature(2, 60.0);
         let run = fill_run(&mut sv, 2, WORST);
         let outcome = sv.evaluate_run(&run, 0);
-        assert_eq!(outcome.totals.visible(), 0, "no errors at nominal parameters");
+        assert_eq!(
+            outcome.totals.visible(),
+            0,
+            "no errors at nominal parameters"
+        );
         assert!(!outcome.stopped_on_ue);
     }
 
@@ -453,14 +505,24 @@ mod tests {
         let outcome = sv.evaluate_run(&run, 0);
         assert!(outcome.totals.ce > 0, "relaxed DIMM2 at 60C must show CEs");
         let ce_of = |mcu: usize| -> u64 {
-            outcome.per_domain.iter().filter(|d| d.mcu == mcu).map(|d| d.counts.visible()).sum()
+            outcome
+                .per_domain
+                .iter()
+                .filter(|d| d.mcu == mcu)
+                .map(|d| d.counts.visible())
+                .sum()
         };
         // MCU0/MCU1 run at nominal parameters: no errors there.
         assert_eq!(ce_of(0), 0, "nominal MCU0 must stay clean");
         assert_eq!(ce_of(1), 0, "nominal MCU1 must stay clean");
         // DIMM3 is relaxed too but idle at ambient: only background errors,
         // far fewer than the heated, virus-filled DIMM2.
-        assert!(ce_of(2) > 10 * ce_of(3).max(1), "DIMM2 must dominate: {} vs {}", ce_of(2), ce_of(3));
+        assert!(
+            ce_of(2) > 10 * ce_of(3).max(1),
+            "DIMM2 must dominate: {} vs {}",
+            ce_of(2),
+            ce_of(3)
+        );
     }
 
     #[test]
@@ -499,7 +561,10 @@ mod tests {
         let run = fill_run(&mut sv, 2, WORST);
         let counts: Vec<u64> = (0..8).map(|n| sv.evaluate_run(&run, n).totals.ce).collect();
         let distinct: std::collections::HashSet<_> = counts.iter().collect();
-        assert!(distinct.len() > 1, "VRT must differentiate runs: {counts:?}");
+        assert!(
+            distinct.len() > 1,
+            "VRT must differentiate runs: {counts:?}"
+        );
     }
 
     #[test]
@@ -516,6 +581,25 @@ mod tests {
             worst as f64 >= 1.4 * zeros.max(1) as f64,
             "worst={worst} zeros={zeros}"
         );
+    }
+
+    #[test]
+    fn cloned_server_is_independent_and_identical() {
+        fn assert_send<T: Send>() {}
+        assert_send::<XGene2Server>();
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 60.0);
+        let run = fill_run(&mut sv, 2, WORST);
+        let mut replica = sv.clone();
+        let a = sv.evaluate_run(&run, 5);
+        let b = replica.evaluate_run(&run, 5);
+        assert_eq!(a, b, "a replica must reproduce the original's outcomes");
+        // The copies are independent: resetting one leaves the other's
+        // accumulated counters untouched.
+        sv.reset_counters();
+        let replica_total: u64 = replica.counters().iter().map(|d| d.counts.visible()).sum();
+        assert_eq!(replica_total, b.totals.visible());
     }
 
     #[test]

@@ -66,8 +66,14 @@ pub enum SessionError {
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SessionError::OutOfMemory { requested, available } => {
-                write!(f, "out of memory: requested {requested} bytes, {available} available")
+            SessionError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of memory: requested {requested} bytes, {available} available"
+                )
             }
             SessionError::Unaligned(a) => write!(f, "address {a:#x} is not 64-bit aligned"),
             SessionError::Unmapped(a) => write!(f, "address {a:#x} is not mapped"),
@@ -107,7 +113,11 @@ pub struct RecordedRun {
 impl RecordedRun {
     /// An empty run (no accesses — idle memory under test).
     pub fn idle(target_mcu: usize) -> Self {
-        RecordedRun { trace: Vec::new(), target_mcu, truncated: false }
+        RecordedRun {
+            trace: Vec::new(),
+            target_mcu,
+            truncated: false,
+        }
     }
 
     /// Number of recorded operations.
@@ -193,12 +203,20 @@ impl<'a> Session<'a> {
             self.truncated = true;
             return;
         }
-        self.trace.push(TraceOp { mcu: mcu as u8, local_addr, is_write });
+        self.trace.push(TraceOp {
+            mcu: mcu as u8,
+            local_addr,
+            is_write,
+        });
     }
 
     /// Consumes the session, returning the recorded run.
     pub fn finish(self) -> RecordedRun {
-        RecordedRun { trace: self.trace, target_mcu: self.target_mcu, truncated: self.truncated }
+        RecordedRun {
+            trace: self.trace,
+            target_mcu: self.target_mcu,
+            truncated: self.truncated,
+        }
     }
 }
 
@@ -218,7 +236,11 @@ impl MemoryBus for Session<'_> {
             }
         })?;
         let virt = self.next_virt;
-        self.segments.push(Segment { virt_base: virt, bytes: rounded, phys_base });
+        self.segments.push(Segment {
+            virt_base: virt,
+            bytes: rounded,
+            phys_base,
+        });
         self.next_virt += rounded;
         Ok(virt)
     }
@@ -272,8 +294,14 @@ mod tests {
         let mut server = server();
         let mut s = server.session(1);
         let base = s.alloc(64).unwrap();
-        assert_eq!(s.read_u64(base + 1).unwrap_err(), SessionError::Unaligned(base + 1));
-        assert!(matches!(s.read_u64(0x8).unwrap_err(), SessionError::Unmapped(_)));
+        assert_eq!(
+            s.read_u64(base + 1).unwrap_err(),
+            SessionError::Unaligned(base + 1)
+        );
+        assert!(matches!(
+            s.read_u64(0x8).unwrap_err(),
+            SessionError::Unmapped(_)
+        ));
         assert_eq!(s.alloc(0).unwrap_err(), SessionError::ZeroAllocation);
     }
 

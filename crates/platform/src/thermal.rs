@@ -28,7 +28,12 @@ pub struct ThermalPlant {
 impl ThermalPlant {
     /// A plant at ambient temperature.
     pub fn new(ambient_c: f64) -> Self {
-        ThermalPlant { temp_c: ambient_c, ambient_c, tau_s: 30.0, gain_c_per_w: 2.5 }
+        ThermalPlant {
+            temp_c: ambient_c,
+            ambient_c,
+            tau_s: 30.0,
+            gain_c_per_w: 2.5,
+        }
     }
 
     /// Advances the plant by `dt_s` seconds with `power_w` heater power.
@@ -56,7 +61,14 @@ pub struct PidController {
 impl PidController {
     /// Creates a controller with the given gains and output clamp.
     pub fn new(kp: f64, ki: f64, kd: f64, max_output_w: f64) -> Self {
-        PidController { kp, ki, kd, max_output_w, integral: 0.0, last_error: None }
+        PidController {
+            kp,
+            ki,
+            kd,
+            max_output_w,
+            integral: 0.0,
+            last_error: None,
+        }
     }
 
     /// Gains tuned for the default [`ThermalPlant`].
@@ -169,7 +181,12 @@ impl ThermalTestbed {
                 in_band_s = 0.0;
             }
         }
-        SettleReport { final_temp_c: plant.temp_c, settle_time_s: t, settled: false, trajectory }
+        SettleReport {
+            final_temp_c: plant.temp_c,
+            settle_time_s: t,
+            settled: false,
+            trajectory,
+        }
     }
 }
 
@@ -201,7 +218,11 @@ mod tests {
         for setpoint in [50.0, 55.0, 60.0, 62.0, 65.0, 70.0] {
             let mut rig = ThermalTestbed::new(4, 45.0);
             let report = rig.settle(0, setpoint);
-            assert!(report.settled, "did not settle at {setpoint}: {}", report.final_temp_c);
+            assert!(
+                report.settled,
+                "did not settle at {setpoint}: {}",
+                report.final_temp_c
+            );
             assert!(
                 (report.final_temp_c - setpoint).abs() <= 0.3,
                 "settled at {} instead of {setpoint}",
@@ -215,7 +236,10 @@ mod tests {
         let mut rig = ThermalTestbed::new(4, 45.0);
         rig.settle(1, 65.0);
         assert!((rig.temperature(1) - 65.0).abs() < 0.5);
-        assert!((rig.temperature(0) - 45.0).abs() < 0.5, "channel 0 must stay ambient");
+        assert!(
+            (rig.temperature(0) - 45.0).abs() < 0.5,
+            "channel 0 must stay ambient"
+        );
     }
 
     #[test]

@@ -105,7 +105,12 @@ where
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((stats.len() as f64 * alpha) as usize).min(stats.len() - 1);
     let hi_idx = ((stats.len() as f64 * (1.0 - alpha)) as usize).min(stats.len() - 1);
-    Ok(ConfidenceInterval { point, lo: stats[lo_idx], hi: stats[hi_idx], level })
+    Ok(ConfidenceInterval {
+        point,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+    })
 }
 
 #[cfg(test)]
@@ -123,7 +128,12 @@ mod tests {
             .map(|_| 50.0 + 10.0 * ((0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0))
             .collect();
         let ci = bootstrap_ci(&data, mean, 1000, 0.95, 2).unwrap();
-        assert!(ci.contains(50.0), "CI [{}, {}] should cover 50", ci.lo, ci.hi);
+        assert!(
+            ci.contains(50.0),
+            "CI [{}, {}] should cover 50",
+            ci.lo,
+            ci.hi
+        );
         assert!(ci.lo < ci.point && ci.point < ci.hi);
     }
 
@@ -146,7 +156,10 @@ mod tests {
 
     #[test]
     fn parameter_validation() {
-        assert_eq!(bootstrap_ci(&[], mean, 10, 0.9, 1).unwrap_err(), BootstrapError::EmptySample);
+        assert_eq!(
+            bootstrap_ci(&[], mean, 10, 0.9, 1).unwrap_err(),
+            BootstrapError::EmptySample
+        );
         assert_eq!(
             bootstrap_ci(&[1.0], mean, 0, 0.9, 1).unwrap_err(),
             BootstrapError::BadParameters

@@ -62,7 +62,10 @@ impl std::fmt::Display for NormalityTestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NormalityTestError::TooFewObservations => {
-                write!(f, "D'Agostino-Pearson test requires at least 9 observations")
+                write!(
+                    f,
+                    "D'Agostino-Pearson test requires at least 9 observations"
+                )
             }
             NormalityTestError::DegenerateData => {
                 write!(f, "normality test is undefined for zero-variance data")
@@ -93,7 +96,13 @@ pub fn dagostino_pearson(moments: &Moments) -> Result<DagostinoPearson, Normalit
     let k2 = z_skew * z_skew + z_kurt * z_kurt;
     // Survival function of chi-square with 2 dof: exp(-x/2).
     let p_value = (-k2 / 2.0).exp();
-    Ok(DagostinoPearson { z_skew, z_kurt, k2, p_value, n: n_u })
+    Ok(DagostinoPearson {
+        z_skew,
+        z_kurt,
+        k2,
+        p_value,
+        n: n_u,
+    })
 }
 
 /// D'Agostino (1970) transformation of sample skewness `√b₁` to an
@@ -118,7 +127,8 @@ fn kurtosis_z(b2: f64, n: f64) -> f64 {
     let x = (b2 - e_b2) / var_b2.sqrt();
     let sqrt_beta1 = 6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0))
         * (6.0 * (n + 3.0) * (n + 5.0) / (n * (n - 2.0) * (n - 3.0))).sqrt();
-    let a = 6.0 + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
+    let a = 6.0
+        + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
     let t = (1.0 - 2.0 / a) / (1.0 + x * (2.0 / (a - 4.0)).sqrt());
     // Guard against numerically negative cube-root argument for tiny samples.
     let t = t.max(1e-300);
@@ -140,18 +150,31 @@ mod tests {
     #[test]
     fn accepts_gaussian_data() {
         let mut rng = StdRng::seed_from_u64(7);
-        let m: Moments = (0..5000).map(|_| 100.0 + 15.0 * normal_sample(&mut rng)).collect();
+        let m: Moments = (0..5000)
+            .map(|_| 100.0 + 15.0 * normal_sample(&mut rng))
+            .collect();
         let test = dagostino_pearson(&m).unwrap();
-        assert!(test.is_normal(0.01), "K2 = {}, p = {}", test.k2, test.p_value);
+        assert!(
+            test.is_normal(0.01),
+            "K2 = {}, p = {}",
+            test.k2,
+            test.p_value
+        );
     }
 
     #[test]
     fn rejects_heavily_skewed_data() {
         let mut rng = StdRng::seed_from_u64(8);
         // Exponential-ish data: -ln(U) is strongly right-skewed.
-        let m: Moments = (0..5000).map(|_| -(rng.gen::<f64>().max(1e-12)).ln()).collect();
+        let m: Moments = (0..5000)
+            .map(|_| -(rng.gen::<f64>().max(1e-12)).ln())
+            .collect();
         let test = dagostino_pearson(&m).unwrap();
-        assert!(!test.is_normal(0.05), "expected rejection, p = {}", test.p_value);
+        assert!(
+            !test.is_normal(0.05),
+            "expected rejection, p = {}",
+            test.p_value
+        );
         assert!(test.z_skew > 3.0);
     }
 
@@ -169,13 +192,19 @@ mod tests {
     #[test]
     fn too_few_observations_is_an_error() {
         let m: Moments = (0..8).map(|i| i as f64).collect();
-        assert_eq!(dagostino_pearson(&m).unwrap_err(), NormalityTestError::TooFewObservations);
+        assert_eq!(
+            dagostino_pearson(&m).unwrap_err(),
+            NormalityTestError::TooFewObservations
+        );
     }
 
     #[test]
     fn degenerate_data_is_an_error() {
         let m: Moments = (0..20).map(|_| 5.0).collect();
-        assert_eq!(dagostino_pearson(&m).unwrap_err(), NormalityTestError::DegenerateData);
+        assert_eq!(
+            dagostino_pearson(&m).unwrap_err(),
+            NormalityTestError::DegenerateData
+        );
     }
 
     #[test]

@@ -57,8 +57,7 @@ impl Moments {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -187,7 +186,11 @@ mod tests {
     fn uniform_kurtosis_is_platykurtic() {
         // Kurtosis of a discrete uniform on many points approaches 1.8 (< 3).
         let m: Moments = (0..10_000).map(|i| i as f64).collect();
-        assert!((m.kurtosis() - 1.8).abs() < 0.01, "kurtosis = {}", m.kurtosis());
+        assert!(
+            (m.kurtosis() - 1.8).abs() < 0.01,
+            "kurtosis = {}",
+            m.kurtosis()
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub enum HistogramError {
 impl std::fmt::Display for HistogramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HistogramError::InvalidRange => write!(f, "histogram range must be finite with lo < hi"),
+            HistogramError::InvalidRange => {
+                write!(f, "histogram range must be finite with lo < hi")
+            }
             HistogramError::NoBins => write!(f, "histogram requires at least one bin"),
         }
     }
@@ -64,7 +66,14 @@ impl Histogram {
         if bins == 0 {
             return Err(HistogramError::NoBins);
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins], total: 0, underflow: 0, overflow: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        })
     }
 
     /// Builds a histogram spanning the data's own range.
@@ -95,7 +104,10 @@ impl Histogram {
         if x >= self.hi {
             // The exact upper bound counts in the last bin.
             if x == self.hi {
-                *self.counts.last_mut().expect("histogram has at least one bin") += 1;
+                *self
+                    .counts
+                    .last_mut()
+                    .expect("histogram has at least one bin") += 1;
             } else {
                 self.overflow += 1;
             }
@@ -168,8 +180,17 @@ impl Histogram {
         let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
-            let bar = "#".repeat((c as usize * max_width).div_ceil(peak as usize).min(max_width));
-            out.push_str(&format!("{:>12.2} | {:<6} {}\n", self.bin_center(i), c, bar));
+            let bar = "#".repeat(
+                (c as usize * max_width)
+                    .div_ceil(peak as usize)
+                    .min(max_width),
+            );
+            out.push_str(&format!(
+                "{:>12.2} | {:<6} {}\n",
+                self.bin_center(i),
+                c,
+                bar
+            ));
         }
         out
     }
@@ -183,9 +204,18 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert!(Histogram::new(0.0, 1.0, 4).is_ok());
-        assert_eq!(Histogram::new(1.0, 1.0, 4).unwrap_err(), HistogramError::InvalidRange);
-        assert_eq!(Histogram::new(2.0, 1.0, 4).unwrap_err(), HistogramError::InvalidRange);
-        assert_eq!(Histogram::new(0.0, 1.0, 0).unwrap_err(), HistogramError::NoBins);
+        assert_eq!(
+            Histogram::new(1.0, 1.0, 4).unwrap_err(),
+            HistogramError::InvalidRange
+        );
+        assert_eq!(
+            Histogram::new(2.0, 1.0, 4).unwrap_err(),
+            HistogramError::InvalidRange
+        );
+        assert_eq!(
+            Histogram::new(0.0, 1.0, 0).unwrap_err(),
+            HistogramError::NoBins
+        );
     }
 
     #[test]

@@ -42,9 +42,13 @@ pub enum NormalError {
 impl std::fmt::Display for NormalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            NormalError::InvalidStdDev => write!(f, "standard deviation must be finite and positive"),
+            NormalError::InvalidStdDev => {
+                write!(f, "standard deviation must be finite and positive")
+            }
             NormalError::InvalidMean => write!(f, "mean must be finite"),
-            NormalError::NotEnoughData => write!(f, "fitting a normal requires at least two observations"),
+            NormalError::NotEnoughData => {
+                write!(f, "fitting a normal requires at least two observations")
+            }
         }
     }
 }
@@ -72,7 +76,10 @@ impl Normal {
 
     /// Standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Normal { mean: 0.0, std_dev: 1.0 }
+        Normal {
+            mean: 0.0,
+            std_dev: 1.0,
+        }
     }
 
     /// Fits by moments from accumulated observations (sample variance).
@@ -233,9 +240,18 @@ mod tests {
     #[test]
     fn construction_validates() {
         assert!(Normal::new(0.0, 1.0).is_ok());
-        assert_eq!(Normal::new(0.0, 0.0).unwrap_err(), NormalError::InvalidStdDev);
-        assert_eq!(Normal::new(0.0, -1.0).unwrap_err(), NormalError::InvalidStdDev);
-        assert_eq!(Normal::new(f64::NAN, 1.0).unwrap_err(), NormalError::InvalidMean);
+        assert_eq!(
+            Normal::new(0.0, 0.0).unwrap_err(),
+            NormalError::InvalidStdDev
+        );
+        assert_eq!(
+            Normal::new(0.0, -1.0).unwrap_err(),
+            NormalError::InvalidStdDev
+        );
+        assert_eq!(
+            Normal::new(f64::NAN, 1.0).unwrap_err(),
+            NormalError::InvalidMean
+        );
     }
 
     #[test]

@@ -46,7 +46,11 @@ impl Otu {
     ///
     /// Panics if `x` and `y` have different lengths.
     pub fn from_features(x: &[bool], y: &[bool]) -> Self {
-        assert_eq!(x.len(), y.len(), "OTU requires equal-length feature vectors");
+        assert_eq!(
+            x.len(),
+            y.len(),
+            "OTU requires equal-length feature vectors"
+        );
         let mut otu = Otu::default();
         for (&xi, &yi) in x.iter().zip(y) {
             match (xi, yi) {
@@ -116,7 +120,11 @@ pub fn sokal_michener(x: &[bool], y: &[bool]) -> f64 {
 /// assert!((sim - 0.75).abs() < 1e-12);
 /// ```
 pub fn weighted_jaccard(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "weighted Jaccard requires equal-length vectors");
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "weighted Jaccard requires equal-length vectors"
+    );
     let mut num = 0.0;
     let mut den = 0.0;
     for (&xi, &yi) in x.iter().zip(y) {
@@ -180,7 +188,15 @@ mod tests {
         let x = [true, true, false, false, true];
         let y = [true, false, true, false, true];
         let otu = Otu::from_features(&x, &y);
-        assert_eq!(otu, Otu { a: 2, b: 1, c: 1, d: 1 });
+        assert_eq!(
+            otu,
+            Otu {
+                a: 2,
+                b: 1,
+                c: 1,
+                d: 1
+            }
+        );
         assert_eq!(otu.total(), 5);
     }
 

@@ -235,7 +235,12 @@ impl Program {
                         walk_expr(index, f);
                     }
                 }
-                Stmt::For { init, cond, step, body } => {
+                Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                } => {
                     walk_stmt(init, f);
                     walk_expr(cond, f);
                     walk_stmt(step, f);
@@ -294,7 +299,10 @@ mod tests {
                 },
                 step: Box::new(Stmt::Block(vec![])),
                 body: vec![Stmt::Assign {
-                    target: LValue::Index { base: "g".into(), index: Expr::Var("i".into()) },
+                    target: LValue::Index {
+                        base: "g".into(),
+                        index: Expr::Var("i".into()),
+                    },
                     op: AssignOp::Set,
                     value: Expr::Placeholder("C".into()),
                 }],

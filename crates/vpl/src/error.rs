@@ -47,7 +47,9 @@ impl std::fmt::Display for VplError {
             VplError::Lex { message, line, col } => {
                 write!(f, "lexical error at {line}:{col}: {message}")
             }
-            VplError::Parse { message, line } => write!(f, "syntax error at line {line}: {message}"),
+            VplError::Parse { message, line } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
             VplError::Template(m) => write!(f, "template error: {m}"),
             VplError::Sema(m) => write!(f, "semantic error: {m}"),
             VplError::Binding(m) => write!(f, "binding error: {m}"),
@@ -82,8 +84,15 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let cases: Vec<VplError> = vec![
-            VplError::Lex { message: "bad char".into(), line: 1, col: 2 },
-            VplError::Parse { message: "expected ;".into(), line: 3 },
+            VplError::Lex {
+                message: "bad char".into(),
+                line: 1,
+                col: 2,
+            },
+            VplError::Parse {
+                message: "expected ;".into(),
+                line: 3,
+            },
             VplError::Template("no body".into()),
             VplError::Sema("undeclared x".into()),
             VplError::Binding("missing P".into()),

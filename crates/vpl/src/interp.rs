@@ -31,7 +31,9 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_steps: 50_000_000 }
+        ExecLimits {
+            max_steps: 50_000_000,
+        }
     }
 }
 
@@ -63,9 +65,19 @@ enum Slot {
 enum RExpr {
     Num(u64),
     Slot(u32),
-    Index { base: u32, index: Box<RExpr> },
-    Unary { op: UnOp, operand: Box<RExpr> },
-    Binary { op: BinOp, lhs: Box<RExpr>, rhs: Box<RExpr> },
+    Index {
+        base: u32,
+        index: Box<RExpr>,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<RExpr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<RExpr>,
+        rhs: Box<RExpr>,
+    },
     Malloc(Box<RExpr>),
 }
 
@@ -77,12 +89,31 @@ enum RLValue {
 
 #[derive(Debug, Clone)]
 enum RStmt {
-    DeclInit { slot: u32, init: Option<RExpr> },
+    DeclInit {
+        slot: u32,
+        init: Option<RExpr>,
+    },
     Expr(RExpr),
-    Assign { target: RLValue, op: AssignOp, value: RExpr },
-    IncDec { target: RLValue, increment: bool },
-    For { init: Box<RStmt>, cond: RExpr, step: Box<RStmt>, body: Vec<RStmt> },
-    If { cond: RExpr, then: Vec<RStmt>, els: Vec<RStmt> },
+    Assign {
+        target: RLValue,
+        op: AssignOp,
+        value: RExpr,
+    },
+    IncDec {
+        target: RLValue,
+        increment: bool,
+    },
+    For {
+        init: Box<RStmt>,
+        cond: RExpr,
+        step: Box<RStmt>,
+        body: Vec<RStmt>,
+    },
+    If {
+        cond: RExpr,
+        then: Vec<RStmt>,
+        els: Vec<RStmt>,
+    },
     Block(Vec<RStmt>),
 }
 
@@ -94,7 +125,10 @@ struct Compiler {
 
 impl Compiler {
     fn new() -> Self {
-        Compiler { slots: HashMap::new(), names: Vec::new() }
+        Compiler {
+            slots: HashMap::new(),
+            names: Vec::new(),
+        }
     }
 
     fn declare(&mut self, name: &str) -> u32 {
@@ -119,15 +153,18 @@ impl Compiler {
             Expr::Num(n) => RExpr::Num(*n),
             Expr::Var(name) => RExpr::Slot(self.resolve(name)?),
             Expr::Placeholder(p) => {
-                return Err(VplError::Runtime(format!("placeholder `{p}` survived instantiation")))
+                return Err(VplError::Runtime(format!(
+                    "placeholder `{p}` survived instantiation"
+                )))
             }
             Expr::Index { base, index } => RExpr::Index {
                 base: self.resolve(base)?,
                 index: Box::new(self.compile_expr(index)?),
             },
-            Expr::Unary { op, operand } => {
-                RExpr::Unary { op: *op, operand: Box::new(self.compile_expr(operand)?) }
-            }
+            Expr::Unary { op, operand } => RExpr::Unary {
+                op: *op,
+                operand: Box::new(self.compile_expr(operand)?),
+            },
             Expr::Binary { op, lhs, rhs } => RExpr::Binary {
                 op: *op,
                 lhs: Box::new(self.compile_expr(lhs)?),
@@ -138,7 +175,9 @@ impl Compiler {
                     return Err(VplError::Runtime(format!("unknown function `{name}`")));
                 }
                 if args.len() != 1 {
-                    return Err(VplError::Runtime("malloc takes exactly one argument".into()));
+                    return Err(VplError::Runtime(
+                        "malloc takes exactly one argument".into(),
+                    ));
                 }
                 RExpr::Malloc(Box::new(self.compile_expr(&args[0])?))
             }
@@ -177,24 +216,46 @@ impl Compiler {
             Stmt::Expr(e) => RStmt::Expr(self.compile_expr(e)?),
             Stmt::Assign { target, op, value } => {
                 let value = self.compile_expr(value)?;
-                RStmt::Assign { target: self.compile_lvalue(target)?, op: *op, value }
+                RStmt::Assign {
+                    target: self.compile_lvalue(target)?,
+                    op: *op,
+                    value,
+                }
             }
-            Stmt::IncDec { target, increment } => {
-                RStmt::IncDec { target: self.compile_lvalue(target)?, increment: *increment }
-            }
-            Stmt::For { init, cond, step, body } => RStmt::For {
+            Stmt::IncDec { target, increment } => RStmt::IncDec {
+                target: self.compile_lvalue(target)?,
+                increment: *increment,
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => RStmt::For {
                 init: Box::new(self.compile_stmt(init)?),
                 cond: self.compile_expr(cond)?,
                 step: Box::new(self.compile_stmt(step)?),
-                body: body.iter().map(|s| self.compile_stmt(s)).collect::<Result<_, _>>()?,
+                body: body
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
             },
             Stmt::If { cond, then, els } => RStmt::If {
                 cond: self.compile_expr(cond)?,
-                then: then.iter().map(|s| self.compile_stmt(s)).collect::<Result<_, _>>()?,
-                els: els.iter().map(|s| self.compile_stmt(s)).collect::<Result<_, _>>()?,
+                then: then
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
+                els: els
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
             },
             Stmt::Block(stmts) => RStmt::Block(
-                stmts.iter().map(|s| self.compile_stmt(s)).collect::<Result<_, _>>()?,
+                stmts
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
             ),
         })
     }
@@ -217,7 +278,12 @@ pub struct Interpreter {
 impl Interpreter {
     /// Creates an interpreter with the given limits.
     pub fn new(limits: ExecLimits) -> Self {
-        Interpreter { limits, stats: ExecStats::default(), slots: Vec::new(), names: Vec::new() }
+        Interpreter {
+            limits,
+            stats: ExecStats::default(),
+            slots: Vec::new(),
+            names: Vec::new(),
+        }
     }
 
     /// Executes a fully-instantiated program against a memory bus.
@@ -228,17 +294,20 @@ impl Interpreter {
     /// out-of-bounds global index, leftover placeholder),
     /// [`VplError::ExecutionLimit`] when the step budget is exhausted, and
     /// [`VplError::Memory`] when the bus rejects an access.
-    pub fn run(mut self, program: &Program, bus: &mut dyn MemoryBus) -> Result<ExecStats, VplError> {
+    pub fn run(
+        mut self,
+        program: &Program,
+        bus: &mut dyn MemoryBus,
+    ) -> Result<ExecStats, VplError> {
         let mut compiler = Compiler::new();
         // Globals first: allocate in DRAM and write initial contents. Their
         // initializers may reference previously-declared globals.
         let mut global_values: Vec<(u32, Vec<u64>)> = Vec::new();
         for d in &program.globals {
             let values: Vec<u64> = match &d.init {
-                Some(Init::List(items)) => items
-                    .iter()
-                    .map(|e| const_eval(e))
-                    .collect::<Result<_, _>>()?,
+                Some(Init::List(items)) => {
+                    items.iter().map(const_eval).collect::<Result<_, _>>()?
+                }
                 Some(Init::Expr(e)) => vec![const_eval(e)?],
                 None => vec![0],
             };
@@ -251,8 +320,11 @@ impl Interpreter {
         for d in &program.locals {
             local_stmts.push(compiler.compile_local_decl(d)?);
         }
-        let body: Vec<RStmt> =
-            program.body.iter().map(|s| compiler.compile_stmt(s)).collect::<Result<_, _>>()?;
+        let body: Vec<RStmt> = program
+            .body
+            .iter()
+            .map(|s| compiler.compile_stmt(s))
+            .collect::<Result<_, _>>()?;
 
         self.names = compiler.names.clone();
         self.slots = vec![Slot::Register(0); compiler.names.len()];
@@ -281,7 +353,9 @@ impl Interpreter {
     fn step(&mut self) -> Result<(), VplError> {
         self.stats.steps += 1;
         if self.stats.steps > self.limits.max_steps {
-            Err(VplError::ExecutionLimit { steps: self.limits.max_steps })
+            Err(VplError::ExecutionLimit {
+                steps: self.limits.max_steps,
+            })
         } else {
             Ok(())
         }
@@ -323,10 +397,19 @@ impl Interpreter {
             }
             RStmt::IncDec { target, increment } => {
                 let old = self.read_lvalue(target, bus)?;
-                let new = if *increment { old.wrapping_add(1) } else { old.wrapping_sub(1) };
+                let new = if *increment {
+                    old.wrapping_add(1)
+                } else {
+                    old.wrapping_sub(1)
+                };
                 self.write_lvalue(target, new, bus)
             }
-            RStmt::For { init, cond, step, body } => {
+            RStmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.exec_stmt(init, bus)?;
                 loop {
                     self.step()?;
@@ -341,7 +424,11 @@ impl Interpreter {
                 Ok(())
             }
             RStmt::If { cond, then, els } => {
-                let branch = if self.eval(cond, bus)? != 0 { then } else { els };
+                let branch = if self.eval(cond, bus)? != 0 {
+                    then
+                } else {
+                    els
+                };
                 for s in branch {
                     self.exec_stmt(s, bus)?;
                 }
@@ -516,11 +603,17 @@ impl Interpreter {
 fn const_eval(e: &Expr) -> Result<u64, VplError> {
     match e {
         Expr::Num(n) => Ok(*n),
-        Expr::Placeholder(p) => {
-            Err(VplError::Runtime(format!("placeholder `{p}` survived instantiation")))
-        }
-        Expr::Unary { op: UnOp::Neg, operand } => Ok(const_eval(operand)?.wrapping_neg()),
-        Expr::Unary { op: UnOp::Not, operand } => Ok((const_eval(operand)? == 0) as u64),
+        Expr::Placeholder(p) => Err(VplError::Runtime(format!(
+            "placeholder `{p}` survived instantiation"
+        ))),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => Ok(const_eval(operand)?.wrapping_neg()),
+        Expr::Unary {
+            op: UnOp::Not,
+            operand,
+        } => Ok((const_eval(operand)? == 0) as u64),
         Expr::Binary { op, lhs, rhs } => {
             let l = const_eval(lhs)?;
             let r = const_eval(rhs)?;
@@ -542,7 +635,9 @@ fn const_eval(e: &Expr) -> Result<u64, VplError> {
                 }
             })
         }
-        _ => Err(VplError::Runtime("global initializers must be constant expressions".into())),
+        _ => Err(VplError::Runtime(
+            "global initializers must be constant expressions".into(),
+        )),
     }
 }
 
@@ -572,7 +667,7 @@ mod tests {
         }
 
         fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, SessionError> {
-            if addr % 8 != 0 {
+            if !addr.is_multiple_of(8) {
                 return Err(SessionError::Unaligned(addr));
             }
             self.reads += 1;
@@ -580,7 +675,7 @@ mod tests {
         }
 
         fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), SessionError> {
-            if addr % 8 != 0 {
+            if !addr.is_multiple_of(8) {
                 return Err(SessionError::Unaligned(addr));
             }
             self.writes += 1;
@@ -674,12 +769,8 @@ mod tests {
 
     #[test]
     fn global_array_bounds_are_checked() {
-        let program = parse_program(
-            "volatile unsigned long long v[] = { 1 };",
-            "",
-            "v[5] = 0;",
-        )
-        .unwrap();
+        let program =
+            parse_program("volatile unsigned long long v[] = { 1 };", "", "v[5] = 0;").unwrap();
         let err = Interpreter::new(ExecLimits::default())
             .run(&program, &mut MockBus::default())
             .unwrap_err();

@@ -23,7 +23,13 @@ use crate::token::{Keyword, Punct, Spanned, Token};
 /// # Ok::<(), dstress_vpl::VplError>(())
 /// ```
 pub fn lex(source: &str) -> Result<Vec<Spanned>, VplError> {
-    Lexer { chars: source.chars().collect(), pos: 0, line: 1, col: 1 }.run()
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
 }
 
 struct Lexer {
@@ -72,7 +78,11 @@ impl Lexer {
     }
 
     fn error(&self, message: impl Into<String>) -> VplError {
-        VplError::Lex { message: message.into(), line: self.line, col: self.col }
+        VplError::Lex {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<(), VplError> {
@@ -117,7 +127,7 @@ impl Lexer {
                 break;
             }
         }
-        match Keyword::from_str(&s) {
+        match Keyword::of_spelling(&s) {
             Some(k) => Token::Keyword(k),
             None => Token::Ident(s),
         }
@@ -279,7 +289,11 @@ mod tests {
     use super::*;
 
     fn tokens(src: &str) -> Vec<Token> {
-        lex(src).expect("lexes").into_iter().map(|s| s.token).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]
@@ -299,7 +313,10 @@ mod tests {
 
     #[test]
     fn lexes_placeholders() {
-        assert_eq!(tokens("$$$_ARRAY1_VEC_$$$"), vec![Token::Placeholder("ARRAY1_VEC".into())]);
+        assert_eq!(
+            tokens("$$$_ARRAY1_VEC_$$$"),
+            vec![Token::Placeholder("ARRAY1_VEC".into())]
+        );
         assert_eq!(tokens("$$$_P_$$$"), vec![Token::Placeholder("P".into())]);
     }
 
@@ -326,7 +343,11 @@ mod tests {
         let t = tokens("a /* comment ; */ b // trailing\n c");
         assert_eq!(
             t,
-            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Ident("c".into())]
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Ident("c".into())
+            ]
         );
     }
 
@@ -342,8 +363,14 @@ mod tests {
 
     #[test]
     fn max_u64_literal() {
-        assert_eq!(tokens("18446744073709551615"), vec![Token::Number(u64::MAX)]);
-        assert!(lex("18446744073709551616").is_err(), "overflow must be a lex error");
+        assert_eq!(
+            tokens("18446744073709551615"),
+            vec![Token::Number(u64::MAX)]
+        );
+        assert!(
+            lex("18446744073709551616").is_err(),
+            "overflow must be a lex error"
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@ pub fn parse_program(global_data: &str, local_data: &str, body: &str) -> Result<
     let globals = Parser::new(lex(global_data)?).declarations()?;
     let locals = Parser::new(lex(local_data)?).declarations()?;
     let body = Parser::new(lex(body)?).statements_until_eof()?;
-    Ok(Program { globals, locals, body })
+    Ok(Program {
+        globals,
+        locals,
+        body,
+    })
 }
 
 /// Parses a single expression (used by parameter bounds and tests).
@@ -39,7 +43,11 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Spanned>) -> Self {
-        Parser { tokens, pos: 0, pending: Vec::new() }
+        Parser {
+            tokens,
+            pos: 0,
+            pending: Vec::new(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -63,7 +71,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> VplError {
-        VplError::Parse { message: message.into(), line: self.line() }
+        VplError::Parse {
+            message: message.into(),
+            line: self.line(),
+        }
     }
 
     fn eat_punct(&mut self, p: Punct) -> bool {
@@ -116,7 +127,9 @@ impl Parser {
     fn at_declaration(&self) -> bool {
         matches!(
             self.peek(),
-            Some(Token::Keyword(Keyword::Volatile | Keyword::Unsigned | Keyword::Int))
+            Some(Token::Keyword(
+                Keyword::Volatile | Keyword::Unsigned | Keyword::Int
+            ))
         )
     }
 
@@ -138,7 +151,9 @@ impl Parser {
             other => {
                 return Err(self.error(format!(
                     "expected a type, found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         };
@@ -149,7 +164,9 @@ impl Parser {
             let more = self.one_declarator(is_pointer)?;
             self.pending.push(more);
         }
-        Ok(decls.take().expect("one_declarator always yields a declaration"))
+        Ok(decls
+            .take()
+            .expect("one_declarator always yields a declaration"))
     }
 
     fn one_declarator(&mut self, is_pointer: bool) -> Result<OptionDecl, VplError> {
@@ -158,7 +175,9 @@ impl Parser {
             other => {
                 return Err(self.error(format!(
                     "expected a variable name, found {}",
-                    other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
                 )))
             }
         };
@@ -192,7 +211,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(OptionDecl(Some(Decl { name, is_array, is_pointer, init })))
+        Ok(OptionDecl(Some(Decl {
+            name,
+            is_array,
+            is_pointer,
+            init,
+        })))
     }
 
     // ---- statements ----------------------------------------------------
@@ -275,7 +299,12 @@ impl Parser {
         } else {
             vec![self.statement()?]
         };
-        Ok(Stmt::For { init: Box::new(init), cond, step: Box::new(step), body })
+        Ok(Stmt::For {
+            init: Box::new(init),
+            cond,
+            step: Box::new(step),
+            body,
+        })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt, VplError> {
@@ -316,7 +345,12 @@ impl Parser {
                         value,
                     });
                 }
-                Some(Token::Punct(p @ (Punct::PlusAssign | Punct::MinusAssign | Punct::StarAssign | Punct::SlashAssign))) => {
+                Some(Token::Punct(
+                    p @ (Punct::PlusAssign
+                    | Punct::MinusAssign
+                    | Punct::StarAssign
+                    | Punct::SlashAssign),
+                )) => {
                     self.pos += 2;
                     let value = self.expr()?;
                     let op = match p {
@@ -325,15 +359,25 @@ impl Parser {
                         Punct::StarAssign => AssignOp::Mul,
                         _ => AssignOp::Div,
                     };
-                    return Ok(Stmt::Assign { target: LValue::Var(name), op, value });
+                    return Ok(Stmt::Assign {
+                        target: LValue::Var(name),
+                        op,
+                        value,
+                    });
                 }
                 Some(Token::Punct(Punct::PlusPlus)) => {
                     self.pos += 2;
-                    return Ok(Stmt::IncDec { target: LValue::Var(name), increment: true });
+                    return Ok(Stmt::IncDec {
+                        target: LValue::Var(name),
+                        increment: true,
+                    });
                 }
                 Some(Token::Punct(Punct::MinusMinus)) => {
                     self.pos += 2;
-                    return Ok(Stmt::IncDec { target: LValue::Var(name), increment: false });
+                    return Ok(Stmt::IncDec {
+                        target: LValue::Var(name),
+                        increment: false,
+                    });
                 }
                 Some(Token::Punct(Punct::LBracket)) => {
                     // Could be `a[i] = e` / `a[i] += e` / `a[i]++` or a bare
@@ -396,25 +440,34 @@ impl Parser {
 
     fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, VplError> {
         let mut lhs = self.unary_expr()?;
-        loop {
-            let Some(&Token::Punct(p)) = self.peek() else { break };
+        while let Some(&Token::Punct(p)) = self.peek() {
             let Some((op, prec)) = binop_of(p) else { break };
             if prec < min_prec {
                 break;
             }
             self.bump();
             let rhs = self.binary_expr(prec + 1)?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
 
     fn unary_expr(&mut self) -> Result<Expr, VplError> {
         if self.eat_punct(Punct::Minus) {
-            return Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(self.unary_expr()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(self.unary_expr()?),
+            });
         }
         if self.eat_punct(Punct::Bang) {
-            return Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(self.unary_expr()?) });
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                operand: Box::new(self.unary_expr()?),
+            });
         }
         self.postfix_expr()
     }
@@ -429,7 +482,10 @@ impl Parser {
             self.bump();
             let index = self.expr()?;
             self.expect_punct(Punct::RBracket)?;
-            e = Expr::Index { base, index: Box::new(index) };
+            e = Expr::Index {
+                base,
+                index: Box::new(index),
+            };
         }
         Ok(e)
     }
@@ -459,7 +515,10 @@ impl Parser {
             Some(Token::Punct(Punct::LParen)) => {
                 // A cast like `(unsigned long long*)(...)` is parsed and
                 // discarded — the language is untyped 64-bit underneath.
-                if matches!(self.peek(), Some(Token::Keyword(Keyword::Unsigned | Keyword::Int))) {
+                if matches!(
+                    self.peek(),
+                    Some(Token::Keyword(Keyword::Unsigned | Keyword::Int))
+                ) {
                     while self.peek() != Some(&Token::Punct(Punct::RParen)) {
                         if self.bump().is_none() {
                             return Err(self.error("unterminated cast"));
@@ -521,7 +580,11 @@ mod tests {
     fn parses_simple_expression_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -565,7 +628,10 @@ mod tests {
         assert_eq!(p.globals.len(), 2);
         assert!(p.globals[0].is_array);
         assert_eq!(p.globals[0].name, "var1");
-        assert!(matches!(p.globals[0].init, Some(Init::Expr(Expr::Placeholder(_)))));
+        assert!(matches!(
+            p.globals[0].init,
+            Some(Init::Expr(Expr::Placeholder(_)))
+        ));
     }
 
     #[test]
@@ -598,7 +664,13 @@ mod tests {
         let p = parse_program("", "int i = 0;", "for (i = 0; i < 10; i++) i = i;").unwrap();
         match &p.body[0] {
             Stmt::For { step, body, .. } => {
-                assert!(matches!(**step, Stmt::IncDec { increment: true, .. }));
+                assert!(matches!(
+                    **step,
+                    Stmt::IncDec {
+                        increment: true,
+                        ..
+                    }
+                ));
                 assert_eq!(body.len(), 1);
             }
             other => panic!("unexpected {other:?}"),
@@ -607,8 +679,7 @@ mod tests {
 
     #[test]
     fn parses_if_else() {
-        let p =
-            parse_program("", "int i = 0;", "if (i == 0) { i = 1; } else { i = 2; }").unwrap();
+        let p = parse_program("", "int i = 0;", "if (i == 0) { i = 1; } else { i = 2; }").unwrap();
         match &p.body[0] {
             Stmt::If { then, els, .. } => {
                 assert_eq!(then.len(), 1);
@@ -621,12 +692,28 @@ mod tests {
     #[test]
     fn parses_array_element_assignment() {
         let p = parse_program("", "", "a[3] = 7; a[4] += 1; a[5]++;").unwrap();
-        assert!(matches!(&p.body[0], Stmt::Assign { target: LValue::Index { .. }, .. }));
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
+        ));
         assert!(matches!(
             &p.body[1],
-            Stmt::Assign { op: AssignOp::Add, target: LValue::Index { .. }, .. }
+            Stmt::Assign {
+                op: AssignOp::Add,
+                target: LValue::Index { .. },
+                ..
+            }
         ));
-        assert!(matches!(&p.body[2], Stmt::IncDec { increment: true, .. }));
+        assert!(matches!(
+            &p.body[2],
+            Stmt::IncDec {
+                increment: true,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -40,7 +40,11 @@ fn indent(depth: usize) -> String {
 
 fn render_decl(d: &Decl, global: bool) -> String {
     let qualifier = if global { "volatile " } else { "" };
-    let ty = if d.is_pointer { "unsigned long long*" } else { "unsigned long long" };
+    let ty = if d.is_pointer {
+        "unsigned long long*"
+    } else {
+        "unsigned long long"
+    };
     let array = if d.is_array { "[]" } else { "" };
     match &d.init {
         None => format!("{qualifier}{ty} {}{array};", d.name),
@@ -48,16 +52,17 @@ fn render_decl(d: &Decl, global: bool) -> String {
             format!("{qualifier}{ty} {}{array} = {};", d.name, render_expr(e))
         }
         Some(Init::List(items)) => {
-            let rendered: Vec<String> = if items.len() > 8 {
-                items[..8]
-                    .iter()
-                    .map(render_expr)
-                    .chain(std::iter::once(format!("/* … {} more */", items.len() - 8)))
-                    .collect()
-            } else {
-                items.iter().map(render_expr).collect()
-            };
-            format!("{qualifier}{ty} {}[] = {{ {} }};", d.name, rendered.join(", "))
+            // Render every element: eliding long lists behind a `/* … */`
+            // comment broke the render→reparse round-trip (the lexer skips
+            // comments, so reparsing silently dropped elements past the
+            // elision point). Rendered programs are audit artifacts and
+            // must reconstruct the exact AST.
+            let rendered: Vec<String> = items.iter().map(render_expr).collect();
+            format!(
+                "{qualifier}{ty} {}[] = {{ {} }};",
+                d.name,
+                rendered.join(", ")
+            )
         }
     }
 }
@@ -76,12 +81,25 @@ pub fn render_stmt(s: &Stmt, depth: usize) -> String {
                 AssignOp::Mul => "*=",
                 AssignOp::Div => "/=",
             };
-            format!("{pad}{} {op_str} {};\n", render_lvalue(target), render_expr(value))
+            format!(
+                "{pad}{} {op_str} {};\n",
+                render_lvalue(target),
+                render_expr(value)
+            )
         }
         Stmt::IncDec { target, increment } => {
-            format!("{pad}{}{};\n", render_lvalue(target), if *increment { "++" } else { "--" })
+            format!(
+                "{pad}{}{};\n",
+                render_lvalue(target),
+                if *increment { "++" } else { "--" }
+            )
         }
-        Stmt::For { init, cond, step, body } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let init_str = render_stmt(init, 0);
             let step_str = render_stmt(step, 0);
             let mut out = format!(
@@ -214,13 +232,29 @@ mod tests {
     }
 
     #[test]
-    fn renders_globals_with_long_arrays_elided() {
+    fn long_global_arrays_roundtrip_without_elision() {
         let items: Vec<String> = (0..20).map(|i| i.to_string()).collect();
-        let src = format!("volatile unsigned long long v[] = {{ {} }};", items.join(", "));
+        let src = format!(
+            "volatile unsigned long long v[] = {{ {} }};",
+            items.join(", ")
+        );
         let program = parse_program(&src, "", "").unwrap();
         let out = render_program(&program);
-        assert!(out.contains("… 12 more"));
+        assert!(
+            !out.contains("more */"),
+            "long lists must not be elided: {out}"
+        );
         assert!(out.starts_with("/* global_data */"));
+        let globals: String = out
+            .lines()
+            .filter(|l| !l.starts_with("/*"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_program(&globals, "", "").unwrap();
+        assert_eq!(
+            reparsed.globals, program.globals,
+            "all 20 elements must survive"
+        );
     }
 
     #[test]
@@ -254,7 +288,10 @@ mod tests {
 
     #[test]
     fn big_numbers_render_hex() {
-        assert_eq!(render_expr(&Expr::Num(0x3333_3333_3333_3333)), "0x3333333333333333");
+        assert_eq!(
+            render_expr(&Expr::Num(0x3333_3333_3333_3333)),
+            "0x3333333333333333"
+        );
         assert_eq!(render_expr(&Expr::Num(42)), "42");
     }
 }

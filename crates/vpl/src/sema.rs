@@ -48,7 +48,10 @@ struct Checker {
 impl Checker {
     fn declare(&mut self, d: &Decl) -> Result<(), VplError> {
         if !self.declared.insert(d.name.clone()) {
-            return Err(VplError::Sema(format!("variable `{}` declared twice", d.name)));
+            return Err(VplError::Sema(format!(
+                "variable `{}` declared twice",
+                d.name
+            )));
         }
         Ok(())
     }
@@ -76,7 +79,12 @@ impl Checker {
                 self.check_expr(value)
             }
             Stmt::IncDec { target, .. } => self.check_lvalue(target),
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.check_stmt(init)?;
                 self.check_expr(cond)?;
                 self.check_stmt(step)?;
@@ -201,7 +209,11 @@ mod tests {
         let program = parse_program("", "int i = 0;", "i = $$$_A_$$$;").unwrap();
         let params = vec![ParamDecl {
             name: "A".into(),
-            shape: ParamShape::Array { len: 2, lo: 0, hi: 1 },
+            shape: ParamShape::Array {
+                len: 2,
+                lo: 0,
+                hi: 1,
+            },
         }];
         let err = check_program(&program, &params).unwrap_err();
         assert!(err.to_string().contains("array parameter"));
@@ -217,7 +229,11 @@ mod tests {
         .unwrap();
         let params = vec![ParamDecl {
             name: "A".into(),
-            shape: ParamShape::Array { len: 2, lo: 0, hi: 1 },
+            shape: ParamShape::Array {
+                len: 2,
+                lo: 0,
+                hi: 1,
+            },
         }];
         check_program(&program, &params).unwrap();
     }

@@ -113,7 +113,9 @@ impl Template {
             }
         }
         if !sections.contains_key("body") {
-            return Err(VplError::Template("template has no `->body` section".into()));
+            return Err(VplError::Template(
+                "template has no `->body` section".into(),
+            ));
         }
         Ok(Template {
             parameters: sections.remove("parameters").unwrap_or_default(),
@@ -170,10 +172,7 @@ impl ProcessedTemplate {
     ///
     /// Returns [`VplError::Binding`] for missing bindings, shape mismatches
     /// or out-of-domain values.
-    pub fn instantiate(
-        &self,
-        bindings: &HashMap<String, BoundValue>,
-    ) -> Result<Program, VplError> {
+    pub fn instantiate(&self, bindings: &HashMap<String, BoundValue>) -> Result<Program, VplError> {
         for p in &self.params {
             let bound = bindings
                 .get(&p.name)
@@ -222,7 +221,10 @@ fn substitute_program(
     program: &mut Program,
     bindings: &HashMap<String, BoundValue>,
 ) -> Result<(), VplError> {
-    fn subst_init(init: &mut Option<Init>, b: &HashMap<String, BoundValue>) -> Result<(), VplError> {
+    fn subst_init(
+        init: &mut Option<Init>,
+        b: &HashMap<String, BoundValue>,
+    ) -> Result<(), VplError> {
         if let Some(Init::Expr(Expr::Placeholder(name))) = init {
             match b.get(name) {
                 Some(BoundValue::Array(vs)) => {
@@ -234,7 +236,9 @@ fn substitute_program(
                     return Ok(());
                 }
                 None => {
-                    return Err(VplError::Binding(format!("placeholder `{name}` is not bound")))
+                    return Err(VplError::Binding(format!(
+                        "placeholder `{name}` is not bound"
+                    )))
                 }
             }
         }
@@ -254,7 +258,9 @@ fn substitute_program(
                 Some(BoundValue::Array(_)) => Err(VplError::Binding(format!(
                     "array placeholder `{name}` used as a scalar expression"
                 ))),
-                None => Err(VplError::Binding(format!("placeholder `{name}` is not bound"))),
+                None => Err(VplError::Binding(format!(
+                    "placeholder `{name}` is not bound"
+                ))),
             },
             Expr::Index { index, .. } => subst_expr(index, b),
             Expr::Unary { operand, .. } => subst_expr(operand, b),
@@ -286,7 +292,12 @@ fn substitute_program(
                 }
                 Ok(())
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 subst_stmt(init, b)?;
                 subst_expr(cond, b)?;
                 subst_stmt(step, b)?;
@@ -303,7 +314,10 @@ fn substitute_program(
     for d in program.globals.iter_mut().chain(program.locals.iter_mut()) {
         subst_init(&mut d.init, bindings)?;
     }
-    program.body.iter_mut().try_for_each(|s| subst_stmt(s, bindings))
+    program
+        .body
+        .iter_mut()
+        .try_for_each(|s| subst_stmt(s, bindings))
 }
 
 /// Parses the `->parameters` section.
@@ -328,10 +342,15 @@ fn parse_params(
         }
         let groups = parse_bracket_groups(rest, constants)?;
         let shape = match groups.as_slice() {
-            [one] if one.len() == 2 => ParamShape::Scalar { lo: one[0], hi: one[1] },
-            [n, range] if n.len() == 1 && range.len() == 2 => {
-                ParamShape::Array { len: n[0], lo: range[0], hi: range[1] }
-            }
+            [one] if one.len() == 2 => ParamShape::Scalar {
+                lo: one[0],
+                hi: one[1],
+            },
+            [n, range] if n.len() == 1 && range.len() == 2 => ParamShape::Array {
+                len: n[0],
+                lo: range[0],
+                hi: range[1],
+            },
             _ => {
                 return Err(VplError::Template(format!(
                     "parameter `{name}` needs `[LO,HI]` or `[N][LO,HI]`"
@@ -347,7 +366,9 @@ fn parse_params(
             )));
         }
         if let ParamShape::Array { len: 0, .. } = shape {
-            return Err(VplError::Template(format!("parameter `{name}` has zero length")));
+            return Err(VplError::Template(format!(
+                "parameter `{name}` has zero length"
+            )));
         }
         out.push(ParamDecl { name, shape });
     }
@@ -386,7 +407,10 @@ fn parse_bracket_groups(
         let mut values = Vec::new();
         for part in inner.split(',') {
             let token = part.trim();
-            let value = if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+            let value = if let Some(hex) = token
+                .strip_prefix("0x")
+                .or_else(|| token.strip_prefix("0X"))
+            {
                 u64::from_str_radix(hex, 16)
                     .map_err(|e| VplError::Template(format!("bad constant `{token}`: {e}")))?
             } else if token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
@@ -429,9 +453,13 @@ for (i = 0; i < 4; i += 1) {
 "#;
 
     fn constants() -> HashMap<String, u64> {
-        [("N1".to_string(), 4u64), ("DB1".to_string(), 0), ("UP1".to_string(), u64::MAX)]
-            .into_iter()
-            .collect()
+        [
+            ("N1".to_string(), 4u64),
+            ("DB1".to_string(), 0),
+            ("UP1".to_string(), u64::MAX),
+        ]
+        .into_iter()
+        .collect()
     }
 
     #[test]
@@ -452,8 +480,14 @@ for (i = 0; i < 4; i += 1) {
             Template::parse("->body\n->body\n"),
             Err(VplError::Template(_))
         ));
-        assert!(matches!(Template::parse("->parameters\n"), Err(VplError::Template(_))));
-        assert!(matches!(Template::parse("stray\n->body\n"), Err(VplError::Template(_))));
+        assert!(matches!(
+            Template::parse("->parameters\n"),
+            Err(VplError::Template(_))
+        ));
+        assert!(matches!(
+            Template::parse("stray\n->body\n"),
+            Err(VplError::Template(_))
+        ));
     }
 
     #[test]
@@ -462,7 +496,14 @@ for (i = 0; i < 4; i += 1) {
         let p = t.process(&constants()).unwrap();
         assert_eq!(p.params().len(), 2);
         assert_eq!(p.params()[0].name, "ARRAY1_VEC");
-        assert_eq!(p.params()[0].shape, ParamShape::Array { len: 4, lo: 0, hi: u64::MAX });
+        assert_eq!(
+            p.params()[0].shape,
+            ParamShape::Array {
+                len: 4,
+                lo: 0,
+                hi: u64::MAX
+            }
+        );
         assert_eq!(p.params()[1].shape, ParamShape::Scalar { lo: 0, hi: 255 });
         assert_eq!(p.params()[0].arity(), 4);
     }
@@ -478,14 +519,20 @@ for (i = 0; i < 4; i += 1) {
     #[test]
     fn duplicate_parameter_is_an_error() {
         let src = "->parameters\n$$$_P_$$$ [0,1]\n$$$_P_$$$ [0,1]\n->body\ni = $$$_P_$$$;";
-        let err = Template::parse(src).unwrap().process(&HashMap::new()).unwrap_err();
+        let err = Template::parse(src)
+            .unwrap()
+            .process(&HashMap::new())
+            .unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 
     #[test]
     fn empty_domain_is_an_error() {
         let src = "->parameters\n$$$_P_$$$ [5,2]\n->body\ni = $$$_P_$$$;";
-        assert!(Template::parse(src).unwrap().process(&HashMap::new()).is_err());
+        assert!(Template::parse(src)
+            .unwrap()
+            .process(&HashMap::new())
+            .is_err());
     }
 
     #[test]
@@ -543,8 +590,12 @@ for (i = 0; i < 4; i += 1) {
 
     #[test]
     fn hex_bounds_are_parsed() {
-        let src = "->parameters\n$$$_P_$$$ [0x10,0xFF]\n->local_data\nint i = 0;\n->body\ni = $$$_P_$$$;";
-        let p = Template::parse(src).unwrap().process(&HashMap::new()).unwrap();
+        let src =
+            "->parameters\n$$$_P_$$$ [0x10,0xFF]\n->local_data\nint i = 0;\n->body\ni = $$$_P_$$$;";
+        let p = Template::parse(src)
+            .unwrap()
+            .process(&HashMap::new())
+            .unwrap();
         assert_eq!(p.params()[0].shape, ParamShape::Scalar { lo: 16, hi: 255 });
     }
 }

@@ -39,7 +39,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks up a keyword by spelling.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn of_spelling(s: &str) -> Option<Keyword> {
         Some(match s {
             "volatile" => Keyword::Volatile,
             "unsigned" => Keyword::Unsigned,
@@ -122,13 +122,15 @@ mod tests {
 
     #[test]
     fn keyword_lookup() {
-        assert_eq!(Keyword::from_str("for"), Some(Keyword::For));
-        assert_eq!(Keyword::from_str("while"), None);
+        assert_eq!(Keyword::of_spelling("for"), Some(Keyword::For));
+        assert_eq!(Keyword::of_spelling("while"), None);
     }
 
     #[test]
     fn token_display_is_informative() {
         assert!(Token::Ident("x".into()).to_string().contains('x'));
-        assert!(Token::Placeholder("P".into()).to_string().contains("$$$_P_$$$"));
+        assert!(Token::Placeholder("P".into())
+            .to_string()
+            .contains("$$$_P_$$$"));
     }
 }

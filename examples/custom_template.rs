@@ -90,7 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nsearching the two-word pattern space at 60 °C ...");
     let mut engine = GaEngine::new(scale.ga, 11);
-    let mut fitness = TwoWordFitness { evaluator: &mut evaluator };
+    let mut fitness = TwoWordFitness {
+        evaluator: &mut evaluator,
+    };
     let result = engine.run(|rng| BitGenome::random(rng, 128), &mut fitness);
     let words = result.best.to_words();
     println!(
@@ -103,6 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bindings.insert("EVEN".into(), BoundValue::Scalar(words[0]));
     bindings.insert("ODD".into(), BoundValue::Scalar(words[1]));
     let program = processed.instantiate(&bindings)?;
-    println!("\nthe synthesized virus:\n{}", pretty::render_program(&program));
+    println!(
+        "\nthe synthesized virus:\n{}",
+        pretty::render_program(&program)
+    );
     Ok(())
 }

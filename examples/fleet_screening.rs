@@ -24,7 +24,11 @@ fn main() -> Result<(), dstress::DStressError> {
 
     println!("screening {fleet_size} servers at {screen_temp} °C under relaxed parameters ...\n");
     let mut table = TextTable::new(vec![
-        "server", "MSCAN CEs", "virus CEs", "virus UE?", "verdict",
+        "server",
+        "MSCAN CEs",
+        "virus CEs",
+        "virus UE?",
+        "verdict",
     ]);
 
     let mut flagged_by_virus_only = 0;
@@ -35,13 +39,14 @@ fn main() -> Result<(), dstress::DStressError> {
             *seed = 0xF1EE7 + server_id * 16 + slot as u64;
         }
         // Manufacturing spread across the fleet.
-        scale.server.density_multipliers =
-            [0.4, 0.8, 0.5 + 0.45 * server_id as f64, 0.2];
+        scale.server.density_multipliers = [0.4, 0.8, 0.5 + 0.45 * server_id as f64, 0.2];
         let dstress = DStress::new(scale, server_id);
 
         // (a) classic MSCAN screen.
         let mscan = dstress.measure(
-            &EnvKind::CycleFill { cycle: Baseline::All0s.cycle() },
+            &EnvKind::CycleFill {
+                cycle: Baseline::All0s.cycle(),
+            },
             Default::default(),
             screen_temp,
             Metric::CeAverage,
@@ -66,7 +71,11 @@ fn main() -> Result<(), dstress::DStressError> {
             format!("server-{server_id}"),
             format!("{:.0}", mscan.fitness),
             format!("{:.0}", virus.fitness),
-            if virus.ue_runs > 0 { "yes".into() } else { "no".into() },
+            if virus.ue_runs > 0 {
+                "yes".into()
+            } else {
+                "no".into()
+            },
             match (mscan_flags, virus_flags) {
                 (_, false) => "ok".into(),
                 (true, true) => "flagged (both)".into(),

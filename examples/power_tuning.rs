@@ -25,7 +25,11 @@ fn main() -> Result<(), dstress::DStressError> {
 
     println!("sweeping refresh periods with the worst-case virus ...\n");
     let mut table = TextTable::new(vec![
-        "temp", "criterion", "marginal TREFP", "DRAM savings", "system savings",
+        "temp",
+        "criterion",
+        "marginal TREFP",
+        "DRAM savings",
+        "system savings",
     ]);
     for temp in [50.0, 60.0, 70.0] {
         for criterion in [SafetyCriterion::NoErrors, SafetyCriterion::NoUncorrectable] {

@@ -28,7 +28,10 @@ fn main() -> Result<(), dstress::DStressError> {
     println!();
     println!("best pattern : {:#018x}", word);
     println!("bit string   : {} ...", pattern_prefix(&[word], 32));
-    println!("fitness      : {:.1} CEs per run", campaign.result.best_fitness);
+    println!(
+        "fitness      : {:.1} CEs per run",
+        campaign.result.best_fitness
+    );
     println!(
         "search       : {} generations, leaderboard SMF {:.2}, converged: {}",
         campaign.result.generations, campaign.result.similarity, campaign.result.converged

@@ -16,7 +16,7 @@
 //! cargo run --release --example rowhammer_exploration
 //! ```
 
-use dstress::{DStress, ExperimentScale, Metric, EnvKind, WORST_WORD};
+use dstress::{DStress, EnvKind, ExperimentScale, Metric, WORST_WORD};
 use dstress_vpl::BoundValue;
 
 fn main() -> Result<(), dstress::DStressError> {
@@ -36,7 +36,10 @@ fn main() -> Result<(), dstress::DStressError> {
         temp,
         Metric::CeInRows(victims.clone()),
     )?;
-    println!("  data-only victim-row errors: {:.1} CEs/run", baseline.fitness);
+    println!(
+        "  data-only victim-row errors: {:.1} CEs/run",
+        baseline.fitness
+    );
 
     println!("\nphase 3: GA search over neighbour-row access patterns ...");
     let campaign = dstress.search_row_access(temp, victims.clone(), WORST_WORD)?;
@@ -49,7 +52,11 @@ fn main() -> Result<(), dstress::DStressError> {
         "  search similarity {:.2} — {} (saturating disturbance leaves many equally strong \
          aggressor subsets; paper Fig. 11)",
         campaign.result.similarity,
-        if campaign.result.converged { "converged" } else { "did not converge" }
+        if campaign.result.converged {
+            "converged"
+        } else {
+            "did not converge"
+        }
     );
 
     println!("\naggressor rows used by the strongest discovered virus:");

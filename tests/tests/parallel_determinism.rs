@@ -1,0 +1,75 @@
+//! Cross-crate determinism of parallel GA evaluation: a full campaign must
+//! produce bit-identical results for any evaluation worker count, because
+//! every fitness evaluation is a pure function of the chromosome (the VRT
+//! nonce is chromosome-derived) and the engine's RNG stream never leaves
+//! the single-threaded generation loop.
+
+use dstress::{DStress, EnvKind, ExperimentScale, Metric};
+use dstress_ga::{BitGenome, Fitness, GaConfig, GaEngine, ParallelFitness};
+
+/// Runs the word64 CE campaign with the given worker count.
+fn word64_campaign(workers: usize) -> dstress::search::BitCampaign {
+    let mut dstress = DStress::new(ExperimentScale::quick(), 77);
+    dstress.set_workers(workers);
+    dstress
+        .search_word64(60.0, Metric::CeAverage, false)
+        .expect("campaign runs")
+}
+
+#[test]
+fn campaign_is_bit_identical_across_worker_counts() {
+    let serial = word64_campaign(1);
+    let parallel = word64_campaign(3);
+    // Identical leaderboards: same chromosomes, same error counts, same
+    // order — the ISSUE's acceptance criterion.
+    assert_eq!(serial.result.leaderboard, parallel.result.leaderboard);
+    assert_eq!(serial.result.best, parallel.result.best);
+    assert_eq!(serial.result.best_fitness, parallel.result.best_fitness);
+    assert_eq!(serial.result.generations, parallel.result.generations);
+    assert_eq!(serial.result.converged, parallel.result.converged);
+    assert_eq!(serial.result.similarity, parallel.result.similarity);
+    assert_eq!(serial.result.history, parallel.result.history);
+    assert_eq!(serial.failed_evaluations, parallel.failed_evaluations);
+    // The substrate work is identical too: the evaluation cache makes both
+    // paths run each distinct chromosome exactly once.
+    assert_eq!(
+        serial.result.eval_stats.evaluations,
+        parallel.result.eval_stats.evaluations
+    );
+    assert_eq!(
+        serial.result.eval_stats.cache_hits,
+        parallel.result.eval_stats.cache_hits
+    );
+    assert_eq!(serial.result.eval_stats.workers, 1);
+    assert_eq!(parallel.result.eval_stats.workers, 3);
+}
+
+#[test]
+fn parallel_engine_matches_owned_evaluator_scores() {
+    // Engine-level check against the real DStress substrate (not a toy
+    // fitness): the scores the parallel search records for its best
+    // chromosome must equal a from-scratch evaluation of that chromosome.
+    let dstress = DStress::new(ExperimentScale::quick(), 5);
+    let make_fitness = || dstress::ParallelBitFitness {
+        evaluator: dstress
+            .evaluator(&EnvKind::Word64, 60.0, Metric::CeAverage)
+            .expect("evaluator builds"),
+        codec: dstress::patterns::BitCodec::Word64 {
+            param: "PATTERN".into(),
+        },
+    };
+    let mut config = GaConfig::paper_defaults();
+    config.max_generations = 4;
+    let mut engine = GaEngine::new(config, 13);
+    let mut fitness = make_fitness();
+    let result = engine.run_parallel(2, |rng| BitGenome::random(rng, 64), &mut fitness);
+    let mut fresh = make_fitness();
+    let recomputed = fresh.evaluate(&result.best);
+    assert_eq!(
+        recomputed, result.best_fitness,
+        "recorded best fitness must be reproducible from the chromosome alone"
+    );
+    // Replicas of the fresh fitness agree as well.
+    let mut replica = fresh.replicate();
+    assert_eq!(replica.evaluate(&result.best), recomputed);
+}

@@ -26,7 +26,10 @@ fn ce_counts_grow_monotonically_with_temperature_below_ue_onset() {
             "CEs dropped from {previous} to {} at {temp} C",
             outcome.fitness
         );
-        assert_eq!(outcome.ue_runs, 0, "no UEs below 62 C (got some at {temp} C)");
+        assert_eq!(
+            outcome.ue_runs, 0,
+            "no UEs below 62 C (got some at {temp} C)"
+        );
         previous = outcome.fitness;
     }
     assert!(previous > 0.0);
@@ -40,7 +43,10 @@ fn ue_onset_is_at_62_degrees() {
     assert_eq!(at_60.total_ue, 0, "no UEs at 60 C");
     let at_62 = measure_word(&dstress, WORST_WORD, 62.0);
     assert!(at_62.total_ue > 0, "UEs must appear at 62 C");
-    assert!(at_62.ue_runs > 0, "UEs stop virus runs (paper: OS kills the virus)");
+    assert!(
+        at_62.ue_runs > 0,
+        "UEs stop virus runs (paper: OS kills the virus)"
+    );
 }
 
 #[test]
@@ -54,7 +60,9 @@ fn worst_word_beats_every_classic_micro_benchmark() {
     for baseline in Baseline::all(7) {
         let outcome = dstress
             .measure(
-                &EnvKind::CycleFill { cycle: baseline.cycle() },
+                &EnvKind::CycleFill {
+                    cycle: baseline.cycle(),
+                },
                 Default::default(),
                 60.0,
                 Metric::CeAverage,
@@ -110,7 +118,10 @@ fn access_virus_beats_data_virus_on_victim_rows() {
         .expect("data measurement");
     let hammer_all = dstress
         .measure(
-            &EnvKind::RowAccess { victims, fill: WORST_WORD },
+            &EnvKind::RowAccess {
+                victims,
+                fill: WORST_WORD,
+            },
             [("SEL".to_string(), BoundValue::Array(vec![1u64; 64]))].into(),
             60.0,
             metric,
@@ -144,7 +155,11 @@ fn no_errors_at_nominal_operating_parameters() {
     let outcome = evaluator
         .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into())
         .expect("evaluation");
-    assert_eq!(outcome.total_ce + outcome.total_ue, 0, "nominal parameters must be safe");
+    assert_eq!(
+        outcome.total_ce + outcome.total_ue,
+        0,
+        "nominal parameters must be safe"
+    );
 }
 
 #[test]
@@ -162,8 +177,16 @@ fn dimm_to_dimm_variation_is_visible() {
         .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into())
         .expect("evaluation");
     let counters = evaluator.server().counters();
-    let dimm2: u64 = counters.iter().filter(|d| d.mcu == 2).map(|d| d.counts.ce).sum();
-    let dimm3: u64 = counters.iter().filter(|d| d.mcu == 3).map(|d| d.counts.ce).sum();
+    let dimm2: u64 = counters
+        .iter()
+        .filter(|d| d.mcu == 2)
+        .map(|d| d.counts.ce)
+        .sum();
+    let dimm3: u64 = counters
+        .iter()
+        .filter(|d| d.mcu == 3)
+        .map(|d| d.counts.ce)
+        .sum();
     assert!(
         dimm2 > 5 * dimm3.max(1),
         "DIMM2 ({dimm2}) must err far more than the sparse DIMM3 ({dimm3})"

@@ -53,8 +53,13 @@ for (i = 0; i < N1; i += 1) {
     .collect();
     // N1 also appears in the body as an identifier-like constant: bind it
     // as an environment scalar at instantiation.
-    let src = src.replace("N1 * 8", "$$$_N1_$$$ * 8").replace("i < N1", "i < $$$_N1_$$$");
-    let processed = Template::parse(&src).expect("parses").process(&constants).expect("processes");
+    let src = src
+        .replace("N1 * 8", "$$$_N1_$$$ * 8")
+        .replace("i < N1", "i < $$$_N1_$$$");
+    let processed = Template::parse(&src)
+        .expect("parses")
+        .process(&constants)
+        .expect("processes");
     assert_eq!(processed.params().len(), 2);
     let mut bindings: HashMap<String, BoundValue> = HashMap::new();
     bindings.insert("ARRAY1_VEC".into(), BoundValue::Array((0..8).collect()));
@@ -97,18 +102,25 @@ fn allocation_layout_matches_environment_prediction() {
     let dstress = DStress::new(scale, 3);
     let mut server = dstress.server_at(50.0);
     let victims = vec![dstress_dram::geometry::RowKey::new(0, 4, 13)];
-    let env = EnvKind::RowTriple { victims: victims.clone() };
+    let env = EnvKind::RowTriple {
+        victims: victims.clone(),
+    };
     let template =
         dstress::templates::process(dstress::templates::ROW_TRIPLE, &scale).expect("processes");
     let row_words = scale.row_words() as usize;
     let mut bindings = env.bindings(&scale).expect("env binds");
     let marker = 0xDEAD_BEEF_0000_0001u64;
     bindings.insert("PREV_PATTERN".into(), BoundValue::Array(vec![1; row_words]));
-    bindings.insert("VICTIM_PATTERN".into(), BoundValue::Array(vec![marker; row_words]));
+    bindings.insert(
+        "VICTIM_PATTERN".into(),
+        BoundValue::Array(vec![marker; row_words]),
+    );
     bindings.insert("NEXT_PATTERN".into(), BoundValue::Array(vec![2; row_words]));
     let program = template.instantiate(&bindings).expect("instantiates");
     let mut session = server.session(2);
-    Interpreter::new(ExecLimits::default()).run(&program, &mut session).expect("executes");
+    Interpreter::new(ExecLimits::default())
+        .run(&program, &mut session)
+        .expect("executes");
     drop(session);
     // The marker must sit exactly in the victim row on the DIMM.
     let loc = dstress_dram::Location::new(0, 4, 13, 7);
@@ -122,8 +134,9 @@ fn allocation_layout_matches_environment_prediction() {
 #[test]
 fn quick_campaign_beats_baselines_and_records_database() {
     let mut dstress = DStress::new(tiny(), 5);
-    let campaign =
-        dstress.search_word64(60.0, Metric::CeAverage, false).expect("campaign runs");
+    let campaign = dstress
+        .search_word64(60.0, Metric::CeAverage, false)
+        .expect("campaign runs");
     // The database holds the leaderboard.
     let best = dstress.db.best(&campaign.name).expect("db recorded");
     assert_eq!(best.genes, campaign.result.best.to_words());
@@ -152,18 +165,24 @@ fn quick_campaign_beats_baselines_and_records_database() {
 fn campaigns_are_deterministic_per_seed() {
     let run = |seed| {
         let mut dstress = DStress::new(tiny(), seed);
-        let campaign =
-            dstress.search_word64(60.0, Metric::CeAverage, false).expect("campaign runs");
+        let campaign = dstress
+            .search_word64(60.0, Metric::CeAverage, false)
+            .expect("campaign runs");
         (campaign.result.best.to_words(), campaign.result.generations)
     };
-    assert_eq!(run(9), run(9), "same seed must reproduce the campaign exactly");
+    assert_eq!(
+        run(9),
+        run(9),
+        "same seed must reproduce the campaign exactly"
+    );
 }
 
 #[test]
 fn virus_database_roundtrips_through_disk() {
     let mut dstress = DStress::new(tiny(), 11);
-    let campaign =
-        dstress.search_word64(60.0, Metric::CeAverage, false).expect("campaign runs");
+    let campaign = dstress
+        .search_word64(60.0, Metric::CeAverage, false)
+        .expect("campaign runs");
     let dir = std::env::temp_dir().join("dstress-integration");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("db.json");

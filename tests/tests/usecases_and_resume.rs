@@ -36,7 +36,10 @@ fn margins_shrink_with_temperature() {
         assert!(margin.marginal_trefp_s >= NOMINAL_TREFP_S);
         previous = margin.marginal_trefp_s;
     }
-    assert!(previous < MAX_TREFP_S, "70 C cannot sustain the platform maximum");
+    assert!(
+        previous < MAX_TREFP_S,
+        "70 C cannot sustain the platform maximum"
+    );
 }
 
 #[test]
@@ -98,7 +101,8 @@ fn margin_validation_under_benign_workloads() {
             .map(|d| d.counts.visible())
             .sum();
         assert_eq!(
-            stressed, 0,
+            stressed,
+            0,
             "{} erred at the virus-validated margin {} s",
             workload.name(),
             margin.marginal_trefp_s

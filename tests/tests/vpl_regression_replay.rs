@@ -1,0 +1,165 @@
+//! Deterministic replays of persisted VPL round-trip regressions.
+//!
+//! `proptest-regressions/tests/vpl_roundtrip.txt` records the shrunk
+//! failure cases the property suite has found. Property runners replay
+//! those seeds, but seed→value mappings are runner-specific; these tests
+//! reconstruct the recorded ASTs literally so the exact historical cases
+//! are re-checked on every CI run, with any runner.
+
+use dstress_vpl::ast::{AssignOp, Decl, Expr, Init, LValue, Program, Stmt, UnOp};
+use dstress_vpl::parser::parse_program;
+use dstress_vpl::pretty::render_program;
+
+/// Splits rendered source into (globals, locals, body), dropping the
+/// printer's `/* section */` comment lines.
+fn split_rendered(rendered: &str) -> (String, String, String) {
+    let mut sections = vec![String::new()];
+    for line in rendered.lines() {
+        if line.starts_with("/*") {
+            sections.push(String::new());
+            continue;
+        }
+        let current = sections.last_mut().expect("at least one section");
+        current.push_str(line);
+        current.push('\n');
+    }
+    let mut iter = sections.into_iter().skip(1);
+    (
+        iter.next().unwrap_or_default(),
+        iter.next().unwrap_or_default(),
+        iter.next().unwrap_or_default(),
+    )
+}
+
+fn assert_roundtrips(program: &Program) {
+    let rendered = render_program(program);
+    let (globals, locals, body) = split_rendered(&rendered);
+    let reparsed = parse_program(&globals, &locals, &body)
+        .unwrap_or_else(|e| panic!("rendered program must reparse:\n{rendered}\n{e:?}"));
+    assert_eq!(reparsed.body, program.body, "body changed:\n{rendered}");
+    assert_eq!(
+        reparsed.locals, program.locals,
+        "locals changed:\n{rendered}"
+    );
+    assert_eq!(
+        reparsed.globals, program.globals,
+        "globals changed:\n{rendered}"
+    );
+}
+
+fn array_decl(name: &str, init: Vec<Expr>) -> Decl {
+    Decl {
+        name: name.into(),
+        is_array: true,
+        is_pointer: false,
+        init: Some(Init::List(init)),
+    }
+}
+
+fn scalar_decl(name: &str) -> Decl {
+    Decl {
+        name: name.into(),
+        is_array: false,
+        is_pointer: false,
+        init: Some(Init::Expr(Expr::Num(0))),
+    }
+}
+
+fn standard_frame(body: Vec<Stmt>) -> Program {
+    Program {
+        globals: ["table", "buffer"]
+            .iter()
+            .map(|n| array_decl(n, vec![Expr::Num(1), Expr::Num(2), Expr::Num(3)]))
+            .collect(),
+        locals: ["alpha", "beta", "gamma", "delta"]
+            .iter()
+            .map(|n| scalar_decl(n))
+            .collect(),
+        body,
+    }
+}
+
+/// The shrunk case persisted as `cc eb7a7f60…`: a doubly-negated literal
+/// must render as `-(-(0))`, never `--0` (which lexes as a decrement).
+#[test]
+fn persisted_nested_negation_case_roundtrips() {
+    let program = standard_frame(vec![Stmt::If {
+        cond: Expr::Num(0),
+        then: vec![Stmt::Assign {
+            target: LValue::Var("alpha".into()),
+            op: AssignOp::Set,
+            value: Expr::Unary {
+                op: UnOp::Neg,
+                operand: Box::new(Expr::Unary {
+                    op: UnOp::Neg,
+                    operand: Box::new(Expr::Num(0)),
+                }),
+            },
+        }],
+        els: vec![],
+    }]);
+    assert_roundtrips(&program);
+}
+
+/// Deeper unary chains (both operators, mixed) must also round-trip.
+#[test]
+fn deep_mixed_unary_chains_roundtrip() {
+    let mut value = Expr::Var("beta".into());
+    for i in 0..6 {
+        let op = if i % 2 == 0 { UnOp::Neg } else { UnOp::Not };
+        value = Expr::Unary {
+            op,
+            operand: Box::new(value),
+        };
+    }
+    let program = standard_frame(vec![Stmt::Assign {
+        target: LValue::Index {
+            base: "table".into(),
+            index: Expr::Num(1),
+        },
+        op: AssignOp::Sub,
+        value,
+    }]);
+    assert_roundtrips(&program);
+}
+
+/// Initializer lists longer than eight elements must render in full: the
+/// printer used to elide the tail behind a comment, which the lexer skips,
+/// so reparsing silently dropped elements.
+#[test]
+fn long_initializer_lists_roundtrip() {
+    let long: Vec<Expr> = (0..23).map(|i| Expr::Num(i * 7 + 1)).collect();
+    let program = Program {
+        globals: vec![
+            array_decl("table", long),
+            array_decl("buffer", vec![Expr::Num(9)]),
+        ],
+        locals: vec![scalar_decl("alpha")],
+        body: vec![Stmt::Assign {
+            target: LValue::Var("alpha".into()),
+            op: AssignOp::Add,
+            value: Expr::Index {
+                base: "table".into(),
+                index: Box::new(Expr::Num(22)),
+            },
+        }],
+    };
+    assert_roundtrips(&program);
+}
+
+/// The persisted regression file must stay in place so property runners
+/// keep replaying its seeds before fresh cases.
+#[test]
+fn regression_seed_file_is_preserved() {
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let path = std::path::Path::new(manifest)
+        .parent()
+        .expect("workspace root")
+        .join("proptest-regressions/tests/vpl_roundtrip.txt");
+    let contents = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("regression file missing at {}: {e}", path.display()));
+    assert!(
+        contents.lines().any(|l| l.trim_start().starts_with("cc ")),
+        "regression file must keep at least one persisted case"
+    );
+}

@@ -52,7 +52,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     rhs: Box::new(rhs)
                 }),
             (prop_oneof![Just(UnOp::Neg), Just(UnOp::Not)], inner.clone()).prop_map(
-                |(op, operand)| Expr::Unary { op, operand: Box::new(operand) }
+                |(op, operand)| Expr::Unary {
+                    op,
+                    operand: Box::new(operand)
+                }
             ),
             ((0usize..ARRAYS.len()), inner).prop_map(|(a, index)| Expr::Index {
                 base: ARRAYS[a].into(),
@@ -91,8 +94,11 @@ fn arb_stmt() -> impl Strategy<Value = Stmt> {
     ];
     simple.prop_recursive(2, 12, 3, |inner| {
         prop_oneof![
-            (arb_expr(), proptest::collection::vec(inner.clone(), 1..3),
-             proptest::collection::vec(inner.clone(), 0..2))
+            (
+                arb_expr(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner.clone(), 0..2)
+            )
                 .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
             (proptest::collection::vec(inner, 1..3)).prop_map(Stmt::Block),
         ]

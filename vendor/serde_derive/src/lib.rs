@@ -1,0 +1,455 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stub's simplified data model (a single [`Value`]
+//! tree) with no dependency on `syn`/`quote`: the item is parsed by walking
+//! the raw `TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes (the full surface this workspace uses):
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit, tuple, and struct variants
+//! - `#[serde(default)]` on named struct fields
+//!
+//! Not supported (panics with a clear message): generic types, lifetimes
+//! on the item itself, and other `#[serde(...)]` attributes.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (ident for named fields) and whether it
+/// carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Body)>,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, body } => gen_struct_serialize(name, body),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    src.parse()
+        .expect("serde stub derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, body } => gen_struct_deserialize(name, body),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    src.parse()
+        .expect("serde stub derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("serde stub derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde stub derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde stub derive: `{other}` items are not supported"),
+    }
+}
+
+/// Advances past `#[...]` attribute groups (incl. doc comments), returning
+/// whether any of them was `#[serde(default)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if attr_is_serde_default(g.stream()) {
+                has_default = true;
+            }
+        }
+        *i += 2;
+    }
+    has_default
+}
+
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(&tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips one type, honouring nested `<...>` (angle brackets are bare
+/// `Punct`s, not groups). Stops after the top-level `,` or at end of input.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after `{name}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break; // trailing comma
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Body)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let b = Body::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                b
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let b = Body::Named(parse_named_fields(g.stream()));
+                i += 1;
+                b
+            }
+            _ => Body::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next top-level
+        // comma, then the comma itself.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        } else if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, body));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then reparsed)
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, body: &Body) -> String {
+    let expr = match body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {expr} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, body: &Body) -> String {
+    let body_expr = match body {
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(name, f)).collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body_expr}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_field_init(owner: &str, f: &Field) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{}` in {owner}\"))",
+            f.name
+        )
+    };
+    format!(
+        "{0}: match ::serde::__find(__m, \"{0}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }}",
+        f.name
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, Body)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(vname, body)| match body {
+            Body::Unit => format!(
+                "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+            ),
+            Body::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let sers: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::serialize({b})"))
+                    .collect();
+                format!(
+                    "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec![(\n\
+                         ::std::string::String::from(\"{vname}\"),\n\
+                         ::serde::Value::Seq(::std::vec![{sers}]),\n\
+                     )]),",
+                    binds = binds.join(", "),
+                    sers = sers.join(", ")
+                )
+            }
+            Body::Named(fields) => {
+                let binds: Vec<String> =
+                    fields.iter().map(|f| format!("{0}: __{0}", f.name)).collect();
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::serialize(__{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\n\
+                         ::std::string::String::from(\"{vname}\"),\n\
+                         ::serde::Value::Map(::std::vec![{entries}]),\n\
+                     )]),",
+                    binds = binds.join(", "),
+                    entries = entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}",
+        arms = arms.join("\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Body)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, body)| matches!(body, Body::Unit))
+        .map(|(vname, _)| format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"))
+        .collect();
+
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(vname, body)| match body {
+            Body::Unit => None,
+            Body::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "\"{vname}\" => {{\n\
+                         let __s = __content.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}::{vname}\"))?;\n\
+                         if __s.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                     }}",
+                    elems = elems.join(", ")
+                ))
+            }
+            Body::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| named_field_init(&format!("{name}::{vname}"), f))
+                    .collect();
+                Some(format!(
+                    "\"{vname}\" => {{\n\
+                         let __m = __content.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}::{vname}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                     }}",
+                    inits = inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match __v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __content) = &__m[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-entry map for {name}\")),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        data_arms = data_arms.join("\n")
+    )
+}
