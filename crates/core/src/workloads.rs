@@ -80,9 +80,9 @@ impl Workload {
         let mut rng = StdRng::seed_from_u64(seed);
         let base = session.alloc(bytes)?;
         let words = bytes / 8;
-        for w in 0..words {
-            session.write_u64(base + w * 8, self.data_word(&mut rng))?;
-        }
+        // Same values in the same order as a write_u64 loop, batched per row.
+        let data: Vec<u64> = (0..words).map(|_| self.data_word(&mut rng)).collect();
+        session.fill(base, &data)?;
         match self {
             Workload::Kmeans => {
                 // Sequential distance-computation scans.

@@ -47,8 +47,10 @@ impl RowStore {
         self.geometry
     }
 
-    /// Monotonic counter bumped on every mutation; used to invalidate
-    /// derived caches.
+    /// Monotonic counter bumped on every mutation that changes stored bits;
+    /// used to invalidate derived caches. No-op writes (storing the value a
+    /// word already holds) leave it untouched, so they never force a cache
+    /// rebuild.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -90,8 +92,45 @@ impl RowStore {
             .rows
             .entry(loc.row_key())
             .or_insert_with(|| vec![default; words]);
-        row[loc.col as usize] = value;
-        self.generation += 1;
+        if row[loc.col as usize] != value {
+            row[loc.col as usize] = value;
+            self.generation += 1;
+        }
+    }
+
+    /// Writes a contiguous run of words starting at `start`, staying within
+    /// one row: the row is looked up once instead of once per word (the fast
+    /// path behind [`crate::Dimm::write_words`] and session fills).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span starts outside the geometry or runs past the end
+    /// of the row.
+    pub fn write_words(&mut self, start: Location, values: &[u64]) {
+        assert!(
+            self.geometry.contains(start),
+            "location {start} outside geometry"
+        );
+        let col = start.col as usize;
+        assert!(
+            col + values.len() <= self.geometry.words_per_row(),
+            "span of {} words from column {col} runs past the row end",
+            values.len()
+        );
+        if values.is_empty() {
+            return;
+        }
+        let words = self.geometry.words_per_row();
+        let default = self.default_word;
+        let row = self
+            .rows
+            .entry(start.row_key())
+            .or_insert_with(|| vec![default; words]);
+        let slice = &mut row[col..col + values.len()];
+        if slice != values {
+            slice.copy_from_slice(values);
+            self.generation += 1;
+        }
     }
 
     /// Reads the logical bit `bit_in_row` (word column × 64 + bit) of a row.
@@ -126,14 +165,29 @@ impl RowStore {
                 && row.row < self.geometry.rows_per_bank,
             "row {row} outside geometry"
         );
-        self.rows.insert(row, words.to_vec());
-        self.generation += 1;
+        match self.rows.entry(row) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if e.get().as_slice() != words {
+                    e.get_mut().copy_from_slice(words);
+                    self.generation += 1;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let default = self.default_word;
+                e.insert(words.to_vec());
+                if words.iter().any(|&w| w != default) {
+                    self.generation += 1;
+                }
+            }
+        }
     }
 
     /// Forgets all written rows, restoring the default fill.
     pub fn clear(&mut self) {
-        self.rows.clear();
-        self.generation += 1;
+        if !self.rows.is_empty() {
+            self.rows.clear();
+            self.generation += 1;
+        }
     }
 }
 
@@ -178,6 +232,62 @@ mod tests {
         let g1 = s.generation();
         s.clear();
         assert!(s.generation() > g1);
+    }
+
+    #[test]
+    fn noop_writes_do_not_bump_generation() {
+        let mut s = store();
+        let loc = Location::new(0, 0, 5, 10);
+        s.write_word(loc, 42);
+        let g = s.generation();
+        // Rewriting the same value — word, row and span granular — must not
+        // invalidate derived caches.
+        s.write_word(loc, 42);
+        assert_eq!(s.generation(), g, "no-op write_word bumped generation");
+        // Writing the default fill to an untouched word is also a no-op.
+        s.write_word(Location::new(0, 0, 6, 0), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(s.generation(), g, "default-valued write bumped generation");
+        let row: Vec<u64> = (0..1024)
+            .map(|c| if c == 10 { 42 } else { 0xAAAA_AAAA_AAAA_AAAA })
+            .collect();
+        s.write_row(RowKey::new(0, 0, 5), &row);
+        assert_eq!(s.generation(), g, "no-op write_row bumped generation");
+        s.write_words(Location::new(0, 0, 5, 9), &[0xAAAA_AAAA_AAAA_AAAA, 42]);
+        assert_eq!(s.generation(), g, "no-op write_words bumped generation");
+        // A real change still bumps.
+        s.write_word(loc, 43);
+        assert!(s.generation() > g);
+    }
+
+    #[test]
+    fn clear_of_empty_store_is_a_noop() {
+        let mut s = store();
+        let g = s.generation();
+        s.clear();
+        assert_eq!(s.generation(), g);
+        s.write_word(Location::new(0, 0, 0, 0), 1);
+        s.clear();
+        assert!(s.generation() > g);
+    }
+
+    #[test]
+    fn write_words_spans_columns() {
+        let mut s = store();
+        s.write_words(Location::new(0, 2, 3, 100), &[1, 2, 3]);
+        assert_eq!(s.read_word(Location::new(0, 2, 3, 100)), 1);
+        assert_eq!(s.read_word(Location::new(0, 2, 3, 101)), 2);
+        assert_eq!(s.read_word(Location::new(0, 2, 3, 102)), 3);
+        assert_eq!(
+            s.read_word(Location::new(0, 2, 3, 103)),
+            0xAAAA_AAAA_AAAA_AAAA
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "runs past the row end")]
+    fn write_words_rejects_row_overrun() {
+        let mut s = store();
+        s.write_words(Location::new(0, 0, 0, 1023), &[1, 2]);
     }
 
     #[test]

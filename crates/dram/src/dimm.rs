@@ -8,11 +8,11 @@ use crate::env::OperatingEnv;
 use crate::events::WordEvent;
 use crate::faults::FaultSet;
 use crate::geometry::{DimmGeometry, Location, RowKey};
+use crate::plan::{RunPlan, VrtWord};
 use crate::retention::PhysicsParams;
 use crate::topology::{Topology, TopologyConfig};
 use crate::weak::{vrt_degraded, WeakCellConfig, WeakCellPopulation};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Full configuration of a simulated DIMM.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -34,10 +34,20 @@ pub struct DimmConfig {
 /// Cached per-weak-cell state that depends only on stored data (not on the
 /// operating point or on activations): whether the cell is charged and the
 /// data-dependent interference multiplier.
-#[derive(Debug, Clone, Copy)]
-struct CellState {
-    charged: bool,
-    interference: f64,
+///
+/// Stored structure-of-arrays style: one flat array per attribute, with
+/// `offsets[w]..offsets[w + 1]` covering the cells of weak word `w`. The
+/// flat layout keeps the window-evaluation and plan-construction loops on
+/// two dense arrays instead of chasing one heap allocation per weak word.
+#[derive(Debug, Clone, Default)]
+struct CellCache {
+    /// Per-word start offsets into the flat arrays (`words + 1` entries).
+    offsets: Vec<u32>,
+    /// Whether each cell currently holds charge.
+    charged: Vec<bool>,
+    /// Data-dependent interference multiplier of each cell (1.0 when
+    /// discharged).
+    interference: Vec<f64>,
 }
 
 /// A simulated DIMM.
@@ -56,7 +66,7 @@ pub struct Dimm {
     population: WeakCellPopulation,
     contents: RowStore,
     map: AddressMap,
-    cache: Vec<Vec<CellState>>,
+    cache: CellCache,
     cache_generation: Option<u64>,
     faults: FaultSet,
 }
@@ -74,11 +84,6 @@ impl Dimm {
         let population = WeakCellPopulation::sample(config.geometry, &config.weak, seed);
         let contents = RowStore::new(config.geometry, config.default_fill);
         let map = AddressMap::new(config.geometry);
-        let cache = population
-            .words()
-            .iter()
-            .map(|w| Vec::with_capacity(w.cells.len()))
-            .collect();
         Dimm {
             config,
             seed,
@@ -86,7 +91,7 @@ impl Dimm {
             population,
             contents,
             map,
-            cache,
+            cache: CellCache::default(),
             cache_generation: None,
             faults: FaultSet::new(),
         }
@@ -189,6 +194,32 @@ impl Dimm {
         self.contents.write_row(row, words);
     }
 
+    /// Writes a contiguous run of words within one row: one row lookup
+    /// instead of one per word. Falls back to per-word writes when logical
+    /// faults are injected (fault side-effects are word-granular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span starts outside the geometry or runs past the end
+    /// of the row.
+    pub fn write_words(&mut self, start: Location, values: &[u64]) {
+        if self.faults.is_empty() {
+            self.contents.write_words(start, values);
+        } else {
+            for (i, &value) in values.iter().enumerate() {
+                let loc = Location::new(start.rank, start.bank, start.row, start.col + i as u32);
+                self.write_word(loc, value);
+            }
+        }
+    }
+
+    /// The contents generation counter — bumped whenever stored bits
+    /// change. A [`RunPlan`] is valid only for the generation it was built
+    /// against.
+    pub fn contents_generation(&self) -> u64 {
+        self.contents.generation()
+    }
+
     /// Restores all memory to the default fill.
     pub fn clear_contents(&mut self) {
         self.contents.clear();
@@ -224,24 +255,68 @@ impl Dimm {
     /// profile (aligned with the population's word order). The profile is
     /// invariant across the refresh windows of a run, so callers evaluating
     /// many windows compute it once and use
-    /// [`Self::advance_window_profiled`].
+    /// [`Self::advance_window_profiled`] or [`Self::prepare_run`].
+    ///
+    /// Activations are bucketed per (rank, bank) and sorted by row index so
+    /// each victim row scans only the aggressors that can disturb it and the
+    /// hammer sum always accumulates in the same order (floating-point
+    /// addition is order-sensitive; a deterministic order keeps repeat
+    /// evaluations bit-identical). The population is sorted by location, so
+    /// words sharing a row are consecutive and the per-row factor is
+    /// memoized across them.
     pub fn disturbance_profile(&self, acts: &ActivationCounts) -> Vec<f64> {
-        let by_row = self.disturbance_by_row(acts);
-        self.population
-            .words()
-            .iter()
-            .map(|w| {
-                if by_row.is_empty() {
-                    0.0
-                } else {
-                    by_row.get(&w.loc.row_key()).copied().unwrap_or(0.0)
+        let words = self.population.words();
+        if acts.total() == 0 {
+            return vec![0.0; words.len()];
+        }
+        let geo = self.config.geometry;
+        let banks = geo.banks as usize;
+        let mut by_bank: Vec<Vec<(u32, u64)>> = vec![Vec::new(); geo.ranks as usize * banks];
+        for (row, count) in acts.iter() {
+            // Aggressors outside the geometry share a bank with no victim.
+            if row.rank < geo.ranks && row.bank < geo.banks {
+                by_bank[row.rank as usize * banks + row.bank as usize].push((row.row, count));
+            }
+        }
+        for bank_acts in &mut by_bank {
+            bank_acts.sort_unstable();
+        }
+        let model = &self.config.disturbance;
+        let mut profile = Vec::with_capacity(words.len());
+        let mut memo: Option<(RowKey, f64)> = None;
+        for word in words {
+            let row = word.loc.row_key();
+            let factor = match memo {
+                Some((r, f)) if r == row => f,
+                _ => {
+                    let bank_acts = &by_bank[row.rank as usize * banks + row.bank as usize];
+                    let mut hammer = 0.0;
+                    for &(aggressor, count) in bank_acts {
+                        if aggressor == row.row {
+                            continue;
+                        }
+                        let distance = (aggressor as f64 - row.row as f64).abs();
+                        hammer += count as f64 * (-distance / model.decay_rows).exp();
+                    }
+                    let f = model.factor_from_hammer(hammer);
+                    memo = Some((row, f));
+                    f
                 }
-            })
-            .collect()
+            };
+            profile.push(factor);
+        }
+        profile
     }
 
     /// [`Self::advance_window`] with a precomputed disturbance profile
     /// (see [`Self::disturbance_profile`]).
+    ///
+    /// This is the **reference** per-cell loop: it re-evaluates the full
+    /// retention expression for every weak cell each window. Multi-window
+    /// runs should build a [`RunPlan`] with [`Self::prepare_run`] and call
+    /// [`Self::advance_window_planned`] instead, which produces bit-identical
+    /// events at a fraction of the cost; this loop stays as the oracle the
+    /// differential tests compare against.
     ///
     /// # Panics
     ///
@@ -261,12 +336,7 @@ impl Dimm {
         let physics = &self.config.physics;
         let env_factor = physics.env_factor(env);
         let mut events = Vec::new();
-        for ((word, states), &row_disturb) in self
-            .population
-            .words()
-            .iter()
-            .zip(&self.cache)
-            .zip(disturbance)
+        for (w, (word, &row_disturb)) in self.population.words().iter().zip(disturbance).enumerate()
         {
             // Clustered defect pairs are comparatively hammer-resistant
             // (see PhysicsParams::pair_disturbance_mult).
@@ -275,16 +345,17 @@ impl Dimm {
             } else {
                 row_disturb
             };
+            let base = self.cache.offsets[w] as usize;
             let mut flip_mask = 0u64;
-            for (cell, state) in word.cells.iter().zip(states) {
+            for (i, cell) in word.cells.iter().enumerate() {
                 let mut retention = cell.base_retention_s * env_factor;
                 if cell.is_vrt
                     && vrt_degraded(self.seed, nonce, cell.vrt_index, physics.vrt_degraded_prob)
                 {
                     retention *= physics.vrt_degraded_mult;
                 }
-                if state.charged {
-                    retention /= state.interference * (1.0 + word_disturb);
+                if self.cache.charged[base + i] {
+                    retention /= self.cache.interference[base + i] * (1.0 + word_disturb);
                 } else {
                     retention *= physics.discharged_retention_mult;
                 }
@@ -304,6 +375,124 @@ impl Dimm {
         events
     }
 
+    /// Builds a [`RunPlan`] for one run: a fixed operating point and
+    /// disturbance profile over the current contents.
+    ///
+    /// For every weak cell the flip decision `retention < trefp` is
+    /// evaluated **here**, once, for both VRT states — using exactly the
+    /// floating-point expression sequence of
+    /// [`Self::advance_window_profiled`], so the resulting plan reproduces
+    /// the reference loop's events bit for bit. Cells whose decision does
+    /// not depend on the VRT draw collapse into per-word static flip masks
+    /// (or vanish entirely); only the cells whose decision differs between
+    /// the two VRT states remain for per-window work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile length does not match the weak-word count.
+    pub fn prepare_run(&mut self, env: &OperatingEnv, disturbance: &[f64]) -> RunPlan {
+        assert_eq!(
+            disturbance.len(),
+            self.population.words().len(),
+            "disturbance profile length mismatch"
+        );
+        self.refresh_cache_if_stale();
+        let physics = &self.config.physics;
+        let env_factor = physics.env_factor(env);
+        let mut static_events = Vec::new();
+        let mut vrt_words = Vec::new();
+        let mut bit_masks = Vec::new();
+        let mut bit_indices = Vec::new();
+        let mut bit_flip_when_degraded = Vec::new();
+        let mut statics_since_vrt = 0u32;
+        for (w, (word, &row_disturb)) in self.population.words().iter().zip(disturbance).enumerate()
+        {
+            let word_disturb = if word.cells.len() >= 2 {
+                row_disturb * physics.pair_disturbance_mult
+            } else {
+                row_disturb
+            };
+            let base = self.cache.offsets[w] as usize;
+            let bits_start = bit_masks.len();
+            let mut base_mask = 0u64;
+            for (i, cell) in word.cells.iter().enumerate() {
+                let charged = self.cache.charged[base + i];
+                let interference = self.cache.interference[base + i];
+                let flips = |mut retention: f64| {
+                    if charged {
+                        retention /= interference * (1.0 + word_disturb);
+                    } else {
+                        retention *= physics.discharged_retention_mult;
+                    }
+                    retention < env.trefp_s
+                };
+                let flip_normal = flips(cell.base_retention_s * env_factor);
+                if cell.is_vrt {
+                    let flip_degraded =
+                        flips(cell.base_retention_s * env_factor * physics.vrt_degraded_mult);
+                    if flip_degraded == flip_normal {
+                        if flip_normal {
+                            base_mask |= 1u64 << cell.bit;
+                        }
+                    } else {
+                        bit_masks.push(1u64 << cell.bit);
+                        bit_indices.push(cell.vrt_index);
+                        bit_flip_when_degraded.push(flip_degraded);
+                    }
+                } else if flip_normal {
+                    base_mask |= 1u64 << cell.bit;
+                }
+            }
+            let bits_end = bit_masks.len();
+            if bits_end > bits_start {
+                vrt_words.push(VrtWord {
+                    statics_before: statics_since_vrt,
+                    loc: word.loc,
+                    written: self.contents.read_word(word.loc),
+                    base_mask,
+                    bits_start: bits_start as u32,
+                    bits_end: bits_end as u32,
+                });
+                statics_since_vrt = 0;
+            } else if base_mask != 0 {
+                static_events.push(WordEvent {
+                    loc: word.loc,
+                    written: self.contents.read_word(word.loc),
+                    flip_mask: base_mask,
+                });
+                statics_since_vrt += 1;
+            }
+        }
+        RunPlan {
+            generation: self.contents.generation(),
+            vrt_degraded_prob: physics.vrt_degraded_prob,
+            static_events,
+            vrt_words,
+            bit_masks,
+            bit_indices,
+            bit_flip_when_degraded,
+        }
+    }
+
+    /// Evaluates one refresh window through a prepared plan, appending this
+    /// window's events to `out` (cleared first so the buffer can be reused
+    /// across windows). Bit-identical to
+    /// [`Self::advance_window_profiled`] with the same env/profile/nonce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if contents changed since the plan was built — the plan bakes
+    /// in per-cell charge state and written words, so it must be rebuilt
+    /// after any write.
+    pub fn advance_window_planned(&self, plan: &RunPlan, nonce: u64, out: &mut Vec<WordEvent>) {
+        assert_eq!(
+            plan.generation(),
+            self.contents.generation(),
+            "stale RunPlan: contents changed since prepare_run"
+        );
+        plan.advance_window(self.seed, nonce, out);
+    }
+
     /// Recomputes the data-dependent per-cell state when contents changed.
     fn refresh_cache_if_stale(&mut self) {
         if self.cache_generation == Some(self.contents.generation()) {
@@ -311,10 +500,15 @@ impl Dimm {
         }
         let physics = self.config.physics;
         let geometry = self.config.geometry;
-        let mut cache: Vec<Vec<CellState>> = Vec::with_capacity(self.population.words().len());
+        let total = self.population.total_cells();
+        let mut cache = CellCache {
+            offsets: Vec::with_capacity(self.population.words().len() + 1),
+            charged: Vec::with_capacity(total),
+            interference: Vec::with_capacity(total),
+        };
         for word in self.population.words() {
             let row = word.loc.row_key();
-            let mut states = Vec::with_capacity(word.cells.len());
+            cache.offsets.push(cache.charged.len() as u32);
             for cell in &word.cells {
                 let logical = word.loc.col * 64 + cell.bit as u32;
                 let value = self.contents.read_bit(row, logical);
@@ -351,13 +545,11 @@ impl Dimm {
                 } else {
                     1.0
                 };
-                states.push(CellState {
-                    charged,
-                    interference,
-                });
+                cache.charged.push(charged);
+                cache.interference.push(interference);
             }
-            cache.push(states);
         }
+        cache.offsets.push(cache.charged.len() as u32);
         self.cache = cache;
         self.cache_generation = Some(self.contents.generation());
     }
@@ -369,50 +561,12 @@ impl Dimm {
         let value = self.contents.read_bit(row, logical);
         self.topology.kind_at_physical(phys).charged(value)
     }
-
-    /// Precomputes the disturbance factor for every row hosting weak cells.
-    ///
-    /// Activations are bucketed per (rank, bank) first so each victim row
-    /// only scans the aggressors that can actually disturb it — the full
-    /// cross-product is quadratic in row count and dominates window
-    /// evaluation otherwise.
-    fn disturbance_by_row(&self, acts: &ActivationCounts) -> HashMap<RowKey, f64> {
-        let mut map = HashMap::new();
-        if acts.total() == 0 {
-            return map;
-        }
-        let mut by_bank: HashMap<(u8, u8), Vec<(u32, u64)>> = HashMap::new();
-        for (row, count) in acts.iter() {
-            by_bank
-                .entry((row.rank, row.bank))
-                .or_default()
-                .push((row.row, count));
-        }
-        let model = &self.config.disturbance;
-        for word in self.population.words() {
-            let row = word.loc.row_key();
-            map.entry(row).or_insert_with(|| {
-                let Some(bank_acts) = by_bank.get(&(row.rank, row.bank)) else {
-                    return 0.0;
-                };
-                let mut hammer = 0.0;
-                for &(aggressor, count) in bank_acts {
-                    if aggressor == row.row {
-                        continue;
-                    }
-                    let distance = (aggressor as f64 - row.row as f64).abs();
-                    hammer += count as f64 * (-distance / model.decay_rows).exp();
-                }
-                model.factor_from_hammer(hammer)
-            });
-        }
-        map
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     /// The worst-case word under the TTAA layout: LSB-first bit string
     /// `1100 1100 …` = hex 0x3333….
@@ -596,6 +750,75 @@ mod tests {
             assert_eq!(e.written, WORST);
             assert_ne!(e.flip_mask, 0);
             assert_ne!(e.corrupted(), e.written);
+        }
+    }
+
+    #[test]
+    fn planned_window_matches_reference_loop() {
+        let env = OperatingEnv::relaxed(62.0);
+        let mut d = dimm(23);
+        fill_all(&mut d, WORST);
+        let mut acts = ActivationCounts::new();
+        acts.add(RowKey::new(0, 0, 9), 4000);
+        acts.add(RowKey::new(0, 0, 11), 4000);
+        acts.add(RowKey::new(1, 3, 20), 50_000);
+        let profile = d.disturbance_profile(&acts);
+        let plan = d.prepare_run(&env, &profile);
+        assert!(plan.static_words() + plan.vrt_words() > 0);
+        let mut planned = Vec::new();
+        for nonce in 0..50u64 {
+            d.advance_window_planned(&plan, nonce, &mut planned);
+            let reference = d.advance_window_profiled(&env, &profile, nonce);
+            assert_eq!(planned, reference, "nonce {nonce}");
+        }
+    }
+
+    #[test]
+    fn plan_shrinks_population_to_vrt_contingent_cells() {
+        let env = OperatingEnv::relaxed(60.0);
+        let mut d = dimm(29);
+        fill_all(&mut d, WORST);
+        let profile = d.disturbance_profile(&ActivationCounts::new());
+        let plan = d.prepare_run(&env, &profile);
+        // The per-window workload must be a small fraction of the full
+        // population — that's the entire point of the plan.
+        assert!(
+            plan.vrt_cells() * 10 < d.population().total_cells(),
+            "{} VRT-contingent cells out of {}",
+            plan.vrt_cells(),
+            d.population().total_cells()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stale RunPlan")]
+    fn stale_plan_is_rejected() {
+        let env = OperatingEnv::relaxed(60.0);
+        let mut d = dimm(11);
+        fill_all(&mut d, WORST);
+        let profile = d.disturbance_profile(&ActivationCounts::new());
+        let plan = d.prepare_run(&env, &profile);
+        d.write_word(Location::new(0, 0, 0, 0), BEST);
+        let mut out = Vec::new();
+        d.advance_window_planned(&plan, 0, &mut out);
+    }
+
+    #[test]
+    fn write_words_matches_per_word_writes() {
+        let mut a = dimm(31);
+        let mut b = dimm(31);
+        let start = Location::new(0, 2, 7, 100);
+        let values = [1u64, 2, 3, WORST, BEST];
+        a.write_words(start, &values);
+        for (i, &v) in values.iter().enumerate() {
+            b.write_word(
+                Location::new(start.rank, start.bank, start.row, start.col + i as u32),
+                v,
+            );
+        }
+        for i in 0..values.len() as u32 + 1 {
+            let loc = Location::new(start.rank, start.bank, start.row, start.col + i);
+            assert_eq!(a.read_word(loc), b.read_word(loc));
         }
     }
 

@@ -54,6 +54,7 @@ pub mod env;
 pub mod events;
 pub mod faults;
 pub mod geometry;
+pub mod plan;
 pub mod retention;
 pub mod topology;
 pub mod weak;
@@ -65,6 +66,7 @@ pub use env::OperatingEnv;
 pub use events::WordEvent;
 pub use faults::{FaultSet, LogicalFault};
 pub use geometry::{DimmGeometry, Location};
+pub use plan::RunPlan;
 pub use retention::PhysicsParams;
 pub use topology::{CellKind, Topology};
 pub use weak::{WeakCell, WeakCellPopulation};

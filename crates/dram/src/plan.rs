@@ -1,0 +1,137 @@
+//! Prepared run plans: the window-evaluation fast path.
+//!
+//! For a fixed (contents, operating point, disturbance profile), a weak
+//! cell's flip decision `effective_retention < trefp` involves no per-window
+//! quantity except the VRT state — everything else is invariant across the
+//! refresh windows of a run. A [`RunPlan`] is built once per run (see
+//! [`crate::Dimm::prepare_run`]) and partitions the weak-cell population
+//! into three classes:
+//!
+//! * **statically failing** — cells that flip in every window. Whole words
+//!   of them become pre-built [`WordEvent`]s (`written` captured at plan
+//!   time; contents do not change during a run), emitted verbatim each
+//!   window;
+//! * **statically safe** — cells that can never flip this run. They are
+//!   dropped from the plan entirely and cost nothing per window;
+//! * **VRT-contingent** — variable-retention-time cells whose flip decision
+//!   differs between the degraded and the healthy state. Only these need
+//!   per-window work: one deterministic Bernoulli draw
+//!   ([`crate::weak::vrt_degraded`]) and a mask-OR.
+//!
+//! The per-window cost therefore collapses from "retention physics for
+//! every weak cell" to "copy the static events + a hash per VRT cell" —
+//! and the VRT-contingent subset is tiny (most VRT cells are statically
+//! safe or statically failing in *both* states at any given operating
+//! point). Results are bit-identical to the naive loop
+//! ([`crate::Dimm::advance_window_profiled`], kept as the reference oracle)
+//! because the plan evaluates the exact same floating-point expressions at
+//! build time.
+//!
+//! The VRT-contingent cells are stored structure-of-arrays style
+//! ([`RunPlan::bit_masks`] / [`RunPlan::bit_indices`] et al.) with per-word
+//! ranges, mirroring the flattened cell cache inside [`crate::Dimm`].
+
+use crate::events::WordEvent;
+use crate::geometry::Location;
+use crate::weak::vrt_degraded;
+
+/// One weak word with at least one VRT-contingent cell: its static base
+/// flip mask plus the range of contingent bits in the plan's flat arrays.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct VrtWord {
+    /// Pre-built static events to emit before this word (events and VRT
+    /// words interleave in population order; prefix counts preserve it).
+    pub(crate) statics_before: u32,
+    /// The word these cells live in.
+    pub(crate) loc: Location,
+    /// Contents of the word, captured at plan-build time.
+    pub(crate) written: u64,
+    /// Flip mask of the word's statically-failing cells.
+    pub(crate) base_mask: u64,
+    /// Start of this word's contingent bits in the flat arrays.
+    pub(crate) bits_start: u32,
+    /// One past the end of this word's contingent bits.
+    pub(crate) bits_end: u32,
+}
+
+/// A prepared evaluation plan for one DIMM and one run
+/// (contents × operating point × disturbance profile).
+///
+/// Build with [`crate::Dimm::prepare_run`], evaluate windows with
+/// [`crate::Dimm::advance_window_planned`]. The plan is tied to the
+/// contents generation it was built against; writing to the DIMM
+/// invalidates it (enforced by an assertion at evaluation time).
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// Contents generation the plan was built against.
+    pub(crate) generation: u64,
+    /// Per-window probability of the degraded VRT state.
+    pub(crate) vrt_degraded_prob: f64,
+    /// Pre-built events for words whose flip mask is window-invariant,
+    /// in population (word) order.
+    pub(crate) static_events: Vec<WordEvent>,
+    /// Words with VRT-contingent cells, in population order.
+    pub(crate) vrt_words: Vec<VrtWord>,
+    /// Flat per-contingent-cell bit masks (`1 << bit`).
+    pub(crate) bit_masks: Vec<u64>,
+    /// Flat per-contingent-cell VRT indices (the Bernoulli draw's key).
+    pub(crate) bit_indices: Vec<u32>,
+    /// Flat per-contingent-cell flip polarity: whether the cell flips in
+    /// the *degraded* state (the common case; `false` covers a
+    /// `vrt_degraded_mult > 1` configuration where degradation lengthens
+    /// retention).
+    pub(crate) bit_flip_when_degraded: Vec<bool>,
+}
+
+impl RunPlan {
+    /// Number of pre-built (window-invariant) word events.
+    pub fn static_words(&self) -> usize {
+        self.static_events.len()
+    }
+
+    /// Number of words carrying at least one VRT-contingent cell.
+    pub fn vrt_words(&self) -> usize {
+        self.vrt_words.len()
+    }
+
+    /// Number of VRT-contingent cells — the only cells doing per-window
+    /// work.
+    pub fn vrt_cells(&self) -> usize {
+        self.bit_masks.len()
+    }
+
+    /// The contents generation this plan was built against.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Evaluates one refresh window into `out` (cleared first; callers
+    /// reuse the buffer across windows). `seed` is the owning DIMM's device
+    /// seed and `nonce` identifies the (run, window) pair, exactly as in
+    /// [`crate::Dimm::advance_window`].
+    pub(crate) fn advance_window(&self, seed: u64, nonce: u64, out: &mut Vec<WordEvent>) {
+        out.clear();
+        let mut emitted = 0usize;
+        for word in &self.vrt_words {
+            let upto = emitted + word.statics_before as usize;
+            out.extend_from_slice(&self.static_events[emitted..upto]);
+            emitted = upto;
+            let mut mask = word.base_mask;
+            for i in word.bits_start as usize..word.bits_end as usize {
+                let degraded =
+                    vrt_degraded(seed, nonce, self.bit_indices[i], self.vrt_degraded_prob);
+                if degraded == self.bit_flip_when_degraded[i] {
+                    mask |= self.bit_masks[i];
+                }
+            }
+            if mask != 0 {
+                out.push(WordEvent {
+                    loc: word.loc,
+                    written: word.written,
+                    flip_mask: mask,
+                });
+            }
+        }
+        out.extend_from_slice(&self.static_events[emitted..]);
+    }
+}

@@ -37,6 +37,20 @@ impl CounterSnapshot {
         self.sdc_miscorrected + self.sdc_undetected
     }
 
+    /// Tallies one decode outcome into this snapshot. The lock-free local
+    /// accumulator behind per-run deltas: callers that already know which
+    /// events a run produced can count them here instead of diffing two
+    /// full [`EccCounters`] snapshots around the run.
+    pub fn count(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::None => self.clean += 1,
+            EventKind::Ce => self.ce += 1,
+            EventKind::Ue => self.ue += 1,
+            EventKind::SdcMiscorrected => self.sdc_miscorrected += 1,
+            EventKind::SdcUndetected => self.sdc_undetected += 1,
+        }
+    }
+
     /// Element-wise difference `self - earlier`, saturating at zero.
     #[must_use]
     pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {

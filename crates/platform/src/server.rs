@@ -6,9 +6,11 @@ use crate::power::{PowerModel, PowerReport};
 use crate::replay::ReplayProfile;
 use crate::session::{RecordedRun, Session};
 use crate::thermal::{SettleReport, ThermalTestbed};
-use dstress_dram::{AddressMap, Dimm, OperatingEnv};
+use dstress_dram::geometry::RowKey;
+use dstress_dram::{AddressMap, Dimm, OperatingEnv, RunPlan, WordEvent};
 use dstress_ecc::{classify_flips, CounterSnapshot, EccCounters, EventKind};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Number of memory controller units on the X-Gene 2 (paper Fig. 5).
 pub const MCUS: usize = 4;
@@ -61,6 +63,19 @@ pub struct RowErrors {
     pub ue: u64,
 }
 
+/// A virus run prepared for repeated evaluation: one [`RunPlan`] per MCU,
+/// built once for the current contents, operating points and replay
+/// profile by [`XGene2Server::prepare_run`].
+///
+/// Valid until contents or operating points change — the ten-run averaging
+/// loop of a fitness call reuses one `PreparedRun` across all its nonces,
+/// paying the per-cell retention math once instead of once per window per
+/// run.
+#[derive(Debug, Clone)]
+pub struct PreparedRun {
+    plans: Vec<RunPlan>,
+}
+
 /// The observable outcome of evaluating one virus run.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RunOutcome {
@@ -93,6 +108,10 @@ pub struct XGene2Server {
     mcbs: [Mcb; MCBS],
     thermal: ThermalTestbed,
     counters: Vec<Vec<EccCounters>>,
+    /// Scratch row-error tally reused across runs (cleared before use).
+    row_errors_scratch: HashMap<(usize, RowKey), (u64, u64)>,
+    /// Scratch event buffer reused across windows (cleared before use).
+    events_scratch: Vec<WordEvent>,
 }
 
 impl XGene2Server {
@@ -118,6 +137,8 @@ impl XGene2Server {
             }; MCBS],
             thermal: ThermalTestbed::new(MCUS, config.ambient_c),
             counters,
+            row_errors_scratch: HashMap::new(),
+            events_scratch: Vec::new(),
         }
     }
 
@@ -256,6 +277,17 @@ impl XGene2Server {
         self.mcus[mcu].dimm.write_word(loc, value);
     }
 
+    /// Stores consecutive words starting at a DIMM-local address; the span
+    /// must not cross a row boundary (callers chunk per row — consecutive
+    /// in-row addresses map to consecutive columns).
+    pub(crate) fn write_local_span(&mut self, mcu: usize, local_addr: u64, values: &[u64]) {
+        let map = self.mcus[mcu].dimm.address_map();
+        let loc = map
+            .map(local_addr & !7)
+            .expect("session addresses are within capacity");
+        self.mcus[mcu].dimm.write_words(loc, values);
+    }
+
     /// Zeroes all EDAC counters (done between virus runs, as on the real
     /// server).
     pub fn reset_counters(&mut self) {
@@ -289,25 +321,104 @@ impl XGene2Server {
     ///
     /// The run stops at the end of the first window in which ECC reported
     /// an uncorrectable error, mirroring the OS killing the virus (§V-A.1).
+    ///
+    /// Internally this builds a [`PreparedRun`] and evaluates it; results
+    /// are bit-identical to [`Self::evaluate_run_reference`].
     pub fn evaluate_run(&mut self, run: &RecordedRun, nonce: u64) -> RunOutcome {
-        let profile = self.build_profile(run);
-        let disturbances = self.disturbance_profiles(&profile);
-        self.evaluate_with_profile(&disturbances, nonce)
+        let prepared = self.prepare_run(run);
+        self.evaluate_prepared(&prepared, nonce)
     }
 
     /// Evaluates `runs` repeat runs of the same virus, building the replay
-    /// profile once (the paper's 10-run averaging workflow, §V-A.1).
+    /// profile and run plans once (the paper's 10-run averaging workflow,
+    /// §V-A.1).
     pub fn evaluate_runs(
         &mut self,
         run: &RecordedRun,
         runs: u32,
         base_nonce: u64,
     ) -> Vec<RunOutcome> {
+        let prepared = self.prepare_run(run);
+        (0..runs as u64)
+            .map(|r| self.evaluate_prepared(&prepared, base_nonce.wrapping_add(r)))
+            .collect()
+    }
+
+    /// Builds the per-MCU [`RunPlan`]s for a recorded run under the current
+    /// contents and operating points. Evaluate with
+    /// [`Self::evaluate_prepared`]; rebuild after any write or knob change.
+    pub fn prepare_run(&mut self, run: &RecordedRun) -> PreparedRun {
+        let profile = self.build_profile(run);
+        let mut plans = Vec::with_capacity(MCUS);
+        for mcu in 0..MCUS {
+            let env = self.operating_env(mcu);
+            let disturbance = self.mcus[mcu]
+                .dimm
+                .disturbance_profile(&profile.acts_per_window[mcu]);
+            plans.push(self.mcus[mcu].dimm.prepare_run(&env, &disturbance));
+        }
+        PreparedRun { plans }
+    }
+
+    /// Evaluates one run through prepared plans — the hot path behind
+    /// [`Self::evaluate_run`]/[`Self::evaluate_runs`] and the GA fitness
+    /// loop. Per window, each DIMM emits its pre-built static events plus
+    /// one Bernoulli draw per VRT-contingent cell; nothing else is
+    /// recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if DIMM contents changed since [`Self::prepare_run`].
+    pub fn evaluate_prepared(&mut self, prepared: &PreparedRun, nonce: u64) -> RunOutcome {
+        let mut deltas = [[CounterSnapshot::default(); RANKS]; MCUS];
+        let mut row_errors = std::mem::take(&mut self.row_errors_scratch);
+        row_errors.clear();
+        let mut events = std::mem::take(&mut self.events_scratch);
+        let mut stopped_on_ue = false;
+        let mut windows_completed = 0;
+        'windows: for window in 0..self.config.windows_per_run {
+            // The MCU index addresses several parallel arrays, so an index
+            // loop is clearer than nested zips over disjoint borrows of self.
+            #[allow(clippy::needless_range_loop)]
+            for mcu in 0..MCUS {
+                let window_nonce = nonce
+                    .wrapping_mul(0x0100_0000_01B3)
+                    .wrapping_add(window as u64)
+                    .wrapping_add((mcu as u64) << 32);
+                self.mcus[mcu].dimm.advance_window_planned(
+                    &prepared.plans[mcu],
+                    window_nonce,
+                    &mut events,
+                );
+                if record_events(
+                    &self.counters[mcu],
+                    &mut deltas[mcu],
+                    &mut row_errors,
+                    mcu,
+                    &events,
+                ) {
+                    stopped_on_ue = true;
+                }
+            }
+            windows_completed = window + 1;
+            if stopped_on_ue {
+                break 'windows;
+            }
+        }
+        self.events_scratch = events;
+        let outcome = finalize_outcome(&deltas, &mut row_errors, windows_completed, stopped_on_ue);
+        self.row_errors_scratch = row_errors;
+        outcome
+    }
+
+    /// Reference evaluation path: re-runs the full per-cell retention loop
+    /// every window instead of going through a [`PreparedRun`]. Kept as the
+    /// oracle the differential tests (and the `window_kernel` bench) compare
+    /// the prepared path against.
+    pub fn evaluate_run_reference(&mut self, run: &RecordedRun, nonce: u64) -> RunOutcome {
         let profile = self.build_profile(run);
         let disturbances = self.disturbance_profiles(&profile);
-        (0..runs as u64)
-            .map(|r| self.evaluate_with_profile(&disturbances, base_nonce.wrapping_add(r)))
-            .collect()
+        self.evaluate_with_profile(&disturbances, nonce)
     }
 
     /// Precomputes each DIMM's per-weak-word disturbance factors for a
@@ -331,13 +442,10 @@ impl XGene2Server {
     }
 
     fn evaluate_with_profile(&mut self, disturbances: &[Vec<f64>], nonce: u64) -> RunOutcome {
-        let before = self.counters();
+        let mut deltas = [[CounterSnapshot::default(); RANKS]; MCUS];
+        let mut row_errors = HashMap::new();
         let mut stopped_on_ue = false;
         let mut windows_completed = 0;
-        let mut row_errors: std::collections::HashMap<
-            (usize, dstress_dram::geometry::RowKey),
-            (u64, u64),
-        > = std::collections::HashMap::new();
         'windows: for window in 0..self.config.windows_per_run {
             // The MCU index addresses four parallel arrays (`mcus`, `counters`,
             // `disturbances`, the per-MCU operating env), so an index loop is
@@ -354,22 +462,14 @@ impl XGene2Server {
                     &disturbances[mcu],
                     window_nonce,
                 );
-                for event in events {
-                    let kind = classify_flips(event.written, event.flip_mask, 0);
-                    self.counters[mcu][event.loc.rank as usize].record(kind);
-                    if kind.is_visible() {
-                        let entry = row_errors
-                            .entry((mcu, event.loc.row_key()))
-                            .or_insert((0u64, 0u64));
-                        match kind {
-                            EventKind::Ce => entry.0 += 1,
-                            EventKind::Ue => entry.1 += 1,
-                            _ => {}
-                        }
-                    }
-                    if kind == EventKind::Ue {
-                        stopped_on_ue = true;
-                    }
+                if record_events(
+                    &self.counters[mcu],
+                    &mut deltas[mcu],
+                    &mut row_errors,
+                    mcu,
+                    &events,
+                ) {
+                    stopped_on_ue = true;
                 }
             }
             windows_completed = window + 1;
@@ -377,35 +477,7 @@ impl XGene2Server {
                 break 'windows;
             }
         }
-        let after = self.counters();
-        let per_domain: Vec<DomainCounts> = after
-            .iter()
-            .zip(&before)
-            .map(|(a, b)| DomainCounts {
-                mcu: a.mcu,
-                rank: a.rank,
-                counts: a.counts.since(&b.counts),
-            })
-            .collect();
-        let totals = per_domain
-            .iter()
-            .fold(CounterSnapshot::default(), |acc, d| acc + d.counts);
-        let mut row_errors: Vec<RowErrors> = row_errors
-            .into_iter()
-            .map(|((mcu, row), (ce, ue))| RowErrors { mcu, row, ce, ue })
-            .collect();
-        row_errors.sort_by(|a, b| {
-            b.ce.cmp(&a.ce)
-                .then(b.ue.cmp(&a.ue))
-                .then(a.row.cmp(&b.row))
-        });
-        RunOutcome {
-            totals,
-            per_domain,
-            windows_completed,
-            stopped_on_ue,
-            row_errors,
-        }
+        finalize_outcome(&deltas, &mut row_errors, windows_completed, stopped_on_ue)
     }
 
     /// Measures server power at the current operating points, given the
@@ -422,6 +494,82 @@ impl XGene2Server {
                 dram_accesses_per_s[i],
             )
         }))
+    }
+}
+
+/// Tallies one window's events for one MCU into the persistent EDAC
+/// counters, the run-local deltas and the per-row tally. Returns whether an
+/// uncorrectable error was seen. Shared by the prepared and reference
+/// evaluation paths so their outcomes are constructed identically.
+fn record_events(
+    counters: &[EccCounters],
+    deltas: &mut [CounterSnapshot; RANKS],
+    row_errors: &mut HashMap<(usize, RowKey), (u64, u64)>,
+    mcu: usize,
+    events: &[WordEvent],
+) -> bool {
+    let mut saw_ue = false;
+    for event in events {
+        let kind = classify_flips(event.written, event.flip_mask, 0);
+        let rank = event.loc.rank as usize;
+        counters[rank].record(kind);
+        deltas[rank].count(kind);
+        if kind.is_visible() {
+            let entry = row_errors
+                .entry((mcu, event.loc.row_key()))
+                .or_insert((0u64, 0u64));
+            match kind {
+                EventKind::Ce => entry.0 += 1,
+                EventKind::Ue => entry.1 += 1,
+                _ => {}
+            }
+        }
+        if kind == EventKind::Ue {
+            saw_ue = true;
+        }
+    }
+    saw_ue
+}
+
+/// Assembles a [`RunOutcome`] from run-local deltas and the per-row tally
+/// (drained, so the caller's map can be reused). The row sort key is total
+/// — descending CE, then UE, then row, then MCU — so the order never
+/// depends on hash-map iteration.
+fn finalize_outcome(
+    deltas: &[[CounterSnapshot; RANKS]; MCUS],
+    row_errors: &mut HashMap<(usize, RowKey), (u64, u64)>,
+    windows_completed: u32,
+    stopped_on_ue: bool,
+) -> RunOutcome {
+    let mut per_domain = Vec::with_capacity(MCUS * RANKS);
+    for (mcu, ranks) in deltas.iter().enumerate() {
+        for (rank, counts) in ranks.iter().enumerate() {
+            per_domain.push(DomainCounts {
+                mcu,
+                rank,
+                counts: *counts,
+            });
+        }
+    }
+    let totals = per_domain
+        .iter()
+        .fold(CounterSnapshot::default(), |acc, d| acc + d.counts);
+    let mut rows: Vec<RowErrors> = row_errors
+        .drain()
+        .map(|((mcu, row), (ce, ue))| RowErrors { mcu, row, ce, ue })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.ce.cmp(&a.ce)
+            .then(b.ue.cmp(&a.ue))
+            .then(a.row.cmp(&b.row))
+            .then(a.mcu.cmp(&b.mcu))
+    });
+    RunOutcome {
+        totals,
+        per_domain,
+        windows_completed,
+        stopped_on_ue,
+        row_errors: rows,
     }
 }
 
@@ -444,9 +592,8 @@ mod tests {
         let bytes = server.config().dimm.geometry.capacity_bytes();
         let mut s = server.session(mcu);
         let base = s.alloc(bytes).expect("allocation fits");
-        for w in 0..(bytes / 8) {
-            s.write_u64(base + w * 8, word).expect("write in range");
-        }
+        let values = vec![word; (bytes / 8) as usize];
+        s.fill(base, &values).expect("write in range");
         s.finish()
     }
 
@@ -581,6 +728,21 @@ mod tests {
             worst as f64 >= 1.4 * zeros.max(1) as f64,
             "worst={worst} zeros={zeros}"
         );
+    }
+
+    #[test]
+    fn prepared_run_matches_reference_path() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 62.0);
+        let run = fill_run(&mut sv, 2, WORST);
+        let mut reference_sv = sv.clone();
+        let prepared = sv.prepare_run(&run);
+        for nonce in 0..12 {
+            let fast = sv.evaluate_prepared(&prepared, nonce);
+            let slow = reference_sv.evaluate_run_reference(&run, nonce);
+            assert_eq!(fast, slow, "prepared path diverged at nonce {nonce}");
+        }
     }
 
     #[test]

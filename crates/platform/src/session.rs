@@ -43,6 +43,23 @@ pub trait MemoryBus {
     ///
     /// Fails on unmapped or unaligned addresses.
     fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), SessionError>;
+
+    /// Stores `values` as consecutive 64-bit words starting at `addr` — the
+    /// bulk path behind fill loops. Semantically identical to one
+    /// [`Self::write_u64`] per word, including per-word trace recording;
+    /// implementations may batch the underlying stores (a [`Session`]
+    /// translates once per row instead of once per word).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or unaligned addresses; words before the failing
+    /// one are already stored, exactly as with the per-word loop.
+    fn fill(&mut self, addr: VirtAddr, values: &[u64]) -> Result<(), SessionError> {
+        for (i, &value) in values.iter().enumerate() {
+            self.write_u64(addr + i as u64 * 8, value)?;
+        }
+        Ok(())
+    }
 }
 
 /// Error raised by session memory operations.
@@ -257,6 +274,37 @@ impl MemoryBus for Session<'_> {
         self.server.write_local(mcu, local, value);
         Ok(())
     }
+
+    /// Row-granular fast path: translates once per DRAM row and stores each
+    /// in-row span with a single row lookup. Allocations are row-aligned
+    /// (see [`Self::alloc`]), so a chunk bounded by the current row never
+    /// straddles a segment. Trace recording stays per word — the replay
+    /// profile must not notice the batching. With interleaving enabled,
+    /// lines stripe across MCUs every 64 bytes and batching buys nothing,
+    /// so that case keeps the word-at-a-time default.
+    fn fill(&mut self, addr: VirtAddr, values: &[u64]) -> Result<(), SessionError> {
+        if self.server.interleaving() {
+            for (i, &value) in values.iter().enumerate() {
+                self.write_u64(addr + i as u64 * 8, value)?;
+            }
+            return Ok(());
+        }
+        let row_bytes = self.server.row_bytes();
+        let mut done = 0usize;
+        while done < values.len() {
+            let chunk_addr = addr + done as u64 * 8;
+            let (mcu, local) = self.translate(chunk_addr)?;
+            let row_remaining = ((row_bytes - local % row_bytes) / 8) as usize;
+            let n = row_remaining.min(values.len() - done);
+            for j in 0..n as u64 {
+                self.record(mcu, local + j * 8, true);
+            }
+            self.server
+                .write_local_span(mcu, local, &values[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -393,6 +441,104 @@ mod tests {
         }
         let run = s.finish();
         assert!(run.trace.iter().all(|t| t.mcu == 3));
+    }
+
+    #[test]
+    fn fill_matches_word_at_a_time_writes() {
+        // The batched fill must be indistinguishable from a write_u64 loop:
+        // same stored contents, same recorded trace — across row boundaries
+        // and from an unaligned (mid-row) start.
+        let values: Vec<u64> = (0..2500u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut batched_server = server();
+        let batched = {
+            let mut s = batched_server.session(2);
+            let base = s.alloc(values.len() as u64 * 8 + 64).unwrap();
+            s.fill(base + 16, &values).unwrap();
+            s.finish()
+        };
+        let mut word_server = server();
+        let looped = {
+            let mut s = word_server.session(2);
+            let base = s.alloc(values.len() as u64 * 8 + 64).unwrap();
+            for (i, &v) in values.iter().enumerate() {
+                s.write_u64(base + 16 + i as u64 * 8, v).unwrap();
+            }
+            s.finish()
+        };
+        assert_eq!(batched, looped, "trace must not notice the batching");
+        // The stored bits agree word for word (phys base 0: first alloc).
+        for i in 0..values.len() as u64 + 4 {
+            let local = 16 + i * 8;
+            assert_eq!(
+                batched_server.read_local(2, local),
+                word_server.read_local(2, local),
+                "divergence at local address {local:#x}"
+            );
+        }
+        assert_eq!(
+            batched_server.dimm(2).materialized_rows(),
+            word_server.dimm(2).materialized_rows()
+        );
+    }
+
+    #[test]
+    fn fill_contents_reach_the_dimm() {
+        let mut server = server();
+        let values: Vec<u64> = (0..1500u64).collect();
+        let mut s = server.session(1);
+        let base = s.alloc(values.len() as u64 * 8).unwrap();
+        s.fill(base, &values).unwrap();
+        for i in [0u64, 1, 1023, 1024, 1499] {
+            assert_eq!(s.read_u64(base + i * 8).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn fill_with_interleaving_falls_back_to_word_writes() {
+        let mut config = ServerConfig::small();
+        config.interleaving = true;
+        let mut server = XGene2Server::new(config);
+        let values: Vec<u64> = (0..64u64).collect();
+        let mut s = server.session(0);
+        let base = s.alloc(values.len() as u64 * 8).unwrap();
+        s.fill(base, &values).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(s.read_u64(base + i as u64 * 8).unwrap(), v);
+        }
+        let run = s.finish();
+        let mcus: std::collections::HashSet<u8> = run
+            .trace
+            .iter()
+            .filter(|t| t.is_write)
+            .map(|t| t.mcu)
+            .collect();
+        assert_eq!(mcus.len(), 4, "interleaved fill must stripe across MCUs");
+    }
+
+    #[test]
+    fn fill_rejects_bad_addresses_like_write_u64() {
+        let mut server = server();
+        let mut s = server.session(0);
+        let base = s.alloc(64).unwrap();
+        assert_eq!(
+            s.fill(base + 1, &[1, 2]).unwrap_err(),
+            SessionError::Unaligned(base + 1)
+        );
+        assert!(matches!(
+            s.fill(0x8, &[1]).unwrap_err(),
+            SessionError::Unmapped(_)
+        ));
+        // A fill running past the allocation fails at the first unmapped
+        // row, with the in-range prefix applied — like the per-word loop.
+        let row_words = server.row_bytes() / 8;
+        let mut s = server.session(0);
+        let base = s.alloc(8).unwrap(); // rounds to one row
+        let too_many = vec![7u64; row_words as usize + 1];
+        assert!(matches!(
+            s.fill(base, &too_many).unwrap_err(),
+            SessionError::Unmapped(_)
+        ));
+        assert_eq!(s.read_u64(base).unwrap(), 7);
     }
 
     #[test]

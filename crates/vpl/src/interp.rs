@@ -329,15 +329,14 @@ impl Interpreter {
         self.names = compiler.names.clone();
         self.slots = vec![Slot::Register(0); compiler.names.len()];
 
-        // Materialize globals in DRAM.
+        // Materialize globals in DRAM. The bound pattern arrays (24 KB row
+        // triples and larger) land here, so use the bus's batched fill.
         for (slot, values) in global_values {
             let words = values.len() as u64;
             let base = bus.alloc(words * 8)?;
             self.stats.allocs += 1;
-            for (i, v) in values.iter().enumerate() {
-                bus.write_u64(base + i as u64 * 8, *v)?;
-                self.stats.writes += 1;
-            }
+            bus.fill(base, &values)?;
+            self.stats.writes += words;
             self.slots[slot as usize] = Slot::Memory { base, words };
         }
         for stmt in &local_stmts {

@@ -1,0 +1,185 @@
+//! Differential coverage for the prepared run-plan window kernel.
+//!
+//! The `RunPlan` fast path (DESIGN.md "Run-plan window kernel") is an
+//! algebraic factoring of the reference per-cell retention loop, not an
+//! approximation: for any contents, operating environment, activation
+//! profile, and VRT nonce it must emit a *bit-identical* `WordEvent`
+//! stream. These tests pin that equivalence from two directions:
+//!
+//! * a property test at the DIMM layer, randomising everything the plan
+//!   partitions over (contents, temperature, voltage, refresh period,
+//!   hammering profile, nonce);
+//! * determinism tests at the server layer, checking that
+//!   `evaluate_prepared` over a shared [`PreparedRun`] equals both
+//!   `evaluate_run` and the retained reference path for every nonce.
+
+use dstress_dram::geometry::RowKey;
+use dstress_dram::{ActivationCounts, Dimm, DimmConfig, Location, OperatingEnv};
+use dstress_platform::session::MemoryBus;
+use dstress_platform::{RecordedRun, ServerConfig, XGene2Server};
+use proptest::prelude::*;
+
+/// A DIMM config with a weak-cell population small enough for hundreds of
+/// property cases but still containing singles, pairs, and VRT cells.
+fn small_dimm_config() -> DimmConfig {
+    let mut config = DimmConfig::default();
+    config.weak.singles_per_rank = 400;
+    config.weak.pairs_per_rank = 16;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The planned kernel's event stream matches the reference loop for
+    /// random contents, operating envs, activation profiles, and nonces.
+    #[test]
+    fn planned_events_match_reference_loop(
+        seed in any::<u64>(),
+        temp_c in 45.0f64..70.0,
+        vdd_v in 1.35f64..1.55,
+        trefp_s in 0.3f64..2.3,
+        writes in proptest::collection::vec(
+            (0u8..2, 0u8..8, 0u32..64, 0u32..1024, any::<u64>()),
+            0..40,
+        ),
+        activations in proptest::collection::vec(
+            (0u8..2, 0u8..8, 0u32..64, 1u64..60_000),
+            0..12,
+        ),
+        nonce in any::<u64>(),
+    ) {
+        let mut dimm = Dimm::new(small_dimm_config(), seed);
+        for &(rank, bank, row, col, value) in &writes {
+            dimm.write_word(Location::new(rank, bank, row, col), value);
+        }
+        let mut acts = ActivationCounts::new();
+        for &(rank, bank, row, count) in &activations {
+            acts.add(RowKey::new(rank, bank, row), count);
+        }
+        let env = OperatingEnv { temp_c, vdd_v, trefp_s };
+        let disturbance = dimm.disturbance_profile(&acts);
+        let plan = dimm.prepare_run(&env, &disturbance);
+        let mut planned = Vec::new();
+        for window in 0..4u64 {
+            let window_nonce = nonce.wrapping_add(window);
+            let reference =
+                dimm.advance_window_profiled(&env, &disturbance, window_nonce);
+            dimm.advance_window_planned(&plan, window_nonce, &mut planned);
+            prop_assert_eq!(&planned, &reference);
+        }
+    }
+
+    /// Re-preparing after a contents change tracks the reference loop: the
+    /// plan is a pure function of (contents, env, disturbance), so a fresh
+    /// plan over mutated contents must agree with the reference again.
+    #[test]
+    fn replanning_after_writes_matches_reference(
+        seed in any::<u64>(),
+        first in any::<u64>(),
+        second in any::<u64>(),
+        col in 0u32..1024,
+        nonce in any::<u64>(),
+    ) {
+        let mut dimm = Dimm::new(small_dimm_config(), seed);
+        let env = OperatingEnv::relaxed(60.0);
+        let no_acts = dimm.disturbance_profile(&ActivationCounts::new());
+        dimm.write_word(Location::new(0, 0, 0, col), first);
+        let plan = dimm.prepare_run(&env, &no_acts);
+        let mut planned = Vec::new();
+        dimm.advance_window_planned(&plan, nonce, &mut planned);
+        prop_assert_eq!(
+            &planned,
+            &dimm.advance_window_profiled(&env, &no_acts, nonce)
+        );
+        // Mutate contents, rebuild, and the equivalence must hold again.
+        dimm.write_word(Location::new(0, 0, 0, col), second);
+        let replan = dimm.prepare_run(&env, &no_acts);
+        dimm.advance_window_planned(&replan, nonce, &mut planned);
+        prop_assert_eq!(
+            &planned,
+            &dimm.advance_window_profiled(&env, &no_acts, nonce)
+        );
+    }
+}
+
+/// Builds a stressed server plus a recorded run that manifests errors:
+/// relaxed refresh/voltage on the second domain, hot DIMMs, a worst-case
+/// fill, and a few read passes for activation pressure.
+fn stressed_server_and_run() -> (XGene2Server, RecordedRun) {
+    let mut server = XGene2Server::new(ServerConfig::small());
+    server.relax_second_domain();
+    server.set_dimm_temperature(2, 60.0);
+    server.set_dimm_temperature(3, 60.0);
+    let mut session = server.session(2);
+    let base = session.alloc(16 * 1024).expect("alloc");
+    let values: Vec<u64> = (0..2048)
+        .map(|i| {
+            if i % 2 == 0 {
+                0x3333_3333_3333_3333
+            } else {
+                0xCCCC_CCCC_CCCC_CCCC
+            }
+        })
+        .collect();
+    session.fill(base, &values).expect("fill");
+    for _ in 0..3 {
+        for w in 0..2048u64 {
+            session.read_u64(base + w * 8).expect("read");
+        }
+    }
+    let run = session.finish();
+    (server, run)
+}
+
+/// `evaluate_prepared` over one shared `PreparedRun` equals `evaluate_run`
+/// (which re-prepares per call) *and* the retained reference evaluator for
+/// every nonce — the plan carries no per-nonce state.
+#[test]
+fn evaluate_prepared_equals_evaluate_run_for_all_nonces() {
+    let (mut fast, run) = stressed_server_and_run();
+    let mut per_call = fast.clone();
+    let mut reference = fast.clone();
+    let prepared = fast.prepare_run(&run);
+    let mut total_ce = 0u64;
+    for nonce in 0..32u64 {
+        let outcome = fast.evaluate_prepared(&prepared, nonce);
+        assert_eq!(outcome, per_call.evaluate_run(&run, nonce), "nonce {nonce}");
+        assert_eq!(
+            outcome,
+            reference.evaluate_run_reference(&run, nonce),
+            "nonce {nonce}"
+        );
+        total_ce += outcome.totals.ce;
+    }
+    assert!(total_ce > 0, "stress setup must manifest errors");
+}
+
+/// `evaluate_runs` (plan built once, nonce incremented per repeat) equals a
+/// loop of independent `evaluate_run` calls — plan reuse is invisible to
+/// the paper's 10-run averaging workflow.
+#[test]
+fn evaluate_runs_equals_independent_evaluations() {
+    let (mut batched, run) = stressed_server_and_run();
+    let mut looped = batched.clone();
+    let outcomes = batched.evaluate_runs(&run, 10, 7);
+    assert_eq!(outcomes.len(), 10);
+    for (r, outcome) in outcomes.iter().enumerate() {
+        assert_eq!(outcome, &looped.evaluate_run(&run, 7 + r as u64), "run {r}");
+    }
+}
+
+/// A cloned server replays the same outcomes — evaluation is a pure
+/// function of (server state, run, nonce), which is what lets parallel GA
+/// workers each own a replica.
+#[test]
+fn cloned_server_replays_identical_outcomes() {
+    let (mut original, run) = stressed_server_and_run();
+    let mut replica = original.clone();
+    for nonce in [0u64, 1, 99, u64::MAX] {
+        assert_eq!(
+            original.evaluate_run(&run, nonce),
+            replica.evaluate_run(&run, nonce)
+        );
+    }
+}
