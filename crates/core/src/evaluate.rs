@@ -6,9 +6,39 @@ use crate::patterns::{BitCodec, IntCodec};
 use dstress_dram::geometry::RowKey;
 use dstress_ga::{BitGenome, Fitness, IntGenome, ParallelFitness};
 use dstress_platform::{RunOutcome, XGene2Server};
-use dstress_vpl::{BoundValue, ExecLimits, Interpreter, ProcessedTemplate};
+use dstress_vpl::{compile, BoundValue, ExecLimits, Interpreter, ProcessedTemplate, Vm};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+const NONCE_PRIME: u64 = 0x0000_0100_0000_01B3;
+const NONCE_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn nonce_eat(hash: &mut u64, value: u64) {
+    for byte in value.to_le_bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(NONCE_PRIME);
+    }
+}
+
+fn nonce_eat_pair(hash: &mut u64, key: &str, value: &BoundValue) {
+    for byte in key.bytes() {
+        *hash ^= byte as u64;
+        *hash = hash.wrapping_mul(NONCE_PRIME);
+    }
+    match value {
+        BoundValue::Scalar(v) => {
+            nonce_eat(hash, 0);
+            nonce_eat(hash, *v);
+        }
+        BoundValue::Array(vs) => {
+            nonce_eat(hash, 1);
+            nonce_eat(hash, vs.len() as u64);
+            for v in vs {
+                nonce_eat(hash, *v);
+            }
+        }
+    }
+}
 
 /// Derives the base VRT nonce for one evaluation from the fully-bound
 /// chromosome (FNV-1a over the sorted bindings).
@@ -20,34 +50,57 @@ use std::collections::HashMap;
 /// from the engine's evaluation cache. Distinct chromosomes still draw
 /// distinct noise, so VRT keeps differentiating candidates run-to-run
 /// across the `runs` repeats (which offset the base nonce).
+///
+/// The hot path ([`VirusEvaluator::evaluate_bindings`]) computes the same
+/// hash without materializing or sorting the merged binding map — see
+/// `merged_nonce` — so this reference form only backs tests and one-off
+/// callers.
 fn bindings_nonce(bindings: &HashMap<String, BoundValue>) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    fn eat(hash: &mut u64, value: u64) {
-        for byte in value.to_le_bytes() {
-            *hash ^= byte as u64;
-            *hash = hash.wrapping_mul(PRIME);
-        }
-    }
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash = NONCE_SEED;
     let mut keys: Vec<&String> = bindings.keys().collect();
     keys.sort();
     for key in keys {
-        for byte in key.bytes() {
-            hash ^= byte as u64;
-            hash = hash.wrapping_mul(PRIME);
-        }
-        match &bindings[key] {
-            BoundValue::Scalar(v) => {
-                eat(&mut hash, 0);
-                eat(&mut hash, *v);
-            }
-            BoundValue::Array(vs) => {
-                eat(&mut hash, 1);
-                eat(&mut hash, vs.len() as u64);
-                for v in vs {
-                    eat(&mut hash, *v);
+        nonce_eat_pair(&mut hash, key, &bindings[key]);
+    }
+    hash
+}
+
+/// Computes [`bindings_nonce`] of `env ∪ chromosome` (chromosome wins on a
+/// shared key) from a pre-sorted environment view, sorting only the
+/// chromosome's few GA-parameter keys per evaluation instead of cloning and
+/// re-sorting the whole union.
+fn merged_nonce(
+    sorted_env: &[(String, BoundValue)],
+    chromosome: &HashMap<String, BoundValue>,
+) -> u64 {
+    let mut chrom: Vec<(&str, &BoundValue)> =
+        chromosome.iter().map(|(k, v)| (k.as_str(), v)).collect();
+    chrom.sort_unstable_by_key(|&(k, _)| k);
+    let mut hash = NONCE_SEED;
+    let mut e = 0;
+    let mut c = 0;
+    while e < sorted_env.len() || c < chrom.len() {
+        let pick_env = match (sorted_env.get(e), chrom.get(c)) {
+            (Some((ek, _)), Some(&(ck, _))) => {
+                if ek.as_str() == ck {
+                    // Chromosome overrides the environment binding.
+                    e += 1;
+                    false
+                } else {
+                    ek.as_str() < ck
                 }
             }
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if pick_env {
+            let (k, v) = &sorted_env[e];
+            nonce_eat_pair(&mut hash, k, v);
+            e += 1;
+        } else {
+            let (k, v) = chrom[c];
+            nonce_eat_pair(&mut hash, k, v);
+            c += 1;
         }
     }
     hash
@@ -87,14 +140,21 @@ pub struct EvalOutcome {
 ///
 /// Owns the server for the duration of the campaign; each evaluation resets
 /// memory and counters, instantiates the template with the chromosome's
-/// bindings plus the campaign's environment bindings, executes the virus
-/// body once through the interpreter, then replays it for
-/// `runs` independent evaluation runs (the paper's 10-run averaging).
+/// bindings plus the campaign's environment bindings, compiles the program
+/// once to VPL bytecode and executes it through the [`Vm`] (monomorphized
+/// over the recording session), then replays the recorded trace for `runs`
+/// independent evaluation runs (the paper's 10-run averaging). The
+/// tree-walking interpreter path survives as
+/// [`VirusEvaluator::evaluate_bindings_reference`], the oracle the
+/// differential suite holds the production path against.
 #[derive(Debug)]
 pub struct VirusEvaluator {
     server: XGene2Server,
     template: ProcessedTemplate,
     env: HashMap<String, BoundValue>,
+    /// The environment bindings sorted by key once at construction, so the
+    /// per-evaluation nonce never re-sorts or re-allocates them.
+    sorted_env: Vec<(String, BoundValue)>,
     metric: Metric,
     runs: u32,
     target_mcu: usize,
@@ -116,10 +176,14 @@ impl VirusEvaluator {
         runs: u32,
         target_mcu: usize,
     ) -> Self {
+        let mut sorted_env: Vec<(String, BoundValue)> =
+            env.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        sorted_env.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         VirusEvaluator {
             server,
             template,
             env,
+            sorted_env,
             metric,
             runs,
             target_mcu,
@@ -140,6 +204,7 @@ impl VirusEvaluator {
             server: self.server.clone(),
             template: self.template.clone(),
             env: self.env.clone(),
+            sorted_env: self.sorted_env.clone(),
             metric: self.metric.clone(),
             runs: self.runs,
             target_mcu: self.target_mcu,
@@ -175,6 +240,33 @@ impl VirusEvaluator {
     ///
     /// Propagates template instantiation and execution failures.
     pub fn evaluate_bindings(
+        &mut self,
+        chromosome: HashMap<String, BoundValue>,
+    ) -> Result<EvalOutcome, DStressError> {
+        let base_nonce = merged_nonce(&self.sorted_env, &chromosome);
+        let mut bindings = self.env.clone();
+        bindings.extend(chromosome);
+        let program = self.template.instantiate(&bindings)?;
+        let compiled = compile(&program)?;
+        self.server.reset_memory();
+        let mut session = self.server.session(self.target_mcu);
+        Vm::new(self.limits).run(&compiled, &mut session)?;
+        let run = session.finish();
+        let outcomes = self.server.evaluate_runs(&run, self.runs, base_nonce);
+        let outcome = self.summarize(&outcomes, run.len());
+        self.last = Some(outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Reference evaluation through the tree-walking [`Interpreter`] and
+    /// the hash-the-merged-map nonce. Semantically identical to
+    /// [`Self::evaluate_bindings`] — the `dstress-tests` differential suite
+    /// asserts the two produce the same [`EvalOutcome`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template instantiation and execution failures.
+    pub fn evaluate_bindings_reference(
         &mut self,
         chromosome: HashMap<String, BoundValue>,
     ) -> Result<EvalOutcome, DStressError> {
@@ -429,6 +521,58 @@ mod tests {
             )
             .unwrap();
         assert_ne!(a, other, "different chromosomes should differ");
+    }
+
+    #[test]
+    fn merged_nonce_matches_reference_hash() {
+        // The hoisted merge-iteration nonce must be bit-identical to
+        // hashing the sorted union — including on key collisions, where the
+        // chromosome value wins (exactly what `HashMap::extend` does).
+        let env: HashMap<String, BoundValue> = [
+            ("MEM_WORDS".to_string(), BoundValue::Scalar(4096)),
+            ("MEM_BYTES".to_string(), BoundValue::Scalar(32768)),
+            ("ZED".to_string(), BoundValue::Scalar(1)),
+        ]
+        .into();
+        let mut sorted_env: Vec<(String, BoundValue)> =
+            env.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        sorted_env.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for chromosome in [
+            HashMap::from([
+                ("PATTERN".to_string(), BoundValue::Scalar(0x3333)),
+                ("ARR".to_string(), BoundValue::Array(vec![1, 2, 3])),
+            ]),
+            // Collides with an env key.
+            HashMap::from([
+                ("ZED".to_string(), BoundValue::Scalar(99)),
+                ("AAA".to_string(), BoundValue::Scalar(7)),
+            ]),
+            HashMap::new(),
+        ] {
+            let mut union = env.clone();
+            union.extend(chromosome.clone());
+            assert_eq!(
+                merged_nonce(&sorted_env, &chromosome),
+                bindings_nonce(&union),
+                "nonce diverged for chromosome {chromosome:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn vm_path_matches_interpreter_reference_path() {
+        // End-to-end oracle check at the evaluator level: bytecode VM
+        // execution and the tree-walking reference must produce the same
+        // EvalOutcome (same trace => same replay => same errors).
+        let mut eval = evaluator(Metric::CeAverage);
+        let chromosome: HashMap<String, BoundValue> = [(
+            "PATTERN".to_string(),
+            BoundValue::Scalar(0x3333_3333_3333_3333),
+        )]
+        .into();
+        let vm = eval.evaluate_bindings(chromosome.clone()).unwrap();
+        let reference = eval.evaluate_bindings_reference(chromosome).unwrap();
+        assert_eq!(vm, reference);
     }
 
     #[test]

@@ -594,8 +594,9 @@ impl DStress {
         let server = evaluator.server_mut();
         server.reset_memory();
         let mut session = server.session(2);
-        dstress_vpl::Interpreter::new(dstress_vpl::ExecLimits::default())
-            .run(&program, &mut session)
+        let compiled = dstress_vpl::compile(&program).map_err(DStressError::from)?;
+        dstress_vpl::Vm::new(dstress_vpl::ExecLimits::default())
+            .run(&compiled, &mut session)
             .map_err(DStressError::from)?;
         let run = session.finish();
         for outcome in server.evaluate_runs(&run, self.scale.runs_per_virus, 0xF00D) {

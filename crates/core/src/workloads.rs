@@ -126,7 +126,7 @@ impl Workload {
             let mut session = server.session(mcu);
             self.drive(&mut session, bytes, seed ^ (mcu as u64) << 8)?;
             let run = session.finish();
-            merged.trace.extend(run.trace);
+            merged.append_run(&run);
             merged.truncated |= run.truncated;
         }
         Ok(merged)
@@ -170,7 +170,7 @@ mod tests {
     fn deploy_touches_all_mcus() {
         let mut sv = server();
         let run = Workload::Kmeans.deploy(&mut sv, 3).unwrap();
-        let mcus: std::collections::HashSet<u8> = run.trace.iter().map(|t| t.mcu).collect();
+        let mcus: std::collections::HashSet<u8> = run.iter().map(|t| t.mcu).collect();
         assert_eq!(mcus.len(), 4);
         assert!(!run.is_empty());
     }

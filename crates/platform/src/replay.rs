@@ -16,7 +16,53 @@ use crate::cache::Cache;
 use crate::config::AccessModelConfig;
 use crate::session::RecordedRun;
 use dstress_dram::{ActivationCounts, AddressMap};
-use std::collections::HashMap;
+
+/// Open-row state per (mcu, rank, bank), stored flat: each MCU's banks get
+/// a contiguous block of `ranks × banks` entries sized from its own
+/// geometry. An entry holds `row + 1` (0 = no row open), so the tracker
+/// needs one indexed load per DRAM access instead of a hash-map probe, and
+/// its iteration order is deterministic by construction.
+struct OpenRows {
+    /// First entry of each MCU's block.
+    offsets: Vec<usize>,
+    /// Per-bank open row + 1; 0 when the bank has no row open.
+    entries: Vec<u64>,
+    /// Banks per rank, per MCU (row index → entry stride).
+    banks: Vec<usize>,
+}
+
+impl OpenRows {
+    fn new(maps: &[AddressMap]) -> Self {
+        let mut offsets = Vec::with_capacity(maps.len());
+        let mut banks = Vec::with_capacity(maps.len());
+        let mut total = 0usize;
+        for map in maps {
+            let geo = map.geometry();
+            offsets.push(total);
+            banks.push(geo.banks as usize);
+            total += geo.ranks as usize * geo.banks as usize;
+        }
+        OpenRows {
+            offsets,
+            entries: vec![0; total],
+            banks,
+        }
+    }
+
+    /// Opens `row` on (mcu, rank, bank); returns true when that required a
+    /// new activation (the row was not already open).
+    #[inline]
+    fn activate(&mut self, mcu: usize, rank: u8, bank: u8, row: u32) -> bool {
+        let idx = self.offsets[mcu] + rank as usize * self.banks[mcu] + bank as usize;
+        let tagged = row as u64 + 1;
+        if self.entries[idx] == tagged {
+            false
+        } else {
+            self.entries[idx] = tagged;
+            true
+        }
+    }
+}
 
 /// Per-MCU activation counts for one refresh window, derived from a
 /// recorded virus trace.
@@ -53,15 +99,14 @@ impl ReplayProfile {
             };
         }
         let mut cache = Cache::new(access.cache_bytes, access.cache_ways, access.line_bytes);
-        // Open-row tracker per (mcu, rank, bank).
-        let mut open_rows: HashMap<(u8, u8, u8), u32> = HashMap::new();
+        let mut open_rows = OpenRows::new(maps);
         // Stores are setup (the fill phase runs once); the recorded *load*
         // stream is the virus's periodic steady state. The cache and
         // row-buffer models still see every operation in program order so
         // the loads meet warm state, but only loads count toward the
         // periodic activation profile.
         let mut read_ops = 0u64;
-        for op in &run.trace {
+        for op in run.iter() {
             let mcu = op.mcu as usize;
             if !op.is_write {
                 read_ops += 1;
@@ -76,10 +121,7 @@ impl ReplayProfile {
             dram_accesses[mcu] += 1;
             let word_addr = op.local_addr & !7;
             if let Ok(loc) = maps[mcu].map(word_addr) {
-                let key = (op.mcu, loc.rank, loc.bank);
-                let open = open_rows.get(&key).copied();
-                if open != Some(loc.row) {
-                    open_rows.insert(key, loc.row);
+                if open_rows.activate(mcu, loc.rank, loc.bank, loc.row) {
                     acts[mcu].add(loc.row_key(), 1);
                 }
             }
@@ -136,11 +178,7 @@ mod tests {
     }
 
     fn run_of(ops: Vec<TraceOp>) -> RecordedRun {
-        RecordedRun {
-            trace: ops,
-            target_mcu: 2,
-            truncated: false,
-        }
+        RecordedRun::from_trace(ops, 2)
     }
 
     /// A trace that streams `rows` whole rows on MCU 2 (touching each word).

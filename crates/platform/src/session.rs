@@ -116,10 +116,20 @@ pub struct TraceOp {
 ///
 /// Stores were already applied to the DIMMs; the trace is replayed
 /// analytically to model the access intensity over a full run.
+///
+/// Stored structure-of-arrays: one `u64` address vector plus one packed
+/// metadata byte per access (MCU index and write flag), instead of a vector
+/// of padded [`TraceOp`] structs. A virus trace runs to millions of
+/// accesses, so the replay path ([`crate::replay::ReplayProfile::build`])
+/// streams 9 bytes per op instead of 24, and appending from the recording
+/// bus is two `Vec` pushes. [`RecordedRun::iter`] re-materializes
+/// [`TraceOp`]s for consumers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecordedRun {
-    /// The recorded access trace, in program order.
-    pub trace: Vec<TraceOp>,
+    /// DIMM-local physical byte address per access, in program order.
+    addrs: Vec<u64>,
+    /// Packed per-access metadata: bit 7 = write flag, bits 0–6 = MCU.
+    meta: Vec<u8>,
     /// The MCU the session allocated from.
     pub target_mcu: usize,
     /// Whether the trace hit the recording cap (the replay then uses the
@@ -127,24 +137,77 @@ pub struct RecordedRun {
     pub truncated: bool,
 }
 
+/// Write flag inside [`RecordedRun`] metadata bytes.
+const META_WRITE: u8 = 0x80;
+
 impl RecordedRun {
     /// An empty run (no accesses — idle memory under test).
     pub fn idle(target_mcu: usize) -> Self {
         RecordedRun {
-            trace: Vec::new(),
+            addrs: Vec::new(),
+            meta: Vec::new(),
             target_mcu,
             truncated: false,
         }
     }
 
+    /// A run holding the given operations (test/workload construction).
+    pub fn from_trace(ops: impl IntoIterator<Item = TraceOp>, target_mcu: usize) -> Self {
+        let mut run = RecordedRun::idle(target_mcu);
+        for op in ops {
+            run.push(op);
+        }
+        run
+    }
+
     /// Number of recorded operations.
     pub fn len(&self) -> usize {
-        self.trace.len()
+        self.addrs.len()
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.trace.is_empty()
+        self.addrs.is_empty()
+    }
+
+    /// Appends one access.
+    #[inline]
+    pub fn push(&mut self, op: TraceOp) {
+        self.addrs.push(op.local_addr);
+        self.meta
+            .push(op.mcu | if op.is_write { META_WRITE } else { 0 });
+    }
+
+    /// The `i`-th recorded access.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> TraceOp {
+        TraceOp {
+            mcu: self.meta[i] & !META_WRITE,
+            local_addr: self.addrs[i],
+            is_write: self.meta[i] & META_WRITE != 0,
+        }
+    }
+
+    /// Iterates the recorded accesses in program order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceOp> + '_ {
+        self.addrs
+            .iter()
+            .zip(&self.meta)
+            .map(|(&local_addr, &meta)| TraceOp {
+                mcu: meta & !META_WRITE,
+                local_addr,
+                is_write: meta & META_WRITE != 0,
+            })
+    }
+
+    /// Appends every access of `other` (workload composition).
+    pub fn append_run(&mut self, other: &RecordedRun) {
+        self.addrs.extend_from_slice(&other.addrs);
+        self.meta.extend_from_slice(&other.meta);
     }
 }
 
@@ -165,9 +228,8 @@ pub struct Session<'a> {
     target_mcu: usize,
     segments: Vec<Segment>,
     next_virt: u64,
-    trace: Vec<TraceOp>,
+    trace: RecordedRun,
     max_trace: usize,
-    truncated: bool,
 }
 
 impl<'a> Session<'a> {
@@ -181,9 +243,8 @@ impl<'a> Session<'a> {
             target_mcu,
             segments: Vec::new(),
             next_virt: 0x1_0000,
-            trace: Vec::new(),
+            trace: RecordedRun::idle(target_mcu),
             max_trace,
-            truncated: false,
         }
     }
 
@@ -193,6 +254,7 @@ impl<'a> Session<'a> {
     }
 
     /// Translates a virtual address to `(mcu, local physical address)`.
+    #[inline]
     fn translate(&self, addr: VirtAddr) -> Result<(usize, u64), SessionError> {
         if !addr.is_multiple_of(8) {
             return Err(SessionError::Unaligned(addr));
@@ -215,9 +277,10 @@ impl<'a> Session<'a> {
         }
     }
 
+    #[inline]
     fn record(&mut self, mcu: usize, local_addr: u64, is_write: bool) {
         if self.trace.len() >= self.max_trace {
-            self.truncated = true;
+            self.trace.truncated = true;
             return;
         }
         self.trace.push(TraceOp {
@@ -229,15 +292,14 @@ impl<'a> Session<'a> {
 
     /// Consumes the session, returning the recorded run.
     pub fn finish(self) -> RecordedRun {
-        RecordedRun {
-            trace: self.trace,
-            target_mcu: self.target_mcu,
-            truncated: self.truncated,
-        }
+        self.trace
     }
 }
 
+// `#[inline]` throughout: the VPL bytecode VM is monomorphized over this
+// bus, and these bodies are the per-access hot path it inlines.
 impl MemoryBus for Session<'_> {
+    #[inline]
     fn alloc(&mut self, bytes: u64) -> Result<VirtAddr, SessionError> {
         if bytes == 0 {
             return Err(SessionError::ZeroAllocation);
@@ -262,12 +324,14 @@ impl MemoryBus for Session<'_> {
         Ok(virt)
     }
 
+    #[inline]
     fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, SessionError> {
         let (mcu, local) = self.translate(addr)?;
         self.record(mcu, local, false);
         Ok(self.server.read_local(mcu, local))
     }
 
+    #[inline]
     fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), SessionError> {
         let (mcu, local) = self.translate(addr)?;
         self.record(mcu, local, true);
@@ -382,9 +446,9 @@ mod tests {
         s.read_u64(base).unwrap();
         let run = s.finish();
         assert_eq!(run.len(), 2);
-        assert!(run.trace[0].is_write);
-        assert!(!run.trace[1].is_write);
-        assert_eq!(run.trace[0].local_addr, run.trace[1].local_addr);
+        assert!(run.get(0).is_write);
+        assert!(!run.get(1).is_write);
+        assert_eq!(run.get(0).local_addr, run.get(1).local_addr);
         assert_eq!(run.target_mcu, 2);
         assert!(!run.truncated);
     }
@@ -427,7 +491,7 @@ mod tests {
             s.read_u64(base + line * 64).unwrap();
         }
         let run = s.finish();
-        let mcus: std::collections::HashSet<u8> = run.trace.iter().map(|t| t.mcu).collect();
+        let mcus: std::collections::HashSet<u8> = run.iter().map(|t| t.mcu).collect();
         assert_eq!(mcus.len(), 4, "8 consecutive lines must touch all 4 MCUs");
     }
 
@@ -440,7 +504,7 @@ mod tests {
             s.read_u64(base + line * 64).unwrap();
         }
         let run = s.finish();
-        assert!(run.trace.iter().all(|t| t.mcu == 3));
+        assert!(run.iter().all(|t| t.mcu == 3));
     }
 
     #[test]
@@ -506,12 +570,8 @@ mod tests {
             assert_eq!(s.read_u64(base + i as u64 * 8).unwrap(), v);
         }
         let run = s.finish();
-        let mcus: std::collections::HashSet<u8> = run
-            .trace
-            .iter()
-            .filter(|t| t.is_write)
-            .map(|t| t.mcu)
-            .collect();
+        let mcus: std::collections::HashSet<u8> =
+            run.iter().filter(|t| t.is_write).map(|t| t.mcu).collect();
         assert_eq!(mcus.len(), 4, "interleaved fill must stripe across MCUs");
     }
 
@@ -546,5 +606,40 @@ mod tests {
         let run = RecordedRun::idle(1);
         assert!(run.is_empty());
         assert_eq!(run.len(), 0);
+    }
+
+    #[test]
+    fn packed_trace_roundtrips_ops() {
+        // The SoA encoding (packed mcu/write byte + address vector) must
+        // reproduce every TraceOp exactly, through push, get, and iter.
+        let ops = [
+            TraceOp {
+                mcu: 0,
+                local_addr: 0,
+                is_write: false,
+            },
+            TraceOp {
+                mcu: 3,
+                local_addr: !7u64,
+                is_write: true,
+            },
+            TraceOp {
+                mcu: 127,
+                local_addr: 0x8192,
+                is_write: true,
+            },
+        ];
+        let run = RecordedRun::from_trace(ops, 1);
+        assert_eq!(run.len(), 3);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(run.get(i), *op);
+        }
+        let collected: Vec<TraceOp> = run.iter().collect();
+        assert_eq!(collected, ops);
+        let mut merged = RecordedRun::idle(1);
+        merged.append_run(&run);
+        merged.append_run(&run);
+        assert_eq!(merged.len(), 6);
+        assert_eq!(merged.get(5), ops[2]);
     }
 }

@@ -12,15 +12,20 @@
 //! * a step budget bounds execution, so a pathological candidate virus
 //!   cannot wedge a search campaign.
 //!
-//! Internally the program is first *compiled*: every variable name resolves
-//! to a slot index once, so the execution loop — which runs millions of
-//! steps per candidate virus during a GA campaign — never hashes a string.
+//! Internally the program is first resolved (see [`crate::resolve`]): every
+//! variable name becomes a slot index, so the execution loop never hashes a
+//! string.
+//!
+//! This tree-walker is the *reference oracle* for VPL semantics. The
+//! production tier — [`crate::bytecode`] + [`crate::vm`] — must match it
+//! bit-for-bit ([`ExecStats`] included); the `dstress-tests` differential
+//! suite pins that equivalence.
 
-use crate::ast::{AssignOp, BinOp, Decl, Expr, Init, LValue, Program, Stmt, UnOp};
+use crate::ast::{AssignOp, BinOp, Program, UnOp};
 use crate::error::VplError;
+use crate::resolve::{resolve, RExpr, RLValue, RStmt, Slot};
 use dstress_platform::session::MemoryBus;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Execution limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,217 +53,6 @@ pub struct ExecStats {
     pub writes: u64,
     /// `malloc` calls.
     pub allocs: u64,
-}
-
-/// What a slot holds at run time.
-#[derive(Debug, Clone, Copy)]
-enum Slot {
-    /// A register value.
-    Register(u64),
-    /// A DRAM-resident object: base virtual address and length in words.
-    Memory { base: u64, words: u64 },
-}
-
-// ---- resolved (compiled) program form --------------------------------
-
-#[derive(Debug, Clone)]
-enum RExpr {
-    Num(u64),
-    Slot(u32),
-    Index {
-        base: u32,
-        index: Box<RExpr>,
-    },
-    Unary {
-        op: UnOp,
-        operand: Box<RExpr>,
-    },
-    Binary {
-        op: BinOp,
-        lhs: Box<RExpr>,
-        rhs: Box<RExpr>,
-    },
-    Malloc(Box<RExpr>),
-}
-
-#[derive(Debug, Clone)]
-enum RLValue {
-    Slot(u32),
-    Index { base: u32, index: RExpr },
-}
-
-#[derive(Debug, Clone)]
-enum RStmt {
-    DeclInit {
-        slot: u32,
-        init: Option<RExpr>,
-    },
-    Expr(RExpr),
-    Assign {
-        target: RLValue,
-        op: AssignOp,
-        value: RExpr,
-    },
-    IncDec {
-        target: RLValue,
-        increment: bool,
-    },
-    For {
-        init: Box<RStmt>,
-        cond: RExpr,
-        step: Box<RStmt>,
-        body: Vec<RStmt>,
-    },
-    If {
-        cond: RExpr,
-        then: Vec<RStmt>,
-        els: Vec<RStmt>,
-    },
-    Block(Vec<RStmt>),
-}
-
-/// Name-to-slot resolution state used while compiling.
-struct Compiler {
-    slots: HashMap<String, u32>,
-    names: Vec<String>,
-}
-
-impl Compiler {
-    fn new() -> Self {
-        Compiler {
-            slots: HashMap::new(),
-            names: Vec::new(),
-        }
-    }
-
-    fn declare(&mut self, name: &str) -> u32 {
-        if let Some(&idx) = self.slots.get(name) {
-            return idx;
-        }
-        let idx = self.names.len() as u32;
-        self.names.push(name.to_string());
-        self.slots.insert(name.to_string(), idx);
-        idx
-    }
-
-    fn resolve(&self, name: &str) -> Result<u32, VplError> {
-        self.slots
-            .get(name)
-            .copied()
-            .ok_or_else(|| VplError::Runtime(format!("variable `{name}` used before declaration")))
-    }
-
-    fn compile_expr(&self, e: &Expr) -> Result<RExpr, VplError> {
-        Ok(match e {
-            Expr::Num(n) => RExpr::Num(*n),
-            Expr::Var(name) => RExpr::Slot(self.resolve(name)?),
-            Expr::Placeholder(p) => {
-                return Err(VplError::Runtime(format!(
-                    "placeholder `{p}` survived instantiation"
-                )))
-            }
-            Expr::Index { base, index } => RExpr::Index {
-                base: self.resolve(base)?,
-                index: Box::new(self.compile_expr(index)?),
-            },
-            Expr::Unary { op, operand } => RExpr::Unary {
-                op: *op,
-                operand: Box::new(self.compile_expr(operand)?),
-            },
-            Expr::Binary { op, lhs, rhs } => RExpr::Binary {
-                op: *op,
-                lhs: Box::new(self.compile_expr(lhs)?),
-                rhs: Box::new(self.compile_expr(rhs)?),
-            },
-            Expr::Call { name, args } => {
-                if name != "malloc" {
-                    return Err(VplError::Runtime(format!("unknown function `{name}`")));
-                }
-                if args.len() != 1 {
-                    return Err(VplError::Runtime(
-                        "malloc takes exactly one argument".into(),
-                    ));
-                }
-                RExpr::Malloc(Box::new(self.compile_expr(&args[0])?))
-            }
-        })
-    }
-
-    fn compile_lvalue(&self, lv: &LValue) -> Result<RLValue, VplError> {
-        Ok(match lv {
-            LValue::Var(name) => RLValue::Slot(self.resolve(name)?),
-            LValue::Index { base, index } => RLValue::Index {
-                base: self.resolve(base)?,
-                index: self.compile_expr(index)?,
-            },
-        })
-    }
-
-    fn compile_local_decl(&mut self, d: &Decl) -> Result<RStmt, VplError> {
-        let init = match &d.init {
-            Some(Init::Expr(e)) => Some(self.compile_expr(e)?),
-            Some(Init::List(_)) => {
-                return Err(VplError::Runtime(format!(
-                    "local `{}` cannot take an array initializer; use global_data",
-                    d.name
-                )))
-            }
-            None => None,
-        };
-        // Declared after compiling the initializer: `int i = i;` is an error.
-        let slot = self.declare(&d.name);
-        Ok(RStmt::DeclInit { slot, init })
-    }
-
-    fn compile_stmt(&mut self, s: &Stmt) -> Result<RStmt, VplError> {
-        Ok(match s {
-            Stmt::Decl(d) => self.compile_local_decl(d)?,
-            Stmt::Expr(e) => RStmt::Expr(self.compile_expr(e)?),
-            Stmt::Assign { target, op, value } => {
-                let value = self.compile_expr(value)?;
-                RStmt::Assign {
-                    target: self.compile_lvalue(target)?,
-                    op: *op,
-                    value,
-                }
-            }
-            Stmt::IncDec { target, increment } => RStmt::IncDec {
-                target: self.compile_lvalue(target)?,
-                increment: *increment,
-            },
-            Stmt::For {
-                init,
-                cond,
-                step,
-                body,
-            } => RStmt::For {
-                init: Box::new(self.compile_stmt(init)?),
-                cond: self.compile_expr(cond)?,
-                step: Box::new(self.compile_stmt(step)?),
-                body: body
-                    .iter()
-                    .map(|s| self.compile_stmt(s))
-                    .collect::<Result<_, _>>()?,
-            },
-            Stmt::If { cond, then, els } => RStmt::If {
-                cond: self.compile_expr(cond)?,
-                then: then
-                    .iter()
-                    .map(|s| self.compile_stmt(s))
-                    .collect::<Result<_, _>>()?,
-                els: els
-                    .iter()
-                    .map(|s| self.compile_stmt(s))
-                    .collect::<Result<_, _>>()?,
-            },
-            Stmt::Block(stmts) => RStmt::Block(
-                stmts
-                    .iter()
-                    .map(|s| self.compile_stmt(s))
-                    .collect::<Result<_, _>>()?,
-            ),
-        })
-    }
 }
 
 /// The interpreter.
@@ -299,39 +93,15 @@ impl Interpreter {
         program: &Program,
         bus: &mut dyn MemoryBus,
     ) -> Result<ExecStats, VplError> {
-        let mut compiler = Compiler::new();
-        // Globals first: allocate in DRAM and write initial contents. Their
-        // initializers may reference previously-declared globals.
-        let mut global_values: Vec<(u32, Vec<u64>)> = Vec::new();
-        for d in &program.globals {
-            let values: Vec<u64> = match &d.init {
-                Some(Init::List(items)) => {
-                    items.iter().map(const_eval).collect::<Result<_, _>>()?
-                }
-                Some(Init::Expr(e)) => vec![const_eval(e)?],
-                None => vec![0],
-            };
-            let slot = compiler.declare(&d.name);
-            global_values.push((slot, values));
-        }
-        // Locals declare in order; initializers may reference globals and
-        // previously-declared locals.
-        let mut local_stmts = Vec::with_capacity(program.locals.len());
-        for d in &program.locals {
-            local_stmts.push(compiler.compile_local_decl(d)?);
-        }
-        let body: Vec<RStmt> = program
-            .body
-            .iter()
-            .map(|s| compiler.compile_stmt(s))
-            .collect::<Result<_, _>>()?;
-
-        self.names = compiler.names.clone();
-        self.slots = vec![Slot::Register(0); compiler.names.len()];
+        let resolved = resolve(program)?;
+        // The names move out of the resolver — they are only read for
+        // runtime diagnostics, never mutated, so no per-evaluation clone.
+        self.names = resolved.names;
+        self.slots = vec![Slot::Register(0); self.names.len()];
 
         // Materialize globals in DRAM. The bound pattern arrays (24 KB row
         // triples and larger) land here, so use the bus's batched fill.
-        for (slot, values) in global_values {
+        for (slot, values) in resolved.globals {
             let words = values.len() as u64;
             let base = bus.alloc(words * 8)?;
             self.stats.allocs += 1;
@@ -339,10 +109,10 @@ impl Interpreter {
             self.stats.writes += words;
             self.slots[slot as usize] = Slot::Memory { base, words };
         }
-        for stmt in &local_stmts {
+        for stmt in &resolved.locals {
             self.exec_stmt(stmt, bus)?;
         }
-        for s in &body {
+        for s in &resolved.body {
             self.exec_stmt(s, bus)?;
         }
         Ok(self.stats)
@@ -597,54 +367,12 @@ impl Interpreter {
     }
 }
 
-/// Evaluates a global initializer expression, which must be constant
-/// (global init runs before any statement executes).
-fn const_eval(e: &Expr) -> Result<u64, VplError> {
-    match e {
-        Expr::Num(n) => Ok(*n),
-        Expr::Placeholder(p) => Err(VplError::Runtime(format!(
-            "placeholder `{p}` survived instantiation"
-        ))),
-        Expr::Unary {
-            op: UnOp::Neg,
-            operand,
-        } => Ok(const_eval(operand)?.wrapping_neg()),
-        Expr::Unary {
-            op: UnOp::Not,
-            operand,
-        } => Ok((const_eval(operand)? == 0) as u64),
-        Expr::Binary { op, lhs, rhs } => {
-            let l = const_eval(lhs)?;
-            let r = const_eval(rhs)?;
-            Ok(match op {
-                BinOp::Add => l.wrapping_add(r),
-                BinOp::Sub => l.wrapping_sub(r),
-                BinOp::Mul => l.wrapping_mul(r),
-                BinOp::Div if r != 0 => l / r,
-                BinOp::Rem if r != 0 => l % r,
-                BinOp::Shl => l.wrapping_shl(r as u32),
-                BinOp::Shr => l.wrapping_shr(r as u32),
-                BinOp::BitAnd => l & r,
-                BinOp::BitOr => l | r,
-                BinOp::BitXor => l ^ r,
-                _ => {
-                    return Err(VplError::Runtime(
-                        "global initializers must be constant expressions".into(),
-                    ))
-                }
-            })
-        }
-        _ => Err(VplError::Runtime(
-            "global initializers must be constant expressions".into(),
-        )),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parser::parse_program;
     use dstress_platform::session::{SessionError, VirtAddr};
+    use std::collections::HashMap;
 
     /// A flat in-memory bus for interpreter unit tests.
     #[derive(Debug, Default)]

@@ -38,7 +38,11 @@
 //! The crate implements the paper's *processing phase* (§III-D: "lexical,
 //! syntax and semantic analyses to extract variables") in [`lexer`],
 //! [`parser`], [`template`] and [`sema`], and the execution side of the
-//! *evaluation phase* in [`interp`].
+//! *evaluation phase* twice: the tree-walking reference [`interp`], and the
+//! production tier — [`bytecode`] + [`vm`] — which compiles an instantiated
+//! program once ([`compile`]) and executes the flat ops bit-identically but
+//! many times faster. The GA evaluator compiles each chromosome once and
+//! reuses the bytecode across its averaging runs.
 //!
 //! # Examples
 //!
@@ -69,15 +73,20 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bytecode;
 pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+mod resolve;
 pub mod sema;
 pub mod template;
 pub mod token;
+pub mod vm;
 
+pub use bytecode::{compile, CompiledProgram};
 pub use error::VplError;
 pub use interp::{ExecLimits, ExecStats, Interpreter};
 pub use template::{BoundValue, ParamDecl, ParamShape, ProcessedTemplate, Template};
+pub use vm::{BusOps, Vm};

@@ -1,0 +1,312 @@
+//! Name resolution: lowering the parsed AST into a slot-indexed form.
+//!
+//! Both execution tiers start here — the tree-walking [`crate::interp`]
+//! oracle walks the resolved `RStmt`/`RExpr` tree directly, and the
+//! [`crate::bytecode`] compiler lowers the same tree into a flat op
+//! sequence for the [`crate::vm`]. Sharing the pass guarantees the two
+//! tiers agree on declaration order, shadowing, and every resolution-time
+//! error (undeclared variable, leftover placeholder, unknown function,
+//! non-constant global initializer).
+
+use crate::ast::{AssignOp, BinOp, Decl, Expr, Init, LValue, Program, Stmt, UnOp};
+use crate::error::VplError;
+
+/// What a slot holds at run time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Slot {
+    /// A register value.
+    Register(u64),
+    /// A DRAM-resident object: base virtual address and length in words.
+    Memory { base: u64, words: u64 },
+}
+
+// ---- resolved program form -------------------------------------------
+
+#[derive(Debug, Clone)]
+pub(crate) enum RExpr {
+    Num(u64),
+    Slot(u32),
+    Index {
+        base: u32,
+        index: Box<RExpr>,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<RExpr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<RExpr>,
+        rhs: Box<RExpr>,
+    },
+    Malloc(Box<RExpr>),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum RLValue {
+    Slot(u32),
+    Index { base: u32, index: RExpr },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum RStmt {
+    DeclInit {
+        slot: u32,
+        init: Option<RExpr>,
+    },
+    Expr(RExpr),
+    Assign {
+        target: RLValue,
+        op: AssignOp,
+        value: RExpr,
+    },
+    IncDec {
+        target: RLValue,
+        increment: bool,
+    },
+    For {
+        init: Box<RStmt>,
+        cond: RExpr,
+        step: Box<RStmt>,
+        body: Vec<RStmt>,
+    },
+    If {
+        cond: RExpr,
+        then: Vec<RStmt>,
+        els: Vec<RStmt>,
+    },
+    Block(Vec<RStmt>),
+}
+
+/// A fully resolved program: every name is a slot index, every global
+/// initializer is folded to its constant words.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedProgram {
+    /// Slot names, for runtime diagnostics (out-of-bounds messages).
+    pub(crate) names: Vec<String>,
+    /// Global slots and their initial DRAM contents, in declaration order.
+    pub(crate) globals: Vec<(u32, Vec<u64>)>,
+    /// `->local_data` declarations, in order.
+    pub(crate) locals: Vec<RStmt>,
+    /// `->body` statements.
+    pub(crate) body: Vec<RStmt>,
+}
+
+/// Resolves a fully-instantiated program: declares globals (folding their
+/// constant initializers), then locals, then the body, exactly in source
+/// order — so the first error a program contains is reported first.
+pub(crate) fn resolve(program: &Program) -> Result<ResolvedProgram, VplError> {
+    let mut compiler = Compiler::new();
+    let mut globals: Vec<(u32, Vec<u64>)> = Vec::with_capacity(program.globals.len());
+    for d in &program.globals {
+        let values: Vec<u64> = match &d.init {
+            Some(Init::List(items)) => items.iter().map(const_eval).collect::<Result<_, _>>()?,
+            Some(Init::Expr(e)) => vec![const_eval(e)?],
+            None => vec![0],
+        };
+        let slot = compiler.declare(&d.name);
+        globals.push((slot, values));
+    }
+    let mut locals = Vec::with_capacity(program.locals.len());
+    for d in &program.locals {
+        locals.push(compiler.compile_local_decl(d)?);
+    }
+    let body: Vec<RStmt> = program
+        .body
+        .iter()
+        .map(|s| compiler.compile_stmt(s))
+        .collect::<Result<_, _>>()?;
+    Ok(ResolvedProgram {
+        names: compiler.names,
+        globals,
+        locals,
+        body,
+    })
+}
+
+/// Name-to-slot resolution state.
+struct Compiler {
+    slots: std::collections::HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Compiler {
+    fn new() -> Self {
+        Compiler {
+            slots: std::collections::HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    fn declare(&mut self, name: &str) -> u32 {
+        if let Some(&idx) = self.slots.get(name) {
+            return idx;
+        }
+        let idx = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.slots.insert(name.to_string(), idx);
+        idx
+    }
+
+    fn resolve(&self, name: &str) -> Result<u32, VplError> {
+        self.slots
+            .get(name)
+            .copied()
+            .ok_or_else(|| VplError::Runtime(format!("variable `{name}` used before declaration")))
+    }
+
+    fn compile_expr(&self, e: &Expr) -> Result<RExpr, VplError> {
+        Ok(match e {
+            Expr::Num(n) => RExpr::Num(*n),
+            Expr::Var(name) => RExpr::Slot(self.resolve(name)?),
+            Expr::Placeholder(p) => {
+                return Err(VplError::Runtime(format!(
+                    "placeholder `{p}` survived instantiation"
+                )))
+            }
+            Expr::Index { base, index } => RExpr::Index {
+                base: self.resolve(base)?,
+                index: Box::new(self.compile_expr(index)?),
+            },
+            Expr::Unary { op, operand } => RExpr::Unary {
+                op: *op,
+                operand: Box::new(self.compile_expr(operand)?),
+            },
+            Expr::Binary { op, lhs, rhs } => RExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.compile_expr(lhs)?),
+                rhs: Box::new(self.compile_expr(rhs)?),
+            },
+            Expr::Call { name, args } => {
+                if name != "malloc" {
+                    return Err(VplError::Runtime(format!("unknown function `{name}`")));
+                }
+                if args.len() != 1 {
+                    return Err(VplError::Runtime(
+                        "malloc takes exactly one argument".into(),
+                    ));
+                }
+                RExpr::Malloc(Box::new(self.compile_expr(&args[0])?))
+            }
+        })
+    }
+
+    fn compile_lvalue(&self, lv: &LValue) -> Result<RLValue, VplError> {
+        Ok(match lv {
+            LValue::Var(name) => RLValue::Slot(self.resolve(name)?),
+            LValue::Index { base, index } => RLValue::Index {
+                base: self.resolve(base)?,
+                index: self.compile_expr(index)?,
+            },
+        })
+    }
+
+    fn compile_local_decl(&mut self, d: &Decl) -> Result<RStmt, VplError> {
+        let init = match &d.init {
+            Some(Init::Expr(e)) => Some(self.compile_expr(e)?),
+            Some(Init::List(_)) => {
+                return Err(VplError::Runtime(format!(
+                    "local `{}` cannot take an array initializer; use global_data",
+                    d.name
+                )))
+            }
+            None => None,
+        };
+        // Declared after compiling the initializer: `int i = i;` is an error.
+        let slot = self.declare(&d.name);
+        Ok(RStmt::DeclInit { slot, init })
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt) -> Result<RStmt, VplError> {
+        Ok(match s {
+            Stmt::Decl(d) => self.compile_local_decl(d)?,
+            Stmt::Expr(e) => RStmt::Expr(self.compile_expr(e)?),
+            Stmt::Assign { target, op, value } => {
+                let value = self.compile_expr(value)?;
+                RStmt::Assign {
+                    target: self.compile_lvalue(target)?,
+                    op: *op,
+                    value,
+                }
+            }
+            Stmt::IncDec { target, increment } => RStmt::IncDec {
+                target: self.compile_lvalue(target)?,
+                increment: *increment,
+            },
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => RStmt::For {
+                init: Box::new(self.compile_stmt(init)?),
+                cond: self.compile_expr(cond)?,
+                step: Box::new(self.compile_stmt(step)?),
+                body: body
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
+            },
+            Stmt::If { cond, then, els } => RStmt::If {
+                cond: self.compile_expr(cond)?,
+                then: then
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
+                els: els
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
+            },
+            Stmt::Block(stmts) => RStmt::Block(
+                stmts
+                    .iter()
+                    .map(|s| self.compile_stmt(s))
+                    .collect::<Result<_, _>>()?,
+            ),
+        })
+    }
+}
+
+/// Evaluates a global initializer expression, which must be constant
+/// (global init runs before any statement executes).
+pub(crate) fn const_eval(e: &Expr) -> Result<u64, VplError> {
+    match e {
+        Expr::Num(n) => Ok(*n),
+        Expr::Placeholder(p) => Err(VplError::Runtime(format!(
+            "placeholder `{p}` survived instantiation"
+        ))),
+        Expr::Unary {
+            op: UnOp::Neg,
+            operand,
+        } => Ok(const_eval(operand)?.wrapping_neg()),
+        Expr::Unary {
+            op: UnOp::Not,
+            operand,
+        } => Ok((const_eval(operand)? == 0) as u64),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = const_eval(lhs)?;
+            let r = const_eval(rhs)?;
+            Ok(match op {
+                BinOp::Add => l.wrapping_add(r),
+                BinOp::Sub => l.wrapping_sub(r),
+                BinOp::Mul => l.wrapping_mul(r),
+                BinOp::Div if r != 0 => l / r,
+                BinOp::Rem if r != 0 => l % r,
+                BinOp::Shl => l.wrapping_shl(r as u32),
+                BinOp::Shr => l.wrapping_shr(r as u32),
+                BinOp::BitAnd => l & r,
+                BinOp::BitOr => l | r,
+                BinOp::BitXor => l ^ r,
+                _ => {
+                    return Err(VplError::Runtime(
+                        "global initializers must be constant expressions".into(),
+                    ))
+                }
+            })
+        }
+        _ => Err(VplError::Runtime(
+            "global initializers must be constant expressions".into(),
+        )),
+    }
+}

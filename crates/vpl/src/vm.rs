@@ -1,0 +1,651 @@
+//! The bytecode VM: executes a [`CompiledProgram`] against a memory bus.
+//!
+//! Unlike [`crate::Interpreter`], which takes `&mut dyn MemoryBus` and pays
+//! a virtual call per access, [`Vm::run`] is generic over [`BusOps`]: each
+//! concrete bus (the platform `Session`, a test mock) gets its own
+//! monomorphized copy of the dispatch loop, so reads, writes, and the trace
+//! recording behind them inline into the op handlers.
+//!
+//! Execution is bit-identical to the interpreter — same [`ExecStats`], same
+//! bus trace, same error kind at the same point — by the charge discipline
+//! documented in [`crate::bytecode`]: charged ops settle the step debt and
+//! check the budget *before* any side effect, and every loop passes a
+//! checked back edge, so an over-budget program raises exactly the
+//! interpreter's `ExecutionLimit`.
+
+use crate::bytecode::{alu, CompiledProgram, FusedBody, Op, Operand};
+use crate::error::VplError;
+use crate::interp::{ExecLimits, ExecStats};
+use crate::resolve::Slot;
+use dstress_platform::session::MemoryBus;
+
+/// Marker trait for buses the VM can drive monomorphically.
+///
+/// Blanket-implemented for every [`MemoryBus`], including the platform's
+/// recording `Session`; the point is that [`Vm::run`] takes `&mut B`
+/// (static dispatch) rather than `&mut dyn MemoryBus`.
+pub trait BusOps: MemoryBus {}
+
+impl<B: MemoryBus + ?Sized> BusOps for B {}
+
+/// The bytecode executor. Stateless between runs: compile a program once
+/// with [`crate::compile`] and run it against a fresh bus per averaging
+/// run.
+///
+/// # Examples
+///
+/// See the crate-level docs; usage mirrors [`crate::Interpreter`] with
+/// [`crate::compile`] hoisted out of the per-run loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Vm {
+    limits: ExecLimits,
+}
+
+impl Vm {
+    /// Creates a VM with the given execution limits.
+    pub fn new(limits: ExecLimits) -> Self {
+        Vm { limits }
+    }
+
+    /// Executes a compiled program against a memory bus.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the interpreter's run-time errors: [`VplError::Runtime`] for
+    /// dynamic errors, [`VplError::ExecutionLimit`] on budget exhaustion,
+    /// [`VplError::Memory`] when the bus rejects an access. (Resolution
+    /// errors were already surfaced by [`crate::compile`].)
+    pub fn run<B: BusOps>(
+        &self,
+        program: &CompiledProgram,
+        bus: &mut B,
+    ) -> Result<ExecStats, VplError> {
+        let mut stats = ExecStats::default();
+        let mut slots = vec![Slot::Register(0); program.num_slots as usize];
+
+        // Globals prologue — identical to the interpreter's.
+        for (slot, values) in &program.globals {
+            let words = values.len() as u64;
+            let base = bus.alloc(words * 8)?;
+            stats.allocs += 1;
+            bus.fill(base, values)?;
+            stats.writes += words;
+            slots[*slot as usize] = Slot::Memory { base, words };
+        }
+
+        let mut regs = vec![0u64; program.num_regs as usize];
+        let max_steps = self.limits.max_steps;
+        let ops = program.ops.as_slice();
+        let mut pc = 0usize;
+
+        // Reads an operand. Kept as a macro so the borrow of `regs` is
+        // scoped to the use site.
+        macro_rules! val {
+            ($o:expr) => {
+                match $o {
+                    Operand::Imm(v) => v,
+                    Operand::Reg(r) => regs[r as usize],
+                }
+            };
+        }
+        // Settles a charge and checks the budget (used by every op that is
+        // about to touch the bus or fail).
+        macro_rules! check {
+            () => {
+                if stats.steps > max_steps {
+                    return Err(VplError::ExecutionLimit { steps: max_steps });
+                }
+            };
+        }
+
+        loop {
+            let op = ops[pc];
+            pc += 1;
+            match op {
+                Op::Const { dst, value } => regs[dst as usize] = value,
+                Op::Alu { op, dst, lhs, rhs } => {
+                    let l = val!(lhs);
+                    let r = val!(rhs);
+                    regs[dst as usize] = alu(op, l, r);
+                }
+                Op::DivRem {
+                    rem,
+                    dst,
+                    lhs,
+                    rhs,
+                    charge,
+                } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    let r = val!(rhs);
+                    if r == 0 {
+                        return Err(VplError::Runtime(
+                            if rem {
+                                "remainder by zero"
+                            } else {
+                                "division by zero"
+                            }
+                            .into(),
+                        ));
+                    }
+                    let l = val!(lhs);
+                    regs[dst as usize] = if rem { l % r } else { l / r };
+                }
+                Op::LoadSlot { dst, slot, charge } => {
+                    stats.steps += charge as u64;
+                    regs[dst as usize] = match slots[slot as usize] {
+                        Slot::Register(v) => v,
+                        Slot::Memory { base, words } => {
+                            if words == 1 {
+                                check!();
+                                stats.reads += 1;
+                                bus.read_u64(base)?
+                            } else {
+                                // Bare array reference decays to its base.
+                                base
+                            }
+                        }
+                    };
+                }
+                Op::StoreSlot { slot, src, charge } => {
+                    stats.steps += charge as u64;
+                    match slots[slot as usize] {
+                        Slot::Register(_) => slots[slot as usize] = Slot::Register(val!(src)),
+                        Slot::Memory { base, .. } => {
+                            check!();
+                            stats.writes += 1;
+                            bus.write_u64(base, val!(src))?;
+                        }
+                    }
+                }
+                Op::FoldSlot {
+                    op,
+                    slot,
+                    src,
+                    charge,
+                } => {
+                    stats.steps += charge as u64;
+                    match slots[slot as usize] {
+                        Slot::Register(v) => {
+                            slots[slot as usize] = Slot::Register(alu(op, v, val!(src)))
+                        }
+                        Slot::Memory { base, .. } => {
+                            check!();
+                            stats.reads += 1;
+                            let old = bus.read_u64(base)?;
+                            let new = alu(op, old, val!(src));
+                            stats.writes += 1;
+                            bus.write_u64(base, new)?;
+                        }
+                    }
+                }
+                Op::LoadIndex {
+                    dst,
+                    base,
+                    index,
+                    charge,
+                } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    let addr = element_addr(&slots, &program.names, base, val!(index))?;
+                    stats.reads += 1;
+                    regs[dst as usize] = bus.read_u64(addr)?;
+                }
+                Op::StoreIndex {
+                    base,
+                    index,
+                    src,
+                    charge,
+                } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    let addr = element_addr(&slots, &program.names, base, val!(index))?;
+                    stats.writes += 1;
+                    bus.write_u64(addr, val!(src))?;
+                }
+                Op::Malloc { dst, bytes, charge } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    let bytes = val!(bytes);
+                    if bytes == 0 {
+                        return Err(VplError::Runtime("malloc(0) is not allowed".into()));
+                    }
+                    stats.allocs += 1;
+                    regs[dst as usize] = bus.alloc(bytes)?;
+                }
+                Op::DeclSlot { slot, init } => {
+                    slots[slot as usize] = Slot::Register(val!(init));
+                }
+                Op::Bump { n } => {
+                    stats.steps += n as u64;
+                    check!();
+                }
+                Op::Jump { target, charge } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    pc = target as usize;
+                }
+                Op::JumpIfZero {
+                    cond,
+                    target,
+                    charge,
+                } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    if val!(cond) == 0 {
+                        pc = target as usize;
+                    }
+                }
+                Op::JumpIfNonZero {
+                    cond,
+                    target,
+                    charge,
+                } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    if val!(cond) != 0 {
+                        pc = target as usize;
+                    }
+                }
+                Op::Nop => {}
+                Op::FusedLoop(f) => {
+                    // Guards: the counter (and accumulator) must be plain
+                    // registers, or the charge schedule below would differ
+                    // from the unfused ops. On failure, fall through to the
+                    // unfused loop that still follows this op.
+                    let Slot::Register(mut v) = slots[f.var as usize] else {
+                        continue;
+                    };
+                    let mut acc_val = match f.body {
+                        FusedBody::Accumulate { acc, .. } => match slots[acc as usize] {
+                            Slot::Register(a) => a,
+                            Slot::Memory { .. } => continue,
+                        },
+                        FusedBody::StoreImm { .. } => 0,
+                    };
+                    loop {
+                        // Check point 1: the condition jump (the final
+                        // failing iteration pays it too).
+                        stats.steps += f.c_cond as u64;
+                        check!();
+                        if v >= f.bound {
+                            break;
+                        }
+                        // Check point 2: the bus access.
+                        stats.steps += f.c_access as u64;
+                        check!();
+                        match f.body {
+                            FusedBody::StoreImm { base, value } => {
+                                let addr = element_addr(&slots, &program.names, base, v)?;
+                                stats.writes += 1;
+                                bus.write_u64(addr, value)?;
+                            }
+                            FusedBody::Accumulate { op, base, .. } => {
+                                let addr = element_addr(&slots, &program.names, base, v)?;
+                                stats.reads += 1;
+                                acc_val = alu(op, acc_val, bus.read_u64(addr)?);
+                            }
+                        }
+                        // Check point 3: the back edge (step statement).
+                        stats.steps += f.c_back as u64;
+                        check!();
+                        v = v.wrapping_add(1);
+                    }
+                    slots[f.var as usize] = Slot::Register(v);
+                    if let FusedBody::Accumulate { acc, .. } = f.body {
+                        slots[acc as usize] = Slot::Register(acc_val);
+                    }
+                    pc = f.exit as usize;
+                }
+                Op::Halt { charge } => {
+                    stats.steps += charge as u64;
+                    check!();
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+}
+
+/// Resolves `base[index]` to a DRAM virtual address — the interpreter's
+/// `element_addr`, byte for byte (bounds-checked named arrays, unchecked
+/// `malloc` pointers, identical error message).
+#[inline]
+fn element_addr(slots: &[Slot], names: &[String], base: u32, idx: u64) -> Result<u64, VplError> {
+    match slots[base as usize] {
+        Slot::Memory { base: addr, words } => {
+            if idx >= words {
+                return Err(VplError::Runtime(format!(
+                    "index {idx} out of bounds for `{}` ({words} words)",
+                    names[base as usize]
+                )));
+            }
+            Ok(addr + idx * 8)
+        }
+        Slot::Register(pointer) => Ok(pointer.wrapping_add(idx.wrapping_mul(8))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::interp::Interpreter;
+    use crate::parser::parse_program;
+    use dstress_platform::session::{SessionError, VirtAddr};
+    use std::collections::HashMap;
+
+    /// Same flat in-memory bus as the interpreter unit tests.
+    #[derive(Debug, Default, PartialEq)]
+    struct MockBus {
+        memory: HashMap<u64, u64>,
+        cursor: u64,
+        reads: u64,
+        writes: u64,
+    }
+
+    impl MemoryBus for MockBus {
+        fn alloc(&mut self, bytes: u64) -> Result<VirtAddr, SessionError> {
+            if bytes == 0 {
+                return Err(SessionError::ZeroAllocation);
+            }
+            let base = self.cursor + 0x1000;
+            self.cursor = base + bytes.div_ceil(8) * 8;
+            Ok(base)
+        }
+
+        fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, SessionError> {
+            if !addr.is_multiple_of(8) {
+                return Err(SessionError::Unaligned(addr));
+            }
+            self.reads += 1;
+            Ok(self.memory.get(&addr).copied().unwrap_or(0))
+        }
+
+        fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), SessionError> {
+            if !addr.is_multiple_of(8) {
+                return Err(SessionError::Unaligned(addr));
+            }
+            self.writes += 1;
+            self.memory.insert(addr, value);
+            Ok(())
+        }
+    }
+
+    /// Runs both tiers on the same program and asserts the full observable
+    /// state matches: the `Result` (stats or error), the bus memory image,
+    /// and the bus-side access counters.
+    fn assert_parity(global: &str, local: &str, body: &str, limits: ExecLimits) {
+        let program = parse_program(global, local, body).expect("parses");
+        let mut ibus = MockBus::default();
+        let iresult = Interpreter::new(limits).run(&program, &mut ibus);
+        let mut vbus = MockBus::default();
+        let vresult = compile(&program).and_then(|c| Vm::new(limits).run(&c, &mut vbus));
+        assert_eq!(iresult, vresult, "result mismatch for body: {body}");
+        assert_eq!(ibus, vbus, "bus state mismatch for body: {body}");
+    }
+
+    fn parity(global: &str, local: &str, body: &str) {
+        assert_parity(global, local, body, ExecLimits::default());
+    }
+
+    #[test]
+    fn fill_loop_parity() {
+        parity(
+            "volatile unsigned long long v[] = { 0, 0, 0, 0 };",
+            "int i = 0;",
+            "for (i = 0; i < 4; i += 1) { v[i] = 0x3333; }",
+        );
+    }
+
+    #[test]
+    fn accumulate_parity() {
+        parity(
+            "volatile unsigned long long v[] = { 1, 2, 3, 4, 5 };",
+            "int i = 0; unsigned long long acc = 0;",
+            "for (i = 0; i < 5; i += 1) { acc += v[i]; } v[0] = acc;",
+        );
+    }
+
+    #[test]
+    fn malloc_pointer_parity() {
+        parity(
+            "",
+            "int i = 0;",
+            "unsigned long long p = malloc(64);\
+             for (i = 0; i < 8; i += 1) { p[i] = i * 2; }\
+             unsigned long long x = p[3]; p[0] = x;",
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_branch_parity() {
+        parity(
+            "volatile unsigned long long out[] = { 0, 0 };",
+            "unsigned long long a = 0; int i = 0;",
+            "a = (2 + 3) * 4; \
+             if (a > 10) { out[0] = a; } else { out[1] = a; } \
+             for (i = 0; i < 3; i += 1) { if (i == 1) { out[1] += i; } } \
+             a = 0 - 1; out[0] = a >> 1;",
+        );
+    }
+
+    #[test]
+    fn short_circuit_parity() {
+        parity(
+            "volatile unsigned long long g = 2;",
+            "int a = 0; int b = 5;",
+            "a = b && g; a = 0 && 1 / 0; a = 1 || 1 / 0; a = g || b; a = !a && -b;",
+        );
+    }
+
+    #[test]
+    fn compound_index_parity() {
+        parity(
+            "volatile unsigned long long v[] = { 10, 20, 30 };",
+            "int i = 1;",
+            "v[i] += 5; v[i + 1] *= 2; v[0] -= 1; v[i]++; v[0]--; i++;",
+        );
+    }
+
+    #[test]
+    fn scalar_global_and_decay_parity() {
+        parity(
+            "volatile unsigned long long g = 7; volatile unsigned long long v[] = { 1, 2 };",
+            "unsigned long long p = 0; unsigned long long x = 0;",
+            "x = g + g; g = x; p = v; p[1] = 9; g /= 2;",
+        );
+    }
+
+    #[test]
+    fn shadowing_global_with_local_decl_parity() {
+        parity(
+            "volatile unsigned long long g = 7;",
+            "",
+            "g = 1; unsigned long long g = 3; g = g + 1;",
+        );
+    }
+
+    #[test]
+    fn division_by_zero_parity() {
+        parity("", "int a = 1; int z = 0;", "a = a / z;");
+        parity("", "int a = 1; int z = 0;", "a = a % z;");
+        parity("", "int a = 9; int z = 0;", "a /= z;");
+        parity(
+            "volatile unsigned long long v[] = { 8 };",
+            "int z = 0;",
+            "v[0] /= z;",
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_parity() {
+        parity(
+            "volatile unsigned long long v[] = { 1 };",
+            "int i = 5;",
+            "v[i] = 0;",
+        );
+        parity(
+            "volatile unsigned long long v[] = { 1, 2 };",
+            "int i = 0; int x = 0;",
+            "for (i = 0; i < 9; i += 1) { x += v[i]; }",
+        );
+    }
+
+    #[test]
+    fn malloc_zero_parity() {
+        parity("", "int a = 0; int z = 0;", "a = malloc(z);");
+    }
+
+    #[test]
+    fn resolution_errors_surface_identically() {
+        for (global, local, body) in [
+            ("", "int i = 0;", "i = $$$_P_$$$;"),
+            ("", "", "ghost = 1;"),
+            ("", "int a = 0;", "a = calloc(8);"),
+            ("volatile unsigned long long v[] = { malloc(8) };", "", ""),
+        ] {
+            let program = parse_program(global, local, body).unwrap();
+            let ierr = Interpreter::new(ExecLimits::default())
+                .run(&program, &mut MockBus::default())
+                .unwrap_err();
+            let verr = compile(&program).unwrap_err();
+            assert_eq!(ierr, verr);
+        }
+    }
+
+    /// The decisive check on the charge discipline: sweep the step budget
+    /// across every possible crossing point of a program that mixes loops,
+    /// branches, DRAM traffic, and a trailing runtime error. At every
+    /// budget the two tiers must agree on the exact `Result` *and* on the
+    /// bus state (no stray access past the limit).
+    #[test]
+    fn fused_fill_and_reduce_budget_sweep_parity() {
+        // Both fused shapes back to back, swept over every budget so the
+        // superinstruction's three check points land on every possible
+        // crossing — including mid-fused-loop exhaustion.
+        let global = "volatile unsigned long long v[] = { 1, 2, 3, 4, 5, 6 };";
+        let local = "int i = 0; unsigned long long acc = 0;";
+        let body = "for (i = 0; i < 6; i += 1) { v[i] = 7; } \
+                    for (i = 0; i < 6; i += 1) { acc += v[i]; } \
+                    v[0] = acc;";
+        for max_steps in 0..160 {
+            assert_parity(global, local, body, ExecLimits { max_steps });
+        }
+    }
+
+    #[test]
+    fn fused_loop_out_of_bounds_parity() {
+        // The loop bound overruns the array: the fused handler must raise
+        // the interpreter's exact out-of-bounds error mid-loop.
+        parity(
+            "volatile unsigned long long v[] = { 1, 2, 3 };",
+            "int i = 0; unsigned long long acc = 0;",
+            "for (i = 0; i < 5; i += 1) { v[i] = 9; }",
+        );
+        parity(
+            "volatile unsigned long long v[] = { 1, 2, 3 };",
+            "int i = 0; unsigned long long acc = 0;",
+            "for (i = 0; i < 9; i += 1) { acc += v[i]; } v[0] = acc;",
+        );
+    }
+
+    #[test]
+    fn fused_loop_over_malloc_pointer_parity() {
+        // Register-kind base (malloc pointer): unchecked addressing, still
+        // bit-identical through the fused path.
+        parity(
+            "",
+            "int i = 0; unsigned long long acc = 0;",
+            "unsigned long long p = malloc(64); \
+             for (i = 0; i < 8; i += 1) { p[i] = 3; } \
+             for (i = 0; i < 8; i += 1) { acc += p[i]; } p[0] = acc;",
+        );
+    }
+
+    #[test]
+    fn fused_loop_guard_falls_back_on_memory_counter() {
+        // A DRAM-scalar loop counter fails the fused guard (its condition
+        // loads are bus reads); the handler must fall through to the
+        // unfused ops and stay bit-identical.
+        parity(
+            "volatile unsigned long long g = 0; volatile unsigned long long v[] = { 1, 2, 3, 4 };",
+            "",
+            "for (g = 0; g < 4; g += 1) { v[g] = 5; }",
+        );
+    }
+
+    #[test]
+    fn budget_sweep_parity() {
+        let program = parse_program(
+            "volatile unsigned long long v[] = { 1, 2, 3, 4 };",
+            "int i = 0; unsigned long long acc = 0; int z = 0;",
+            "for (i = 0; i < 4; i += 1) { acc += v[i]; if (acc > 3) { v[0] = acc; } } acc = acc / z;",
+        )
+        .expect("parses");
+        let compiled = compile(&program).expect("compiles");
+        let full_steps = {
+            let mut bus = MockBus::default();
+            // Runs to the trailing division-by-zero error at default limits.
+            let err = Interpreter::new(ExecLimits::default())
+                .run(&program, &mut bus)
+                .unwrap_err();
+            assert!(matches!(err, VplError::Runtime(_)));
+            200u64
+        };
+        for max_steps in 0..full_steps {
+            let limits = ExecLimits { max_steps };
+            let mut ibus = MockBus::default();
+            let iresult = Interpreter::new(limits).run(&program, &mut ibus);
+            let mut vbus = MockBus::default();
+            let vresult = Vm::new(limits).run(&compiled, &mut vbus);
+            assert_eq!(iresult, vresult, "result diverged at budget {max_steps}");
+            assert_eq!(ibus, vbus, "bus state diverged at budget {max_steps}");
+        }
+    }
+
+    #[test]
+    fn infinite_loop_budget_parity() {
+        assert_parity(
+            "",
+            "int i = 0;",
+            "for (;;) { i += 1; }",
+            ExecLimits { max_steps: 10_000 },
+        );
+    }
+
+    #[test]
+    fn stats_match_on_success() {
+        let program = parse_program(
+            "volatile unsigned long long v[] = { 0, 0, 0, 0, 0, 0, 0, 0 };",
+            "int i = 0;",
+            "for (i = 0; i < 8; i += 1) { v[i] = i; }",
+        )
+        .unwrap();
+        let istats = Interpreter::new(ExecLimits::default())
+            .run(&program, &mut MockBus::default())
+            .unwrap();
+        let compiled = compile(&program).unwrap();
+        let vstats = Vm::new(ExecLimits::default())
+            .run(&compiled, &mut MockBus::default())
+            .unwrap();
+        assert_eq!(istats, vstats);
+        assert_eq!(vstats.writes, 8 + 8);
+        assert_eq!(vstats.reads, 0);
+    }
+
+    #[test]
+    fn compiled_program_is_reusable_across_runs() {
+        let program = parse_program(
+            "volatile unsigned long long v[] = { 0, 0 };",
+            "int i = 0;",
+            "for (i = 0; i < 2; i += 1) { v[i] = 7; }",
+        )
+        .unwrap();
+        let compiled = compile(&program).unwrap();
+        let vm = Vm::new(ExecLimits::default());
+        let a = vm.run(&compiled, &mut MockBus::default()).unwrap();
+        let b = vm.run(&compiled, &mut MockBus::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}
