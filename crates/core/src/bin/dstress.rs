@@ -2,7 +2,7 @@
 //! stress viruses on the simulated experimental platform.
 //!
 //! ```text
-//! dstress search-word64 [--temp C] [--minimize] [--ue] [--scale quick|paper] [--seed N] [--db FILE] [--workers N]
+//! dstress search-word64 [--temp C] [--minimize] [--ue] [--scale quick|paper] [--seed N] [--db FILE] [--resume] [--workers N]
 //! dstress measure --pattern HEX [--temp C]
 //! dstress baselines [--temp C]
 //! dstress victims [--temp C]
@@ -11,8 +11,11 @@
 //! dstress info
 //! ```
 
+use dstress::search::BitCampaign;
 use dstress::usecases::{find_marginal_trefp, savings_at_margin, SafetyCriterion};
-use dstress::{Baseline, DStress, EnvKind, ExperimentScale, Metric, WORST_WORD};
+use dstress::{
+    Baseline, CampaignJournal, DStress, DiskStorage, EnvKind, ExperimentScale, Metric, WORST_WORD,
+};
 use dstress_vpl::BoundValue;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -71,6 +74,23 @@ impl Args {
     }
 }
 
+/// Rejects flags the command does not know. A typo like `--tmep 80` would
+/// otherwise be silently ignored and the search run at the default
+/// temperature.
+fn check_flags(args: &Args, allowed: &[&str]) -> Result<(), String> {
+    let mut unknown: Vec<&str> = args
+        .flags
+        .keys()
+        .map(String::as_str)
+        .filter(|name| !allowed.contains(name))
+        .collect();
+    unknown.sort_unstable();
+    match unknown.first() {
+        Some(name) => Err(format!("unknown flag --{name}")),
+        None => Ok(()),
+    }
+}
+
 fn scale_from(args: &Args) -> Result<ExperimentScale, String> {
     match args.str("scale") {
         None | Some("paper") => Ok(ExperimentScale::paper()),
@@ -88,13 +108,40 @@ fn usage() -> &'static str {
      COMMANDS:\n\
        search-word64   GA search for the worst 64-bit data pattern\n\
                        [--temp C] [--minimize] [--ue] [--scale quick|paper]\n\
-                       [--seed N] [--db FILE] [--workers N]\n\
+                       [--seed N] [--db FILE] [--resume] [--workers N]\n\
+                       With --db the campaign is crash-safe: every virus is\n\
+                       journaled and --resume continues an interrupted\n\
+                       search bit-identically.\n\
        measure         Measure one data pattern  --pattern HEX [--temp C]\n\
        baselines       Measure the classic micro-benchmarks [--temp C]\n\
        victims         Profile the error-prone rows [--temp C]\n\
        margins         Find the safe TREFP margin [--temp C] [--ce-tolerated]\n\
        march           Compare MARCH tests against the synthesized virus\n\
        info            Show the platform configuration\n"
+}
+
+fn print_word64_campaign(campaign: &BitCampaign) {
+    println!(
+        "best pattern {:#018x}  fitness {:.1}  ({} generations, SMF {:.2}, converged {})",
+        campaign.result.best.to_words()[0],
+        campaign.result.best_fitness,
+        campaign.result.generations,
+        campaign.result.similarity,
+        campaign.result.converged,
+    );
+    println!("top of the leaderboard:");
+    for (genome, fitness) in campaign.result.leaderboard.iter().take(5) {
+        println!("  {:#018x}  {fitness:.1}", genome.to_words()[0]);
+    }
+    let stats = &campaign.result.eval_stats;
+    println!(
+        "evaluations: {} run, {} served from cache, {} worker{} ({:.2} s evaluating)",
+        stats.evaluations,
+        stats.cache_hits,
+        stats.workers,
+        if stats.workers == 1 { "" } else { "s" },
+        stats.eval_seconds(),
+    );
 }
 
 fn main() -> ExitCode {
@@ -117,6 +164,19 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         .first()
         .map(String::as_str)
         .unwrap_or("help");
+    let allowed: &[&str] = match command {
+        "help" | "--help" | "-h" => &[],
+        "info" => &["scale"],
+        "search-word64" => &[
+            "temp", "minimize", "ue", "scale", "seed", "db", "resume", "workers",
+        ],
+        "measure" => &["pattern", "temp", "scale", "seed"],
+        "baselines" | "victims" => &["temp", "scale", "seed"],
+        "margins" => &["temp", "ce-tolerated", "scale", "seed"],
+        "march" => &["scale", "seed"],
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    check_flags(&args, allowed)?;
     let scale = scale_from(&args)?;
     let seed = args.u64("seed", 42)?;
     let temp = args.f64("temp", 60.0)?;
@@ -157,42 +217,52 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 Metric::CeAverage
             };
             let minimize = args.bool("minimize");
+            let resume = args.bool("resume");
+            if resume && args.str("db").is_none() {
+                return Err("--resume requires --db FILE (the journal to continue from)".into());
+            }
             println!(
                 "searching 64-bit patterns at {temp} C ({}, {}) ...",
                 if args.bool("ue") { "UE runs" } else { "CEs" },
                 if minimize { "minimizing" } else { "maximizing" }
             );
-            let campaign = dstress
-                .search_word64(temp, metric, minimize)
-                .map_err(|e| e.to_string())?;
-            println!(
-                "best pattern {:#018x}  fitness {:.1}  ({} generations, SMF {:.2}, converged {})",
-                campaign.result.best.to_words()[0],
-                campaign.result.best_fitness,
-                campaign.result.generations,
-                campaign.result.similarity,
-                campaign.result.converged,
-            );
-            println!("top of the leaderboard:");
-            for (genome, fitness) in campaign.result.leaderboard.iter().take(5) {
-                println!("  {:#018x}  {fitness:.1}", genome.to_words()[0]);
-            }
-            let stats = &campaign.result.eval_stats;
-            println!(
-                "evaluations: {} run, {} served from cache, {} worker{} ({:.2} s evaluating)",
-                stats.evaluations,
-                stats.cache_hits,
-                stats.workers,
-                if stats.workers == 1 { "" } else { "s" },
-                stats.eval_seconds(),
-            );
-            if let Some(path) = args.str("db") {
-                dstress
-                    .db
-                    .save(std::path::Path::new(path))
-                    .map_err(|e| format!("saving database: {e}"))?;
-                println!("virus database written to {path}");
-            }
+            let campaign = match args.str("db") {
+                Some(path) => {
+                    let mut journal = CampaignJournal::open(DiskStorage::new(), path)
+                        .map_err(|e| format!("opening {path}: {e}"))?;
+                    let name = DStress::word64_campaign_name(temp, &metric, minimize);
+                    match journal.checkpoint() {
+                        Some(cp) if !resume => {
+                            return Err(format!(
+                                "{path} holds an interrupted search for campaign `{}`; \
+                                 pass --resume to continue it",
+                                cp.campaign
+                            ));
+                        }
+                        Some(cp) if cp.campaign != name => {
+                            return Err(format!(
+                                "--resume: the interrupted campaign is `{}` but these flags \
+                                 select `{name}`; rerun with the original flags",
+                                cp.campaign
+                            ));
+                        }
+                        Some(_) => println!("resuming interrupted campaign `{name}` from {path}"),
+                        None if resume => {
+                            println!("no interrupted search in {path}; starting fresh")
+                        }
+                        None => {}
+                    }
+                    let campaign = dstress
+                        .search_word64_journaled(&mut journal, temp, metric, minimize)
+                        .map_err(|e| e.to_string())?;
+                    println!("virus database written to {path}");
+                    campaign
+                }
+                None => dstress
+                    .search_word64(temp, metric, minimize)
+                    .map_err(|e| e.to_string())?,
+            };
+            print_word64_campaign(&campaign);
             Ok(())
         }
         "measure" => {
@@ -290,5 +360,59 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_command() {
+        let err = run(strings(&["info", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag --bogus"), "{err}");
+        // The check runs before the search starts: a typo'd flag cannot
+        // silently launch a campaign at default settings.
+        let err = run(strings(&["search-word64", "--tmep", "80"])).unwrap_err();
+        assert!(err.contains("unknown flag --tmep"), "{err}");
+        // Flags valid for one command are still rejected for another.
+        let err = run(strings(&["measure", "--workers", "4"])).unwrap_err();
+        assert!(err.contains("unknown flag --workers"), "{err}");
+    }
+
+    #[test]
+    fn resume_requires_a_database() {
+        let err = run(strings(&["search-word64", "--resume", "--scale", "quick"])).unwrap_err();
+        assert!(err.contains("--resume requires --db"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_pass_the_allowlists() {
+        for (command, allowed) in [
+            ("info", vec!["scale"]),
+            (
+                "search-word64",
+                vec![
+                    "temp", "minimize", "ue", "scale", "seed", "db", "resume", "workers",
+                ],
+            ),
+            ("measure", vec!["pattern", "temp", "scale", "seed"]),
+            ("margins", vec!["temp", "ce-tolerated", "scale", "seed"]),
+        ] {
+            let mut raw = vec![command.to_string()];
+            for flag in &allowed {
+                raw.push(format!("--{flag}"));
+                raw.push("1".to_string());
+            }
+            let args = Args::parse(raw).unwrap();
+            assert!(
+                check_flags(&args, &allowed.iter().map(|s| &**s).collect::<Vec<_>>()).is_ok(),
+                "{command} rejected its own flags"
+            );
+        }
     }
 }

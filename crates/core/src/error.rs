@@ -13,6 +13,9 @@ pub enum DStressError {
     /// An experiment could not produce its result (e.g. no error-prone rows
     /// found to centre the neighbour-row experiments on).
     Experiment(String),
+    /// The campaign journal or database could not be read or written (the
+    /// message keeps the variant comparable in tests).
+    Io(String),
 }
 
 impl std::fmt::Display for DStressError {
@@ -21,6 +24,7 @@ impl std::fmt::Display for DStressError {
             DStressError::Vpl(e) => write!(f, "virus template error: {e}"),
             DStressError::Config(m) => write!(f, "configuration error: {m}"),
             DStressError::Experiment(m) => write!(f, "experiment error: {m}"),
+            DStressError::Io(m) => write!(f, "I/O error: {m}"),
         }
     }
 }
@@ -40,6 +44,12 @@ impl From<VplError> for DStressError {
     }
 }
 
+impl From<std::io::Error> for DStressError {
+    fn from(e: std::io::Error) -> Self {
+        DStressError::Io(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +64,8 @@ mod tests {
         assert!(DStressError::Experiment("no rows".into())
             .to_string()
             .contains("no rows"));
+        let io: DStressError = std::io::Error::other("disk on fire").into();
+        assert_eq!(io, DStressError::Io("disk on fire".into()));
+        assert!(io.to_string().contains("disk on fire"));
     }
 }

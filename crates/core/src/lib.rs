@@ -61,6 +61,7 @@ pub mod usecases;
 pub mod usecases_retention;
 pub mod workloads;
 
+pub use dstress_ga::journal::{CampaignJournal, DiskStorage, MemStorage, Storage};
 pub use error::DStressError;
 pub use evaluate::{EvalOutcome, Metric, ParallelBitFitness, ParallelIntFitness, VirusEvaluator};
 pub use microbench::Baseline;

@@ -7,6 +7,7 @@ use crate::patterns::{BitCodec, IntCodec};
 use crate::scale::ExperimentScale;
 use crate::templates;
 use dstress_dram::geometry::RowKey;
+use dstress_ga::journal::{run_journaled, CampaignJournal, Storage};
 use dstress_ga::{
     BitGenome, GaEngine, Genome, IntGenome, SearchResult, VirusDatabase, VirusRecord,
 };
@@ -553,15 +554,7 @@ impl DStress {
         metric: Metric,
         minimize: bool,
     ) -> Result<BitCampaign, DStressError> {
-        let name = format!(
-            "word64-{}-{}C",
-            match (&metric, minimize) {
-                (Metric::UeRuns, _) => "ue",
-                (_, true) => "ce-min",
-                (_, false) => "ce-max",
-            },
-            temp_c as i64
-        );
+        let name = DStress::word64_campaign_name(temp_c, &metric, minimize);
         self.run_bit_campaign(
             &name,
             EnvKind::Word64,
@@ -573,6 +566,105 @@ impl DStress {
             minimize,
             Seeding::Random,
         )
+    }
+
+    /// The campaign name [`search_word64`](DStress::search_word64) and its
+    /// journaled variant use for the given metric/direction/temperature.
+    pub fn word64_campaign_name(temp_c: f64, metric: &Metric, minimize: bool) -> String {
+        format!(
+            "word64-{}-{}C",
+            match (metric, minimize) {
+                (Metric::UeRuns, _) => "ue",
+                (_, true) => "ce-min",
+                (_, false) => "ce-max",
+            },
+            temp_c as i64
+        )
+    }
+
+    /// The crash-safe 64-bit data-pattern search: like
+    /// [`search_word64`](DStress::search_word64) but with every evaluated
+    /// virus write-ahead journaled through `journal` and a checkpoint per
+    /// generation, so an interrupted campaign resumes **bit-identically**.
+    /// If `journal` holds a checkpoint for this campaign, the search
+    /// continues from it instead of starting over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator construction and journal I/O failures.
+    pub fn search_word64_journaled<S: Storage>(
+        &mut self,
+        journal: &mut CampaignJournal<S>,
+        temp_c: f64,
+        metric: Metric,
+        minimize: bool,
+    ) -> Result<BitCampaign, DStressError> {
+        Ok(self
+            .search_word64_journaled_budget(journal, temp_c, metric, minimize, None)?
+            .expect("an unbounded journaled search always finishes"))
+    }
+
+    /// [`search_word64_journaled`](DStress::search_word64_journaled) with a
+    /// step budget: runs at most `max_steps` engine steps (each is one
+    /// generation), returning `Ok(None)` when the budget expires before the
+    /// search finishes — the checkpoint is journaled, ready to resume. The
+    /// differential crash tests use this to interrupt a search at an exact
+    /// generation boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator construction and journal I/O failures.
+    pub fn search_word64_journaled_budget<S: Storage>(
+        &mut self,
+        journal: &mut CampaignJournal<S>,
+        temp_c: f64,
+        metric: Metric,
+        minimize: bool,
+        max_steps: Option<u32>,
+    ) -> Result<Option<BitCampaign>, DStressError> {
+        let name = DStress::word64_campaign_name(temp_c, &metric, minimize);
+        let env = EnvKind::Word64;
+        let codec = BitCodec::Word64 {
+            param: "PATTERN".into(),
+        };
+        let evaluator = self.evaluator(&env, temp_c, metric)?;
+        let mut ga_config = self.scale.ga;
+        ga_config.minimize = minimize;
+        let bits = codec.genome_bits();
+        // Same seed derivation as the non-journaled campaign: a fresh
+        // journaled run is bit-identical to `search_word64`.
+        let seed = self.next_campaign_seed();
+        let mut fitness = ParallelBitFitness {
+            evaluator,
+            codec: codec.clone(),
+        };
+        let seeding = Seeding::Random;
+        let result = run_journaled(
+            journal,
+            &name,
+            ga_config,
+            seed,
+            |rng| seeding.initial_genome(rng, bits),
+            &mut fitness,
+            self.workers,
+            |genome, value| VirusRecord {
+                campaign: name.clone(),
+                genes: genome.to_words(),
+                gene_len: genome.len(),
+                fitness: value,
+                ce: value.max(0.0) as u64,
+                ue: 0,
+                sequence: 0,
+            },
+            max_steps,
+        )?;
+        let failed = fitness.evaluator.failed_evaluations;
+        Ok(result.map(|result| BitCampaign {
+            name,
+            result,
+            env,
+            failed_evaluations: failed,
+        }))
     }
 
     /// Profiles error-prone rows: runs the given 64-bit fill word and

@@ -89,25 +89,34 @@ impl VirusDatabase {
         self.records.iter().filter(move |r| r.campaign == name)
     }
 
-    /// The highest-fitness record of a campaign.
+    /// The highest-fitness record of a campaign. A NaN fitness (a
+    /// hand-edited or corrupt database file) ranks below every finite
+    /// value instead of aborting the comparison.
     pub fn best(&self, name: &str) -> Option<&VirusRecord> {
-        self.campaign(name)
-            .max_by(|a, b| a.fitness.partial_cmp(&b.fitness).expect("finite fitness"))
+        self.campaign(name).max_by(|a, b| rank_fitness(a, b))
     }
 
     /// The `n` highest-fitness records of a campaign (for resuming a search
-    /// from the best discovered viruses).
+    /// from the best discovered viruses). NaN records sort last.
     pub fn top(&self, name: &str, n: usize) -> Vec<&VirusRecord> {
         let mut all: Vec<&VirusRecord> = self.campaign(name).collect();
-        all.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).expect("finite fitness"));
+        all.sort_by(|a, b| rank_fitness(b, a));
         all.truncate(n);
         all
     }
 
-    /// Merges another database's records into this one.
+    /// Merges another database's records into this one, remapping every
+    /// incoming record's `sequence` past this database's per-campaign
+    /// high-water mark (incoming relative order is preserved). Without the
+    /// remap, merging two databases that grew the same campaign
+    /// independently — both numbering from 0 — would produce colliding
+    /// sequence numbers.
     pub fn merge(&mut self, other: VirusDatabase) {
-        for r in other.records {
-            self.record(r);
+        for mut r in other.records {
+            let next = self.next_sequence.entry(r.campaign.clone()).or_insert(0);
+            r.sequence = *next;
+            *next += 1;
+            self.records.push(r);
         }
     }
 
@@ -129,18 +138,30 @@ impl VirusDatabase {
         serde_json::from_str(json)
     }
 
-    /// Saves to a file.
+    /// Saves to a file atomically: the JSON is written to a sibling
+    /// temporary file, fsynced, and renamed over `path`, so a crash
+    /// mid-save leaves either the old file or the new one — never a
+    /// truncated hybrid (the failure mode of a plain truncate-then-write).
     ///
     /// # Errors
     ///
     /// Propagates I/O and serialization failures.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let json = self.to_json().map_err(std::io::Error::other)?;
-        let mut f = std::fs::File::create(path)?;
-        f.write_all(json.as_bytes())
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
     }
 
-    /// Loads from a file.
+    /// Loads from a file. Accepts both a bare database (the pre-journal
+    /// `viruses.json` format) and a campaign-journal snapshot (which wraps
+    /// the database next to an engine checkpoint).
     ///
     /// # Errors
     ///
@@ -148,7 +169,24 @@ impl VirusDatabase {
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let mut json = String::new();
         std::fs::File::open(path)?.read_to_string(&mut json)?;
-        VirusDatabase::from_json(&json).map_err(std::io::Error::other)
+        if let Ok(db) = VirusDatabase::from_json(&json) {
+            return Ok(db);
+        }
+        crate::journal::Snapshot::from_json(&json)
+            .map(|s| s.db)
+            .map_err(std::io::Error::other)
+    }
+}
+
+/// Ranks two records by fitness for `best`/`top`: a total order in which
+/// NaN sorts below every finite value (corrupt records rank last, they do
+/// not panic).
+fn rank_fitness(a: &VirusRecord, b: &VirusRecord) -> std::cmp::Ordering {
+    match (a.fitness.is_nan(), b.fitness.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.fitness.total_cmp(&b.fitness),
     }
 }
 
@@ -220,5 +258,64 @@ mod tests {
     #[test]
     fn load_missing_file_is_io_error() {
         assert!(VirusDatabase::load(Path::new("/nonexistent/zzz.json")).is_err());
+    }
+
+    #[test]
+    fn merge_remaps_colliding_sequences() {
+        // Two databases grown independently for the same campaign both
+        // number their records from 0; the merge must remap the incoming
+        // side past the target's high-water mark.
+        let mut a = VirusDatabase::new();
+        a.record(record("x", 1.0, vec![1]));
+        a.record(record("x", 2.0, vec![2]));
+        let mut b = VirusDatabase::new();
+        b.record(record("x", 3.0, vec![3]));
+        b.record(record("x", 4.0, vec![4]));
+        b.record(record("y", 5.0, vec![5]));
+        a.merge(b);
+        let seqs: Vec<u64> = a.campaign("x").map(|r| r.sequence).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "sequences must stay unique");
+        // Incoming relative order is preserved.
+        let genes: Vec<u64> = a.campaign("x").map(|r| r.genes[0]).collect();
+        assert_eq!(genes, vec![1, 2, 3, 4]);
+        // A campaign new to the target starts at 0.
+        assert_eq!(a.campaign("y").next().unwrap().sequence, 0);
+        // Appending after the merge continues past the merged records.
+        a.record(record("x", 6.0, vec![6]));
+        assert_eq!(a.campaign("x").last().unwrap().sequence, 4);
+    }
+
+    #[test]
+    fn nan_fitness_ranks_last_without_panicking() {
+        let mut db = VirusDatabase::new();
+        db.record(record("n", 2.0, vec![2]));
+        db.record(record("n", f64::NAN, vec![99]));
+        db.record(record("n", 5.0, vec![5]));
+        assert_eq!(db.best("n").unwrap().genes, vec![5]);
+        let order: Vec<u64> = db.top("n", 3).iter().map(|r| r.genes[0]).collect();
+        assert_eq!(order, vec![5, 2, 99], "NaN record must sort last");
+        // An all-NaN campaign still answers instead of aborting.
+        let mut only = VirusDatabase::new();
+        only.record(record("m", f64::NAN, vec![7]));
+        assert_eq!(only.best("m").unwrap().genes, vec![7]);
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("dstress-db-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("viruses.json");
+        let mut db = VirusDatabase::new();
+        db.record(record("x", 1.0, vec![1]));
+        db.save(&path).unwrap();
+        // Overwriting an existing file goes through the same temp+rename.
+        db.record(record("x", 2.0, vec![2]));
+        db.save(&path).unwrap();
+        assert_eq!(VirusDatabase::load(&path).unwrap(), db);
+        assert!(
+            !dir.join("viruses.json.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

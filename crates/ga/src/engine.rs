@@ -18,7 +18,7 @@ use crate::ops::selection::SelectionScheme;
 use dstress_stats::mean_pairwise;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::time::Instant;
@@ -191,6 +191,11 @@ impl<G: Genome + PartialEq> Leaderboard<G> {
         }
     }
 
+    /// Rebuilds a leaderboard from checkpointed entries (already sorted).
+    fn from_entries(entries: Vec<(G, f64)>, capacity: usize) -> Self {
+        Leaderboard { entries, capacity }
+    }
+
     /// Offers a scored chromosome (engine orientation: higher is better).
     fn offer(&mut self, genome: &G, score: f64) {
         if let Some(existing) = self.entries.iter_mut().find(|(g, _)| g == genome) {
@@ -330,72 +335,18 @@ impl GaEngine {
     {
         assert!(workers >= 1, "at least one evaluation worker is required");
         let mut replicas: Vec<F> = (0..workers).map(|_| fitness.replicate()).collect();
-        let mut cache: HashMap<G, f64> = HashMap::new();
-        let result = self.search_loop(population, workers, |pop, stats| {
-            let mut scores = vec![0.0f64; pop.len()];
-            // Resolve repeats first: chromosomes scored in an earlier round
-            // come from the cache, and a chromosome occurring several times
-            // in this round is evaluated once. `pending` holds each distinct
-            // new chromosome with the population slots it fills.
-            let mut pending: Vec<(&G, Vec<usize>)> = Vec::new();
-            let mut pending_index: HashMap<&G, usize> = HashMap::new();
-            for (i, g) in pop.iter().enumerate() {
-                if let Some(&hit) = cache.get(g) {
-                    scores[i] = hit;
-                    stats.cache_hits += 1;
-                } else if let Some(&p) = pending_index.get(g) {
-                    pending[p].1.push(i);
-                    stats.cache_hits += 1;
-                } else {
-                    pending_index.insert(g, pending.len());
-                    pending.push((g, vec![i]));
-                }
-            }
-            stats.evaluations += pending.len() as u64;
-            if pending.is_empty() {
-                return scores;
-            }
-            // Deal the distinct chromosomes round-robin across the workers.
-            // Purity makes the partitioning irrelevant to the scores, so the
-            // worker count cannot change the search outcome.
-            let evaluated: Vec<Vec<(usize, f64)>> = crossbeam::scope(|s| {
-                let handles: Vec<_> = replicas
-                    .iter_mut()
-                    .enumerate()
-                    .map(|(w, replica)| {
-                        let share: Vec<(usize, &G)> = pending
-                            .iter()
-                            .enumerate()
-                            .filter(|(j, _)| j % workers == w)
-                            .map(|(j, (g, _))| (j, *g))
-                            .collect();
-                        s.spawn(move |_| {
-                            share
-                                .into_iter()
-                                .map(|(j, g)| (j, replica.evaluate(g)))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("evaluation worker panicked"))
-                    .collect()
-            })
-            .expect("evaluation scope panicked");
-            for (j, value) in evaluated.into_iter().flatten() {
-                let (genome, slots) = &pending[j];
-                cache.insert((*genome).clone(), value);
-                for &i in slots {
-                    scores[i] = value;
-                }
-            }
-            scores
-        });
+        let rng = StdRng::from_state(self.rng.to_state());
+        let mut session = SearchSession::with_rng(self.config, rng, population);
+        while !session.done() {
+            session.step(&mut replicas);
+        }
         for replica in replicas {
             fitness.absorb(replica);
         }
-        result
+        // The session consumed part of the engine's RNG stream; keep the
+        // engine's position in step so later campaigns draw fresh numbers.
+        self.rng = StdRng::from_state(session.rng_state());
+        session.finish()
     }
 
     /// The shared generation loop: scores rounds through `evaluate` (which
@@ -451,46 +402,9 @@ impl GaEngine {
 
         for generation in 0..self.config.max_generations {
             generations = generation + 1;
-            history.push(self.stats(generation, &scores, sign, similarity));
+            history.push(round_stats(generation, &scores, sign, similarity));
 
-            // Elitism: carry the best members over unchanged.
-            let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| {
-                scores[b]
-                    .partial_cmp(&scores[a])
-                    .expect("fitness values are comparable")
-            });
-            let mut next: Vec<G> = order
-                .iter()
-                .take(self.config.elitism.min(population.len()))
-                .map(|&i| population[i].clone())
-                .collect();
-
-            // Offspring via selection + crossover + mutation.
-            while next.len() < self.config.population_size {
-                let a = self.config.selection.pick(&scores, &mut self.rng);
-                let b = self.config.selection.pick(&scores, &mut self.rng);
-                let (mut c, mut d) = if self.rng.gen::<f64>() < self.config.crossover_prob {
-                    population[a].crossover(&population[b], &mut self.rng)
-                } else {
-                    (population[a].clone(), population[b].clone())
-                };
-                for child in [&mut c, &mut d] {
-                    if self.rng.gen::<f64>() < self.config.mutation_prob {
-                        let rate = self
-                            .config
-                            .gene_rate
-                            .unwrap_or(1.5 / child.len().max(1) as f64);
-                        child.mutate(&mut self.rng, rate);
-                    }
-                }
-                next.push(c);
-                if next.len() < self.config.population_size {
-                    next.push(d);
-                }
-            }
-
-            population = next;
+            population = breed_next(&self.config, &population, &scores, &mut self.rng);
             scores = score_round(&population, &mut leaderboard, &mut eval_stats);
             similarity = leaderboard.similarity();
             let generation_best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -505,7 +419,7 @@ impl GaEngine {
                 && stagnant_generations >= self.config.stagnation_window
             {
                 converged = true;
-                history.push(self.stats(generation + 1, &scores, sign, similarity));
+                history.push(round_stats(generation + 1, &scores, sign, similarity));
                 break;
             }
         }
@@ -527,22 +441,540 @@ impl GaEngine {
             eval_stats,
         }
     }
+}
 
-    fn stats(
-        &self,
-        generation: u32,
-        scores: &[f64],
-        sign: f64,
-        similarity: f64,
-    ) -> GenerationStats {
-        let best_engine = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mean_engine = scores.iter().sum::<f64>() / scores.len() as f64;
-        GenerationStats {
-            generation,
-            best: sign * best_engine,
-            mean: sign * mean_engine,
-            similarity,
+fn round_stats(generation: u32, scores: &[f64], sign: f64, similarity: f64) -> GenerationStats {
+    let best_engine = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean_engine = scores.iter().sum::<f64>() / scores.len() as f64;
+    GenerationStats {
+        generation,
+        best: sign * best_engine,
+        mean: sign * mean_engine,
+        similarity,
+    }
+}
+
+/// One generation of breeding: elitism, then selection + crossover +
+/// mutation until the population is refilled. Shared by the legacy serial
+/// loop and [`SearchSession`] so the two can never drift apart.
+fn breed_next<G: Genome>(
+    config: &GaConfig,
+    population: &[G],
+    scores: &[f64],
+    rng: &mut StdRng,
+) -> Vec<G> {
+    // Elitism: carry the best members over unchanged.
+    let mut order: Vec<usize> = (0..population.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("fitness values are comparable")
+    });
+    let mut next: Vec<G> = order
+        .iter()
+        .take(config.elitism.min(population.len()))
+        .map(|&i| population[i].clone())
+        .collect();
+
+    // Offspring via selection + crossover + mutation.
+    while next.len() < config.population_size {
+        let a = config.selection.pick(scores, rng);
+        let b = config.selection.pick(scores, rng);
+        let (mut c, mut d) = if rng.gen::<f64>() < config.crossover_prob {
+            population[a].crossover(&population[b], rng)
+        } else {
+            (population[a].clone(), population[b].clone())
+        };
+        for child in [&mut c, &mut d] {
+            if rng.gen::<f64>() < config.mutation_prob {
+                let rate = config.gene_rate.unwrap_or(1.5 / child.len().max(1) as f64);
+                child.mutate(rng, rate);
+            }
         }
+        next.push(c);
+        if next.len() < config.population_size {
+            next.push(d);
+        }
+    }
+    next
+}
+
+/// Scores one round of a cached parallel evaluation: repeats are served
+/// from `cache`, each distinct new chromosome runs once on the substrate,
+/// dealt round-robin across the worker replicas. Newly evaluated
+/// chromosomes are also pushed onto `newly` (raw user-orientation values)
+/// so a journal can persist exactly the substrate work that happened.
+fn score_population<G, F>(
+    population: &[G],
+    cache: &mut HashMap<G, f64>,
+    newly: &mut Vec<(G, f64)>,
+    replicas: &mut [F],
+    stats: &mut EvalStats,
+) -> Vec<f64>
+where
+    G: Genome + PartialEq + Eq + Hash + Sync,
+    F: ParallelFitness<G>,
+{
+    let workers = replicas.len();
+    let mut scores = vec![0.0f64; population.len()];
+    // Resolve repeats first: chromosomes scored in an earlier round come
+    // from the cache, and a chromosome occurring several times in this
+    // round is evaluated once. `pending` holds each distinct new chromosome
+    // with the population slots it fills.
+    let mut pending: Vec<(&G, Vec<usize>)> = Vec::new();
+    let mut pending_index: HashMap<&G, usize> = HashMap::new();
+    for (i, g) in population.iter().enumerate() {
+        if let Some(&hit) = cache.get(g) {
+            scores[i] = hit;
+            stats.cache_hits += 1;
+        } else if let Some(&p) = pending_index.get(g) {
+            pending[p].1.push(i);
+            stats.cache_hits += 1;
+        } else {
+            pending_index.insert(g, pending.len());
+            pending.push((g, vec![i]));
+        }
+    }
+    stats.evaluations += pending.len() as u64;
+    if pending.is_empty() {
+        return scores;
+    }
+    // Deal the distinct chromosomes round-robin across the workers. Purity
+    // makes the partitioning irrelevant to the scores, so the worker count
+    // cannot change the search outcome.
+    let evaluated: Vec<Vec<(usize, f64)>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = replicas
+            .iter_mut()
+            .enumerate()
+            .map(|(w, replica)| {
+                let share: Vec<(usize, &G)> = pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| j % workers == w)
+                    .map(|(j, (g, _))| (j, *g))
+                    .collect();
+                s.spawn(move |_| {
+                    share
+                        .into_iter()
+                        .map(|(j, g)| (j, replica.evaluate(g)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    })
+    .expect("evaluation scope panicked");
+    // Restore the dealing order before draining so `newly` (and hence the
+    // journal's record sequence) does not depend on the worker count.
+    let mut flat: Vec<(usize, f64)> = evaluated.into_iter().flatten().collect();
+    flat.sort_unstable_by_key(|&(j, _)| j);
+    for (j, value) in flat {
+        let (genome, slots) = &pending[j];
+        cache.insert((*genome).clone(), value);
+        newly.push(((*genome).clone(), value));
+        for &i in slots {
+            scores[i] = value;
+        }
+    }
+    scores
+}
+
+/// A stepwise, checkpointable GA search: the parallel engine loop unrolled
+/// so callers can persist the complete engine state between generations and
+/// continue an interrupted search **bit-identically** (§III-F).
+///
+/// One [`step`] call scores the initial population; each further call runs
+/// exactly one generation. [`checkpoint`] captures everything the next step
+/// depends on — population, scores, leaderboard, history, RNG stream
+/// position, evaluation cache and counters — and [`resume`] reconstructs
+/// the session so the remaining steps draw the same random numbers and the
+/// same cached fitness values as an uninterrupted run.
+///
+/// [`step`]: SearchSession::step
+/// [`checkpoint`]: SearchSession::checkpoint
+/// [`resume`]: SearchSession::resume
+#[derive(Debug)]
+pub struct SearchSession<G> {
+    config: GaConfig,
+    rng: StdRng,
+    population: Vec<G>,
+    /// Engine-orientation scores of the current population.
+    scores: Vec<f64>,
+    leaderboard: Leaderboard<G>,
+    history: Vec<GenerationStats>,
+    eval_stats: EvalStats,
+    /// Raw user-orientation fitness of every chromosome ever evaluated.
+    cache: HashMap<G, f64>,
+    /// Chromosomes evaluated on the substrate since the last
+    /// [`take_newly_evaluated`](SearchSession::take_newly_evaluated).
+    newly: Vec<(G, f64)>,
+    /// Completed generations.
+    generation: u32,
+    /// Whether the initial population has been scored.
+    initialized: bool,
+    converged: bool,
+    similarity: f64,
+    best_so_far: f64,
+    stagnant: u32,
+    done: bool,
+}
+
+impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
+    /// Starts a fresh session: seeds the RNG and draws the initial
+    /// population (nothing is evaluated until the first [`step`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    ///
+    /// [`step`]: SearchSession::step
+    pub fn start(config: GaConfig, seed: u64, mut init: impl FnMut(&mut StdRng) -> G) -> Self {
+        config.validate().expect("invalid GA configuration");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let population: Vec<G> = (0..config.population_size)
+            .map(|_| init(&mut rng))
+            .collect();
+        SearchSession::with_rng(config, rng, population)
+    }
+
+    /// Starts a session from an explicit RNG and population (how the engine
+    /// facade hands over its stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the population size does
+    /// not match it.
+    pub fn with_rng(config: GaConfig, rng: StdRng, population: Vec<G>) -> Self {
+        config.validate().expect("invalid GA configuration");
+        assert_eq!(
+            population.len(),
+            config.population_size,
+            "initial population size mismatch"
+        );
+        SearchSession {
+            leaderboard: Leaderboard::new(config.population_size),
+            config,
+            rng,
+            population,
+            scores: Vec::new(),
+            history: Vec::new(),
+            eval_stats: EvalStats {
+                workers: 1,
+                ..EvalStats::default()
+            },
+            cache: HashMap::new(),
+            newly: Vec::new(),
+            generation: 0,
+            initialized: false,
+            converged: false,
+            similarity: 0.0,
+            best_so_far: 0.0,
+            stagnant: 0,
+            done: false,
+        }
+    }
+
+    /// Reconstructs a session from a checkpoint. The checkpoint pins the
+    /// configuration, so the continuation is bit-identical to the search
+    /// that produced it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpointed configuration is invalid.
+    pub fn resume(state: EngineState<G>) -> Self {
+        state.config.validate().expect("invalid GA configuration");
+        SearchSession {
+            leaderboard: Leaderboard::from_entries(state.leaderboard, state.config.population_size),
+            config: state.config,
+            rng: StdRng::from_state(state.rng),
+            population: state.population,
+            scores: state.scores,
+            history: state.history,
+            eval_stats: state.eval_stats,
+            cache: state.cache.into_iter().collect(),
+            newly: Vec::new(),
+            generation: state.generation,
+            initialized: state.initialized,
+            converged: state.converged,
+            similarity: state.similarity,
+            best_so_far: state.best_so_far,
+            stagnant: state.stagnant,
+            done: state.done,
+        }
+    }
+
+    /// Whether the search has finished (converged or out of budget).
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// Completed generations.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    fn rng_state(&self) -> [u64; 4] {
+        self.rng.to_state()
+    }
+
+    /// Chromosomes evaluated on the substrate since the last call, with
+    /// their raw (user-orientation) fitness values, in evaluation order.
+    pub fn take_newly_evaluated(&mut self) -> Vec<(G, f64)> {
+        std::mem::take(&mut self.newly)
+    }
+
+    /// Captures the complete engine state between steps.
+    pub fn checkpoint(&self) -> EngineState<G> {
+        EngineState {
+            config: self.config,
+            rng: self.rng.to_state(),
+            population: self.population.clone(),
+            scores: self.scores.clone(),
+            leaderboard: self.leaderboard.entries.clone(),
+            history: self.history.clone(),
+            eval_stats: self.eval_stats.clone(),
+            cache: self.cache.iter().map(|(g, v)| (g.clone(), *v)).collect(),
+            generation: self.generation,
+            initialized: self.initialized,
+            converged: self.converged,
+            similarity: self.similarity,
+            best_so_far: self.best_so_far,
+            stagnant: self.stagnant,
+            done: self.done,
+        }
+    }
+
+    /// Runs one step: the first call scores the initial population, each
+    /// later call runs exactly one generation (breed, score, update the
+    /// convergence state). A no-op once [`done`](SearchSession::done).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty or an evaluation worker panics.
+    pub fn step<F: ParallelFitness<G>>(&mut self, replicas: &mut [F]) {
+        assert!(
+            !replicas.is_empty(),
+            "at least one evaluation worker is required"
+        );
+        if self.done {
+            return;
+        }
+        self.eval_stats.workers = replicas.len();
+        let sign = if self.config.minimize { -1.0 } else { 1.0 };
+        if !self.initialized {
+            self.rescore(sign, replicas);
+            self.best_so_far = self
+                .scores
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max);
+            self.stagnant = 0;
+            self.initialized = true;
+            return;
+        }
+        let generation = self.generation;
+        self.history
+            .push(round_stats(generation, &self.scores, sign, self.similarity));
+        self.population = breed_next(&self.config, &self.population, &self.scores, &mut self.rng);
+        self.rescore(sign, replicas);
+        let generation_best = self
+            .scores
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if generation_best > self.best_so_far {
+            self.best_so_far = generation_best;
+            self.stagnant = 0;
+        } else {
+            self.stagnant += 1;
+        }
+        self.generation += 1;
+        if self.leaderboard.is_full()
+            && self.similarity >= self.config.convergence_threshold
+            && self.stagnant >= self.config.stagnation_window
+        {
+            self.converged = true;
+            self.history.push(round_stats(
+                generation + 1,
+                &self.scores,
+                sign,
+                self.similarity,
+            ));
+            self.done = true;
+        } else if self.generation >= self.config.max_generations {
+            self.done = true;
+        }
+    }
+
+    fn rescore<F: ParallelFitness<G>>(&mut self, sign: f64, replicas: &mut [F]) {
+        let started = Instant::now();
+        let raw = score_population(
+            &self.population,
+            &mut self.cache,
+            &mut self.newly,
+            replicas,
+            &mut self.eval_stats,
+        );
+        self.eval_stats
+            .generation_eval_seconds
+            .push(started.elapsed().as_secs_f64());
+        self.scores = raw.into_iter().map(|v| sign * v).collect();
+        for (g, s) in self.population.iter().zip(&self.scores) {
+            self.leaderboard.offer(g, *s);
+        }
+        self.similarity = self.leaderboard.similarity();
+    }
+
+    /// Consumes the session into a [`SearchResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was ever evaluated (no [`step`] call).
+    ///
+    /// [`step`]: SearchSession::step
+    pub fn finish(self) -> SearchResult<G> {
+        let sign = if self.config.minimize { -1.0 } else { 1.0 };
+        let leaderboard: Vec<(G, f64)> = self
+            .leaderboard
+            .entries
+            .into_iter()
+            .map(|(g, s)| (g, sign * s))
+            .collect();
+        let (best, best_fitness) = leaderboard[0].clone();
+        SearchResult {
+            best,
+            best_fitness,
+            leaderboard,
+            generations: self.generation,
+            converged: self.converged,
+            similarity: self.similarity,
+            history: self.history,
+            eval_stats: self.eval_stats,
+        }
+    }
+}
+
+/// The serializable between-steps state of a [`SearchSession`]: everything
+/// the next generation depends on, including the raw RNG stream position
+/// and the evaluation-cache contents. Persisting this per generation is
+/// what makes a resumed search bit-identical to an uninterrupted one.
+#[derive(Debug, Clone)]
+pub struct EngineState<G> {
+    /// The search configuration (pinned: a resume ignores any other).
+    pub config: GaConfig,
+    /// Raw xoshiro256** RNG state.
+    pub rng: [u64; 4],
+    /// The current population.
+    pub population: Vec<G>,
+    /// Engine-orientation scores of the current population.
+    pub scores: Vec<f64>,
+    /// Leaderboard entries, best-first (engine orientation).
+    pub leaderboard: Vec<(G, f64)>,
+    /// Per-generation history so far.
+    pub history: Vec<GenerationStats>,
+    /// Evaluation counters and timing so far.
+    pub eval_stats: EvalStats,
+    /// Every chromosome ever evaluated with its raw fitness value.
+    pub cache: Vec<(G, f64)>,
+    /// Completed generations.
+    pub generation: u32,
+    /// Whether the initial population has been scored.
+    pub initialized: bool,
+    /// Whether the similarity criterion was met.
+    pub converged: bool,
+    /// Current mean pairwise leaderboard similarity.
+    pub similarity: f64,
+    /// Best engine-orientation score seen so far.
+    pub best_so_far: f64,
+    /// Generations without a new best.
+    pub stagnant: u32,
+    /// Whether the search has finished.
+    pub done: bool,
+}
+
+impl<G: Serialize> EngineState<G> {
+    /// Serializes to compact JSON (one line — journal-embeddable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+}
+
+impl<G: Deserialize> EngineState<G> {
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+// The derive macro does not handle generic types, so the state serializes
+// by hand — a plain field map, like the derive would emit.
+impl<G: Serialize> Serialize for EngineState<G> {
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("config".into(), self.config.serialize()),
+            ("rng".into(), self.rng.serialize()),
+            ("population".into(), self.population.serialize()),
+            ("scores".into(), self.scores.serialize()),
+            ("leaderboard".into(), self.leaderboard.serialize()),
+            ("history".into(), self.history.serialize()),
+            ("eval_stats".into(), self.eval_stats.serialize()),
+            ("cache".into(), self.cache.serialize()),
+            ("generation".into(), self.generation.serialize()),
+            ("initialized".into(), self.initialized.serialize()),
+            ("converged".into(), self.converged.serialize()),
+            ("similarity".into(), self.similarity.serialize()),
+            ("best_so_far".into(), self.best_so_far.serialize()),
+            ("stagnant".into(), self.stagnant.serialize()),
+            ("done".into(), self.done.serialize()),
+        ])
+    }
+}
+
+impl<G: Deserialize> Deserialize for EngineState<G> {
+    fn deserialize(value: &Value) -> Result<Self, serde::Error> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected EngineState map"))?;
+        fn req<'a>(
+            map: &'a [(String, Value)],
+            key: &'static str,
+        ) -> Result<&'a Value, serde::Error> {
+            serde::__find(map, key)
+                .ok_or_else(|| serde::Error::custom(format!("missing EngineState field `{key}`")))
+        }
+        Ok(EngineState {
+            config: Deserialize::deserialize(req(map, "config")?)?,
+            rng: Deserialize::deserialize(req(map, "rng")?)?,
+            population: Deserialize::deserialize(req(map, "population")?)?,
+            scores: Deserialize::deserialize(req(map, "scores")?)?,
+            leaderboard: Deserialize::deserialize(req(map, "leaderboard")?)?,
+            history: Deserialize::deserialize(req(map, "history")?)?,
+            eval_stats: Deserialize::deserialize(req(map, "eval_stats")?)?,
+            cache: Deserialize::deserialize(req(map, "cache")?)?,
+            generation: Deserialize::deserialize(req(map, "generation")?)?,
+            initialized: Deserialize::deserialize(req(map, "initialized")?)?,
+            converged: Deserialize::deserialize(req(map, "converged")?)?,
+            similarity: Deserialize::deserialize(req(map, "similarity")?)?,
+            best_so_far: Deserialize::deserialize(req(map, "best_so_far")?)?,
+            stagnant: Deserialize::deserialize(req(map, "stagnant")?)?,
+            done: Deserialize::deserialize(req(map, "done")?)?,
+        })
     }
 }
 
@@ -856,5 +1288,82 @@ mod tests {
                 .best_fitness
         };
         assert_eq!(run(23), run(23));
+    }
+
+    #[test]
+    fn session_resume_from_json_checkpoint_is_bit_identical() {
+        // Kill the session at *every* step boundary, serialize the
+        // checkpoint to JSON (exactly what the journal persists), drop the
+        // live session, and continue from the JSON alone — even with a
+        // different worker count. Everything except wall-clock timing must
+        // match the uninterrupted run.
+        let mut config = GaConfig::paper_defaults();
+        config.population_size = 12;
+        config.max_generations = 12;
+        config.stagnation_window = 4;
+        let init = |rng: &mut StdRng| BitGenome::random(rng, 32);
+        let clean = {
+            let mut session = SearchSession::start(config, 77, init);
+            let mut replicas = vec![CountingPopcount::new()];
+            while !session.done() {
+                session.step(&mut replicas);
+            }
+            session.finish()
+        };
+        for boundary in 0.. {
+            let mut session = SearchSession::start(config, 77, init);
+            let mut replicas = vec![CountingPopcount::new()];
+            for _ in 0..boundary {
+                session.step(&mut replicas);
+            }
+            let finished_already = session.done();
+            let json = session.checkpoint().to_json().unwrap();
+            drop(session); // the "crash"
+            let state = EngineState::<BitGenome>::from_json(&json).unwrap();
+            let mut resumed = SearchSession::resume(state);
+            let mut replicas = vec![CountingPopcount::new(), CountingPopcount::new()];
+            while !resumed.done() {
+                resumed.step(&mut replicas);
+            }
+            let result = resumed.finish();
+            assert_eq!(result.best, clean.best, "boundary={boundary}");
+            assert_eq!(result.best_fitness, clean.best_fitness);
+            assert_eq!(result.leaderboard, clean.leaderboard);
+            assert_eq!(result.generations, clean.generations);
+            assert_eq!(result.converged, clean.converged);
+            assert_eq!(result.similarity, clean.similarity);
+            assert_eq!(result.history, clean.history);
+            // Counters resume from the checkpoint, so totals match too.
+            assert_eq!(result.eval_stats.evaluations, clean.eval_stats.evaluations);
+            assert_eq!(result.eval_stats.cache_hits, clean.eval_stats.cache_hits);
+            if finished_already {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn session_reports_newly_evaluated_chromosomes() {
+        let mut config = GaConfig::paper_defaults();
+        config.population_size = 8;
+        config.max_generations = 3;
+        let mut session = SearchSession::start(config, 41, |rng| BitGenome::random(rng, 16));
+        let mut replicas = vec![CountingPopcount::new()];
+        let mut seen = 0u64;
+        while !session.done() {
+            session.step(&mut replicas);
+            let newly = session.take_newly_evaluated();
+            for (g, v) in &newly {
+                assert_eq!(*v, g.count_ones() as f64);
+            }
+            seen += newly.len() as u64;
+            // Draining is idempotent until the next step.
+            assert!(session.take_newly_evaluated().is_empty());
+        }
+        let result = session.finish();
+        assert_eq!(
+            seen, result.eval_stats.evaluations,
+            "every substrate evaluation must be reported exactly once"
+        );
     }
 }

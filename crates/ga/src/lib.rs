@@ -45,11 +45,17 @@ pub mod db;
 pub mod engine;
 pub mod fitness;
 pub mod genome;
+pub mod journal;
 pub mod ops;
 
 pub use db::{VirusDatabase, VirusRecord};
-pub use engine::{EvalStats, GaConfig, GaEngine, GenerationStats, SearchResult};
+pub use engine::{
+    EngineState, EvalStats, GaConfig, GaEngine, GenerationStats, SearchResult, SearchSession,
+};
 pub use fitness::{AveragedFitness, Fitness, FnFitness, ParallelFitness};
 pub use genome::{BitGenome, Genome, IntGenome};
+pub use journal::{
+    run_journaled, CampaignJournal, DiskStorage, MemStorage, Snapshot, Storage, StoredCheckpoint,
+};
 pub use ops::crossover::CrossoverOp;
 pub use ops::selection::SelectionScheme;

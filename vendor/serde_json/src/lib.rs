@@ -48,6 +48,20 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Serializes `value` as compact single-line JSON — the form line-oriented
+/// stores (the DStress campaign journal's JSONL records) require, since a
+/// record must not contain raw newlines.
+///
+/// # Errors
+///
+/// Infallible for well-formed values; the `Result` mirrors serde_json's
+/// signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_compact(&mut out, &value.serialize());
+    Ok(out)
+}
+
 /// Deserializes a `T` from JSON text.
 ///
 /// # Errors
@@ -94,6 +108,39 @@ fn write_value(out: &mut String, value: &Value, indent: usize) {
                 write_value(out, v, indent + 1);
             }
             newline_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value_compact(out, v);
+            }
             out.push('}');
         }
     }
@@ -429,6 +476,25 @@ mod tests {
         let text = to_string_pretty(&data).unwrap();
         let back: Vec<u64> = from_str(&text).unwrap();
         assert_eq!(back, data);
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_reparses() {
+        let v = Value::Map(vec![
+            ("name".into(), Value::Str("line\nbreak".into())),
+            ("xs".into(), Value::Seq(vec![Value::I64(1), Value::I64(-2)])),
+            ("f".into(), Value::F64(0.1 + 0.2)),
+            ("none".into(), Value::Null),
+        ]);
+        struct Wrap(Value);
+        impl Serialize for Wrap {
+            fn serialize(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let text = to_string(&Wrap(v.clone())).unwrap();
+        assert!(!text.contains('\n'), "compact JSON must be one line");
+        assert_eq!(super::parse_value(&text).unwrap(), v);
     }
 
     #[test]
