@@ -52,8 +52,8 @@ fn bench(c: &mut Criterion) {
     // refresh windows across all four MCUs.
     let mut server = XGene2Server::new(ServerConfig::default());
     server.relax_second_domain();
-    server.set_dimm_temperature(2, 60.0);
-    server.set_dimm_temperature(3, 60.0);
+    server.set_dimm_temperature(2, 60.0).unwrap();
+    server.set_dimm_temperature(3, 60.0).unwrap();
     let mut session = server.session(2);
     let base = session.alloc(64 * 1024).expect("alloc");
     let data = vec![0x3333_3333_3333_3333u64; 8192];

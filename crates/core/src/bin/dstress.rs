@@ -2,7 +2,7 @@
 //! stress viruses on the simulated experimental platform.
 //!
 //! ```text
-//! dstress search-word64 [--temp C] [--minimize] [--ue] [--scale quick|paper] [--seed N] [--db FILE] [--resume] [--workers N]
+//! dstress search-word64 [--temp C] [--minimize] [--ue] [--scale quick|paper] [--seed N] [--db FILE] [--resume] [--workers N] [--max-retries N] [--quarantine-after N]
 //! dstress measure --pattern HEX [--temp C]
 //! dstress baselines [--temp C]
 //! dstress victims [--temp C]
@@ -14,7 +14,8 @@
 use dstress::search::BitCampaign;
 use dstress::usecases::{find_marginal_trefp, savings_at_margin, SafetyCriterion};
 use dstress::{
-    Baseline, CampaignJournal, DStress, DiskStorage, EnvKind, ExperimentScale, Metric, WORST_WORD,
+    Baseline, CampaignJournal, DStress, DiskStorage, EnvKind, ExperimentScale, Metric,
+    SupervisionPolicy, WORST_WORD,
 };
 use dstress_vpl::BoundValue;
 use std::collections::HashMap;
@@ -99,6 +100,32 @@ fn scale_from(args: &Args) -> Result<ExperimentScale, String> {
     }
 }
 
+/// Builds the evaluation-supervision policy from `--max-retries` and
+/// `--quarantine-after`. Malformed values are rejected here so they reach
+/// the usage-and-exit-1 path instead of panicking deep in the engine.
+fn supervision_from(args: &Args) -> Result<SupervisionPolicy, String> {
+    let max_retries = args.u64(
+        "max-retries",
+        u64::from(SupervisionPolicy::default().max_retries),
+    )?;
+    let quarantine_after = args.u64(
+        "quarantine-after",
+        u64::from(SupervisionPolicy::default().quarantine_after),
+    )?;
+    let policy = SupervisionPolicy {
+        max_retries: u32::try_from(max_retries)
+            .map_err(|_| format!("--max-retries: {max_retries} does not fit in 32 bits"))?,
+        quarantine_after: u32::try_from(quarantine_after).map_err(|_| {
+            format!("--quarantine-after: {quarantine_after} does not fit in 32 bits")
+        })?,
+        ..SupervisionPolicy::default()
+    };
+    policy
+        .validate()
+        .map_err(|e| format!("--quarantine-after: {e}"))?;
+    Ok(policy)
+}
+
 fn usage() -> &'static str {
     "dstress - automatic synthesis of DRAM reliability stress viruses\n\
      \n\
@@ -109,9 +136,14 @@ fn usage() -> &'static str {
        search-word64   GA search for the worst 64-bit data pattern\n\
                        [--temp C] [--minimize] [--ue] [--scale quick|paper]\n\
                        [--seed N] [--db FILE] [--resume] [--workers N]\n\
+                       [--max-retries N] [--quarantine-after N]\n\
                        With --db the campaign is crash-safe: every virus is\n\
                        journaled and --resume continues an interrupted\n\
-                       search bit-identically.\n\
+                       search bit-identically. Faulting evaluations are\n\
+                       retried up to --max-retries times (default 3) and\n\
+                       the candidate quarantined after --quarantine-after\n\
+                       faults (default 4); resume a supervised campaign\n\
+                       with the same flags.\n\
        measure         Measure one data pattern  --pattern HEX [--temp C]\n\
        baselines       Measure the classic micro-benchmarks [--temp C]\n\
        victims         Profile the error-prone rows [--temp C]\n\
@@ -168,7 +200,16 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "help" | "--help" | "-h" => &[],
         "info" => &["scale"],
         "search-word64" => &[
-            "temp", "minimize", "ue", "scale", "seed", "db", "resume", "workers",
+            "temp",
+            "minimize",
+            "ue",
+            "scale",
+            "seed",
+            "db",
+            "resume",
+            "workers",
+            "max-retries",
+            "quarantine-after",
         ],
         "measure" => &["pattern", "temp", "scale", "seed"],
         "baselines" | "victims" => &["temp", "scale", "seed"],
@@ -209,8 +250,10 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         }
         "search-word64" => {
             let workers = args.u64("workers", 1)?.max(1) as usize;
+            let supervision = supervision_from(&args)?;
             let mut dstress = DStress::new(scale, seed);
             dstress.set_workers(workers);
+            dstress.set_supervision(supervision);
             let metric = if args.bool("ue") {
                 Metric::UeRuns
             } else {
@@ -385,6 +428,43 @@ mod tests {
     }
 
     #[test]
+    fn malformed_supervision_flags_are_rejected_before_the_search_starts() {
+        // Non-numeric values surface as parse errors → usage + exit 1.
+        let err = run(strings(&["search-word64", "--max-retries", "abc"])).unwrap_err();
+        assert!(err.contains("--max-retries"), "{err}");
+        let err = run(strings(&["search-word64", "--quarantine-after", "-1"])).unwrap_err();
+        assert!(err.contains("--quarantine-after"), "{err}");
+        // A zero quarantine threshold could never score a candidate; the
+        // policy's own validation rejects it at the CLI boundary.
+        let err = run(strings(&["search-word64", "--quarantine-after", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        // Values beyond u32 are rejected rather than silently truncated.
+        let err = run(strings(&["search-word64", "--max-retries", "4294967296"])).unwrap_err();
+        assert!(err.contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn supervision_flags_parse_into_a_policy() {
+        let args = Args::parse(strings(&[
+            "search-word64",
+            "--max-retries",
+            "7",
+            "--quarantine-after",
+            "9",
+        ]))
+        .unwrap();
+        let policy = supervision_from(&args).unwrap();
+        assert_eq!(policy.max_retries, 7);
+        assert_eq!(policy.quarantine_after, 9);
+        // Unset flags fall back to the documented defaults.
+        let args = Args::parse(strings(&["search-word64"])).unwrap();
+        assert_eq!(
+            supervision_from(&args).unwrap(),
+            SupervisionPolicy::default()
+        );
+    }
+
+    #[test]
     fn resume_requires_a_database() {
         let err = run(strings(&["search-word64", "--resume", "--scale", "quick"])).unwrap_err();
         assert!(err.contains("--resume requires --db"), "{err}");
@@ -397,7 +477,16 @@ mod tests {
             (
                 "search-word64",
                 vec![
-                    "temp", "minimize", "ue", "scale", "seed", "db", "resume", "workers",
+                    "temp",
+                    "minimize",
+                    "ue",
+                    "scale",
+                    "seed",
+                    "db",
+                    "resume",
+                    "workers",
+                    "max-retries",
+                    "quarantine-after",
                 ],
             ),
             ("measure", vec!["pattern", "temp", "scale", "seed"]),

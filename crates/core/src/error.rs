@@ -1,6 +1,51 @@
 //! Framework-level errors.
 
+use dstress_platform::thermal::{SettleReport, ThermalError};
 use dstress_vpl::VplError;
+
+/// An experimental-platform failure at campaign setup: the physical rig
+/// could not be brought to (or asked about) the requested operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The thermal testbed ran its PID loop to the timeout without holding
+    /// the DIMM at the setpoint. Carries the full [`SettleReport`] so the
+    /// operator can see how close the rig got and how long it tried.
+    ThermalUnsettled {
+        /// The MCU whose DIMM was being heated.
+        mcu: usize,
+        /// The setpoint that could not be held (°C).
+        setpoint_c: f64,
+        /// The full settling report (final temperature, trajectory…).
+        report: SettleReport,
+    },
+    /// The thermal rig rejected the request outright (bad channel index).
+    Thermal(ThermalError),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::ThermalUnsettled {
+                mcu,
+                setpoint_c,
+                report,
+            } => write!(
+                f,
+                "DIMM {mcu} did not settle at {setpoint_c} °C: reached {:.1} °C after {:.0} s",
+                report.final_temp_c, report.settle_time_s
+            ),
+            PlatformError::Thermal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<ThermalError> for PlatformError {
+    fn from(e: ThermalError) -> Self {
+        PlatformError::Thermal(e)
+    }
+}
 
 /// Any error raised by the DStress framework.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +61,9 @@ pub enum DStressError {
     /// The campaign journal or database could not be read or written (the
     /// message keeps the variant comparable in tests).
     Io(String),
+    /// The experimental platform could not reach the requested operating
+    /// point at campaign setup.
+    Platform(PlatformError),
 }
 
 impl std::fmt::Display for DStressError {
@@ -25,6 +73,7 @@ impl std::fmt::Display for DStressError {
             DStressError::Config(m) => write!(f, "configuration error: {m}"),
             DStressError::Experiment(m) => write!(f, "experiment error: {m}"),
             DStressError::Io(m) => write!(f, "I/O error: {m}"),
+            DStressError::Platform(e) => write!(f, "platform error: {e}"),
         }
     }
 }
@@ -33,6 +82,7 @@ impl std::error::Error for DStressError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DStressError::Vpl(e) => Some(e),
+            DStressError::Platform(e) => Some(e),
             _ => None,
         }
     }
@@ -41,6 +91,18 @@ impl std::error::Error for DStressError {
 impl From<VplError> for DStressError {
     fn from(e: VplError) -> Self {
         DStressError::Vpl(e)
+    }
+}
+
+impl From<PlatformError> for DStressError {
+    fn from(e: PlatformError) -> Self {
+        DStressError::Platform(e)
+    }
+}
+
+impl From<ThermalError> for DStressError {
+    fn from(e: ThermalError) -> Self {
+        DStressError::Platform(PlatformError::Thermal(e))
     }
 }
 
@@ -67,5 +129,35 @@ mod tests {
         let io: DStressError = std::io::Error::other("disk on fire").into();
         assert_eq!(io, DStressError::Io("disk on fire".into()));
         assert!(io.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn platform_errors_carry_their_evidence() {
+        let unsettled = PlatformError::ThermalUnsettled {
+            mcu: 2,
+            setpoint_c: 250.0,
+            report: SettleReport {
+                final_temp_c: 144.9,
+                settle_time_s: 3600.0,
+                settled: false,
+                trajectory: vec![45.0, 144.9],
+            },
+        };
+        let msg = unsettled.to_string();
+        assert!(msg.contains("DIMM 2") && msg.contains("250") && msg.contains("144.9"));
+        let wrapped: DStressError = unsettled.into();
+        assert!(wrapped.to_string().starts_with("platform error:"));
+        let bad_channel: DStressError = ThermalError::ChannelOutOfRange {
+            channel: 7,
+            channels: 4,
+        }
+        .into();
+        assert_eq!(
+            bad_channel,
+            DStressError::Platform(PlatformError::Thermal(ThermalError::ChannelOutOfRange {
+                channel: 7,
+                channels: 4,
+            }))
+        );
     }
 }

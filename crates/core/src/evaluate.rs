@@ -4,7 +4,7 @@
 use crate::error::DStressError;
 use crate::patterns::{BitCodec, IntCodec};
 use dstress_dram::geometry::RowKey;
-use dstress_ga::{BitGenome, Fitness, IntGenome, ParallelFitness};
+use dstress_ga::{BitGenome, EvalFault, Fitness, IntGenome, ParallelFitness};
 use dstress_platform::{RunOutcome, XGene2Server};
 use dstress_vpl::{compile, BoundValue, ExecLimits, Interpreter, ProcessedTemplate, Vm};
 use serde::{Deserialize, Serialize};
@@ -234,6 +234,19 @@ impl VirusEvaluator {
         self.metric = metric;
     }
 
+    /// Sets the VM step budget — the supervised runtime's deterministic
+    /// watchdog. A candidate that exceeds it fails with the VM's
+    /// `ExecutionLimit`, which [`Self::try_fitness_of`] classifies as a
+    /// non-retryable budget blowout.
+    pub fn set_step_budget(&mut self, max_steps: u64) {
+        self.limits = ExecLimits::with_max_steps(max_steps);
+    }
+
+    /// The configured VM step budget.
+    pub fn step_budget(&self) -> u64 {
+        self.limits.max_steps
+    }
+
     /// Evaluates a fully-bound candidate virus.
     ///
     /// # Errors
@@ -321,6 +334,35 @@ impl VirusEvaluator {
             }
         }
     }
+
+    /// Fallible scoring for the supervised evaluation path: instead of
+    /// smuggling failures into a 0.0 score (as [`Self::fitness_of`] does for
+    /// the legacy path), failures surface as classified [`EvalFault`]s the
+    /// GA supervisor can act on. The step-budget watchdog firing maps to
+    /// [`dstress_ga::FaultKind::BudgetExhausted`]; every other template or
+    /// execution failure is deterministic for a given chromosome, hence
+    /// permanent. Failed evaluations still count in `failed_evaluations`.
+    ///
+    /// # Errors
+    ///
+    /// The classified [`EvalFault`].
+    pub fn try_fitness_of(
+        &mut self,
+        chromosome: HashMap<String, BoundValue>,
+    ) -> Result<f64, EvalFault> {
+        match self.evaluate_bindings(chromosome) {
+            Ok(outcome) => Ok(outcome.fitness),
+            Err(err) => {
+                self.failed_evaluations += 1;
+                match &err {
+                    DStressError::Vpl(vpl) if vpl.is_execution_limit() => {
+                        Err(EvalFault::budget_exhausted(err.to_string()))
+                    }
+                    _ => Err(EvalFault::permanent(err.to_string())),
+                }
+            }
+        }
+    }
 }
 
 /// [`Fitness`] adapter for bit-genome searches.
@@ -336,6 +378,10 @@ impl Fitness<BitGenome> for BitFitness<'_> {
     fn evaluate(&mut self, genome: &BitGenome) -> f64 {
         self.evaluator.fitness_of(self.codec.bindings(genome))
     }
+
+    fn try_evaluate(&mut self, genome: &BitGenome) -> Result<f64, EvalFault> {
+        self.evaluator.try_fitness_of(self.codec.bindings(genome))
+    }
 }
 
 /// [`Fitness`] adapter for integer-genome searches.
@@ -350,6 +396,10 @@ pub struct IntFitness<'a> {
 impl Fitness<IntGenome> for IntFitness<'_> {
     fn evaluate(&mut self, genome: &IntGenome) -> f64 {
         self.evaluator.fitness_of(self.codec.bindings(genome))
+    }
+
+    fn try_evaluate(&mut self, genome: &IntGenome) -> Result<f64, EvalFault> {
+        self.evaluator.try_fitness_of(self.codec.bindings(genome))
     }
 }
 
@@ -367,6 +417,10 @@ pub struct ParallelBitFitness {
 impl Fitness<BitGenome> for ParallelBitFitness {
     fn evaluate(&mut self, genome: &BitGenome) -> f64 {
         self.evaluator.fitness_of(self.codec.bindings(genome))
+    }
+
+    fn try_evaluate(&mut self, genome: &BitGenome) -> Result<f64, EvalFault> {
+        self.evaluator.try_fitness_of(self.codec.bindings(genome))
     }
 }
 
@@ -396,6 +450,10 @@ impl Fitness<IntGenome> for ParallelIntFitness {
     fn evaluate(&mut self, genome: &IntGenome) -> f64 {
         self.evaluator.fitness_of(self.codec.bindings(genome))
     }
+
+    fn try_evaluate(&mut self, genome: &IntGenome) -> Result<f64, EvalFault> {
+        self.evaluator.try_fitness_of(self.codec.bindings(genome))
+    }
 }
 
 impl ParallelFitness<IntGenome> for ParallelIntFitness {
@@ -422,7 +480,7 @@ mod tests {
         let scale = ExperimentScale::quick();
         let mut server = XGene2Server::new(scale.server);
         server.relax_second_domain();
-        server.set_dimm_temperature(2, 60.0);
+        server.set_dimm_temperature(2, 60.0).unwrap();
         let template = templates::process(templates::WORD64, &scale).unwrap();
         let mem_words = scale.dimm_words();
         let env: HashMap<String, BoundValue> = [
@@ -605,9 +663,67 @@ mod tests {
     }
 
     #[test]
+    fn try_fitness_classifies_template_failures_as_permanent() {
+        use dstress_ga::FaultKind;
+        let mut eval = evaluator(Metric::CeAverage);
+        let fault = eval.try_fitness_of(HashMap::new()).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Permanent);
+        assert!(!fault.is_retryable());
+        assert_eq!(eval.failed_evaluations, 1);
+        // A well-formed chromosome still scores through the fallible path.
+        let score = eval
+            .try_fitness_of(
+                [(
+                    "PATTERN".to_string(),
+                    BoundValue::Scalar(0x3333_3333_3333_3333),
+                )]
+                .into(),
+            )
+            .unwrap();
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn step_budget_blowout_is_a_budget_fault() {
+        use dstress_ga::FaultKind;
+        let mut eval = evaluator(Metric::CeAverage);
+        // A budget no real virus fits in: the watchdog fires
+        // deterministically, and the fault is classified non-retryable.
+        eval.set_step_budget(10);
+        assert_eq!(eval.step_budget(), 10);
+        let chromosome: HashMap<String, BoundValue> = [(
+            "PATTERN".to_string(),
+            BoundValue::Scalar(0x3333_3333_3333_3333),
+        )]
+        .into();
+        let fault = eval.try_fitness_of(chromosome.clone()).unwrap_err();
+        assert_eq!(fault.kind, FaultKind::BudgetExhausted);
+        assert!(fault.message.contains("10-step budget"));
+        let again = eval.try_fitness_of(chromosome).unwrap_err();
+        assert_eq!(fault, again, "the watchdog is deterministic");
+        assert_eq!(eval.failed_evaluations, 2);
+    }
+
+    #[test]
+    fn parallel_adapter_try_evaluate_routes_through_the_evaluator() {
+        let mut fit = ParallelBitFitness {
+            evaluator: evaluator(Metric::CeAverage),
+            codec: BitCodec::Word64 {
+                param: "PATTERN".into(),
+            },
+        };
+        let g = BitGenome::from_words(&[0x3333_3333_3333_3333], 64);
+        let direct = fit.evaluate(&g);
+        assert_eq!(fit.try_evaluate(&g), Ok(direct));
+        fit.evaluator.set_step_budget(10);
+        let fault = fit.try_evaluate(&g).unwrap_err();
+        assert_eq!(fault.kind, dstress_ga::FaultKind::BudgetExhausted);
+    }
+
+    #[test]
     fn ue_metric_counts_runs() {
         let mut eval = evaluator(Metric::UeRuns);
-        eval.server_mut().set_dimm_temperature(2, 70.0);
+        eval.server_mut().set_dimm_temperature(2, 70.0).unwrap();
         let outcome = eval
             .evaluate_bindings(
                 [(

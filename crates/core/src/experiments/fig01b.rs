@@ -49,7 +49,9 @@ pub fn run(scale: ExperimentScale, seed: u64) -> Result<Fig01bReport, DStressErr
         server.set_trefp(1, dstress_dram::env::MAX_TREFP_S);
         server.set_vdd(0, 1.428);
         for mcu in 0..MCUS {
-            server.set_dimm_temperature(mcu, 50.0);
+            server
+                .set_dimm_temperature(mcu, 50.0)
+                .map_err(crate::error::PlatformError::from)?;
         }
         let run = workload
             .deploy(&mut server, seed)

@@ -62,7 +62,8 @@ pub mod usecases_retention;
 pub mod workloads;
 
 pub use dstress_ga::journal::{CampaignJournal, DiskStorage, MemStorage, Storage};
-pub use error::DStressError;
+pub use dstress_ga::supervise::{Hazard, HazardPlan, Incident, IncidentKind, SupervisionPolicy};
+pub use error::{DStressError, PlatformError};
 pub use evaluate::{EvalOutcome, Metric, ParallelBitFitness, ParallelIntFitness, VirusEvaluator};
 pub use microbench::Baseline;
 pub use scale::ExperimentScale;

@@ -235,7 +235,7 @@ pub fn measure_march(
     temp_c: f64,
 ) -> Result<(EvalOutcome, MarchRunReport), DStressError> {
     let scale: &ExperimentScale = &dstress.scale;
-    let mut server = dstress.server_at(temp_c);
+    let mut server = dstress.server_at(temp_c)?;
     server.reset_memory();
     let words = scale.dimm_words();
     let mut session = server.session(2);
@@ -425,7 +425,7 @@ pub fn fault_detection(
     let mut detections = Vec::new();
     for test in MarchTest::all() {
         // A fresh server per test so earlier sweeps don't mask faults.
-        let mut server = dstress.server_at(scale.server.ambient_c);
+        let mut server = dstress.server_at(scale.server.ambient_c)?;
         let place = |i: usize, salt: u32| -> Location {
             // Deterministic spread across the DIMM.
             let idx = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);

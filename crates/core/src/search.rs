@@ -1,7 +1,7 @@
 //! Search campaigns: the synthesis phase wired to the evaluation phase
 //! (paper Fig. 4).
 
-use crate::error::DStressError;
+use crate::error::{DStressError, PlatformError};
 use crate::evaluate::{Metric, ParallelBitFitness, ParallelIntFitness, VirusEvaluator};
 use crate::patterns::{BitCodec, IntCodec};
 use crate::scale::ExperimentScale;
@@ -9,7 +9,8 @@ use crate::templates;
 use dstress_dram::geometry::RowKey;
 use dstress_ga::journal::{run_journaled, CampaignJournal, Storage};
 use dstress_ga::{
-    BitGenome, GaEngine, Genome, IntGenome, SearchResult, VirusDatabase, VirusRecord,
+    BitGenome, GaEngine, Genome, HazardPlan, IntGenome, SearchResult, SupervisionPolicy,
+    VirusDatabase, VirusRecord,
 };
 use dstress_platform::{RowErrors, XGene2Server};
 use dstress_vpl::BoundValue;
@@ -361,6 +362,9 @@ pub struct DStress {
     seed: u64,
     campaign_seq: u64,
     workers: usize,
+    supervision: SupervisionPolicy,
+    hazards: Option<HazardPlan>,
+    step_budget: Option<u64>,
 }
 
 impl DStress {
@@ -372,6 +376,9 @@ impl DStress {
             seed,
             campaign_seq: 0,
             workers: 1,
+            supervision: SupervisionPolicy::default(),
+            hazards: None,
+            step_budget: None,
         }
     }
 
@@ -392,20 +399,68 @@ impl DStress {
         self.workers
     }
 
+    /// Sets the supervision policy (retry / quarantine limits) campaigns
+    /// run under.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (`quarantine_after` of zero).
+    pub fn set_supervision(&mut self, policy: SupervisionPolicy) {
+        policy.validate().expect("invalid supervision policy");
+        self.supervision = policy;
+    }
+
+    /// The supervision policy campaigns run under.
+    pub fn supervision(&self) -> SupervisionPolicy {
+        self.supervision
+    }
+
+    /// Injects a hazard plan into subsequent campaigns (`None` clears it).
+    /// Test-harness machinery: hazards fire at scheduled evaluation
+    /// indices, mirroring `MemStorage`'s op-counted storage faults.
+    pub fn set_hazard_plan(&mut self, hazards: Option<HazardPlan>) {
+        self.hazards = hazards;
+    }
+
+    /// Overrides the VM step budget evaluators run with (`None` restores
+    /// the default). The budget is the supervised runtime's deterministic
+    /// watchdog against non-terminating candidates.
+    pub fn set_step_budget(&mut self, max_steps: Option<u64>) {
+        self.step_budget = max_steps;
+    }
+
     /// Boots the experimental server: the paper's §IV memory configuration
     /// (second domain relaxed) with DIMM2 heated to `temp_c`.
-    pub fn server_at(&self, temp_c: f64) -> XGene2Server {
+    ///
+    /// # Errors
+    ///
+    /// [`DStressError::Platform`] when the thermal rig rejects the channel
+    /// or runs to its timeout without holding the setpoint
+    /// ([`PlatformError::ThermalUnsettled`], carrying the full settling
+    /// report) — a campaign must not start on an unstable thermal platform.
+    pub fn server_at(&self, temp_c: f64) -> Result<XGene2Server, DStressError> {
         let mut server = XGene2Server::new(self.scale.server);
         server.relax_second_domain();
-        server.set_dimm_temperature(2, temp_c);
-        server
+        let report = server
+            .set_dimm_temperature(2, temp_c)
+            .map_err(PlatformError::from)?;
+        if !report.settled {
+            return Err(PlatformError::ThermalUnsettled {
+                mcu: 2,
+                setpoint_c: temp_c,
+                report,
+            }
+            .into());
+        }
+        Ok(server)
     }
 
     /// Builds an evaluator for an environment.
     ///
     /// # Errors
     ///
-    /// Propagates template processing and environment-binding failures.
+    /// Propagates template processing, environment-binding and platform
+    /// setup failures.
     pub fn evaluator(
         &self,
         env: &EnvKind,
@@ -414,14 +469,18 @@ impl DStress {
     ) -> Result<VirusEvaluator, DStressError> {
         let template = templates::process(env.template_source(), &self.scale)?;
         let bindings = env.bindings(&self.scale)?;
-        Ok(VirusEvaluator::new(
-            self.server_at(temp_c),
+        let mut evaluator = VirusEvaluator::new(
+            self.server_at(temp_c)?,
             template,
             bindings,
             metric,
             self.scale.runs_per_virus,
             2,
-        ))
+        );
+        if let Some(max_steps) = self.step_budget {
+            evaluator.set_step_budget(max_steps);
+        }
+        Ok(evaluator)
     }
 
     fn next_campaign_seed(&mut self) -> u64 {
@@ -476,6 +535,8 @@ impl DStress {
         }
         let seed = self.next_campaign_seed();
         let mut engine = GaEngine::new(ga_config, seed);
+        engine.set_supervision(self.supervision);
+        engine.set_hazards(self.hazards.clone());
         let mut fitness = ParallelBitFitness {
             evaluator,
             codec: codec.clone(),
@@ -516,6 +577,8 @@ impl DStress {
         let ga_config = self.scale.ga;
         let seed = self.next_campaign_seed();
         let mut engine = GaEngine::new(ga_config, seed);
+        engine.set_supervision(self.supervision);
+        engine.set_hazards(self.hazards.clone());
         let mut fitness = ParallelIntFitness { evaluator, codec };
         let result = engine.run_parallel(
             self.workers,
@@ -657,6 +720,8 @@ impl DStress {
                 sequence: 0,
             },
             max_steps,
+            self.supervision,
+            self.hazards.clone(),
         )?;
         let failed = fitness.evaluator.failed_evaluations;
         Ok(result.map(|result| BitCampaign {
@@ -1094,11 +1159,41 @@ mod env_tests {
     #[test]
     fn server_at_heats_only_dimm2() {
         let dstress = DStress::new(scale(), 1);
-        let server = dstress.server_at(65.0);
+        let server = dstress.server_at(65.0).unwrap();
         assert!((server.dimm_temperature(2) - 65.0).abs() < 0.5);
         assert!((server.dimm_temperature(0) - scale().server.ambient_c).abs() < 0.5);
         assert_eq!(server.trefp(2), dstress_dram::env::MAX_TREFP_S);
         assert_eq!(server.trefp(0), dstress_dram::env::NOMINAL_TREFP_S);
+    }
+
+    #[test]
+    fn server_at_rejects_an_unreachable_setpoint_with_the_settle_report() {
+        // The heater tops out ~145 °C over a 45 °C ambient; 250 °C can
+        // never settle, and campaign setup must fail with the evidence
+        // instead of silently starting on an unstable platform.
+        let dstress = DStress::new(scale(), 1);
+        let err = dstress.server_at(250.0).unwrap_err();
+        match err {
+            DStressError::Platform(PlatformError::ThermalUnsettled {
+                mcu,
+                setpoint_c,
+                report,
+            }) => {
+                assert_eq!(mcu, 2);
+                assert_eq!(setpoint_c, 250.0);
+                assert!(!report.settled);
+                assert!(report.final_temp_c < 250.0);
+            }
+            other => panic!("expected ThermalUnsettled, got {other:?}"),
+        }
+        // The evaluator constructor propagates the same failure.
+        let err = dstress
+            .evaluator(&EnvKind::Word64, 250.0, Metric::CeAverage)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DStressError::Platform(PlatformError::ThermalUnsettled { .. })
+        ));
     }
 
     #[test]

@@ -189,8 +189,8 @@ mod tests {
     fn workloads_manifest_different_error_counts() {
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 60.0);
-        sv.set_dimm_temperature(3, 60.0);
+        sv.set_dimm_temperature(2, 60.0).unwrap();
+        sv.set_dimm_temperature(3, 60.0).unwrap();
         let kmeans_run = Workload::Kmeans.deploy(&mut sv, 5).unwrap();
         let kmeans: u64 = sv
             .evaluate_runs(&kmeans_run, 3, 1)

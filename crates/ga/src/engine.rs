@@ -15,11 +15,15 @@
 use crate::fitness::{Fitness, ParallelFitness};
 use crate::genome::Genome;
 use crate::ops::selection::SelectionScheme;
+use crate::supervise::{
+    finite_mean, nan_last_cmp, nan_last_max, supervise_one, EvalVerdict, HazardPlan, Incident,
+    IncidentKind, PendingIncident, SupervisionPolicy,
+};
 use dstress_stats::mean_pairwise;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::time::Instant;
 
@@ -174,6 +178,28 @@ pub struct SearchResult<G> {
     /// Evaluation bookkeeping (substrate evaluations, cache hits, workers,
     /// wall-clock).
     pub eval_stats: EvalStats,
+    /// Every supervision decision (retry, quarantine, worker loss) the
+    /// evaluation runtime made, in stream order. Empty for unsupervised
+    /// (serial-path) searches and for fault-free supervised ones.
+    pub incidents: Vec<Incident>,
+}
+
+impl<G> SearchResult<G> {
+    /// Candidates the supervisor quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| matches!(i.kind, IncidentKind::Quarantine { .. }))
+            .count()
+    }
+
+    /// Workers lost (and redealt around) during the search.
+    pub fn workers_lost(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| matches!(i.kind, IncidentKind::WorkerLoss))
+            .count()
+    }
 }
 
 /// The top-N distinct chromosomes seen so far.
@@ -196,23 +222,26 @@ impl<G: Genome + PartialEq> Leaderboard<G> {
         Leaderboard { entries, capacity }
     }
 
-    /// Offers a scored chromosome (engine orientation: higher is better).
+    /// Offers a scored chromosome (engine orientation: higher is better;
+    /// `NaN` — the quarantine score — ranks below everything).
     fn offer(&mut self, genome: &G, score: f64) {
         if let Some(existing) = self.entries.iter_mut().find(|(g, _)| g == genome) {
-            existing.1 = existing.1.max(score);
-            self.entries
-                .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+            if nan_last_cmp(score, existing.1) == std::cmp::Ordering::Greater {
+                existing.1 = score;
+            }
+            self.entries.sort_by(|a, b| nan_last_cmp(b.1, a.1));
             return;
         }
         if self.entries.len() < self.capacity {
             self.entries.push((genome.clone(), score));
-        } else if score > self.entries.last().expect("leaderboard non-empty").1 {
+        } else if nan_last_cmp(score, self.entries.last().expect("leaderboard non-empty").1)
+            == std::cmp::Ordering::Greater
+        {
             *self.entries.last_mut().expect("leaderboard non-empty") = (genome.clone(), score);
         } else {
             return;
         }
-        self.entries
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fitness"));
+        self.entries.sort_by(|a, b| nan_last_cmp(b.1, a.1));
     }
 
     fn is_full(&self) -> bool {
@@ -232,6 +261,8 @@ impl<G: Genome + PartialEq> Leaderboard<G> {
 pub struct GaEngine {
     config: GaConfig,
     rng: StdRng,
+    supervision: SupervisionPolicy,
+    hazards: Option<HazardPlan>,
 }
 
 impl GaEngine {
@@ -245,12 +276,32 @@ impl GaEngine {
         GaEngine {
             config,
             rng: StdRng::seed_from_u64(seed),
+            supervision: SupervisionPolicy::default(),
+            hazards: None,
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &GaConfig {
         &self.config
+    }
+
+    /// Sets the retry/quarantine policy the parallel evaluation path runs
+    /// under (the serial [`run`](GaEngine::run) path is unsupervised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`SupervisionPolicy::validate`]).
+    pub fn set_supervision(&mut self, policy: SupervisionPolicy) {
+        policy.validate().expect("invalid supervision policy");
+        self.supervision = policy;
+    }
+
+    /// Installs (or clears) a fault-injection plan for the parallel
+    /// evaluation path — test instrumentation, mirroring
+    /// [`MemStorage::fail_op`](crate::journal::MemStorage::fail_op).
+    pub fn set_hazards(&mut self, hazards: Option<HazardPlan>) {
+        self.hazards = hazards;
     }
 
     /// Runs a search from a randomly initialized population ("the
@@ -337,6 +388,8 @@ impl GaEngine {
         let mut replicas: Vec<F> = (0..workers).map(|_| fitness.replicate()).collect();
         let rng = StdRng::from_state(self.rng.to_state());
         let mut session = SearchSession::with_rng(self.config, rng, population);
+        session.set_supervision(self.supervision);
+        session.set_hazards(self.hazards.clone());
         while !session.done() {
             session.step(&mut replicas);
         }
@@ -397,7 +450,7 @@ impl GaEngine {
         let mut generations = 0;
         let mut converged = false;
         let mut similarity = leaderboard.similarity();
-        let mut best_so_far = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut best_so_far = nan_last_max(&scores);
         let mut stagnant_generations = 0u32;
 
         for generation in 0..self.config.max_generations {
@@ -407,8 +460,8 @@ impl GaEngine {
             population = breed_next(&self.config, &population, &scores, &mut self.rng);
             scores = score_round(&population, &mut leaderboard, &mut eval_stats);
             similarity = leaderboard.similarity();
-            let generation_best = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            if generation_best > best_so_far {
+            let generation_best = nan_last_max(&scores);
+            if nan_last_cmp(generation_best, best_so_far) == std::cmp::Ordering::Greater {
                 best_so_far = generation_best;
                 stagnant_generations = 0;
             } else {
@@ -439,13 +492,17 @@ impl GaEngine {
             similarity,
             history,
             eval_stats,
+            incidents: Vec::new(),
         }
     }
 }
 
+// Best/mean ignore quarantined (`NaN`) members; an all-quarantined round
+// reports `NaN`, which round-trips through JSON checkpoints (`-inf` would
+// not). For finite scores this is exactly the old fold-based arithmetic.
 fn round_stats(generation: u32, scores: &[f64], sign: f64, similarity: f64) -> GenerationStats {
-    let best_engine = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mean_engine = scores.iter().sum::<f64>() / scores.len() as f64;
+    let best_engine = nan_last_max(scores);
+    let mean_engine = finite_mean(scores);
     GenerationStats {
         generation,
         best: sign * best_engine,
@@ -463,13 +520,10 @@ fn breed_next<G: Genome>(
     scores: &[f64],
     rng: &mut StdRng,
 ) -> Vec<G> {
-    // Elitism: carry the best members over unchanged.
+    // Elitism: carry the best members over unchanged. Quarantined (`NaN`)
+    // members rank below every finite score, so they are never elite.
     let mut order: Vec<usize> = (0..population.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("fitness values are comparable")
-    });
+    order.sort_by(|&a, &b| nan_last_cmp(scores[b], scores[a]));
     let mut next: Vec<G> = order
         .iter()
         .take(config.elitism.min(population.len()))
@@ -499,23 +553,47 @@ fn breed_next<G: Genome>(
     next
 }
 
+/// What one worker brought back from its share of a dealing round: the
+/// candidates it finished (with their supervision incidents) and, if it
+/// died, the evaluation index the kill fired at.
+struct WorkerReport {
+    completed: Vec<(usize, EvalVerdict, Vec<PendingIncident>)>,
+    died_at: Option<u64>,
+}
+
 /// Scores one round of a cached parallel evaluation: repeats are served
 /// from `cache`, each distinct new chromosome runs once on the substrate,
-/// dealt round-robin across the worker replicas. Newly evaluated
-/// chromosomes are also pushed onto `newly` (raw user-orientation values)
-/// so a journal can persist exactly the substrate work that happened.
+/// dealt round-robin across the worker replicas and evaluated under
+/// supervision (panic isolation, deterministic retry/quarantine — see
+/// [`crate::supervise`]). Newly evaluated chromosomes are pushed onto
+/// `newly` (raw user-orientation values) so a journal can persist exactly
+/// the substrate work that happened; quarantined chromosomes are cached as
+/// `NaN` and reported through `incidents` instead.
+///
+/// A worker that dies mid-round (a [`Hazard::KillWorker`]) is removed from
+/// the pool (`dead`) and its unfinished share is redealt to the survivors;
+/// if the last worker dies it is revived, so the round always completes.
+/// Every verdict and incident is keyed by the search-global evaluation
+/// index, never by worker identity, so the result — scores, `newly` order,
+/// incident stream — is bit-identical for any worker count.
+///
+/// [`Hazard::KillWorker`]: crate::supervise::Hazard::KillWorker
+#[allow(clippy::too_many_arguments)] // internal: the session owns all of these
 fn score_population<G, F>(
     population: &[G],
     cache: &mut HashMap<G, f64>,
     newly: &mut Vec<(G, f64)>,
     replicas: &mut [F],
+    dead: &mut HashSet<usize>,
     stats: &mut EvalStats,
+    policy: &SupervisionPolicy,
+    hazards: Option<&HazardPlan>,
+    incidents: &mut Vec<PendingIncident>,
 ) -> Vec<f64>
 where
     G: Genome + PartialEq + Eq + Hash + Sync,
     F: ParallelFitness<G>,
 {
-    let workers = replicas.len();
     let mut scores = vec![0.0f64; population.len()];
     // Resolve repeats first: chromosomes scored in an earlier round come
     // from the cache, and a chromosome occurring several times in this
@@ -535,46 +613,125 @@ where
             pending.push((g, vec![i]));
         }
     }
+    // Search-global index of pending[0]: cache hits never consume indices,
+    // so the numbering is the same for every worker count and every resume.
+    let base_index = stats.evaluations;
     stats.evaluations += pending.len() as u64;
     if pending.is_empty() {
         return scores;
     }
-    // Deal the distinct chromosomes round-robin across the workers. Purity
-    // makes the partitioning irrelevant to the scores, so the worker count
-    // cannot change the search outcome.
-    let evaluated: Vec<Vec<(usize, f64)>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = replicas
+    // A stale dead-set (the pool was resized between steps) must not mask
+    // every worker; dead workers stay dead only while their index exists.
+    dead.retain(|&w| w < replicas.len());
+    if dead.len() >= replicas.len() {
+        dead.clear();
+    }
+    let mut verdicts: Vec<Option<EvalVerdict>> = vec![None; pending.len()];
+    let mut round_incidents: Vec<PendingIncident> = Vec::new();
+    // Dealing-order indices into `pending` still awaiting a verdict. Each
+    // pass deals them round-robin over the live workers; a worker loss
+    // leaves its unfinished share here for the next pass.
+    let mut remaining: Vec<usize> = (0..pending.len()).collect();
+    while !remaining.is_empty() {
+        let alive: Vec<usize> = (0..replicas.len()).filter(|w| !dead.contains(w)).collect();
+        let lanes = alive.len();
+        let mut alive_replicas: Vec<&mut F> = replicas
             .iter_mut()
             .enumerate()
-            .map(|(w, replica)| {
-                let share: Vec<(usize, &G)> = pending
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| j % workers == w)
-                    .map(|(j, (g, _))| (j, *g))
-                    .collect();
-                s.spawn(move |_| {
-                    share
-                        .into_iter()
-                        .map(|(j, g)| (j, replica.evaluate(g)))
-                        .collect::<Vec<_>>()
-                })
-            })
+            .filter(|(w, _)| !dead.contains(w))
+            .map(|(_, replica)| replica)
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
-    })
-    .expect("evaluation scope panicked");
-    // Restore the dealing order before draining so `newly` (and hence the
-    // journal's record sequence) does not depend on the worker count.
-    let mut flat: Vec<(usize, f64)> = evaluated.into_iter().flatten().collect();
-    flat.sort_unstable_by_key(|&(j, _)| j);
-    for (j, value) in flat {
+        let reports: Vec<WorkerReport> = crossbeam::scope(|s| {
+            let handles: Vec<_> = alive_replicas
+                .iter_mut()
+                .enumerate()
+                .map(|(lane, replica)| {
+                    let share: Vec<(usize, &G)> = remaining
+                        .iter()
+                        .enumerate()
+                        .filter(|(pos, _)| pos % lanes == lane)
+                        .map(|(_, &j)| (j, pending[j].0))
+                        .collect();
+                    s.spawn(move |_| {
+                        let mut completed = Vec::new();
+                        for (j, genome) in share {
+                            let eval_index = base_index + j as u64;
+                            if hazards.is_some_and(|h| h.take_kill(eval_index)) {
+                                // The worker dies before touching this
+                                // candidate; the rest of its share is
+                                // abandoned for the survivors.
+                                return WorkerReport {
+                                    completed,
+                                    died_at: Some(eval_index),
+                                };
+                            }
+                            let mut local = Vec::new();
+                            let verdict = supervise_one(
+                                &mut **replica,
+                                genome,
+                                eval_index,
+                                policy,
+                                hazards,
+                                &mut local,
+                            );
+                            completed.push((j, verdict, local));
+                        }
+                        WorkerReport {
+                            completed,
+                            died_at: None,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluation worker panicked"))
+                .collect()
+        })
+        .expect("evaluation scope panicked");
+        for (lane, report) in reports.into_iter().enumerate() {
+            if let Some(eval_index) = report.died_at {
+                dead.insert(alive[lane]);
+                round_incidents.push(PendingIncident {
+                    eval_index,
+                    attempt: 0,
+                    kind: IncidentKind::WorkerLoss,
+                });
+            }
+            for (j, verdict, local) in report.completed {
+                verdicts[j] = Some(verdict);
+                round_incidents.extend(local);
+            }
+        }
+        // Graceful degradation, never extinction: losing the last worker
+        // revives the pool (one fresh dealing lane) so the round finishes.
+        if dead.len() >= replicas.len() {
+            dead.clear();
+        }
+        remaining.retain(|&j| verdicts[j].is_none());
+    }
+    // Canonicalize the incident stream: order by evaluation index, then
+    // attempt, then phase — a pure function of the search, independent of
+    // which worker interleaving produced it.
+    round_incidents.sort_by_key(|incident| incident.sort_key());
+    incidents.extend(round_incidents);
+    stats.workers = replicas.len() - dead.len();
+    // Drain verdicts in dealing order so `newly` (and hence the journal's
+    // record sequence) does not depend on the worker count.
+    for (j, verdict) in verdicts.into_iter().enumerate() {
         let (genome, slots) = &pending[j];
+        let value = match verdict.expect("every pending candidate has a verdict") {
+            EvalVerdict::Scored(value) => {
+                newly.push(((*genome).clone(), value));
+                value
+            }
+            // Quarantined: cached as NaN so the chromosome is never
+            // re-evaluated, ranked worst by the NaN-last total order, and
+            // kept out of the journal's virus records (the incident stream
+            // carries the decision instead).
+            EvalVerdict::Quarantined => f64::NAN,
+        };
         cache.insert((*genome).clone(), value);
-        newly.push(((*genome).clone(), value));
         for &i in slots {
             scores[i] = value;
         }
@@ -611,6 +768,19 @@ pub struct SearchSession<G> {
     /// Chromosomes evaluated on the substrate since the last
     /// [`take_newly_evaluated`](SearchSession::take_newly_evaluated).
     newly: Vec<(G, f64)>,
+    /// Every supervision incident so far (checkpointed: the sequence
+    /// numbering must continue across a resume).
+    incidents: Vec<Incident>,
+    /// Incidents since the last
+    /// [`take_new_incidents`](SearchSession::take_new_incidents).
+    fresh_incidents: Vec<Incident>,
+    /// Retry/quarantine policy for supervised evaluation.
+    policy: SupervisionPolicy,
+    /// Injected faults (tests); `None` in production.
+    hazards: Option<HazardPlan>,
+    /// Workers lost this process (runtime state, deliberately not
+    /// checkpointed: a resume starts with a fresh pool).
+    dead_workers: HashSet<usize>,
     /// Completed generations.
     generation: u32,
     /// Whether the initial population has been scored.
@@ -667,6 +837,11 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             },
             cache: HashMap::new(),
             newly: Vec::new(),
+            incidents: Vec::new(),
+            fresh_incidents: Vec::new(),
+            policy: SupervisionPolicy::default(),
+            hazards: None,
+            dead_workers: HashSet::new(),
             generation: 0,
             initialized: false,
             converged: false,
@@ -696,6 +871,11 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             eval_stats: state.eval_stats,
             cache: state.cache.into_iter().collect(),
             newly: Vec::new(),
+            incidents: state.incidents,
+            fresh_incidents: Vec::new(),
+            policy: SupervisionPolicy::default(),
+            hazards: None,
+            dead_workers: HashSet::new(),
             generation: state.generation,
             initialized: state.initialized,
             converged: state.converged,
@@ -725,10 +905,40 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
         self.rng.to_state()
     }
 
+    /// Sets the retry/quarantine policy for all subsequent steps.
+    ///
+    /// The policy is deliberately not checkpointed: a resumed campaign must
+    /// re-apply the same policy (the CLI derives it from the same flags) or
+    /// accept different supervision decisions in the replay window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid.
+    pub fn set_supervision(&mut self, policy: SupervisionPolicy) {
+        policy.validate().expect("invalid supervision policy");
+        self.policy = policy;
+    }
+
+    /// Installs (or clears) a fault-injection plan (test instrumentation).
+    pub fn set_hazards(&mut self, hazards: Option<HazardPlan>) {
+        self.hazards = hazards;
+    }
+
+    /// Every supervision incident so far, in stream order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
     /// Chromosomes evaluated on the substrate since the last call, with
     /// their raw (user-orientation) fitness values, in evaluation order.
     pub fn take_newly_evaluated(&mut self) -> Vec<(G, f64)> {
         std::mem::take(&mut self.newly)
+    }
+
+    /// Supervision incidents since the last call, in stream order — the
+    /// journal acks these next to the evaluated-virus records.
+    pub fn take_new_incidents(&mut self) -> Vec<Incident> {
+        std::mem::take(&mut self.fresh_incidents)
     }
 
     /// Captures the complete engine state between steps.
@@ -742,6 +952,7 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             history: self.history.clone(),
             eval_stats: self.eval_stats.clone(),
             cache: self.cache.iter().map(|(g, v)| (g.clone(), *v)).collect(),
+            incidents: self.incidents.clone(),
             generation: self.generation,
             initialized: self.initialized,
             converged: self.converged,
@@ -771,11 +982,7 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
         let sign = if self.config.minimize { -1.0 } else { 1.0 };
         if !self.initialized {
             self.rescore(sign, replicas);
-            self.best_so_far = self
-                .scores
-                .iter()
-                .copied()
-                .fold(f64::NEG_INFINITY, f64::max);
+            self.best_so_far = nan_last_max(&self.scores);
             self.stagnant = 0;
             self.initialized = true;
             return;
@@ -785,12 +992,8 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             .push(round_stats(generation, &self.scores, sign, self.similarity));
         self.population = breed_next(&self.config, &self.population, &self.scores, &mut self.rng);
         self.rescore(sign, replicas);
-        let generation_best = self
-            .scores
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
-        if generation_best > self.best_so_far {
+        let generation_best = nan_last_max(&self.scores);
+        if nan_last_cmp(generation_best, self.best_so_far) == std::cmp::Ordering::Greater {
             self.best_so_far = generation_best;
             self.stagnant = 0;
         } else {
@@ -816,13 +1019,30 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
 
     fn rescore<F: ParallelFitness<G>>(&mut self, sign: f64, replicas: &mut [F]) {
         let started = Instant::now();
+        let mut pending_incidents = Vec::new();
         let raw = score_population(
             &self.population,
             &mut self.cache,
             &mut self.newly,
             replicas,
+            &mut self.dead_workers,
             &mut self.eval_stats,
+            &self.policy,
+            self.hazards.as_ref(),
+            &mut pending_incidents,
         );
+        // Sequence the round's (already canonically ordered) incidents
+        // behind everything recorded so far; a resume restores the counter
+        // from the checkpoint, so the numbering survives interruptions.
+        for pending in pending_incidents {
+            let incident = Incident {
+                seq: self.incidents.len() as u64,
+                eval_index: pending.eval_index,
+                kind: pending.kind,
+            };
+            self.incidents.push(incident.clone());
+            self.fresh_incidents.push(incident);
+        }
         self.eval_stats
             .generation_eval_seconds
             .push(started.elapsed().as_secs_f64());
@@ -858,6 +1078,7 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             similarity: self.similarity,
             history: self.history,
             eval_stats: self.eval_stats,
+            incidents: self.incidents,
         }
     }
 }
@@ -882,8 +1103,12 @@ pub struct EngineState<G> {
     pub history: Vec<GenerationStats>,
     /// Evaluation counters and timing so far.
     pub eval_stats: EvalStats,
-    /// Every chromosome ever evaluated with its raw fitness value.
+    /// Every chromosome ever evaluated with its raw fitness value
+    /// (quarantined chromosomes carry `NaN`, which round-trips through the
+    /// JSON checkpoint as `null`).
     pub cache: Vec<(G, f64)>,
+    /// Every supervision incident so far, in stream order.
+    pub incidents: Vec<Incident>,
     /// Completed generations.
     pub generation: u32,
     /// Whether the initial population has been scored.
@@ -935,6 +1160,7 @@ impl<G: Serialize> Serialize for EngineState<G> {
             ("history".into(), self.history.serialize()),
             ("eval_stats".into(), self.eval_stats.serialize()),
             ("cache".into(), self.cache.serialize()),
+            ("incidents".into(), self.incidents.serialize()),
             ("generation".into(), self.generation.serialize()),
             ("initialized".into(), self.initialized.serialize()),
             ("converged".into(), self.converged.serialize()),
@@ -967,6 +1193,12 @@ impl<G: Deserialize> Deserialize for EngineState<G> {
             history: Deserialize::deserialize(req(map, "history")?)?,
             eval_stats: Deserialize::deserialize(req(map, "eval_stats")?)?,
             cache: Deserialize::deserialize(req(map, "cache")?)?,
+            // Absent in pre-supervision checkpoints: default to no
+            // incidents rather than rejecting the state.
+            incidents: match serde::__find(map, "incidents") {
+                Some(value) => Deserialize::deserialize(value)?,
+                None => Vec::new(),
+            },
             generation: Deserialize::deserialize(req(map, "generation")?)?,
             initialized: Deserialize::deserialize(req(map, "initialized")?)?,
             converged: Deserialize::deserialize(req(map, "converged")?)?,
@@ -1340,6 +1572,216 @@ mod tests {
                 break;
             }
         }
+    }
+
+    use crate::supervise::{Hazard, HazardPlan};
+
+    /// A hazard plan exercising every fault class: a caught panic, a
+    /// transient fault that succeeds on retry, a transient run that
+    /// exhausts its retries, a step-budget blowout, and a worker death.
+    fn full_hazard_plan() -> HazardPlan {
+        let plan = HazardPlan::new();
+        plan.schedule(2, Hazard::Panic);
+        plan.schedule(5, Hazard::Transient); // retried, then scores normally
+        for attempt in 0..4 {
+            plan.schedule_attempt(9, attempt, Hazard::Transient); // exhausts retries
+        }
+        plan.schedule(11, Hazard::BudgetBlowout);
+        plan.schedule(14, Hazard::KillWorker);
+        plan
+    }
+
+    fn hazard_run(workers: usize, plan: Option<HazardPlan>) -> SearchResult<BitGenome> {
+        let mut config = GaConfig::paper_defaults();
+        config.population_size = 12;
+        config.max_generations = 10;
+        let mut engine = GaEngine::new(config, 53);
+        engine.set_hazards(plan);
+        let mut fitness = CountingPopcount::new();
+        engine.run_parallel(workers, |rng| BitGenome::random(rng, 32), &mut fitness)
+    }
+
+    #[test]
+    fn supervised_search_survives_hazards_bit_identically_across_workers() {
+        let reference = hazard_run(1, Some(full_hazard_plan()));
+        assert_eq!(
+            reference.quarantined(),
+            3,
+            "panic, exhausted transient and budget blowout all quarantine"
+        );
+        assert_eq!(reference.workers_lost(), 1);
+        assert!(
+            !reference.incidents.is_empty() && reference.best_fitness.is_finite(),
+            "the campaign completes with a real winner despite the hazards"
+        );
+        for workers in [2usize, 4] {
+            let run = hazard_run(workers, Some(full_hazard_plan()));
+            assert_eq!(run.best, reference.best, "workers={workers}");
+            assert_eq!(run.best_fitness, reference.best_fitness);
+            assert_eq!(run.leaderboard, reference.leaderboard);
+            assert_eq!(run.history, reference.history);
+            assert_eq!(run.generations, reference.generations);
+            assert_eq!(run.incidents, reference.incidents);
+            assert_eq!(run.eval_stats.evaluations, reference.eval_stats.evaluations);
+            assert_eq!(run.eval_stats.cache_hits, reference.eval_stats.cache_hits);
+        }
+    }
+
+    #[test]
+    fn transient_retries_and_worker_loss_leave_the_search_outcome_unchanged() {
+        // Recoverable hazards (a retried transient, a dead worker) must not
+        // perturb the search at all: same scores, same winner, same record
+        // stream as a hazard-free run — only the incident log differs.
+        let clean = hazard_run(3, None);
+        let plan = HazardPlan::new();
+        plan.schedule(4, Hazard::Transient);
+        plan.schedule(7, Hazard::KillWorker);
+        plan.schedule(16, Hazard::KillWorker);
+        let hazarded = hazard_run(3, Some(plan));
+        assert_eq!(hazarded.best, clean.best);
+        assert_eq!(hazarded.best_fitness, clean.best_fitness);
+        assert_eq!(hazarded.leaderboard, clean.leaderboard);
+        assert_eq!(hazarded.history, clean.history);
+        assert_eq!(
+            hazarded.eval_stats.evaluations,
+            clean.eval_stats.evaluations
+        );
+        assert!(clean.incidents.is_empty());
+        assert_eq!(hazarded.workers_lost(), 2);
+        assert_eq!(hazarded.quarantined(), 0);
+        // The pool shrank but survivors finished the search.
+        assert_eq!(hazarded.eval_stats.workers, 1);
+    }
+
+    #[test]
+    fn losing_the_last_worker_revives_the_pool() {
+        let plan = HazardPlan::new();
+        plan.schedule(3, Hazard::KillWorker);
+        plan.schedule(8, Hazard::KillWorker);
+        let run = hazard_run(1, Some(plan));
+        assert_eq!(run.workers_lost(), 2, "the lone worker died twice");
+        assert!(run.best_fitness.is_finite());
+        assert_eq!(run.eval_stats.workers, 1);
+    }
+
+    #[test]
+    fn incident_sequence_numbers_are_dense_and_ordered() {
+        let run = hazard_run(2, Some(full_hazard_plan()));
+        for (i, incident) in run.incidents.iter().enumerate() {
+            assert_eq!(incident.seq, i as u64);
+        }
+        // Within the stream, evaluation indices never decrease.
+        for w in run.incidents.windows(2) {
+            assert!(w[0].eval_index <= w[1].eval_index);
+        }
+    }
+
+    #[test]
+    fn quarantined_chromosomes_never_reach_the_leaderboard_top() {
+        // Quarantine every early evaluation: the engine keeps searching and
+        // the winner is a finite-scored chromosome.
+        let plan = HazardPlan::new();
+        for index in 0..6 {
+            plan.schedule(index, Hazard::Permanent);
+        }
+        let run = hazard_run(2, Some(plan));
+        assert_eq!(run.quarantined(), 6);
+        assert!(run.best_fitness.is_finite());
+        // NaN-last order: every finite entry sorts above the NaN ones.
+        let first_nan = run
+            .leaderboard
+            .iter()
+            .position(|(_, v)| v.is_nan())
+            .unwrap_or(run.leaderboard.len());
+        assert!(run.leaderboard[..first_nan]
+            .iter()
+            .all(|(_, v)| v.is_finite()));
+        assert!(run.leaderboard[first_nan..].iter().all(|(_, v)| v.is_nan()));
+    }
+
+    #[test]
+    fn supervised_session_resume_replays_incidents_bit_identically() {
+        // The hazard sweep's crash/resume twin: kill the session at every
+        // boundary, resume from JSON (which must round-trip the NaN scores
+        // of quarantined chromosomes), hand the resumed session a fresh
+        // copy of the plan, and require the incident stream and the final
+        // result to match the uninterrupted run.
+        let mut config = GaConfig::paper_defaults();
+        config.population_size = 12;
+        config.max_generations = 8;
+        config.stagnation_window = 3;
+        let init = |rng: &mut StdRng| BitGenome::random(rng, 32);
+        let make_plan = || {
+            let plan = HazardPlan::new();
+            plan.schedule(3, Hazard::Panic);
+            plan.schedule(6, Hazard::Transient);
+            plan.schedule(10, Hazard::KillWorker);
+            plan.schedule(13, Hazard::BudgetBlowout);
+            plan
+        };
+        let clean = {
+            let mut session = SearchSession::start(config, 91, init);
+            session.set_hazards(Some(make_plan()));
+            let mut replicas = vec![CountingPopcount::new(), CountingPopcount::new()];
+            while !session.done() {
+                session.step(&mut replicas);
+            }
+            session.finish()
+        };
+        assert!(clean.quarantined() >= 2);
+        for boundary in 0.. {
+            let mut session = SearchSession::start(config, 91, init);
+            session.set_hazards(Some(make_plan()));
+            let mut replicas = vec![CountingPopcount::new(), CountingPopcount::new()];
+            for _ in 0..boundary {
+                session.step(&mut replicas);
+            }
+            let finished_already = session.done();
+            let json = session.checkpoint().to_json().unwrap();
+            drop(session); // the crash
+            let state = EngineState::<BitGenome>::from_json(&json).unwrap();
+            let mut resumed = SearchSession::resume(state);
+            // A fresh plan: hazards at already-cached indices never re-fire
+            // (the cache serves them), the rest fire exactly as scheduled.
+            resumed.set_hazards(Some(make_plan()));
+            let mut replicas = vec![CountingPopcount::new()];
+            while !resumed.done() {
+                resumed.step(&mut replicas);
+            }
+            let result = resumed.finish();
+            assert_eq!(result.best, clean.best, "boundary={boundary}");
+            assert_eq!(result.incidents, clean.incidents);
+            assert_eq!(result.history, clean.history);
+            assert_eq!(result.generations, clean.generations);
+            assert_eq!(result.eval_stats.evaluations, clean.eval_stats.evaluations);
+            if finished_already {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn engine_state_round_trips_nan_cache_entries() {
+        let mut config = GaConfig::paper_defaults();
+        config.population_size = 4;
+        config.max_generations = 2;
+        let plan = HazardPlan::new();
+        plan.schedule(0, Hazard::Permanent);
+        let mut session = SearchSession::start(config, 7, |rng| BitGenome::random(rng, 16));
+        session.set_hazards(Some(plan));
+        let mut replicas = vec![CountingPopcount::new()];
+        session.step(&mut replicas);
+        let state = session.checkpoint();
+        let nan_cached = state.cache.iter().filter(|(_, v)| v.is_nan()).count();
+        assert_eq!(nan_cached, 1, "the quarantined chromosome is cached NaN");
+        let json = state.to_json().unwrap();
+        let back = EngineState::<BitGenome>::from_json(&json).unwrap();
+        assert_eq!(
+            back.cache.iter().filter(|(_, v)| v.is_nan()).count(),
+            nan_cached,
+            "NaN survives the JSON round-trip (as null)"
+        );
+        assert_eq!(back.incidents, session.incidents());
     }
 
     #[test]

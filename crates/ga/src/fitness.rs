@@ -1,6 +1,80 @@
 //! Fitness evaluation.
 
 use crate::genome::Genome;
+use serde::{Deserialize, Serialize};
+
+/// How an evaluation fault should be handled by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A passing failure (flaky platform, thermal drift, lost run):
+    /// retrying the same candidate may succeed.
+    Transient,
+    /// A deterministic failure (bad template instantiation, hard substrate
+    /// error): retrying cannot help.
+    Permanent,
+    /// The evaluation panicked; caught by the supervisor's `catch_unwind`
+    /// isolation and treated as permanent.
+    Panic,
+    /// The step-budget watchdog fired (the VM's `ExecutionLimit`): the
+    /// candidate does not terminate within its budget, so retrying the same
+    /// deterministic program cannot help.
+    BudgetExhausted,
+}
+
+/// Why a fitness evaluation failed, classified for the supervisor: only
+/// [`FaultKind::Transient`] faults are retried; everything else quarantines
+/// the candidate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalFault {
+    /// The retry classification.
+    pub kind: FaultKind,
+    /// Human-readable description, recorded in the incident stream.
+    pub message: String,
+}
+
+impl EvalFault {
+    /// A transient (retryable) fault.
+    pub fn transient(message: impl Into<String>) -> Self {
+        EvalFault {
+            kind: FaultKind::Transient,
+            message: message.into(),
+        }
+    }
+
+    /// A permanent (non-retryable) fault.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        EvalFault {
+            kind: FaultKind::Permanent,
+            message: message.into(),
+        }
+    }
+
+    /// A step-budget-watchdog fault (non-retryable).
+    pub fn budget_exhausted(message: impl Into<String>) -> Self {
+        EvalFault {
+            kind: FaultKind::BudgetExhausted,
+            message: message.into(),
+        }
+    }
+
+    /// Whether the supervisor may retry after this fault.
+    pub fn is_retryable(&self) -> bool {
+        self.kind == FaultKind::Transient
+    }
+}
+
+impl std::fmt::Display for EvalFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            FaultKind::Transient => write!(f, "transient fault: {}", self.message),
+            FaultKind::Permanent => write!(f, "permanent fault: {}", self.message),
+            FaultKind::Panic => write!(f, "panic: {}", self.message),
+            FaultKind::BudgetExhausted => write!(f, "step budget exhausted: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for EvalFault {}
 
 /// Something that scores chromosomes. Higher is always better inside the
 /// engine; minimization searches (the paper's best-case data pattern,
@@ -10,6 +84,26 @@ pub trait Fitness<G: Genome> {
     /// Scores one chromosome. May be stochastic (DRAM fitness is: VRT makes
     /// error counts vary run-to-run).
     fn evaluate(&mut self, genome: &G) -> f64;
+
+    /// Fallible scoring: the supervised evaluation path calls this so a
+    /// substrate can report faults instead of panicking or smuggling them
+    /// into the fitness value. The default adapter wraps [`evaluate`] and
+    /// never fails; substrates with real failure modes (the DStress
+    /// evaluator's VM watchdog, live-hardware platforms) override it.
+    ///
+    /// Implementations must stay pure in the [`ParallelFitness`] sense:
+    /// whether a chromosome faults — and how — must be a function of the
+    /// chromosome, not of call order or the replica evaluating it.
+    ///
+    /// # Errors
+    ///
+    /// An [`EvalFault`] classifying the failure as transient (retryable) or
+    /// permanent.
+    ///
+    /// [`evaluate`]: Fitness::evaluate
+    fn try_evaluate(&mut self, genome: &G) -> Result<f64, EvalFault> {
+        Ok(self.evaluate(genome))
+    }
 }
 
 /// A fitness that can be replicated across evaluation workers.
@@ -76,6 +170,12 @@ impl<G: Genome, F: FnMut(&G) -> f64> Fitness<G> for FnFitness<F> {
     }
 }
 
+impl<G: Genome, F: FnMut(&G) -> f64 + Clone + Send> ParallelFitness<G> for FnFitness<F> {
+    fn replicate(&self) -> Self {
+        FnFitness { f: self.f.clone() }
+    }
+}
+
 impl<F> std::fmt::Debug for FnFitness<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FnFitness").finish_non_exhaustive()
@@ -125,6 +225,21 @@ mod tests {
     fn fn_fitness_delegates() {
         let mut f = FnFitness::new(|g: &BitGenome| g.len() as f64);
         assert_eq!(f.evaluate(&BitGenome::zeros(10)), 10.0);
+    }
+
+    #[test]
+    fn default_try_evaluate_wraps_evaluate() {
+        let mut f = FnFitness::new(|g: &BitGenome| g.count_ones() as f64);
+        assert_eq!(f.try_evaluate(&BitGenome::from_words(&[0b111], 8)), Ok(3.0));
+    }
+
+    #[test]
+    fn fault_classification_drives_retryability() {
+        assert!(EvalFault::transient("flaky").is_retryable());
+        assert!(!EvalFault::permanent("broken").is_retryable());
+        assert!(!EvalFault::budget_exhausted("hung").is_retryable());
+        let fault = EvalFault::budget_exhausted("5000 steps");
+        assert_eq!(fault.to_string(), "step budget exhausted: 5000 steps");
     }
 
     #[test]

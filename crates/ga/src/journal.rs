@@ -25,6 +25,7 @@ use crate::db::{VirusDatabase, VirusRecord};
 use crate::engine::{EngineState, SearchResult, SearchSession};
 use crate::fitness::ParallelFitness;
 use crate::genome::Genome;
+use crate::supervise::{HazardPlan, Incident, SupervisionPolicy};
 use crate::GaConfig;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -295,6 +296,16 @@ pub struct StoredCheckpoint {
     pub state: String,
 }
 
+/// A supervision incident as stored on disk, tagged with its campaign so
+/// several campaigns can share one journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredIncident {
+    /// The campaign whose supervisor made the decision.
+    pub campaign: String,
+    /// The decision itself (sequence-numbered within the campaign).
+    pub incident: Incident,
+}
+
 /// The snapshot file format: the full database next to the latest engine
 /// checkpoint (absent once a search finishes).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -304,6 +315,10 @@ pub struct Snapshot {
     /// The in-flight search, if one was interrupted.
     #[serde(default)]
     pub checkpoint: Option<StoredCheckpoint>,
+    /// Every acked supervision incident (absent in pre-supervision
+    /// snapshots).
+    #[serde(default)]
+    pub incidents: Vec<StoredIncident>,
 }
 
 impl Snapshot {
@@ -333,6 +348,8 @@ enum JournalEntry {
     Record(VirusRecord),
     /// A per-generation engine checkpoint (the latest one wins).
     Checkpoint(StoredCheckpoint),
+    /// A supervision decision (retry / quarantine / worker loss).
+    Incident(StoredIncident),
 }
 
 /// A crash-safe virus database: a [`VirusDatabase`] whose every mutation is
@@ -371,8 +388,11 @@ pub struct CampaignJournal<S: Storage> {
     tmp_path: PathBuf,
     db: VirusDatabase,
     checkpoint: Option<StoredCheckpoint>,
+    incidents: Vec<StoredIncident>,
     /// `(campaign, sequence)` pairs already present, for idempotent replay.
     seen: HashSet<(String, u64)>,
+    /// `(campaign, incident seq)` pairs already present.
+    seen_incidents: HashSet<(String, u64)>,
 }
 
 impl<S: Storage> CampaignJournal<S> {
@@ -389,15 +409,15 @@ impl<S: Storage> CampaignJournal<S> {
         let snapshot_path = path.into();
         let journal_path = sibling(&snapshot_path, ".journal");
         let tmp_path = sibling(&snapshot_path, ".tmp");
-        let (mut db, mut checkpoint) = match storage.read(&snapshot_path)? {
-            None => (VirusDatabase::new(), None),
+        let (mut db, mut checkpoint, mut incidents) = match storage.read(&snapshot_path)? {
+            None => (VirusDatabase::new(), None, Vec::new()),
             Some(bytes) => {
                 let json = String::from_utf8(bytes).map_err(invalid_data)?;
                 if let Ok(db) = VirusDatabase::from_json(&json) {
-                    (db, None)
+                    (db, None, Vec::new())
                 } else {
                     let snap = Snapshot::from_json(&json).map_err(invalid_data)?;
-                    (snap.db, snap.checkpoint)
+                    (snap.db, snap.checkpoint, snap.incidents)
                 }
             }
         };
@@ -405,6 +425,10 @@ impl<S: Storage> CampaignJournal<S> {
             .records()
             .iter()
             .map(|r| (r.campaign.clone(), r.sequence))
+            .collect();
+        let mut seen_incidents: HashSet<(String, u64)> = incidents
+            .iter()
+            .map(|i| (i.campaign.clone(), i.incident.seq))
             .collect();
         let mut torn = false;
         let mut replayed = false;
@@ -435,6 +459,11 @@ impl<S: Storage> CampaignJournal<S> {
                         }
                     }
                     JournalEntry::Checkpoint(c) => checkpoint = Some(c),
+                    JournalEntry::Incident(i) => {
+                        if seen_incidents.insert((i.campaign.clone(), i.incident.seq)) {
+                            incidents.push(i);
+                        }
+                    }
                 }
             }
         }
@@ -445,7 +474,9 @@ impl<S: Storage> CampaignJournal<S> {
             tmp_path,
             db,
             checkpoint,
+            incidents,
             seen,
+            seen_incidents,
         };
         if torn {
             // The recovered prefix becomes the snapshot and the torn
@@ -469,6 +500,22 @@ impl<S: Storage> CampaignJournal<S> {
     /// The latest engine checkpoint, if a search is in flight.
     pub fn checkpoint(&self) -> Option<&StoredCheckpoint> {
         self.checkpoint.as_ref()
+    }
+
+    /// Every acked supervision incident, in ack order.
+    pub fn incidents(&self) -> &[StoredIncident] {
+        &self.incidents
+    }
+
+    /// The acked incidents of one campaign, in ack order.
+    pub fn campaign_incidents<'a>(
+        &'a self,
+        campaign: &'a str,
+    ) -> impl Iterator<Item = &'a Incident> {
+        self.incidents
+            .iter()
+            .filter(move |i| i.campaign == campaign)
+            .map(|i| &i.incident)
     }
 
     /// The snapshot path this journal persists to.
@@ -509,6 +556,31 @@ impl<S: Storage> CampaignJournal<S> {
         Ok(sequence)
     }
 
+    /// Journals a supervision incident (append + fsync): the supervisor's
+    /// retry/quarantine/worker-loss decision is **acknowledged** — a resume
+    /// replays it instead of re-deciding — exactly when this returns `Ok`.
+    /// Re-acking an already-journaled `(campaign, seq)` is a no-op, which
+    /// makes the resume window's replayed decisions idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and serialization failures.
+    pub fn append_incident(&mut self, campaign: &str, incident: Incident) -> io::Result<()> {
+        if !self
+            .seen_incidents
+            .insert((campaign.to_string(), incident.seq))
+        {
+            return Ok(());
+        }
+        let stored = StoredIncident {
+            campaign: campaign.to_string(),
+            incident,
+        };
+        self.append_entry(&JournalEntry::Incident(stored.clone()))?;
+        self.incidents.push(stored);
+        Ok(())
+    }
+
     /// Journals a per-generation engine checkpoint (append + fsync). The
     /// latest checkpoint wins on recovery.
     ///
@@ -544,6 +616,7 @@ impl<S: Storage> CampaignJournal<S> {
         let snapshot = Snapshot {
             db: self.db.clone(),
             checkpoint: self.checkpoint.clone(),
+            incidents: self.incidents.clone(),
         };
         let json = snapshot.to_json().map_err(io::Error::other)?;
         self.storage.write(&self.tmp_path, json.as_bytes())?;
@@ -575,16 +648,20 @@ fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
 }
 
 /// Drives a journaled GA search to completion (or a step budget),
-/// journaling every newly evaluated virus and a checkpoint per generation.
+/// journaling every newly evaluated virus, every supervision incident, and
+/// a checkpoint per generation.
 ///
 /// If `journal` holds a checkpoint for `campaign`, the search **resumes**
 /// from it and continues bit-identically to an uninterrupted run (`config`
-/// and `seed` are then ignored — the checkpoint pins them). Otherwise a
+/// and `seed` are then ignored — the checkpoint pins them; `supervision`
+/// is re-applied and must match the interrupted run's policy). Otherwise a
 /// fresh search starts from `seed`. Records are journaled *before* the
 /// checkpoint whose evaluation cache contains them, so a crash in between
 /// re-evaluates (purity makes the values identical) and the sequence-level
 /// dedup below drops the repeats — no crash point loses or duplicates an
-/// acknowledged record.
+/// acknowledged record. Incidents replayed in the resume window carry the
+/// same sequence numbers (the supervisor is deterministic), so their
+/// re-acks dedup the same way.
 ///
 /// Returns `Ok(None)` when `max_steps` ran out before the search finished
 /// (the checkpoint is journaled, ready to resume); `Ok(Some(result))` when
@@ -605,6 +682,8 @@ pub fn run_journaled<G, F, S>(
     workers: usize,
     make_record: impl Fn(&G, f64) -> VirusRecord,
     max_steps: Option<u32>,
+    supervision: SupervisionPolicy,
+    hazards: Option<HazardPlan>,
 ) -> io::Result<Option<SearchResult<G>>>
 where
     G: Genome + PartialEq + Eq + Hash + Sync + Serialize + Deserialize,
@@ -619,6 +698,8 @@ where
         }
         _ => SearchSession::start(config, seed, init),
     };
+    session.set_supervision(supervision);
+    session.set_hazards(hazards);
     let mut replicas: Vec<F> = (0..workers).map(|_| fitness.replicate()).collect();
     // Chromosomes this campaign has already journaled: a resume re-executes
     // the window after its checkpoint, and the repeats must not re-append.
@@ -634,6 +715,11 @@ where
             if recorded.insert(record.genes.clone()) {
                 journal.append_record(record)?;
             }
+        }
+        for incident in session.take_new_incidents() {
+            // `(campaign, seq)` dedup inside the journal absorbs the
+            // resume window's replayed decisions.
+            journal.append_incident(campaign, incident)?;
         }
         if session.done() {
             break;
@@ -790,6 +876,119 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
+    use crate::supervise::{Hazard, HazardPlan, IncidentKind};
+
+    fn incident(seq: u64, eval_index: u64) -> Incident {
+        Incident {
+            seq,
+            eval_index,
+            kind: IncidentKind::WorkerLoss,
+        }
+    }
+
+    #[test]
+    fn acked_incidents_survive_a_crash() {
+        let mut journal = CampaignJournal::open(MemStorage::new(), "db.json").unwrap();
+        journal.append_record(record("c", 1.0, vec![1])).unwrap();
+        journal.append_incident("c", incident(0, 4)).unwrap();
+        journal.append_incident("c", incident(1, 9)).unwrap();
+        let mut storage = journal.into_storage();
+        storage.crash();
+        let recovered = CampaignJournal::open(storage, "db.json").unwrap();
+        let replayed: Vec<&Incident> = recovered.campaign_incidents("c").collect();
+        assert_eq!(replayed, vec![&incident(0, 4), &incident(1, 9)]);
+        assert_eq!(recovered.db().campaign("c").count(), 1);
+    }
+
+    #[test]
+    fn incident_appends_dedup_on_sequence_number() {
+        // A resumed session replays supervision decisions it already made;
+        // re-acking the same (campaign, seq) must be a no-op, including on
+        // a journal that replayed duplicated entries after a crash.
+        let mut journal = CampaignJournal::open(MemStorage::new(), "db.json").unwrap();
+        journal.append_incident("c", incident(0, 4)).unwrap();
+        journal.append_incident("c", incident(0, 4)).unwrap();
+        assert_eq!(journal.incidents().len(), 1);
+        // Distinct campaigns keep their own numbering.
+        journal.append_incident("other", incident(0, 2)).unwrap();
+        assert_eq!(journal.incidents().len(), 2);
+        assert_eq!(journal.campaign_incidents("c").count(), 1);
+    }
+
+    #[test]
+    fn compact_roundtrips_incidents() {
+        let mut journal = CampaignJournal::open(MemStorage::new(), "db.json").unwrap();
+        journal.append_record(record("c", 1.0, vec![1])).unwrap();
+        journal.append_incident("c", incident(0, 7)).unwrap();
+        journal.compact().unwrap();
+        let mut storage = journal.into_storage();
+        storage.crash();
+        let reopened = CampaignJournal::open(storage, "db.json").unwrap();
+        assert_eq!(
+            reopened.campaign_incidents("c").collect::<Vec<_>>(),
+            vec![&incident(0, 7)]
+        );
+        // The incident came back from the snapshot, so re-acking it after
+        // compaction still dedups.
+        let mut reopened = reopened;
+        reopened.append_incident("c", incident(0, 7)).unwrap();
+        assert_eq!(reopened.incidents().len(), 1);
+    }
+
+    #[test]
+    fn journaled_search_under_hazards_replays_incidents_after_a_crash() {
+        let config = small_config();
+        let init = |rng: &mut StdRng| BitGenome::random(rng, 24);
+        let make = |g: &BitGenome, v: f64| record("pop", v, g.to_words());
+        let make_plan = || {
+            let plan = HazardPlan::new();
+            plan.schedule(2, Hazard::Panic);
+            plan.schedule(5, Hazard::Transient);
+            plan.schedule(8, Hazard::KillWorker);
+            plan.schedule(13, Hazard::BudgetBlowout);
+            plan
+        };
+        let run = |journal: &mut CampaignJournal<MemStorage>, max_steps: Option<u32>| {
+            run_journaled(
+                journal,
+                "pop",
+                config,
+                7,
+                init,
+                &mut Popcount,
+                2,
+                make,
+                max_steps,
+                SupervisionPolicy::default(),
+                Some(make_plan()),
+            )
+            .unwrap()
+        };
+        let mut clean = CampaignJournal::open(MemStorage::new(), "db.json").unwrap();
+        let reference = run(&mut clean, None).expect("search must finish");
+        assert!(reference.quarantined() >= 2);
+        let clean_incidents: Vec<&Incident> = clean.campaign_incidents("pop").collect();
+        assert_eq!(clean_incidents.len(), reference.incidents.len());
+        // Crash after two generations, reopen, resume with a fresh copy of
+        // the same plan: pre-crash hazards are served from the cache (they
+        // never re-fire), post-crash hazards fire exactly once, and the
+        // journaled incident stream matches the uninterrupted run.
+        let mut journal = CampaignJournal::open(MemStorage::new(), "db.json").unwrap();
+        assert!(run(&mut journal, Some(2)).is_none());
+        let mut storage = journal.into_storage();
+        storage.crash();
+        let mut journal = CampaignJournal::open(storage, "db.json").unwrap();
+        let resumed = run(&mut journal, None).expect("resumed search must finish");
+        assert_eq!(resumed.best, reference.best);
+        assert_eq!(resumed.incidents, reference.incidents);
+        assert_eq!(
+            journal.campaign_incidents("pop").collect::<Vec<_>>(),
+            clean_incidents,
+            "the journaled incident stream is bit-identical"
+        );
+        assert_eq!(*journal.db(), *clean.db());
+    }
+
     #[test]
     fn journaled_search_resumes_bit_identically_after_budget_interruption() {
         let config = small_config();
@@ -806,6 +1005,8 @@ mod tests {
                 2,
                 make,
                 max_steps,
+                SupervisionPolicy::default(),
+                None,
             )
             .unwrap()
         };

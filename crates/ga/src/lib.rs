@@ -47,15 +47,18 @@ pub mod fitness;
 pub mod genome;
 pub mod journal;
 pub mod ops;
+pub mod supervise;
 
 pub use db::{VirusDatabase, VirusRecord};
 pub use engine::{
     EngineState, EvalStats, GaConfig, GaEngine, GenerationStats, SearchResult, SearchSession,
 };
-pub use fitness::{AveragedFitness, Fitness, FnFitness, ParallelFitness};
+pub use fitness::{AveragedFitness, EvalFault, FaultKind, Fitness, FnFitness, ParallelFitness};
 pub use genome::{BitGenome, Genome, IntGenome};
 pub use journal::{
     run_journaled, CampaignJournal, DiskStorage, MemStorage, Snapshot, Storage, StoredCheckpoint,
+    StoredIncident,
 };
 pub use ops::crossover::CrossoverOp;
 pub use ops::selection::SelectionScheme;
+pub use supervise::{Hazard, HazardPlan, Incident, IncidentKind, SupervisionPolicy};

@@ -1,8 +1,10 @@
 //! Parent-selection schemes.
 
+use crate::supervise::nan_last_cmp;
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// How parents are drawn from the scored population.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -26,7 +28,9 @@ pub enum SelectionScheme {
 
 impl SelectionScheme {
     /// Draws the index of one parent. `scores` are engine-internal (already
-    /// negated for minimization), higher is better.
+    /// negated for minimization), higher is better. Quarantined members
+    /// carry `NaN` scores and sort below — and are weighted below — every
+    /// finite member, so supervision cannot poison selection.
     ///
     /// # Panics
     ///
@@ -36,12 +40,24 @@ impl SelectionScheme {
         assert!(!scores.is_empty(), "selection over an empty population");
         match *self {
             SelectionScheme::Roulette => {
+                // f64::min/max ignore NaN in the folds, so the span is over
+                // the finite members only; NaN scores get zero weight rather
+                // than poisoning the cumulative total.
                 let min = scores.iter().copied().fold(f64::INFINITY, f64::min);
                 let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 let span = (max - min).max(1e-12);
                 // Shift so the weakest still has ~5 % of the strongest's
                 // weight; degenerate (all-equal) populations become uniform.
-                let weights: Vec<f64> = scores.iter().map(|s| (s - min) / span + 0.05).collect();
+                let weights: Vec<f64> = scores
+                    .iter()
+                    .map(|s| {
+                        if s.is_nan() {
+                            0.0
+                        } else {
+                            (s - min) / span + 0.05
+                        }
+                    })
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 let mut target = rng.gen::<f64>() * total;
                 for (i, w) in weights.iter().enumerate() {
@@ -57,7 +73,7 @@ impl SelectionScheme {
                 let mut best = rng.gen_range(0..scores.len());
                 for _ in 1..k {
                     let challenger = rng.gen_range(0..scores.len());
-                    if scores[challenger] > scores[best] {
+                    if nan_last_cmp(scores[challenger], scores[best]) == Ordering::Greater {
                         best = challenger;
                     }
                 }
@@ -69,11 +85,7 @@ impl SelectionScheme {
                     "truncation keep_percent must be in 1..=100"
                 );
                 let mut order: Vec<usize> = (0..scores.len()).collect();
-                order.sort_by(|&a, &b| {
-                    scores[b]
-                        .partial_cmp(&scores[a])
-                        .expect("scores are comparable")
-                });
+                order.sort_by(|&a, &b| nan_last_cmp(scores[b], scores[a]));
                 let survivors = ((scores.len() * keep_percent as usize).div_ceil(100)).max(1);
                 order[rng.gen_range(0..survivors)]
             }
@@ -155,5 +167,53 @@ mod tests {
     #[should_panic(expected = "empty population")]
     fn empty_population_panics() {
         SelectionScheme::Roulette.pick(&[], &mut rng());
+    }
+
+    #[test]
+    fn quarantined_members_are_never_selected_by_roulette_or_truncation() {
+        // Index 1 is quarantined (NaN): roulette gives it zero weight and
+        // truncation sorts it below every finite member.
+        let scores = [3.0, f64::NAN, 1.0, 2.0];
+        for scheme in [
+            SelectionScheme::Roulette,
+            SelectionScheme::Truncation { keep_percent: 75 },
+        ] {
+            let hist = pick_histogram(scheme, &scores, 2000);
+            assert_eq!(hist[1], 0, "{scheme:?} selected a quarantined member");
+            assert!(hist[0] > 0 && hist[2] > 0 && hist[3] > 0, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn tournament_ranks_quarantined_members_below_every_finite_score() {
+        // A quarantined member only wins a tournament in which every single
+        // draw lands on it; any finite challenger beats NaN.
+        let scores = [3.0, f64::NAN, 1.0, 2.0];
+        let hist = pick_histogram(SelectionScheme::Tournament { k: 3 }, &scores, 4000);
+        // Uniform share would be ~1000; all-same-draw probability is
+        // (1/4)^3, so the quarantined member wins ≈ 62 of 4000.
+        assert!(
+            hist[1] < 200,
+            "quarantined member should almost never win: {hist:?}"
+        );
+        assert!(hist[0] > hist[2], "finite ordering is preserved: {hist:?}");
+    }
+
+    #[test]
+    fn all_quarantined_population_still_selects_deterministically() {
+        // Degenerate but reachable mid-campaign: selection must not panic
+        // or hang even when every member is quarantined.
+        let scores = [f64::NAN, f64::NAN, f64::NAN];
+        for scheme in [
+            SelectionScheme::Roulette,
+            SelectionScheme::Tournament { k: 2 },
+            SelectionScheme::Truncation { keep_percent: 50 },
+        ] {
+            let mut rng = rng();
+            for _ in 0..50 {
+                let picked = scheme.pick(&scores, &mut rng);
+                assert!(picked < scores.len());
+            }
+        }
     }
 }

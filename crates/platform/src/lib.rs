@@ -27,7 +27,7 @@
 //! use dstress_platform::session::MemoryBus;
 //!
 //! let mut server = XGene2Server::new(ServerConfig::small());
-//! server.set_dimm_temperature(2, 60.0);
+//! server.set_dimm_temperature(2, 60.0).expect("MCU 2 exists");
 //! let mut session = server.session(2);
 //! let buf = session.alloc(4096)?;
 //! for i in 0..512 {
@@ -55,4 +55,4 @@ pub use power::{PowerModel, PowerReport};
 pub use replay::ReplayProfile;
 pub use server::{DomainCounts, PreparedRun, RowErrors, RunOutcome, XGene2Server, MCUS, RANKS};
 pub use session::{MemoryBus, RecordedRun, Session, VirtAddr};
-pub use thermal::{PidController, ThermalPlant, ThermalTestbed};
+pub use thermal::{PidController, SettleReport, ThermalError, ThermalPlant, ThermalTestbed};

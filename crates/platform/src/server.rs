@@ -5,7 +5,7 @@ use crate::config::ServerConfig;
 use crate::power::{PowerModel, PowerReport};
 use crate::replay::ReplayProfile;
 use crate::session::{RecordedRun, Session};
-use crate::thermal::{SettleReport, ThermalTestbed};
+use crate::thermal::{SettleReport, ThermalError, ThermalTestbed};
 use dstress_dram::geometry::RowKey;
 use dstress_dram::{AddressMap, Dimm, OperatingEnv, RunPlan, WordEvent};
 use dstress_ecc::{classify_flips, CounterSnapshot, EccCounters, EventKind};
@@ -189,20 +189,37 @@ impl XGene2Server {
     }
 
     /// Drives one DIMM to a temperature setpoint through the PID testbed
-    /// and returns the settling report.
-    pub fn set_dimm_temperature(&mut self, mcu: usize, temp_c: f64) -> SettleReport {
+    /// and returns the settling report. Check the report's `settled` flag:
+    /// an unreachable setpoint comes back as `settled == false`, not as an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::ChannelOutOfRange`] if `mcu` is out of range.
+    pub fn set_dimm_temperature(
+        &mut self,
+        mcu: usize,
+        temp_c: f64,
+    ) -> Result<SettleReport, ThermalError> {
         self.thermal.settle(mcu, temp_c)
     }
 
     /// The current temperature of a DIMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mcu` is out of range (the server always rigs one thermal
+    /// channel per MCU).
     pub fn dimm_temperature(&self, mcu: usize) -> f64 {
-        self.thermal.temperature(mcu)
+        self.thermal
+            .temperature(mcu)
+            .expect("one thermal channel per MCU")
     }
 
     /// The operating point currently applied to one MCU's DIMM.
     pub fn operating_env(&self, mcu: usize) -> OperatingEnv {
         OperatingEnv {
-            temp_c: self.thermal.temperature(mcu),
+            temp_c: self.dimm_temperature(mcu),
             vdd_v: self.vdd_for_mcu(mcu),
             trefp_s: self.mcus[mcu].trefp_s,
         }
@@ -623,16 +640,17 @@ mod tests {
     #[test]
     fn thermal_setpoint_sticks() {
         let mut sv = server();
-        let report = sv.set_dimm_temperature(2, 60.0);
+        let report = sv.set_dimm_temperature(2, 60.0).unwrap();
         assert!(report.settled);
         assert!((sv.dimm_temperature(2) - 60.0).abs() < 0.5);
         assert!((sv.dimm_temperature(0) - sv.config().ambient_c).abs() < 0.5);
+        assert!(sv.set_dimm_temperature(99, 60.0).is_err());
     }
 
     #[test]
     fn nominal_run_is_error_free() {
         let mut sv = server();
-        sv.set_dimm_temperature(2, 60.0);
+        sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let outcome = sv.evaluate_run(&run, 0);
         assert_eq!(
@@ -647,7 +665,7 @@ mod tests {
     fn relaxed_run_manifests_ces_on_the_stressed_dimm_only() {
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 60.0);
+        sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let outcome = sv.evaluate_run(&run, 0);
         assert!(outcome.totals.ce > 0, "relaxed DIMM2 at 60C must show CEs");
@@ -676,7 +694,7 @@ mod tests {
     fn high_temperature_triggers_ue_and_stops_the_run() {
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 70.0);
+        sv.set_dimm_temperature(2, 70.0).unwrap();
         // Fill the whole DIMM so the UE-prone pairs are covered.
         let run = fill_run(&mut sv, 2, WORST);
         let outcome = sv.evaluate_run(&run, 0);
@@ -689,7 +707,7 @@ mod tests {
     fn counters_accumulate_across_runs_and_reset() {
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 60.0);
+        sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let a = sv.evaluate_run(&run, 0);
         let b = sv.evaluate_run(&run, 1);
@@ -704,7 +722,7 @@ mod tests {
     fn run_outcomes_vary_across_nonces() {
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 60.0);
+        sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let counts: Vec<u64> = (0..8).map(|n| sv.evaluate_run(&run, n).totals.ce).collect();
         let distinct: std::collections::HashSet<_> = counts.iter().collect();
@@ -718,7 +736,7 @@ mod tests {
     fn worst_pattern_beats_all_zeros_at_server_level() {
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 60.0);
+        sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let worst: u64 = (0..4).map(|n| sv.evaluate_run(&run, n).totals.ce).sum();
         sv.reset_memory();
@@ -734,7 +752,7 @@ mod tests {
     fn prepared_run_matches_reference_path() {
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 62.0);
+        sv.set_dimm_temperature(2, 62.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let mut reference_sv = sv.clone();
         let prepared = sv.prepare_run(&run);
@@ -751,7 +769,7 @@ mod tests {
         assert_send::<XGene2Server>();
         let mut sv = server();
         sv.relax_second_domain();
-        sv.set_dimm_temperature(2, 60.0);
+        sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let mut replica = sv.clone();
         let a = sv.evaluate_run(&run, 5);

@@ -101,6 +101,34 @@ impl PidController {
     }
 }
 
+/// Errors from the thermal testbed.
+///
+/// The rig used to panic on a bad channel index; campaign setup code now
+/// gets a typed error it can surface instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThermalError {
+    /// The requested channel does not exist on this rig.
+    ChannelOutOfRange {
+        /// The channel that was asked for.
+        channel: usize,
+        /// How many channels the rig actually has.
+        channels: usize,
+    },
+}
+
+impl std::fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThermalError::ChannelOutOfRange { channel, channels } => write!(
+                f,
+                "thermal channel {channel} out of range: the rig has {channels} channels"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {}
+
 /// The settling result for one channel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SettleReport {
@@ -137,26 +165,42 @@ impl ThermalTestbed {
 
     /// Current temperature of a channel.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `channel` is out of range.
-    pub fn temperature(&self, channel: usize) -> f64 {
-        self.plants[channel].temp_c
+    /// [`ThermalError::ChannelOutOfRange`] if `channel` is out of range.
+    pub fn temperature(&self, channel: usize) -> Result<f64, ThermalError> {
+        self.plants
+            .get(channel)
+            .map(|plant| plant.temp_c)
+            .ok_or(ThermalError::ChannelOutOfRange {
+                channel,
+                channels: self.plants.len(),
+            })
     }
 
     /// Drives one channel to a setpoint, simulating the PID loop until the
     /// temperature stays within ±0.25 °C for 30 consecutive seconds (or a
-    /// 1-hour simulated timeout elapses).
+    /// 1-hour simulated timeout elapses). A setpoint the heater cannot
+    /// reach is not an error here: it comes back as a report with
+    /// `settled == false`, and the caller decides whether that is fatal.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `channel` is out of range.
-    pub fn settle(&mut self, channel: usize, setpoint_c: f64) -> SettleReport {
+    /// [`ThermalError::ChannelOutOfRange`] if `channel` is out of range.
+    pub fn settle(
+        &mut self,
+        channel: usize,
+        setpoint_c: f64,
+    ) -> Result<SettleReport, ThermalError> {
         const DT: f64 = 1.0;
         const BAND: f64 = 0.25;
         const HOLD_S: f64 = 30.0;
         const TIMEOUT_S: f64 = 3600.0;
-        let plant = &mut self.plants[channel];
+        let channels = self.plants.len();
+        let plant = self
+            .plants
+            .get_mut(channel)
+            .ok_or(ThermalError::ChannelOutOfRange { channel, channels })?;
         let pid = &mut self.controllers[channel];
         pid.reset();
         let mut trajectory = Vec::new();
@@ -170,23 +214,23 @@ impl ThermalTestbed {
             if (plant.temp_c - setpoint_c).abs() <= BAND {
                 in_band_s += DT;
                 if in_band_s >= HOLD_S {
-                    return SettleReport {
+                    return Ok(SettleReport {
                         final_temp_c: plant.temp_c,
                         settle_time_s: t,
                         settled: true,
                         trajectory,
-                    };
+                    });
                 }
             } else {
                 in_band_s = 0.0;
             }
         }
-        SettleReport {
+        Ok(SettleReport {
             final_temp_c: plant.temp_c,
             settle_time_s: t,
             settled: false,
             trajectory,
-        }
+        })
     }
 }
 
@@ -217,7 +261,7 @@ mod tests {
     fn pid_settles_on_setpoints_in_paper_range() {
         for setpoint in [50.0, 55.0, 60.0, 62.0, 65.0, 70.0] {
             let mut rig = ThermalTestbed::new(4, 45.0);
-            let report = rig.settle(0, setpoint);
+            let report = rig.settle(0, setpoint).unwrap();
             assert!(
                 report.settled,
                 "did not settle at {setpoint}: {}",
@@ -234,10 +278,10 @@ mod tests {
     #[test]
     fn channels_are_independent() {
         let mut rig = ThermalTestbed::new(4, 45.0);
-        rig.settle(1, 65.0);
-        assert!((rig.temperature(1) - 65.0).abs() < 0.5);
+        rig.settle(1, 65.0).unwrap();
+        assert!((rig.temperature(1).unwrap() - 65.0).abs() < 0.5);
         assert!(
-            (rig.temperature(0) - 45.0).abs() < 0.5,
+            (rig.temperature(0).unwrap() - 45.0).abs() < 0.5,
             "channel 0 must stay ambient"
         );
     }
@@ -245,9 +289,33 @@ mod tests {
     #[test]
     fn settle_records_a_trajectory() {
         let mut rig = ThermalTestbed::new(1, 45.0);
-        let report = rig.settle(0, 60.0);
+        let report = rig.settle(0, 60.0).unwrap();
         assert!(report.trajectory.len() as f64 >= report.settle_time_s);
         assert!(report.trajectory.first().unwrap() < report.trajectory.last().unwrap());
+    }
+
+    #[test]
+    fn out_of_range_channel_is_a_typed_error() {
+        let mut rig = ThermalTestbed::new(4, 45.0);
+        let expected = ThermalError::ChannelOutOfRange {
+            channel: 4,
+            channels: 4,
+        };
+        assert_eq!(rig.temperature(4), Err(expected));
+        assert_eq!(rig.settle(4, 60.0), Err(expected));
+        assert!(expected.to_string().contains("channel 4 out of range"));
+    }
+
+    #[test]
+    fn unreachable_setpoint_reports_unsettled_without_erroring() {
+        // Max heater output is 40 W at 2.5 °C/W: ~145 °C above ambient is
+        // the physical ceiling, so 250 °C can never be reached. That is a
+        // report, not an error — campaign setup decides what to do with it.
+        let mut rig = ThermalTestbed::new(1, 45.0);
+        let report = rig.settle(0, 250.0).unwrap();
+        assert!(!report.settled);
+        assert!(report.final_temp_c < 250.0);
+        assert!(report.settle_time_s >= 3600.0, "ran to the timeout");
     }
 
     #[test]

@@ -41,6 +41,16 @@ pub enum VplError {
     Memory(SessionError),
 }
 
+impl VplError {
+    /// Whether this is the step-budget watchdog firing
+    /// ([`VplError::ExecutionLimit`]). Supervised evaluation uses this to
+    /// classify the fault as a non-retryable budget blowout rather than a
+    /// generic permanent error.
+    pub fn is_execution_limit(&self) -> bool {
+        matches!(self, VplError::ExecutionLimit { .. })
+    }
+}
+
 impl std::fmt::Display for VplError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -34,6 +34,16 @@ pub struct ExecLimits {
     pub max_steps: u64,
 }
 
+impl ExecLimits {
+    /// A budget of `max_steps` interpreter/VM steps. This is the
+    /// deterministic watchdog the supervised evaluation runtime plumbs
+    /// through: the same virus always trips (or clears) the same budget at
+    /// the same step count, on every worker.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        ExecLimits { max_steps }
+    }
+}
+
 impl Default for ExecLimits {
     fn default() -> Self {
         ExecLimits {

@@ -47,6 +47,20 @@ impl Vm {
         Vm { limits }
     }
 
+    /// A VM with only a step budget configured — the supervised evaluation
+    /// runtime's watchdog entry point. The budget check is deterministic:
+    /// a given compiled virus either always finishes within `max_steps` or
+    /// always trips [`VplError::ExecutionLimit`] at the same step count,
+    /// regardless of which worker runs it.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        Vm::new(ExecLimits::with_max_steps(max_steps))
+    }
+
+    /// The configured execution limits.
+    pub fn limits(&self) -> ExecLimits {
+        self.limits
+    }
+
     /// Executes a compiled program against a memory bus.
     ///
     /// # Errors
@@ -632,6 +646,27 @@ mod tests {
         assert_eq!(istats, vstats);
         assert_eq!(vstats.writes, 8 + 8);
         assert_eq!(vstats.reads, 0);
+    }
+
+    #[test]
+    fn watchdog_budget_trips_deterministically() {
+        let program = parse_program(
+            "volatile unsigned long long v[] = { 0 };",
+            "int i = 0;",
+            "for (;;) { v[0] = i; i += 1; }",
+        )
+        .unwrap();
+        let compiled = compile(&program).unwrap();
+        let vm = Vm::with_max_steps(5_000);
+        assert_eq!(vm.limits(), ExecLimits::with_max_steps(5_000));
+        // The watchdog fires identically on every run — same error, same
+        // step count — which is what lets supervised evaluation classify
+        // budget blowouts without retrying them.
+        let a = vm.run(&compiled, &mut MockBus::default()).unwrap_err();
+        let b = vm.run(&compiled, &mut MockBus::default()).unwrap_err();
+        assert!(a.is_execution_limit());
+        assert_eq!(a, b);
+        assert_eq!(a, VplError::ExecutionLimit { steps: 5_000 });
     }
 
     #[test]

@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .into_iter()
     .collect();
     let mut evaluator = dstress::VirusEvaluator::new(
-        dstress.server_at(60.0),
+        dstress.server_at(60.0)?,
         processed.clone(),
         env.clone(),
         Metric::CeAverage,

@@ -6,7 +6,7 @@
 
 use dstress_ga::{
     run_journaled, BitGenome, CampaignJournal, Fitness, GaConfig, Genome, MemStorage,
-    ParallelFitness, SearchResult, VirusRecord,
+    ParallelFitness, SearchResult, SupervisionPolicy, VirusRecord,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -59,6 +59,8 @@ fn drive(
         &mut Popcount,
         1,
         popcount_record,
+        None,
+        SupervisionPolicy::default(),
         None,
     )
 }

@@ -8,7 +8,7 @@
 use dstress::{CampaignJournal, DStress, ExperimentScale, MemStorage, Metric};
 use dstress_ga::{
     run_journaled, BitGenome, Fitness, GaConfig, Genome, ParallelFitness, SearchResult,
-    VirusDatabase, VirusRecord,
+    SupervisionPolicy, VirusDatabase, VirusRecord,
 };
 use rand::rngs::StdRng;
 
@@ -62,6 +62,8 @@ fn drive_popcount(
         workers,
         popcount_record,
         max_steps,
+        SupervisionPolicy::default(),
+        None,
     )
     .expect("journal I/O")
 }

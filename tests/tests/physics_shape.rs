@@ -172,7 +172,10 @@ fn dimm_to_dimm_variation_is_visible() {
         .evaluator(&EnvKind::Word64, 60.0, Metric::CeAverage)
         .expect("evaluator");
     // Heat and relax DIMM3 like DIMM2 so only the module differs.
-    evaluator.server_mut().set_dimm_temperature(3, 60.0);
+    evaluator
+        .server_mut()
+        .set_dimm_temperature(3, 60.0)
+        .unwrap();
     evaluator
         .evaluate_bindings([("PATTERN".to_string(), BoundValue::Scalar(WORST_WORD))].into())
         .expect("evaluation");

@@ -73,7 +73,7 @@ for (i = 0; i < N1; i += 1) {
 fn instantiated_virus_runs_against_the_real_server() {
     let scale = tiny();
     let dstress = DStress::new(scale, 1);
-    let mut server = dstress.server_at(60.0);
+    let mut server = dstress.server_at(60.0).unwrap();
     let template =
         dstress::templates::process(dstress::templates::WORD64, &scale).expect("processes");
     let mut bindings = EnvKind::Word64.bindings(&scale).expect("env binds");
@@ -100,7 +100,7 @@ fn allocation_layout_matches_environment_prediction() {
     // the marker lands in the predicted victim row of the DIMM.
     let scale = tiny();
     let dstress = DStress::new(scale, 3);
-    let mut server = dstress.server_at(50.0);
+    let mut server = dstress.server_at(50.0).unwrap();
     let victims = vec![dstress_dram::geometry::RowKey::new(0, 4, 13)];
     let env = EnvKind::RowTriple {
         victims: victims.clone(),

@@ -89,7 +89,7 @@ fn margin_validation_under_benign_workloads() {
     )
     .expect("margin sweep");
     for workload in [dstress::Workload::Kmeans, dstress::Workload::Memcached] {
-        let mut server = dstress.server_at(60.0);
+        let mut server = dstress.server_at(60.0).unwrap();
         server.set_trefp(2, margin.marginal_trefp_s);
         server.set_trefp(3, margin.marginal_trefp_s);
         let run = workload.deploy(&mut server, 9).expect("deploys");

@@ -109,8 +109,8 @@ proptest! {
 fn stressed_server_and_run() -> (XGene2Server, RecordedRun) {
     let mut server = XGene2Server::new(ServerConfig::small());
     server.relax_second_domain();
-    server.set_dimm_temperature(2, 60.0);
-    server.set_dimm_temperature(3, 60.0);
+    server.set_dimm_temperature(2, 60.0).unwrap();
+    server.set_dimm_temperature(3, 60.0).unwrap();
     let mut session = server.session(2);
     let base = session.alloc(16 * 1024).expect("alloc");
     let values: Vec<u64> = (0..2048)
