@@ -15,7 +15,7 @@ fn bench(c: &mut Criterion) {
                 let mut server = XGene2Server::new(scale.server);
                 server.relax_second_domain();
                 let run = workload.deploy(&mut server, 7).expect("deploy");
-                std::hint::black_box(server.evaluate_run(&run, 1))
+                std::hint::black_box(server.evaluate_run(&run, 1).expect("fresh contents"))
             })
         });
     }

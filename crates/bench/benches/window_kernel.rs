@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
         acts.add(RowKey::new(0, 0, row), 40_000);
     }
     let disturbance = dimm.disturbance_profile(&acts);
-    let plan = dimm.prepare_run(&env, &disturbance);
+    let plan = dimm.prepare_run(&env, &disturbance).expect("plan builds");
     let mut nonce = 0u64;
     c.bench_function("window/reference", |b| {
         b.iter(|| {
@@ -43,7 +43,8 @@ fn bench(c: &mut Criterion) {
     c.bench_function("window/planned", |b| {
         b.iter(|| {
             nonce += 1;
-            dimm.advance_window_planned(&plan, nonce, &mut events);
+            dimm.advance_window_planned(&plan, nonce, &mut events)
+                .expect("plan is fresh");
             std::hint::black_box(events.len())
         })
     });
@@ -64,7 +65,7 @@ fn bench(c: &mut Criterion) {
         }
     }
     let run = session.finish();
-    let prepared = server.prepare_run(&run);
+    let prepared = server.prepare_run(&run).expect("plans build");
     c.bench_function("run/reference", |b| {
         b.iter(|| {
             nonce += 1;
@@ -74,7 +75,12 @@ fn bench(c: &mut Criterion) {
     c.bench_function("run/prepared", |b| {
         b.iter(|| {
             nonce += 1;
-            std::hint::black_box(server.evaluate_prepared(&prepared, nonce).totals)
+            std::hint::black_box(
+                server
+                    .evaluate_prepared(&prepared, nonce)
+                    .expect("fresh")
+                    .totals,
+            )
         })
     });
 }

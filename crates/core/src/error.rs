@@ -64,6 +64,12 @@ pub enum DStressError {
     /// The experimental platform could not reach the requested operating
     /// point at campaign setup.
     Platform(PlatformError),
+    /// A prepared run plan was misused (evaluated against superseded DIMM
+    /// contents, or the weak-cell population overflowed the plan layout).
+    /// This is a programming error in the evaluation pipeline, never a
+    /// property of the virus being evaluated — supervisors must classify it
+    /// as permanent rather than retry it.
+    Plan(dstress_dram::PlanError),
 }
 
 impl std::fmt::Display for DStressError {
@@ -74,6 +80,7 @@ impl std::fmt::Display for DStressError {
             DStressError::Experiment(m) => write!(f, "experiment error: {m}"),
             DStressError::Io(m) => write!(f, "I/O error: {m}"),
             DStressError::Platform(e) => write!(f, "platform error: {e}"),
+            DStressError::Plan(e) => write!(f, "run plan error: {e}"),
         }
     }
 }
@@ -83,6 +90,7 @@ impl std::error::Error for DStressError {
         match self {
             DStressError::Vpl(e) => Some(e),
             DStressError::Platform(e) => Some(e),
+            DStressError::Plan(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +111,12 @@ impl From<PlatformError> for DStressError {
 impl From<ThermalError> for DStressError {
     fn from(e: ThermalError) -> Self {
         DStressError::Platform(PlatformError::Thermal(e))
+    }
+}
+
+impl From<dstress_dram::PlanError> for DStressError {
+    fn from(e: dstress_dram::PlanError) -> Self {
+        DStressError::Plan(e)
     }
 }
 

@@ -265,16 +265,18 @@ impl VirusEvaluator {
         let mut session = self.server.session(self.target_mcu);
         Vm::new(self.limits).run(&compiled, &mut session)?;
         let run = session.finish();
-        let outcomes = self.server.evaluate_runs(&run, self.runs, base_nonce);
+        let outcomes = self.server.evaluate_runs(&run, self.runs, base_nonce)?;
         let outcome = self.summarize(&outcomes, run.len());
         self.last = Some(outcome.clone());
         Ok(outcome)
     }
 
-    /// Reference evaluation through the tree-walking [`Interpreter`] and
-    /// the hash-the-merged-map nonce. Semantically identical to
-    /// [`Self::evaluate_bindings`] — the `dstress-tests` differential suite
-    /// asserts the two produce the same [`EvalOutcome`] bit for bit.
+    /// Reference evaluation through the tree-walking [`Interpreter`], the
+    /// hash-the-merged-map nonce and the sequential one-run-at-a-time
+    /// evaluation path — none of the hot path's machinery (bytecode VM,
+    /// bulk fill, lane-batched window kernel). Semantically identical to
+    /// [`Self::evaluate_bindings`] — the differential suites assert the two
+    /// produce the same [`EvalOutcome`] bit for bit.
     ///
     /// # Errors
     ///
@@ -291,7 +293,9 @@ impl VirusEvaluator {
         Interpreter::new(self.limits).run(&program, &mut session)?;
         let run = session.finish();
         let base_nonce = bindings_nonce(&bindings);
-        let outcomes = self.server.evaluate_runs(&run, self.runs, base_nonce);
+        let outcomes = self
+            .server
+            .evaluate_runs_sequential(&run, self.runs, base_nonce)?;
         let outcome = self.summarize(&outcomes, run.len());
         self.last = Some(outcome.clone());
         Ok(outcome)
@@ -335,6 +339,43 @@ impl VirusEvaluator {
         }
     }
 
+    /// Evaluates a whole generation of candidate viruses through the
+    /// batched evaluation path. Distinct binding-sets are collected first,
+    /// so a chromosome occurring several times in the population — common
+    /// once a search converges — is bound, compiled and run once, with the
+    /// outcome fanned back out to every slot it fills; beneath that, each
+    /// candidate's repeat runs go through the server's lane-batched window
+    /// kernel and shared plan/profile caches. Slot `i` of the result is
+    /// exactly `evaluate_bindings(chromosomes[i].clone())` — dedup is
+    /// sound because evaluation is a pure function of the bindings.
+    ///
+    /// Failed candidates count once per *distinct* chromosome in
+    /// `failed_evaluations`, matching one substrate evaluation each.
+    pub fn evaluate_generation(
+        &mut self,
+        chromosomes: &[HashMap<String, BoundValue>],
+    ) -> Vec<Result<EvalOutcome, DStressError>> {
+        let mut results: Vec<Option<Result<EvalOutcome, DStressError>>> =
+            vec![None; chromosomes.len()];
+        let mut distinct: Vec<usize> = Vec::new();
+        for i in 0..chromosomes.len() {
+            if let Some(&first) = distinct.iter().find(|&&j| chromosomes[j] == chromosomes[i]) {
+                results[i] = results[first].clone();
+            } else {
+                distinct.push(i);
+                let result = self.evaluate_bindings(chromosomes[i].clone());
+                if result.is_err() {
+                    self.failed_evaluations += 1;
+                }
+                results[i] = Some(result);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot is filled above"))
+            .collect()
+    }
+
     /// Fallible scoring for the supervised evaluation path: instead of
     /// smuggling failures into a 0.0 score (as [`Self::fitness_of`] does for
     /// the legacy path), failures surface as classified [`EvalFault`]s the
@@ -365,6 +406,20 @@ impl VirusEvaluator {
     }
 }
 
+/// Scores a generation through [`VirusEvaluator::evaluate_generation`],
+/// mapping failed candidates to 0.0 exactly as
+/// [`VirusEvaluator::fitness_of`] does on the per-candidate path.
+fn generation_scores(
+    evaluator: &mut VirusEvaluator,
+    chromosomes: Vec<HashMap<String, BoundValue>>,
+) -> Vec<f64> {
+    evaluator
+        .evaluate_generation(&chromosomes)
+        .into_iter()
+        .map(|result| result.map(|o| o.fitness).unwrap_or(0.0))
+        .collect()
+}
+
 /// [`Fitness`] adapter for bit-genome searches.
 #[derive(Debug)]
 pub struct BitFitness<'a> {
@@ -381,6 +436,11 @@ impl Fitness<BitGenome> for BitFitness<'_> {
 
     fn try_evaluate(&mut self, genome: &BitGenome) -> Result<f64, EvalFault> {
         self.evaluator.try_fitness_of(self.codec.bindings(genome))
+    }
+
+    fn evaluate_generation(&mut self, population: &[BitGenome]) -> Vec<f64> {
+        let chromosomes = population.iter().map(|g| self.codec.bindings(g)).collect();
+        generation_scores(self.evaluator, chromosomes)
     }
 }
 
@@ -400,6 +460,11 @@ impl Fitness<IntGenome> for IntFitness<'_> {
 
     fn try_evaluate(&mut self, genome: &IntGenome) -> Result<f64, EvalFault> {
         self.evaluator.try_fitness_of(self.codec.bindings(genome))
+    }
+
+    fn evaluate_generation(&mut self, population: &[IntGenome]) -> Vec<f64> {
+        let chromosomes = population.iter().map(|g| self.codec.bindings(g)).collect();
+        generation_scores(self.evaluator, chromosomes)
     }
 }
 
@@ -421,6 +486,11 @@ impl Fitness<BitGenome> for ParallelBitFitness {
 
     fn try_evaluate(&mut self, genome: &BitGenome) -> Result<f64, EvalFault> {
         self.evaluator.try_fitness_of(self.codec.bindings(genome))
+    }
+
+    fn evaluate_generation(&mut self, population: &[BitGenome]) -> Vec<f64> {
+        let chromosomes = population.iter().map(|g| self.codec.bindings(g)).collect();
+        generation_scores(&mut self.evaluator, chromosomes)
     }
 }
 
@@ -453,6 +523,11 @@ impl Fitness<IntGenome> for ParallelIntFitness {
 
     fn try_evaluate(&mut self, genome: &IntGenome) -> Result<f64, EvalFault> {
         self.evaluator.try_fitness_of(self.codec.bindings(genome))
+    }
+
+    fn evaluate_generation(&mut self, population: &[IntGenome]) -> Vec<f64> {
+        let chromosomes = population.iter().map(|g| self.codec.bindings(g)).collect();
+        generation_scores(&mut self.evaluator, chromosomes)
     }
 }
 
@@ -521,6 +596,59 @@ mod tests {
         );
         assert!(worst.total_ce > 0);
         assert!(worst.trace_len > 0);
+    }
+
+    #[test]
+    fn generation_evaluation_matches_per_candidate_path() {
+        // Population with repeats: the generation entry dedups them, and
+        // every slot must still score exactly as an isolated evaluation.
+        let patterns: Vec<u64> = vec![
+            0x3333_3333_3333_3333,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0x3333_3333_3333_3333, // repeat of slot 0
+            0x0000_0000_0000_0000,
+            0xCCCC_CCCC_CCCC_CCCC, // repeat of slot 1
+        ];
+        let chromosomes: Vec<HashMap<String, BoundValue>> = patterns
+            .iter()
+            .map(|&p| [("PATTERN".to_string(), BoundValue::Scalar(p))].into())
+            .collect();
+        let mut generation_eval = evaluator(Metric::CeAverage);
+        let batched = generation_eval.evaluate_generation(&chromosomes);
+        let mut single_eval = evaluator(Metric::CeAverage);
+        for (chromosome, got) in chromosomes.iter().zip(&batched) {
+            let expected = single_eval.evaluate_bindings(chromosome.clone()).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &expected);
+        }
+        assert_eq!(batched[0], batched[2]);
+        assert_eq!(batched[1], batched[4]);
+        assert_eq!(generation_eval.failed_evaluations, 0);
+    }
+
+    #[test]
+    fn plan_errors_classify_as_permanent_faults() {
+        // Satellite check: a PlanError surfacing through DStressError must
+        // become a permanent (non-retryable) fault, never a retried panic.
+        let err: DStressError = dstress_dram::PlanError::Stale {
+            built: 3,
+            current: 7,
+        }
+        .into();
+        assert!(err.to_string().contains("stale RunPlan"));
+        match &err {
+            DStressError::Plan(dstress_dram::PlanError::Stale {
+                built: 3,
+                current: 7,
+            }) => {}
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // try_fitness_of's classification arm: any non-ExecutionLimit error
+        // is permanent. Reproduce the arm's logic on the Plan variant.
+        let fault = match &err {
+            DStressError::Vpl(vpl) if vpl.is_execution_limit() => unreachable!(),
+            _ => EvalFault::permanent(err.to_string()),
+        };
+        assert_eq!(fault.kind, dstress_ga::FaultKind::Permanent);
     }
 
     #[test]

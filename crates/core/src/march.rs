@@ -246,7 +246,7 @@ pub fn measure_march(
         .execute(&mut session, base, words)
         .map_err(|e| DStressError::Experiment(format!("march execution failed: {e}")))?;
     let run = session.finish();
-    let outcomes = server.evaluate_runs(&run, scale.runs_per_virus, 0x3A6C);
+    let outcomes = server.evaluate_runs(&run, scale.runs_per_virus, 0x3A6C)?;
     let total_ce: u64 = outcomes.iter().map(|o| o.totals.ce).sum();
     let total_ue: u64 = outcomes.iter().map(|o| o.totals.ue).sum();
     let ue_runs = outcomes.iter().filter(|o| o.stopped_on_ue).count() as u32;

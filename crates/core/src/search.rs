@@ -756,7 +756,7 @@ impl DStress {
             .run(&compiled, &mut session)
             .map_err(DStressError::from)?;
         let run = session.finish();
-        for outcome in server.evaluate_runs(&run, self.scale.runs_per_virus, 0xF00D) {
+        for outcome in server.evaluate_runs(&run, self.scale.runs_per_virus, 0xF00D)? {
             for e in &outcome.row_errors {
                 if e.mcu == 2 {
                     *tallies.entry(e.row).or_insert(0) += e.ce;

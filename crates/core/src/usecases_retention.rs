@@ -99,7 +99,7 @@ pub fn profile_retention(
                 .map_err(DStressError::from)?;
             let run = session.finish();
             server
-                .evaluate_runs(&run, dstress.scale.runs_per_virus, 0x6E7E)
+                .evaluate_runs(&run, dstress.scale.runs_per_virus, 0x6E7E)?
                 .iter()
                 .flat_map(|o| o.row_errors.iter())
                 .filter(|e| e.mcu == 2)

@@ -194,12 +194,14 @@ mod tests {
         let kmeans_run = Workload::Kmeans.deploy(&mut sv, 5).unwrap();
         let kmeans: u64 = sv
             .evaluate_runs(&kmeans_run, 3, 1)
+            .unwrap()
             .iter()
             .map(|o| o.totals.ce)
             .sum();
         let memcached_run = Workload::Memcached.deploy(&mut sv, 5).unwrap();
         let memcached: u64 = sv
             .evaluate_runs(&memcached_run, 3, 2)
+            .unwrap()
             .iter()
             .map(|o| o.totals.ce)
             .sum();

@@ -133,6 +133,32 @@ impl RowStore {
         }
     }
 
+    /// Reads a contiguous run of words starting at `start`, staying within
+    /// one row: the row is looked up once instead of once per word (the
+    /// fast path behind [`crate::Dimm::read_words`] and session bulk
+    /// reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span starts outside the geometry or runs past the end
+    /// of the row.
+    pub fn read_words(&self, start: Location, out: &mut [u64]) {
+        assert!(
+            self.geometry.contains(start),
+            "location {start} outside geometry"
+        );
+        let col = start.col as usize;
+        assert!(
+            col + out.len() <= self.geometry.words_per_row(),
+            "span of {} words from column {col} runs past the row end",
+            out.len()
+        );
+        match self.rows.get(&start.row_key()) {
+            Some(row) => out.copy_from_slice(&row[col..col + out.len()]),
+            None => out.fill(self.default_word),
+        }
+    }
+
     /// Reads the logical bit `bit_in_row` (word column × 64 + bit) of a row.
     ///
     /// # Panics

@@ -8,7 +8,7 @@ use crate::env::OperatingEnv;
 use crate::events::WordEvent;
 use crate::faults::FaultSet;
 use crate::geometry::{DimmGeometry, Location, RowKey};
-use crate::plan::{RunPlan, VrtWord};
+use crate::plan::{PlanError, RunPlan, VrtWord};
 use crate::retention::PhysicsParams;
 use crate::topology::{Topology, TopologyConfig};
 use crate::weak::{vrt_degraded, WeakCellConfig, WeakCellPopulation};
@@ -213,6 +213,25 @@ impl Dimm {
         }
     }
 
+    /// Reads a contiguous run of words within one row: one row lookup
+    /// instead of one per word. Falls back to per-word reads when logical
+    /// faults are injected (stuck-at corruption is word-granular).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span starts outside the geometry or runs past the end
+    /// of the row.
+    pub fn read_words(&self, start: Location, out: &mut [u64]) {
+        if self.faults.is_empty() {
+            self.contents.read_words(start, out);
+        } else {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let loc = Location::new(start.rank, start.bank, start.row, start.col + i as u32);
+                *slot = self.read_word(loc);
+            }
+        }
+    }
+
     /// The contents generation counter — bumped whenever stored bits
     /// change. A [`RunPlan`] is valid only for the generation it was built
     /// against.
@@ -387,10 +406,22 @@ impl Dimm {
     /// (or vanish entirely); only the cells whose decision differs between
     /// the two VRT states remain for per-window work.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::IndexOverflow`] if the weak-cell population is
+    /// too large for the plan's `u32` index layout (beyond 2^32
+    /// VRT-contingent cells or interleaved static events — unreachable for
+    /// any physical DIMM, but checked rather than silently truncated into
+    /// a wrong-but-plausible plan).
+    ///
     /// # Panics
     ///
     /// Panics if the profile length does not match the weak-word count.
-    pub fn prepare_run(&mut self, env: &OperatingEnv, disturbance: &[f64]) -> RunPlan {
+    pub fn prepare_run(
+        &mut self,
+        env: &OperatingEnv,
+        disturbance: &[f64],
+    ) -> Result<RunPlan, PlanError> {
         assert_eq!(
             disturbance.len(),
             self.population.words().len(),
@@ -450,8 +481,8 @@ impl Dimm {
                     loc: word.loc,
                     written: self.contents.read_word(word.loc),
                     base_mask,
-                    bits_start: bits_start as u32,
-                    bits_end: bits_end as u32,
+                    bits_start: plan_index("bits_start", bits_start)?,
+                    bits_end: plan_index("bits_end", bits_end)?,
                 });
                 statics_since_vrt = 0;
             } else if base_mask != 0 {
@@ -460,10 +491,10 @@ impl Dimm {
                     written: self.contents.read_word(word.loc),
                     flip_mask: base_mask,
                 });
-                statics_since_vrt += 1;
+                statics_since_vrt = plan_index("statics_before", statics_since_vrt as usize + 1)?;
             }
         }
-        RunPlan {
+        Ok(RunPlan {
             generation: self.contents.generation(),
             vrt_degraded_prob: physics.vrt_degraded_prob,
             static_events,
@@ -471,7 +502,7 @@ impl Dimm {
             bit_masks,
             bit_indices,
             bit_flip_when_degraded,
-        }
+        })
     }
 
     /// Evaluates one refresh window through a prepared plan, appending this
@@ -479,18 +510,62 @@ impl Dimm {
     /// across windows). Bit-identical to
     /// [`Self::advance_window_profiled`] with the same env/profile/nonce.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if contents changed since the plan was built — the plan bakes
-    /// in per-cell charge state and written words, so it must be rebuilt
-    /// after any write.
-    pub fn advance_window_planned(&self, plan: &RunPlan, nonce: u64, out: &mut Vec<WordEvent>) {
-        assert_eq!(
-            plan.generation(),
-            self.contents.generation(),
-            "stale RunPlan: contents changed since prepare_run"
-        );
+    /// Returns [`PlanError::Stale`] if contents changed since the plan was
+    /// built — the plan bakes in per-cell charge state and written words,
+    /// so it must be rebuilt after any write. This is a typed error (not a
+    /// panic) so an evaluation supervisor can classify it as a permanent
+    /// programming fault instead of a retryable candidate panic.
+    pub fn advance_window_planned(
+        &self,
+        plan: &RunPlan,
+        nonce: u64,
+        out: &mut Vec<WordEvent>,
+    ) -> Result<(), PlanError> {
+        self.ensure_plan_fresh(plan)?;
         plan.advance_window(self.seed, nonce, out);
+        Ok(())
+    }
+
+    /// Evaluates one refresh window of a prepared plan for up to
+    /// [`crate::plan::MAX_LANES`] evaluation lanes at once, emitting only
+    /// each lane's VRT-word events (see
+    /// [`RunPlan::advance_window_vrt_lanes`]). Lane `l` runs with window
+    /// nonce `nonces[l]` and only while bit `l` of `live` is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Stale`] if contents changed since the plan was
+    /// built.
+    pub fn advance_window_planned_lanes(
+        &self,
+        plan: &RunPlan,
+        nonces: &[u64],
+        live: u64,
+        out: &mut [Vec<WordEvent>],
+    ) -> Result<(), PlanError> {
+        self.ensure_plan_fresh(plan)?;
+        plan.advance_window_vrt_lanes(self.seed, nonces, live, out);
+        Ok(())
+    }
+
+    /// Checks that a plan was built against the current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Stale`] if contents changed since the plan was
+    /// built. Callers that evaluate many windows or lanes can check once
+    /// up front: contents cannot change during window evaluation.
+    pub fn ensure_plan_fresh(&self, plan: &RunPlan) -> Result<(), PlanError> {
+        let current = self.contents.generation();
+        if plan.generation() != current {
+            return Err(PlanError::Stale {
+                built: plan.generation(),
+                current,
+            });
+        }
+        Ok(())
     }
 
     /// Recomputes the data-dependent per-cell state when contents changed.
@@ -561,6 +636,14 @@ impl Dimm {
         let value = self.contents.read_bit(row, logical);
         self.topology.kind_at_physical(phys).charged(value)
     }
+}
+
+/// Narrows a plan-build counter to the plan's `u32` index width, failing
+/// loudly instead of silently truncating into a wrong-but-plausible plan.
+fn plan_index(what: &'static str, value: usize) -> Result<u32, PlanError> {
+    value
+        .try_into()
+        .map_err(|_| PlanError::IndexOverflow { what, value })
 }
 
 #[cfg(test)]
@@ -763,13 +846,50 @@ mod tests {
         acts.add(RowKey::new(0, 0, 11), 4000);
         acts.add(RowKey::new(1, 3, 20), 50_000);
         let profile = d.disturbance_profile(&acts);
-        let plan = d.prepare_run(&env, &profile);
+        let plan = d.prepare_run(&env, &profile).unwrap();
         assert!(plan.static_words() + plan.vrt_words() > 0);
         let mut planned = Vec::new();
         for nonce in 0..50u64 {
-            d.advance_window_planned(&plan, nonce, &mut planned);
+            d.advance_window_planned(&plan, nonce, &mut planned)
+                .unwrap();
             let reference = d.advance_window_profiled(&env, &profile, nonce);
             assert_eq!(planned, reference, "nonce {nonce}");
+        }
+    }
+
+    #[test]
+    fn lane_kernel_matches_per_lane_vrt_events() {
+        let env = OperatingEnv::relaxed(62.0);
+        let mut d = dimm(23);
+        fill_all(&mut d, WORST);
+        let mut acts = ActivationCounts::new();
+        acts.add(RowKey::new(0, 0, 9), 4000);
+        acts.add(RowKey::new(1, 3, 20), 50_000);
+        let profile = d.disturbance_profile(&acts);
+        let plan = d.prepare_run(&env, &profile).unwrap();
+        assert!(plan.vrt_words() > 0, "need VRT-contingent words");
+        // 7 lanes with irregular nonces and a hole in the live mask.
+        let nonces: Vec<u64> = (0..7u64).map(|l| l.wrapping_mul(0x9E37_79B9) ^ 5).collect();
+        let live = 0b110_1011u64;
+        let mut lanes: Vec<Vec<WordEvent>> = vec![Vec::new(); nonces.len()];
+        d.advance_window_planned_lanes(&plan, &nonces, live, &mut lanes)
+            .unwrap();
+        let mut full = Vec::new();
+        for (l, &nonce) in nonces.iter().enumerate() {
+            if live & (1 << l) == 0 {
+                assert!(lanes[l].is_empty(), "dead lane {l} must stay empty");
+                continue;
+            }
+            d.advance_window_planned(&plan, nonce, &mut full).unwrap();
+            // The lane kernel omits static events; the VRT-word events are
+            // exactly the full event stream minus the static ones.
+            let statics = plan.static_events();
+            let vrt_only: Vec<WordEvent> = full
+                .iter()
+                .filter(|e| !statics.contains(e))
+                .copied()
+                .collect();
+            assert_eq!(lanes[l], vrt_only, "lane {l}");
         }
     }
 
@@ -779,7 +899,7 @@ mod tests {
         let mut d = dimm(29);
         fill_all(&mut d, WORST);
         let profile = d.disturbance_profile(&ActivationCounts::new());
-        let plan = d.prepare_run(&env, &profile);
+        let plan = d.prepare_run(&env, &profile).unwrap();
         // The per-window workload must be a small fraction of the full
         // population — that's the entire point of the plan.
         assert!(
@@ -791,16 +911,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stale RunPlan")]
-    fn stale_plan_is_rejected() {
+    fn stale_plan_is_a_typed_error_not_a_panic() {
         let env = OperatingEnv::relaxed(60.0);
         let mut d = dimm(11);
         fill_all(&mut d, WORST);
         let profile = d.disturbance_profile(&ActivationCounts::new());
-        let plan = d.prepare_run(&env, &profile);
+        let plan = d.prepare_run(&env, &profile).unwrap();
+        let built = plan.generation();
         d.write_word(Location::new(0, 0, 0, 0), BEST);
+        let current = d.contents_generation();
+        assert_ne!(built, current);
         let mut out = Vec::new();
-        d.advance_window_planned(&plan, 0, &mut out);
+        let err = d.advance_window_planned(&plan, 0, &mut out).unwrap_err();
+        assert_eq!(err, PlanError::Stale { built, current });
+        assert!(err.to_string().contains("stale RunPlan"), "{err}");
+        // The lane path enforces the same freshness contract.
+        let mut lanes = vec![Vec::new()];
+        let err = d
+            .advance_window_planned_lanes(&plan, &[0], 1, &mut lanes)
+            .unwrap_err();
+        assert_eq!(err, PlanError::Stale { built, current });
+    }
+
+    #[test]
+    fn plan_index_narrows_exactly_to_u32() {
+        assert_eq!(plan_index("bits_end", 0), Ok(0));
+        assert_eq!(plan_index("bits_end", u32::MAX as usize), Ok(u32::MAX));
+        let err = plan_index("bits_end", u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::IndexOverflow {
+                what: "bits_end",
+                value: u32::MAX as usize + 1,
+            }
+        );
+        let text = err.to_string();
+        assert!(
+            text.contains("bits_end") && text.contains("4294967296"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -819,6 +968,24 @@ mod tests {
         for i in 0..values.len() as u32 + 1 {
             let loc = Location::new(start.rank, start.bank, start.row, start.col + i);
             assert_eq!(a.read_word(loc), b.read_word(loc));
+        }
+    }
+
+    #[test]
+    fn read_words_matches_per_word_reads() {
+        let mut d = dimm(31);
+        let start = Location::new(0, 2, 7, 100);
+        let values = [1u64, 2, 3, WORST, BEST];
+        d.write_words(start, &values);
+        // Spans over written and default (unmaterialized) columns.
+        for (from, n) in [(98u32, 10usize), (100, 5), (0, 3)] {
+            let begin = Location::new(0, 2, 7, from);
+            let mut bulk = vec![0u64; n];
+            d.read_words(begin, &mut bulk);
+            for (i, &got) in bulk.iter().enumerate() {
+                let loc = Location::new(0, 2, 7, from + i as u32);
+                assert_eq!(got, d.read_word(loc), "column {}", from + i as u32);
+            }
         }
     }
 

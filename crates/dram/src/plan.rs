@@ -35,6 +35,59 @@ use crate::events::WordEvent;
 use crate::geometry::Location;
 use crate::weak::vrt_degraded;
 
+/// Errors from building or evaluating a [`RunPlan`].
+///
+/// Every variant is a *programming* error in the calling layer (a plan used
+/// after the contents it was built against changed, or a weak-cell
+/// population too large for the plan's index width) — never a property of
+/// the candidate being evaluated. Callers surfacing this into a fitness
+/// fault must classify it as permanent/non-retryable so a supervisor does
+/// not retry and quarantine an innocent chromosome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The DIMM contents changed since the plan was built; the plan bakes
+    /// in per-cell charge state and written words, so it must be rebuilt
+    /// after any write.
+    Stale {
+        /// Contents generation the plan was built against.
+        built: u64,
+        /// Current contents generation of the DIMM.
+        current: u64,
+    },
+    /// A flat-array index in the plan under construction does not fit the
+    /// plan's `u32` index width (a weak-cell population beyond 2^32 cells).
+    IndexOverflow {
+        /// Which counter overflowed (`"bits_start"`, `"bits_end"`,
+        /// `"statics_before"`).
+        what: &'static str,
+        /// The value that did not fit.
+        value: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Stale { built, current } => write!(
+                f,
+                "stale RunPlan: built against contents generation {built}, \
+                 contents are now at generation {current}"
+            ),
+            PlanError::IndexOverflow { what, value } => write!(
+                f,
+                "run plan index overflow: {what} = {value} does not fit u32 \
+                 (weak-cell population too large for the plan layout)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Maximum number of evaluation lanes one [`RunPlan::advance_window_vrt_lanes`]
+/// call can serve: one bit of a `u64` lane mask per candidate-run.
+pub const MAX_LANES: usize = 64;
+
 /// One weak word with at least one VRT-contingent cell: its static base
 /// flip mask plus the range of contingent bits in the plan's flat arrays.
 #[derive(Debug, Clone, Copy)]
@@ -133,5 +186,103 @@ impl RunPlan {
             }
         }
         out.extend_from_slice(&self.static_events[emitted..]);
+    }
+
+    /// The pre-built (window-invariant) word events, in population order.
+    ///
+    /// Batched callers classify these once per plan instead of once per
+    /// `(run, window)` — they are byte-identical every window by
+    /// construction.
+    pub fn static_events(&self) -> &[WordEvent] {
+        &self.static_events
+    }
+
+    /// Evaluates one refresh window for up to [`MAX_LANES`] evaluation
+    /// lanes at once, emitting **only the VRT-word events** of lane `l`
+    /// into `out[l]` (cleared first). Static events are invariant across
+    /// lanes and windows; batched callers account for them through a
+    /// precomputed summary of [`RunPlan::static_events`] instead of
+    /// re-materializing them per lane.
+    ///
+    /// `nonces[l]` is lane `l`'s window nonce; a lane is evaluated only
+    /// when bit `l` of `live` is set (dead lanes — runs already stopped on
+    /// an uncorrectable error — keep an empty buffer). The cell loop is
+    /// outer and the lane loop inner: each VRT-contingent cell's Bernoulli
+    /// draws for all live lanes are packed into one `u64` lane mask, then
+    /// scattered into per-lane flip masks, so one pass over the flat SoA
+    /// serves the whole batch.
+    ///
+    /// Per lane, the emitted events are bit-identical to the VRT-word
+    /// subsequence of [`RunPlan::advance_window`] with the same nonce: the
+    /// same `vrt_degraded` draws in the same per-word order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_LANES`] lanes are requested or the buffer
+    /// count does not match the nonce count.
+    pub fn advance_window_vrt_lanes(
+        &self,
+        seed: u64,
+        nonces: &[u64],
+        live: u64,
+        out: &mut [Vec<WordEvent>],
+    ) {
+        assert!(nonces.len() <= MAX_LANES, "at most {MAX_LANES} lanes");
+        assert_eq!(nonces.len(), out.len(), "one event buffer per lane");
+        for buf in out.iter_mut() {
+            buf.clear();
+        }
+        let live = if nonces.len() == MAX_LANES {
+            live
+        } else {
+            live & ((1u64 << nonces.len()) - 1)
+        };
+        if live == 0 {
+            return;
+        }
+        let mut lane_masks = [0u64; MAX_LANES];
+        for word in &self.vrt_words {
+            let mut lanes = live;
+            while lanes != 0 {
+                let lane = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                lane_masks[lane] = word.base_mask;
+            }
+            for i in word.bits_start as usize..word.bits_end as usize {
+                let index = self.bit_indices[i];
+                let flip_when_degraded = self.bit_flip_when_degraded[i];
+                // One u64 of Bernoulli outcomes across the batch: bit `l`
+                // set iff lane `l`'s draw flips this cell.
+                let mut flipping = 0u64;
+                let mut lanes = live;
+                while lanes != 0 {
+                    let lane = lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    if vrt_degraded(seed, nonces[lane], index, self.vrt_degraded_prob)
+                        == flip_when_degraded
+                    {
+                        flipping |= 1u64 << lane;
+                    }
+                }
+                let mask = self.bit_masks[i];
+                while flipping != 0 {
+                    let lane = flipping.trailing_zeros() as usize;
+                    flipping &= flipping - 1;
+                    lane_masks[lane] |= mask;
+                }
+            }
+            let mut lanes = live;
+            while lanes != 0 {
+                let lane = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                if lane_masks[lane] != 0 {
+                    out[lane].push(WordEvent {
+                        loc: word.loc,
+                        written: word.written,
+                        flip_mask: lane_masks[lane],
+                    });
+                }
+            }
+        }
     }
 }

@@ -23,7 +23,7 @@ use dstress_stats::mean_pairwise;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
 use std::time::Instant;
 
@@ -142,6 +142,11 @@ pub struct EvalStats {
     pub cache_hits: u64,
     /// Evaluation worker threads used (1 = serial).
     pub workers: usize,
+    /// Chromosomes currently retained in the evaluation cache (bounded by
+    /// a fixed cap; see [`EngineState::cache`]). Absent in checkpoints
+    /// written before the cache was bounded, defaulting to zero.
+    #[serde(default)]
+    pub cache_size: usize,
     /// Wall-clock seconds spent evaluating each scored round; index 0 is
     /// the initial population, subsequent entries are generations.
     pub generation_eval_seconds: Vec<f64>,
@@ -332,7 +337,9 @@ impl GaEngine {
     {
         self.search_loop(population, 1, |pop, stats| {
             stats.evaluations += pop.len() as u64;
-            pop.iter().map(|g| fitness.evaluate(g)).collect()
+            let scores = fitness.evaluate_generation(pop);
+            assert_eq!(scores.len(), pop.len(), "one score per candidate");
+            scores
         })
     }
 
@@ -561,6 +568,101 @@ struct WorkerReport {
     died_at: Option<u64>,
 }
 
+/// Retention bound of the evaluation cache: the most recently used
+/// chromosomes kept, everything older evicted. Generous next to a
+/// population (the paper's is 40) — elites and within-search repeats stay
+/// resident — while keeping every [`EngineState`] checkpoint a fixed size
+/// instead of growing with the full evaluation history of a long campaign.
+const EVAL_CACHE_CAP: usize = 1024;
+
+/// The bounded evaluation cache: chromosome → raw user-orientation fitness
+/// (quarantined chromosomes carry `NaN`), with deterministic
+/// least-recently-used retention.
+///
+/// Recency is defined purely by the search's own canonical orders — lookups
+/// promote in population-slot order during the cache pre-pass, inserts
+/// land in dealing order — never by worker identity or thread timing, so
+/// the cache contents (and therefore every future hit, miss and eviction)
+/// are bit-identical for any worker count. Checkpoints serialize the queue
+/// oldest-first and [`EvalCache::from_entries`] rebuilds it verbatim, so a
+/// resumed search evicts exactly as the uninterrupted one would.
+#[derive(Debug, Clone)]
+struct EvalCache<G> {
+    map: HashMap<G, f64>,
+    /// Recency queue: front = least recently used.
+    queue: VecDeque<G>,
+    cap: usize,
+}
+
+impl<G: Genome + Eq + Hash> EvalCache<G> {
+    fn new() -> Self {
+        Self::with_cap(EVAL_CACHE_CAP)
+    }
+
+    fn with_cap(cap: usize) -> Self {
+        EvalCache {
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Rebuilds a cache from checkpoint entries in queue (oldest-first)
+    /// order. Entries beyond the cap — a checkpoint written under a larger
+    /// cap — evict oldest-first, exactly as live inserts would.
+    fn from_entries(entries: Vec<(G, f64)>) -> Self {
+        let mut cache = EvalCache::new();
+        for (genome, value) in entries {
+            cache.insert(genome, value);
+        }
+        cache
+    }
+
+    /// Looks up a chromosome, promoting it to most-recently-used on a hit.
+    fn lookup(&mut self, genome: &G) -> Option<f64> {
+        let &value = self.map.get(genome)?;
+        let at = self
+            .queue
+            .iter()
+            .position(|g| g == genome)
+            .expect("every cached chromosome is in the recency queue");
+        let g = self.queue.remove(at).expect("position is in range");
+        self.queue.push_back(g);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) a chromosome as most-recently-used, evicting
+    /// the least recently used entry beyond the cap.
+    fn insert(&mut self, genome: G, value: f64) {
+        if self.map.insert(genome.clone(), value).is_some() {
+            let at = self
+                .queue
+                .iter()
+                .position(|g| g == &genome)
+                .expect("every cached chromosome is in the recency queue");
+            self.queue.remove(at);
+        }
+        self.queue.push_back(genome);
+        if self.queue.len() > self.cap {
+            let evicted = self.queue.pop_front().expect("cache is over capacity");
+            self.map.remove(&evicted);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The cache contents in queue (oldest-first) order — the canonical
+    /// checkpoint form.
+    fn entries(&self) -> Vec<(G, f64)> {
+        self.queue
+            .iter()
+            .map(|g| (g.clone(), self.map[g]))
+            .collect()
+    }
+}
+
 /// Scores one round of a cached parallel evaluation: repeats are served
 /// from `cache`, each distinct new chromosome runs once on the substrate,
 /// dealt round-robin across the worker replicas and evaluated under
@@ -581,7 +683,7 @@ struct WorkerReport {
 #[allow(clippy::too_many_arguments)] // internal: the session owns all of these
 fn score_population<G, F>(
     population: &[G],
-    cache: &mut HashMap<G, f64>,
+    cache: &mut EvalCache<G>,
     newly: &mut Vec<(G, f64)>,
     replicas: &mut [F],
     dead: &mut HashSet<usize>,
@@ -602,7 +704,7 @@ where
     let mut pending: Vec<(&G, Vec<usize>)> = Vec::new();
     let mut pending_index: HashMap<&G, usize> = HashMap::new();
     for (i, g) in population.iter().enumerate() {
-        if let Some(&hit) = cache.get(g) {
+        if let Some(hit) = cache.lookup(g) {
             scores[i] = hit;
             stats.cache_hits += 1;
         } else if let Some(&p) = pending_index.get(g) {
@@ -617,6 +719,7 @@ where
     // so the numbering is the same for every worker count and every resume.
     let base_index = stats.evaluations;
     stats.evaluations += pending.len() as u64;
+    stats.cache_size = cache.len();
     if pending.is_empty() {
         return scores;
     }
@@ -736,6 +839,7 @@ where
             scores[i] = value;
         }
     }
+    stats.cache_size = cache.len();
     scores
 }
 
@@ -763,8 +867,9 @@ pub struct SearchSession<G> {
     leaderboard: Leaderboard<G>,
     history: Vec<GenerationStats>,
     eval_stats: EvalStats,
-    /// Raw user-orientation fitness of every chromosome ever evaluated.
-    cache: HashMap<G, f64>,
+    /// Raw user-orientation fitness of recently evaluated chromosomes
+    /// (bounded LRU; see [`EvalCache`]).
+    cache: EvalCache<G>,
     /// Chromosomes evaluated on the substrate since the last
     /// [`take_newly_evaluated`](SearchSession::take_newly_evaluated).
     newly: Vec<(G, f64)>,
@@ -835,7 +940,7 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
                 workers: 1,
                 ..EvalStats::default()
             },
-            cache: HashMap::new(),
+            cache: EvalCache::new(),
             newly: Vec::new(),
             incidents: Vec::new(),
             fresh_incidents: Vec::new(),
@@ -869,7 +974,7 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             scores: state.scores,
             history: state.history,
             eval_stats: state.eval_stats,
-            cache: state.cache.into_iter().collect(),
+            cache: EvalCache::from_entries(state.cache),
             newly: Vec::new(),
             incidents: state.incidents,
             fresh_incidents: Vec::new(),
@@ -951,7 +1056,7 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             leaderboard: self.leaderboard.entries.clone(),
             history: self.history.clone(),
             eval_stats: self.eval_stats.clone(),
-            cache: self.cache.iter().map(|(g, v)| (g.clone(), *v)).collect(),
+            cache: self.cache.entries(),
             incidents: self.incidents.clone(),
             generation: self.generation,
             initialized: self.initialized,
@@ -1103,9 +1208,10 @@ pub struct EngineState<G> {
     pub history: Vec<GenerationStats>,
     /// Evaluation counters and timing so far.
     pub eval_stats: EvalStats,
-    /// Every chromosome ever evaluated with its raw fitness value
+    /// The evaluation cache in least-recently-used-first order
     /// (quarantined chromosomes carry `NaN`, which round-trips through the
-    /// JSON checkpoint as `null`).
+    /// JSON checkpoint as `null`). Bounded: old entries are evicted, so
+    /// this no longer grows with the full evaluation history.
     pub cache: Vec<(G, f64)>,
     /// Every supervision incident so far, in stream order.
     pub incidents: Vec<Incident>,
@@ -1447,6 +1553,7 @@ mod tests {
         // scores: every distinct chromosome runs exactly once either way.
         assert_eq!(one.eval_stats.evaluations, four.eval_stats.evaluations);
         assert_eq!(one.eval_stats.cache_hits, four.eval_stats.cache_hits);
+        assert_eq!(one.eval_stats.cache_size, four.eval_stats.cache_size);
         assert_eq!(one.eval_stats.evaluations, one_executed);
         assert_eq!(four.eval_stats.evaluations, four_executed);
         assert_eq!(
@@ -1483,6 +1590,12 @@ mod tests {
             "every population slot is either evaluated or a cache hit"
         );
         assert_eq!(result.eval_stats.workers, 2);
+        // Under the cap nothing evicts, so the cache holds exactly every
+        // distinct chromosome the substrate ever ran.
+        assert_eq!(
+            result.eval_stats.cache_size as u64,
+            result.eval_stats.evaluations
+        );
         // One initial round + one generation were timed.
         assert_eq!(result.eval_stats.generation_eval_seconds.len(), 2);
         assert!(result.eval_stats.eval_seconds() >= 0.0);
@@ -1495,11 +1608,98 @@ mod tests {
         let result = engine.run(|rng| BitGenome::random(rng, 64), &mut fitness);
         assert_eq!(result.eval_stats.workers, 1);
         assert_eq!(result.eval_stats.cache_hits, 0);
+        assert_eq!(result.eval_stats.cache_size, 0);
         assert_eq!(result.eval_stats.evaluations, fitness.executed());
         assert_eq!(
             result.eval_stats.generation_eval_seconds.len() as u32,
             result.generations + 1
         );
+    }
+
+    #[test]
+    fn eval_cache_evicts_oldest_and_promotes_on_hit() {
+        let g = |w: u64| BitGenome::from_words(&[w], 64);
+        let mut cache = EvalCache::with_cap(3);
+        cache.insert(g(1), 1.0);
+        cache.insert(g(2), 2.0);
+        cache.insert(g(3), 3.0);
+        // A hit promotes: 1 becomes most recently used.
+        assert_eq!(cache.lookup(&g(1)), Some(1.0));
+        // Beyond the cap the least recently used entry (now 2) goes.
+        cache.insert(g(4), 4.0);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(&g(2)), None);
+        assert_eq!(
+            cache.entries(),
+            vec![(g(3), 3.0), (g(1), 1.0), (g(4), 4.0)],
+            "entries are queue order, oldest first"
+        );
+        // Re-inserting an existing chromosome refreshes instead of growing.
+        cache.insert(g(3), 3.5);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.lookup(&g(3)), Some(3.5));
+    }
+
+    #[test]
+    fn eval_cache_round_trips_checkpoint_entries() {
+        let g = |w: u64| BitGenome::from_words(&[w], 64);
+        let mut cache = EvalCache::with_cap(4);
+        for w in 0..4 {
+            cache.insert(g(w), w as f64);
+        }
+        assert_eq!(cache.lookup(&g(0)), Some(0.0)); // scramble the order
+        let entries = cache.entries();
+        let rebuilt = EvalCache::from_entries(entries.clone());
+        assert_eq!(rebuilt.entries(), entries, "resume preserves recency");
+    }
+
+    #[test]
+    fn eval_cache_stays_bounded_across_a_long_search() {
+        // More distinct chromosomes than the cap: the cache (and therefore
+        // every checkpoint) stays at the cap instead of growing with the
+        // evaluation history.
+        let mut cache = EvalCache::new();
+        for w in 0..(EVAL_CACHE_CAP as u64 + 100) {
+            cache.insert(BitGenome::from_words(&[w], 64), w as f64);
+        }
+        assert_eq!(cache.len(), EVAL_CACHE_CAP);
+        assert_eq!(
+            cache.lookup(&BitGenome::from_words(&[0], 64)),
+            None,
+            "the oldest entries were evicted"
+        );
+        assert_eq!(
+            cache.lookup(&BitGenome::from_words(&[EVAL_CACHE_CAP as u64 + 99], 64)),
+            Some(EVAL_CACHE_CAP as f64 + 99.0),
+            "the newest entries survive"
+        );
+    }
+
+    #[test]
+    fn checkpoints_without_cache_size_default_to_zero() {
+        // Checkpoints written before the cache was bounded have no
+        // `cache_size` field in their `eval_stats`; they must still load.
+        let mut config = GaConfig::paper_defaults();
+        config.population_size = 6;
+        config.max_generations = 2;
+        let mut session =
+            SearchSession::start(config, 5, |rng: &mut StdRng| BitGenome::random(rng, 32));
+        let mut replicas = vec![CountingPopcount::new()];
+        session.step(&mut replicas);
+        let json = session.checkpoint().to_json().unwrap();
+        assert!(json.contains("\"cache_size\""));
+        let needle = "\"cache_size\":";
+        let at = json.find(needle).unwrap();
+        let rest = &json[at + needle.len()..];
+        let end = rest.find(',').unwrap();
+        let legacy = format!("{}{}", &json[..at], &rest[end + 1..]);
+        let state = EngineState::<BitGenome>::from_json(&legacy).unwrap();
+        assert_eq!(state.eval_stats.cache_size, 0);
+        // And the rest of the state still resumes.
+        let mut resumed = SearchSession::resume(state);
+        while !resumed.done() {
+            resumed.step(&mut replicas);
+        }
     }
 
     #[test]

@@ -104,6 +104,17 @@ pub trait Fitness<G: Genome> {
     fn try_evaluate(&mut self, genome: &G) -> Result<f64, EvalFault> {
         Ok(self.evaluate(genome))
     }
+
+    /// Scores a whole generation at once — the entry point the serial
+    /// engine path feeds each population through. The default evaluates
+    /// candidates one at a time in population order; substrates with
+    /// generation-level batching (shared compilation, repeat-chromosome
+    /// dedup, grouped plan preparation) override it. Overrides must be
+    /// observationally identical to the per-candidate loop: slot `i` of
+    /// the result is exactly `evaluate(&population[i])`.
+    fn evaluate_generation(&mut self, population: &[G]) -> Vec<f64> {
+        population.iter().map(|g| self.evaluate(g)).collect()
+    }
 }
 
 /// A fitness that can be replicated across evaluation workers.

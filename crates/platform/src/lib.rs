@@ -34,7 +34,7 @@
 //!     session.write_u64(buf + i * 8, 0x3333_3333_3333_3333)?;
 //! }
 //! let run = session.finish();
-//! let outcome = server.evaluate_run(&run, 7);
+//! let outcome = server.evaluate_run(&run, 7).expect("run bound to fresh contents");
 //! println!("CEs observed: {}", outcome.totals.ce);
 //! # Ok::<(), dstress_platform::session::SessionError>(())
 //! ```

@@ -7,10 +7,13 @@ use crate::replay::ReplayProfile;
 use crate::session::{RecordedRun, Session};
 use crate::thermal::{SettleReport, ThermalError, ThermalTestbed};
 use dstress_dram::geometry::RowKey;
-use dstress_dram::{AddressMap, Dimm, OperatingEnv, RunPlan, WordEvent};
+use dstress_dram::{
+    ActivationCounts, AddressMap, Dimm, OperatingEnv, PlanError, RunPlan, WordEvent, MAX_LANES,
+};
 use dstress_ecc::{classify_flips, CounterSnapshot, EccCounters, EventKind};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Number of memory controller units on the X-Gene 2 (paper Fig. 5).
 pub const MCUS: usize = 4;
@@ -20,13 +23,152 @@ pub const MCBS: usize = 2;
 /// Ranks per DIMM.
 pub const RANKS: usize = 2;
 
-/// One memory controller unit: its DIMM, refresh period and allocation
-/// cursor.
+/// Bounded retention of the per-MCU plan cache (entries are FIFO-evicted;
+/// a generation needs one entry per distinct (contents, operating point,
+/// activation profile) it evaluates, which is 1 for the idle MCUs and 1
+/// per candidate — evicted next round — for the target MCU).
+const PLAN_CACHE_CAP: usize = 8;
+
+/// Bounded retention of the replay-profile cache. Candidates of one
+/// population whose templates record value-independent traces (all the
+/// data-pattern viruses) share one entry.
+const PROFILE_CACHE_CAP: usize = 4;
+
+/// An operating point as exact bit patterns — the plan-cache key must use
+/// bitwise equality, not approximate float comparison, because the plan is
+/// a pure function of the exact operating-point floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EnvKey {
+    temp: u64,
+    vdd: u64,
+    trefp: u64,
+}
+
+impl EnvKey {
+    fn of(env: &OperatingEnv) -> EnvKey {
+        EnvKey {
+            temp: env.temp_c.to_bits(),
+            vdd: env.vdd_v.to_bits(),
+            trefp: env.trefp_s.to_bits(),
+        }
+    }
+}
+
+/// A [`RunPlan`] bundled with the pre-classified summary of its static
+/// events, shared (via `Arc`) between the plan cache and every
+/// [`PreparedRun`] that hit it.
+#[derive(Debug)]
+struct McuPlan {
+    plan: RunPlan,
+    statics: StaticSummary,
+}
+
+/// One plan-cache entry: the full (contents, operating point, disturbance)
+/// key — contents identified by the DIMM's monotonically increasing
+/// generation counter, the disturbance by the activation profile it derives
+/// from — plus the prepared plan. The stored `acts` are compared for exact
+/// equality on lookup, so a hit is collision-free by construction.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    generation: u64,
+    env: EnvKey,
+    acts: ActivationCounts,
+    prepared: Arc<McuPlan>,
+}
+
+/// One replay-profile cache entry: the profile depends on the recorded
+/// trace and the per-MCU refresh periods (and on fixed per-server config),
+/// so both are stored and verified for exact equality on lookup.
+#[derive(Debug, Clone)]
+struct CachedProfile {
+    trefps: [u64; MCUS],
+    trace: RecordedRun,
+    profile: Arc<ReplayProfile>,
+}
+
+/// The per-window ECC contribution of a plan's static events, computed
+/// once per plan. Static events are byte-identical every window of every
+/// run, so instead of re-classifying them per (run, window) the batched
+/// evaluation path applies this summary scaled by the number of completed
+/// windows — integer sums, so the result is bit-identical to the
+/// event-at-a-time accounting of [`record_events`].
+#[derive(Debug, Default)]
+struct StaticSummary {
+    /// Per-rank counter delta of one window's static events.
+    per_rank: [CounterSnapshot; RANKS],
+    /// Per-row (CE, UE) tallies of one window's static events.
+    rows: Vec<(RowKey, u64, u64)>,
+    /// Whether the static events include an uncorrectable error (which
+    /// then fires in every window).
+    saw_ue: bool,
+}
+
+impl StaticSummary {
+    fn build(statics: &[WordEvent]) -> StaticSummary {
+        let mut summary = StaticSummary::default();
+        let mut rows: HashMap<RowKey, (u64, u64)> = HashMap::new();
+        for event in statics {
+            let kind = classify_flips(event.written, event.flip_mask, 0);
+            summary.per_rank[event.loc.rank as usize].count(kind);
+            if kind.is_visible() {
+                let entry = rows.entry(event.loc.row_key()).or_insert((0, 0));
+                match kind {
+                    EventKind::Ce => entry.0 += 1,
+                    EventKind::Ue => entry.1 += 1,
+                    _ => {}
+                }
+            }
+            if kind == EventKind::Ue {
+                summary.saw_ue = true;
+            }
+        }
+        summary.rows = rows.into_iter().map(|(r, (ce, ue))| (r, ce, ue)).collect();
+        // Deterministic order (the tallies are sums either way, but a
+        // stable order keeps Debug output and iteration reproducible).
+        summary.rows.sort_unstable_by_key(|&(r, _, _)| r);
+        summary
+    }
+}
+
+/// Multiplies every field of a per-window counter delta by a window count.
+fn scale_snapshot(s: &CounterSnapshot, windows: u64) -> CounterSnapshot {
+    CounterSnapshot {
+        ce: s.ce * windows,
+        ue: s.ue * windows,
+        sdc_miscorrected: s.sdc_miscorrected * windows,
+        sdc_undetected: s.sdc_undetected * windows,
+        clean: s.clean * windows,
+    }
+}
+
+/// Records a whole counter delta into the persistent EDAC tallies (the
+/// bulk equivalent of per-event [`EccCounters::record`] calls).
+fn record_snapshot(counters: &EccCounters, snap: &CounterSnapshot) {
+    for (kind, count) in [
+        (EventKind::Ce, snap.ce),
+        (EventKind::Ue, snap.ue),
+        (EventKind::SdcMiscorrected, snap.sdc_miscorrected),
+        (EventKind::SdcUndetected, snap.sdc_undetected),
+        (EventKind::None, snap.clean),
+    ] {
+        if count > 0 {
+            counters.record_many(kind, count);
+        }
+    }
+}
+
+/// One memory controller unit: its DIMM, refresh period, allocation
+/// cursor and prepared-plan cache.
 #[derive(Debug, Clone)]
 struct Mcu {
     dimm: Dimm,
     trefp_s: f64,
     alloc_cursor: u64,
+    /// FIFO cache of prepared run plans, keyed by (contents generation,
+    /// operating point, activation profile). Entries for superseded
+    /// generations simply stop matching and age out; the generation
+    /// counter never repeats, so a hit cannot alias different contents.
+    plan_cache: VecDeque<CachedPlan>,
 }
 
 /// One memory controller bridge: the VDD rail for two MCUs.
@@ -73,7 +215,7 @@ pub struct RowErrors {
 /// run.
 #[derive(Debug, Clone)]
 pub struct PreparedRun {
-    plans: Vec<RunPlan>,
+    plans: Vec<Arc<McuPlan>>,
 }
 
 /// The observable outcome of evaluating one virus run.
@@ -112,6 +254,8 @@ pub struct XGene2Server {
     row_errors_scratch: HashMap<(usize, RowKey), (u64, u64)>,
     /// Scratch event buffer reused across windows (cleared before use).
     events_scratch: Vec<WordEvent>,
+    /// FIFO cache of replay profiles keyed by (trace, refresh periods).
+    profile_cache: VecDeque<CachedProfile>,
 }
 
 impl XGene2Server {
@@ -124,6 +268,7 @@ impl XGene2Server {
                 dimm: Dimm::new(config.dimm_config_for(i), config.dimm_seeds[i]),
                 trefp_s: dstress_dram::env::NOMINAL_TREFP_S,
                 alloc_cursor: 0,
+                plan_cache: VecDeque::new(),
             })
             .collect();
         let counters = (0..MCUS)
@@ -139,6 +284,7 @@ impl XGene2Server {
             counters,
             row_errors_scratch: HashMap::new(),
             events_scratch: Vec::new(),
+            profile_cache: VecDeque::new(),
         }
     }
 
@@ -294,6 +440,17 @@ impl XGene2Server {
         self.mcus[mcu].dimm.write_word(loc, value);
     }
 
+    /// Loads consecutive words starting at a DIMM-local address; the span
+    /// must not cross a row boundary (callers chunk per row — consecutive
+    /// in-row addresses map to consecutive columns).
+    pub(crate) fn read_local_span(&self, mcu: usize, local_addr: u64, out: &mut [u64]) {
+        let map = self.mcus[mcu].dimm.address_map();
+        let loc = map
+            .map(local_addr & !7)
+            .expect("session addresses are within capacity");
+        self.mcus[mcu].dimm.read_words(loc, out);
+    }
+
     /// Stores consecutive words starting at a DIMM-local address; the span
     /// must not cross a row boundary (callers chunk per row — consecutive
     /// in-row addresses map to consecutive columns).
@@ -341,40 +498,169 @@ impl XGene2Server {
     ///
     /// Internally this builds a [`PreparedRun`] and evaluates it; results
     /// are bit-identical to [`Self::evaluate_run_reference`].
-    pub fn evaluate_run(&mut self, run: &RecordedRun, nonce: u64) -> RunOutcome {
-        let prepared = self.prepare_run(run);
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] on a plan-layer programming error (see
+    /// [`Self::evaluate_prepared`]).
+    pub fn evaluate_run(&mut self, run: &RecordedRun, nonce: u64) -> Result<RunOutcome, PlanError> {
+        let prepared = self.prepare_run(run)?;
         self.evaluate_prepared(&prepared, nonce)
     }
 
     /// Evaluates `runs` repeat runs of the same virus, building the replay
     /// profile and run plans once (the paper's 10-run averaging workflow,
-    /// §V-A.1).
+    /// §V-A.1). The runs are evaluated through the batched lane kernel —
+    /// all of them advance window by window together — which is
+    /// bit-identical to evaluating them one at a time
+    /// ([`Self::evaluate_runs_sequential`], the retained oracle).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] on a plan-layer programming error.
     pub fn evaluate_runs(
         &mut self,
         run: &RecordedRun,
         runs: u32,
         base_nonce: u64,
-    ) -> Vec<RunOutcome> {
-        let prepared = self.prepare_run(run);
+    ) -> Result<Vec<RunOutcome>, PlanError> {
+        let prepared = self.prepare_run(run)?;
+        self.evaluate_prepared_runs(&prepared, runs, base_nonce)
+    }
+
+    /// Per-run oracle for [`Self::evaluate_runs`]: the same prepared plans
+    /// evaluated one run at a time through [`Self::evaluate_prepared`].
+    /// The differential suite pins the batched path against this.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError`] on a plan-layer programming error.
+    pub fn evaluate_runs_sequential(
+        &mut self,
+        run: &RecordedRun,
+        runs: u32,
+        base_nonce: u64,
+    ) -> Result<Vec<RunOutcome>, PlanError> {
+        let prepared = self.prepare_run(run)?;
         (0..runs as u64)
             .map(|r| self.evaluate_prepared(&prepared, base_nonce.wrapping_add(r)))
             .collect()
     }
 
     /// Builds the per-MCU [`RunPlan`]s for a recorded run under the current
-    /// contents and operating points. Evaluate with
-    /// [`Self::evaluate_prepared`]; rebuild after any write or knob change.
-    pub fn prepare_run(&mut self, run: &RecordedRun) -> PreparedRun {
+    /// contents and operating points, serving repeats from the per-MCU plan
+    /// cache: candidates sharing a (contents, operating point, activation
+    /// profile) key — in a GA population that is every candidate for the
+    /// idle MCUs, and repeat evaluations of one candidate for the target
+    /// MCU — pay the per-cell retention math once. A cache hit requires
+    /// exact equality of the stored activation profile, so cached and
+    /// freshly built plans are interchangeable bit for bit and outcomes
+    /// never depend on cache state.
+    ///
+    /// Evaluate with [`Self::evaluate_prepared`]; rebuild after any write
+    /// or knob change.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::IndexOverflow`] if a weak-cell population overflows the
+    /// plan index layout.
+    pub fn prepare_run(&mut self, run: &RecordedRun) -> Result<PreparedRun, PlanError> {
+        let profile = self.profile_cached(run);
+        let mut plans = Vec::with_capacity(MCUS);
+        for mcu in 0..MCUS {
+            let env = EnvKey::of(&self.operating_env(mcu));
+            let generation = self.mcus[mcu].dimm.contents_generation();
+            let acts = &profile.acts_per_window[mcu];
+            if let Some(hit) = self.mcus[mcu]
+                .plan_cache
+                .iter()
+                .find(|c| c.generation == generation && c.env == env && &c.acts == acts)
+            {
+                plans.push(Arc::clone(&hit.prepared));
+                continue;
+            }
+            let prepared = Arc::new(self.build_mcu_plan(mcu, &profile)?);
+            let cache = &mut self.mcus[mcu].plan_cache;
+            if cache.len() >= PLAN_CACHE_CAP {
+                cache.pop_front();
+            }
+            cache.push_back(CachedPlan {
+                generation,
+                env,
+                acts: acts.clone(),
+                prepared: Arc::clone(&prepared),
+            });
+            plans.push(prepared);
+        }
+        Ok(PreparedRun { plans })
+    }
+
+    /// [`Self::prepare_run`] without consulting or populating the caches —
+    /// the cold-path oracle the cache-coherence tests (and the `generation`
+    /// bench baseline) compare against.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::IndexOverflow`] if a weak-cell population overflows the
+    /// plan index layout.
+    pub fn prepare_run_uncached(&mut self, run: &RecordedRun) -> Result<PreparedRun, PlanError> {
         let profile = self.build_profile(run);
         let mut plans = Vec::with_capacity(MCUS);
         for mcu in 0..MCUS {
-            let env = self.operating_env(mcu);
-            let disturbance = self.mcus[mcu]
-                .dimm
-                .disturbance_profile(&profile.acts_per_window[mcu]);
-            plans.push(self.mcus[mcu].dimm.prepare_run(&env, &disturbance));
+            plans.push(Arc::new(self.build_mcu_plan(mcu, &profile)?));
         }
-        PreparedRun { plans }
+        Ok(PreparedRun { plans })
+    }
+
+    fn build_mcu_plan(
+        &mut self,
+        mcu: usize,
+        profile: &ReplayProfile,
+    ) -> Result<McuPlan, PlanError> {
+        let env = self.operating_env(mcu);
+        let disturbance = self.mcus[mcu]
+            .dimm
+            .disturbance_profile(&profile.acts_per_window[mcu]);
+        let plan = self.mcus[mcu].dimm.prepare_run(&env, &disturbance)?;
+        let statics = StaticSummary::build(plan.static_events());
+        Ok(McuPlan { plan, statics })
+    }
+
+    /// Drops every cached plan and replay profile. Outcomes are
+    /// cache-state independent, so this only affects wall-clock — it
+    /// exists for benchmarks and cache-coherence tests.
+    pub fn clear_eval_caches(&mut self) {
+        for mcu in &mut self.mcus {
+            mcu.plan_cache.clear();
+        }
+        self.profile_cache.clear();
+    }
+
+    /// The replay profile for a recorded run, served from the profile
+    /// cache when an entry with an identical (trace, refresh periods) key
+    /// exists. Equality of the full trace is verified on every hit, so the
+    /// cache can never alias two different traces; data-pattern viruses,
+    /// whose traces record addresses and access kinds but not values,
+    /// share one entry across a whole population.
+    fn profile_cached(&mut self, run: &RecordedRun) -> Arc<ReplayProfile> {
+        let trefps: [u64; MCUS] = std::array::from_fn(|i| self.mcus[i].trefp_s.to_bits());
+        if let Some(hit) = self
+            .profile_cache
+            .iter()
+            .find(|c| c.trefps == trefps && &c.trace == run)
+        {
+            return Arc::clone(&hit.profile);
+        }
+        let profile = Arc::new(self.build_profile(run));
+        if self.profile_cache.len() >= PROFILE_CACHE_CAP {
+            self.profile_cache.pop_front();
+        }
+        self.profile_cache.push_back(CachedProfile {
+            trefps,
+            trace: run.clone(),
+            profile: Arc::clone(&profile),
+        });
+        profile
     }
 
     /// Evaluates one run through prepared plans — the hot path behind
@@ -383,10 +669,18 @@ impl XGene2Server {
     /// one Bernoulli draw per VRT-contingent cell; nothing else is
     /// recomputed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if DIMM contents changed since [`Self::prepare_run`].
-    pub fn evaluate_prepared(&mut self, prepared: &PreparedRun, nonce: u64) -> RunOutcome {
+    /// [`PlanError::Stale`] if DIMM contents changed since
+    /// [`Self::prepare_run`] — a programming error in the calling layer,
+    /// surfaced as a typed error (not a panic) so an evaluation supervisor
+    /// classifies it as permanent instead of retrying the candidate.
+    pub fn evaluate_prepared(
+        &mut self,
+        prepared: &PreparedRun,
+        nonce: u64,
+    ) -> Result<RunOutcome, PlanError> {
+        self.ensure_prepared_fresh(prepared)?;
         let mut deltas = [[CounterSnapshot::default(); RANKS]; MCUS];
         let mut row_errors = std::mem::take(&mut self.row_errors_scratch);
         row_errors.clear();
@@ -398,15 +692,14 @@ impl XGene2Server {
             // loop is clearer than nested zips over disjoint borrows of self.
             #[allow(clippy::needless_range_loop)]
             for mcu in 0..MCUS {
-                let window_nonce = nonce
-                    .wrapping_mul(0x0100_0000_01B3)
-                    .wrapping_add(window as u64)
-                    .wrapping_add((mcu as u64) << 32);
-                self.mcus[mcu].dimm.advance_window_planned(
-                    &prepared.plans[mcu],
-                    window_nonce,
-                    &mut events,
-                );
+                self.mcus[mcu]
+                    .dimm
+                    .advance_window_planned(
+                        &prepared.plans[mcu].plan,
+                        window_nonce(nonce, window, mcu),
+                        &mut events,
+                    )
+                    .expect("plan freshness checked above; no writes happen mid-evaluation");
                 if record_events(
                     &self.counters[mcu],
                     &mut deltas[mcu],
@@ -425,7 +718,150 @@ impl XGene2Server {
         self.events_scratch = events;
         let outcome = finalize_outcome(&deltas, &mut row_errors, windows_completed, stopped_on_ue);
         self.row_errors_scratch = row_errors;
-        outcome
+        Ok(outcome)
+    }
+
+    /// Evaluates `runs` repeat runs of a prepared virus in one batched
+    /// sweep: per (window, MCU) the lane kernel
+    /// ([`RunPlan::advance_window_vrt_lanes`]) computes every live run's
+    /// VRT events in a single cell-outer pass over the plan's flat SoA,
+    /// and the static events — identical in every window — are applied
+    /// once per run via the plan's precomputed [`StaticSummary`] scaled by
+    /// the run's completed windows. All accounting is integer sums, so the
+    /// outcomes (and the persistent EDAC counters) are bit-identical to
+    /// evaluating the runs one at a time.
+    ///
+    /// A run stops after the first full window in which any MCU raised an
+    /// uncorrectable error, exactly as in [`Self::evaluate_prepared`]; its
+    /// lane then goes dead while the other runs continue.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Stale`] if DIMM contents changed since
+    /// [`Self::prepare_run`].
+    pub fn evaluate_prepared_runs(
+        &mut self,
+        prepared: &PreparedRun,
+        runs: u32,
+        base_nonce: u64,
+    ) -> Result<Vec<RunOutcome>, PlanError> {
+        self.ensure_prepared_fresh(prepared)?;
+        let mut outcomes = Vec::with_capacity(runs as usize);
+        let mut batch_start = 0u64;
+        while batch_start < runs as u64 {
+            let lanes = (runs as u64 - batch_start).min(MAX_LANES as u64) as usize;
+            let nonces: Vec<u64> = (0..lanes as u64)
+                .map(|l| base_nonce.wrapping_add(batch_start + l))
+                .collect();
+            outcomes.extend(self.evaluate_lane_batch(prepared, &nonces));
+            batch_start += lanes as u64;
+        }
+        Ok(outcomes)
+    }
+
+    /// One ≤[`MAX_LANES`]-lane batch of [`Self::evaluate_prepared_runs`]:
+    /// `nonces[l]` is lane `l`'s run nonce. Freshness must already be
+    /// checked.
+    fn evaluate_lane_batch(&mut self, prepared: &PreparedRun, nonces: &[u64]) -> Vec<RunOutcome> {
+        let lanes = nonces.len();
+        let mut deltas = vec![[[CounterSnapshot::default(); RANKS]; MCUS]; lanes];
+        let mut row_errors: Vec<HashMap<(usize, RowKey), (u64, u64)>> = vec![HashMap::new(); lanes];
+        let mut lane_events: Vec<Vec<WordEvent>> = vec![Vec::new(); lanes];
+        let mut window_nonces = vec![0u64; lanes];
+        let mut windows_completed = vec![0u32; lanes];
+        let mut stopped_on_ue = vec![false; lanes];
+        let mut live = if lanes == MAX_LANES {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        for window in 0..self.config.windows_per_run {
+            if live == 0 {
+                break;
+            }
+            let mut ue_this_window = 0u64;
+            #[allow(clippy::needless_range_loop)]
+            for mcu in 0..MCUS {
+                for (l, &nonce) in nonces.iter().enumerate() {
+                    window_nonces[l] = window_nonce(nonce, window, mcu);
+                }
+                self.mcus[mcu]
+                    .dimm
+                    .advance_window_planned_lanes(
+                        &prepared.plans[mcu].plan,
+                        &window_nonces,
+                        live,
+                        &mut lane_events,
+                    )
+                    .expect("plan freshness checked by caller; no writes happen mid-evaluation");
+                if prepared.plans[mcu].statics.saw_ue {
+                    ue_this_window |= live;
+                }
+                let mut scan = live;
+                while scan != 0 {
+                    let lane = scan.trailing_zeros() as usize;
+                    scan &= scan - 1;
+                    if record_events(
+                        &self.counters[mcu],
+                        &mut deltas[lane][mcu],
+                        &mut row_errors[lane],
+                        mcu,
+                        &lane_events[lane],
+                    ) {
+                        ue_this_window |= 1u64 << lane;
+                    }
+                }
+            }
+            let mut scan = live;
+            while scan != 0 {
+                let lane = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                windows_completed[lane] = window + 1;
+            }
+            // A UE ends a run after its full window, exactly like the
+            // per-run path's end-of-window break.
+            let stopping = live & ue_this_window;
+            let mut scan = stopping;
+            while scan != 0 {
+                let lane = scan.trailing_zeros() as usize;
+                scan &= scan - 1;
+                stopped_on_ue[lane] = true;
+            }
+            live &= !stopping;
+        }
+        // Apply each run's static-event contribution in one scaled pass:
+        // the statics fired identically in every completed window.
+        (0..lanes)
+            .map(|lane| {
+                let windows = windows_completed[lane];
+                for (mcu, lane_deltas) in deltas[lane].iter_mut().enumerate() {
+                    let statics = &prepared.plans[mcu].statics;
+                    for (rank, delta) in lane_deltas.iter_mut().enumerate() {
+                        let scaled = scale_snapshot(&statics.per_rank[rank], windows as u64);
+                        record_snapshot(&self.counters[mcu][rank], &scaled);
+                        *delta = *delta + scaled;
+                    }
+                    for &(row, ce, ue) in &statics.rows {
+                        let entry = row_errors[lane].entry((mcu, row)).or_insert((0, 0));
+                        entry.0 += ce * windows as u64;
+                        entry.1 += ue * windows as u64;
+                    }
+                }
+                finalize_outcome(
+                    &deltas[lane],
+                    &mut row_errors[lane],
+                    windows,
+                    stopped_on_ue[lane],
+                )
+            })
+            .collect()
+    }
+
+    fn ensure_prepared_fresh(&self, prepared: &PreparedRun) -> Result<(), PlanError> {
+        for (mcu, plan) in prepared.plans.iter().enumerate() {
+            self.mcus[mcu].dimm.ensure_plan_fresh(&plan.plan)?;
+        }
+        Ok(())
     }
 
     /// Reference evaluation path: re-runs the full per-cell retention loop
@@ -470,14 +906,10 @@ impl XGene2Server {
             #[allow(clippy::needless_range_loop)]
             for mcu in 0..MCUS {
                 let env = self.operating_env(mcu);
-                let window_nonce = nonce
-                    .wrapping_mul(0x0100_0000_01B3)
-                    .wrapping_add(window as u64)
-                    .wrapping_add((mcu as u64) << 32);
                 let events = self.mcus[mcu].dimm.advance_window_profiled(
                     &env,
                     &disturbances[mcu],
-                    window_nonce,
+                    window_nonce(nonce, window, mcu),
                 );
                 if record_events(
                     &self.counters[mcu],
@@ -512,6 +944,15 @@ impl XGene2Server {
             )
         }))
     }
+}
+
+/// Derives the per-(window, MCU) VRT nonce from a run nonce — the one
+/// formula every evaluation path (reference, prepared, batched) shares.
+fn window_nonce(run_nonce: u64, window: u32, mcu: usize) -> u64 {
+    run_nonce
+        .wrapping_mul(0x0100_0000_01B3)
+        .wrapping_add(window as u64)
+        .wrapping_add((mcu as u64) << 32)
 }
 
 /// Tallies one window's events for one MCU into the persistent EDAC
@@ -652,7 +1093,7 @@ mod tests {
         let mut sv = server();
         sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
-        let outcome = sv.evaluate_run(&run, 0);
+        let outcome = sv.evaluate_run(&run, 0).unwrap();
         assert_eq!(
             outcome.totals.visible(),
             0,
@@ -667,7 +1108,7 @@ mod tests {
         sv.relax_second_domain();
         sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
-        let outcome = sv.evaluate_run(&run, 0);
+        let outcome = sv.evaluate_run(&run, 0).unwrap();
         assert!(outcome.totals.ce > 0, "relaxed DIMM2 at 60C must show CEs");
         let ce_of = |mcu: usize| -> u64 {
             outcome
@@ -697,7 +1138,7 @@ mod tests {
         sv.set_dimm_temperature(2, 70.0).unwrap();
         // Fill the whole DIMM so the UE-prone pairs are covered.
         let run = fill_run(&mut sv, 2, WORST);
-        let outcome = sv.evaluate_run(&run, 0);
+        let outcome = sv.evaluate_run(&run, 0).unwrap();
         assert!(outcome.stopped_on_ue, "70C must raise a UE");
         assert!(outcome.totals.ue > 0);
         assert!(outcome.windows_completed <= sv.config().windows_per_run);
@@ -709,8 +1150,8 @@ mod tests {
         sv.relax_second_domain();
         sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
-        let a = sv.evaluate_run(&run, 0);
-        let b = sv.evaluate_run(&run, 1);
+        let a = sv.evaluate_run(&run, 0).unwrap();
+        let b = sv.evaluate_run(&run, 1).unwrap();
         let total: u64 = sv.counters().iter().map(|d| d.counts.visible()).sum();
         assert_eq!(total, a.totals.visible() + b.totals.visible());
         sv.reset_counters();
@@ -724,7 +1165,9 @@ mod tests {
         sv.relax_second_domain();
         sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
-        let counts: Vec<u64> = (0..8).map(|n| sv.evaluate_run(&run, n).totals.ce).collect();
+        let counts: Vec<u64> = (0..8)
+            .map(|n| sv.evaluate_run(&run, n).unwrap().totals.ce)
+            .collect();
         let distinct: std::collections::HashSet<_> = counts.iter().collect();
         assert!(
             distinct.len() > 1,
@@ -738,10 +1181,14 @@ mod tests {
         sv.relax_second_domain();
         sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
-        let worst: u64 = (0..4).map(|n| sv.evaluate_run(&run, n).totals.ce).sum();
+        let worst: u64 = (0..4)
+            .map(|n| sv.evaluate_run(&run, n).unwrap().totals.ce)
+            .sum();
         sv.reset_memory();
         let run = fill_run(&mut sv, 2, 0);
-        let zeros: u64 = (0..4).map(|n| sv.evaluate_run(&run, n).totals.ce).sum();
+        let zeros: u64 = (0..4)
+            .map(|n| sv.evaluate_run(&run, n).unwrap().totals.ce)
+            .sum();
         assert!(
             worst as f64 >= 1.4 * zeros.max(1) as f64,
             "worst={worst} zeros={zeros}"
@@ -755,11 +1202,88 @@ mod tests {
         sv.set_dimm_temperature(2, 62.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let mut reference_sv = sv.clone();
-        let prepared = sv.prepare_run(&run);
+        let prepared = sv.prepare_run(&run).unwrap();
         for nonce in 0..12 {
-            let fast = sv.evaluate_prepared(&prepared, nonce);
+            let fast = sv.evaluate_prepared(&prepared, nonce).unwrap();
             let slow = reference_sv.evaluate_run_reference(&run, nonce);
             assert_eq!(fast, slow, "prepared path diverged at nonce {nonce}");
+        }
+    }
+
+    #[test]
+    fn batched_runs_match_sequential_oracle() {
+        // 60C exercises the CE-only regime, 70C the stop-on-UE regime
+        // (lanes dying at different windows inside one batch).
+        for temp in [60.0, 70.0] {
+            let mut sv = server();
+            sv.relax_second_domain();
+            sv.set_dimm_temperature(2, temp).unwrap();
+            let run = fill_run(&mut sv, 2, WORST);
+            let mut oracle_sv = sv.clone();
+            let batched = sv.evaluate_runs(&run, 10, 3).unwrap();
+            let sequential = oracle_sv.evaluate_runs_sequential(&run, 10, 3).unwrap();
+            assert_eq!(batched, sequential, "batched path diverged at {temp}C");
+            assert_eq!(
+                sv.counters(),
+                oracle_sv.counters(),
+                "persistent EDAC tallies diverged at {temp}C"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_runs_chunk_beyond_one_lane_word() {
+        // More runs than MAX_LANES, so the batch splits across lane words.
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 62.0).unwrap();
+        let run = fill_run(&mut sv, 2, WORST);
+        let mut oracle_sv = sv.clone();
+        let runs = MAX_LANES as u32 + 3;
+        let batched = sv.evaluate_runs(&run, runs, 11).unwrap();
+        let sequential = oracle_sv.evaluate_runs_sequential(&run, runs, 11).unwrap();
+        assert_eq!(batched.len(), runs as usize);
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn plan_cache_state_does_not_change_results() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 60.0).unwrap();
+        let run = fill_run(&mut sv, 2, WORST);
+        let mut cold = sv.clone();
+        // Warm path: the second prepare_run hits caches the first built.
+        let _ = sv.evaluate_runs(&run, 2, 0).unwrap();
+        let warm = sv.evaluate_runs(&run, 2, 9).unwrap();
+        // Cold path: same history, then caches dropped and a forced rebuild.
+        let _ = cold.evaluate_runs(&run, 2, 0).unwrap();
+        cold.clear_eval_caches();
+        let prepared = cold.prepare_run_uncached(&run).unwrap();
+        let uncached = cold.evaluate_prepared_runs(&prepared, 2, 9).unwrap();
+        assert_eq!(
+            warm, uncached,
+            "cache hits must be bit-identical to rebuilds"
+        );
+        assert_eq!(sv.counters(), cold.counters());
+    }
+
+    #[test]
+    fn stale_prepared_run_is_a_typed_error() {
+        let mut sv = server();
+        sv.relax_second_domain();
+        sv.set_dimm_temperature(2, 60.0).unwrap();
+        let run = fill_run(&mut sv, 2, WORST);
+        let prepared = sv.prepare_run(&run).unwrap();
+        // Any write to the target DIMM invalidates its plan.
+        let _ = fill_run(&mut sv, 2, 0);
+        match sv.evaluate_prepared_runs(&prepared, 2, 0) {
+            Err(PlanError::Stale { built, current }) => assert!(current > built),
+            other => panic!("expected PlanError::Stale, got {other:?}"),
+        }
+        match sv.evaluate_prepared(&prepared, 0) {
+            Err(PlanError::Stale { .. }) => {}
+            other => panic!("expected PlanError::Stale, got {other:?}"),
         }
     }
 
@@ -772,8 +1296,8 @@ mod tests {
         sv.set_dimm_temperature(2, 60.0).unwrap();
         let run = fill_run(&mut sv, 2, WORST);
         let mut replica = sv.clone();
-        let a = sv.evaluate_run(&run, 5);
-        let b = replica.evaluate_run(&run, 5);
+        let a = sv.evaluate_run(&run, 5).unwrap();
+        let b = replica.evaluate_run(&run, 5).unwrap();
         assert_eq!(a, b, "a replica must reproduce the original's outcomes");
         // The copies are independent: resetting one leaves the other's
         // accumulated counters untouched.

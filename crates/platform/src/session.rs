@@ -60,6 +60,46 @@ pub trait MemoryBus {
         }
         Ok(())
     }
+
+    /// Stores `count` copies of one 64-bit word starting at `addr` — the
+    /// bulk path behind constant-fill loops (the VPL VM lowers a fused
+    /// store-immediate loop to one call). Semantically identical to `count`
+    /// [`Self::write_u64`] calls, including per-word trace recording.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or unaligned addresses; words before the failing
+    /// one are already stored, exactly as with the per-word loop.
+    fn fill_const(&mut self, addr: VirtAddr, value: u64, count: u64) -> Result<(), SessionError> {
+        for i in 0..count {
+            self.write_u64(addr + i * 8, value)?;
+        }
+        Ok(())
+    }
+
+    /// Loads `count` consecutive 64-bit words starting at `addr` into
+    /// `out` (cleared first) — the bulk path behind read-pressure loops
+    /// (the VPL VM lowers a fused accumulate loop to one call).
+    /// Semantically identical to `count` [`Self::read_u64`] calls,
+    /// including per-word trace recording.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped or unaligned addresses; words before the failing
+    /// one are already recorded, exactly as with the per-word loop.
+    fn read_span(
+        &mut self,
+        addr: VirtAddr,
+        count: u64,
+        out: &mut Vec<u64>,
+    ) -> Result<(), SessionError> {
+        out.clear();
+        out.reserve(count as usize);
+        for i in 0..count {
+            out.push(self.read_u64(addr + i * 8)?);
+        }
+        Ok(())
+    }
 }
 
 /// Error raised by session memory operations.
@@ -290,6 +330,23 @@ impl<'a> Session<'a> {
         });
     }
 
+    /// Bulk variant of [`Self::record`]: `n` consecutive word accesses
+    /// starting at `local_addr`, cap-checked once instead of per word.
+    /// Bit-identical trace to `n` `record` calls, including the truncation
+    /// flag when the span runs past the recording cap.
+    fn record_span(&mut self, mcu: usize, local_addr: u64, n: u64, is_write: bool) {
+        let room = self.max_trace.saturating_sub(self.trace.len());
+        let keep = (n as usize).min(room);
+        if keep < n as usize {
+            self.trace.truncated = true;
+        }
+        let meta = mcu as u8 | if is_write { META_WRITE } else { 0 };
+        self.trace
+            .addrs
+            .extend((0..keep as u64).map(|j| local_addr + j * 8));
+        self.trace.meta.extend(std::iter::repeat_n(meta, keep));
+    }
+
     /// Consumes the session, returning the recorded run.
     pub fn finish(self) -> RecordedRun {
         self.trace
@@ -360,11 +417,71 @@ impl MemoryBus for Session<'_> {
             let (mcu, local) = self.translate(chunk_addr)?;
             let row_remaining = ((row_bytes - local % row_bytes) / 8) as usize;
             let n = row_remaining.min(values.len() - done);
-            for j in 0..n as u64 {
-                self.record(mcu, local + j * 8, true);
-            }
+            self.record_span(mcu, local, n as u64, true);
             self.server
                 .write_local_span(mcu, local, &values[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Row-granular constant fill: one materialized row-sized buffer serves
+    /// every chunk, so the caller never builds a `count`-long slice. Same
+    /// chunking and trace recording as [`Self::fill`]; interleaved mode
+    /// keeps the word-at-a-time default for the same reason.
+    fn fill_const(&mut self, addr: VirtAddr, value: u64, count: u64) -> Result<(), SessionError> {
+        if self.server.interleaving() {
+            for i in 0..count {
+                self.write_u64(addr + i * 8, value)?;
+            }
+            return Ok(());
+        }
+        let row_bytes = self.server.row_bytes();
+        let row_buf = vec![value; (row_bytes / 8) as usize];
+        let mut done = 0u64;
+        while done < count {
+            let chunk_addr = addr + done * 8;
+            let (mcu, local) = self.translate(chunk_addr)?;
+            let row_remaining = (row_bytes - local % row_bytes) / 8;
+            let n = row_remaining.min(count - done);
+            self.record_span(mcu, local, n, true);
+            self.server
+                .write_local_span(mcu, local, &row_buf[..n as usize]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Row-granular bulk read: translates once per DRAM row and loads each
+    /// in-row span with a single row lookup. Same chunking and per-word
+    /// trace recording as [`Self::fill`]; interleaved mode keeps the
+    /// word-at-a-time default for the same reason.
+    fn read_span(
+        &mut self,
+        addr: VirtAddr,
+        count: u64,
+        out: &mut Vec<u64>,
+    ) -> Result<(), SessionError> {
+        if self.server.interleaving() {
+            out.clear();
+            out.reserve(count as usize);
+            for i in 0..count {
+                out.push(self.read_u64(addr + i * 8)?);
+            }
+            return Ok(());
+        }
+        out.clear();
+        out.resize(count as usize, 0);
+        let row_bytes = self.server.row_bytes();
+        let mut done = 0u64;
+        while done < count {
+            let chunk_addr = addr + done * 8;
+            let (mcu, local) = self.translate(chunk_addr)?;
+            let row_remaining = (row_bytes - local % row_bytes) / 8;
+            let n = row_remaining.min(count - done);
+            self.record_span(mcu, local, n, false);
+            self.server
+                .read_local_span(mcu, local, &mut out[done as usize..(done + n) as usize]);
             done += n;
         }
         Ok(())
@@ -543,6 +660,111 @@ mod tests {
             batched_server.dimm(2).materialized_rows(),
             word_server.dimm(2).materialized_rows()
         );
+    }
+
+    #[test]
+    fn fill_const_matches_word_at_a_time_writes() {
+        // Constant fill must be indistinguishable from a write_u64 loop of
+        // the same constant — contents and trace — across row boundaries
+        // and from a mid-row start.
+        let count = 2500u64;
+        let value = 0xCCCC_CCCC_CCCC_CCCC;
+        let mut batched_server = server();
+        let batched = {
+            let mut s = batched_server.session(2);
+            let base = s.alloc(count * 8 + 64).unwrap();
+            s.fill_const(base + 16, value, count).unwrap();
+            s.finish()
+        };
+        let mut word_server = server();
+        let looped = {
+            let mut s = word_server.session(2);
+            let base = s.alloc(count * 8 + 64).unwrap();
+            for i in 0..count {
+                s.write_u64(base + 16 + i * 8, value).unwrap();
+            }
+            s.finish()
+        };
+        assert_eq!(batched, looped, "trace must not notice the batching");
+        for i in 0..count + 4 {
+            let local = 16 + i * 8;
+            assert_eq!(
+                batched_server.read_local(2, local),
+                word_server.read_local(2, local),
+                "divergence at local address {local:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_span_matches_word_at_a_time_reads() {
+        // Bulk reads must be indistinguishable from a read_u64 loop —
+        // values and trace — across row boundaries and from a mid-row
+        // start, over mixed written and default-filled rows.
+        let count = 2500u64;
+        let mut batched_server = server();
+        let mut spanned = Vec::new();
+        let batched = {
+            let mut s = batched_server.session(2);
+            let base = s.alloc(count * 8 + 64).unwrap();
+            // Write only the first half: the tail reads default contents.
+            s.fill_const(base, 0x5A5A_5A5A_5A5A_5A5A, count / 2)
+                .unwrap();
+            s.read_span(base + 16, count, &mut spanned).unwrap();
+            s.finish()
+        };
+        let mut word_server = server();
+        let mut looped_values = Vec::new();
+        let looped = {
+            let mut s = word_server.session(2);
+            let base = s.alloc(count * 8 + 64).unwrap();
+            s.fill_const(base, 0x5A5A_5A5A_5A5A_5A5A, count / 2)
+                .unwrap();
+            for i in 0..count {
+                looped_values.push(s.read_u64(base + 16 + i * 8).unwrap());
+            }
+            s.finish()
+        };
+        assert_eq!(spanned, looped_values, "values must match per-word reads");
+        assert_eq!(batched, looped, "trace must not notice the batching");
+    }
+
+    #[test]
+    fn read_span_rejects_bad_addresses_like_read_u64() {
+        let mut server = server();
+        let mut s = server.session(0);
+        let base = s.alloc(64).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(
+            s.read_span(base + 1, 2, &mut out).unwrap_err(),
+            SessionError::Unaligned(base + 1)
+        );
+        let unmapped = 0xdead_beef_0000u64;
+        assert_eq!(
+            s.read_span(unmapped, 2, &mut out).unwrap_err(),
+            SessionError::Unmapped(unmapped)
+        );
+    }
+
+    #[test]
+    fn fill_const_rejects_bad_addresses_like_write_u64() {
+        let mut server = server();
+        let mut s = server.session(0);
+        let base = s.alloc(64).unwrap();
+        assert_eq!(
+            s.fill_const(base + 1, 7, 2).unwrap_err(),
+            SessionError::Unaligned(base + 1)
+        );
+        // Running past the allocation fails at the first unmapped row with
+        // the in-range prefix applied, like the per-word loop.
+        let row_words = server.row_bytes() / 8;
+        let mut s = server.session(0);
+        let base = s.alloc(8).unwrap(); // rounds to one row
+        assert!(matches!(
+            s.fill_const(base, 9, row_words + 1).unwrap_err(),
+            SessionError::Unmapped(_)
+        ));
+        assert_eq!(s.read_u64(base).unwrap(), 9);
     }
 
     #[test]

@@ -39,12 +39,27 @@ impl<B: MemoryBus + ?Sized> BusOps for B {}
 #[derive(Debug, Clone, Copy)]
 pub struct Vm {
     limits: ExecLimits,
+    bulk_fill: bool,
 }
 
 impl Vm {
     /// Creates a VM with the given execution limits.
     pub fn new(limits: ExecLimits) -> Self {
-        Vm { limits }
+        Vm {
+            limits,
+            bulk_fill: true,
+        }
+    }
+
+    /// Disables the fused-loop bulk fast paths (constant fill and
+    /// accumulate), forcing word-at-a-time bus accesses with per-iteration
+    /// step accounting. Results are identical either way — the fast paths
+    /// only engage when they can prove the whole loop completes within
+    /// budget with the same stats and bus trace — so this toggle exists for
+    /// differential tests and as the per-candidate baseline in benchmarks.
+    pub fn without_bulk_fill(mut self) -> Self {
+        self.bulk_fill = false;
+        self
     }
 
     /// A VM with only a step budget configured — the supervised evaluation
@@ -88,6 +103,8 @@ impl Vm {
         }
 
         let mut regs = vec![0u64; program.num_regs as usize];
+        // Scratch for the bulk accumulate fast path (reused across loops).
+        let mut span_buf: Vec<u64> = Vec::new();
         let max_steps = self.limits.max_steps;
         let ops = program.ops.as_slice();
         let mut pc = 0usize;
@@ -270,6 +287,75 @@ impl Vm {
                     let Slot::Register(mut v) = slots[f.var as usize] else {
                         continue;
                     };
+                    // Bulk fast paths for both fused shapes: when the
+                    // remaining iterations provably fit the step budget
+                    // and every address the loop would touch is in range,
+                    // the per-word stores collapse into one
+                    // `MemoryBus::fill_const` call and the per-word loads
+                    // into one `MemoryBus::read_span` call (folded here in
+                    // iteration order). The bus records the same per-word
+                    // trace, the stats advance by the same totals, and any
+                    // bus failure surfaces at the same first failing word —
+                    // otherwise these paths decline and the per-iteration
+                    // loop below runs instead.
+                    if self.bulk_fill && v < f.bound {
+                        let base = match f.body {
+                            FusedBody::StoreImm { base, .. } => base,
+                            FusedBody::Accumulate { base, .. } => base,
+                        };
+                        let n = f.bound - v;
+                        let per_iter = f.c_cond as u128 + f.c_access as u128 + f.c_back as u128;
+                        let total = n as u128 * per_iter + f.c_cond as u128;
+                        let fits_budget = stats.steps as u128 + total <= max_steps as u128;
+                        // Start address of the span, or `None` when the
+                        // loop itself would fault or wrap (bounds error
+                        // on a named array, pointer wraparound) — those
+                        // must take the per-iteration path so the error
+                        // or wrapped accesses happen exactly as unfused.
+                        let start = match slots[base as usize] {
+                            Slot::Memory { base: addr, words } if f.bound <= words => {
+                                Some(addr + v * 8)
+                            }
+                            Slot::Memory { .. } => None,
+                            Slot::Register(pointer) => (f.bound - 1)
+                                .checked_mul(8)
+                                .and_then(|off| pointer.checked_add(off))
+                                .map(|_| pointer + v * 8),
+                        };
+                        // An accumulator still holding an array handle
+                        // declines fusion entirely below; decline the bulk
+                        // path the same way.
+                        let acc_start = match f.body {
+                            FusedBody::StoreImm { .. } => Some(0),
+                            FusedBody::Accumulate { acc, .. } => match slots[acc as usize] {
+                                Slot::Register(a) => Some(a),
+                                Slot::Memory { .. } => None,
+                            },
+                        };
+                        if fits_budget {
+                            if let (Some(start), Some(acc_start)) = (start, acc_start) {
+                                match f.body {
+                                    FusedBody::StoreImm { value, .. } => {
+                                        bus.fill_const(start, value, n)?;
+                                        stats.writes += n;
+                                    }
+                                    FusedBody::Accumulate { op, acc, .. } => {
+                                        bus.read_span(start, n, &mut span_buf)?;
+                                        let mut folded = acc_start;
+                                        for &word in span_buf.iter() {
+                                            folded = alu(op, folded, word);
+                                        }
+                                        stats.reads += n;
+                                        slots[acc as usize] = Slot::Register(folded);
+                                    }
+                                }
+                                stats.steps += total as u64;
+                                slots[f.var as usize] = Slot::Register(f.bound);
+                                pc = f.exit as usize;
+                                continue;
+                            }
+                        }
+                    }
                     let mut acc_val = match f.body {
                         FusedBody::Accumulate { acc, .. } => match slots[acc as usize] {
                             Slot::Register(a) => a,
@@ -545,6 +631,64 @@ mod tests {
                     v[0] = acc;";
         for max_steps in 0..160 {
             assert_parity(global, local, body, ExecLimits { max_steps });
+        }
+    }
+
+    /// Pins the bulk-fill fast path against the strict word-at-a-time VM
+    /// (and, transitively through the parity suite, the interpreter): same
+    /// `Result`, same stats, same bus image, at every budget crossing —
+    /// including budgets where the bulk path must decline and the
+    /// per-iteration loop trips `ExecutionLimit` mid-fill.
+    #[test]
+    fn bulk_fill_matches_strict_accounting() {
+        let program = parse_program(
+            "",
+            "int i = 0;",
+            "unsigned long long p = malloc(512);\
+             for (i = 0; i < 64; i += 1) { p[i] = 0xCCCC; }\
+             unsigned long long x = p[63]; p[0] = x;",
+        )
+        .expect("parses");
+        let compiled = compile(&program).expect("compiles");
+        for max_steps in (0..400).chain([u64::MAX]) {
+            let limits = ExecLimits { max_steps };
+            let mut fast_bus = MockBus::default();
+            let fast = Vm::new(limits).run(&compiled, &mut fast_bus);
+            let mut strict_bus = MockBus::default();
+            let strict = Vm::new(limits)
+                .without_bulk_fill()
+                .run(&compiled, &mut strict_bus);
+            assert_eq!(fast, strict, "result mismatch at budget {max_steps}");
+            assert_eq!(fast_bus, strict_bus, "bus mismatch at budget {max_steps}");
+        }
+    }
+
+    /// Same sweep for the bulk accumulate path: a read-pressure loop over
+    /// filled memory must fold to the identical accumulator value, stats,
+    /// and bus trace at every budget crossing, including budgets where the
+    /// bulk path declines mid-program.
+    #[test]
+    fn bulk_accumulate_matches_strict_accounting() {
+        let program = parse_program(
+            "",
+            "int i = 0; unsigned long long acc = 7;",
+            "unsigned long long p = malloc(512);\
+             for (i = 0; i < 64; i += 1) { p[i] = 0xCCCC; }\
+             for (i = 0; i < 64; i += 1) { acc += p[i]; }\
+             p[0] = acc;",
+        )
+        .expect("parses");
+        let compiled = compile(&program).expect("compiles");
+        for max_steps in (0..700).chain([u64::MAX]) {
+            let limits = ExecLimits { max_steps };
+            let mut fast_bus = MockBus::default();
+            let fast = Vm::new(limits).run(&compiled, &mut fast_bus);
+            let mut strict_bus = MockBus::default();
+            let strict = Vm::new(limits)
+                .without_bulk_fill()
+                .run(&compiled, &mut strict_bus);
+            assert_eq!(fast, strict, "result mismatch at budget {max_steps}");
+            assert_eq!(fast_bus, strict_bus, "bus mismatch at budget {max_steps}");
         }
     }
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the generation benchmark (population-batched evaluation vs the
+# per-candidate pipeline) and records the medians plus the speedup ratio
+# to BENCH_generation.json. The vendored criterion stub prints lines of
+# the form:
+#   name: median 1.23 us mean 1.25 us (20 samples x 813 iters)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_generation.json"
+log="$(cargo bench -p dstress-bench --bench generation 2>&1)"
+echo "$log"
+
+printf '%s\n' "$log" | python3 -c "
+import json
+import re
+import sys
+
+UNITS = {\"ns\": 1.0, \"us\": 1e3, \"ms\": 1e6, \"s\": 1e9}
+medians = {}
+for line in sys.stdin:
+    m = re.match(r\"^(\S+): median ([\d.]+) (ns|us|ms|s) mean\", line.strip())
+    if m:
+        medians[m.group(1)] = float(m.group(2)) * UNITS[m.group(3)]
+
+report = {\"median_ns\": medians, \"speedup\": {}}
+ref = medians.get(\"generation/per_candidate\")
+fast = medians.get(\"generation/batched\")
+if ref and fast:
+    report[\"speedup\"][\"generation\"] = round(ref / fast, 2)
+
+with open(sys.argv[1], \"w\") as f:
+    json.dump(report, f, indent=2)
+    f.write(\"\n\")
+print(\"wrote \" + sys.argv[1] + \": speedups \" + json.dumps(report[\"speedup\"]))
+" "$out"

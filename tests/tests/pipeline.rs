@@ -88,7 +88,7 @@ fn instantiated_virus_runs_against_the_real_server() {
     assert_eq!(stats.reads as u64, scale.dimm_words());
     let run = session.finish();
     assert!(!run.truncated);
-    let outcome = server.evaluate_run(&run, 0);
+    let outcome = server.evaluate_run(&run, 0).expect("evaluate");
     assert!(outcome.totals.ce > 0, "relaxed DIMM2 at 60C must err");
 }
 

@@ -93,7 +93,7 @@ fn margin_validation_under_benign_workloads() {
         server.set_trefp(2, margin.marginal_trefp_s);
         server.set_trefp(3, margin.marginal_trefp_s);
         let run = workload.deploy(&mut server, 9).expect("deploys");
-        let outcome = server.evaluate_run(&run, 17);
+        let outcome = server.evaluate_run(&run, 17).expect("evaluate");
         let stressed: u64 = outcome
             .per_domain
             .iter()

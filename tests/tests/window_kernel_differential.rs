@@ -59,13 +59,14 @@ proptest! {
         }
         let env = OperatingEnv { temp_c, vdd_v, trefp_s };
         let disturbance = dimm.disturbance_profile(&acts);
-        let plan = dimm.prepare_run(&env, &disturbance);
+        let plan = dimm.prepare_run(&env, &disturbance).expect("prepare");
         let mut planned = Vec::new();
         for window in 0..4u64 {
             let window_nonce = nonce.wrapping_add(window);
             let reference =
                 dimm.advance_window_profiled(&env, &disturbance, window_nonce);
-            dimm.advance_window_planned(&plan, window_nonce, &mut planned);
+            dimm.advance_window_planned(&plan, window_nonce, &mut planned)
+                .expect("fresh plan");
             prop_assert_eq!(&planned, &reference);
         }
     }
@@ -85,17 +86,19 @@ proptest! {
         let env = OperatingEnv::relaxed(60.0);
         let no_acts = dimm.disturbance_profile(&ActivationCounts::new());
         dimm.write_word(Location::new(0, 0, 0, col), first);
-        let plan = dimm.prepare_run(&env, &no_acts);
+        let plan = dimm.prepare_run(&env, &no_acts).expect("prepare");
         let mut planned = Vec::new();
-        dimm.advance_window_planned(&plan, nonce, &mut planned);
+        dimm.advance_window_planned(&plan, nonce, &mut planned)
+            .expect("fresh plan");
         prop_assert_eq!(
             &planned,
             &dimm.advance_window_profiled(&env, &no_acts, nonce)
         );
         // Mutate contents, rebuild, and the equivalence must hold again.
         dimm.write_word(Location::new(0, 0, 0, col), second);
-        let replan = dimm.prepare_run(&env, &no_acts);
-        dimm.advance_window_planned(&replan, nonce, &mut planned);
+        let replan = dimm.prepare_run(&env, &no_acts).expect("prepare");
+        dimm.advance_window_planned(&replan, nonce, &mut planned)
+            .expect("fresh plan");
         prop_assert_eq!(
             &planned,
             &dimm.advance_window_profiled(&env, &no_acts, nonce)
@@ -140,11 +143,15 @@ fn evaluate_prepared_equals_evaluate_run_for_all_nonces() {
     let (mut fast, run) = stressed_server_and_run();
     let mut per_call = fast.clone();
     let mut reference = fast.clone();
-    let prepared = fast.prepare_run(&run);
+    let prepared = fast.prepare_run(&run).expect("prepare");
     let mut total_ce = 0u64;
     for nonce in 0..32u64 {
-        let outcome = fast.evaluate_prepared(&prepared, nonce);
-        assert_eq!(outcome, per_call.evaluate_run(&run, nonce), "nonce {nonce}");
+        let outcome = fast.evaluate_prepared(&prepared, nonce).expect("evaluate");
+        assert_eq!(
+            outcome,
+            per_call.evaluate_run(&run, nonce).expect("evaluate"),
+            "nonce {nonce}"
+        );
         assert_eq!(
             outcome,
             reference.evaluate_run_reference(&run, nonce),
@@ -162,10 +169,14 @@ fn evaluate_prepared_equals_evaluate_run_for_all_nonces() {
 fn evaluate_runs_equals_independent_evaluations() {
     let (mut batched, run) = stressed_server_and_run();
     let mut looped = batched.clone();
-    let outcomes = batched.evaluate_runs(&run, 10, 7);
+    let outcomes = batched.evaluate_runs(&run, 10, 7).expect("runs");
     assert_eq!(outcomes.len(), 10);
     for (r, outcome) in outcomes.iter().enumerate() {
-        assert_eq!(outcome, &looped.evaluate_run(&run, 7 + r as u64), "run {r}");
+        assert_eq!(
+            outcome,
+            &looped.evaluate_run(&run, 7 + r as u64).expect("run"),
+            "run {r}"
+        );
     }
 }
 
@@ -178,8 +189,8 @@ fn cloned_server_replays_identical_outcomes() {
     let mut replica = original.clone();
     for nonce in [0u64, 1, 99, u64::MAX] {
         assert_eq!(
-            original.evaluate_run(&run, nonce),
-            replica.evaluate_run(&run, nonce)
+            original.evaluate_run(&run, nonce).expect("evaluate"),
+            replica.evaluate_run(&run, nonce).expect("evaluate")
         );
     }
 }
