@@ -16,7 +16,8 @@ use dstress::{EnvKind, ExperimentScale};
 use dstress_platform::session::{SessionError, VirtAddr};
 use dstress_platform::{MemoryBus, XGene2Server};
 use dstress_vpl::ast::Program;
-use dstress_vpl::{compile, BoundValue, ExecLimits, Interpreter, Vm};
+use dstress_vpl::parser::parse_program;
+use dstress_vpl::{compile, compile_opt, BoundValue, ExecLimits, Interpreter, PassConfig, Vm};
 
 /// A flat, allocation-free bus: loads and stores are a bounds check and a
 /// vector index. Keeps the bus out of the measurement so the two engines'
@@ -92,6 +93,31 @@ fn word64_virus(scale: &ExperimentScale) -> Program {
     template.instantiate(&bindings).expect("instantiates")
 }
 
+/// A pass-sensitive kernel: invariant arithmetic and an induction-variable
+/// multiply in the hot loop, a short constant-trip reduction, and a store
+/// that dies every outer iteration. None of it matches the fused-loop
+/// peephole, so each optimization pass's effect is measurable in
+/// isolation (`kernel/vm-<pass>` vs the unoptimized `kernel/vm`).
+fn pass_kernel() -> Program {
+    let init = vec!["0"; 64];
+    let global = format!(
+        "volatile unsigned long long v[] = {{ {} }};",
+        init.join(", ")
+    );
+    parse_program(
+        &global,
+        "int i = 0; int j = 0; unsigned long long a = 7; \
+         unsigned long long acc = 0; unsigned long long dead = 0;",
+        "for (j = 0; j < 200; j += 1) { \
+           for (i = 0; i < 64; i += 1) { v[i] = a * 3 + 9 + i * 24; } \
+           for (i = 0; i < 4; i += 1) { acc += v[i] + i * 8; } \
+           dead = acc + j; \
+         } \
+         v[0] = acc;",
+    )
+    .expect("kernel parses")
+}
+
 fn bench(c: &mut Criterion) {
     let scale = ExperimentScale::quick();
     let program = word64_virus(&scale);
@@ -121,9 +147,66 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // Through the real recording session: translation + trace append per
-    // access on both sides, quick-scale DIMMs so the per-pass memory reset
-    // stays small.
+    // The pass-sensitive kernel: the unoptimized VM, each pass alone, and
+    // the full pipeline, all against the interpreter reference.
+    let kernel = pass_kernel();
+    let mut kbus = FlatBus::new(1024);
+    c.bench_function("kernel/interp", |b| {
+        b.iter(|| {
+            kbus.rewind();
+            let stats = Interpreter::new(limits)
+                .run(&kernel, &mut kbus)
+                .expect("runs");
+            std::hint::black_box(stats.steps)
+        })
+    });
+    let kernel_configs: [(&str, PassConfig); 6] = [
+        ("kernel/vm", PassConfig::none()),
+        (
+            "kernel/vm-licm",
+            PassConfig {
+                licm: true,
+                ..PassConfig::none()
+            },
+        ),
+        (
+            "kernel/vm-strength",
+            PassConfig {
+                strength: true,
+                ..PassConfig::none()
+            },
+        ),
+        (
+            "kernel/vm-unroll",
+            PassConfig {
+                unroll: true,
+                ..PassConfig::none()
+            },
+        ),
+        (
+            "kernel/vm-dse",
+            PassConfig {
+                dse: true,
+                ..PassConfig::none()
+            },
+        ),
+        ("kernel/vm-full", PassConfig::all()),
+    ];
+    for (name, config) in kernel_configs {
+        let opt = compile_opt(&kernel, &config).expect("compiles");
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                kbus.rewind();
+                let stats = Vm::new(limits).run(&opt, &mut kbus).expect("runs");
+                std::hint::black_box(stats.steps)
+            })
+        });
+    }
+
+    // Through the real recording session: translation + span-batched trace
+    // recording per access on both sides, quick-scale DIMMs so the
+    // per-pass memory reset stays small. `session/vm-opt` adds the full
+    // pass pipeline on top of the recording path.
     let mut server = XGene2Server::new(scale.server);
     c.bench_function("session/interp", |b| {
         b.iter(|| {
@@ -140,6 +223,15 @@ fn bench(c: &mut Criterion) {
             server.reset_memory();
             let mut session = server.session(2);
             let stats = Vm::new(limits).run(&compiled, &mut session).expect("runs");
+            std::hint::black_box((stats.steps, session.finish().len()))
+        })
+    });
+    let optimized = compile_opt(&program, &PassConfig::all()).expect("compiles");
+    c.bench_function("session/vm-opt", |b| {
+        b.iter(|| {
+            server.reset_memory();
+            let mut session = server.session(2);
+            let stats = Vm::new(limits).run(&optimized, &mut session).expect("runs");
             std::hint::black_box((stats.steps, session.finish().len()))
         })
     });

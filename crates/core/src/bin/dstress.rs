@@ -8,6 +8,7 @@
 //! dstress victims [--temp C]
 //! dstress margins [--temp C] [--ce-tolerated]
 //! dstress march
+//! dstress disasm [--pattern HEX] [--opt none|full]
 //! dstress info
 //! ```
 
@@ -17,7 +18,7 @@ use dstress::{
     Baseline, CampaignJournal, DStress, DiskStorage, EnvKind, ExperimentScale, Metric,
     SupervisionPolicy, WORST_WORD,
 };
-use dstress_vpl::BoundValue;
+use dstress_vpl::{compile_staged, BoundValue, PassConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -149,6 +150,9 @@ fn usage() -> &'static str {
        victims         Profile the error-prone rows [--temp C]\n\
        margins         Find the safe TREFP margin [--temp C] [--ce-tolerated]\n\
        march           Compare MARCH tests against the synthesized virus\n\
+       disasm          Dump the word64 virus bytecode before/after each\n\
+                       optimization pass  [--pattern HEX] [--opt none|full]\n\
+                       [--scale quick|paper]\n\
        info            Show the platform configuration\n"
 }
 
@@ -173,6 +177,10 @@ fn print_word64_campaign(campaign: &BitCampaign) {
         stats.workers,
         if stats.workers == 1 { "" } else { "s" },
         stats.eval_seconds(),
+    );
+    println!(
+        "compiles: {} programs reused from the compile cache",
+        stats.compile_hits,
     );
 }
 
@@ -215,6 +223,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "baselines" | "victims" => &["temp", "scale", "seed"],
         "margins" => &["temp", "ce-tolerated", "scale", "seed"],
         "march" => &["scale", "seed"],
+        "disasm" => &["pattern", "opt", "scale"],
         other => return Err(format!("unknown command `{other}`")),
     };
     check_flags(&args, allowed)?;
@@ -402,6 +411,34 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             println!("{}", report.render());
             Ok(())
         }
+        "disasm" => {
+            let pattern = args.u64("pattern", WORST_WORD)?;
+            let config = match args.str("opt") {
+                None | Some("full") => PassConfig::all(),
+                Some("none") => PassConfig::none(),
+                Some(other) => return Err(format!("unknown opt level `{other}` (none|full)")),
+            };
+            let env = EnvKind::Word64;
+            let template = dstress::templates::process(env.template_source(), &scale)
+                .map_err(|e| e.to_string())?;
+            let mut bindings = env.bindings(&scale).map_err(|e| e.to_string())?;
+            bindings.insert("PATTERN".into(), BoundValue::Scalar(pattern));
+            let program = template.instantiate(&bindings).map_err(|e| e.to_string())?;
+            let (_, stages) = compile_staged(&program, &config).map_err(|e| e.to_string())?;
+            println!(
+                "word64 virus, pattern {pattern:#018x}, passes: {}",
+                if config.any() {
+                    config.enabled().join(", ")
+                } else {
+                    "(none)".to_string()
+                }
+            );
+            for (name, listing) in &stages {
+                println!("\n==== after {name} ====");
+                print!("{listing}");
+            }
+            Ok(())
+        }
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -462,6 +499,17 @@ mod tests {
             supervision_from(&args).unwrap(),
             SupervisionPolicy::default()
         );
+    }
+
+    #[test]
+    fn disasm_rejects_bad_opt_levels_and_unknown_flags() {
+        let err = run(strings(&["disasm", "--opt", "aggressive"])).unwrap_err();
+        assert!(err.contains("unknown opt level"), "{err}");
+        let err = run(strings(&["disasm", "--temp", "60"])).unwrap_err();
+        assert!(err.contains("unknown flag --temp"), "{err}");
+        // The happy path runs end to end on the quick scale.
+        run(strings(&["disasm", "--scale", "quick", "--opt", "none"])).unwrap();
+        run(strings(&["disasm", "--scale", "quick"])).unwrap();
     }
 
     #[test]

@@ -541,11 +541,12 @@ impl DStress {
             evaluator,
             codec: codec.clone(),
         };
-        let result = engine.run_parallel(
+        let mut result = engine.run_parallel(
             self.workers,
             |rng| seeding.initial_genome(rng, bits),
             &mut fitness,
         );
+        result.eval_stats.compile_hits = fitness.evaluator.compile_hits;
         let failed = fitness.evaluator.failed_evaluations;
         self.record_bit_leaderboard(name, &result);
         Ok(BitCampaign {
@@ -580,11 +581,12 @@ impl DStress {
         engine.set_supervision(self.supervision);
         engine.set_hazards(self.hazards.clone());
         let mut fitness = ParallelIntFitness { evaluator, codec };
-        let result = engine.run_parallel(
+        let mut result = engine.run_parallel(
             self.workers,
             |rng| IntGenome::random(rng, genes, lo, hi),
             &mut fitness,
         );
+        result.eval_stats.compile_hits = fitness.evaluator.compile_hits;
         for (genome, fit) in &result.leaderboard {
             self.db.record(VirusRecord {
                 campaign: name.to_string(),
@@ -724,11 +726,15 @@ impl DStress {
             self.hazards.clone(),
         )?;
         let failed = fitness.evaluator.failed_evaluations;
-        Ok(result.map(|result| BitCampaign {
-            name,
-            result,
-            env,
-            failed_evaluations: failed,
+        let compile_hits = fitness.evaluator.compile_hits;
+        Ok(result.map(|mut result| {
+            result.eval_stats.compile_hits = compile_hits;
+            BitCampaign {
+                name,
+                result,
+                env,
+                failed_evaluations: failed,
+            }
         }))
     }
 

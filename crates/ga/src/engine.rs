@@ -147,6 +147,14 @@ pub struct EvalStats {
     /// written before the cache was bounded, defaulting to zero.
     #[serde(default)]
     pub cache_size: usize,
+    /// Substrate evaluations whose virus program was served from the
+    /// evaluator's bounded compile cache instead of being re-instantiated
+    /// and re-compiled. The engine itself never compiles anything — the
+    /// campaign driver stitches this in from its evaluator after the
+    /// search — so checkpoints written mid-search carry zero. Absent in
+    /// checkpoints from before the compile cache existed.
+    #[serde(default)]
+    pub compile_hits: u64,
     /// Wall-clock seconds spent evaluating each scored round; index 0 is
     /// the initial population, subsequent entries are generations.
     pub generation_eval_seconds: Vec<f64>,

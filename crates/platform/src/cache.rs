@@ -92,6 +92,34 @@ impl Cache {
         false
     }
 
+    /// Records `n` further accesses to `addr`'s line, which must be
+    /// resident (call directly after [`Self::access`] on the same line).
+    /// State and statistics end up exactly as after `n` sequential
+    /// [`Self::access`] calls that all hit: `n` hits, `n` ticks, and the
+    /// line's LRU stamp at the final tick — without `n` set scans. This is
+    /// the bulk path behind span replay
+    /// ([`crate::replay::ReplayProfile::build`]): words 2…k of a cache
+    /// line touched by a contiguous span are guaranteed hits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the line is not resident.
+    pub fn access_repeat(&mut self, addr: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let line = addr / self.line_bytes;
+        let set_idx = (line % self.set_count) as usize;
+        let tag = line / self.set_count;
+        self.tick += n;
+        self.hits += n;
+        let entry = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.tag == tag)
+            .expect("access_repeat requires a resident line");
+        entry.last_used = self.tick;
+    }
+
     /// Hits observed so far.
     pub fn hits(&self) -> u64 {
         self.hits

@@ -105,24 +105,49 @@ impl ReplayProfile {
         // row-buffer models still see every operation in program order so
         // the loads meet warm state, but only loads count toward the
         // periodic activation profile.
+        //
+        // The trace arrives as contiguous spans, consumed one cache-line
+        // segment at a time. Within a segment, words after the first are
+        // guaranteed hits (the first access made the line resident), so
+        // they go through the bulk [`Cache::access_repeat`] path; and all
+        // words share one DRAM row (rows are line-aligned), so at most one
+        // activation decision is needed per segment. The resulting profile
+        // is bit-identical to the per-word walk this replaces.
+        let line_bytes = access.line_bytes as u64;
         let mut read_ops = 0u64;
-        for op in run.iter() {
-            let mcu = op.mcu as usize;
-            if !op.is_write {
-                read_ops += 1;
-            }
-            // Tag the address with the MCU so lines from different DIMMs
-            // never alias in the shared cache model.
-            let tagged = op.local_addr | ((op.mcu as u64) << 56);
-            let hit = cache.access(tagged) && access.model_cache;
-            if hit || op.is_write {
-                continue;
-            }
-            dram_accesses[mcu] += 1;
-            let word_addr = op.local_addr & !7;
-            if let Ok(loc) = maps[mcu].map(word_addr) {
-                if open_rows.activate(mcu, loc.rank, loc.bank, loc.row) {
-                    acts[mcu].add(loc.row_key(), 1);
+        for span in run.spans() {
+            let mcu = span.mcu as usize;
+            let mut off = 0u64;
+            let row_bytes = maps[mcu].geometry().row_bytes as u64;
+            while off < span.words {
+                let word_addr = span.local_addr + off * 8;
+                // Words of this span inside word_addr's cache line, capped
+                // at the DRAM row boundary so the one-activation-per-
+                // segment argument below holds even when a line is
+                // configured larger than a row.
+                let line_end = (word_addr / line_bytes + 1) * line_bytes;
+                let row_end = (word_addr / row_bytes + 1) * row_bytes;
+                let k = ((line_end.min(row_end) - word_addr).div_ceil(8)).min(span.words - off);
+                off += k;
+                if !span.is_write {
+                    read_ops += k;
+                }
+                // Tag the address with the MCU so lines from different
+                // DIMMs never alias in the shared cache model.
+                let tagged = word_addr | ((span.mcu as u64) << 56);
+                let first_hit = cache.access(tagged);
+                cache.access_repeat(tagged, k - 1);
+                if span.is_write || (first_hit && access.model_cache) {
+                    continue;
+                }
+                // DRAM-reaching loads: just the first word of the segment
+                // when the cache filters (the rest hit the fresh line),
+                // every word when it does not.
+                dram_accesses[mcu] += if access.model_cache { 1 } else { k };
+                if let Ok(loc) = maps[mcu].map(word_addr & !7) {
+                    if open_rows.activate(mcu, loc.rank, loc.bank, loc.row) {
+                        acts[mcu].add(loc.row_key(), 1);
+                    }
                 }
             }
         }
@@ -194,6 +219,118 @@ mod tests {
             }
         }
         run_of(ops)
+    }
+
+    /// The original per-word replay walk, kept as the oracle for the
+    /// span-consuming production path.
+    fn build_word_at_a_time(
+        run: &RecordedRun,
+        access: &AccessModelConfig,
+        maps: &[AddressMap],
+        trefp_s: &[f64],
+    ) -> ReplayProfile {
+        let mcus = maps.len();
+        let mut acts: Vec<dstress_dram::ActivationCounts> =
+            vec![dstress_dram::ActivationCounts::new(); mcus];
+        let mut dram_accesses = vec![0u64; mcus];
+        if run.is_empty() {
+            return ReplayProfile {
+                acts_per_window: acts,
+                cache_hit_rate: 0.0,
+                dram_accesses,
+            };
+        }
+        let mut cache = Cache::new(access.cache_bytes, access.cache_ways, access.line_bytes);
+        let mut open_rows = OpenRows::new(maps);
+        let mut read_ops = 0u64;
+        for op in run.iter() {
+            let mcu = op.mcu as usize;
+            if !op.is_write {
+                read_ops += 1;
+            }
+            let tagged = op.local_addr | ((op.mcu as u64) << 56);
+            let hit = cache.access(tagged) && access.model_cache;
+            if hit || op.is_write {
+                continue;
+            }
+            dram_accesses[mcu] += 1;
+            let word_addr = op.local_addr & !7;
+            if let Ok(loc) = maps[mcu].map(word_addr) {
+                if open_rows.activate(mcu, loc.rank, loc.bank, loc.row) {
+                    acts[mcu].add(loc.row_key(), 1);
+                }
+            }
+        }
+        if read_ops == 0 {
+            return ReplayProfile {
+                acts_per_window: acts,
+                cache_hit_rate: cache.hit_rate(),
+                dram_accesses,
+            };
+        }
+        for (mcu, a) in acts.iter_mut().enumerate() {
+            let passes_per_window = access.accesses_per_s * trefp_s[mcu] / read_ops as f64;
+            a.scale_rounded(passes_per_window);
+        }
+        ReplayProfile {
+            acts_per_window: acts,
+            cache_hit_rate: cache.hit_rate(),
+            dram_accesses,
+        }
+    }
+
+    fn assert_profiles_match(run: &RecordedRun, access: &AccessModelConfig) {
+        let spanned = ReplayProfile::build(run, access, &maps(), &[2.283; 4]);
+        let word = build_word_at_a_time(run, access, &maps(), &[2.283; 4]);
+        assert_eq!(spanned.dram_accesses, word.dram_accesses);
+        assert_eq!(spanned.cache_hit_rate, word.cache_hit_rate);
+        for (a, b) in spanned.acts_per_window.iter().zip(&word.acts_per_window) {
+            assert_eq!(a.total(), b.total());
+            assert_eq!(a.distinct_rows(), b.distinct_rows());
+        }
+    }
+
+    #[test]
+    fn span_replay_matches_word_at_a_time_oracle() {
+        // Shapes that stress every segment case: long contiguous streams
+        // (many-word spans crossing lines and rows), a mixed write/read
+        // pass, mid-line starts, singleton ops, and revisits that flip
+        // segment-leading accesses between hit and miss.
+        let mut mixed = Vec::new();
+        for i in 0..3000u64 {
+            mixed.push(TraceOp {
+                mcu: 2,
+                local_addr: 16 + i * 8,
+                is_write: true,
+            });
+        }
+        for _ in 0..3 {
+            for i in 0..3000u64 {
+                mixed.push(TraceOp {
+                    mcu: 2,
+                    local_addr: 16 + i * 8,
+                    is_write: false,
+                });
+            }
+        }
+        mixed.push(TraceOp {
+            mcu: 1,
+            local_addr: 24,
+            is_write: false,
+        });
+        mixed.push(TraceOp {
+            mcu: 2,
+            local_addr: 40,
+            is_write: false,
+        });
+        let runs = [run_of(mixed), streaming_rows(64), streaming_rows(1)];
+        for run in &runs {
+            for model_cache in [true, false] {
+                let mut a = access();
+                a.model_cache = model_cache;
+                assert_profiles_match(run, &a);
+            }
+        }
     }
 
     #[test]

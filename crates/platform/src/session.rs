@@ -152,24 +152,53 @@ pub struct TraceOp {
     pub is_write: bool,
 }
 
+/// One maximal contiguous stretch of a recorded trace: `words` successive
+/// 64-bit accesses of the same kind, stride 8, on one MCU.
+///
+/// [`RecordedRun`] stores its trace as spans; consumers that care about
+/// bulk structure (the replay profile, benches) walk [`RecordedRun::spans`]
+/// directly instead of re-discovering contiguity per word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// MCU index (0–3).
+    pub mcu: u8,
+    /// DIMM-local physical byte address of the first word.
+    pub local_addr: u64,
+    /// Number of consecutive words.
+    pub words: u64,
+    /// Whether the accesses were stores.
+    pub is_write: bool,
+}
+
 /// The result of executing a virus body once: its DRAM access trace.
 ///
 /// Stores were already applied to the DIMMs; the trace is replayed
 /// analytically to model the access intensity over a full run.
 ///
-/// Stored structure-of-arrays: one `u64` address vector plus one packed
-/// metadata byte per access (MCU index and write flag), instead of a vector
-/// of padded [`TraceOp`] structs. A virus trace runs to millions of
-/// accesses, so the replay path ([`crate::replay::ReplayProfile::build`])
-/// streams 9 bytes per op instead of 24, and appending from the recording
-/// bus is two `Vec` pushes. [`RecordedRun::iter`] re-materializes
-/// [`TraceOp`]s for consumers.
+/// Stored as *spans*: virus traces are dominated by fill/reduce loops
+/// streaming stride-8 over whole arrays, so instead of one address + one
+/// metadata byte per access, each maximal contiguous stretch of same-kind
+/// accesses collapses to `(start, words, meta)`. A fused fill of 65 536
+/// words becomes a handful of row-sized span records rather than 65 536
+/// entries, the recording bus appends a span in O(1), and the replay path
+/// ([`crate::replay::ReplayProfile::build`]) consumes spans wholesale.
+///
+/// The encoding is *canonical*: [`RecordedRun::push`] greedily merges into
+/// the last span, so two runs hold identical span vectors exactly when
+/// their logical per-word traces are identical — derived `PartialEq` (and
+/// the server's replay-profile cache keyed on it) still compares logical
+/// traces. [`RecordedRun::iter`] re-materializes per-word [`TraceOp`]s for
+/// consumers that want the flat view.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RecordedRun {
-    /// DIMM-local physical byte address per access, in program order.
+    /// First DIMM-local physical byte address of each span.
     addrs: Vec<u64>,
-    /// Packed per-access metadata: bit 7 = write flag, bits 0–6 = MCU.
+    /// Words per span.
+    lens: Vec<u32>,
+    /// Packed per-span metadata: bit 7 = write flag, bits 0–6 = MCU.
     meta: Vec<u8>,
+    /// Total logical word accesses across all spans.
+    total: usize,
     /// The MCU the session allocated from.
     pub target_mcu: usize,
     /// Whether the trace hit the recording cap (the replay then uses the
@@ -185,7 +214,9 @@ impl RecordedRun {
     pub fn idle(target_mcu: usize) -> Self {
         RecordedRun {
             addrs: Vec::new(),
+            lens: Vec::new(),
             meta: Vec::new(),
+            total: 0,
             target_mcu,
             truncated: false,
         }
@@ -200,54 +231,120 @@ impl RecordedRun {
         run
     }
 
-    /// Number of recorded operations.
+    /// Number of recorded (logical, per-word) operations.
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        self.total
     }
 
     /// Whether the trace is empty.
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.total == 0
     }
 
-    /// Appends one access.
+    /// Appends one access, merging into the last span when contiguous.
     #[inline]
     pub fn push(&mut self, op: TraceOp) {
-        self.addrs.push(op.local_addr);
-        self.meta
-            .push(op.mcu | if op.is_write { META_WRITE } else { 0 });
+        let meta = op.mcu | if op.is_write { META_WRITE } else { 0 };
+        self.push_span_packed(meta, op.local_addr, 1);
     }
 
-    /// The `i`-th recorded access.
+    /// Appends `words` consecutive same-kind accesses starting at
+    /// `local_addr` in O(1) — bit-identical to `words` [`Self::push`]
+    /// calls thanks to the canonical greedy merge.
+    #[inline]
+    pub fn push_span(&mut self, mcu: u8, local_addr: u64, words: u64, is_write: bool) {
+        let meta = mcu | if is_write { META_WRITE } else { 0 };
+        self.push_span_packed(meta, local_addr, words);
+    }
+
+    fn push_span_packed(&mut self, meta: u8, local_addr: u64, words: u64) {
+        if words == 0 {
+            return;
+        }
+        self.total += words as usize;
+        let mut addr = local_addr;
+        let mut left = words;
+        // Greedy merge into the trailing span keeps the encoding canonical
+        // (a function of the logical op sequence, not of call batching).
+        if let (Some(&last_addr), Some(last_len), Some(&last_meta)) =
+            (self.addrs.last(), self.lens.last_mut(), self.meta.last())
+        {
+            if last_meta == meta && addr == last_addr.wrapping_add(*last_len as u64 * 8) {
+                let room = (u32::MAX - *last_len) as u64;
+                let take = left.min(room);
+                *last_len += take as u32;
+                addr = addr.wrapping_add(take * 8);
+                left -= take;
+            }
+        }
+        while left > 0 {
+            let take = left.min(u32::MAX as u64);
+            self.addrs.push(addr);
+            self.lens.push(take as u32);
+            self.meta.push(meta);
+            addr = addr.wrapping_add(take * 8);
+            left -= take;
+        }
+    }
+
+    /// The `i`-th recorded access. Walks the span table — meant for tests
+    /// and spot checks, not bulk consumption (use [`Self::iter`] or
+    /// [`Self::spans`] for that).
     ///
     /// # Panics
     ///
     /// Panics when `i` is out of range.
-    #[inline]
     pub fn get(&self, i: usize) -> TraceOp {
-        TraceOp {
-            mcu: self.meta[i] & !META_WRITE,
-            local_addr: self.addrs[i],
-            is_write: self.meta[i] & META_WRITE != 0,
+        assert!(
+            i < self.total,
+            "trace index {i} out of range {}",
+            self.total
+        );
+        let mut skip = i;
+        for span in self.spans() {
+            if (skip as u64) < span.words {
+                return TraceOp {
+                    mcu: span.mcu,
+                    local_addr: span.local_addr.wrapping_add(skip as u64 * 8),
+                    is_write: span.is_write,
+                };
+            }
+            skip -= span.words as usize;
         }
+        unreachable!("span lengths sum to total");
     }
 
-    /// Iterates the recorded accesses in program order.
-    pub fn iter(&self) -> impl Iterator<Item = TraceOp> + '_ {
+    /// Iterates the recorded spans in program order.
+    pub fn spans(&self) -> impl Iterator<Item = TraceSpan> + '_ {
         self.addrs
             .iter()
+            .zip(&self.lens)
             .zip(&self.meta)
-            .map(|(&local_addr, &meta)| TraceOp {
+            .map(|((&local_addr, &len), &meta)| TraceSpan {
                 mcu: meta & !META_WRITE,
                 local_addr,
+                words: len as u64,
                 is_write: meta & META_WRITE != 0,
             })
     }
 
-    /// Appends every access of `other` (workload composition).
+    /// Iterates the recorded accesses word by word, in program order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceOp> + '_ {
+        self.spans().flat_map(|span| {
+            (0..span.words).map(move |j| TraceOp {
+                mcu: span.mcu,
+                local_addr: span.local_addr.wrapping_add(j * 8),
+                is_write: span.is_write,
+            })
+        })
+    }
+
+    /// Appends every access of `other` (workload composition), merging
+    /// across the boundary when the traces are contiguous.
     pub fn append_run(&mut self, other: &RecordedRun) {
-        self.addrs.extend_from_slice(&other.addrs);
-        self.meta.extend_from_slice(&other.meta);
+        for ((&addr, &len), &meta) in other.addrs.iter().zip(&other.lens).zip(&other.meta) {
+            self.push_span_packed(meta, addr, len as u64);
+        }
     }
 }
 
@@ -340,11 +437,8 @@ impl<'a> Session<'a> {
         if keep < n as usize {
             self.trace.truncated = true;
         }
-        let meta = mcu as u8 | if is_write { META_WRITE } else { 0 };
         self.trace
-            .addrs
-            .extend((0..keep as u64).map(|j| local_addr + j * 8));
-        self.trace.meta.extend(std::iter::repeat_n(meta, keep));
+            .push_span(mcu as u8, local_addr, keep as u64, is_write);
     }
 
     /// Consumes the session, returning the recorded run.

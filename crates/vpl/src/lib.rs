@@ -78,6 +78,7 @@ pub mod error;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod passes;
 pub mod pretty;
 mod resolve;
 pub mod sema;
@@ -88,5 +89,6 @@ pub mod vm;
 pub use bytecode::{compile, CompiledProgram};
 pub use error::VplError;
 pub use interp::{ExecLimits, ExecStats, Interpreter};
+pub use passes::{compile_opt, compile_staged, disassemble, optimize, OptLevel, PassConfig};
 pub use template::{BoundValue, ParamDecl, ParamShape, ProcessedTemplate, Template};
 pub use vm::{BusOps, Vm};

@@ -1,0 +1,254 @@
+//! Dead-store elimination over register slots and virtual registers.
+//!
+//! A backward liveness fixpoint over the op-level CFG finds values that no
+//! path can observe: registers never read again, and register-slot
+//! variables never read again. Dead pure ops (`Const`, `Alu`, `DeclSlot`
+//! of a non-global slot) are deleted outright; dead *charged* ops on
+//! register slots (`StoreSlot`, `FoldSlot`, `LoadSlot`) become
+//! [`Op::Bump`]s carrying their original charge, so the step accounting is
+//! untouched (the `Bump` adds a budget check the register-slot op did not
+//! have, which is always safe — see [`crate::passes`]).
+//!
+//! What is *never* touched: anything observable. Bus ops (`LoadIndex`,
+//! `StoreIndex`, `Malloc`, memory-slot accesses), fallible ops (`DivRem`),
+//! ops on global slots (their kind is dynamic: a `DeclSlot` may shadow
+//! them, so a store could be a real DRAM write), control flow, and frozen
+//! fused-loop windows. Error exits make slots and registers unobservable,
+//! so liveness at `Halt` (and implicitly at every error edge) is empty.
+
+use super::{for_each_reg_use, frozen_mask, jump_targets, reg_def, register_slots, remap_targets};
+use crate::bytecode::{CompiledProgram, Op};
+
+/// Runs dead-store elimination to fixpoint (each deletion can kill the
+/// uses that kept other values alive).
+pub(crate) fn run(program: &mut CompiledProgram) {
+    while eliminate_round(program) {}
+}
+
+/// Per-op live-out sets, as flat bool matrices.
+struct Liveness {
+    /// `slots[i * num_slots + s]`: slot `s` live after op `i`.
+    slots: Vec<bool>,
+    num_slots: usize,
+    /// `regs[i * num_regs + r]`: register `r` live after op `i`.
+    regs: Vec<bool>,
+    num_regs: usize,
+}
+
+impl Liveness {
+    fn slot_live(&self, i: usize, s: u32) -> bool {
+        self.slots[i * self.num_slots + s as usize]
+    }
+
+    fn reg_live(&self, i: usize, r: u16) -> bool {
+        self.regs[i * self.num_regs + r as usize]
+    }
+}
+
+/// Successor indices for the liveness walk. Error exits contribute no
+/// liveness (nothing is observable after an error), so fallible ops only
+/// pass through their fall-through edge.
+fn successors(ops: &[Op], i: usize) -> [Option<usize>; 2] {
+    match &ops[i] {
+        Op::Jump { target, .. } => [Some(*target as usize), None],
+        Op::JumpIfZero { target, .. } | Op::JumpIfNonZero { target, .. } => {
+            [Some(i + 1), Some(*target as usize)]
+        }
+        Op::FusedLoop(f) => [Some(i + 1), Some(f.exit as usize)],
+        Op::Halt { .. } => [None, None],
+        _ => [Some(i + 1), None],
+    }
+}
+
+/// Computes per-op live-out sets by iterating backward to fixpoint.
+fn analyze(program: &CompiledProgram, is_register: &[bool]) -> Liveness {
+    let ops = &program.ops;
+    let num_slots = program.num_slots as usize;
+    let num_regs = program.num_regs as usize;
+    let n = ops.len();
+    let mut live = Liveness {
+        slots: vec![false; n * num_slots.max(1)],
+        num_slots: num_slots.max(1),
+        regs: vec![false; n * num_regs.max(1)],
+        num_regs: num_regs.max(1),
+    };
+    // live-in sets, recomputed from live-out on every sweep.
+    let mut in_slots = vec![false; n * live.num_slots];
+    let mut in_regs = vec![false; n * live.num_regs];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let so = i * live.num_slots;
+            let ro = i * live.num_regs;
+            // live-out = union of successors' live-in.
+            for succ in successors(ops, i).into_iter().flatten() {
+                if succ >= n {
+                    continue;
+                }
+                let sso = succ * live.num_slots;
+                let sro = succ * live.num_regs;
+                for s in 0..live.num_slots {
+                    if in_slots[sso + s] && !live.slots[so + s] {
+                        live.slots[so + s] = true;
+                        changed = true;
+                    }
+                }
+                for r in 0..live.num_regs {
+                    if in_regs[sro + r] && !live.regs[ro + r] {
+                        live.regs[ro + r] = true;
+                        changed = true;
+                    }
+                }
+            }
+            // live-in = (live-out − defs) ∪ uses.
+            let mut slots_in: Vec<bool> = live.slots[so..so + live.num_slots].to_vec();
+            let mut regs_in: Vec<bool> = live.regs[ro..ro + live.num_regs].to_vec();
+            if let Some((slot, kills)) = slot_def(&ops[i], is_register) {
+                if kills {
+                    slots_in[slot as usize] = false;
+                }
+            }
+            if let Some(d) = reg_def(&ops[i]) {
+                regs_in[d as usize] = false;
+            }
+            for s in slot_uses(&ops[i], is_register) {
+                slots_in[s as usize] = true;
+            }
+            for_each_reg_use(&ops[i], |r| regs_in[r as usize] = true);
+            for s in 0..live.num_slots {
+                if slots_in[s] != in_slots[so + s] {
+                    in_slots[so + s] = slots_in[s];
+                    changed = true;
+                }
+            }
+            for r in 0..live.num_regs {
+                if regs_in[r] != in_regs[ro + r] {
+                    in_regs[ro + r] = regs_in[r];
+                    changed = true;
+                }
+            }
+        }
+    }
+    live
+}
+
+/// The slot an op writes and whether the write *kills* the old value.
+/// Only writes to statically-register slots kill: a store to a global
+/// slot may be a DRAM write that leaves the slot value (the base address)
+/// untouched, so globals are never killed (conservative).
+fn slot_def(op: &Op, is_register: &[bool]) -> Option<(u32, bool)> {
+    match op {
+        Op::StoreSlot { slot, .. } | Op::DeclSlot { slot, .. } | Op::FoldSlot { slot, .. } => {
+            Some((*slot, is_register[*slot as usize]))
+        }
+        // FusedLoop writes var/acc but also reads them: no kill.
+        _ => None,
+    }
+}
+
+/// The slots an op reads. A `StoreSlot` to a *global* slot reads its slot
+/// too (the base address selects the bus write at run time), but a store
+/// to a statically-register slot overwrites without reading — counting it
+/// as a use would keep every preceding dead store alive.
+fn slot_uses(op: &Op, is_register: &[bool]) -> Vec<u32> {
+    match op {
+        Op::StoreSlot { slot, .. } if is_register[*slot as usize] => Vec::new(),
+        Op::LoadSlot { slot, .. } | Op::StoreSlot { slot, .. } | Op::FoldSlot { slot, .. } => {
+            vec![*slot]
+        }
+        Op::LoadIndex { base, .. } | Op::StoreIndex { base, .. } => vec![*base],
+        Op::FusedLoop(f) => {
+            let mut v = vec![f.var];
+            match f.body {
+                crate::bytecode::FusedBody::StoreImm { base, .. } => v.push(base),
+                crate::bytecode::FusedBody::Accumulate { base, acc, .. } => {
+                    v.push(base);
+                    v.push(acc);
+                }
+            }
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// One elimination round: analyze, delete/neutralize every dead op found,
+/// rebuild. Returns false when nothing was dead.
+fn eliminate_round(program: &mut CompiledProgram) -> bool {
+    let is_register = register_slots(program);
+    let frozen = frozen_mask(&program.ops);
+    let live = analyze(program, &is_register);
+    let targets = jump_targets(&program.ops);
+    #[derive(Clone, Copy, PartialEq)]
+    enum Action {
+        Keep,
+        Delete,
+        Neutralize(u32),
+    }
+    let mut actions = vec![Action::Keep; program.ops.len()];
+    let mut any = false;
+    for (i, op) in program.ops.iter().enumerate() {
+        if frozen[i] {
+            continue;
+        }
+        let action = match *op {
+            // Dead pure register work.
+            Op::Const { dst, .. } | Op::Alu { dst, .. } if !live.reg_live(i, dst) => Action::Delete,
+            // A dead re-declaration of a non-global slot.
+            Op::DeclSlot { slot, .. } if is_register[slot as usize] && !live.slot_live(i, slot) => {
+                Action::Delete
+            }
+            // Dead register-slot accesses keep their charge as a Bump.
+            Op::LoadSlot { dst, slot, charge }
+                if is_register[slot as usize] && !live.reg_live(i, dst) =>
+            {
+                Action::Neutralize(charge)
+            }
+            Op::StoreSlot { slot, charge, .. } | Op::FoldSlot { slot, charge, .. }
+                if is_register[slot as usize] && !live.slot_live(i, slot) =>
+            {
+                Action::Neutralize(charge)
+            }
+            _ => Action::Keep,
+        };
+        if action != Action::Keep {
+            any = true;
+        }
+        actions[i] = action;
+    }
+    if !any {
+        return false;
+    }
+    let old = std::mem::take(&mut program.ops);
+    let mut out = Vec::with_capacity(old.len());
+    let mut map = vec![0u32; old.len() + 1];
+    for (i, op) in old.into_iter().enumerate() {
+        map[i] = out.len() as u32;
+        match actions[i] {
+            Action::Keep => out.push(op),
+            Action::Delete => {
+                // A deleted op that is a jump target resolves to the next
+                // kept op — every path skips the dead value identically.
+                debug_assert!(
+                    !targets[i]
+                        || matches!(op, Op::Const { .. } | Op::Alu { .. } | Op::DeclSlot { .. })
+                );
+            }
+            Action::Neutralize(charge) => {
+                if charge > 0 {
+                    out.push(Op::Bump { n: charge });
+                } else if targets[i] {
+                    // Keep a landing pad so the map stays trivially right
+                    // (a charge-0 dead op that is also a join target).
+                    out.push(Op::Nop);
+                }
+            }
+        }
+    }
+    let last = map.len() - 1;
+    map[last] = out.len() as u32;
+    remap_targets(&mut out, &map);
+    program.ops = out;
+    true
+}

@@ -1,0 +1,158 @@
+//! Loop-invariant code motion.
+//!
+//! Hoists pure register work (`Const`, `Alu` over invariant operands) and
+//! register-slot loads (`LoadSlot` of a slot the loop never writes) out of
+//! loop windows into a preheader between the loop's placeholder and its
+//! condition prologue. The back edge keeps targeting the original loop
+//! top, so the preheader runs exactly once per loop entry.
+//!
+//! Observability: hoisted ops are pure register work — no bus traffic, no
+//! steps, no errors — so running them once instead of every iteration (or
+//! even when the loop is zero-trip) is invisible. A hoisted `LoadSlot`
+//! carries a step charge, which must keep accruing *inside* the loop: the
+//! hoisted copy loads at charge 0 and a [`Op::Bump`] stays at the original
+//! position. The `Bump` adds a budget check the register-slot load did not
+//! have, which is always safe (see the module docs in [`crate::passes`]).
+//!
+//! Soundness of keeping the hoisted destination register: the emitter
+//! resets its register counter at every statement boundary and never reads
+//! a register across statements, so whenever a register has exactly one
+//! definition inside the window, every in-window use of it refers to that
+//! definition. (Hoisting preserves this: a def only leaves the window when
+//! it is unique, so a stale same-register definition can never be left
+//! behind in a preheader while a second one remains inside.) A cheap
+//! use-before-def scan backs this argument as insurance.
+
+use super::{
+    find_loops, frozen_mask, reg_def, register_slots, remap_targets, writes_slot, NaturalLoop,
+};
+use crate::bytecode::{CompiledProgram, Op, Operand};
+use std::collections::BTreeSet;
+
+/// Runs LICM to fixpoint: one loop is transformed per round, and nested
+/// invariants migrate outward across rounds (an op hoisted into an inner
+/// preheader sits inside the outer window and can be hoisted again).
+pub(crate) fn run(program: &mut CompiledProgram) {
+    while hoist_one(program) {}
+}
+
+/// Finds the first loop with hoistable ops and applies the hoist.
+/// Returns false when no loop has anything left to move.
+fn hoist_one(program: &mut CompiledProgram) -> bool {
+    let frozen = frozen_mask(&program.ops);
+    let is_register = register_slots(program);
+    for lp in find_loops(&program.ops) {
+        if frozen[lp.top] {
+            continue; // a fused loop's own (frozen) window
+        }
+        let hoist = hoistable(&program.ops, lp, &frozen, &is_register);
+        if !hoist.is_empty() {
+            apply(program, lp.top, &hoist);
+            return true;
+        }
+    }
+    false
+}
+
+/// Collects the hoistable ops of one loop window, in window order.
+fn hoistable(
+    ops: &[Op],
+    lp: NaturalLoop,
+    frozen: &[bool],
+    is_register: &[bool],
+) -> BTreeSet<usize> {
+    let window = &ops[lp.top..=lp.back];
+    // How many times each register is defined in the window.
+    let mut defs = std::collections::HashMap::<u16, u32>::new();
+    for op in window {
+        if let Some(d) = reg_def(op) {
+            *defs.entry(d).or_insert(0) += 1;
+        }
+    }
+    let mut hoist = BTreeSet::new();
+    let mut hoisted_regs = BTreeSet::<u16>::new();
+    // An operand is invariant when it is an immediate, a register defined
+    // by an already-hoisted op, or a register the window never writes
+    // (its value at loop entry persists through every iteration).
+    let invariant = |o: &Operand,
+                     hoisted: &BTreeSet<u16>,
+                     defs: &std::collections::HashMap<u16, u32>| match o {
+        Operand::Imm(_) => true,
+        Operand::Reg(r) => hoisted.contains(r) || !defs.contains_key(r),
+    };
+    for (k, op) in window.iter().enumerate() {
+        let idx = lp.top + k;
+        if frozen[idx] {
+            continue;
+        }
+        let candidate = match op {
+            Op::Const { dst, .. } => Some(*dst),
+            Op::Alu { dst, lhs, rhs, .. }
+                if invariant(lhs, &hoisted_regs, &defs) && invariant(rhs, &hoisted_regs, &defs) =>
+            {
+                Some(*dst)
+            }
+            Op::LoadSlot { dst, slot, .. }
+                if is_register[*slot as usize] && !window.iter().any(|w| writes_slot(w, *slot)) =>
+            {
+                Some(*dst)
+            }
+            _ => None,
+        };
+        let Some(dst) = candidate else { continue };
+        if defs.get(&dst) != Some(&1) {
+            continue; // not the unique in-window definition
+        }
+        // Insurance: no in-window use of dst before the candidate (a use
+        // that would refer to an older, already-hoisted definition).
+        let mut used_before = false;
+        for w in &window[..k] {
+            super::for_each_reg_use(w, |r| used_before |= r == dst);
+        }
+        if used_before {
+            continue;
+        }
+        hoist.insert(idx);
+        hoisted_regs.insert(dst);
+    }
+    hoist
+}
+
+/// Rebuilds the op vector with the hoisted ops moved to a preheader
+/// directly before `top`. The back edge still targets the original top op
+/// (the index map for `top` is recorded after the preheader), so inbound
+/// jumps skip the preheader and only loop entry executes it.
+fn apply(program: &mut CompiledProgram, top: usize, hoist: &BTreeSet<usize>) {
+    let old = std::mem::take(&mut program.ops);
+    let mut out = Vec::with_capacity(old.len() + hoist.len());
+    let mut map = vec![0u32; old.len() + 1];
+    for (i, op) in old.iter().enumerate() {
+        if i == top {
+            for &h in hoist {
+                out.push(match old[h] {
+                    Op::LoadSlot { dst, slot, .. } => Op::LoadSlot {
+                        dst,
+                        slot,
+                        charge: 0,
+                    },
+                    pure => pure,
+                });
+            }
+        }
+        map[i] = out.len() as u32;
+        if hoist.contains(&i) {
+            // The charge of a hoisted load keeps accruing (and now also
+            // checking) at its original position; pure ops leave nothing.
+            if let Op::LoadSlot { charge, .. } = *op {
+                if charge > 0 {
+                    out.push(Op::Bump { n: charge });
+                }
+            }
+        } else {
+            out.push(*op);
+        }
+    }
+    map[old.len()] = out.len() as u32;
+    remap_targets(&mut out, &map);
+    program.ops = out;
+}

@@ -1,0 +1,220 @@
+//! Strength reduction.
+//!
+//! Two layers, both pure register rewrites with zero effect on charges,
+//! bus traffic, or error behaviour:
+//!
+//! 1. **Induction-variable accumulators.** Inside a loop whose counter
+//!    `var` is a register slot written exactly once per iteration by the
+//!    canonical back-edge `var += 1`, the address-arithmetic idiom
+//!    `LoadSlot var; Mul ×k` recomputes `var * k` every iteration. The
+//!    pass materializes `var * k` once in a preheader into a fresh
+//!    loop-carried register and bumps it by `k` next to the back-edge
+//!    increment; the multiply becomes a register copy. Distributivity of
+//!    wrapping arithmetic (`(v+1)·k ≡ v·k + k mod 2⁶⁴`) keeps the value
+//!    exact on every iteration.
+//! 2. **Algebraic rewrites.** Multiplies by a power-of-two immediate
+//!    become shifts, and identity operations (`x+0`, `x*1`, `x&~0`, …)
+//!    become register copies — bit-identical for every operand under the
+//!    VM's wrapping semantics.
+
+use super::{find_loops, frozen_mask, register_slots, remap_targets, writes_slot};
+use crate::bytecode::{AluOp, CompiledProgram, Op, Operand};
+
+/// Runs strength reduction: induction accumulators to fixpoint, then the
+/// algebraic peephole.
+pub(crate) fn run(program: &mut CompiledProgram) {
+    while reduce_one_induction_site(program) {}
+    algebraic(program);
+}
+
+/// Finds one `LoadSlot var; Mul ×k` site inside a canonical counted loop
+/// and rewrites it to a loop-carried accumulator. One site per round so
+/// every round sees fresh indices.
+fn reduce_one_induction_site(program: &mut CompiledProgram) -> bool {
+    let frozen = frozen_mask(&program.ops);
+    let is_register = register_slots(program);
+    for lp in find_loops(&program.ops) {
+        if frozen[lp.top] || lp.back < lp.top + 2 {
+            continue;
+        }
+        // Canonical unit-step induction variable: the only write to `var`
+        // in the window is the back-edge `var += 1`, directly before the
+        // back-edge jump (so it runs exactly once per iteration).
+        let Op::FoldSlot {
+            op: AluOp::Add,
+            slot: var,
+            src: Operand::Imm(1),
+            ..
+        } = program.ops[lp.back - 1]
+        else {
+            continue;
+        };
+        if !is_register[var as usize] {
+            continue;
+        }
+        let window = &program.ops[lp.top..=lp.back];
+        if window
+            .iter()
+            .enumerate()
+            .any(|(k, w)| lp.top + k != lp.back - 1 && writes_slot(w, var))
+        {
+            continue;
+        }
+        // A multiply of the freshly loaded counter by an immediate.
+        for i in lp.top..lp.back - 1 {
+            if frozen[i] || frozen[i + 1] {
+                continue;
+            }
+            let Op::LoadSlot {
+                dst: r_var,
+                slot: s,
+                ..
+            } = program.ops[i]
+            else {
+                continue;
+            };
+            if s != var {
+                continue;
+            }
+            let Op::Alu {
+                op: AluOp::Mul,
+                dst,
+                lhs,
+                rhs,
+            } = program.ops[i + 1]
+            else {
+                continue;
+            };
+            let k = match (lhs, rhs) {
+                (Operand::Reg(r), Operand::Imm(k)) | (Operand::Imm(k), Operand::Reg(r))
+                    if r == r_var =>
+                {
+                    k
+                }
+                _ => continue,
+            };
+            if program.num_regs > u16::MAX - 2 {
+                return false;
+            }
+            apply(program, lp.top, lp.back, i + 1, var, dst, k);
+            return true;
+        }
+    }
+    false
+}
+
+/// Rebuilds with the accumulator wired in: preheader computes
+/// `acc = var * k`, the multiply site becomes a copy of `acc`, and the
+/// increment `acc += k` rides directly after the back-edge `var += 1`.
+fn apply(
+    program: &mut CompiledProgram,
+    top: usize,
+    back: usize,
+    site: usize,
+    var: u32,
+    dst: u16,
+    k: u64,
+) {
+    let tmp = program.num_regs;
+    let acc = program.num_regs + 1;
+    program.num_regs += 2;
+    let old = std::mem::take(&mut program.ops);
+    let mut out = Vec::with_capacity(old.len() + 3);
+    let mut map = vec![0u32; old.len() + 1];
+    for (i, op) in old.iter().enumerate() {
+        if i == top {
+            // Preheader: pure register work (the counter is a register
+            // slot, so the charge-0 load neither steps nor checks), run
+            // once per loop entry — the back edge skips it via the map.
+            out.push(Op::LoadSlot {
+                dst: tmp,
+                slot: var,
+                charge: 0,
+            });
+            out.push(Op::Alu {
+                op: AluOp::Mul,
+                dst: acc,
+                lhs: Operand::Reg(tmp),
+                rhs: Operand::Imm(k),
+            });
+        }
+        if i == back {
+            // After `var += 1` (index back-1), before the back-edge jump:
+            // no jump targets this position, so every completing
+            // iteration maintains `acc == var * k`.
+            out.push(Op::Alu {
+                op: AluOp::Add,
+                dst: acc,
+                lhs: Operand::Reg(acc),
+                rhs: Operand::Imm(k),
+            });
+        }
+        map[i] = out.len() as u32;
+        if i == site {
+            out.push(Op::Alu {
+                op: AluOp::BitOr,
+                dst,
+                lhs: Operand::Reg(acc),
+                rhs: Operand::Imm(0),
+            });
+        } else {
+            out.push(*op);
+        }
+    }
+    map[old.len()] = out.len() as u32;
+    remap_targets(&mut out, &map);
+    program.ops = out;
+}
+
+/// The algebraic peephole: in-place, never inside frozen windows.
+fn algebraic(program: &mut CompiledProgram) {
+    let frozen = frozen_mask(&program.ops);
+    for (i, op) in program.ops.iter_mut().enumerate() {
+        if frozen[i] {
+            continue;
+        }
+        let Op::Alu {
+            op: alu,
+            dst,
+            lhs,
+            rhs,
+        } = *op
+        else {
+            continue;
+        };
+        let copy = |src: Operand| Op::Alu {
+            op: AluOp::BitOr,
+            dst,
+            lhs: src,
+            rhs: Operand::Imm(0),
+        };
+        let rewritten = match (alu, lhs, rhs) {
+            (AluOp::Mul, x, Operand::Imm(k)) | (AluOp::Mul, Operand::Imm(k), x) => match k {
+                0 => Some(Op::Const { dst, value: 0 }),
+                1 => Some(copy(x)),
+                _ if k.is_power_of_two() => Some(Op::Alu {
+                    op: AluOp::Shl,
+                    dst,
+                    lhs: x,
+                    rhs: Operand::Imm(k.trailing_zeros() as u64),
+                }),
+                _ => None,
+            },
+            (AluOp::Add, x, Operand::Imm(0)) | (AluOp::Add, Operand::Imm(0), x) => Some(copy(x)),
+            (
+                AluOp::Sub | AluOp::Shl | AluOp::Shr | AluOp::BitOr | AluOp::BitXor,
+                x,
+                Operand::Imm(0),
+            ) => Some(copy(x)),
+            (AluOp::BitAnd, _, Operand::Imm(0)) | (AluOp::BitAnd, Operand::Imm(0), _) => {
+                Some(Op::Const { dst, value: 0 })
+            }
+            (AluOp::BitAnd, x, Operand::Imm(u64::MAX))
+            | (AluOp::BitAnd, Operand::Imm(u64::MAX), x) => Some(copy(x)),
+            _ => None,
+        };
+        if let Some(new) = rewritten {
+            *op = new;
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Differential tests for the pass pipeline: every crafted shape is run
+//! under every single-pass configuration (and all-on / all-off) against
+//! the interpreter oracle, including a full budget sweep so every
+//! `ExecutionLimit` crossing point is pinned.
+
+use super::*;
+use crate::bytecode::AluOp;
+use crate::interp::{ExecLimits, Interpreter};
+use crate::parser::parse_program;
+use crate::vm::Vm;
+use dstress_platform::session::{MemoryBus, SessionError, VirtAddr};
+use std::collections::HashMap;
+
+/// Same flat in-memory bus as the vm unit tests.
+#[derive(Debug, Default, PartialEq)]
+struct MockBus {
+    memory: HashMap<u64, u64>,
+    cursor: u64,
+    reads: u64,
+    writes: u64,
+}
+
+impl MemoryBus for MockBus {
+    fn alloc(&mut self, bytes: u64) -> Result<VirtAddr, SessionError> {
+        if bytes == 0 {
+            return Err(SessionError::ZeroAllocation);
+        }
+        let base = self.cursor + 0x1000;
+        self.cursor = base + bytes.div_ceil(8) * 8;
+        Ok(base)
+    }
+
+    fn read_u64(&mut self, addr: VirtAddr) -> Result<u64, SessionError> {
+        if !addr.is_multiple_of(8) {
+            return Err(SessionError::Unaligned(addr));
+        }
+        self.reads += 1;
+        Ok(self.memory.get(&addr).copied().unwrap_or(0))
+    }
+
+    fn write_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), SessionError> {
+        if !addr.is_multiple_of(8) {
+            return Err(SessionError::Unaligned(addr));
+        }
+        self.writes += 1;
+        self.memory.insert(addr, value);
+        Ok(())
+    }
+}
+
+/// Every configuration the suite sweeps: off, each pass alone, all on.
+fn configs() -> [PassConfig; 6] {
+    [
+        PassConfig::none(),
+        PassConfig {
+            licm: true,
+            ..PassConfig::none()
+        },
+        PassConfig {
+            strength: true,
+            ..PassConfig::none()
+        },
+        PassConfig {
+            dse: true,
+            ..PassConfig::none()
+        },
+        PassConfig {
+            unroll: true,
+            ..PassConfig::none()
+        },
+        PassConfig::all(),
+    ]
+}
+
+/// Asserts interpreter/VM parity for one program under one limit, across
+/// every pass configuration: the `Result` (stats or error value), the bus
+/// memory image, and the bus access counters must all match.
+fn assert_config_parity(global: &str, local: &str, body: &str, limits: ExecLimits) {
+    let program = parse_program(global, local, body).expect("parses");
+    let mut ibus = MockBus::default();
+    let iresult = Interpreter::new(limits).run(&program, &mut ibus);
+    for config in configs() {
+        let mut vbus = MockBus::default();
+        let vresult =
+            compile_opt(&program, &config).and_then(|c| Vm::new(limits).run(&c, &mut vbus));
+        assert_eq!(
+            iresult, vresult,
+            "result mismatch under {config:?} (max_steps {}) for body: {body}",
+            limits.max_steps
+        );
+        assert_eq!(
+            ibus, vbus,
+            "bus mismatch under {config:?} (max_steps {}) for body: {body}",
+            limits.max_steps
+        );
+    }
+}
+
+/// Parity at the default budget plus a full sweep over tight budgets, so
+/// every `ExecutionLimit` crossing point is exercised per configuration.
+fn sweep(global: &str, local: &str, body: &str, max: u64) {
+    assert_config_parity(global, local, body, ExecLimits::default());
+    for max_steps in 0..max {
+        assert_config_parity(global, local, body, ExecLimits { max_steps });
+    }
+}
+
+#[test]
+fn licm_shape_invariant_arithmetic() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0, 0, 0 };",
+        "int i = 0; unsigned long long a = 7;",
+        "for (i = 0; i < 6; i += 1) { v[i] = a * 3 + 9; }",
+        220,
+    );
+}
+
+#[test]
+fn strength_shape_induction_multiply() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0, 0, 0, 0, 0 };",
+        "int i = 0;",
+        "for (i = 0; i < 8; i += 1) { v[i] = i * 24; }",
+        260,
+    );
+}
+
+#[test]
+fn strength_shape_power_of_two_and_identities() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0 };",
+        "int i = 0; unsigned long long x = 5;",
+        "for (i = 0; i < 4; i += 1) { v[i] = i * 8 + x * 1 + 0; } v[0] = x & 0;",
+        200,
+    );
+}
+
+#[test]
+fn dse_shape_overwritten_and_unused_locals() {
+    sweep(
+        "volatile unsigned long long v[] = { 3, 1, 4, 1, 5 };",
+        "int i = 0; unsigned long long t = 0; unsigned long long dead = 0;",
+        "for (i = 0; i < 5; i += 1) { t = v[i]; dead = t + 1; } v[0] = t;",
+        260,
+    );
+}
+
+#[test]
+fn unroll_shape_short_constant_trips() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0 };",
+        "int i = 0;",
+        "for (i = 0; i < 3; i += 1) { v[i] = i + 40; }",
+        160,
+    );
+}
+
+#[test]
+fn unroll_shape_zero_trip_and_nonzero_start() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0 };",
+        "int i = 0;",
+        "for (i = 5; i < 3; i += 1) { v[i] = 1; } \
+         for (i = 2; i < 4; i += 1) { v[i] = i; }",
+        160,
+    );
+}
+
+#[test]
+fn unroll_shape_branch_in_body() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0 };",
+        "int i = 0;",
+        "for (i = 0; i < 3; i += 1) { if (i == 1) { v[i] = 10; } else { v[i] = 20; } }",
+        200,
+    );
+}
+
+#[test]
+fn nested_loops_with_aliasing_stores() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0, 0 };",
+        "int i = 0; int j = 0;",
+        "for (i = 0; i < 3; i += 1) { \
+           for (j = 0; j < 2; j += 1) { v[i + j] += i * 2 + 1; } \
+           v[0] = v[i]; \
+         }",
+        400,
+    );
+}
+
+#[test]
+fn loop_carried_dependence_accumulator() {
+    sweep(
+        "volatile unsigned long long v[] = { 1, 2, 3, 4, 5, 6 };",
+        "int i = 0; unsigned long long acc = 0;",
+        "for (i = 0; i < 6; i += 1) { acc += v[i] + i * 4; } v[0] = acc;",
+        300,
+    );
+}
+
+#[test]
+fn fused_fill_loop_stays_exact_through_passes() {
+    // The fill shape fuses into a superinstruction whose fallback window is
+    // frozen; the passes must leave both the fast path and the fallback
+    // charges byte-exact.
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0, 0, 0, 0, 0 };",
+        "int i = 0; unsigned long long s = 0;",
+        "for (i = 0; i < 8; i += 1) { v[i] = 12297829382473034410; } \
+         for (i = 0; i < 8; i += 1) { s += v[i]; } \
+         v[0] = s;",
+        320,
+    );
+}
+
+#[test]
+fn out_of_bounds_error_is_identical_through_passes() {
+    sweep(
+        "volatile unsigned long long v[] = { 0, 0 };",
+        "int i = 0;",
+        "for (i = 0; i < 4; i += 1) { v[i] = i * 2; }",
+        120,
+    );
+}
+
+// ---- transformation-effectiveness pins --------------------------------
+
+fn compiled(global: &str, local: &str, body: &str, config: &PassConfig) -> CompiledProgram {
+    let program = parse_program(global, local, body).expect("parses");
+    compile_opt(&program, config).expect("compiles")
+}
+
+#[test]
+fn licm_actually_hoists_invariant_work() {
+    let c = compiled(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0 };",
+        "int i = 0; unsigned long long a = 7;",
+        "for (i = 0; i < 4; i += 1) { v[i] = a * 3 + 9; }",
+        &PassConfig {
+            licm: true,
+            ..PassConfig::none()
+        },
+    );
+    for lp in find_loops(&c.ops) {
+        let muls = c.ops[lp.top..=lp.back]
+            .iter()
+            .filter(|op| matches!(op, Op::Alu { op: AluOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 0, "invariant multiply left inside the loop window");
+    }
+}
+
+#[test]
+fn strength_actually_removes_induction_multiplies() {
+    let c = compiled(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0, 0, 0, 0, 0 };",
+        "int i = 0;",
+        "for (i = 0; i < 8; i += 1) { v[i] = i * 24; }",
+        &PassConfig {
+            strength: true,
+            ..PassConfig::none()
+        },
+    );
+    for lp in find_loops(&c.ops) {
+        let muls = c.ops[lp.top..=lp.back]
+            .iter()
+            .filter(|op| matches!(op, Op::Alu { op: AluOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 0, "induction multiply left inside the loop window");
+    }
+}
+
+#[test]
+fn dse_actually_drops_dead_register_stores() {
+    let c = compiled(
+        "volatile unsigned long long v[] = { 1, 2, 3, 4 };",
+        "int i = 0; unsigned long long dead = 0;",
+        "for (i = 0; i < 4; i += 1) { dead = v[i] + 1; } v[0] = 9;",
+        &PassConfig {
+            dse: true,
+            ..PassConfig::none()
+        },
+    );
+    let dead_slot = c
+        .names
+        .iter()
+        .position(|n| n == "dead")
+        .expect("slot named dead") as u32;
+    let stores = c
+        .ops
+        .iter()
+        .filter(|op| matches!(op, Op::StoreSlot { slot, .. } if *slot == dead_slot))
+        .count();
+    assert_eq!(stores, 0, "dead store survived DSE");
+}
+
+#[test]
+fn unroll_actually_removes_short_back_edges() {
+    let c = compiled(
+        "volatile unsigned long long v[] = { 0, 0, 0 };",
+        "int i = 0;",
+        "for (i = 0; i < 3; i += 1) { v[i] = i + 1; }",
+        &PassConfig {
+            unroll: true,
+            ..PassConfig::none()
+        },
+    );
+    assert!(
+        find_loops(&c.ops).is_empty(),
+        "short constant-trip loop kept its back edge"
+    );
+}
+
+#[test]
+fn none_config_is_bit_identical_to_plain_compile() {
+    let program = parse_program(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0 };",
+        "int i = 0; unsigned long long a = 7;",
+        "for (i = 0; i < 4; i += 1) { v[i] = a * 3; }",
+    )
+    .expect("parses");
+    let plain = crate::bytecode::compile(&program).expect("compiles");
+    let opt = compile_opt(&program, &PassConfig::none()).expect("compiles");
+    assert_eq!(format!("{:?}", plain.ops), format!("{:?}", opt.ops));
+}
+
+#[test]
+fn compile_staged_reports_stages_in_pipeline_order() {
+    let program = parse_program(
+        "volatile unsigned long long v[] = { 0, 0, 0, 0 };",
+        "int i = 0;",
+        "for (i = 0; i < 4; i += 1) { v[i] = i * 2; }",
+    )
+    .expect("parses");
+    let (_, stages) = compile_staged(&program, &PassConfig::all()).expect("compiles");
+    let names: Vec<&str> = stages.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        ["baseline", "licm", "strength", "unroll", "dse", "coalesce"]
+    );
+    for (name, listing) in &stages {
+        assert!(
+            listing.contains("; slots="),
+            "stage {name} listing lost its header"
+        );
+    }
+}
+
+#[test]
+fn disassembly_names_slots_and_indexes_ops() {
+    let program = parse_program(
+        "volatile unsigned long long buf[] = { 1, 2 };",
+        "int i = 0;",
+        "for (i = 0; i < 2; i += 1) { buf[i] += 1; }",
+    )
+    .expect("parses");
+    let c = crate::bytecode::compile(&program).expect("compiles");
+    let text = disassemble(&c);
+    assert!(text.contains("<buf>"), "global name missing:\n{text}");
+    assert!(text.contains("<i>"), "local name missing:\n{text}");
+    assert!(text.starts_with("; slots="), "header missing:\n{text}");
+}

@@ -1,0 +1,273 @@
+//! Unrolling of short constant-trip-count loops.
+//!
+//! Targets the canonical counted loop the emitter produces for
+//! `for (v = start; v < bound; v += 1) { ... }` when both `start` and
+//! `bound` are immediates and the counter is a register slot. The whole
+//! window — condition prologue, body, step, back edge — is replaced by
+//! `trip` straight-line copies of the body+step, each bracketed by
+//! [`Op::Bump`]s that replay the condition and back-edge charges at the
+//! exact original checkpoints:
+//!
+//! ```text
+//! per iteration:  Bump{c_load + c_branch}   // cond evaluates true
+//!                 <body + step ops, verbatim copy>
+//!                 Bump{c_back}              // back-edge jump
+//! afterwards:     Bump{c_load + c_branch}   // cond evaluates false
+//! ```
+//!
+//! The counter load carries its charge without a budget check (register
+//! slots never check) and the branch checks right after, so folding both
+//! into one checking `Bump` lands the check at the identical cumulative
+//! step count. The step `FoldSlot` rides along in every copy, so the
+//! counter still ends at `bound`, exactly as the loop left it. A
+//! zero-trip loop degenerates to the single trailing `Bump`.
+//!
+//! The init `StoreSlot`, the fusion placeholder `Nop`, and any pass
+//! preheaders between them and the loop top are left untouched; they are
+//! only scanned to learn the start value and to prove every path into the
+//! loop top passes the init.
+
+use super::{find_loops, frozen_mask, register_slots, remap_targets, writes_slot, NaturalLoop};
+use crate::bytecode::{AluOp, CompiledProgram, Op, Operand};
+
+/// Most iterations a loop may be expanded to.
+const MAX_TRIP: u64 = 4;
+/// Most body+step ops per iteration copy.
+const MAX_BODY: usize = 16;
+
+/// Runs unrolling to fixpoint. Each application deletes a back edge and
+/// introduces none, so this terminates after at most one round per loop.
+pub(crate) fn run(program: &mut CompiledProgram) {
+    while unroll_one(program) {}
+}
+
+/// A validated unroll site.
+struct Plan {
+    top: usize,
+    back: usize,
+    /// Iterations to emit (`bound - start`, possibly zero).
+    trip: u64,
+    /// Condition charge: counter load + exit branch.
+    c_cond: u32,
+    /// Back-edge jump charge.
+    c_back: u32,
+}
+
+fn unroll_one(program: &mut CompiledProgram) -> bool {
+    let frozen = frozen_mask(&program.ops);
+    let is_register = register_slots(program);
+    for lp in find_loops(&program.ops) {
+        if let Some(plan) = plan_loop(program, lp, &frozen, &is_register) {
+            apply(program, &plan);
+            return true;
+        }
+    }
+    false
+}
+
+/// Validates one loop against the canonical shape and size caps.
+fn plan_loop(
+    program: &CompiledProgram,
+    lp: NaturalLoop,
+    frozen: &[bool],
+    is_register: &[bool],
+) -> Option<Plan> {
+    let ops = &program.ops;
+    let (top, back) = (lp.top, lp.back);
+    // Window must be big enough for prologue (3 ops) + step (1) + jump.
+    if back < top + 4 || frozen[top..=back].iter().any(|&f| f) {
+        return None;
+    }
+    // Condition prologue: load counter, compare `< bound`, exit branch.
+    let Op::LoadSlot {
+        dst: r_var,
+        slot: var,
+        charge: c0,
+    } = ops[top]
+    else {
+        return None;
+    };
+    let Op::Alu {
+        op: AluOp::Lt,
+        dst: r_cond,
+        lhs: Operand::Reg(cmp_reg),
+        rhs: Operand::Imm(bound),
+    } = ops[top + 1]
+    else {
+        return None;
+    };
+    let Op::JumpIfZero {
+        cond: Operand::Reg(br_reg),
+        target: exit,
+        charge: c1,
+    } = ops[top + 2]
+    else {
+        return None;
+    };
+    if cmp_reg != r_var || br_reg != r_cond || exit as usize != back + 1 {
+        return None;
+    }
+    if !is_register[var as usize] {
+        return None;
+    }
+    // Step: the canonical `var += 1`, and the only write to `var`.
+    let Op::FoldSlot {
+        op: AluOp::Add,
+        slot: step_var,
+        src: Operand::Imm(1),
+        ..
+    } = ops[back - 1]
+    else {
+        return None;
+    };
+    if step_var != var {
+        return None;
+    }
+    let window = &ops[top..=back];
+    if window
+        .iter()
+        .enumerate()
+        .any(|(k, w)| top + k != back - 1 && writes_slot(w, var))
+    {
+        return None;
+    }
+    let Op::Jump {
+        target: bt,
+        charge: c_back,
+    } = ops[back]
+    else {
+        return None;
+    };
+    debug_assert_eq!(bt as usize, top);
+    // Walk backward over pure preheader ops to the fusion placeholder,
+    // then require the immediate-init store right before it. That chain
+    // proves `var == start` on every path reaching `top`.
+    let mut j = top;
+    loop {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        match ops[j] {
+            Op::Const { .. } | Op::Alu { .. } | Op::LoadSlot { charge: 0, .. } => {}
+            Op::Nop => break,
+            _ => return None,
+        }
+    }
+    let Some(&Op::StoreSlot {
+        slot: init_var,
+        src: Operand::Imm(start),
+        ..
+    }) = j.checked_sub(1).map(|p| &ops[p])
+    else {
+        return None;
+    };
+    if init_var != var {
+        return None;
+    }
+    // Trip count and size caps.
+    let trip = bound.saturating_sub(start);
+    let body_len = back - 1 - (top + 3);
+    if trip > MAX_TRIP || body_len + 1 > MAX_BODY {
+        return None;
+    }
+    // Body+step validation: straight-line or strictly-forward in-window
+    // control flow, and no reads of the deleted prologue registers.
+    let mut uses_prologue_reg = false;
+    for (p, op) in ops.iter().enumerate().take(back).skip(top + 3) {
+        super::for_each_reg_use(op, |r| {
+            uses_prologue_reg |= r == r_var || r == r_cond;
+        });
+        match op {
+            Op::Nop | Op::FusedLoop(_) | Op::Halt { .. } => return None,
+            Op::Jump { target, .. }
+            | Op::JumpIfZero { target, .. }
+            | Op::JumpIfNonZero { target, .. } => {
+                let t = *target as usize;
+                if t <= p || t > back - 1 {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+    }
+    if uses_prologue_reg {
+        return None;
+    }
+    // No jump from outside the window may land inside it.
+    for (q, op) in ops.iter().enumerate() {
+        if (top..=back).contains(&q) {
+            continue;
+        }
+        let t = match op {
+            Op::Jump { target, .. }
+            | Op::JumpIfZero { target, .. }
+            | Op::JumpIfNonZero { target, .. } => *target as usize,
+            Op::FusedLoop(f) => f.exit as usize,
+            _ => continue,
+        };
+        if (top..=back).contains(&t) {
+            return None;
+        }
+    }
+    let c_cond = c0.checked_add(c1)?;
+    Some(Plan {
+        top,
+        back,
+        trip,
+        c_cond,
+        c_back,
+    })
+}
+
+/// Rebuilds the op vector with the window expanded in place.
+fn apply(program: &mut CompiledProgram, plan: &Plan) {
+    let &Plan {
+        top,
+        back,
+        trip,
+        c_cond,
+        c_back,
+    } = plan;
+    let body = top + 3..back; // body + step ops
+    let old = std::mem::take(&mut program.ops);
+    let mut out = Vec::with_capacity(old.len() + trip as usize * (body.len() + 2));
+    let mut map = vec![0u32; old.len() + 1];
+    let mut repl = 0..0; // output range whose jump targets are already final
+    for (i, op) in old.iter().enumerate() {
+        map[i] = out.len() as u32;
+        if i == top {
+            let repl_start = out.len();
+            for _ in 0..trip {
+                out.push(Op::Bump { n: c_cond });
+                let copy_start = out.len();
+                for p in body.clone() {
+                    let mut copied = old[p];
+                    // In-window forward jumps shift with the copy.
+                    if let Op::Jump { target, .. }
+                    | Op::JumpIfZero { target, .. }
+                    | Op::JumpIfNonZero { target, .. } = &mut copied
+                    {
+                        *target = (copy_start + (*target as usize - body.start)) as u32;
+                    }
+                    out.push(copied);
+                }
+                out.push(Op::Bump { n: c_back });
+            }
+            // The final, failing condition evaluation.
+            out.push(Op::Bump { n: c_cond });
+            repl = repl_start..out.len();
+        }
+        if !(top..=back).contains(&i) {
+            out.push(*op);
+        }
+    }
+    map[old.len()] = out.len() as u32;
+    // The copied iteration bodies already carry final targets; everything
+    // else still holds old-coordinate targets and goes through the map.
+    let (head, rest) = out.split_at_mut(repl.start);
+    let (_, tail) = rest.split_at_mut(repl.end - repl.start);
+    remap_targets(head, &map);
+    remap_targets(tail, &map);
+    program.ops = out;
+}

@@ -57,7 +57,7 @@ impl ParamDecl {
 }
 
 /// A value bound to a placeholder at instantiation time.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BoundValue {
     /// A single value.
     Scalar(u64),

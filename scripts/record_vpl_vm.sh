@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the vpl_vm benchmark (bytecode VM vs the tree-walking interpreter on
-# the WORD64 virus) and records the medians plus the speedup ratios to
-# BENCH_vpl_vm.json. The vendored criterion stub prints lines of the form:
+# the WORD64 virus and the pass-sensitive kernel) and records the medians,
+# the speedup ratios and the per-pass deltas to BENCH_vpl_vm.json. The
+# vendored criterion stub prints lines of the form:
 #   name: median 1.23 us mean 1.25 us (20 samples x 813 iters)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,15 +23,31 @@ for line in sys.stdin:
     if m:
         medians[m.group(1)] = float(m.group(2)) * UNITS[m.group(3)]
 
-report = {\"median_ns\": medians, \"speedup\": {}}
-for scope in (\"virus\", \"session\"):
+report = {\"median_ns\": medians, \"speedup\": {}, \"pass_delta\": {}}
+for scope in (\"virus\", \"session\", \"kernel\"):
     ref = medians.get(scope + \"/interp\")
     fast = medians.get(scope + \"/vm\")
     if ref and fast:
         report[\"speedup\"][scope] = round(ref / fast, 2)
 
+# The optimized session path (full pipeline + span recording) vs interp.
+ref = medians.get(\"session/interp\")
+fast = medians.get(\"session/vm-opt\")
+if ref and fast:
+    report[\"speedup\"][\"session-opt\"] = round(ref / fast, 2)
+
+# Per-pass deltas on the kernel: unoptimized VM vs each pass alone and the
+# full pipeline (>1 means the pass made the kernel faster).
+base = medians.get(\"kernel/vm\")
+if base:
+    for p in (\"licm\", \"strength\", \"unroll\", \"dse\", \"full\"):
+        t = medians.get(\"kernel/vm-\" + p)
+        if t:
+            report[\"pass_delta\"][p] = round(base / t, 2)
+
 with open(sys.argv[1], \"w\") as f:
     json.dump(report, f, indent=2)
     f.write(\"\n\")
-print(\"wrote \" + sys.argv[1] + \": speedups \" + json.dumps(report[\"speedup\"]))
+print(\"wrote \" + sys.argv[1] + \": speedups \" + json.dumps(report[\"speedup\"])
+      + \" pass deltas \" + json.dumps(report[\"pass_delta\"]))
 " "$out"

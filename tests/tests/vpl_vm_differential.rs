@@ -9,7 +9,7 @@
 use dstress_platform::session::{SessionError, VirtAddr};
 use dstress_platform::{MemoryBus, ServerConfig, XGene2Server};
 use dstress_vpl::parser::parse_program;
-use dstress_vpl::{compile, ExecLimits, Interpreter, Vm};
+use dstress_vpl::{compile, compile_opt, ExecLimits, Interpreter, PassConfig, Vm};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -142,8 +142,19 @@ impl Gen {
         }
     }
 
+    /// A counted loop with a random (possibly nonzero) start: starts at or
+    /// past the bound produce zero-trip loops, small spans are unroll
+    /// candidates, larger ones exercise the back edge.
+    fn for_loop(&mut self, depth: u32) -> String {
+        let var = ["i", "j"][self.rng.gen_range(0usize..2)];
+        let start = self.rng.gen_range(0u64..5);
+        let bound = self.rng.gen_range(0u64..7);
+        let body = self.block(depth - 1);
+        format!("for ({var} = {start}; {var} < {bound}; {var} += 1) {{ {body} }}")
+    }
+
     fn stmt(&mut self, depth: u32) -> String {
-        match self.rng.gen_range(0u32..10) {
+        match self.rng.gen_range(0u32..14) {
             0..=3 => {
                 let lv = self.lvalue(1);
                 let op = ["=", "+=", "-=", "*=", "/="][self.rng.gen_range(0usize..5)];
@@ -165,11 +176,43 @@ impl Gen {
                     format!("if ({cond}) {{ {then} }} else {{ {els} }}")
                 }
             }
-            7 | 8 if depth > 0 => {
+            7 | 8 if depth > 0 => self.for_loop(depth),
+            // Guaranteed nesting: an outer `i` loop around an inner `j`
+            // loop, regardless of what the depth-driven recursion rolls.
+            9 if depth > 1 => {
+                let outer_bound = self.rng.gen_range(1u64..4);
+                let inner = self.for_loop(depth - 1);
+                format!("for (i = 0; i < {outer_bound}; i += 1) {{ {inner} }}")
+            }
+            // Aliasing stores: two writes into the same array through
+            // different index expressions (which may collide), with a read
+            // of a third index in between — a trap for any pass that
+            // assumes distinct syntactic indices are distinct cells.
+            10 if !self.arrays.is_empty() => {
+                let k = self.rng.gen_range(0..self.arrays.len());
+                let (base, words) = self.arrays[k].clone();
+                let i1 = self.index_expr(1, words);
+                let i2 = self.index_expr(1, words);
+                let i3 = self.index_expr(1, words);
+                let v = self.expr(1);
+                format!("{base}[{i1}] = {v}; {base}[{i2}] += {base}[{i3}];")
+            }
+            // A loop-carried dependence: a scalar accumulator folded over
+            // the induction variable and an expression — the accumulator's
+            // value flows around the back edge, so it must never be hoisted
+            // or dropped.
+            11 | 12 if depth > 0 && !self.scalars.is_empty() => {
+                let s = self.rng.gen_range(0..self.scalars.len());
+                let acc = self.scalars[s].clone();
                 let var = ["i", "j"][self.rng.gen_range(0usize..2)];
+                let start = self.rng.gen_range(0u64..3);
                 let bound = self.rng.gen_range(0u64..6);
-                let body = self.block(depth - 1);
-                format!("for ({var} = 0; {var} < {bound}; {var} += 1) {{ {body} }}")
+                let k = self.rng.gen_range(1u64..9);
+                let extra = self.expr(1);
+                format!(
+                    "for ({var} = {start}; {var} < {bound}; {var} += 1) \
+                     {{ {acc} += {var} * {k} + {extra}; }}"
+                )
             }
             _ => {
                 let lv = self.lvalue(1);
@@ -230,32 +273,69 @@ impl Gen {
     }
 }
 
-/// Runs one generated program through both tiers on mirrored buses and
-/// asserts the full observable state matches.
+/// The pass configurations the differential suite sweeps. CI pins the two
+/// extremes explicitly: `DSTRESS_VPL_PASSES=off` runs the unoptimized
+/// backend only, `on` the full pipeline only; unset sweeps both plus every
+/// pass alone.
+fn pass_configs() -> Vec<PassConfig> {
+    match std::env::var("DSTRESS_VPL_PASSES").as_deref() {
+        Ok("off") => vec![PassConfig::none()],
+        Ok("on") => vec![PassConfig::all()],
+        _ => vec![
+            PassConfig::none(),
+            PassConfig {
+                licm: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                strength: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                dse: true,
+                ..PassConfig::none()
+            },
+            PassConfig {
+                unroll: true,
+                ..PassConfig::none()
+            },
+            PassConfig::all(),
+        ],
+    }
+}
+
+/// Runs one generated program through both tiers on mirrored buses — the
+/// VM once per swept pass configuration — and asserts the full observable
+/// state matches.
 fn assert_mirror_parity(seed: u64, limits: ExecLimits) -> Result<(), TestCaseError> {
     let (global, local, body) = Gen::new(seed).program();
     let program = parse_program(&global, &local, &body)
         .unwrap_or_else(|e| panic!("generated program must parse ({e}):\n{body}"));
     let mut ibus = MirrorBus::default();
     let iresult = Interpreter::new(limits).run(&program, &mut ibus);
-    let mut vbus = MirrorBus::default();
-    let vresult = compile(&program).and_then(|c| Vm::new(limits).run(&c, &mut vbus));
-    prop_assert_eq!(
-        &iresult,
-        &vresult,
-        "result mismatch (seed {}, max_steps {}):\n{}",
-        seed,
-        limits.max_steps,
-        body
-    );
-    prop_assert_eq!(
-        &ibus,
-        &vbus,
-        "bus state mismatch (seed {}, max_steps {}):\n{}",
-        seed,
-        limits.max_steps,
-        body
-    );
+    for config in pass_configs() {
+        let mut vbus = MirrorBus::default();
+        let vresult =
+            compile_opt(&program, &config).and_then(|c| Vm::new(limits).run(&c, &mut vbus));
+        prop_assert_eq!(
+            &iresult,
+            &vresult,
+            "result mismatch (seed {}, max_steps {}, {:?}):\n{}",
+            seed,
+            limits.max_steps,
+            config,
+            body
+        );
+        prop_assert_eq!(
+            &ibus,
+            &vbus,
+            "bus state mismatch (seed {}, max_steps {}, {:?}):\n{}",
+            seed,
+            limits.max_steps,
+            config,
+            body
+        );
+    }
     Ok(())
 }
 
@@ -323,9 +403,11 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// End-to-end trace parity through the real platform: the same
-    /// generated program run against two identically configured servers —
-    /// one via the interpreter, one via the compiled VM — must record the
-    /// exact same DRAM trace and session stats.
+    /// generated program run against identically configured servers —
+    /// one via the interpreter, one per swept pass configuration via the
+    /// compiled VM — must record the exact same DRAM trace and session
+    /// stats (the trace feeds the replay model, so any divergence here
+    /// changes manifested errors).
     #[test]
     fn session_traces_are_bit_identical(seed in any::<u64>()) {
         let (global, local, body) = Gen::new(seed).program();
@@ -337,12 +419,21 @@ proptest! {
         let iresult = Interpreter::new(limits).run(&program, &mut isession);
         let itrace = isession.finish();
 
-        let mut vserver = XGene2Server::new(ServerConfig::default());
-        let mut vsession = vserver.session(2);
-        let vresult = compile(&program).and_then(|c| Vm::new(limits).run(&c, &mut vsession));
-        let vtrace = vsession.finish();
+        for config in pass_configs() {
+            let mut vserver = XGene2Server::new(ServerConfig::default());
+            let mut vsession = vserver.session(2);
+            let vresult =
+                compile_opt(&program, &config).and_then(|c| Vm::new(limits).run(&c, &mut vsession));
+            let vtrace = vsession.finish();
 
-        prop_assert_eq!(iresult, vresult, "session result mismatch (seed {}):\n{}", seed, body);
-        prop_assert_eq!(itrace, vtrace, "recorded trace mismatch (seed {}):\n{}", seed, body);
+            prop_assert_eq!(
+                &iresult, &vresult,
+                "session result mismatch (seed {}, {:?}):\n{}", seed, config, body
+            );
+            prop_assert_eq!(
+                &itrace, &vtrace,
+                "recorded trace mismatch (seed {}, {:?}):\n{}", seed, config, body
+            );
+        }
     }
 }
