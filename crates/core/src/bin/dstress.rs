@@ -137,7 +137,11 @@ fn usage() -> &'static str {
        search-word64   GA search for the worst 64-bit data pattern\n\
                        [--temp C] [--minimize] [--ue] [--scale quick|paper]\n\
                        [--seed N] [--db FILE] [--resume] [--workers N]\n\
-                       [--max-retries N] [--quarantine-after N]\n\
+                       [--campaigns N] [--max-retries N] [--quarantine-after N]\n\
+                       --campaigns N >= 2 runs N independent searches\n\
+                       concurrently, fair-share scheduled over one\n\
+                       persistent worker pool (results identical to\n\
+                       running each alone; not combinable with --db).\n\
                        With --db the campaign is crash-safe: every virus is\n\
                        journaled and --resume continues an interrupted\n\
                        search bit-identically. Faulting evaluations are\n\
@@ -182,6 +186,28 @@ fn print_word64_campaign(campaign: &BitCampaign) {
         "compiles: {} programs reused from the compile cache",
         stats.compile_hits,
     );
+    print_pool_stats(stats);
+}
+
+/// Pool observability: printed only when the campaign actually ran on the
+/// persistent work-stealing pool (the serial engine path leaves the
+/// per-worker task counts empty).
+fn print_pool_stats(stats: &dstress::EvalStats) {
+    if stats.worker_tasks.is_empty() {
+        return;
+    }
+    let tasks: Vec<String> = stats.worker_tasks.iter().map(u64::to_string).collect();
+    println!(
+        "pool: {} steal{}, max worker idle {:.3} s, tasks per worker [{}]",
+        stats.steals,
+        if stats.steals == 1 { "" } else { "s" },
+        stats.max_worker_idle_ns as f64 / 1e9,
+        tasks.join(", "),
+    );
+    println!(
+        "replica caches: {} warm hits, {} cold misses",
+        stats.replica_warm_hits, stats.replica_cold_misses,
+    );
 }
 
 fn main() -> ExitCode {
@@ -216,6 +242,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             "db",
             "resume",
             "workers",
+            "campaigns",
             "max-retries",
             "quarantine-after",
         ],
@@ -259,6 +286,12 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         }
         "search-word64" => {
             let workers = args.u64("workers", 1)?.max(1) as usize;
+            let campaigns = args.u64("campaigns", 1)?;
+            if campaigns == 0 {
+                return Err("--campaigns: must be at least 1".into());
+            }
+            let campaigns = usize::try_from(campaigns)
+                .map_err(|_| format!("--campaigns: {campaigns} does not fit in usize"))?;
             let supervision = supervision_from(&args)?;
             let mut dstress = DStress::new(scale, seed);
             dstress.set_workers(workers);
@@ -272,6 +305,36 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             let resume = args.bool("resume");
             if resume && args.str("db").is_none() {
                 return Err("--resume requires --db FILE (the journal to continue from)".into());
+            }
+            if campaigns > 1 {
+                if args.str("db").is_some() {
+                    return Err(
+                        "--campaigns: the multi-campaign demo does not journal; drop --db".into(),
+                    );
+                }
+                println!(
+                    "scheduling {campaigns} concurrent 64-bit pattern searches at {temp} C \
+                     over one {workers}-worker pool ..."
+                );
+                let results = dstress
+                    .search_word64_concurrent(campaigns, temp, metric, minimize)
+                    .map_err(|e| e.to_string())?;
+                for campaign in &results {
+                    println!("\n== campaign {} ==", campaign.name);
+                    print_word64_campaign(campaign);
+                }
+                let mut merged = dstress::EvalStats::default();
+                for campaign in &results {
+                    merged.merge(&campaign.result.eval_stats);
+                }
+                println!(
+                    "\npool-wide: {} evaluations, {} cache hits across {} campaigns",
+                    merged.evaluations,
+                    merged.cache_hits,
+                    results.len(),
+                );
+                print_pool_stats(&merged);
+                return Ok(());
             }
             println!(
                 "searching 64-bit patterns at {temp} C ({}, {}) ...",
@@ -513,6 +576,28 @@ mod tests {
     }
 
     #[test]
+    fn malformed_campaign_counts_are_rejected_before_the_search_starts() {
+        // Non-numeric, zero and out-of-range values all surface as errors
+        // → usage + exit 1, before any pool is spawned.
+        let err = run(strings(&["search-word64", "--campaigns", "two"])).unwrap_err();
+        assert!(err.contains("--campaigns"), "{err}");
+        let err = run(strings(&["search-word64", "--campaigns", "0"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = run(strings(&["search-word64", "--campaigns", "-3"])).unwrap_err();
+        assert!(err.contains("--campaigns"), "{err}");
+        // The multi-campaign demo has no journaling path.
+        let err = run(strings(&[
+            "search-word64",
+            "--campaigns",
+            "2",
+            "--db",
+            "x.json",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("drop --db"), "{err}");
+    }
+
+    #[test]
     fn resume_requires_a_database() {
         let err = run(strings(&["search-word64", "--resume", "--scale", "quick"])).unwrap_err();
         assert!(err.contains("--resume requires --db"), "{err}");
@@ -533,6 +618,7 @@ mod tests {
                     "db",
                     "resume",
                     "workers",
+                    "campaigns",
                     "max-retries",
                     "quarantine-after",
                 ],

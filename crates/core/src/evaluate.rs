@@ -614,6 +614,10 @@ impl ParallelFitness<BitGenome> for ParallelBitFitness {
         self.evaluator.compile_hits += replica.evaluator.compile_hits;
         self.evaluator.compiles += replica.evaluator.compiles;
     }
+
+    fn cache_counters(&self) -> (u64, u64) {
+        (self.evaluator.compile_hits, self.evaluator.compiles)
+    }
 }
 
 /// Owning [`ParallelFitness`] adapter for integer-genome campaigns.
@@ -652,6 +656,10 @@ impl ParallelFitness<IntGenome> for ParallelIntFitness {
         self.evaluator.failed_evaluations += replica.evaluator.failed_evaluations;
         self.evaluator.compile_hits += replica.evaluator.compile_hits;
         self.evaluator.compiles += replica.evaluator.compiles;
+    }
+
+    fn cache_counters(&self) -> (u64, u64) {
+        (self.evaluator.compile_hits, self.evaluator.compiles)
     }
 }
 

@@ -62,7 +62,9 @@ pub mod usecases_retention;
 pub mod workloads;
 
 pub use dstress_ga::journal::{CampaignJournal, DiskStorage, MemStorage, Storage};
+pub use dstress_ga::pool::{CampaignScheduler, EvalPool};
 pub use dstress_ga::supervise::{Hazard, HazardPlan, Incident, IncidentKind, SupervisionPolicy};
+pub use dstress_ga::EvalStats;
 pub use error::{DStressError, PlatformError};
 pub use evaluate::{EvalOutcome, Metric, ParallelBitFitness, ParallelIntFitness, VirusEvaluator};
 pub use microbench::Baseline;

@@ -9,8 +9,8 @@ use crate::templates;
 use dstress_dram::geometry::RowKey;
 use dstress_ga::journal::{run_journaled, CampaignJournal, Storage};
 use dstress_ga::{
-    BitGenome, GaEngine, Genome, HazardPlan, IntGenome, SearchResult, SupervisionPolicy,
-    VirusDatabase, VirusRecord,
+    BitGenome, CampaignScheduler, EvalPool, GaEngine, Genome, HazardPlan, IntGenome,
+    ParallelFitness, SearchResult, SearchSession, SupervisionPolicy, VirusDatabase, VirusRecord,
 };
 use dstress_platform::{RowErrors, XGene2Server};
 use dstress_vpl::BoundValue;
@@ -645,6 +645,79 @@ impl DStress {
             },
             temp_c as i64
         )
+    }
+
+    /// Runs `campaigns` independent 64-bit data-pattern searches
+    /// concurrently, multiplexed over **one** persistent evaluation pool by
+    /// a fair-share [`CampaignScheduler`] — the scheduling core of the
+    /// planned multi-tenant `dstressd` daemon. Each campaign draws its own
+    /// seed from the engine stream (so campaign `i` here matches the
+    /// `i`-th solo [`search_word64`](DStress::search_word64) on a fresh
+    /// framework) and keeps its own session state, so every campaign's
+    /// result and leaderboard is bit-identical to running it alone; names
+    /// are suffixed `-c0`, `-c1`, … to keep database keys distinct.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `campaigns` is zero.
+    pub fn search_word64_concurrent(
+        &mut self,
+        campaigns: usize,
+        temp_c: f64,
+        metric: Metric,
+        minimize: bool,
+    ) -> Result<Vec<BitCampaign>, DStressError> {
+        assert!(campaigns >= 1, "at least one campaign is required");
+        let base = DStress::word64_campaign_name(temp_c, &metric, minimize);
+        let codec = BitCodec::Word64 {
+            param: "PATTERN".into(),
+        };
+        let bits = codec.genome_bits();
+        let mut ga_config = self.scale.ga;
+        ga_config.minimize = minimize;
+        let mut fitness = ParallelBitFitness {
+            evaluator: self.evaluator(&EnvKind::Word64, temp_c, metric)?,
+            codec: codec.clone(),
+        };
+        let mut scheduler = CampaignScheduler::new(EvalPool::new(&fitness, self.workers));
+        let mut names = Vec::with_capacity(campaigns);
+        for i in 0..campaigns {
+            let seed = self.next_campaign_seed();
+            let mut session = SearchSession::start(ga_config, seed, |rng| {
+                Seeding::Random.initial_genome(rng, bits)
+            });
+            session.set_supervision(self.supervision);
+            session.set_hazards(self.hazards.clone());
+            scheduler.add(session, None);
+            names.push(format!("{base}-c{i}"));
+        }
+        scheduler.run();
+        let (sessions, replicas) = scheduler.finish();
+        for replica in replicas {
+            fitness.absorb(replica);
+        }
+        // The pool's replicas did all the evaluating, so the absorbed
+        // master counters are the exact campaign-wide compile statistics;
+        // every campaign of the batch shares the one substrate.
+        let compile_hits = fitness.evaluator.compile_hits;
+        let failed = fitness.evaluator.failed_evaluations;
+        let mut finished = Vec::with_capacity(campaigns);
+        for (session, name) in sessions.into_iter().zip(names) {
+            let mut result = session.finish();
+            result.eval_stats.compile_hits = compile_hits;
+            self.record_bit_leaderboard(&name, &result);
+            finished.push(BitCampaign {
+                name,
+                result,
+                env: EnvKind::Word64,
+                failed_evaluations: failed,
+            });
+        }
+        Ok(finished)
     }
 
     /// The crash-safe 64-bit data-pattern search: like

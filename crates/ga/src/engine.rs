@@ -15,6 +15,7 @@
 use crate::fitness::{Fitness, ParallelFitness};
 use crate::genome::Genome;
 use crate::ops::selection::SelectionScheme;
+use crate::pool::{EvalPool, PoolTask, RoundSubmission};
 use crate::supervise::{
     finite_mean, nan_last_cmp, nan_last_max, supervise_one, EvalVerdict, HazardPlan, Incident,
     IncidentKind, PendingIncident, SupervisionPolicy,
@@ -155,6 +156,33 @@ pub struct EvalStats {
     /// checkpoints from before the compile cache existed.
     #[serde(default)]
     pub compile_hits: u64,
+    /// Tasks executed by a worker other than the one they were dealt to —
+    /// work-stealing rebalance events on the persistent-pool path. The
+    /// per-generation scoped path always reports zero. A runtime
+    /// observable (like the timing vector), not part of the determinism
+    /// contract. Absent in checkpoints from before the pool existed.
+    #[serde(default)]
+    pub steals: u64,
+    /// The longest any pool worker sat idle inside a single scored round,
+    /// in nanoseconds (round wall-clock minus that worker's busy time) —
+    /// the straggler-tail measure work stealing exists to shrink. Zero on
+    /// the scoped path. Absent in pre-pool checkpoints.
+    #[serde(default)]
+    pub max_worker_idle_ns: u64,
+    /// Substrate tasks each pool worker executed, indexed by worker slot.
+    /// Empty on the scoped path. Absent in pre-pool checkpoints.
+    #[serde(default)]
+    pub worker_tasks: Vec<u64>,
+    /// Evaluations served by a warm replica-internal cache (the compile
+    /// cache a persistent worker keeps across generations). Zero on the
+    /// scoped path. Absent in pre-pool checkpoints.
+    #[serde(default)]
+    pub replica_warm_hits: u64,
+    /// Evaluations that went through a replica-internal cache cold (a
+    /// fresh compile). Zero on the scoped path. Absent in pre-pool
+    /// checkpoints.
+    #[serde(default)]
+    pub replica_cold_misses: u64,
     /// Wall-clock seconds spent evaluating each scored round; index 0 is
     /// the initial population, subsequent entries are generations.
     pub generation_eval_seconds: Vec<f64>,
@@ -165,6 +193,71 @@ impl EvalStats {
     pub fn eval_seconds(&self) -> f64 {
         self.generation_eval_seconds.iter().sum()
     }
+
+    /// Folds one pool round's observability counters in.
+    pub(crate) fn note_pool_round(&mut self, round: &PoolRoundStats) {
+        self.steals += round.steals;
+        self.max_worker_idle_ns = self.max_worker_idle_ns.max(round.max_worker_idle_ns);
+        if self.worker_tasks.len() < round.worker_tasks.len() {
+            self.worker_tasks.resize(round.worker_tasks.len(), 0);
+        }
+        for (total, &n) in self.worker_tasks.iter_mut().zip(&round.worker_tasks) {
+            *total += n;
+        }
+        self.replica_warm_hits += round.warm_hits;
+        self.replica_cold_misses += round.cold_misses;
+    }
+
+    /// Merges another campaign's stats into this one — the scheduler's
+    /// cross-campaign view. The merge is a deterministic function of the
+    /// two inputs: counters add, worker-indexed vectors add elementwise
+    /// (padded), per-round timings add round-by-round, and the idle
+    /// high-water mark takes the max, so folding campaigns in any fixed
+    /// order yields the same totals and [`eval_seconds`] stays the summed
+    /// wall-clock.
+    ///
+    /// [`eval_seconds`]: EvalStats::eval_seconds
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.evaluations += other.evaluations;
+        self.cache_hits += other.cache_hits;
+        self.workers = self.workers.max(other.workers);
+        self.cache_size += other.cache_size;
+        self.compile_hits += other.compile_hits;
+        self.steals += other.steals;
+        self.max_worker_idle_ns = self.max_worker_idle_ns.max(other.max_worker_idle_ns);
+        if self.worker_tasks.len() < other.worker_tasks.len() {
+            self.worker_tasks.resize(other.worker_tasks.len(), 0);
+        }
+        for (total, &n) in self.worker_tasks.iter_mut().zip(&other.worker_tasks) {
+            *total += n;
+        }
+        self.replica_warm_hits += other.replica_warm_hits;
+        self.replica_cold_misses += other.replica_cold_misses;
+        if self.generation_eval_seconds.len() < other.generation_eval_seconds.len() {
+            self.generation_eval_seconds
+                .resize(other.generation_eval_seconds.len(), 0.0);
+        }
+        for (total, &s) in self
+            .generation_eval_seconds
+            .iter_mut()
+            .zip(&other.generation_eval_seconds)
+        {
+            *total += s;
+        }
+    }
+}
+
+/// One pool round's observability counters, handed back from the executor
+/// and folded into [`EvalStats`] by the drain. Runtime observables — which
+/// worker ran which task, how long anyone waited — so, unlike verdicts and
+/// incidents, these are *not* part of the bit-identity contract.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct PoolRoundStats {
+    pub(crate) steals: u64,
+    pub(crate) max_worker_idle_ns: u64,
+    pub(crate) worker_tasks: Vec<u64>,
+    pub(crate) warm_hits: u64,
+    pub(crate) cold_misses: u64,
 }
 
 /// The outcome of a GA search.
@@ -370,8 +463,8 @@ impl GaEngine {
         fitness: &mut F,
     ) -> SearchResult<G>
     where
-        G: Genome + PartialEq + Eq + Hash + Sync,
-        F: ParallelFitness<G>,
+        G: Genome + PartialEq + Eq + Hash + Sync + 'static,
+        F: ParallelFitness<G> + 'static,
         Init: FnMut(&mut StdRng) -> G,
     {
         let population: Vec<G> = (0..self.config.population_size)
@@ -396,19 +489,22 @@ impl GaEngine {
         fitness: &mut F,
     ) -> SearchResult<G>
     where
-        G: Genome + PartialEq + Eq + Hash + Sync,
-        F: ParallelFitness<G>,
+        G: Genome + PartialEq + Eq + Hash + Sync + 'static,
+        F: ParallelFitness<G> + 'static,
     {
         assert!(workers >= 1, "at least one evaluation worker is required");
-        let mut replicas: Vec<F> = (0..workers).map(|_| fitness.replicate()).collect();
+        // One persistent pool for the whole campaign: workers are spawned
+        // once, each owning a warm replica whose internal caches survive
+        // across generations, and retired (absorbed) only at the end.
+        let pool = EvalPool::new(fitness, workers);
         let rng = StdRng::from_state(self.rng.to_state());
         let mut session = SearchSession::with_rng(self.config, rng, population);
         session.set_supervision(self.supervision);
         session.set_hazards(self.hazards.clone());
         while !session.done() {
-            session.step(&mut replicas);
+            session.step_pooled(&pool);
         }
-        for replica in replicas {
+        for replica in pool.shutdown() {
             fitness.absorb(replica);
         }
         // The session consumed part of the engine's RNG stream; keep the
@@ -671,45 +767,74 @@ impl<G: Genome + Eq + Hash> EvalCache<G> {
     }
 }
 
-/// Scores one round of a cached parallel evaluation: repeats are served
-/// from `cache`, each distinct new chromosome runs once on the substrate,
-/// dealt round-robin across the worker replicas and evaluated under
-/// supervision (panic isolation, deterministic retry/quarantine — see
-/// [`crate::supervise`]). Newly evaluated chromosomes are pushed onto
-/// `newly` (raw user-orientation values) so a journal can persist exactly
-/// the substrate work that happened; quarantined chromosomes are cached as
-/// `NaN` and reported through `incidents` instead.
-///
-/// A worker that dies mid-round (a [`Hazard::KillWorker`]) is removed from
-/// the pool (`dead`) and its unfinished share is redealt to the survivors;
-/// if the last worker dies it is revived, so the round always completes.
-/// Every verdict and incident is keyed by the search-global evaluation
-/// index, never by worker identity, so the result — scores, `newly` order,
-/// incident stream — is bit-identical for any worker count.
-///
-/// [`Hazard::KillWorker`]: crate::supervise::Hazard::KillWorker
-#[allow(clippy::too_many_arguments)] // internal: the session owns all of these
-fn score_population<G, F>(
-    population: &[G],
-    cache: &mut EvalCache<G>,
-    newly: &mut Vec<(G, f64)>,
-    replicas: &mut [F],
-    dead: &mut HashSet<usize>,
-    stats: &mut EvalStats,
-    policy: &SupervisionPolicy,
-    hazards: Option<&HazardPlan>,
-    incidents: &mut Vec<PendingIncident>,
-) -> Vec<f64>
+/// The cache pre-pass of one scoring round: repeats resolved, distinct new
+/// chromosomes collected in dealing order with the population slots each
+/// fills, and the round's base evaluation index pinned. Shared verbatim by
+/// the scoped executor, the persistent pool and the campaign scheduler, so
+/// the canonical numbering can never drift between paths.
+#[derive(Debug)]
+pub(crate) struct RoundPlan<G> {
+    /// Scores with cache hits pre-filled; pending slots still zero.
+    pub(crate) scores: Vec<f64>,
+    /// Each distinct new chromosome with the population slots it fills,
+    /// in dealing order.
+    pub(crate) pending: Vec<(G, Vec<usize>)>,
+    /// Search-global evaluation index of `pending[0]`: cache hits never
+    /// consume indices, so the numbering is the same for every worker
+    /// count and every resume.
+    pub(crate) base_index: u64,
+}
+
+impl<G: Genome> RoundPlan<G> {
+    /// The plan's pending candidates as owned pool tasks, dealing order.
+    pub(crate) fn pool_tasks(&self) -> Vec<PoolTask<G>> {
+        self.pending
+            .iter()
+            .enumerate()
+            .map(|(j, (genome, _))| PoolTask {
+                slot: j,
+                eval_index: self.base_index + j as u64,
+                genome: genome.clone(),
+            })
+            .collect()
+    }
+}
+
+/// What an executor (scoped or pooled) brought back from one round: a
+/// verdict per pending candidate in dealing order, the round's supervision
+/// incidents already canonically sorted by [`PendingIncident::sort_key`],
+/// the worker count surviving the round, and — on the pool path — the
+/// round's observability counters.
+#[derive(Debug)]
+pub(crate) struct RoundExecution {
+    pub(crate) verdicts: Vec<EvalVerdict>,
+    pub(crate) incidents: Vec<PendingIncident>,
+    pub(crate) alive_workers: usize,
+    pub(crate) pool: Option<PoolRoundStats>,
+}
+
+/// One opened step of a [`SearchSession`]: the round plan plus the timing
+/// anchor, produced by [`SearchSession::begin_round`] and consumed by
+/// [`SearchSession::finish_round`] after an executor ran the plan.
+#[derive(Debug)]
+pub(crate) struct PreparedRound<G> {
+    pub(crate) plan: RoundPlan<G>,
+    started: Instant,
+}
+
+/// Resolves repeats against the cache and numbers the distinct new
+/// chromosomes (see [`RoundPlan`]). Updates `evaluations`, `cache_hits`
+/// and `cache_size` exactly as the fused loop did.
+fn plan_round<G>(population: &[G], cache: &mut EvalCache<G>, stats: &mut EvalStats) -> RoundPlan<G>
 where
-    G: Genome + PartialEq + Eq + Hash + Sync,
-    F: ParallelFitness<G>,
+    G: Genome + PartialEq + Eq + Hash,
 {
     let mut scores = vec![0.0f64; population.len()];
     // Resolve repeats first: chromosomes scored in an earlier round come
     // from the cache, and a chromosome occurring several times in this
     // round is evaluated once. `pending` holds each distinct new chromosome
     // with the population slots it fills.
-    let mut pending: Vec<(&G, Vec<usize>)> = Vec::new();
+    let mut pending: Vec<(G, Vec<usize>)> = Vec::new();
     let mut pending_index: HashMap<&G, usize> = HashMap::new();
     for (i, g) in population.iter().enumerate() {
         if let Some(hit) = cache.lookup(g) {
@@ -720,17 +845,47 @@ where
             stats.cache_hits += 1;
         } else {
             pending_index.insert(g, pending.len());
-            pending.push((g, vec![i]));
+            pending.push((g.clone(), vec![i]));
         }
     }
-    // Search-global index of pending[0]: cache hits never consume indices,
-    // so the numbering is the same for every worker count and every resume.
     let base_index = stats.evaluations;
     stats.evaluations += pending.len() as u64;
     stats.cache_size = cache.len();
-    if pending.is_empty() {
-        return scores;
+    RoundPlan {
+        scores,
+        pending,
+        base_index,
     }
+}
+
+/// Runs one planned round on per-generation scoped threads — the
+/// pre-pool executor, kept as the differential baseline the persistent
+/// pool is benched and tested against. Candidates are dealt by static
+/// round-robin over the live workers and evaluated under supervision
+/// (panic isolation, deterministic retry/quarantine — see
+/// [`crate::supervise`]).
+///
+/// A worker that dies mid-round (a [`Hazard::KillWorker`]) is removed from
+/// the pool (`dead`) and its unfinished share is redealt to the survivors;
+/// if the last worker dies it is revived, so the round always completes.
+/// Every verdict and incident is keyed by the search-global evaluation
+/// index, never by worker identity, so the result — scores, `newly` order,
+/// incident stream — is bit-identical for any worker count.
+///
+/// [`Hazard::KillWorker`]: crate::supervise::Hazard::KillWorker
+fn run_round_scoped<G, F>(
+    plan: &RoundPlan<G>,
+    replicas: &mut [F],
+    dead: &mut HashSet<usize>,
+    policy: &SupervisionPolicy,
+    hazards: Option<&HazardPlan>,
+) -> RoundExecution
+where
+    G: Genome + PartialEq + Eq + Hash + Sync,
+    F: ParallelFitness<G>,
+{
+    let pending = &plan.pending;
+    let base_index = plan.base_index;
     // A stale dead-set (the pool was resized between steps) must not mask
     // every worker; dead workers stay dead only while their index exists.
     dead.retain(|&w| w < replicas.len());
@@ -761,7 +916,7 @@ where
                         .iter()
                         .enumerate()
                         .filter(|(pos, _)| pos % lanes == lane)
-                        .map(|(_, &j)| (j, pending[j].0))
+                        .map(|(_, &j)| (j, &pending[j].0))
                         .collect();
                     s.spawn(move |_| {
                         let mut completed = Vec::new();
@@ -825,30 +980,70 @@ where
     // attempt, then phase — a pure function of the search, independent of
     // which worker interleaving produced it.
     round_incidents.sort_by_key(|incident| incident.sort_key());
-    incidents.extend(round_incidents);
-    stats.workers = replicas.len() - dead.len();
-    // Drain verdicts in dealing order so `newly` (and hence the journal's
-    // record sequence) does not depend on the worker count.
-    for (j, verdict) in verdicts.into_iter().enumerate() {
-        let (genome, slots) = &pending[j];
-        let value = match verdict.expect("every pending candidate has a verdict") {
+    RoundExecution {
+        verdicts: verdicts
+            .into_iter()
+            .map(|v| v.expect("every pending candidate has a verdict"))
+            .collect(),
+        incidents: round_incidents,
+        alive_workers: replicas.len() - dead.len(),
+        pool: None,
+    }
+}
+
+/// Drains an executed round back into the search in canonical dealing
+/// order: verdicts fill scores, newly evaluated chromosomes are pushed
+/// onto `newly` (raw user-orientation values) so a journal can persist
+/// exactly the substrate work that happened, and quarantined chromosomes
+/// are cached as `NaN` (the incident stream carries the decision instead).
+/// Because the drain order is the plan's dealing order — never worker
+/// identity or completion order — `newly`, the cache recency queue and
+/// every score are bit-identical for any worker count and any steal
+/// interleaving.
+fn drain_round<G>(
+    plan: RoundPlan<G>,
+    execution: Option<RoundExecution>,
+    cache: &mut EvalCache<G>,
+    newly: &mut Vec<(G, f64)>,
+    stats: &mut EvalStats,
+) -> (Vec<f64>, Vec<PendingIncident>)
+where
+    G: Genome + PartialEq + Eq + Hash,
+{
+    let RoundPlan {
+        mut scores,
+        pending,
+        ..
+    } = plan;
+    // An all-cached round never reached an executor: nothing to drain, and
+    // (as before the pool) the surviving-worker count is left untouched.
+    let Some(execution) = execution else {
+        debug_assert!(pending.is_empty(), "unexecuted rounds must be empty");
+        return (scores, Vec::new());
+    };
+    stats.workers = execution.alive_workers;
+    if let Some(pool_stats) = &execution.pool {
+        stats.note_pool_round(pool_stats);
+    }
+    debug_assert_eq!(execution.verdicts.len(), pending.len());
+    for (verdict, (genome, slots)) in execution.verdicts.into_iter().zip(&pending) {
+        let value = match verdict {
             EvalVerdict::Scored(value) => {
-                newly.push(((*genome).clone(), value));
+                newly.push((genome.clone(), value));
                 value
             }
             // Quarantined: cached as NaN so the chromosome is never
             // re-evaluated, ranked worst by the NaN-last total order, and
-            // kept out of the journal's virus records (the incident stream
-            // carries the decision instead).
+            // kept out of the journal's virus records.
             EvalVerdict::Quarantined => f64::NAN,
         };
-        cache.insert((*genome).clone(), value);
+        cache.insert(genome.clone(), value);
         for &i in slots {
             scores[i] = value;
         }
     }
     stats.cache_size = cache.len();
-    scores
+    (scores, execution.incidents)
 }
 
 /// A stepwise, checkpointable GA search: the parallel engine loop unrolled
@@ -1080,6 +1275,11 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
     /// later call runs exactly one generation (breed, score, update the
     /// convergence state). A no-op once [`done`](SearchSession::done).
     ///
+    /// Evaluation runs on per-generation scoped threads — the pre-pool
+    /// executor, kept as the baseline the persistent pool
+    /// ([`step_pooled`](SearchSession::step_pooled)) is benched and
+    /// differentially tested against. Both paths are bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if `replicas` is empty or an evaluation worker panics.
@@ -1092,19 +1292,133 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
             return;
         }
         self.eval_stats.workers = replicas.len();
+        let Some(round) = self.begin_round() else {
+            return;
+        };
+        let execution = if round.plan.pending.is_empty() {
+            None
+        } else {
+            Some(run_round_scoped(
+                &round.plan,
+                replicas,
+                &mut self.dead_workers,
+                &self.policy,
+                self.hazards.as_ref(),
+            ))
+        };
+        self.finish_round(round, execution);
+    }
+
+    /// Runs one step on a persistent evaluation pool — the production
+    /// executor: candidates become tasks in the pool's work-stealing
+    /// deques, evaluated by long-lived workers whose replica caches stay
+    /// warm across generations. Bit-identical to
+    /// [`step`](SearchSession::step) for any worker count, any steal
+    /// interleaving and any hazard schedule, because verdicts are keyed by
+    /// the campaign-dense evaluation index and drained in dealing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics outside the supervised evaluation.
+    pub fn step_pooled<F>(&mut self, pool: &EvalPool<G, F>)
+    where
+        G: Send + 'static,
+        F: ParallelFitness<G> + 'static,
+    {
+        if self.done {
+            return;
+        }
+        self.eval_stats.workers = pool.workers();
+        let Some(round) = self.begin_round() else {
+            return;
+        };
+        let execution = if round.plan.pending.is_empty() {
+            None
+        } else {
+            let submission = RoundSubmission {
+                tasks: round.plan.pool_tasks(),
+                policy: self.policy,
+                hazards: self.hazards.clone(),
+            };
+            let mut executions = pool.execute(vec![submission]);
+            debug_assert_eq!(executions.len(), 1);
+            executions.pop()
+        };
+        self.finish_round(round, execution);
+    }
+
+    /// Opens one step: breeds the next population (when past the initial
+    /// round) and runs the cache pre-pass, yielding the round's plan.
+    /// `None` once the search is done. The caller must pass the plan to an
+    /// executor (scoped or pooled) iff it has pending candidates, then
+    /// hand the outcome to [`finish_round`](SearchSession::finish_round) —
+    /// the seam that lets the campaign scheduler interleave many sessions'
+    /// rounds into one pool batch.
+    pub(crate) fn begin_round(&mut self) -> Option<PreparedRound<G>> {
+        if self.done {
+            return None;
+        }
         let sign = if self.config.minimize { -1.0 } else { 1.0 };
-        if !self.initialized {
-            self.rescore(sign, replicas);
+        if self.initialized {
+            self.history.push(round_stats(
+                self.generation,
+                &self.scores,
+                sign,
+                self.similarity,
+            ));
+            self.population =
+                breed_next(&self.config, &self.population, &self.scores, &mut self.rng);
+        }
+        let started = Instant::now();
+        let plan = plan_round(&self.population, &mut self.cache, &mut self.eval_stats);
+        Some(PreparedRound { plan, started })
+    }
+
+    /// Closes one step: drains the executed round (in canonical dealing
+    /// order), sequences its incidents, and advances the convergence
+    /// state. `execution` is `None` exactly when the round had no pending
+    /// candidates.
+    pub(crate) fn finish_round(
+        &mut self,
+        round: PreparedRound<G>,
+        execution: Option<RoundExecution>,
+    ) {
+        let sign = if self.config.minimize { -1.0 } else { 1.0 };
+        let was_initialized = self.initialized;
+        let (raw, pending_incidents) = drain_round(
+            round.plan,
+            execution,
+            &mut self.cache,
+            &mut self.newly,
+            &mut self.eval_stats,
+        );
+        // Sequence the round's (already canonically ordered) incidents
+        // behind everything recorded so far; a resume restores the counter
+        // from the checkpoint, so the numbering survives interruptions.
+        for pending in pending_incidents {
+            let incident = Incident {
+                seq: self.incidents.len() as u64,
+                eval_index: pending.eval_index,
+                kind: pending.kind,
+            };
+            self.incidents.push(incident.clone());
+            self.fresh_incidents.push(incident);
+        }
+        self.eval_stats
+            .generation_eval_seconds
+            .push(round.started.elapsed().as_secs_f64());
+        self.scores = raw.into_iter().map(|v| sign * v).collect();
+        for (g, s) in self.population.iter().zip(&self.scores) {
+            self.leaderboard.offer(g, *s);
+        }
+        self.similarity = self.leaderboard.similarity();
+        if !was_initialized {
             self.best_so_far = nan_last_max(&self.scores);
             self.stagnant = 0;
             self.initialized = true;
             return;
         }
         let generation = self.generation;
-        self.history
-            .push(round_stats(generation, &self.scores, sign, self.similarity));
-        self.population = breed_next(&self.config, &self.population, &self.scores, &mut self.rng);
-        self.rescore(sign, replicas);
         let generation_best = nan_last_max(&self.scores);
         if nan_last_cmp(generation_best, self.best_so_far) == std::cmp::Ordering::Greater {
             self.best_so_far = generation_best;
@@ -1130,40 +1444,26 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
         }
     }
 
-    fn rescore<F: ParallelFitness<G>>(&mut self, sign: f64, replicas: &mut [F]) {
-        let started = Instant::now();
-        let mut pending_incidents = Vec::new();
-        let raw = score_population(
-            &self.population,
-            &mut self.cache,
-            &mut self.newly,
-            replicas,
-            &mut self.dead_workers,
-            &mut self.eval_stats,
-            &self.policy,
-            self.hazards.as_ref(),
-            &mut pending_incidents,
-        );
-        // Sequence the round's (already canonically ordered) incidents
-        // behind everything recorded so far; a resume restores the counter
-        // from the checkpoint, so the numbering survives interruptions.
-        for pending in pending_incidents {
-            let incident = Incident {
-                seq: self.incidents.len() as u64,
-                eval_index: pending.eval_index,
-                kind: pending.kind,
-            };
-            self.incidents.push(incident.clone());
-            self.fresh_incidents.push(incident);
-        }
-        self.eval_stats
-            .generation_eval_seconds
-            .push(started.elapsed().as_secs_f64());
-        self.scores = raw.into_iter().map(|v| sign * v).collect();
-        for (g, s) in self.population.iter().zip(&self.scores) {
-            self.leaderboard.offer(g, *s);
-        }
-        self.similarity = self.leaderboard.similarity();
+    /// Records the worker count a scheduler is about to run this session
+    /// on (what [`step`](SearchSession::step) does with `replicas.len()`).
+    pub(crate) fn note_workers(&mut self, workers: usize) {
+        self.eval_stats.workers = workers;
+    }
+
+    /// The session's supervision policy (for the scheduler's submissions).
+    pub(crate) fn supervision_policy(&self) -> SupervisionPolicy {
+        self.policy
+    }
+
+    /// The session's hazard plan, shared (for the scheduler's submissions).
+    pub(crate) fn hazard_plan(&self) -> Option<HazardPlan> {
+        self.hazards.clone()
+    }
+
+    /// The evaluation bookkeeping so far (counters, timings, pool
+    /// observability) — what [`SearchResult::eval_stats`] will carry.
+    pub fn eval_stats(&self) -> &EvalStats {
+        &self.eval_stats
     }
 
     /// Consumes the session into a [`SearchResult`].

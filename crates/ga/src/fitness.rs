@@ -151,6 +151,17 @@ pub trait ParallelFitness<G: Genome>: Fitness<G> + Send {
         Self: Sized,
     {
     }
+
+    /// Monotone counters of the replica's internal caches, as
+    /// `(warm_hits, cold_misses)` — e.g. compile-cache hits vs fresh
+    /// compiles. The persistent evaluation pool samples these around every
+    /// task to report how warm each long-lived replica stays across
+    /// generations ([`crate::EvalStats::replica_warm_hits`] /
+    /// [`crate::EvalStats::replica_cold_misses`]). The default — for
+    /// substrates with no internal caches — reports zeros.
+    fn cache_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Adapts a closure into a [`Fitness`].

@@ -668,6 +668,12 @@ fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
 /// the search completed, after compacting the journal into a snapshot with
 /// the checkpoint cleared.
 ///
+/// Evaluation runs on a persistent [`crate::pool::EvalPool`] whose worker
+/// replicas stay warm across generations; their bookkeeping is absorbed
+/// back into `fitness` on **every** exit — including the step-budget pause
+/// — so counters like the word64 evaluator's compile statistics stay exact
+/// across resume windows instead of reflecting only the primary replica.
+///
 /// # Errors
 ///
 /// Propagates storage failures and checkpoint decode failures.
@@ -686,8 +692,8 @@ pub fn run_journaled<G, F, S>(
     hazards: Option<HazardPlan>,
 ) -> io::Result<Option<SearchResult<G>>>
 where
-    G: Genome + PartialEq + Eq + Hash + Sync + Serialize + Deserialize,
-    F: ParallelFitness<G>,
+    G: Genome + PartialEq + Eq + Hash + Sync + Serialize + Deserialize + 'static,
+    F: ParallelFitness<G> + 'static,
     S: Storage,
 {
     assert!(workers >= 1, "at least one evaluation worker is required");
@@ -700,7 +706,12 @@ where
     };
     session.set_supervision(supervision);
     session.set_hazards(hazards);
-    let mut replicas: Vec<F> = (0..workers).map(|_| fitness.replicate()).collect();
+    let pool = crate::pool::EvalPool::new(&*fitness, workers);
+    let absorb_pool = |fitness: &mut F, pool: crate::pool::EvalPool<G, F>| {
+        for replica in pool.shutdown() {
+            fitness.absorb(replica);
+        }
+    };
     // Chromosomes this campaign has already journaled: a resume re-executes
     // the window after its checkpoint, and the repeats must not re-append.
     let mut recorded: HashSet<Vec<u64>> = journal
@@ -727,14 +738,13 @@ where
         let state = session.checkpoint().to_json().map_err(io::Error::other)?;
         journal.append_checkpoint(campaign, state)?;
         if max_steps.is_some_and(|limit| steps >= limit) {
+            absorb_pool(fitness, pool);
             return Ok(None);
         }
-        session.step(&mut replicas);
+        session.step_pooled(&pool);
         steps += 1;
     }
-    for replica in replicas {
-        fitness.absorb(replica);
-    }
+    absorb_pool(fitness, pool);
     journal.finish()?;
     Ok(Some(session.finish()))
 }

@@ -47,6 +47,7 @@ pub mod fitness;
 pub mod genome;
 pub mod journal;
 pub mod ops;
+pub mod pool;
 pub mod supervise;
 
 pub use db::{VirusDatabase, VirusRecord};
@@ -61,4 +62,5 @@ pub use journal::{
 };
 pub use ops::crossover::CrossoverOp;
 pub use ops::selection::SelectionScheme;
+pub use pool::{CampaignScheduler, EvalPool};
 pub use supervise::{Hazard, HazardPlan, Incident, IncidentKind, SupervisionPolicy};
