@@ -10,9 +10,18 @@
 //! dstress march
 //! dstress disasm [--pattern HEX] [--opt none|full]
 //! dstress info
+//! dstress serve --dir DIR [--addr HOST:PORT] [--workers N] [--exit-when-idle]
+//! dstress submit --addr HOST:PORT [--temp C] [--ue] [--minimize] [--scale S] [--seed N] [--step-budget N]
+//! dstress status --addr HOST:PORT [--campaign N]
+//! dstress watch --addr HOST:PORT --campaign N
+//! dstress pause|resume|cancel --addr HOST:PORT --campaign N
 //! ```
 
 use dstress::search::BitCampaign;
+use dstress::service::{
+    campaign_db_paths, read_frame, run_word64_campaigns_journaled, CampaignSpec, DaemonConfig,
+    Dstressd, Event, Request, Response, StatusReport,
+};
 use dstress::usecases::{find_marginal_trefp, savings_at_margin, SafetyCriterion};
 use dstress::{
     Baseline, CampaignJournal, DStress, DiskStorage, EnvKind, ExperimentScale, Metric,
@@ -20,6 +29,8 @@ use dstress::{
 };
 use dstress_vpl::{compile_staged, BoundValue, PassConfig};
 use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
 use std::process::ExitCode;
 
 /// Minimal flag parser: `--name value` and boolean `--name`.
@@ -141,7 +152,10 @@ fn usage() -> &'static str {
                        --campaigns N >= 2 runs N independent searches\n\
                        concurrently, fair-share scheduled over one\n\
                        persistent worker pool (results identical to\n\
-                       running each alone; not combinable with --db).\n\
+                       running each alone). Combined with --db FILE,\n\
+                       campaign i journals into its own FILE-derived\n\
+                       `-ci` sibling and --resume continues every\n\
+                       interrupted campaign bit-identically.\n\
                        With --db the campaign is crash-safe: every virus is\n\
                        journaled and --resume continues an interrupted\n\
                        search bit-identically. Faulting evaluations are\n\
@@ -157,7 +171,22 @@ fn usage() -> &'static str {
        disasm          Dump the word64 virus bytecode before/after each\n\
                        optimization pass  [--pattern HEX] [--opt none|full]\n\
                        [--scale quick|paper]\n\
-       info            Show the platform configuration\n"
+       info            Show the platform configuration\n\
+       serve           Run the dstressd campaign daemon  --dir DIR\n\
+                       [--addr HOST:PORT] [--workers N] [--event-capacity N]\n\
+                       [--exit-when-idle]  (resumes every unfinished\n\
+                       campaign in DIR bit-identically, then serves\n\
+                       line-delimited JSON on the printed address)\n\
+       submit          Submit a campaign to a daemon  --addr HOST:PORT\n\
+                       [--temp C] [--ue] [--minimize] [--scale quick|paper]\n\
+                       [--seed N] [--step-budget N]\n\
+       status          Show one campaign or all  --addr HOST:PORT\n\
+                       [--campaign N]\n\
+       watch           Stream a campaign's progress events until it\n\
+                       finishes  --addr HOST:PORT --campaign N\n\
+       pause           Pause a running campaign   --addr HOST:PORT --campaign N\n\
+       resume          Resume a paused campaign   --addr HOST:PORT --campaign N\n\
+       cancel          Cancel a campaign          --addr HOST:PORT --campaign N\n"
 }
 
 fn print_word64_campaign(campaign: &BitCampaign) {
@@ -210,6 +239,118 @@ fn print_pool_stats(stats: &dstress::EvalStats) {
     );
 }
 
+fn require_addr(args: &Args) -> Result<&str, String> {
+    args.str("addr")
+        .ok_or_else(|| "this command requires --addr HOST:PORT (printed by `dstress serve`)".into())
+}
+
+fn campaign_arg(args: &Args) -> Result<u64, String> {
+    if args.str("campaign").is_none() {
+        return Err("this command requires --campaign N (see `dstress status`)".into());
+    }
+    args.u64("campaign", 0)
+}
+
+fn send_line<T: serde::Serialize>(stream: &mut TcpStream, value: &T) -> Result<(), String> {
+    let mut line = serde_json::to_string(value).map_err(|e| e.to_string())?;
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| format!("sending to daemon: {e}"))
+}
+
+fn read_reply<R: std::io::BufRead>(reader: &mut R) -> Result<Response, String> {
+    let frame = read_frame(reader).map_err(|e| format!("reading daemon reply: {e:?}"))?;
+    serde_json::from_str(&frame).map_err(|e| format!("malformed daemon reply: {e}"))
+}
+
+/// One request/response round trip on a fresh connection.
+fn service_request(addr: &str, request: &Request) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    send_line(&mut stream, request)?;
+    let mut reader = std::io::BufReader::new(stream);
+    read_reply(&mut reader)
+}
+
+fn print_report(report: &StatusReport) {
+    let best = report
+        .best
+        .as_ref()
+        .map(|b| {
+            format!(
+                "{:#018x} ({:.1})",
+                b.genes.first().copied().unwrap_or(0),
+                b.fitness
+            )
+        })
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "campaign {:>3}  {:<20} {:<13} gen {:>4}  best {best}  \
+         {} evaluations ({} cached), {} incidents",
+        report.campaign,
+        report.name,
+        report.state,
+        report.generation,
+        report.evaluations,
+        report.cache_hits,
+        report.incidents,
+    );
+}
+
+fn print_event(event: &Event) {
+    match event {
+        Event::Generation {
+            campaign,
+            generation,
+            best,
+            leaderboard_delta,
+            stats,
+            incidents,
+        } => {
+            let best = best
+                .as_ref()
+                .map(|b| {
+                    format!(
+                        "{:#018x} ({:.1})",
+                        b.genes.first().copied().unwrap_or(0),
+                        b.fitness
+                    )
+                })
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "campaign {campaign} gen {generation}: best {best}, +{} leaderboard entries, \
+                 {} evaluations ({} cached), {} incidents this round",
+                leaderboard_delta.len(),
+                stats.evaluations,
+                stats.cache_hits,
+                incidents.len(),
+            );
+        }
+        Event::Completed {
+            campaign,
+            generations,
+            converged,
+            leaderboard,
+        } => {
+            println!(
+                "campaign {campaign} finished after {generations} generations \
+                 (converged: {converged}); final leaderboard:"
+            );
+            for entry in leaderboard.iter().take(5) {
+                println!(
+                    "  {:#018x}  {:.1}",
+                    entry.genes.first().copied().unwrap_or(0),
+                    entry.fitness
+                );
+            }
+        }
+        Event::Cancelled { campaign } => println!("campaign {campaign} cancelled"),
+        Event::Lagged { missed } => {
+            println!("(fell behind the event stream; {missed} events dropped)")
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(raw) {
@@ -251,6 +392,18 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "margins" => &["temp", "ce-tolerated", "scale", "seed"],
         "march" => &["scale", "seed"],
         "disasm" => &["pattern", "opt", "scale"],
+        "serve" => &["dir", "addr", "workers", "event-capacity", "exit-when-idle"],
+        "submit" => &[
+            "addr",
+            "temp",
+            "ue",
+            "minimize",
+            "scale",
+            "seed",
+            "step-budget",
+        ],
+        "status" => &["addr", "campaign"],
+        "watch" | "pause" | "resume" | "cancel" => &["addr", "campaign"],
         other => return Err(format!("unknown command `{other}`")),
     };
     check_flags(&args, allowed)?;
@@ -307,10 +460,51 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 return Err("--resume requires --db FILE (the journal to continue from)".into());
             }
             if campaigns > 1 {
-                if args.str("db").is_some() {
-                    return Err(
-                        "--campaigns: the multi-campaign demo does not journal; drop --db".into(),
+                if let Some(db) = args.str("db") {
+                    let paths = campaign_db_paths(db, campaigns)?;
+                    for path in &paths {
+                        if resume {
+                            if !path.exists() {
+                                return Err(format!(
+                                    "--resume: per-campaign journal `{}` is missing; \
+                                     rerun with the original --campaigns/--db flags",
+                                    path.display()
+                                ));
+                            }
+                        } else if path.exists() {
+                            let journal = CampaignJournal::open(DiskStorage::new(), path)
+                                .map_err(|e| format!("opening {}: {e}", path.display()))?;
+                            if let Some(cp) = journal.checkpoint() {
+                                return Err(format!(
+                                    "{} holds an interrupted search for campaign `{}`; \
+                                     pass --resume to continue it",
+                                    path.display(),
+                                    cp.campaign
+                                ));
+                            }
+                        }
+                    }
+                    println!(
+                        "scheduling {campaigns} journaled 64-bit pattern searches at {temp} C \
+                         over one {workers}-worker pool ..."
                     );
+                    let results = run_word64_campaigns_journaled(
+                        scale,
+                        seed,
+                        workers,
+                        supervision,
+                        temp,
+                        metric,
+                        minimize,
+                        &paths,
+                    )
+                    .map_err(|e| e.to_string())?;
+                    for (campaign, path) in results.iter().zip(&paths) {
+                        println!("\n== campaign {} ==", campaign.name);
+                        print_word64_campaign(campaign);
+                        println!("virus database written to {}", path.display());
+                    }
+                    return Ok(());
                 }
                 println!(
                     "scheduling {campaigns} concurrent 64-bit pattern searches at {temp} C \
@@ -502,6 +696,134 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             }
             Ok(())
         }
+        "serve" => {
+            let dir = args
+                .str("dir")
+                .ok_or("serve requires --dir DIR (the campaign registry directory)")?;
+            let config = DaemonConfig {
+                addr: args.str("addr").unwrap_or("127.0.0.1:0").to_string(),
+                dir: dir.into(),
+                workers: args.u64("workers", 2)?.max(1) as usize,
+                event_capacity: args.u64("event-capacity", 256)?.max(1) as usize,
+            };
+            let exit_when_idle = args.bool("exit-when-idle");
+            let daemon = Dstressd::start(config).map_err(|e| format!("starting dstressd: {e}"))?;
+            println!("dstressd listening on {}", daemon.addr());
+            let addr = daemon.addr().to_string();
+            if !exit_when_idle {
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            // --exit-when-idle: poll our own list endpoint and drain out
+            // once at least one campaign exists and none is running.
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                let campaigns = match service_request(&addr, &Request::List)? {
+                    Response::List { campaigns } => campaigns,
+                    other => return Err(format!("unexpected reply to list: {other:?}")),
+                };
+                if !campaigns.is_empty() && campaigns.iter().all(|c| c.state != "running") {
+                    break;
+                }
+            }
+            daemon
+                .shutdown()
+                .map_err(|e| format!("stopping dstressd: {e}"))?;
+            println!("dstressd idle; all campaigns settled");
+            Ok(())
+        }
+        "submit" => {
+            let addr = require_addr(&args)?;
+            let spec = CampaignSpec {
+                scale: args.str("scale").unwrap_or("").to_string(),
+                temp_c: temp,
+                ue: args.bool("ue"),
+                minimize: args.bool("minimize"),
+                seed: args.u64("seed", 0)?,
+                step_budget: args.u64("step-budget", 0)?,
+            };
+            match service_request(addr, &Request::Submit { spec })? {
+                Response::Submitted { campaign, name } => {
+                    println!("submitted campaign {campaign} ({name})");
+                    Ok(())
+                }
+                Response::Error { message } => Err(format!("daemon: {message}")),
+                other => Err(format!("unexpected reply to submit: {other:?}")),
+            }
+        }
+        "status" => {
+            let addr = require_addr(&args)?;
+            match args.str("campaign") {
+                Some(_) => {
+                    let campaign = args.u64("campaign", 0)?;
+                    match service_request(addr, &Request::Status { campaign })? {
+                        Response::Status { report } => {
+                            print_report(&report);
+                            Ok(())
+                        }
+                        Response::Error { message } => Err(format!("daemon: {message}")),
+                        other => Err(format!("unexpected reply to status: {other:?}")),
+                    }
+                }
+                None => match service_request(addr, &Request::List)? {
+                    Response::List { campaigns } => {
+                        if campaigns.is_empty() {
+                            println!("no campaigns");
+                        }
+                        for report in &campaigns {
+                            print_report(report);
+                        }
+                        Ok(())
+                    }
+                    Response::Error { message } => Err(format!("daemon: {message}")),
+                    other => Err(format!("unexpected reply to list: {other:?}")),
+                },
+            }
+        }
+        "watch" => {
+            let addr = require_addr(&args)?;
+            let campaign = campaign_arg(&args)?;
+            let mut stream =
+                TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+            send_line(&mut stream, &Request::Watch { campaign })?;
+            let reader = stream
+                .try_clone()
+                .map_err(|e| format!("connecting to {addr}: {e}"))?;
+            let mut reader = std::io::BufReader::new(reader);
+            match read_reply(&mut reader)? {
+                Response::Watching { .. } => {}
+                Response::Error { message } => return Err(format!("daemon: {message}")),
+                other => return Err(format!("unexpected reply to watch: {other:?}")),
+            }
+            loop {
+                let frame = read_frame(&mut reader).map_err(|e| format!("watch stream: {e:?}"))?;
+                match serde_json::from_str::<Event>(&frame) {
+                    Ok(event) => print_event(&event),
+                    // Anything that is not an event is the daemon's
+                    // end-of-stream marker: the campaign settled.
+                    Err(_) => break,
+                }
+            }
+            Ok(())
+        }
+        "pause" | "resume" | "cancel" => {
+            let addr = require_addr(&args)?;
+            let campaign = campaign_arg(&args)?;
+            let request = match command {
+                "pause" => Request::Pause { campaign },
+                "resume" => Request::Resume { campaign },
+                _ => Request::Cancel { campaign },
+            };
+            match service_request(addr, &request)? {
+                Response::Ok => {
+                    println!("campaign {campaign}: {command} acknowledged");
+                    Ok(())
+                }
+                Response::Error { message } => Err(format!("daemon: {message}")),
+                other => Err(format!("unexpected reply to {command}: {other:?}")),
+            }
+        }
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -585,16 +907,47 @@ mod tests {
         assert!(err.contains("at least 1"), "{err}");
         let err = run(strings(&["search-word64", "--campaigns", "-3"])).unwrap_err();
         assert!(err.contains("--campaigns"), "{err}");
-        // The multi-campaign demo has no journaling path.
+        // A --db base whose derived per-campaign paths cannot be formed
+        // is rejected before any journal is opened.
         let err = run(strings(&[
             "search-word64",
             "--campaigns",
             "2",
             "--db",
-            "x.json",
+            "..",
         ]))
         .unwrap_err();
-        assert!(err.contains("drop --db"), "{err}");
+        assert!(err.contains("no file name"), "{err}");
+        // Resuming a multi-campaign batch requires every per-campaign
+        // journal that the base path derives.
+        let err = run(strings(&[
+            "search-word64",
+            "--campaigns",
+            "2",
+            "--db",
+            "does-not-exist/x.json",
+            "--resume",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("x-c0.json"), "{err}");
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn service_commands_validate_their_flags_before_connecting() {
+        let err = run(strings(&["serve"])).unwrap_err();
+        assert!(err.contains("--dir"), "{err}");
+        let err = run(strings(&["submit", "--temp", "60"])).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = run(strings(&["watch", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--campaign"), "{err}");
+        let err = run(strings(&["cancel", "--addr", "127.0.0.1:1"])).unwrap_err();
+        assert!(err.contains("--campaign"), "{err}");
+        // Unknown flags are still rejected per command.
+        let err = run(strings(&["serve", "--dir", "d", "--temp", "60"])).unwrap_err();
+        assert!(err.contains("unknown flag --temp"), "{err}");
+        let err = run(strings(&["status", "--workers", "2"])).unwrap_err();
+        assert!(err.contains("unknown flag --workers"), "{err}");
     }
 
     #[test]

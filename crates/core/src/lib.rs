@@ -56,6 +56,7 @@ pub mod patterns;
 pub mod report;
 pub mod scale;
 pub mod search;
+pub mod service;
 pub mod templates;
 pub mod usecases;
 pub mod usecases_retention;

@@ -306,7 +306,7 @@ pub enum Seeding {
 }
 
 impl Seeding {
-    fn initial_genome(&self, rng: &mut rand::rngs::StdRng, bits: usize) -> BitGenome {
+    pub(crate) fn initial_genome(&self, rng: &mut rand::rngs::StdRng, bits: usize) -> BitGenome {
         match self {
             Seeding::Random => BitGenome::random(rng, bits),
             Seeding::WordSlice { word, start, len } => {
@@ -483,10 +483,18 @@ impl DStress {
         Ok(evaluator)
     }
 
+    /// The engine seed of the `seq`-th campaign (1-based) started on a
+    /// framework seeded with `framework_seed` — the derivation every
+    /// campaign entry point shares. Exposed so external drivers (the
+    /// `dstressd` service, differential tests) can reproduce a solo
+    /// campaign's seed exactly.
+    pub fn campaign_seed(framework_seed: u64, seq: u64) -> u64 {
+        framework_seed.wrapping_add(seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     fn next_campaign_seed(&mut self) -> u64 {
         self.campaign_seq += 1;
-        self.seed
-            .wrapping_add(self.campaign_seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        DStress::campaign_seed(self.seed, self.campaign_seq)
     }
 
     fn record_bit_leaderboard(&mut self, name: &str, result: &SearchResult<BitGenome>) {

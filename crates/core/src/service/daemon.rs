@@ -1,0 +1,421 @@
+//! `dstressd`: the TCP front-end over [`ServiceEngine`].
+//!
+//! Hand-rolled on `std::net` threads — no async runtime. One acceptor
+//! thread hands each connection to its own client thread; every client
+//! speaks line-delimited JSON ([`Request`] in, [`Response`] /
+//! [`Event`] out). All campaign state lives on a single engine thread
+//! that alternates between draining client commands and ticking the
+//! scheduler, so the engine itself needs no locking. A `watch` request
+//! flips the connection into streaming mode: the client thread pumps its
+//! [`Subscriber`] queue onto the socket until the campaign's bus closes,
+//! then returns to request/response mode.
+//!
+//! Shutdown: the acceptor stops, every client socket is
+//! [`Shutdown::Both`]-torn (which unblocks their reads without losing
+//! frame state), the threads are joined, and finally the engine thread
+//! checkpoints out. Because every generation already journals before the
+//! next step, a hard kill (power loss, SIGKILL) loses nothing either —
+//! the next boot resumes each campaign from its journal bit-identically.
+
+use crate::service::broadcast::{Recv, Subscriber};
+use crate::service::engine::ServiceEngine;
+use crate::service::protocol::{
+    parse_request, read_frame, CampaignSpec, Event, FrameError, Request, Response, StatusReport,
+};
+use std::io::{self, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How the daemon is wired up.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address; use port 0 to let the OS pick (the bound address
+    /// is reported by [`Dstressd::addr`]).
+    pub addr: String,
+    /// The campaign registry directory.
+    pub dir: PathBuf,
+    /// Evaluation worker threads shared by all campaigns of a substrate.
+    pub workers: usize,
+    /// Per-subscriber event buffer; slower clients lag past this.
+    pub event_capacity: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            dir: PathBuf::from("dstressd-campaigns"),
+            workers: 2,
+            event_capacity: 256,
+        }
+    }
+}
+
+/// A client request routed to the engine thread, with its reply channel.
+enum Command {
+    Submit {
+        spec: CampaignSpec,
+        reply: Sender<Result<(u64, String), String>>,
+    },
+    Status {
+        campaign: u64,
+        reply: Sender<Result<StatusReport, String>>,
+    },
+    List {
+        reply: Sender<Vec<StatusReport>>,
+    },
+    SetPaused {
+        campaign: u64,
+        paused: bool,
+        reply: Sender<Result<(), String>>,
+    },
+    Cancel {
+        campaign: u64,
+        reply: Sender<Result<(), String>>,
+    },
+    Watch {
+        campaign: u64,
+        reply: Sender<Result<Subscriber<Event>, String>>,
+    },
+}
+
+type ClientRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// A running campaign daemon. Dropping it (or calling
+/// [`shutdown`](Dstressd::shutdown)) stops the listener, disconnects
+/// every client, and checkpoints the engine out cleanly.
+pub struct Dstressd {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    engine: Option<JoinHandle<io::Result<()>>>,
+    clients: ClientRegistry,
+}
+
+impl std::fmt::Debug for Dstressd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dstressd")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Dstressd {
+    /// Boots the engine over `config.dir` (resuming every unfinished
+    /// campaign) and starts serving on `config.addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and engine boot failures (a corrupt
+    /// registry refuses to boot).
+    pub fn start(config: DaemonConfig) -> io::Result<Dstressd> {
+        let engine = ServiceEngine::new(&config.dir, config.workers, config.event_capacity)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let clients: ClientRegistry = Arc::new(Mutex::new(Vec::new()));
+        let (commands, inbox) = mpsc::channel();
+        let engine_handle = std::thread::Builder::new()
+            .name("dstressd-engine".into())
+            .spawn({
+                let shutdown = Arc::clone(&shutdown);
+                move || engine_loop(engine, inbox, shutdown)
+            })?;
+        let accept_handle = std::thread::Builder::new()
+            .name("dstressd-accept".into())
+            .spawn({
+                let shutdown = Arc::clone(&shutdown);
+                let clients = Arc::clone(&clients);
+                move || accept_loop(listener, commands, shutdown, clients)
+            })?;
+        Ok(Dstressd {
+            addr,
+            shutdown,
+            accept: Some(accept_handle),
+            engine: Some(engine_handle),
+            clients,
+        })
+    }
+
+    /// The address the daemon is actually listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the daemon: no new connections, every client disconnected,
+    /// engine checkpointed out. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any journal/registry I/O failure the engine thread hit.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        self.stop()
+    }
+
+    fn stop(&mut self) -> io::Result<()> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let clients = std::mem::take(
+            &mut *self
+                .clients
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for (stream, handle) in clients {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+        match self.engine.take() {
+            Some(engine) => match engine.join() {
+                Ok(result) => result,
+                Err(_) => Err(io::Error::other("the engine thread panicked")),
+            },
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Dstressd {
+    fn drop(&mut self) {
+        let _ = self.stop();
+    }
+}
+
+/// The engine thread: drain queued commands, tick the scheduler, sleep
+/// briefly when idle. Returns once the shutdown flag is raised and the
+/// in-flight generation has been settled.
+fn engine_loop(
+    mut engine: ServiceEngine,
+    inbox: Receiver<Command>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    loop {
+        while let Ok(command) = inbox.try_recv() {
+            dispatch(&mut engine, command);
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if !engine.tick()? {
+            // Idle: block on the inbox instead of spinning.
+            match inbox.recv_timeout(Duration::from_millis(20)) {
+                Ok(command) => dispatch(&mut engine, command),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+}
+
+fn dispatch(engine: &mut ServiceEngine, command: Command) {
+    match command {
+        Command::Submit { spec, reply } => {
+            let _ = reply.send(engine.submit(spec));
+        }
+        Command::Status { campaign, reply } => {
+            let _ = reply.send(engine.status(campaign));
+        }
+        Command::List { reply } => {
+            let _ = reply.send(engine.list());
+        }
+        Command::SetPaused {
+            campaign,
+            paused,
+            reply,
+        } => {
+            let _ = reply.send(engine.set_paused(campaign, paused));
+        }
+        Command::Cancel { campaign, reply } => {
+            let _ = reply.send(engine.cancel(campaign));
+        }
+        Command::Watch { campaign, reply } => {
+            let _ = reply.send(engine.watch(campaign));
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    commands: Sender<Command>,
+    shutdown: Arc<AtomicBool>,
+    clients: ClientRegistry,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let Ok(teardown) = stream.try_clone() else {
+                    continue;
+                };
+                let commands = commands.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let spawned = std::thread::Builder::new()
+                    .name("dstressd-client".into())
+                    .spawn(move || client_loop(stream, commands, shutdown));
+                if let Ok(handle) = spawned {
+                    clients
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((teardown, handle));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Sends a command to the engine thread and waits for its reply.
+fn ask<T>(
+    commands: &Sender<Command>,
+    build: impl FnOnce(Sender<T>) -> Command,
+) -> Result<T, String> {
+    let (reply, answer) = mpsc::channel();
+    commands
+        .send(build(reply))
+        .map_err(|_| "the daemon is shutting down".to_string())?;
+    answer
+        .recv_timeout(Duration::from_secs(60))
+        .map_err(|_| "the daemon did not answer".to_string())
+}
+
+fn write_line<W: Write, T: serde::Serialize>(out: &mut W, value: &T) -> io::Result<()> {
+    let mut line = serde_json::to_string(value).map_err(io::Error::other)?;
+    line.push('\n');
+    out.write_all(line.as_bytes())?;
+    out.flush()
+}
+
+/// One connection: read a frame, answer it, repeat. A malformed or
+/// oversized frame earns a typed [`Response::Error`] and the connection
+/// stays up; only EOF, socket errors, or daemon shutdown end it.
+fn client_loop(stream: TcpStream, commands: Sender<Command>, shutdown: Arc<AtomicBool>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(FrameError::TooLong) => {
+                let refused = Response::Error {
+                    message: "frame too long".into(),
+                };
+                if write_line(&mut writer, &refused).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Eof) | Err(FrameError::Io(_)) => return,
+        };
+        if frame.is_empty() {
+            continue;
+        }
+        let request = match parse_request(&frame) {
+            Ok(request) => request,
+            Err(error) => {
+                if write_line(&mut writer, &error).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match request {
+            Request::Ping => Response::Pong,
+            Request::Submit { spec } => {
+                match ask(&commands, |reply| Command::Submit { spec, reply }) {
+                    Ok(Ok((campaign, name))) => Response::Submitted { campaign, name },
+                    Ok(Err(message)) | Err(message) => Response::Error { message },
+                }
+            }
+            Request::Status { campaign } => {
+                match ask(&commands, |reply| Command::Status { campaign, reply }) {
+                    Ok(Ok(report)) => Response::Status { report },
+                    Ok(Err(message)) | Err(message) => Response::Error { message },
+                }
+            }
+            Request::List => match ask(&commands, |reply| Command::List { reply }) {
+                Ok(campaigns) => Response::List { campaigns },
+                Err(message) => Response::Error { message },
+            },
+            Request::Pause { campaign } => pause_response(&commands, campaign, true),
+            Request::Resume { campaign } => pause_response(&commands, campaign, false),
+            Request::Cancel { campaign } => {
+                match ask(&commands, |reply| Command::Cancel { campaign, reply }) {
+                    Ok(Ok(())) => Response::Ok,
+                    Ok(Err(message)) | Err(message) => Response::Error { message },
+                }
+            }
+            Request::Watch { campaign } => {
+                match ask(&commands, |reply| Command::Watch { campaign, reply }) {
+                    Ok(Ok(subscriber)) => {
+                        let opened = Response::Watching { campaign };
+                        if write_line(&mut writer, &opened).is_err() {
+                            return;
+                        }
+                        if stream_events(&mut writer, &subscriber, &shutdown).is_err() {
+                            return;
+                        }
+                        // End-of-stream marker: the campaign's bus closed
+                        // (or the daemon is stopping), so the connection
+                        // returns to request/response mode.
+                        if write_line(&mut writer, &Response::Ok).is_err() {
+                            return;
+                        }
+                        continue;
+                    }
+                    Ok(Err(message)) | Err(message) => Response::Error { message },
+                }
+            }
+        };
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn pause_response(commands: &Sender<Command>, campaign: u64, paused: bool) -> Response {
+    match ask(commands, |reply| Command::SetPaused {
+        campaign,
+        paused,
+        reply,
+    }) {
+        Ok(Ok(())) => Response::Ok,
+        Ok(Err(message)) | Err(message) => Response::Error { message },
+    }
+}
+
+/// Pumps a subscription onto the socket until the campaign's bus closes
+/// (or the daemon shuts down). Lag surfaces as an explicit
+/// [`Event::Lagged`] line.
+fn stream_events<W: Write>(
+    out: &mut W,
+    subscriber: &Subscriber<Event>,
+    shutdown: &Arc<AtomicBool>,
+) -> io::Result<()> {
+    loop {
+        match subscriber.recv_timeout(Duration::from_millis(100)) {
+            Recv::Event(event) => write_line(out, &event)?,
+            Recv::Lagged(missed) => write_line(out, &Event::Lagged { missed })?,
+            Recv::Empty => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Recv::Closed => return Ok(()),
+        }
+    }
+}

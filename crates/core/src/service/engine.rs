@@ -1,0 +1,1038 @@
+//! The network-free service core: multi-tenant campaign execution.
+//!
+//! [`ServiceEngine`] owns every live campaign. Campaigns whose evaluation
+//! substrate is identical (same scale, same temperature, same metric) are
+//! grouped onto one [`CampaignScheduler`] over one persistent
+//! [`EvalPool`], so concurrent tenants share worker threads and replica
+//! caches; campaigns with different substrates get their own group. One
+//! [`tick`](ServiceEngine::tick) advances every runnable campaign by
+//! exactly one generation round and then settles each stepped campaign:
+//! journal its new records and incidents, publish a progress event, and
+//! append its post-step checkpoint (or finish the journal when done).
+//!
+//! The journaling protocol is the same as
+//! [`run_journaled`](dstress_ga::run_journaled)'s — checkpoint, step,
+//! records, incidents, checkpoint, … — so a daemon killed at any point
+//! resumes every unfinished campaign **bit-identically** at the next
+//! boot, and a finished campaign's journal snapshot is byte-for-byte the
+//! snapshot a solo
+//! [`search_word64_journaled`](crate::DStress::search_word64_journaled)
+//! run with the same spec would have written.
+
+use crate::error::DStressError;
+use crate::evaluate::{Metric, ParallelBitFitness};
+use crate::patterns::BitCodec;
+use crate::scale::ExperimentScale;
+use crate::search::{BitCampaign, DStress, EnvKind, Seeding};
+use crate::service::broadcast::{EventBus, Subscriber};
+use crate::service::protocol::{CampaignSpec, Event, LeaderboardEntry, StatusReport};
+use crate::service::registry::{CampaignRegistry, StoredResult, StoredSpec};
+use dstress_ga::journal::{CampaignJournal, DiskStorage};
+use dstress_ga::{
+    BitGenome, CampaignScheduler, EngineState, EvalPool, Genome, ParallelFitness, SearchSession,
+    SupervisionPolicy, VirusRecord,
+};
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The word64 chromosome codec every service campaign uses.
+fn word64_codec() -> BitCodec {
+    BitCodec::Word64 {
+        param: "PATTERN".into(),
+    }
+}
+
+/// Resolves a spec's scale name (`""` defaults to `quick` — the service
+/// is a long-running multiplexer, so the cheap scale is the safe default).
+fn scale_named(name: &str) -> Result<ExperimentScale, String> {
+    match name {
+        "" | "quick" => Ok(ExperimentScale::quick()),
+        "paper" => Ok(ExperimentScale::paper()),
+        other => Err(format!("unknown scale `{other}` (quick|paper)")),
+    }
+}
+
+fn spec_metric(spec: &CampaignSpec) -> Metric {
+    if spec.ue {
+        Metric::UeRuns
+    } else {
+        Metric::CeAverage
+    }
+}
+
+fn entry(genome: &BitGenome, fitness: f64) -> LeaderboardEntry {
+    LeaderboardEntry {
+        genes: genome.to_words(),
+        fitness,
+    }
+}
+
+fn make_record(campaign: &str, genome: &BitGenome, value: f64) -> VirusRecord {
+    VirusRecord {
+        campaign: campaign.to_string(),
+        genes: genome.to_words(),
+        gene_len: genome.len(),
+        fitness: value,
+        ce: value.max(0.0) as u64,
+        ue: 0,
+        sequence: 0,
+    }
+}
+
+fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Where a campaign is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CampaignState {
+    /// Scheduled: contributes tasks to every tick.
+    Running,
+    /// Client-paused: keeps all state, contributes nothing.
+    Paused,
+    /// Exhausted its step budget: checkpointed, waiting for a resume.
+    BudgetPaused,
+    /// Finished (converged or out of generations).
+    Done,
+    /// Cancelled by a client; the journal is retained.
+    Cancelled,
+}
+
+impl CampaignState {
+    fn as_str(self) -> &'static str {
+        match self {
+            CampaignState::Running => "running",
+            CampaignState::Paused => "paused",
+            CampaignState::BudgetPaused => "budget-paused",
+            CampaignState::Done => "done",
+            CampaignState::Cancelled => "cancelled",
+        }
+    }
+
+    fn terminal(self) -> bool {
+        matches!(self, CampaignState::Done | CampaignState::Cancelled)
+    }
+}
+
+/// The scheduler-side state of a live (non-terminal) campaign.
+struct Live {
+    group: usize,
+    sched: usize,
+    journal: CampaignJournal<DiskStorage>,
+    /// Chromosomes already journaled — a resume's replay window must not
+    /// re-append its repeats.
+    recorded: HashSet<Vec<u64>>,
+    /// Chromosomes already reported on the leaderboard, for event deltas.
+    board_genes: HashSet<Vec<u64>>,
+    /// The scheduler step budget currently in force (steps counted from
+    /// this boot's `add`), mirroring the scheduler's own budget.
+    budget: Option<u64>,
+}
+
+/// One campaign the engine knows about, live or terminal.
+struct Runtime {
+    id: u64,
+    name: String,
+    spec: CampaignSpec,
+    state: CampaignState,
+    live: Option<Live>,
+    bus: EventBus<Event>,
+    /// The terminal report, once the campaign is done or cancelled.
+    report: Option<StatusReport>,
+}
+
+/// Campaigns sharing one evaluation substrate, fair-share scheduled over
+/// one persistent pool.
+struct Group {
+    /// Substrate identity: scale name, temperature bits, UE metric flag.
+    key: (String, u64, bool),
+    scheduler: CampaignScheduler<BitGenome, ParallelBitFitness>,
+}
+
+/// The multi-tenant campaign engine behind `dstressd` (network-free; the
+/// daemon front-end owns exactly one, on one thread).
+pub struct ServiceEngine {
+    registry: CampaignRegistry,
+    groups: Vec<Group>,
+    campaigns: Vec<Runtime>,
+    workers: usize,
+    event_capacity: usize,
+}
+
+impl std::fmt::Debug for ServiceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceEngine")
+            .field("dir", &self.registry.dir())
+            .field("groups", &self.groups.len())
+            .field("campaigns", &self.campaigns.len())
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceEngine {
+    /// Boots the engine over a registry directory: scans it and resumes
+    /// every unfinished campaign from its journal checkpoint,
+    /// bit-identically. Previously paused campaigns come back paused.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry I/O failures; a recovered spec that no longer
+    /// builds (unknown scale, unsettleable temperature, corrupt
+    /// checkpoint) aborts the boot with [`io::ErrorKind::InvalidData`]
+    /// rather than silently dropping the campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `event_capacity` is zero.
+    pub fn new(dir: impl Into<PathBuf>, workers: usize, event_capacity: usize) -> io::Result<Self> {
+        assert!(workers >= 1, "at least one evaluation worker is required");
+        assert!(event_capacity >= 1, "subscribers buffer at least one event");
+        let (registry, recovered) = CampaignRegistry::open(dir)?;
+        let mut engine = ServiceEngine {
+            registry,
+            groups: Vec::new(),
+            campaigns: Vec::new(),
+            workers,
+            event_capacity,
+        };
+        for campaign in recovered {
+            engine.revive(campaign.id, campaign.stored)?;
+        }
+        Ok(engine)
+    }
+
+    /// The registry directory this engine persists into.
+    pub fn dir(&self) -> &Path {
+        self.registry.dir()
+    }
+
+    /// Whether no campaign currently has schedulable work.
+    pub fn idle(&self) -> bool {
+        self.groups.iter().all(|g| g.scheduler.idle())
+    }
+
+    fn runtime(&self, id: u64) -> Result<usize, String> {
+        self.campaigns
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or_else(|| format!("no campaign {id}"))
+    }
+
+    fn persist_state(&self, idx: usize) -> io::Result<()> {
+        let runtime = &self.campaigns[idx];
+        self.registry.write_spec(
+            runtime.id,
+            &StoredSpec {
+                spec: runtime.spec.clone(),
+                name: runtime.name.clone(),
+                state: runtime.state.as_str().to_string(),
+            },
+        )
+    }
+
+    fn ensure_group(&mut self, spec: &CampaignSpec) -> Result<usize, String> {
+        let scale = scale_named(&spec.scale)?;
+        let key = (
+            scale.name.to_string(),
+            spec.temperature().to_bits(),
+            spec.ue,
+        );
+        if let Some(i) = self.groups.iter().position(|g| g.key == key) {
+            return Ok(i);
+        }
+        let dstress = DStress::new(scale, 0);
+        let fitness = ParallelBitFitness {
+            evaluator: dstress
+                .evaluator(&EnvKind::Word64, spec.temperature(), spec_metric(spec))
+                .map_err(|e| e.to_string())?,
+            codec: word64_codec(),
+        };
+        self.groups.push(Group {
+            key,
+            scheduler: CampaignScheduler::new(EvalPool::new(&fitness, self.workers)),
+        });
+        Ok(self.groups.len() - 1)
+    }
+
+    /// Builds the session for a campaign: resumed from its journal
+    /// checkpoint when one matches the campaign name, fresh otherwise.
+    fn build_session(
+        spec: &CampaignSpec,
+        name: &str,
+        journal: &CampaignJournal<DiskStorage>,
+    ) -> Result<SearchSession<BitGenome>, String> {
+        let scale = scale_named(&spec.scale)?;
+        let mut config = scale.ga;
+        config.minimize = spec.minimize;
+        match journal.checkpoint() {
+            Some(cp) if cp.campaign == name => {
+                let state =
+                    EngineState::<BitGenome>::from_json(&cp.state).map_err(|e| e.to_string())?;
+                Ok(SearchSession::resume(state))
+            }
+            _ => {
+                let bits = word64_codec().genome_bits();
+                // The engine seed of the first campaign a solo framework
+                // with this seed would start — the determinism contract.
+                let seed = DStress::campaign_seed(spec.framework_seed(), 1);
+                Ok(SearchSession::start(config, seed, |rng| {
+                    Seeding::Random.initial_genome(rng, bits)
+                }))
+            }
+        }
+    }
+
+    /// Registers and schedules a campaign, returning its id and name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed message for an invalid spec (unknown scale, a
+    /// temperature the thermal rig cannot settle) or a persistence
+    /// failure; nothing is scheduled on error.
+    pub fn submit(&mut self, spec: CampaignSpec) -> Result<(u64, String), String> {
+        let group = self.ensure_group(&spec)?;
+        let name =
+            DStress::word64_campaign_name(spec.temperature(), &spec_metric(&spec), spec.minimize);
+        let id = self.registry.alloc_id();
+        let mut journal = CampaignJournal::open(DiskStorage::new(), self.registry.db_path(id))
+            .map_err(|e| format!("opening campaign journal: {e}"))?;
+        let session = Self::build_session(&spec, &name, &journal)?;
+        let state = session.checkpoint().to_json().map_err(|e| e.to_string())?;
+        journal
+            .append_checkpoint(&name, state)
+            .map_err(|e| format!("journaling: {e}"))?;
+        let budget = (spec.step_budget > 0).then_some(spec.step_budget);
+        let sched = self.groups[group].scheduler.add(session, budget);
+        self.campaigns.push(Runtime {
+            id,
+            name: name.clone(),
+            spec,
+            state: CampaignState::Running,
+            live: Some(Live {
+                group,
+                sched,
+                journal,
+                recorded: HashSet::new(),
+                board_genes: HashSet::new(),
+                budget,
+            }),
+            bus: EventBus::new(self.event_capacity),
+            report: None,
+        });
+        self.persist_state(self.campaigns.len() - 1)
+            .map_err(|e| format!("persisting campaign spec: {e}"))?;
+        Ok((id, name))
+    }
+
+    /// Rebuilds one campaign recovered by the boot scan.
+    fn revive(&mut self, id: u64, stored: StoredSpec) -> io::Result<()> {
+        let state = match stored.state.as_str() {
+            "done" => CampaignState::Done,
+            "cancelled" => CampaignState::Cancelled,
+            "paused" | "budget-paused" => CampaignState::Paused,
+            _ => CampaignState::Running,
+        };
+        let bus = EventBus::new(self.event_capacity);
+        if state.terminal() {
+            let report = self.registry.read_result(id)?.map(|r| r.report);
+            bus.close();
+            self.campaigns.push(Runtime {
+                id,
+                name: stored.name,
+                spec: stored.spec,
+                state,
+                live: None,
+                bus,
+                report,
+            });
+            return Ok(());
+        }
+        let group = self.ensure_group(&stored.spec).map_err(invalid_data)?;
+        let journal = CampaignJournal::open(DiskStorage::new(), self.registry.db_path(id))?;
+        let session =
+            Self::build_session(&stored.spec, &stored.name, &journal).map_err(invalid_data)?;
+        let recorded: HashSet<Vec<u64>> = journal
+            .db()
+            .campaign(&stored.name)
+            .map(|r| r.genes.clone())
+            .collect();
+        let budget = (stored.spec.step_budget > 0).then_some(stored.spec.step_budget);
+        let scheduler = &mut self.groups[group].scheduler;
+        let sched = scheduler.add(session, budget);
+        if state == CampaignState::Paused {
+            scheduler.set_paused(sched, true);
+        }
+        self.campaigns.push(Runtime {
+            id,
+            name: stored.name,
+            spec: stored.spec,
+            state,
+            live: Some(Live {
+                group,
+                sched,
+                journal,
+                recorded,
+                board_genes: HashSet::new(),
+                budget,
+            }),
+            bus,
+            report: None,
+        });
+        Ok(())
+    }
+
+    /// Advances every runnable campaign by one generation round and
+    /// settles the results (journal, events, checkpoints). Returns `false`
+    /// when nothing had schedulable work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal and registry I/O failures.
+    pub fn tick(&mut self) -> io::Result<bool> {
+        let mut worked = false;
+        for group in 0..self.groups.len() {
+            let stepped: Vec<(usize, u64)> = self
+                .campaigns
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| {
+                    let live = r.live.as_ref()?;
+                    (live.group == group)
+                        .then(|| (i, self.groups[group].scheduler.steps_taken(live.sched)))
+                })
+                .collect();
+            if !self.groups[group].scheduler.tick() {
+                continue;
+            }
+            worked = true;
+            for (idx, steps_before) in stepped {
+                let live = self.campaigns[idx].live.as_ref().expect("live campaign");
+                if self.groups[group].scheduler.steps_taken(live.sched) > steps_before {
+                    self.settle(idx)?;
+                }
+            }
+        }
+        Ok(worked)
+    }
+
+    /// Runs [`tick`](ServiceEngine::tick) until no campaign has
+    /// schedulable work left.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal and registry I/O failures.
+    pub fn run_until_idle(&mut self) -> io::Result<()> {
+        while self.tick()? {}
+        Ok(())
+    }
+
+    /// Journals one stepped campaign's new results, publishes its
+    /// progress event, and checkpoints (or completes) it — the per-step
+    /// half of `run_journaled`'s loop, per tenant.
+    fn settle(&mut self, idx: usize) -> io::Result<()> {
+        let runtime = &mut self.campaigns[idx];
+        let Some(live) = runtime.live.as_mut() else {
+            return Ok(());
+        };
+        let group = &mut self.groups[live.group];
+        let session = group.scheduler.session_mut(live.sched);
+        for (genome, value) in session.take_newly_evaluated() {
+            let record = make_record(&runtime.name, &genome, value);
+            if live.recorded.insert(record.genes.clone()) {
+                live.journal.append_record(record)?;
+            }
+        }
+        let incidents = session.take_new_incidents();
+        for incident in &incidents {
+            live.journal
+                .append_incident(&runtime.name, incident.clone())?;
+        }
+        let board = session.leaderboard();
+        let delta: Vec<LeaderboardEntry> = board
+            .iter()
+            .filter(|(g, _)| !live.board_genes.contains(&g.to_words()))
+            .map(|(g, f)| entry(g, *f))
+            .collect();
+        for (g, _) in &board {
+            live.board_genes.insert(g.to_words());
+        }
+        let generation = session.generation();
+        runtime.bus.publish(&Event::Generation {
+            campaign: runtime.id,
+            generation,
+            best: board.first().map(|(g, f)| entry(g, *f)),
+            leaderboard_delta: delta,
+            stats: session.eval_stats().clone(),
+            incidents,
+        });
+        if session.done() {
+            let report = StatusReport {
+                campaign: runtime.id,
+                name: runtime.name.clone(),
+                state: CampaignState::Done.as_str().to_string(),
+                generation,
+                best: board.first().map(|(g, f)| entry(g, *f)),
+                evaluations: session.eval_stats().evaluations,
+                cache_hits: session.eval_stats().cache_hits,
+                incidents: session.incidents().len() as u64,
+                converged: session.converged(),
+            };
+            let leaderboard: Vec<LeaderboardEntry> =
+                board.iter().map(|(g, f)| entry(g, *f)).collect();
+            let _ = group.scheduler.remove(live.sched);
+            live.journal.finish()?;
+            runtime.live = None;
+            runtime.state = CampaignState::Done;
+            self.registry.write_result(
+                runtime.id,
+                &StoredResult {
+                    report: report.clone(),
+                    leaderboard: leaderboard.clone(),
+                },
+            )?;
+            runtime.bus.publish(&Event::Completed {
+                campaign: runtime.id,
+                generations: generation,
+                converged: report.converged,
+                leaderboard,
+            });
+            runtime.bus.close();
+            runtime.report = Some(report);
+            self.persist_state(idx)?;
+        } else {
+            let state = session.checkpoint().to_json().map_err(io::Error::other)?;
+            live.journal.append_checkpoint(&runtime.name, state)?;
+            if live
+                .budget
+                .is_some_and(|b| group.scheduler.steps_taken(live.sched) >= b)
+                && runtime.state == CampaignState::Running
+            {
+                runtime.state = CampaignState::BudgetPaused;
+                self.persist_state(idx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// A point-in-time progress report for one campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed message for an unknown campaign id.
+    pub fn status(&self, id: u64) -> Result<StatusReport, String> {
+        let idx = self.runtime(id)?;
+        let runtime = &self.campaigns[idx];
+        if let Some(report) = &runtime.report {
+            return Ok(report.clone());
+        }
+        let Some(live) = runtime.live.as_ref() else {
+            // A terminal campaign whose result file never landed (e.g. a
+            // crash between journal completion and the result write).
+            return Ok(StatusReport {
+                campaign: runtime.id,
+                name: runtime.name.clone(),
+                state: runtime.state.as_str().to_string(),
+                generation: 0,
+                best: None,
+                evaluations: 0,
+                cache_hits: 0,
+                incidents: 0,
+                converged: false,
+            });
+        };
+        let session = self.groups[live.group].scheduler.session(live.sched);
+        let board = session.leaderboard();
+        Ok(StatusReport {
+            campaign: runtime.id,
+            name: runtime.name.clone(),
+            state: runtime.state.as_str().to_string(),
+            generation: session.generation(),
+            best: board.first().map(|(g, f)| entry(g, *f)),
+            evaluations: session.eval_stats().evaluations,
+            cache_hits: session.eval_stats().cache_hits,
+            incidents: session.incidents().len() as u64,
+            converged: session.converged(),
+        })
+    }
+
+    /// Progress reports for every campaign ever submitted, in id order.
+    pub fn list(&self) -> Vec<StatusReport> {
+        let mut ids: Vec<u64> = self.campaigns.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .filter_map(|id| self.status(id).ok())
+            .collect()
+    }
+
+    /// Pauses or resumes a campaign. Resuming a budget-paused campaign
+    /// grants it a fresh stint of `step_budget` generations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed message for an unknown id or a terminal
+    /// campaign.
+    pub fn set_paused(&mut self, id: u64, paused: bool) -> Result<(), String> {
+        let idx = self.runtime(id)?;
+        let runtime = &mut self.campaigns[idx];
+        let Some(live) = runtime.live.as_mut() else {
+            return Err(format!("campaign {id} is {}", runtime.state.as_str()));
+        };
+        let scheduler = &mut self.groups[live.group].scheduler;
+        scheduler.set_paused(live.sched, paused);
+        if paused {
+            runtime.state = CampaignState::Paused;
+        } else {
+            let taken = scheduler.steps_taken(live.sched);
+            if live.budget.is_some_and(|b| taken >= b) {
+                let next = taken + runtime.spec.step_budget.max(1);
+                live.budget = Some(next);
+                scheduler.set_step_budget(live.sched, Some(next));
+            }
+            runtime.state = CampaignState::Running;
+        }
+        self.persist_state(idx)
+            .map_err(|e| format!("persisting campaign state: {e}"))
+    }
+
+    /// Cancels a campaign: its session is discarded, its journal (with
+    /// the latest checkpoint) is retained on disk, and its event bus
+    /// closes after a [`Event::Cancelled`] notification.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed message for an unknown id or a terminal
+    /// campaign.
+    pub fn cancel(&mut self, id: u64) -> Result<(), String> {
+        let idx = self.runtime(id)?;
+        let runtime = &mut self.campaigns[idx];
+        let Some(live) = runtime.live.take() else {
+            return Err(format!(
+                "campaign {id} is already {}",
+                runtime.state.as_str()
+            ));
+        };
+        let session = self.groups[live.group].scheduler.remove(live.sched);
+        let board = session.leaderboard();
+        let report = StatusReport {
+            campaign: runtime.id,
+            name: runtime.name.clone(),
+            state: CampaignState::Cancelled.as_str().to_string(),
+            generation: session.generation(),
+            best: board.first().map(|(g, f)| entry(g, *f)),
+            evaluations: session.eval_stats().evaluations,
+            cache_hits: session.eval_stats().cache_hits,
+            incidents: session.incidents().len() as u64,
+            converged: session.converged(),
+        };
+        let leaderboard: Vec<LeaderboardEntry> = board.iter().map(|(g, f)| entry(g, *f)).collect();
+        runtime.state = CampaignState::Cancelled;
+        self.registry
+            .write_result(
+                id,
+                &StoredResult {
+                    report: report.clone(),
+                    leaderboard,
+                },
+            )
+            .map_err(|e| format!("persisting campaign result: {e}"))?;
+        runtime.report = Some(report);
+        runtime.bus.publish(&Event::Cancelled { campaign: id });
+        runtime.bus.close();
+        self.persist_state(idx)
+            .map_err(|e| format!("persisting campaign state: {e}"))
+    }
+
+    /// Subscribes to a campaign's live event stream. Watching a terminal
+    /// campaign yields a subscriber that immediately reports closure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed message for an unknown campaign id.
+    pub fn watch(&self, id: u64) -> Result<Subscriber<Event>, String> {
+        let idx = self.runtime(id)?;
+        Ok(self.campaigns[idx].bus.subscribe())
+    }
+}
+
+/// Derives the per-campaign journal paths for
+/// `search-word64 --campaigns N --db FILE`: campaign `i` journals into
+/// `{stem}-c{i}{ext}` next to `FILE`.
+///
+/// # Errors
+///
+/// Returns the typed message when `db` has no file name, or when the
+/// derived set collides (duplicates, or a derived path equal to `db`
+/// itself) — each campaign must own its journal exclusively.
+pub fn campaign_db_paths(db: &str, campaigns: usize) -> Result<Vec<PathBuf>, String> {
+    let base = Path::new(db);
+    let Some(file) = base.file_name().and_then(|f| f.to_str()) else {
+        return Err(format!("--db: `{db}` has no file name"));
+    };
+    let (stem, ext) = match file.rfind('.') {
+        Some(dot) if dot > 0 => (&file[..dot], &file[dot..]),
+        _ => (file, ""),
+    };
+    let mut paths = Vec::with_capacity(campaigns);
+    let mut seen: HashSet<PathBuf> = HashSet::new();
+    for i in 0..campaigns {
+        let path = base.with_file_name(format!("{stem}-c{i}{ext}"));
+        if path == base || !seen.insert(path.clone()) {
+            return Err(format!(
+                "--db: derived journal path `{}` collides; every campaign needs its own journal",
+                path.display()
+            ));
+        }
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Runs `paths.len()` independent 64-bit data-pattern searches
+/// concurrently over one persistent pool — like
+/// [`search_word64_concurrent`](DStress::search_word64_concurrent) — with
+/// every campaign write-ahead journaled into **its own** database file,
+/// so an interrupted batch resumes bit-identically per campaign. Campaign
+/// `i` is named `{base}-c{i}` and draws the same seed its solo equivalent
+/// would; a campaign whose journal already finished is re-run
+/// idempotently (same records, deduplicated).
+///
+/// # Errors
+///
+/// Propagates evaluator construction and journal I/O failures.
+///
+/// # Panics
+///
+/// Panics if `paths` is empty or `workers` is zero.
+#[allow(clippy::too_many_arguments)] // campaign knobs mirror the solo entry point
+pub fn run_word64_campaigns_journaled(
+    scale: ExperimentScale,
+    framework_seed: u64,
+    workers: usize,
+    supervision: SupervisionPolicy,
+    temp_c: f64,
+    metric: Metric,
+    minimize: bool,
+    paths: &[PathBuf],
+) -> Result<Vec<BitCampaign>, DStressError> {
+    assert!(!paths.is_empty(), "at least one campaign is required");
+    let base = DStress::word64_campaign_name(temp_c, &metric, minimize);
+    let codec = word64_codec();
+    let bits = codec.genome_bits();
+    let mut config = scale.ga;
+    config.minimize = minimize;
+    let dstress = DStress::new(scale, framework_seed);
+    let mut fitness = ParallelBitFitness {
+        evaluator: dstress.evaluator(&EnvKind::Word64, temp_c, metric)?,
+        codec,
+    };
+    let mut scheduler = CampaignScheduler::new(EvalPool::new(&fitness, workers));
+    struct Slot {
+        name: String,
+        journal: CampaignJournal<DiskStorage>,
+        recorded: HashSet<Vec<u64>>,
+        sched: usize,
+        result: Option<dstress_ga::SearchResult<BitGenome>>,
+    }
+    let mut slots: Vec<Slot> = Vec::with_capacity(paths.len());
+    for (i, path) in paths.iter().enumerate() {
+        let name = format!("{base}-c{i}");
+        let mut journal = CampaignJournal::open(DiskStorage::new(), path)?;
+        let mut session = match journal.checkpoint() {
+            Some(cp) if cp.campaign == name => SearchSession::resume(
+                EngineState::<BitGenome>::from_json(&cp.state).map_err(invalid_data)?,
+            ),
+            _ => {
+                let seed = DStress::campaign_seed(framework_seed, i as u64 + 1);
+                SearchSession::start(config, seed, |rng| {
+                    Seeding::Random.initial_genome(rng, bits)
+                })
+            }
+        };
+        session.set_supervision(supervision);
+        let recorded: HashSet<Vec<u64>> = journal
+            .db()
+            .campaign(&name)
+            .map(|r| r.genes.clone())
+            .collect();
+        let state = session.checkpoint().to_json().map_err(io::Error::other)?;
+        journal.append_checkpoint(&name, state)?;
+        let sched = scheduler.add(session, None);
+        slots.push(Slot {
+            name,
+            journal,
+            recorded,
+            sched,
+            result: None,
+        });
+    }
+    while scheduler.tick() {
+        for slot in slots.iter_mut().filter(|s| s.result.is_none()) {
+            let session = scheduler.session_mut(slot.sched);
+            for (genome, value) in session.take_newly_evaluated() {
+                let record = make_record(&slot.name, &genome, value);
+                if slot.recorded.insert(record.genes.clone()) {
+                    slot.journal.append_record(record)?;
+                }
+            }
+            for incident in session.take_new_incidents() {
+                slot.journal.append_incident(&slot.name, incident)?;
+            }
+            if session.done() {
+                let session = scheduler.remove(slot.sched);
+                slot.journal.finish()?;
+                slot.result = Some(session.finish());
+            } else {
+                let state = session.checkpoint().to_json().map_err(io::Error::other)?;
+                slot.journal.append_checkpoint(&slot.name, state)?;
+            }
+        }
+    }
+    let (_, replicas) = scheduler.finish();
+    for replica in replicas {
+        fitness.absorb(replica);
+    }
+    let compile_hits = fitness.evaluator.compile_hits;
+    let failed = fitness.evaluator.failed_evaluations;
+    Ok(slots
+        .into_iter()
+        .map(|slot| {
+            let mut result = slot.result.expect("scheduler drained every campaign");
+            result.eval_stats.compile_hits = compile_hits;
+            BitCampaign {
+                name: slot.name,
+                result,
+                env: EnvKind::Word64,
+                failed_evaluations: failed,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::broadcast::Recv;
+    use std::time::Duration;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dstress-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_spec(seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            scale: "quick".into(),
+            seed,
+            ..CampaignSpec::default()
+        }
+    }
+
+    /// A solo journaled run with the given framework seed, returning the
+    /// final snapshot bytes.
+    fn solo_snapshot(dir: &Path, seed: u64) -> Vec<u8> {
+        let path = dir.join(format!("solo-{seed}.db.json"));
+        let mut journal = CampaignJournal::open(DiskStorage::new(), &path).unwrap();
+        let mut dstress = DStress::new(ExperimentScale::quick(), seed);
+        dstress
+            .search_word64_journaled(&mut journal, 60.0, Metric::CeAverage, false)
+            .unwrap();
+        std::fs::read(&path).unwrap()
+    }
+
+    #[test]
+    fn concurrent_tenants_match_solo_journaled_runs_byte_for_byte() {
+        let dir = temp_dir("tenants");
+        let mut engine = ServiceEngine::new(dir.join("daemon"), 2, 64).unwrap();
+        let (a, name_a) = engine.submit(quick_spec(41)).unwrap();
+        let (b, _) = engine.submit(quick_spec(42)).unwrap();
+        assert_eq!(name_a, "word64-ce-max-60C");
+        engine.run_until_idle().unwrap();
+        for id in [a, b] {
+            let report = engine.status(id).unwrap();
+            assert_eq!(report.state, "done");
+            assert!(report.generation > 0);
+        }
+        let daemon_a = std::fs::read(engine.dir().join(format!("c{a}.db.json"))).unwrap();
+        let daemon_b = std::fs::read(engine.dir().join(format!("c{b}.db.json"))).unwrap();
+        assert_eq!(daemon_a, solo_snapshot(&dir, 41), "campaign A diverged");
+        assert_eq!(daemon_b, solo_snapshot(&dir, 42), "campaign B diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_restart_mid_campaign_resumes_bit_identically() {
+        let dir = temp_dir("restart");
+        let id = {
+            let mut engine = ServiceEngine::new(dir.join("daemon"), 2, 64).unwrap();
+            let (id, _) = engine.submit(quick_spec(7)).unwrap();
+            for _ in 0..3 {
+                engine.tick().unwrap();
+            }
+            id
+            // Dropping the engine models a daemon kill at tick
+            // granularity: the journal holds the post-step checkpoint.
+        };
+        let mut engine = ServiceEngine::new(dir.join("daemon"), 1, 64).unwrap();
+        engine.run_until_idle().unwrap();
+        assert_eq!(engine.status(id).unwrap().state, "done");
+        let resumed = std::fs::read(engine.dir().join(format!("c{id}.db.json"))).unwrap();
+        assert_eq!(resumed, solo_snapshot(&dir, 7), "restart diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pause_cancel_and_watch_lifecycles() {
+        let dir = temp_dir("lifecycle");
+        let mut engine = ServiceEngine::new(dir.join("daemon"), 1, 64).unwrap();
+        let (id, _) = engine.submit(quick_spec(9)).unwrap();
+        let sub = engine.watch(id).unwrap();
+        engine.tick().unwrap();
+        match sub.recv_timeout(Duration::from_secs(1)) {
+            Recv::Event(Event::Generation {
+                campaign,
+                generation,
+                ..
+            }) => {
+                assert_eq!(campaign, id);
+                // The first scheduler step evaluates the seed population;
+                // generations count from the first evolved one.
+                assert_eq!(generation, 0);
+            }
+            other => panic!("expected a generation event, got {other:?}"),
+        }
+        engine.set_paused(id, true).unwrap();
+        assert!(engine.idle(), "a paused campaign contributes no work");
+        assert_eq!(engine.status(id).unwrap().state, "paused");
+        engine.set_paused(id, false).unwrap();
+        engine.tick().unwrap();
+        engine.cancel(id).unwrap();
+        let report = engine.status(id).unwrap();
+        assert_eq!(report.state, "cancelled");
+        assert_eq!(report.generation, 1);
+        // The stream drains its queued events, reports the cancellation,
+        // then closes.
+        let mut saw_cancelled = false;
+        loop {
+            match sub.recv_timeout(Duration::from_secs(1)) {
+                Recv::Event(Event::Cancelled { campaign }) => {
+                    assert_eq!(campaign, id);
+                    saw_cancelled = true;
+                }
+                Recv::Event(_) | Recv::Lagged(_) => {}
+                Recv::Closed => break,
+                Recv::Empty => panic!("stream stalled"),
+            }
+        }
+        assert!(saw_cancelled);
+        // Terminal operations are rejected with typed messages.
+        assert!(engine.cancel(id).unwrap_err().contains("cancelled"));
+        assert!(engine.set_paused(id, true).is_err());
+        assert!(engine.status(999).is_err());
+        // The cancelled campaign survives a restart as cancelled.
+        drop(engine);
+        let engine = ServiceEngine::new(dir.join("daemon"), 1, 64).unwrap();
+        assert_eq!(engine.status(id).unwrap().state, "cancelled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_pause_then_resume_still_matches_the_solo_run() {
+        let dir = temp_dir("budget");
+        let mut engine = ServiceEngine::new(dir.join("daemon"), 1, 64).unwrap();
+        let mut spec = quick_spec(11);
+        spec.step_budget = 2;
+        let (id, _) = engine.submit(spec).unwrap();
+        engine.run_until_idle().unwrap();
+        let report = engine.status(id).unwrap();
+        assert_eq!(report.state, "budget-paused");
+        assert_eq!(
+            report.generation, 1,
+            "two steps = seed pass + one generation"
+        );
+        // Resume grants another stint; repeat until the search finishes.
+        for _ in 0..32 {
+            if engine.status(id).unwrap().state == "done" {
+                break;
+            }
+            engine.set_paused(id, false).unwrap();
+            engine.run_until_idle().unwrap();
+        }
+        assert_eq!(engine.status(id).unwrap().state, "done");
+        let bytes = std::fs::read(engine.dir().join(format!("c{id}.db.json"))).unwrap();
+        assert_eq!(bytes, solo_snapshot(&dir, 11), "budget stints diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_db_paths_derive_and_reject() {
+        let paths = campaign_db_paths("out/word64.json", 3).unwrap();
+        assert_eq!(
+            paths,
+            vec![
+                PathBuf::from("out/word64-c0.json"),
+                PathBuf::from("out/word64-c1.json"),
+                PathBuf::from("out/word64-c2.json"),
+            ]
+        );
+        // No extension: the suffix still lands before the end.
+        assert_eq!(
+            campaign_db_paths("db", 2).unwrap(),
+            vec![PathBuf::from("db-c0"), PathBuf::from("db-c1")]
+        );
+        // A hidden file keeps its leading dot as part of the stem.
+        assert_eq!(
+            campaign_db_paths(".journal", 1).unwrap(),
+            vec![PathBuf::from(".journal-c0")]
+        );
+        assert!(campaign_db_paths("..", 1).is_err());
+    }
+
+    #[test]
+    fn journaled_multi_campaign_batch_matches_the_concurrent_path() {
+        let dir = temp_dir("multi");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = campaign_db_paths(dir.join("word64.json").to_str().unwrap(), 2).unwrap();
+        let scale = ExperimentScale::quick();
+        let journaled = run_word64_campaigns_journaled(
+            scale,
+            42,
+            2,
+            SupervisionPolicy::default(),
+            60.0,
+            Metric::CeAverage,
+            false,
+            &paths,
+        )
+        .unwrap();
+        let mut dstress = DStress::new(ExperimentScale::quick(), 42);
+        let concurrent = dstress
+            .search_word64_concurrent(2, 60.0, Metric::CeAverage, false)
+            .unwrap();
+        for (j, c) in journaled.iter().zip(&concurrent) {
+            assert_eq!(j.name, c.name);
+            assert_eq!(j.result.best, c.result.best);
+            assert_eq!(j.result.best_fitness, c.result.best_fitness);
+            assert_eq!(j.result.leaderboard, c.result.leaderboard);
+        }
+        // Re-running the finished batch is idempotent: the snapshots do
+        // not change.
+        let before: Vec<Vec<u8>> = paths.iter().map(|p| std::fs::read(p).unwrap()).collect();
+        run_word64_campaigns_journaled(
+            ExperimentScale::quick(),
+            42,
+            1,
+            SupervisionPolicy::default(),
+            60.0,
+            Metric::CeAverage,
+            false,
+            &paths,
+        )
+        .unwrap();
+        let after: Vec<Vec<u8>> = paths.iter().map(|p| std::fs::read(p).unwrap()).collect();
+        assert_eq!(before, after);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1466,6 +1466,23 @@ impl<G: Genome + PartialEq + Eq + Hash + Sync> SearchSession<G> {
         &self.eval_stats
     }
 
+    /// The current leaderboard, best-first, in **user orientation** (the
+    /// sign flip for `minimize` searches already applied) — what a live
+    /// progress stream reports between steps.
+    pub fn leaderboard(&self) -> Vec<(G, f64)> {
+        let sign = if self.config.minimize { -1.0 } else { 1.0 };
+        self.leaderboard
+            .entries
+            .iter()
+            .map(|(g, s)| (g.clone(), sign * s))
+            .collect()
+    }
+
+    /// Whether the similarity criterion has been met so far.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
     /// Consumes the session into a [`SearchResult`].
     ///
     /// # Panics

@@ -502,9 +502,16 @@ impl<G, F> Drop for EvalPool<G, F> {
         if self.handles.is_empty() {
             return;
         }
-        if let Ok(mut state) = self.shared.state.lock() {
-            state.shutdown = true;
-        }
+        // Recover a poisoned lock: if a worker panicked while holding it,
+        // the shutdown flag must still be set or the remaining workers
+        // would park forever and the joins below would deadlock.
+        let mut state = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.shutdown = true;
+        drop(state);
         self.shared.work.notify_all();
         for handle in self.handles.drain(..) {
             let _ = handle.join();
@@ -513,12 +520,13 @@ impl<G, F> Drop for EvalPool<G, F> {
 }
 
 /// One campaign under the scheduler: its session, how many steps it has
-/// taken, and its optional step budget.
+/// taken, its optional step budget, and whether a client has paused it.
 #[derive(Debug)]
 struct Scheduled<G> {
     session: SearchSession<G>,
     steps_taken: u64,
     step_budget: Option<u64>,
+    paused: bool,
 }
 
 impl<G> Scheduled<G> {
@@ -526,7 +534,8 @@ impl<G> Scheduled<G> {
     where
         G: Genome + PartialEq + Eq + Hash + Sync,
     {
-        !self.session.done()
+        !self.paused
+            && !self.session.done()
             && self
                 .step_budget
                 .is_none_or(|budget| self.steps_taken < budget)
@@ -547,7 +556,10 @@ impl<G> Scheduled<G> {
 #[derive(Debug)]
 pub struct CampaignScheduler<G, F> {
     pool: EvalPool<G, F>,
-    campaigns: Vec<Scheduled<G>>,
+    /// Slot-stable campaign table: ids are indices, removal leaves a
+    /// `None` hole so surviving campaigns keep their ids (and therefore
+    /// their dealing order and campaign-dense eval indices).
+    campaigns: Vec<Option<Scheduled<G>>>,
 }
 
 impl<G, F> CampaignScheduler<G, F>
@@ -565,28 +577,64 @@ where
     }
 
     /// Adds a campaign with an optional step budget (generation rounds it
-    /// may take before pausing; `None` = unbounded). Returns its id.
+    /// may take before pausing; `None` = unbounded). Returns its id, which
+    /// stays valid until the campaign is [`remove`](Self::remove)d — ids
+    /// are never reused or shifted by other campaigns' removal.
     pub fn add(&mut self, session: SearchSession<G>, step_budget: Option<u64>) -> usize {
-        self.campaigns.push(Scheduled {
+        self.campaigns.push(Some(Scheduled {
             session,
             steps_taken: 0,
             step_budget,
-        });
+            paused: false,
+        }));
         self.campaigns.len() - 1
     }
 
-    /// The number of campaigns added.
+    /// Removes a campaign and returns its session. The surviving
+    /// campaigns keep their ids, their dealing order, and (because every
+    /// session owns its campaign-dense eval indices) their exact
+    /// trajectories — removal mid-run cannot shift another campaign's
+    /// results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never assigned or is already removed.
+    pub fn remove(&mut self, id: usize) -> SearchSession<G> {
+        self.campaigns[id]
+            .take()
+            .expect("campaign already removed")
+            .session
+    }
+
+    /// Whether `id` names a live (not yet removed) campaign.
+    pub fn contains(&self, id: usize) -> bool {
+        self.campaigns.get(id).is_some_and(Option::is_some)
+    }
+
+    /// The number of live campaigns.
     pub fn campaigns(&self) -> usize {
-        self.campaigns.len()
+        self.campaigns.iter().flatten().count()
+    }
+
+    fn scheduled(&self, id: usize) -> &Scheduled<G> {
+        self.campaigns[id]
+            .as_ref()
+            .expect("campaign already removed")
+    }
+
+    fn scheduled_mut(&mut self, id: usize) -> &mut Scheduled<G> {
+        self.campaigns[id]
+            .as_mut()
+            .expect("campaign already removed")
     }
 
     /// The campaign's session (leaderboard, incidents, eval stats …).
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range or removed.
     pub fn session(&self, id: usize) -> &SearchSession<G> {
-        &self.campaigns[id].session
+        &self.scheduled(id).session
     }
 
     /// Mutable access to a campaign's session — how a journaling driver
@@ -595,23 +643,54 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range or removed.
     pub fn session_mut(&mut self, id: usize) -> &mut SearchSession<G> {
-        &mut self.campaigns[id].session
+        &mut self.scheduled_mut(id).session
     }
 
     /// Steps a campaign has taken under this scheduler.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range or removed.
     pub fn steps_taken(&self, id: usize) -> u64 {
-        self.campaigns[id].steps_taken
+        self.scheduled(id).steps_taken
     }
 
-    /// Whether every campaign is finished or paused on its budget.
+    /// Pauses or resumes a campaign: a paused campaign contributes no
+    /// tasks to subsequent ticks but keeps all its state and resumes
+    /// exactly where it stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or removed.
+    pub fn set_paused(&mut self, id: usize, paused: bool) {
+        self.scheduled_mut(id).paused = paused;
+    }
+
+    /// Whether a campaign is client-paused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or removed.
+    pub fn is_paused(&self, id: usize) -> bool {
+        self.scheduled(id).paused
+    }
+
+    /// Replaces a campaign's step budget (counted from its first step
+    /// under this scheduler, not from now).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or removed.
+    pub fn set_step_budget(&mut self, id: usize, step_budget: Option<u64>) {
+        self.scheduled_mut(id).step_budget = step_budget;
+    }
+
+    /// Whether every campaign is finished, client-paused, or paused on
+    /// its budget.
     pub fn idle(&self) -> bool {
-        !self.campaigns.iter().any(Scheduled::runnable)
+        !self.campaigns.iter().flatten().any(Scheduled::runnable)
     }
 
     /// Advances every runnable campaign by one generation round, their
@@ -620,7 +699,8 @@ where
     pub fn tick(&mut self) -> bool {
         let workers = self.pool.workers();
         let mut opened = Vec::new();
-        for (id, campaign) in self.campaigns.iter_mut().enumerate() {
+        for (id, slot) in self.campaigns.iter_mut().enumerate() {
+            let Some(campaign) = slot else { continue };
             if !campaign.runnable() {
                 continue;
             }
@@ -643,8 +723,8 @@ where
             }
             submissions.push(RoundSubmission {
                 tasks: round.plan.pool_tasks(),
-                policy: self.campaigns[*id].session.supervision_policy(),
-                hazards: self.campaigns[*id].session.hazard_plan(),
+                policy: self.session(*id).supervision_policy(),
+                hazards: self.session(*id).hazard_plan(),
             });
             submitted.push(position);
         }
@@ -662,7 +742,7 @@ where
             } else {
                 None
             };
-            self.campaigns[id].session.finish_round(round, execution);
+            self.session_mut(id).finish_round(round, execution);
         }
         true
     }
@@ -677,18 +757,20 @@ where
     /// multi-tenant driver reports.
     pub fn merged_eval_stats(&self) -> EvalStats {
         let mut merged = EvalStats::default();
-        for campaign in &self.campaigns {
+        for campaign in self.campaigns.iter().flatten() {
             merged.merge(campaign.session.eval_stats());
         }
         merged
     }
 
-    /// Consumes the scheduler: the sessions (in add order) and the pool's
-    /// replicas, ready for [`absorb`](ParallelFitness::absorb).
+    /// Consumes the scheduler: the live sessions (in add order; removed
+    /// campaigns are skipped) and the pool's replicas, ready for
+    /// [`absorb`](ParallelFitness::absorb).
     pub fn finish(self) -> (Vec<SearchSession<G>>, Vec<F>) {
         let sessions = self
             .campaigns
             .into_iter()
+            .flatten()
             .map(|campaign| campaign.session)
             .collect();
         (sessions, self.pool.shutdown())
@@ -975,5 +1057,109 @@ mod tests {
     #[should_panic(expected = "at least one evaluation worker")]
     fn zero_workers_is_rejected() {
         EvalPool::new(&MemoPopcount::default(), 0);
+    }
+
+    /// A popcount fitness whose replicas carry a shared token, so a test
+    /// can prove every worker thread exited (and released its replica).
+    #[derive(Debug, Clone)]
+    struct TokenPopcount {
+        token: Arc<()>,
+    }
+
+    impl Fitness<BitGenome> for TokenPopcount {
+        fn evaluate(&mut self, genome: &BitGenome) -> f64 {
+            genome.count_ones() as f64
+        }
+    }
+
+    impl ParallelFitness<BitGenome> for TokenPopcount {
+        fn replicate(&self) -> Self {
+            TokenPopcount {
+                token: Arc::clone(&self.token),
+            }
+        }
+
+        fn absorb(&mut self, _replica: Self) {}
+
+        fn cache_counters(&self) -> (u64, u64) {
+            (0, 0)
+        }
+    }
+
+    #[test]
+    fn dropping_a_live_pool_mid_campaign_joins_every_worker() {
+        let token = Arc::new(());
+        let master = TokenPopcount {
+            token: Arc::clone(&token),
+        };
+        // The leak scenario: a campaign driver panics between spawning the
+        // pool and draining the campaign, unwinding through a live pool
+        // with warm workers. Drop must signal shutdown and join them all.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut session = session_with(41, None);
+            let pool = EvalPool::new(&master, 4);
+            session.step_pooled(&pool);
+            assert!(!session.done(), "campaign must still be mid-flight");
+            panic!("campaign driver dies with the pool live");
+        }));
+        assert!(outcome.is_err(), "the driver panic must propagate");
+        // Drop joined the workers and released the shared pool state, so
+        // every replica (and each worker's Arc on it) is gone: only the
+        // test's token and the master's clone remain. No sleeps — if a
+        // worker thread outlived the drop, this count would still include
+        // its replica.
+        assert_eq!(Arc::strong_count(&token), 2);
+        drop(master);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn removing_a_campaign_mid_round_leaves_survivors_bit_identical() {
+        let seeds = [101u64, 202, 303];
+        let solo: Vec<SearchResult<BitGenome>> = seeds
+            .iter()
+            .map(|&seed| run_pooled(seed, 3, None))
+            .collect();
+        let mut scheduler = CampaignScheduler::new(EvalPool::new(&MemoPopcount::default(), 3));
+        let ids: Vec<usize> = seeds
+            .iter()
+            .map(|&seed| scheduler.add(session_with(seed, None), None))
+            .collect();
+        // Advance everyone two rounds, then cancel the middle campaign —
+        // the survivors' ids, dealing order, and eval indices must not
+        // shift under them.
+        scheduler.tick();
+        scheduler.tick();
+        let removed = scheduler.remove(ids[1]);
+        assert!(!removed.done(), "removed while still searching");
+        assert!(!scheduler.contains(ids[1]));
+        assert_eq!(scheduler.campaigns(), 2);
+        scheduler.run();
+        for &survivor in [ids[0], ids[2]].iter() {
+            assert!(scheduler.session(survivor).done());
+        }
+        let first = scheduler.remove(ids[0]).finish();
+        let last = scheduler.remove(ids[2]).finish();
+        assert_same_search(&first, &solo[0], "survivor before the removal");
+        assert_same_search(&last, &solo[2], "survivor after the removal");
+        let (sessions, replicas) = scheduler.finish();
+        assert!(sessions.is_empty());
+        assert_eq!(replicas.len(), 3);
+    }
+
+    #[test]
+    fn pausing_a_campaign_preserves_its_trajectory() {
+        let reference = run_pooled(909, 2, None);
+        let mut scheduler = CampaignScheduler::new(EvalPool::new(&MemoPopcount::default(), 2));
+        let id = scheduler.add(session_with(909, None), None);
+        scheduler.tick();
+        scheduler.set_paused(id, true);
+        assert!(scheduler.is_paused(id));
+        assert!(scheduler.idle(), "a paused campaign contributes no work");
+        assert!(!scheduler.tick(), "nothing runnable while paused");
+        scheduler.set_paused(id, false);
+        scheduler.run();
+        let result = scheduler.remove(id).finish();
+        assert_same_search(&result, &reference, "pause/resume continuation");
     }
 }

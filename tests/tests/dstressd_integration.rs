@@ -1,0 +1,239 @@
+//! End-to-end `dstressd` integration over real loopback TCP.
+//!
+//! The determinism contract under test: a campaign submitted to the
+//! daemon — concurrently with other tenants, streamed to a live watcher,
+//! and even killed and restarted midway — produces the same journal
+//! snapshot and the same leaderboard as a solo `search_word64_journaled`
+//! run with the same seed. CI runs this suite as its dedicated daemon
+//! integration step.
+
+use dstress::service::{
+    CampaignSpec, DaemonConfig, Dstressd, Event, LeaderboardEntry, Request, Response,
+};
+use dstress::{CampaignJournal, DStress, DiskStorage, ExperimentScale, Metric};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dstressd-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_daemon(dir: &Path) -> Dstressd {
+    Dstressd::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: dir.to_path_buf(),
+        workers: 2,
+        event_capacity: 256,
+    })
+    .expect("daemon boots")
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn send(stream: &mut TcpStream, request: &Request) {
+    let mut line = serde_json::to_string(request).expect("encode");
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("send");
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply line");
+    line
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Response {
+    serde_json::from_str(&read_line(reader)).expect("typed response")
+}
+
+fn quick_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        scale: "quick".into(),
+        seed,
+        ..CampaignSpec::default()
+    }
+}
+
+/// The reference: a solo journaled quick-scale run with this framework
+/// seed. Returns the snapshot bytes and the final leaderboard.
+fn solo_run(dir: &Path, seed: u64) -> (Vec<u8>, Vec<LeaderboardEntry>) {
+    let path = dir.join(format!("solo-{seed}.db.json"));
+    let mut journal = CampaignJournal::open(DiskStorage::new(), &path).expect("journal");
+    let mut dstress = DStress::new(ExperimentScale::quick(), seed);
+    let campaign = dstress
+        .search_word64_journaled(&mut journal, 60.0, Metric::CeAverage, false)
+        .expect("solo search");
+    let leaderboard = campaign
+        .result
+        .leaderboard
+        .iter()
+        .map(|(genome, fitness)| LeaderboardEntry {
+            genes: genome.to_words(),
+            fitness: *fitness,
+        })
+        .collect();
+    (std::fs::read(&path).expect("snapshot"), leaderboard)
+}
+
+/// One client session: submit a campaign, watch it to completion, return
+/// its id and the leaderboard the `Completed` event carried.
+fn submit_and_watch(addr: SocketAddr, seed: u64) -> (u64, Vec<LeaderboardEntry>) {
+    let (mut stream, mut reader) = connect(addr);
+    send(
+        &mut stream,
+        &Request::Submit {
+            spec: quick_spec(seed),
+        },
+    );
+    let campaign = match read_response(&mut reader) {
+        Response::Submitted { campaign, .. } => campaign,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    send(&mut stream, &Request::Watch { campaign });
+    match read_response(&mut reader) {
+        Response::Watching { campaign: watched } => assert_eq!(watched, campaign),
+        other => panic!("expected Watching, got {other:?}"),
+    }
+    let mut generations_seen = 0u32;
+    let mut completed = None;
+    loop {
+        let line = read_line(&mut reader);
+        let Ok(event) = serde_json::from_str::<Event>(&line) else {
+            // The end-of-stream marker (a Response) ends the watch.
+            break;
+        };
+        match event {
+            Event::Generation { generation, .. } => {
+                generations_seen = generations_seen.max(generation)
+            }
+            Event::Completed {
+                campaign: done,
+                leaderboard,
+                ..
+            } => {
+                assert_eq!(done, campaign);
+                completed = Some(leaderboard);
+            }
+            Event::Cancelled { .. } => panic!("campaign was cancelled unexpectedly"),
+            Event::Lagged { .. } => {}
+        }
+    }
+    let leaderboard = completed.expect("watched to completion");
+    assert!(generations_seen > 0, "no generation events streamed");
+    (campaign, leaderboard)
+}
+
+#[test]
+fn two_concurrent_clients_match_their_solo_runs_byte_for_byte() {
+    let dir = temp_dir("pair");
+    let daemon_dir = dir.join("daemon");
+    let daemon = start_daemon(&daemon_dir);
+    let addr = daemon.addr();
+    let a = std::thread::spawn(move || submit_and_watch(addr, 41));
+    let b = std::thread::spawn(move || submit_and_watch(addr, 42));
+    let (id_a, board_a) = a.join().expect("client a");
+    let (id_b, board_b) = b.join().expect("client b");
+    assert_ne!(id_a, id_b, "campaigns get distinct ids");
+    // A third client reads both final states over the wire.
+    let (mut stream, mut reader) = connect(addr);
+    for id in [id_a, id_b] {
+        send(&mut stream, &Request::Status { campaign: id });
+        match read_response(&mut reader) {
+            Response::Status { report } => {
+                assert_eq!(report.state, "done");
+                assert!(report.generation > 0);
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+    drop(stream);
+    daemon.shutdown().expect("clean shutdown");
+    // Journals and leaderboards are exactly what solo runs produce.
+    let (solo_bytes_a, solo_board_a) = solo_run(&dir, 41);
+    let (solo_bytes_b, solo_board_b) = solo_run(&dir, 42);
+    let daemon_a = std::fs::read(daemon_dir.join(format!("c{id_a}.db.json"))).unwrap();
+    let daemon_b = std::fs::read(daemon_dir.join(format!("c{id_b}.db.json"))).unwrap();
+    assert_eq!(daemon_a, solo_bytes_a, "campaign A snapshot diverged");
+    assert_eq!(daemon_b, solo_bytes_b, "campaign B snapshot diverged");
+    assert_eq!(board_a, solo_board_a, "campaign A leaderboard diverged");
+    assert_eq!(board_b, solo_board_b, "campaign B leaderboard diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_killed_daemon_restarts_and_resumes_bit_identically() {
+    let dir = temp_dir("restart");
+    let daemon_dir = dir.join("daemon");
+    // Phase 1: submit, let the campaign make some progress, then kill
+    // the daemon mid-run.
+    let daemon = start_daemon(&daemon_dir);
+    let (mut stream, mut reader) = connect(daemon.addr());
+    send(
+        &mut stream,
+        &Request::Submit {
+            spec: quick_spec(7),
+        },
+    );
+    let campaign = match read_response(&mut reader) {
+        Response::Submitted { campaign, .. } => campaign,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        assert!(Instant::now() < deadline, "campaign never stepped");
+        send(&mut stream, &Request::Status { campaign });
+        match read_response(&mut reader) {
+            Response::Status { report } => {
+                if report.evaluations > 0 && report.state == "running" {
+                    break;
+                }
+                if report.state == "done" {
+                    // Too fast to interrupt; the restart below still has
+                    // to keep the finished campaign intact.
+                    break;
+                }
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    drop(stream);
+    daemon.shutdown().expect("mid-run shutdown");
+    // Phase 2: a fresh daemon over the same directory resumes the
+    // campaign from its journal without being asked.
+    let daemon = start_daemon(&daemon_dir);
+    let (mut stream, mut reader) = connect(daemon.addr());
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        assert!(Instant::now() < deadline, "campaign never finished");
+        send(&mut stream, &Request::Status { campaign });
+        match read_response(&mut reader) {
+            Response::Status { report } => {
+                assert_ne!(report.state, "cancelled");
+                if report.state == "done" {
+                    assert!(report.generation > 0);
+                    break;
+                }
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(stream);
+    daemon.shutdown().expect("clean shutdown");
+    let (solo_bytes, _) = solo_run(&dir, 7);
+    let resumed = std::fs::read(daemon_dir.join(format!("c{campaign}.db.json"))).unwrap();
+    assert_eq!(resumed, solo_bytes, "restart diverged from the solo run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
