@@ -20,7 +20,7 @@
 use dstress::search::BitCampaign;
 use dstress::service::{
     campaign_db_paths, read_frame, run_word64_campaigns_journaled, CampaignSpec, DaemonConfig,
-    Dstressd, Event, Request, Response, StatusReport,
+    Dstressd, Event, Request, Response, SeqEvent, StatusReport,
 };
 use dstress::usecases::{find_marginal_trefp, savings_at_margin, SafetyCriterion};
 use dstress::{
@@ -184,6 +184,9 @@ fn usage() -> &'static str {
                        [--campaign N]\n\
        watch           Stream a campaign's progress events until it\n\
                        finishes  --addr HOST:PORT --campaign N\n\
+                       [--from-seq N]  (reconnects with exponential\n\
+                       backoff after a connection drop, resuming from\n\
+                       the last event it saw)\n\
        pause           Pause a running campaign   --addr HOST:PORT --campaign N\n\
        resume          Resume a paused campaign   --addr HOST:PORT --campaign N\n\
        cancel          Cancel a campaign          --addr HOST:PORT --campaign N\n"
@@ -295,6 +298,9 @@ fn print_report(report: &StatusReport) {
         report.cache_hits,
         report.incidents,
     );
+    if let Some(error) = &report.error {
+        println!("             quarantined: {error} (resume to retry recovery)");
+    }
 }
 
 fn print_event(event: &Event) {
@@ -345,8 +351,117 @@ fn print_event(event: &Event) {
             }
         }
         Event::Cancelled { campaign } => println!("campaign {campaign} cancelled"),
+        Event::Failed {
+            campaign,
+            error,
+            at_seq,
+            resume_backoff_ms,
+        } => {
+            println!(
+                "campaign {campaign} FAILED at seq {at_seq}: {error} \
+                 (quarantined; `dstress resume` retries recovery, \
+                 suggested backoff {resume_backoff_ms} ms)"
+            );
+        }
         Event::Lagged { missed } => {
             println!("(fell behind the event stream; {missed} events dropped)")
+        }
+    }
+}
+
+/// How one watch connection ended: the daemon sent its end-of-stream
+/// marker (the campaign settled — done, cancelled, or quarantined with
+/// its bus still open but drained), or the connection dropped mid-stream
+/// (daemon restart, network fault) and the client should reconnect.
+enum WatchOutcome {
+    Settled,
+    Dropped,
+}
+
+/// One watch connection: subscribe from `from_seq`, print events, and
+/// bump `next_from` past every sequenced event so a reconnect resumes
+/// exactly where this connection left off (seq-0 lines are
+/// connection-local and never advance the cursor).
+fn watch_once(addr: &str, campaign: u64, next_from: &mut u64) -> Result<WatchOutcome, String> {
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(stream) => stream,
+        Err(_) => return Ok(WatchOutcome::Dropped),
+    };
+    let request = Request::Watch {
+        campaign,
+        from_seq: *next_from,
+    };
+    if send_line(&mut stream, &request).is_err() {
+        return Ok(WatchOutcome::Dropped);
+    }
+    let reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(e) => return Err(format!("connecting to {addr}: {e}")),
+    };
+    let mut reader = std::io::BufReader::new(reader);
+    // The handshake must answer Watching; a typed daemon error (unknown
+    // campaign…) is fatal, not a reconnect cue.
+    match read_reply(&mut reader) {
+        Ok(Response::Watching { .. }) => {}
+        Ok(Response::Error { message }) => return Err(format!("daemon: {message}")),
+        Ok(other) => return Err(format!("unexpected reply to watch: {other:?}")),
+        Err(_) => return Ok(WatchOutcome::Dropped),
+    }
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(_) => return Ok(WatchOutcome::Dropped),
+        };
+        match serde_json::from_str::<SeqEvent>(&frame) {
+            Ok(stamped) => {
+                print_event(&stamped.event);
+                if stamped.seq > 0 {
+                    *next_from = (*next_from).max(stamped.seq + 1);
+                }
+            }
+            // Anything that is not an event is the daemon's
+            // end-of-stream marker: the campaign settled.
+            Err(_) => return Ok(WatchOutcome::Settled),
+        }
+    }
+}
+
+/// `dstress watch`: stream a campaign's events, surviving daemon
+/// restarts. A dropped connection is retried with exponential backoff
+/// (200 ms doubling, at most [`WATCH_MAX_ATTEMPTS`] consecutive
+/// failures); any received event proves the daemon is back and resets
+/// the attempt counter. Each reconnect asks for `--from-seq
+/// last_seen + 1`, so the resumed stream replays no duplicate and drops
+/// nothing the daemon retained.
+fn watch_campaign(addr: &str, campaign: u64, from_seq: u64) -> Result<(), String> {
+    const WATCH_MAX_ATTEMPTS: u32 = 5;
+    let mut next_from = from_seq;
+    let mut attempts: u32 = 0;
+    loop {
+        let before = next_from;
+        match watch_once(addr, campaign, &mut next_from)? {
+            WatchOutcome::Settled => return Ok(()),
+            WatchOutcome::Dropped => {
+                if next_from > before {
+                    // The connection made progress before dropping, so
+                    // the daemon was alive: start the backoff over.
+                    attempts = 0;
+                }
+                attempts += 1;
+                if attempts > WATCH_MAX_ATTEMPTS {
+                    return Err(format!(
+                        "watch: lost the daemon at {addr} \
+                         ({WATCH_MAX_ATTEMPTS} reconnect attempts failed); \
+                         rerun with --from-seq {next_from} to resume"
+                    ));
+                }
+                let backoff_ms = 200u64 << (attempts - 1);
+                eprintln!(
+                    "watch: connection lost; reconnecting from seq {next_from} \
+                     in {backoff_ms} ms (attempt {attempts}/{WATCH_MAX_ATTEMPTS})"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+            }
         }
     }
 }
@@ -403,7 +518,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
             "step-budget",
         ],
         "status" => &["addr", "campaign"],
-        "watch" | "pause" | "resume" | "cancel" => &["addr", "campaign"],
+        "watch" => &["addr", "campaign", "from-seq"],
+        "pause" | "resume" | "cancel" => &["addr", "campaign"],
         other => return Err(format!("unknown command `{other}`")),
     };
     check_flags(&args, allowed)?;
@@ -705,6 +821,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
                 dir: dir.into(),
                 workers: args.u64("workers", 2)?.max(1) as usize,
                 event_capacity: args.u64("event-capacity", 256)?.max(1) as usize,
+                ..DaemonConfig::default()
             };
             let exit_when_idle = args.bool("exit-when-idle");
             let daemon = Dstressd::start(config).map_err(|e| format!("starting dstressd: {e}"))?;
@@ -784,28 +901,8 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "watch" => {
             let addr = require_addr(&args)?;
             let campaign = campaign_arg(&args)?;
-            let mut stream =
-                TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-            send_line(&mut stream, &Request::Watch { campaign })?;
-            let reader = stream
-                .try_clone()
-                .map_err(|e| format!("connecting to {addr}: {e}"))?;
-            let mut reader = std::io::BufReader::new(reader);
-            match read_reply(&mut reader)? {
-                Response::Watching { .. } => {}
-                Response::Error { message } => return Err(format!("daemon: {message}")),
-                other => return Err(format!("unexpected reply to watch: {other:?}")),
-            }
-            loop {
-                let frame = read_frame(&mut reader).map_err(|e| format!("watch stream: {e:?}"))?;
-                match serde_json::from_str::<Event>(&frame) {
-                    Ok(event) => print_event(&event),
-                    // Anything that is not an event is the daemon's
-                    // end-of-stream marker: the campaign settled.
-                    Err(_) => break,
-                }
-            }
-            Ok(())
+            let from_seq = args.u64("from-seq", 0)?;
+            watch_campaign(addr, campaign, from_seq)
         }
         "pause" | "resume" | "cancel" => {
             let addr = require_addr(&args)?;

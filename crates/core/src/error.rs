@@ -70,6 +70,10 @@ pub enum DStressError {
     /// property of the virus being evaluated — supervisors must classify it
     /// as permanent rather than retry it.
     Plan(dstress_dram::PlanError),
+    /// The campaign service failed an operation (rendered from the typed
+    /// [`ServiceError`](crate::service::ServiceError); the message keeps
+    /// the variant comparable in tests).
+    Service(String),
 }
 
 impl std::fmt::Display for DStressError {
@@ -81,6 +85,7 @@ impl std::fmt::Display for DStressError {
             DStressError::Io(m) => write!(f, "I/O error: {m}"),
             DStressError::Platform(e) => write!(f, "platform error: {e}"),
             DStressError::Plan(e) => write!(f, "run plan error: {e}"),
+            DStressError::Service(m) => write!(f, "service error: {m}"),
         }
     }
 }

@@ -62,7 +62,7 @@ pub mod usecases;
 pub mod usecases_retention;
 pub mod workloads;
 
-pub use dstress_ga::journal::{CampaignJournal, DiskStorage, MemStorage, Storage};
+pub use dstress_ga::journal::{CampaignJournal, DiskStorage, MemStorage, SharedStorage, Storage};
 pub use dstress_ga::pool::{CampaignScheduler, EvalPool};
 pub use dstress_ga::supervise::{Hazard, HazardPlan, Incident, IncidentKind, SupervisionPolicy};
 pub use dstress_ga::EvalStats;

@@ -3,12 +3,22 @@
 //! Hand-rolled on `std::net` threads — no async runtime. One acceptor
 //! thread hands each connection to its own client thread; every client
 //! speaks line-delimited JSON ([`Request`] in, [`Response`] /
-//! [`Event`] out). All campaign state lives on a single engine thread
+//! [`SeqEvent`] out). All campaign state lives on a single engine thread
 //! that alternates between draining client commands and ticking the
 //! scheduler, so the engine itself needs no locking. A `watch` request
-//! flips the connection into streaming mode: the client thread pumps its
+//! flips the connection into streaming mode: the client thread writes
+//! the retained backlog (for `from_seq` reconnects), then pumps its
 //! [`Subscriber`] queue onto the socket until the campaign's bus closes,
 //! then returns to request/response mode.
+//!
+//! The connection edge is its own fault domain: every client read runs
+//! under a short poll timeout, so the client thread — never the engine —
+//! enforces two deadlines. A connection that starts a frame but does not
+//! finish it within [`DaemonConfig::frame_deadline`] (a slow-loris
+//! client) is reaped; one that sits idle between requests past
+//! [`DaemonConfig::idle_timeout`] is reaped. [`FrameReader`] keeps the
+//! partial line across poll timeouts, so a merely slow legitimate frame
+//! is never torn.
 //!
 //! Shutdown: the acceptor stops, every client socket is
 //! [`Shutdown::Both`]-torn (which unblocks their reads without losing
@@ -20,8 +30,10 @@
 use crate::service::broadcast::{Recv, Subscriber};
 use crate::service::engine::ServiceEngine;
 use crate::service::protocol::{
-    parse_request, read_frame, CampaignSpec, Event, FrameError, Request, Response, StatusReport,
+    parse_request, CampaignSpec, Event, FrameError, FrameReader, Request, Response, SeqEvent,
+    StatusReport,
 };
+use dstress_ga::journal::{DiskStorage, Storage};
 use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -29,7 +41,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often a client thread wakes from a blocked read to check its
+/// deadlines and the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
 
 /// How the daemon is wired up.
 #[derive(Debug, Clone)]
@@ -41,8 +57,15 @@ pub struct DaemonConfig {
     pub dir: PathBuf,
     /// Evaluation worker threads shared by all campaigns of a substrate.
     pub workers: usize,
-    /// Per-subscriber event buffer; slower clients lag past this.
+    /// Per-subscriber event buffer; slower clients lag past this. Also
+    /// the per-campaign retained-event ring backing `watch --from-seq`.
     pub event_capacity: usize,
+    /// How long a started frame may dribble in before the connection is
+    /// reaped (the slow-loris bound).
+    pub frame_deadline: Duration,
+    /// How long a connection may sit idle between requests before it is
+    /// reaped. Watch streams are never idle-reaped while events flow.
+    pub idle_timeout: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -52,9 +75,15 @@ impl Default for DaemonConfig {
             dir: PathBuf::from("dstressd-campaigns"),
             workers: 2,
             event_capacity: 256,
+            frame_deadline: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(300),
         }
     }
 }
+
+/// What a `Watch` command answers with: the retained backlog from the
+/// requested cut, plus the live subscription.
+type WatchReply = Result<(Vec<SeqEvent>, Subscriber<SeqEvent>), String>;
 
 /// A client request routed to the engine thread, with its reply channel.
 enum Command {
@@ -80,7 +109,8 @@ enum Command {
     },
     Watch {
         campaign: u64,
-        reply: Sender<Result<Subscriber<Event>, String>>,
+        from_seq: u64,
+        reply: Sender<WatchReply>,
     },
 }
 
@@ -93,7 +123,7 @@ pub struct Dstressd {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    engine: Option<JoinHandle<io::Result<()>>>,
+    engine: Option<JoinHandle<()>>,
     clients: ClientRegistry,
 }
 
@@ -106,15 +136,35 @@ impl std::fmt::Debug for Dstressd {
 }
 
 impl Dstressd {
-    /// Boots the engine over `config.dir` (resuming every unfinished
-    /// campaign) and starts serving on `config.addr`.
+    /// Boots the engine over `config.dir` on the real filesystem
+    /// (resuming every unfinished campaign) and starts serving on
+    /// `config.addr`.
     ///
     /// # Errors
     ///
     /// Propagates bind failures and engine boot failures (a corrupt
     /// registry refuses to boot).
     pub fn start(config: DaemonConfig) -> io::Result<Dstressd> {
-        let engine = ServiceEngine::new(&config.dir, config.workers, config.event_capacity)?;
+        Self::start_with_storage(DiskStorage::new(), config)
+    }
+
+    /// [`start`](Self::start) over an injectable [`Storage`] — how the
+    /// chaos suite runs a whole daemon against a fault-scheduled
+    /// in-memory filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures and engine boot failures.
+    pub fn start_with_storage<S: Storage + Clone + Send + 'static>(
+        storage: S,
+        config: DaemonConfig,
+    ) -> io::Result<Dstressd> {
+        let engine = ServiceEngine::with_storage(
+            storage,
+            &config.dir,
+            config.workers,
+            config.event_capacity,
+        )?;
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -127,12 +177,13 @@ impl Dstressd {
                 let shutdown = Arc::clone(&shutdown);
                 move || engine_loop(engine, inbox, shutdown)
             })?;
+        let deadlines = (config.frame_deadline, config.idle_timeout);
         let accept_handle = std::thread::Builder::new()
             .name("dstressd-accept".into())
             .spawn({
                 let shutdown = Arc::clone(&shutdown);
                 let clients = Arc::clone(&clients);
-                move || accept_loop(listener, commands, shutdown, clients)
+                move || accept_loop(listener, commands, shutdown, clients, deadlines)
             })?;
         Ok(Dstressd {
             addr,
@@ -153,7 +204,9 @@ impl Dstressd {
     ///
     /// # Errors
     ///
-    /// Surfaces any journal/registry I/O failure the engine thread hit.
+    /// Reports an engine thread that died abnormally. Storage faults
+    /// never kill the engine — they quarantine single campaigns — so
+    /// this is only ever a bug's panic.
     pub fn shutdown(mut self) -> io::Result<()> {
         self.stop()
     }
@@ -174,10 +227,9 @@ impl Dstressd {
             let _ = handle.join();
         }
         match self.engine.take() {
-            Some(engine) => match engine.join() {
-                Ok(result) => result,
-                Err(_) => Err(io::Error::other("the engine thread panicked")),
-            },
+            Some(engine) => engine
+                .join()
+                .map_err(|_| io::Error::other("the engine thread panicked")),
             None => Ok(()),
         }
     }
@@ -191,37 +243,38 @@ impl Drop for Dstressd {
 
 /// The engine thread: drain queued commands, tick the scheduler, sleep
 /// briefly when idle. Returns once the shutdown flag is raised and the
-/// in-flight generation has been settled.
-fn engine_loop(
-    mut engine: ServiceEngine,
+/// in-flight generation has been settled. Infallible: storage faults
+/// quarantine individual campaigns inside [`ServiceEngine::tick`].
+fn engine_loop<S: Storage + Clone>(
+    mut engine: ServiceEngine<S>,
     inbox: Receiver<Command>,
     shutdown: Arc<AtomicBool>,
-) -> io::Result<()> {
+) {
     loop {
         while let Ok(command) = inbox.try_recv() {
             dispatch(&mut engine, command);
         }
         if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
+            return;
         }
-        if !engine.tick()? {
+        if !engine.tick() {
             // Idle: block on the inbox instead of spinning.
             match inbox.recv_timeout(Duration::from_millis(20)) {
                 Ok(command) => dispatch(&mut engine, command),
                 Err(mpsc::RecvTimeoutError::Timeout) => {}
-                Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
         }
     }
 }
 
-fn dispatch(engine: &mut ServiceEngine, command: Command) {
+fn dispatch<S: Storage + Clone>(engine: &mut ServiceEngine<S>, command: Command) {
     match command {
         Command::Submit { spec, reply } => {
-            let _ = reply.send(engine.submit(spec));
+            let _ = reply.send(engine.submit(spec).map_err(|e| e.to_string()));
         }
         Command::Status { campaign, reply } => {
-            let _ = reply.send(engine.status(campaign));
+            let _ = reply.send(engine.status(campaign).map_err(|e| e.to_string()));
         }
         Command::List { reply } => {
             let _ = reply.send(engine.list());
@@ -231,13 +284,21 @@ fn dispatch(engine: &mut ServiceEngine, command: Command) {
             paused,
             reply,
         } => {
-            let _ = reply.send(engine.set_paused(campaign, paused));
+            let _ = reply.send(
+                engine
+                    .set_paused(campaign, paused)
+                    .map_err(|e| e.to_string()),
+            );
         }
         Command::Cancel { campaign, reply } => {
-            let _ = reply.send(engine.cancel(campaign));
+            let _ = reply.send(engine.cancel(campaign).map_err(|e| e.to_string()));
         }
-        Command::Watch { campaign, reply } => {
-            let _ = reply.send(engine.watch(campaign));
+        Command::Watch {
+            campaign,
+            from_seq,
+            reply,
+        } => {
+            let _ = reply.send(engine.watch(campaign, from_seq).map_err(|e| e.to_string()));
         }
     }
 }
@@ -247,6 +308,7 @@ fn accept_loop(
     commands: Sender<Command>,
     shutdown: Arc<AtomicBool>,
     clients: ClientRegistry,
+    deadlines: (Duration, Duration),
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -261,7 +323,7 @@ fn accept_loop(
                 let shutdown = Arc::clone(&shutdown);
                 let spawned = std::thread::Builder::new()
                     .name("dstressd-client".into())
-                    .spawn(move || client_loop(stream, commands, shutdown));
+                    .spawn(move || client_loop(stream, commands, shutdown, deadlines));
                 if let Ok(handle) = spawned {
                     clients
                         .lock()
@@ -298,19 +360,73 @@ fn write_line<W: Write, T: serde::Serialize>(out: &mut W, value: &T) -> io::Resu
     out.flush()
 }
 
-/// One connection: read a frame, answer it, repeat. A malformed or
-/// oversized frame earns a typed [`Response::Error`] and the connection
-/// stays up; only EOF, socket errors, or daemon shutdown end it.
-fn client_loop(stream: TcpStream, commands: Sender<Command>, shutdown: Arc<AtomicBool>) {
+/// One connection: run the session, then actively shut the socket down.
+/// The explicit `shutdown(2)` matters: the accept loop's teardown
+/// registry holds another clone of this socket, so merely dropping the
+/// session's halves would leave the fd open — and a reaped slow-loris
+/// peer blocked — until the whole daemon stops.
+fn client_loop(
+    stream: TcpStream,
+    commands: Sender<Command>,
+    shutdown: Arc<AtomicBool>,
+    deadlines: (Duration, Duration),
+) {
+    let Ok(socket) = stream.try_clone() else {
+        return;
+    };
+    client_session(stream, commands, shutdown, deadlines);
+    let _ = socket.shutdown(Shutdown::Both);
+}
+
+/// One connection's session: read a frame, answer it, repeat. A
+/// malformed or oversized frame earns a typed [`Response::Error`] and
+/// the connection stays up; EOF, socket errors, daemon shutdown, or a
+/// blown deadline (slow-loris frame, idle connection) end it.
+fn client_session(
+    stream: TcpStream,
+    commands: Sender<Command>,
+    shutdown: Arc<AtomicBool>,
+    (frame_deadline, idle_timeout): (Duration, Duration),
+) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
+    let mut frames = FrameReader::new();
+    let mut last_activity = Instant::now();
+    let mut frame_started: Option<Instant> = None;
     loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(frame) => frame,
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let frame = match frames.read(&mut reader) {
+            Ok(Some(frame)) => {
+                frame_started = None;
+                last_activity = Instant::now();
+                frame
+            }
+            Ok(None) => {
+                // A poll timeout: enforce the connection deadlines.
+                if frames.mid_frame() {
+                    let started = *frame_started.get_or_insert_with(Instant::now);
+                    if started.elapsed() >= frame_deadline {
+                        return; // slow-loris: a frame that never finishes
+                    }
+                } else {
+                    frame_started = None;
+                    if last_activity.elapsed() >= idle_timeout {
+                        return; // idle connection
+                    }
+                }
+                continue;
+            }
             Err(FrameError::TooLong) => {
+                frame_started = None;
+                last_activity = Instant::now();
                 let refused = Response::Error {
                     message: "frame too long".into(),
                 };
@@ -359,22 +475,39 @@ fn client_loop(stream: TcpStream, commands: Sender<Command>, shutdown: Arc<Atomi
                     Ok(Err(message)) | Err(message) => Response::Error { message },
                 }
             }
-            Request::Watch { campaign } => {
-                match ask(&commands, |reply| Command::Watch { campaign, reply }) {
-                    Ok(Ok(subscriber)) => {
+            Request::Watch { campaign, from_seq } => {
+                match ask(&commands, |reply| Command::Watch {
+                    campaign,
+                    from_seq,
+                    reply,
+                }) {
+                    Ok(Ok((backlog, subscriber))) => {
                         let opened = Response::Watching { campaign };
                         if write_line(&mut writer, &opened).is_err() {
                             return;
                         }
-                        if stream_events(&mut writer, &subscriber, &shutdown).is_err() {
-                            return;
+                        for event in &backlog {
+                            if write_line(&mut writer, event).is_err() {
+                                return;
+                            }
                         }
-                        // End-of-stream marker: the campaign's bus closed
-                        // (or the daemon is stopping), so the connection
-                        // returns to request/response mode.
-                        if write_line(&mut writer, &Response::Ok).is_err() {
-                            return;
+                        match stream_events(&mut writer, &subscriber, &shutdown, from_seq) {
+                            // End-of-stream marker: the campaign's bus
+                            // closed, so the connection returns to
+                            // request/response mode. Only a settled
+                            // campaign earns the marker — a daemon
+                            // shutdown drops the connection instead, so
+                            // a reconnecting watcher keeps retrying
+                            // against the restarted daemon.
+                            Ok(StreamEnd::Settled) => {
+                                if write_line(&mut writer, &Response::Ok).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(StreamEnd::Shutdown) | Err(_) => return,
                         }
+                        // A long watch is activity, not idleness.
+                        last_activity = Instant::now();
                         continue;
                     }
                     Ok(Err(message)) | Err(message) => Response::Error { message },
@@ -398,24 +531,46 @@ fn pause_response(commands: &Sender<Command>, campaign: u64, paused: bool) -> Re
     }
 }
 
+/// Why a watch stream stopped pumping: the campaign settled (bus closed)
+/// or the daemon is going down mid-campaign. Clients treat the two very
+/// differently — settled is final, shutdown is a reconnect cue — so the
+/// distinction must survive to the wire.
+enum StreamEnd {
+    Settled,
+    Shutdown,
+}
+
 /// Pumps a subscription onto the socket until the campaign's bus closes
-/// (or the daemon shuts down). Lag surfaces as an explicit
-/// [`Event::Lagged`] line.
+/// (or the daemon shuts down). Lag surfaces as an explicit seq-0
+/// [`Event::Lagged`] line. Events below `from_seq` (possible when a
+/// reconnecting client raced the backlog cut) are suppressed so the
+/// client never sees a duplicate.
 fn stream_events<W: Write>(
     out: &mut W,
-    subscriber: &Subscriber<Event>,
+    subscriber: &Subscriber<SeqEvent>,
     shutdown: &Arc<AtomicBool>,
-) -> io::Result<()> {
+    from_seq: u64,
+) -> io::Result<StreamEnd> {
     loop {
         match subscriber.recv_timeout(Duration::from_millis(100)) {
-            Recv::Event(event) => write_line(out, &event)?,
-            Recv::Lagged(missed) => write_line(out, &Event::Lagged { missed })?,
-            Recv::Empty => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
+            Recv::Event(event) => {
+                if event.seq == 0 || event.seq >= from_seq {
+                    write_line(out, &event)?;
                 }
             }
-            Recv::Closed => return Ok(()),
+            Recv::Lagged(missed) => write_line(
+                out,
+                &SeqEvent {
+                    seq: 0,
+                    event: Event::Lagged { missed },
+                },
+            )?,
+            Recv::Empty => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(StreamEnd::Shutdown);
+                }
+            }
+            Recv::Closed => return Ok(StreamEnd::Settled),
         }
     }
 }

@@ -18,6 +18,26 @@
 //! snapshot a solo
 //! [`search_word64_journaled`](crate::DStress::search_word64_journaled)
 //! run with the same spec would have written.
+//!
+//! # Failure domains
+//!
+//! Each campaign is its own fault domain. All engine I/O flows through
+//! the [`Storage`] trait (generic, [`DiskStorage`] by default), and a
+//! journal or registry fault during a campaign's settle **quarantines
+//! only that campaign**: it transitions to the `failed` state, its
+//! scheduler slot (and eval-pool share) is released to the surviving
+//! tenants, its on-disk journal stays intact, and an [`Event::Failed`]
+//! is broadcast carrying the error, the last published sequence number,
+//! and the deterministic backoff a client should wait before asking for
+//! recovery. A `resume` on a failed campaign retries recovery from the
+//! retained journal; every retry is recorded against a bounded
+//! exponential [`SupervisionPolicy`] schedule (recorded, never slept on
+//! the engine thread). [`tick`](ServiceEngine::tick) itself is
+//! infallible — no tenant fault ever propagates out of it.
+//!
+//! Every broadcast event is stamped with a per-campaign sequence number
+//! ([`SeqEvent`]) and retained in a small ring, so a `watch` that
+//! reconnects with `from_seq` replays exactly the missed suffix.
 
 use crate::error::DStressError;
 use crate::evaluate::{Metric, ParallelBitFitness};
@@ -25,16 +45,65 @@ use crate::patterns::BitCodec;
 use crate::scale::ExperimentScale;
 use crate::search::{BitCampaign, DStress, EnvKind, Seeding};
 use crate::service::broadcast::{EventBus, Subscriber};
-use crate::service::protocol::{CampaignSpec, Event, LeaderboardEntry, StatusReport};
+use crate::service::protocol::{CampaignSpec, Event, LeaderboardEntry, SeqEvent, StatusReport};
 use crate::service::registry::{CampaignRegistry, StoredResult, StoredSpec};
-use dstress_ga::journal::{CampaignJournal, DiskStorage};
+use dstress_ga::journal::{CampaignJournal, DiskStorage, Storage};
 use dstress_ga::{
     BitGenome, CampaignScheduler, EngineState, EvalPool, Genome, ParallelFitness, SearchSession,
     SupervisionPolicy, VirusRecord,
 };
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// A typed service-layer failure: what went wrong, machine-matchable.
+///
+/// The daemon renders these verbatim into [`Response::Error`]
+/// (crate::service::protocol::Response::Error) frames; nothing in the
+/// service layer panics on them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// No campaign with this id was ever submitted.
+    UnknownCampaign(u64),
+    /// The operation needs a live campaign, but this one has reached the
+    /// named lifecycle state.
+    Terminal {
+        /// The campaign id.
+        campaign: u64,
+        /// Its lifecycle state (`done`, `cancelled`, `failed`, …).
+        state: String,
+    },
+    /// The submitted spec cannot be built (unknown scale, a temperature
+    /// the thermal rig cannot settle, a corrupt checkpoint).
+    Spec(String),
+    /// A journal or registry storage operation failed; the affected
+    /// campaign was quarantined, not the daemon.
+    Storage(String),
+    /// An engine invariant did not hold. The affected campaign is
+    /// quarantined; a daemon must never panic on its own bookkeeping.
+    StateMismatch(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownCampaign(id) => write!(f, "no campaign {id}"),
+            ServiceError::Terminal { campaign, state } => {
+                write!(f, "campaign {campaign} is {state}")
+            }
+            ServiceError::Spec(m) | ServiceError::Storage(m) => write!(f, "{m}"),
+            ServiceError::StateMismatch(m) => write!(f, "internal state mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<ServiceError> for DStressError {
+    fn from(e: ServiceError) -> Self {
+        DStressError::Service(e.to_string())
+    }
+}
 
 /// The word64 chromosome codec every service campaign uses.
 fn word64_codec() -> BitCodec {
@@ -84,6 +153,18 @@ fn invalid_data<E: std::fmt::Display>(e: E) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e.to_string())
 }
 
+/// The bounded-exponential schedule for `failed`-campaign recovery
+/// retries: 100 ms, 200 ms, 400 ms, … capped at 5 s. Recorded into
+/// [`Event::Failed::resume_backoff_ms`] for clients, never slept on the
+/// engine thread.
+fn recovery_policy() -> SupervisionPolicy {
+    SupervisionPolicy {
+        backoff_base_ms: 100,
+        backoff_cap_ms: 5_000,
+        ..SupervisionPolicy::default()
+    }
+}
+
 /// Where a campaign is in its lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CampaignState {
@@ -93,6 +174,9 @@ enum CampaignState {
     Paused,
     /// Exhausted its step budget: checkpointed, waiting for a resume.
     BudgetPaused,
+    /// Quarantined after a storage fault: scheduler slot released,
+    /// journal intact, waiting for a `resume` to retry recovery.
+    Failed,
     /// Finished (converged or out of generations).
     Done,
     /// Cancelled by a client; the journal is retained.
@@ -105,6 +189,7 @@ impl CampaignState {
             CampaignState::Running => "running",
             CampaignState::Paused => "paused",
             CampaignState::BudgetPaused => "budget-paused",
+            CampaignState::Failed => "failed",
             CampaignState::Done => "done",
             CampaignState::Cancelled => "cancelled",
         }
@@ -116,10 +201,10 @@ impl CampaignState {
 }
 
 /// The scheduler-side state of a live (non-terminal) campaign.
-struct Live {
+struct Live<S: Storage> {
     group: usize,
     sched: usize,
-    journal: CampaignJournal<DiskStorage>,
+    journal: CampaignJournal<S>,
     /// Chromosomes already journaled — a resume's replay window must not
     /// re-append its repeats.
     recorded: HashSet<Vec<u64>>,
@@ -130,16 +215,82 @@ struct Live {
     budget: Option<u64>,
 }
 
+/// The quarantine record of a `failed` campaign.
+struct Failure {
+    /// The storage error that quarantined it (latest recovery attempt's
+    /// error once retries begin).
+    error: String,
+    /// The last sequence number published before the failure.
+    at_seq: u64,
+    /// Recovery attempts so far, indexing the backoff schedule.
+    attempts: u32,
+    /// The progress snapshot taken at quarantine time.
+    report: StatusReport,
+}
+
 /// One campaign the engine knows about, live or terminal.
-struct Runtime {
+struct Runtime<S: Storage> {
     id: u64,
     name: String,
     spec: CampaignSpec,
     state: CampaignState,
-    live: Option<Live>,
-    bus: EventBus<Event>,
+    live: Option<Live<S>>,
+    bus: EventBus<SeqEvent>,
+    /// The sequence number of the last published event (0 = none yet).
+    event_seq: u64,
+    /// The ring of recently published events backing `watch --from-seq`
+    /// reconnects.
+    recent: VecDeque<SeqEvent>,
+    /// The quarantine record, when `state` is [`CampaignState::Failed`].
+    failure: Option<Failure>,
     /// The terminal report, once the campaign is done or cancelled.
     report: Option<StatusReport>,
+}
+
+/// Stamps, retains, and broadcasts one event on a campaign's bus.
+///
+/// A free function over the runtime's disjoint fields so callers can hold
+/// other `Runtime` borrows (e.g. `live`) across the publish.
+fn publish(
+    bus: &EventBus<SeqEvent>,
+    recent: &mut VecDeque<SeqEvent>,
+    event_seq: &mut u64,
+    capacity: usize,
+    event: Event,
+) {
+    *event_seq += 1;
+    let stamped = SeqEvent {
+        seq: *event_seq,
+        event,
+    };
+    if recent.len() == capacity {
+        recent.pop_front();
+    }
+    recent.push_back(stamped.clone());
+    bus.publish(&stamped);
+}
+
+/// Snapshots a live session into a client-facing progress report.
+fn report_from_session(
+    id: u64,
+    name: &str,
+    state: CampaignState,
+    session: &SearchSession<BitGenome>,
+    error: Option<String>,
+) -> StatusReport {
+    let board = session.leaderboard();
+    StatusReport {
+        campaign: id,
+        name: name.to_string(),
+        state: state.as_str().to_string(),
+        generation: session.generation(),
+        best: board.first().map(|(g, f)| entry(g, *f)),
+        evaluations: session.eval_stats().evaluations,
+        cache_hits: session.eval_stats().cache_hits,
+        incidents: session.incidents().len() as u64,
+        converged: session.converged(),
+        error,
+    }
 }
 
 /// Campaigns sharing one evaluation substrate, fair-share scheduled over
@@ -152,15 +303,22 @@ struct Group {
 
 /// The multi-tenant campaign engine behind `dstressd` (network-free; the
 /// daemon front-end owns exactly one, on one thread).
-pub struct ServiceEngine {
-    registry: CampaignRegistry,
+///
+/// Generic over [`Storage`] so the fault-injection suite can drive it
+/// over a [`SharedStorage<MemStorage>`](dstress_ga::journal::SharedStorage)
+/// and fail any individual journal or registry operation.
+pub struct ServiceEngine<S: Storage + Clone = DiskStorage> {
+    registry: CampaignRegistry<S>,
+    /// The storage every per-campaign journal is opened through (cloned
+    /// per journal; clones of a shared storage view the same files).
+    storage: S,
     groups: Vec<Group>,
-    campaigns: Vec<Runtime>,
+    campaigns: Vec<Runtime<S>>,
     workers: usize,
     event_capacity: usize,
 }
 
-impl std::fmt::Debug for ServiceEngine {
+impl<S: Storage + Clone> std::fmt::Debug for ServiceEngine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServiceEngine")
             .field("dir", &self.registry.dir())
@@ -171,10 +329,9 @@ impl std::fmt::Debug for ServiceEngine {
     }
 }
 
-impl ServiceEngine {
-    /// Boots the engine over a registry directory: scans it and resumes
-    /// every unfinished campaign from its journal checkpoint,
-    /// bit-identically. Previously paused campaigns come back paused.
+impl ServiceEngine<DiskStorage> {
+    /// Boots the engine over a registry directory on the real
+    /// filesystem. See [`with_storage`](Self::with_storage).
     ///
     /// # Errors
     ///
@@ -187,11 +344,39 @@ impl ServiceEngine {
     ///
     /// Panics if `workers` or `event_capacity` is zero.
     pub fn new(dir: impl Into<PathBuf>, workers: usize, event_capacity: usize) -> io::Result<Self> {
+        Self::with_storage(DiskStorage::new(), dir, workers, event_capacity)
+    }
+}
+
+impl<S: Storage + Clone> ServiceEngine<S> {
+    /// Boots the engine over a registry directory reached through
+    /// `storage`: scans it and resumes every unfinished campaign from
+    /// its journal checkpoint, bit-identically. Previously paused
+    /// campaigns come back paused; previously `failed` campaigns come
+    /// back quarantined (a `resume` retries their recovery). A campaign
+    /// whose journal cannot be opened is quarantined, not a boot
+    /// failure — only an unbuildable spec aborts the boot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry I/O failures; a recovered spec that no longer
+    /// builds is [`io::ErrorKind::InvalidData`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` or `event_capacity` is zero.
+    pub fn with_storage(
+        storage: S,
+        dir: impl Into<PathBuf>,
+        workers: usize,
+        event_capacity: usize,
+    ) -> io::Result<Self> {
         assert!(workers >= 1, "at least one evaluation worker is required");
         assert!(event_capacity >= 1, "subscribers buffer at least one event");
-        let (registry, recovered) = CampaignRegistry::open(dir)?;
+        let (registry, recovered) = CampaignRegistry::open_with(storage.clone(), dir)?;
         let mut engine = ServiceEngine {
             registry,
+            storage,
             groups: Vec::new(),
             campaigns: Vec::new(),
             workers,
@@ -213,23 +398,23 @@ impl ServiceEngine {
         self.groups.iter().all(|g| g.scheduler.idle())
     }
 
-    fn runtime(&self, id: u64) -> Result<usize, String> {
+    fn runtime(&self, id: u64) -> Result<usize, ServiceError> {
         self.campaigns
             .iter()
             .position(|r| r.id == id)
-            .ok_or_else(|| format!("no campaign {id}"))
+            .ok_or(ServiceError::UnknownCampaign(id))
     }
 
-    fn persist_state(&self, idx: usize) -> io::Result<()> {
+    fn persist_state(&mut self, idx: usize) -> io::Result<()> {
         let runtime = &self.campaigns[idx];
-        self.registry.write_spec(
-            runtime.id,
-            &StoredSpec {
-                spec: runtime.spec.clone(),
-                name: runtime.name.clone(),
-                state: runtime.state.as_str().to_string(),
-            },
-        )
+        let id = runtime.id;
+        let stored = StoredSpec {
+            spec: runtime.spec.clone(),
+            name: runtime.name.clone(),
+            state: runtime.state.as_str().to_string(),
+            error: runtime.failure.as_ref().map(|f| f.error.clone()),
+        };
+        self.registry.write_spec(id, &stored)
     }
 
     fn ensure_group(&mut self, spec: &CampaignSpec) -> Result<usize, String> {
@@ -261,7 +446,7 @@ impl ServiceEngine {
     fn build_session(
         spec: &CampaignSpec,
         name: &str,
-        journal: &CampaignJournal<DiskStorage>,
+        journal: &CampaignJournal<S>,
     ) -> Result<SearchSession<BitGenome>, String> {
         let scale = scale_named(&spec.scale)?;
         let mut config = scale.ga;
@@ -288,26 +473,50 @@ impl ServiceEngine {
     ///
     /// # Errors
     ///
-    /// Returns the typed message for an invalid spec (unknown scale, a
-    /// temperature the thermal rig cannot settle) or a persistence
-    /// failure; nothing is scheduled on error.
-    pub fn submit(&mut self, spec: CampaignSpec) -> Result<(u64, String), String> {
-        let group = self.ensure_group(&spec)?;
+    /// [`ServiceError::Spec`] for an invalid spec (unknown scale, a
+    /// temperature the thermal rig cannot settle) or
+    /// [`ServiceError::Storage`] for a persistence failure; nothing is
+    /// scheduled on error, and any partially written journal is
+    /// discarded so a later campaign reusing the id cannot resume a
+    /// stale checkpoint.
+    pub fn submit(&mut self, spec: CampaignSpec) -> Result<(u64, String), ServiceError> {
+        let group = self.ensure_group(&spec).map_err(ServiceError::Spec)?;
         let name =
             DStress::word64_campaign_name(spec.temperature(), &spec_metric(&spec), spec.minimize);
         let id = self.registry.alloc_id();
-        let mut journal = CampaignJournal::open(DiskStorage::new(), self.registry.db_path(id))
-            .map_err(|e| format!("opening campaign journal: {e}"))?;
-        let session = Self::build_session(&spec, &name, &journal)?;
-        let state = session.checkpoint().to_json().map_err(|e| e.to_string())?;
+        match self.schedule_submitted(id, &name, spec, group) {
+            Ok(()) => Ok((id, name)),
+            Err(e) => {
+                self.registry.discard_journal(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible tail of [`submit`](Self::submit), so the caller can
+    /// roll back the journal files on any error.
+    fn schedule_submitted(
+        &mut self,
+        id: u64,
+        name: &str,
+        spec: CampaignSpec,
+        group: usize,
+    ) -> Result<(), ServiceError> {
+        let mut journal = CampaignJournal::open(self.storage.clone(), self.registry.db_path(id))
+            .map_err(|e| ServiceError::Storage(format!("opening campaign journal: {e}")))?;
+        let session = Self::build_session(&spec, name, &journal).map_err(ServiceError::Spec)?;
+        let state = session
+            .checkpoint()
+            .to_json()
+            .map_err(|e| ServiceError::Storage(e.to_string()))?;
         journal
-            .append_checkpoint(&name, state)
-            .map_err(|e| format!("journaling: {e}"))?;
+            .append_checkpoint(name, state)
+            .map_err(|e| ServiceError::Storage(format!("journaling: {e}")))?;
         let budget = (spec.step_budget > 0).then_some(spec.step_budget);
         let sched = self.groups[group].scheduler.add(session, budget);
         self.campaigns.push(Runtime {
             id,
-            name: name.clone(),
+            name: name.to_string(),
             spec,
             state: CampaignState::Running,
             live: Some(Live {
@@ -319,11 +528,23 @@ impl ServiceEngine {
                 budget,
             }),
             bus: EventBus::new(self.event_capacity),
+            event_seq: 0,
+            recent: VecDeque::new(),
+            failure: None,
             report: None,
         });
-        self.persist_state(self.campaigns.len() - 1)
-            .map_err(|e| format!("persisting campaign spec: {e}"))?;
-        Ok((id, name))
+        if let Err(e) = self.persist_state(self.campaigns.len() - 1) {
+            // Roll back: the campaign was never durably registered.
+            if let Some(mut runtime) = self.campaigns.pop() {
+                if let Some(live) = runtime.live.take() {
+                    let _ = self.groups[live.group].scheduler.remove(live.sched);
+                }
+            }
+            return Err(ServiceError::Storage(format!(
+                "persisting campaign spec: {e}"
+            )));
+        }
+        Ok(())
     }
 
     /// Rebuilds one campaign recovered by the boot scan.
@@ -331,6 +552,7 @@ impl ServiceEngine {
         let state = match stored.state.as_str() {
             "done" => CampaignState::Done,
             "cancelled" => CampaignState::Cancelled,
+            "failed" => CampaignState::Failed,
             "paused" | "budget-paused" => CampaignState::Paused,
             _ => CampaignState::Running,
         };
@@ -345,52 +567,251 @@ impl ServiceEngine {
                 state,
                 live: None,
                 bus,
+                event_seq: 0,
+                recent: VecDeque::new(),
+                failure: None,
                 report,
             });
             return Ok(());
         }
-        let group = self.ensure_group(&stored.spec).map_err(invalid_data)?;
-        let journal = CampaignJournal::open(DiskStorage::new(), self.registry.db_path(id))?;
-        let session =
-            Self::build_session(&stored.spec, &stored.name, &journal).map_err(invalid_data)?;
-        let recorded: HashSet<Vec<u64>> = journal
-            .db()
-            .campaign(&stored.name)
-            .map(|r| r.genes.clone())
-            .collect();
-        let budget = (stored.spec.step_budget > 0).then_some(stored.spec.step_budget);
-        let scheduler = &mut self.groups[group].scheduler;
-        let sched = scheduler.add(session, budget);
-        if state == CampaignState::Paused {
-            scheduler.set_paused(sched, true);
+        if state == CampaignState::Failed {
+            // Quarantined across the restart: no scheduler slot until a
+            // `resume` retries recovery. The bus stays open.
+            let error = stored
+                .error
+                .clone()
+                .unwrap_or_else(|| "storage failure".to_string());
+            let report = StatusReport {
+                campaign: id,
+                name: stored.name.clone(),
+                state: CampaignState::Failed.as_str().to_string(),
+                generation: 0,
+                best: None,
+                evaluations: 0,
+                cache_hits: 0,
+                incidents: 0,
+                converged: false,
+                error: Some(error.clone()),
+            };
+            self.campaigns.push(Runtime {
+                id,
+                name: stored.name,
+                spec: stored.spec,
+                state,
+                live: None,
+                bus,
+                event_seq: 0,
+                recent: VecDeque::new(),
+                failure: Some(Failure {
+                    error,
+                    at_seq: 0,
+                    attempts: 0,
+                    report,
+                }),
+                report: None,
+            });
+            return Ok(());
         }
         self.campaigns.push(Runtime {
             id,
             name: stored.name,
             spec: stored.spec,
             state,
-            live: Some(Live {
-                group,
-                sched,
-                journal,
-                recorded,
-                board_genes: HashSet::new(),
-                budget,
-            }),
+            live: None,
             bus,
+            event_seq: 0,
+            recent: VecDeque::new(),
+            failure: None,
             report: None,
         });
+        let idx = self.campaigns.len() - 1;
+        match self.open_live(idx) {
+            Ok(()) => Ok(()),
+            // An unbuildable spec is a registry corruption: refuse the
+            // boot rather than silently dropping the campaign.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => Err(e),
+            // A storage fault quarantines this campaign only; the rest
+            // of the boot proceeds.
+            Err(e) => {
+                self.fail_campaign(idx, format!("recovering campaign {id}: {e}"));
+                Ok(())
+            }
+        }
+    }
+
+    /// (Re)opens a campaign's journal and scheduler slot from its
+    /// persisted state: the quarantine-recovery and boot-revive path.
+    fn open_live(&mut self, idx: usize) -> io::Result<()> {
+        let (id, name, spec, paused) = {
+            let runtime = &self.campaigns[idx];
+            (
+                runtime.id,
+                runtime.name.clone(),
+                runtime.spec.clone(),
+                runtime.state == CampaignState::Paused,
+            )
+        };
+        let group = self.ensure_group(&spec).map_err(invalid_data)?;
+        let journal = CampaignJournal::open(self.storage.clone(), self.registry.db_path(id))?;
+        let session = Self::build_session(&spec, &name, &journal).map_err(invalid_data)?;
+        let recorded: HashSet<Vec<u64>> = journal
+            .db()
+            .campaign(&name)
+            .map(|r| r.genes.clone())
+            .collect();
+        let budget = (spec.step_budget > 0).then_some(spec.step_budget);
+        let evaluations = session.eval_stats().evaluations;
+        let generation = session.generation();
+        let scheduler = &mut self.groups[group].scheduler;
+        let sched = scheduler.add(session, budget);
+        if paused {
+            scheduler.set_paused(sched, true);
+        }
+        let runtime = &mut self.campaigns[idx];
+        runtime.live = Some(Live {
+            group,
+            sched,
+            journal,
+            recorded,
+            board_genes: HashSet::new(),
+            budget,
+        });
+        if runtime.event_seq == 0 && evaluations > 0 {
+            // Continue the pre-restart numbering: the generation-`g`
+            // event carried seq `g + 1` (seq 1 was the seed pass), so a
+            // `watch --from-seq` reconnect across the restart sees no
+            // duplicate and no gap.
+            runtime.event_seq = u64::from(generation) + 1;
+        }
         Ok(())
     }
 
+    /// Quarantines one campaign after a storage fault: releases its
+    /// scheduler slot back to the surviving tenants, snapshots its
+    /// progress, records the failure, and broadcasts [`Event::Failed`]
+    /// (the bus stays open for the recovery's events). Idempotent on
+    /// terminal campaigns.
+    fn fail_campaign(&mut self, idx: usize, error: String) {
+        let runtime = &mut self.campaigns[idx];
+        if runtime.state.terminal() {
+            return;
+        }
+        let attempts = runtime.failure.as_ref().map_or(0, |f| f.attempts);
+        let live = runtime.live.take();
+        let session = live.map(|l| self.groups[l.group].scheduler.remove(l.sched));
+        let runtime = &mut self.campaigns[idx];
+        let report = if let Some(session) = &session {
+            report_from_session(
+                runtime.id,
+                &runtime.name,
+                CampaignState::Failed,
+                session,
+                Some(error.clone()),
+            )
+        } else if let Some(prev) = runtime.failure.take() {
+            let mut report = prev.report;
+            report.error = Some(error.clone());
+            report
+        } else {
+            StatusReport {
+                campaign: runtime.id,
+                name: runtime.name.clone(),
+                state: CampaignState::Failed.as_str().to_string(),
+                generation: 0,
+                best: None,
+                evaluations: 0,
+                cache_hits: 0,
+                incidents: 0,
+                converged: false,
+                error: Some(error.clone()),
+            }
+        };
+        let at_seq = runtime.event_seq;
+        runtime.state = CampaignState::Failed;
+        runtime.failure = Some(Failure {
+            error: error.clone(),
+            at_seq,
+            attempts,
+            report,
+        });
+        publish(
+            &runtime.bus,
+            &mut runtime.recent,
+            &mut runtime.event_seq,
+            self.event_capacity,
+            Event::Failed {
+                campaign: runtime.id,
+                error,
+                at_seq,
+                resume_backoff_ms: recovery_policy().backoff_ms(attempts + 1),
+            },
+        );
+        // Best-effort: the same storage that faulted may refuse this too;
+        // the in-memory quarantine is authoritative until it heals.
+        let _ = self.persist_state(idx);
+    }
+
+    /// Retries recovery of a `failed` campaign from its retained
+    /// journal: the `resume` path for quarantined tenants.
+    fn recover(&mut self, idx: usize) -> Result<(), ServiceError> {
+        let id = self.campaigns[idx].id;
+        let attempts = {
+            let runtime = &mut self.campaigns[idx];
+            let attempts = runtime.failure.as_ref().map_or(0, |f| f.attempts) + 1;
+            if let Some(failure) = runtime.failure.as_mut() {
+                failure.attempts = attempts;
+            }
+            attempts
+        };
+        match self.open_live(idx) {
+            Ok(()) => {
+                let runtime = &mut self.campaigns[idx];
+                runtime.state = CampaignState::Running;
+                runtime.failure = None;
+                if let Err(e) = self.persist_state(idx) {
+                    self.fail_campaign(idx, format!("campaign {id} storage failure: {e}"));
+                    return Err(ServiceError::Storage(format!(
+                        "persisting campaign state: {e}"
+                    )));
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let backoff = recovery_policy().backoff_ms(attempts);
+                let message =
+                    format!("recovery attempt {attempts} failed: {e}; retry in {backoff} ms");
+                let runtime = &mut self.campaigns[idx];
+                let at_seq = runtime.failure.as_ref().map_or(0, |f| f.at_seq);
+                if let Some(failure) = runtime.failure.as_mut() {
+                    failure.error = message.clone();
+                    failure.report.error = Some(message.clone());
+                }
+                publish(
+                    &runtime.bus,
+                    &mut runtime.recent,
+                    &mut runtime.event_seq,
+                    self.event_capacity,
+                    Event::Failed {
+                        campaign: id,
+                        error: message.clone(),
+                        at_seq,
+                        resume_backoff_ms: recovery_policy().backoff_ms(attempts + 1),
+                    },
+                );
+                let _ = self.persist_state(idx);
+                Err(ServiceError::Storage(message))
+            }
+        }
+    }
+
     /// Advances every runnable campaign by one generation round and
-    /// settles the results (journal, events, checkpoints). Returns `false`
-    /// when nothing had schedulable work.
+    /// settles the results (journal, events, checkpoints). Returns
+    /// `false` when nothing had schedulable work.
     ///
-    /// # Errors
-    ///
-    /// Propagates journal and registry I/O failures.
-    pub fn tick(&mut self) -> io::Result<bool> {
+    /// Infallible by design: a journal or registry fault quarantines the
+    /// affected campaign ([`Event::Failed`], `failed` state) and every
+    /// other tenant keeps running.
+    pub fn tick(&mut self) -> bool {
         let mut worked = false;
         for group in 0..self.groups.len() {
             let stepped: Vec<(usize, u64)> = self
@@ -408,29 +829,42 @@ impl ServiceEngine {
             }
             worked = true;
             for (idx, steps_before) in stepped {
-                let live = self.campaigns[idx].live.as_ref().expect("live campaign");
+                let Some(live) = self.campaigns[idx].live.as_ref() else {
+                    // The slot vanished mid-round: an engine bookkeeping
+                    // bug, but one tenant's — never a daemon panic.
+                    let id = self.campaigns[idx].id;
+                    self.fail_campaign(
+                        idx,
+                        ServiceError::StateMismatch(format!(
+                            "campaign {id} stepped without live state"
+                        ))
+                        .to_string(),
+                    );
+                    continue;
+                };
                 if self.groups[group].scheduler.steps_taken(live.sched) > steps_before {
-                    self.settle(idx)?;
+                    if let Err(e) = self.settle(idx) {
+                        let id = self.campaigns[idx].id;
+                        self.fail_campaign(idx, format!("campaign {id} storage failure: {e}"));
+                    }
                 }
             }
         }
-        Ok(worked)
+        worked
     }
 
     /// Runs [`tick`](ServiceEngine::tick) until no campaign has
     /// schedulable work left.
-    ///
-    /// # Errors
-    ///
-    /// Propagates journal and registry I/O failures.
-    pub fn run_until_idle(&mut self) -> io::Result<()> {
-        while self.tick()? {}
-        Ok(())
+    pub fn run_until_idle(&mut self) {
+        while self.tick() {}
     }
 
     /// Journals one stepped campaign's new results, publishes its
     /// progress event, and checkpoints (or completes) it — the per-step
     /// half of `run_journaled`'s loop, per tenant.
+    ///
+    /// On error the campaign's scheduler slot is still intact; the
+    /// caller ([`tick`](Self::tick)) quarantines it.
     fn settle(&mut self, idx: usize) -> io::Result<()> {
         let runtime = &mut self.campaigns[idx];
         let Some(live) = runtime.live.as_mut() else {
@@ -459,32 +893,35 @@ impl ServiceEngine {
             live.board_genes.insert(g.to_words());
         }
         let generation = session.generation();
-        runtime.bus.publish(&Event::Generation {
-            campaign: runtime.id,
-            generation,
-            best: board.first().map(|(g, f)| entry(g, *f)),
-            leaderboard_delta: delta,
-            stats: session.eval_stats().clone(),
-            incidents,
-        });
-        if session.done() {
-            let report = StatusReport {
+        publish(
+            &runtime.bus,
+            &mut runtime.recent,
+            &mut runtime.event_seq,
+            self.event_capacity,
+            Event::Generation {
                 campaign: runtime.id,
-                name: runtime.name.clone(),
-                state: CampaignState::Done.as_str().to_string(),
                 generation,
                 best: board.first().map(|(g, f)| entry(g, *f)),
-                evaluations: session.eval_stats().evaluations,
-                cache_hits: session.eval_stats().cache_hits,
-                incidents: session.incidents().len() as u64,
-                converged: session.converged(),
-            };
+                leaderboard_delta: delta,
+                stats: session.eval_stats().clone(),
+                incidents,
+            },
+        );
+        if session.done() {
+            let report = report_from_session(
+                runtime.id,
+                &runtime.name,
+                CampaignState::Done,
+                session,
+                None,
+            );
             let leaderboard: Vec<LeaderboardEntry> =
                 board.iter().map(|(g, f)| entry(g, *f)).collect();
-            let _ = group.scheduler.remove(live.sched);
+            // Failure-ordering: finish the journal and persist the result
+            // while the scheduler slot is still held, so a fault here
+            // leaves a quarantinable live campaign (recovery re-runs a
+            // finished journal idempotently).
             live.journal.finish()?;
-            runtime.live = None;
-            runtime.state = CampaignState::Done;
             self.registry.write_result(
                 runtime.id,
                 &StoredResult {
@@ -492,12 +929,21 @@ impl ServiceEngine {
                     leaderboard: leaderboard.clone(),
                 },
             )?;
-            runtime.bus.publish(&Event::Completed {
-                campaign: runtime.id,
-                generations: generation,
-                converged: report.converged,
-                leaderboard,
-            });
+            let _ = group.scheduler.remove(live.sched);
+            runtime.live = None;
+            runtime.state = CampaignState::Done;
+            publish(
+                &runtime.bus,
+                &mut runtime.recent,
+                &mut runtime.event_seq,
+                self.event_capacity,
+                Event::Completed {
+                    campaign: runtime.id,
+                    generations: generation,
+                    converged: report.converged,
+                    leaderboard,
+                },
+            );
             runtime.bus.close();
             runtime.report = Some(report);
             self.persist_state(idx)?;
@@ -520,12 +966,15 @@ impl ServiceEngine {
     ///
     /// # Errors
     ///
-    /// Returns the typed message for an unknown campaign id.
-    pub fn status(&self, id: u64) -> Result<StatusReport, String> {
+    /// [`ServiceError::UnknownCampaign`] for an unknown id.
+    pub fn status(&self, id: u64) -> Result<StatusReport, ServiceError> {
         let idx = self.runtime(id)?;
         let runtime = &self.campaigns[idx];
         if let Some(report) = &runtime.report {
             return Ok(report.clone());
+        }
+        if let Some(failure) = &runtime.failure {
+            return Ok(failure.report.clone());
         }
         let Some(live) = runtime.live.as_ref() else {
             // A terminal campaign whose result file never landed (e.g. a
@@ -540,21 +989,17 @@ impl ServiceEngine {
                 cache_hits: 0,
                 incidents: 0,
                 converged: false,
+                error: None,
             });
         };
         let session = self.groups[live.group].scheduler.session(live.sched);
-        let board = session.leaderboard();
-        Ok(StatusReport {
-            campaign: runtime.id,
-            name: runtime.name.clone(),
-            state: runtime.state.as_str().to_string(),
-            generation: session.generation(),
-            best: board.first().map(|(g, f)| entry(g, *f)),
-            evaluations: session.eval_stats().evaluations,
-            cache_hits: session.eval_stats().cache_hits,
-            incidents: session.incidents().len() as u64,
-            converged: session.converged(),
-        })
+        Ok(report_from_session(
+            runtime.id,
+            &runtime.name,
+            runtime.state,
+            session,
+            None,
+        ))
     }
 
     /// Progress reports for every campaign ever submitted, in id order.
@@ -567,17 +1012,34 @@ impl ServiceEngine {
     }
 
     /// Pauses or resumes a campaign. Resuming a budget-paused campaign
-    /// grants it a fresh stint of `step_budget` generations.
+    /// grants it a fresh stint of `step_budget` generations; resuming a
+    /// `failed` campaign retries its quarantine recovery from the
+    /// retained journal.
     ///
     /// # Errors
     ///
-    /// Returns the typed message for an unknown id or a terminal
-    /// campaign.
-    pub fn set_paused(&mut self, id: u64, paused: bool) -> Result<(), String> {
+    /// [`ServiceError::UnknownCampaign`] for an unknown id,
+    /// [`ServiceError::Terminal`] for a terminal campaign (or pausing a
+    /// failed one), [`ServiceError::Storage`] when persistence — or a
+    /// failed campaign's recovery — fails.
+    pub fn set_paused(&mut self, id: u64, paused: bool) -> Result<(), ServiceError> {
         let idx = self.runtime(id)?;
+        if self.campaigns[idx].state == CampaignState::Failed {
+            return if paused {
+                Err(ServiceError::Terminal {
+                    campaign: id,
+                    state: CampaignState::Failed.as_str().to_string(),
+                })
+            } else {
+                self.recover(idx)
+            };
+        }
         let runtime = &mut self.campaigns[idx];
         let Some(live) = runtime.live.as_mut() else {
-            return Err(format!("campaign {id} is {}", runtime.state.as_str()));
+            return Err(ServiceError::Terminal {
+                campaign: id,
+                state: runtime.state.as_str().to_string(),
+            });
         };
         let scheduler = &mut self.groups[live.group].scheduler;
         scheduler.set_paused(live.sched, paused);
@@ -592,8 +1054,13 @@ impl ServiceEngine {
             }
             runtime.state = CampaignState::Running;
         }
-        self.persist_state(idx)
-            .map_err(|e| format!("persisting campaign state: {e}"))
+        if let Err(e) = self.persist_state(idx) {
+            self.fail_campaign(idx, format!("campaign {id} storage failure: {e}"));
+            return Err(ServiceError::Storage(format!(
+                "persisting campaign state: {e}"
+            )));
+        }
+        Ok(())
     }
 
     /// Cancels a campaign: its session is discarded, its journal (with
@@ -602,57 +1069,95 @@ impl ServiceEngine {
     ///
     /// # Errors
     ///
-    /// Returns the typed message for an unknown id or a terminal
-    /// campaign.
-    pub fn cancel(&mut self, id: u64) -> Result<(), String> {
+    /// [`ServiceError::UnknownCampaign`] for an unknown id,
+    /// [`ServiceError::Terminal`] for a non-live campaign,
+    /// [`ServiceError::Storage`] when persisting the result fails (the
+    /// campaign is then quarantined, not cancelled).
+    pub fn cancel(&mut self, id: u64) -> Result<(), ServiceError> {
         let idx = self.runtime(id)?;
+        let runtime = &self.campaigns[idx];
+        let Some(live) = runtime.live.as_ref() else {
+            return Err(ServiceError::Terminal {
+                campaign: id,
+                state: runtime.state.as_str().to_string(),
+            });
+        };
+        let (group, sched) = (live.group, live.sched);
+        let session = self.groups[group].scheduler.session(sched);
+        let report =
+            report_from_session(id, &runtime.name, CampaignState::Cancelled, session, None);
+        let leaderboard: Vec<LeaderboardEntry> = session
+            .leaderboard()
+            .iter()
+            .map(|(g, f)| entry(g, *f))
+            .collect();
+        // Persist the result before committing the cancel, so a storage
+        // fault quarantines a still-recoverable campaign.
+        if let Err(e) = self.registry.write_result(
+            id,
+            &StoredResult {
+                report: report.clone(),
+                leaderboard,
+            },
+        ) {
+            self.fail_campaign(idx, format!("campaign {id} storage failure: {e}"));
+            return Err(ServiceError::Storage(format!(
+                "persisting campaign result: {e}"
+            )));
+        }
         let runtime = &mut self.campaigns[idx];
-        let Some(live) = runtime.live.take() else {
-            return Err(format!(
-                "campaign {id} is already {}",
-                runtime.state.as_str()
-            ));
-        };
-        let session = self.groups[live.group].scheduler.remove(live.sched);
-        let board = session.leaderboard();
-        let report = StatusReport {
-            campaign: runtime.id,
-            name: runtime.name.clone(),
-            state: CampaignState::Cancelled.as_str().to_string(),
-            generation: session.generation(),
-            best: board.first().map(|(g, f)| entry(g, *f)),
-            evaluations: session.eval_stats().evaluations,
-            cache_hits: session.eval_stats().cache_hits,
-            incidents: session.incidents().len() as u64,
-            converged: session.converged(),
-        };
-        let leaderboard: Vec<LeaderboardEntry> = board.iter().map(|(g, f)| entry(g, *f)).collect();
+        runtime.live = None;
+        let _ = self.groups[group].scheduler.remove(sched);
         runtime.state = CampaignState::Cancelled;
-        self.registry
-            .write_result(
-                id,
-                &StoredResult {
-                    report: report.clone(),
-                    leaderboard,
-                },
-            )
-            .map_err(|e| format!("persisting campaign result: {e}"))?;
         runtime.report = Some(report);
-        runtime.bus.publish(&Event::Cancelled { campaign: id });
+        publish(
+            &runtime.bus,
+            &mut runtime.recent,
+            &mut runtime.event_seq,
+            self.event_capacity,
+            Event::Cancelled { campaign: id },
+        );
         runtime.bus.close();
         self.persist_state(idx)
-            .map_err(|e| format!("persisting campaign state: {e}"))
+            .map_err(|e| ServiceError::Storage(format!("persisting campaign state: {e}")))
     }
 
-    /// Subscribes to a campaign's live event stream. Watching a terminal
-    /// campaign yields a subscriber that immediately reports closure.
+    /// Subscribes to a campaign's event stream from `from_seq` onward:
+    /// returns the retained backlog (every ring event with
+    /// `seq >= from_seq`) plus a live subscriber for what follows.
+    /// `from_seq` 0 or 1 means "everything retained". If events older
+    /// than the ring were requested, the backlog is prefixed with a
+    /// seq-0 [`Event::Lagged`] counting the unrecoverable gap.
+    ///
+    /// Watching a terminal campaign yields its retained tail and a
+    /// subscriber that immediately reports closure.
     ///
     /// # Errors
     ///
-    /// Returns the typed message for an unknown campaign id.
-    pub fn watch(&self, id: u64) -> Result<Subscriber<Event>, String> {
+    /// [`ServiceError::UnknownCampaign`] for an unknown id.
+    pub fn watch(
+        &self,
+        id: u64,
+        from_seq: u64,
+    ) -> Result<(Vec<SeqEvent>, Subscriber<SeqEvent>), ServiceError> {
         let idx = self.runtime(id)?;
-        Ok(self.campaigns[idx].bus.subscribe())
+        let runtime = &self.campaigns[idx];
+        let from = from_seq.max(1);
+        let first_retained = runtime
+            .recent
+            .front()
+            .map_or(runtime.event_seq + 1, |e| e.seq);
+        let mut backlog = Vec::new();
+        if from < first_retained {
+            backlog.push(SeqEvent {
+                seq: 0,
+                event: Event::Lagged {
+                    missed: first_retained - from,
+                },
+            });
+        }
+        backlog.extend(runtime.recent.iter().filter(|e| e.seq >= from).cloned());
+        Ok((backlog, runtime.bus.subscribe()))
     }
 }
 
@@ -795,25 +1300,30 @@ pub fn run_word64_campaigns_journaled(
     }
     let compile_hits = fitness.evaluator.compile_hits;
     let failed = fitness.evaluator.failed_evaluations;
-    Ok(slots
-        .into_iter()
-        .map(|slot| {
-            let mut result = slot.result.expect("scheduler drained every campaign");
-            result.eval_stats.compile_hits = compile_hits;
-            BitCampaign {
-                name: slot.name,
-                result,
-                env: EnvKind::Word64,
-                failed_evaluations: failed,
-            }
-        })
-        .collect())
+    let mut campaigns = Vec::with_capacity(slots.len());
+    for slot in slots {
+        let mut result = slot.result.ok_or_else(|| {
+            DStressError::from(ServiceError::StateMismatch(format!(
+                "the scheduler never drained campaign `{}`",
+                slot.name
+            )))
+        })?;
+        result.eval_stats.compile_hits = compile_hits;
+        campaigns.push(BitCampaign {
+            name: slot.name,
+            result,
+            env: EnvKind::Word64,
+            failed_evaluations: failed,
+        });
+    }
+    Ok(campaigns)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::service::broadcast::Recv;
+    use dstress_ga::journal::{MemStorage, SharedStorage};
     use std::time::Duration;
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -842,6 +1352,18 @@ mod tests {
         std::fs::read(&path).unwrap()
     }
 
+    /// A solo journaled run against an in-memory storage, returning the
+    /// final snapshot bytes.
+    fn solo_mem_snapshot(seed: u64) -> Vec<u8> {
+        let path = PathBuf::from(format!("solo-{seed}.db.json"));
+        let mut journal = CampaignJournal::open(MemStorage::new(), &path).unwrap();
+        let mut dstress = DStress::new(ExperimentScale::quick(), seed);
+        dstress
+            .search_word64_journaled(&mut journal, 60.0, Metric::CeAverage, false)
+            .unwrap();
+        journal.into_storage().contents(&path).unwrap().to_vec()
+    }
+
     #[test]
     fn concurrent_tenants_match_solo_journaled_runs_byte_for_byte() {
         let dir = temp_dir("tenants");
@@ -849,7 +1371,7 @@ mod tests {
         let (a, name_a) = engine.submit(quick_spec(41)).unwrap();
         let (b, _) = engine.submit(quick_spec(42)).unwrap();
         assert_eq!(name_a, "word64-ce-max-60C");
-        engine.run_until_idle().unwrap();
+        engine.run_until_idle();
         for id in [a, b] {
             let report = engine.status(id).unwrap();
             assert_eq!(report.state, "done");
@@ -869,14 +1391,14 @@ mod tests {
             let mut engine = ServiceEngine::new(dir.join("daemon"), 2, 64).unwrap();
             let (id, _) = engine.submit(quick_spec(7)).unwrap();
             for _ in 0..3 {
-                engine.tick().unwrap();
+                engine.tick();
             }
             id
             // Dropping the engine models a daemon kill at tick
             // granularity: the journal holds the post-step checkpoint.
         };
         let mut engine = ServiceEngine::new(dir.join("daemon"), 1, 64).unwrap();
-        engine.run_until_idle().unwrap();
+        engine.run_until_idle();
         assert_eq!(engine.status(id).unwrap().state, "done");
         let resumed = std::fs::read(engine.dir().join(format!("c{id}.db.json"))).unwrap();
         assert_eq!(resumed, solo_snapshot(&dir, 7), "restart diverged");
@@ -888,15 +1410,21 @@ mod tests {
         let dir = temp_dir("lifecycle");
         let mut engine = ServiceEngine::new(dir.join("daemon"), 1, 64).unwrap();
         let (id, _) = engine.submit(quick_spec(9)).unwrap();
-        let sub = engine.watch(id).unwrap();
-        engine.tick().unwrap();
+        let (backlog, sub) = engine.watch(id, 0).unwrap();
+        assert!(backlog.is_empty(), "nothing published yet");
+        engine.tick();
         match sub.recv_timeout(Duration::from_secs(1)) {
-            Recv::Event(Event::Generation {
-                campaign,
-                generation,
-                ..
+            Recv::Event(SeqEvent {
+                seq,
+                event:
+                    Event::Generation {
+                        campaign,
+                        generation,
+                        ..
+                    },
             }) => {
                 assert_eq!(campaign, id);
+                assert_eq!(seq, 1, "sequence numbers start at 1");
                 // The first scheduler step evaluates the seed population;
                 // generations count from the first evolved one.
                 assert_eq!(generation, 0);
@@ -907,7 +1435,7 @@ mod tests {
         assert!(engine.idle(), "a paused campaign contributes no work");
         assert_eq!(engine.status(id).unwrap().state, "paused");
         engine.set_paused(id, false).unwrap();
-        engine.tick().unwrap();
+        engine.tick();
         engine.cancel(id).unwrap();
         let report = engine.status(id).unwrap();
         assert_eq!(report.state, "cancelled");
@@ -917,7 +1445,10 @@ mod tests {
         let mut saw_cancelled = false;
         loop {
             match sub.recv_timeout(Duration::from_secs(1)) {
-                Recv::Event(Event::Cancelled { campaign }) => {
+                Recv::Event(SeqEvent {
+                    event: Event::Cancelled { campaign },
+                    ..
+                }) => {
                     assert_eq!(campaign, id);
                     saw_cancelled = true;
                 }
@@ -927,10 +1458,14 @@ mod tests {
             }
         }
         assert!(saw_cancelled);
-        // Terminal operations are rejected with typed messages.
-        assert!(engine.cancel(id).unwrap_err().contains("cancelled"));
+        // Terminal operations are rejected with typed errors.
+        assert!(engine
+            .cancel(id)
+            .unwrap_err()
+            .to_string()
+            .contains("cancelled"));
         assert!(engine.set_paused(id, true).is_err());
-        assert!(engine.status(999).is_err());
+        assert_eq!(engine.status(999), Err(ServiceError::UnknownCampaign(999)));
         // The cancelled campaign survives a restart as cancelled.
         drop(engine);
         let engine = ServiceEngine::new(dir.join("daemon"), 1, 64).unwrap();
@@ -945,7 +1480,7 @@ mod tests {
         let mut spec = quick_spec(11);
         spec.step_budget = 2;
         let (id, _) = engine.submit(spec).unwrap();
-        engine.run_until_idle().unwrap();
+        engine.run_until_idle();
         let report = engine.status(id).unwrap();
         assert_eq!(report.state, "budget-paused");
         assert_eq!(
@@ -958,11 +1493,84 @@ mod tests {
                 break;
             }
             engine.set_paused(id, false).unwrap();
-            engine.run_until_idle().unwrap();
+            engine.run_until_idle();
         }
         assert_eq!(engine.status(id).unwrap().state, "done");
         let bytes = std::fs::read(engine.dir().join(format!("c{id}.db.json"))).unwrap();
         assert_eq!(bytes, solo_snapshot(&dir, 11), "budget stints diverged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_storage_fault_quarantines_one_tenant_and_spares_the_other() {
+        let storage = SharedStorage::new(MemStorage::new());
+        let mut engine =
+            ServiceEngine::with_storage(storage.clone(), PathBuf::from("daemon"), 1, 64).unwrap();
+        let (a, _) = engine.submit(quick_spec(41)).unwrap();
+        let (b, _) = engine.submit(quick_spec(42)).unwrap();
+        // Fail one mutating storage op a little into the run phase: one
+        // tenant quarantines, the other must be untouched.
+        storage.with(|s| s.fail_op(5));
+        engine.run_until_idle();
+        let reports = [engine.status(a).unwrap(), engine.status(b).unwrap()];
+        let failed: Vec<_> = reports.iter().filter(|r| r.state == "failed").collect();
+        let done: Vec<_> = reports.iter().filter(|r| r.state == "done").collect();
+        assert_eq!(failed.len(), 1, "exactly one tenant hit the fault");
+        assert_eq!(done.len(), 1, "the other tenant finished");
+        let victim = failed[0].campaign;
+        let survivor = done[0].campaign;
+        assert!(
+            failed[0].error.as_deref().unwrap_or("").contains("fault"),
+            "the quarantine reports the injected fault: {:?}",
+            failed[0].error
+        );
+        // The survivor's snapshot is byte-identical to a solo run.
+        let survivor_seed = if survivor == a { 41 } else { 42 };
+        let path = PathBuf::from(format!("daemon/c{survivor}.db.json"));
+        let snapshot = storage.with(|s| s.contents(&path).unwrap().to_vec());
+        assert_eq!(snapshot, solo_mem_snapshot(survivor_seed));
+        // Pausing a failed campaign is rejected; resuming retries
+        // recovery — and succeeds once the fault clears.
+        assert!(engine.set_paused(victim, true).is_err());
+        storage.with(|s| s.clear_faults());
+        engine.set_paused(victim, false).unwrap();
+        engine.run_until_idle();
+        assert_eq!(engine.status(victim).unwrap().state, "done");
+        let victim_seed = if victim == a { 41 } else { 42 };
+        let path = PathBuf::from(format!("daemon/c{victim}.db.json"));
+        let snapshot = storage.with(|s| s.contents(&path).unwrap().to_vec());
+        assert_eq!(
+            snapshot,
+            solo_mem_snapshot(victim_seed),
+            "recovery diverged from the solo run"
+        );
+    }
+
+    #[test]
+    fn watch_from_seq_replays_the_retained_suffix_and_flags_gaps() {
+        let dir = temp_dir("fromseq");
+        let mut engine = ServiceEngine::new(dir.join("daemon"), 1, 4).unwrap();
+        let (id, _) = engine.submit(quick_spec(13)).unwrap();
+        engine.run_until_idle();
+        let report = engine.status(id).unwrap();
+        assert_eq!(report.state, "done");
+        let last_seq = u64::from(report.generation) + 2; // seed pass + Completed
+                                                         // Reconnecting from within the ring replays exactly the suffix.
+        let (backlog, _) = engine.watch(id, last_seq - 1).unwrap();
+        assert_eq!(
+            backlog.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![last_seq - 1, last_seq]
+        );
+        // Reconnecting from before the ring flags the unrecoverable gap
+        // with a connection-local (seq 0) Lagged notice, then the ring.
+        let (backlog, _) = engine.watch(id, 1).unwrap();
+        assert_eq!(backlog[0].seq, 0);
+        let Event::Lagged { missed } = backlog[0].event else {
+            panic!("expected a Lagged prefix, got {:?}", backlog[0].event);
+        };
+        assert_eq!(missed, last_seq - 4, "events 1..=N-4 fell out of the ring");
+        let seqs: Vec<u64> = backlog[1..].iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (last_seq - 3..=last_seq).collect::<Vec<_>>());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -40,9 +40,9 @@ pub mod registry;
 
 pub use broadcast::{EventBus, Recv, Subscriber};
 pub use daemon::{DaemonConfig, Dstressd};
-pub use engine::{campaign_db_paths, run_word64_campaigns_journaled, ServiceEngine};
+pub use engine::{campaign_db_paths, run_word64_campaigns_journaled, ServiceEngine, ServiceError};
 pub use protocol::{
-    parse_request, read_frame, CampaignSpec, Event, FrameError, LeaderboardEntry, Request,
-    Response, StatusReport, MAX_FRAME_BYTES,
+    parse_request, read_frame, CampaignSpec, Event, FrameError, FrameReader, LeaderboardEntry,
+    Request, Response, SeqEvent, StatusReport, MAX_FRAME_BYTES,
 };
 pub use registry::CampaignRegistry;

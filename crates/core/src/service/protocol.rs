@@ -124,6 +124,12 @@ pub enum Request {
     Watch {
         /// The campaign to watch.
         campaign: u64,
+        /// Resume the stream from this sequence number: every retained
+        /// event with `seq >= from_seq` is replayed before live ones.
+        /// `0` (the default) streams the retained backlog and then live
+        /// events, which is also the right value for a first watch.
+        #[serde(default)]
+        from_seq: u64,
     },
     /// Liveness probe; answered with [`Response::Pong`].
     Ping,
@@ -146,7 +152,8 @@ pub struct StatusReport {
     pub campaign: u64,
     /// The campaign's database key (e.g. `word64-ce-max-60C`).
     pub name: String,
-    /// `running`, `paused`, `budget-paused`, `done` or `cancelled`.
+    /// `running`, `paused`, `budget-paused`, `failed`, `done` or
+    /// `cancelled`.
     pub state: String,
     /// Completed generations.
     pub generation: u32,
@@ -160,6 +167,10 @@ pub struct StatusReport {
     pub incidents: u64,
     /// Whether the similarity criterion has been met.
     pub converged: bool,
+    /// The storage error that quarantined the campaign, when `state` is
+    /// `failed` (absent otherwise).
+    #[serde(default)]
+    pub error: Option<String>,
 }
 
 /// One daemon response frame.
@@ -232,12 +243,44 @@ pub enum Event {
         /// The campaign id.
         campaign: u64,
     },
+    /// A campaign hit a journal/registry storage fault and was
+    /// quarantined: its scheduler slot was released, its on-disk journal
+    /// is intact, and a `resume` will retry recovery.
+    Failed {
+        /// The campaign id.
+        campaign: u64,
+        /// The storage error that quarantined it.
+        error: String,
+        /// The sequence number of the last event published before the
+        /// failure.
+        at_seq: u64,
+        /// The deterministic backoff (recorded, not slept) a client
+        /// should wait before the next `resume` attempt.
+        resume_backoff_ms: u64,
+    },
     /// This subscriber fell behind and `missed` events were dropped
     /// (bounded-buffer lagging-client semantics).
     Lagged {
         /// How many events were dropped since the last delivery.
         missed: u64,
     },
+}
+
+/// One event on the wire, stamped with its per-campaign sequence number.
+///
+/// Sequence numbers start at 1 and increase by one per published event;
+/// they survive daemon restarts (a revived campaign continues its
+/// numbering), which is what makes `watch --from-seq` reconnects exact:
+/// a client that saw seq `n` asks for `from_seq = n + 1` and receives no
+/// duplicate and no gap (within the retained ring). Connection-local
+/// notifications ([`Event::Lagged`]) carry seq `0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqEvent {
+    /// The per-campaign sequence number (`0` for connection-local
+    /// notifications).
+    pub seq: u64,
+    /// The event itself.
+    pub event: Event,
 }
 
 /// Why a frame could not be read.
@@ -320,8 +363,108 @@ pub fn read_frame<R: BufRead>(reader: &mut R) -> Result<String, FrameError> {
     }
 }
 
+/// A stateful frame reader for sockets with a read timeout.
+///
+/// [`read_frame`] assumes a blocking reader: a timeout mid-line would
+/// lose the bytes already buffered. `FrameReader` instead keeps the
+/// partial line across timeouts — [`read`](FrameReader::read) returns
+/// `Ok(None)` when the underlying read times out ([`io::ErrorKind::WouldBlock`]
+/// or [`io::ErrorKind::TimedOut`]) and resumes the same frame on the
+/// next call. This is what lets the daemon poll a per-client deadline
+/// (reaping idle and slow-loris connections) without ever tearing a
+/// legitimate slow frame.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    partial: Vec<u8>,
+    /// Mid-discard of an oversized line (waiting for its newline).
+    overflow: bool,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Whether a frame has started arriving but not yet completed — the
+    /// slow-loris signal a caller's frame deadline applies to.
+    pub fn mid_frame(&self) -> bool {
+        !self.partial.is_empty() || self.overflow
+    }
+
+    /// Reads the next newline-delimited frame, enforcing
+    /// [`MAX_FRAME_BYTES`]. Returns `Ok(None)` on a read timeout with
+    /// the partial frame retained for the next call.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Eof`] at end of stream, [`FrameError::TooLong`]
+    /// once an oversized line has been consumed to its newline,
+    /// [`FrameError::Io`] on transport failures other than timeouts.
+    pub fn read<R: BufRead>(&mut self, reader: &mut R) -> Result<Option<String>, FrameError> {
+        loop {
+            let available = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(FrameError::Io(e)),
+            };
+            if available.is_empty() {
+                if self.overflow {
+                    self.overflow = false;
+                    return Err(FrameError::TooLong);
+                }
+                if self.partial.is_empty() {
+                    return Err(FrameError::Eof);
+                }
+                // A torn final frame (no newline): surface what arrived;
+                // the parse layer will answer it with a typed error.
+                let line = std::mem::take(&mut self.partial);
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            let newline = available.iter().position(|&b| b == b'\n');
+            let take = newline.map_or(available.len(), |n| n + 1);
+            if self.overflow {
+                reader.consume(take);
+                if newline.is_some() {
+                    self.overflow = false;
+                    return Err(FrameError::TooLong);
+                }
+                continue;
+            }
+            if self.partial.len() + take > MAX_FRAME_BYTES + 1 {
+                self.partial.clear();
+                reader.consume(take);
+                if newline.is_some() {
+                    return Err(FrameError::TooLong);
+                }
+                self.overflow = true;
+                continue;
+            }
+            self.partial.extend_from_slice(&available[..take]);
+            reader.consume(take);
+            if newline.is_some() {
+                while self.partial.last() == Some(&b'\n') || self.partial.last() == Some(&b'\r') {
+                    self.partial.pop();
+                }
+                let line = std::mem::take(&mut self.partial);
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+        }
+    }
+}
+
 /// Parses a request frame into either a [`Request`] or the typed error
 /// reply the daemon sends back verbatim.
+// The Err variant is always the small `Response::Error`; the enum's big
+// variants never travel this path, so boxing would tax the hot side for
+// nothing.
+#[allow(clippy::result_large_err)]
 pub fn parse_request(frame: &str) -> Result<Request, Response> {
     if frame.trim().is_empty() {
         return Err(Response::Error {
@@ -356,7 +499,10 @@ mod tests {
             Request::Pause { campaign: 0 },
             Request::Resume { campaign: 0 },
             Request::Cancel { campaign: 1 },
-            Request::Watch { campaign: 2 },
+            Request::Watch {
+                campaign: 2,
+                from_seq: 9,
+            },
             Request::Ping,
         ];
         for request in requests {
@@ -381,6 +527,7 @@ mod tests {
             cache_hits: 12,
             incidents: 0,
             converged: false,
+            error: None,
         };
         let responses = vec![
             Response::Submitted {
@@ -424,13 +571,38 @@ mod tests {
                 }],
             },
             Event::Cancelled { campaign: 1 },
+            Event::Failed {
+                campaign: 2,
+                error: "injected fault at op 7".into(),
+                at_seq: 4,
+                resume_backoff_ms: 200,
+            },
             Event::Lagged { missed: 17 },
         ];
         for event in events {
             let json = serde_json::to_string(&event).unwrap();
             let back: Event = serde_json::from_str(&json).unwrap();
             assert_eq!(back, event, "{json}");
+            let stamped = SeqEvent {
+                seq: 3,
+                event: event.clone(),
+            };
+            let json = serde_json::to_string(&stamped).unwrap();
+            let back: SeqEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, stamped, "{json}");
         }
+    }
+
+    #[test]
+    fn watch_without_from_seq_defaults_to_zero() {
+        let request: Request = serde_json::from_str(r#"{"Watch":{"campaign":3}}"#).unwrap();
+        assert_eq!(
+            request,
+            Request::Watch {
+                campaign: 3,
+                from_seq: 0
+            }
+        );
     }
 
     #[test]

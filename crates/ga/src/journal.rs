@@ -86,6 +86,23 @@ pub trait Storage {
     ///
     /// Propagates I/O failures other than the file being absent.
     fn remove(&mut self, path: &Path) -> io::Result<()>;
+
+    /// Creates a directory and all missing parents; succeeds if it
+    /// already exists. Counted as a mutating operation by fault-injecting
+    /// implementations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()>;
+
+    /// Lists the files directly inside `dir`, in a deterministic
+    /// (sorted) order. A missing directory lists as empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
 }
 
 /// The real filesystem.
@@ -139,6 +156,24 @@ impl Storage for DiskStorage {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
+    }
+
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut paths = Vec::new();
+        for entry in entries {
+            paths.push(entry?.path());
+        }
+        paths.sort();
+        Ok(paths)
     }
 }
 
@@ -282,6 +317,99 @@ impl Storage for MemStorage {
         self.gate()?;
         self.files.remove(path);
         Ok(())
+    }
+
+    fn create_dir_all(&mut self, _path: &Path) -> io::Result<()> {
+        // The in-memory filesystem is flat, but directory creation is
+        // still a mutating operation: gate it so fault sweeps cover it.
+        self.gate()
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        // BTreeMap keys are already sorted.
+        Ok(self
+            .files
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .cloned()
+            .collect())
+    }
+}
+
+/// A [`Storage`] shared between several owners — the campaign registry
+/// and every per-campaign journal of a service engine see one filesystem.
+///
+/// [`DiskStorage`] is trivially shareable (the real filesystem *is* the
+/// shared state), but [`MemStorage`] is a value: without this wrapper
+/// each journal would get its own private in-memory filesystem and a
+/// fault injected into one could never be scheduled against the ops of
+/// another. Cloning shares the underlying storage; [`with`] grants
+/// direct access for fault scheduling and crash simulation.
+///
+/// [`with`]: SharedStorage::with
+#[derive(Debug, Default)]
+pub struct SharedStorage<S> {
+    inner: std::sync::Arc<std::sync::Mutex<S>>,
+}
+
+impl<S> Clone for SharedStorage<S> {
+    fn clone(&self) -> Self {
+        SharedStorage {
+            inner: std::sync::Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S> SharedStorage<S> {
+    /// Wraps a storage for sharing.
+    pub fn new(inner: S) -> Self {
+        SharedStorage {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(inner)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the underlying storage (for
+    /// fault scheduling, crash simulation, and assertions).
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut inner)
+    }
+}
+
+impl<S: Storage> Storage for SharedStorage<S> {
+    fn read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        self.with(|s| s.read(path))
+    }
+
+    fn append(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.with(|s| s.append(path, data))
+    }
+
+    fn sync(&mut self, path: &Path) -> io::Result<()> {
+        self.with(|s| s.sync(path))
+    }
+
+    fn write(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.with(|s| s.write(path, data))
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        self.with(|s| s.rename(from, to))
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.with(|s| s.remove(path))
+    }
+
+    fn create_dir_all(&mut self, path: &Path) -> io::Result<()> {
+        self.with(|s| s.create_dir_all(path))
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        self.with(|s| s.list(dir))
     }
 }
 

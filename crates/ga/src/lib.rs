@@ -57,8 +57,8 @@ pub use engine::{
 pub use fitness::{AveragedFitness, EvalFault, FaultKind, Fitness, FnFitness, ParallelFitness};
 pub use genome::{BitGenome, Genome, IntGenome};
 pub use journal::{
-    run_journaled, CampaignJournal, DiskStorage, MemStorage, Snapshot, Storage, StoredCheckpoint,
-    StoredIncident,
+    run_journaled, CampaignJournal, DiskStorage, MemStorage, SharedStorage, Snapshot, Storage,
+    StoredCheckpoint, StoredIncident,
 };
 pub use ops::crossover::CrossoverOp;
 pub use ops::selection::SelectionScheme;

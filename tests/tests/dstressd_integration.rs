@@ -8,7 +8,7 @@
 //! integration step.
 
 use dstress::service::{
-    CampaignSpec, DaemonConfig, Dstressd, Event, LeaderboardEntry, Request, Response,
+    CampaignSpec, DaemonConfig, Dstressd, Event, LeaderboardEntry, Request, Response, SeqEvent,
 };
 use dstress::{CampaignJournal, DStress, DiskStorage, ExperimentScale, Metric};
 use std::io::{BufRead, BufReader, Write};
@@ -28,6 +28,7 @@ fn start_daemon(dir: &Path) -> Dstressd {
         dir: dir.to_path_buf(),
         workers: 2,
         event_capacity: 256,
+        ..DaemonConfig::default()
     })
     .expect("daemon boots")
 }
@@ -100,20 +101,35 @@ fn submit_and_watch(addr: SocketAddr, seed: u64) -> (u64, Vec<LeaderboardEntry>)
         Response::Submitted { campaign, .. } => campaign,
         other => panic!("expected Submitted, got {other:?}"),
     };
-    send(&mut stream, &Request::Watch { campaign });
+    send(
+        &mut stream,
+        &Request::Watch {
+            campaign,
+            from_seq: 0,
+        },
+    );
     match read_response(&mut reader) {
         Response::Watching { campaign: watched } => assert_eq!(watched, campaign),
         other => panic!("expected Watching, got {other:?}"),
     }
     let mut generations_seen = 0u32;
+    let mut last_seq = 0u64;
     let mut completed = None;
     loop {
         let line = read_line(&mut reader);
-        let Ok(event) = serde_json::from_str::<Event>(&line) else {
+        let Ok(stamped) = serde_json::from_str::<SeqEvent>(&line) else {
             // The end-of-stream marker (a Response) ends the watch.
             break;
         };
-        match event {
+        if stamped.seq > 0 {
+            assert!(
+                stamped.seq > last_seq,
+                "event seqs must be strictly increasing ({} after {last_seq})",
+                stamped.seq
+            );
+            last_seq = stamped.seq;
+        }
+        match stamped.event {
             Event::Generation { generation, .. } => {
                 generations_seen = generations_seen.max(generation)
             }
@@ -126,6 +142,7 @@ fn submit_and_watch(addr: SocketAddr, seed: u64) -> (u64, Vec<LeaderboardEntry>)
                 completed = Some(leaderboard);
             }
             Event::Cancelled { .. } => panic!("campaign was cancelled unexpectedly"),
+            Event::Failed { error, .. } => panic!("campaign failed unexpectedly: {error}"),
             Event::Lagged { .. } => {}
         }
     }

@@ -1,0 +1,359 @@
+//! Chaos harness for `dstressd` fault-domain isolation.
+//!
+//! Two failure injectors, one contract. First, a storage-fault sweep: a
+//! multi-tenant engine runs over a shared in-memory filesystem and a
+//! single injected I/O fault is moved across every mutating operation of
+//! the run (strided by default; set `DSTRESS_CHAOS_FULL=1` for the
+//! exhaustive sweep). Whatever the fault hits, the engine must not
+//! panic, at most one campaign may be quarantined (`failed`, with its
+//! error on the status report), every untouched tenant's journal must
+//! stay byte-identical to a solo run, and once the fault clears a
+//! `resume` must recover the quarantined campaign to the same bytes.
+//! Second, a daemon kill+restart: a watcher reconnects mid-campaign with
+//! `from_seq` and must see no duplicate sequence number, with any events
+//! that died with the old daemon's ring flagged by an explicit `Lagged`
+//! marker rather than silently skipped.
+
+use dstress::service::{
+    CampaignSpec, DaemonConfig, Dstressd, Event, Request, Response, SeqEvent, ServiceEngine,
+};
+use dstress::{CampaignJournal, DStress, ExperimentScale, MemStorage, Metric, SharedStorage};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// CI pins 1 and 4 via `DSTRESS_WORKERS`; the isolation contract must
+/// hold at every worker count.
+fn workers() -> usize {
+    std::env::var("DSTRESS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or(2)
+}
+
+fn quick_spec(seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        scale: "quick".into(),
+        seed,
+        ..CampaignSpec::default()
+    }
+}
+
+/// The reference bytes: a solo journaled run of this seed against a
+/// private in-memory filesystem. Cached — the sweep compares against the
+/// same seeds hundreds of times.
+fn solo_ref(seed: u64) -> Vec<u8> {
+    static CACHE: OnceLock<Mutex<HashMap<u64, Vec<u8>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(bytes) = cache.lock().unwrap().get(&seed) {
+        return bytes.clone();
+    }
+    let path = PathBuf::from(format!("solo-{seed}.db.json"));
+    let mut journal = CampaignJournal::open(MemStorage::new(), &path).unwrap();
+    let mut dstress = DStress::new(ExperimentScale::quick(), seed);
+    dstress
+        .search_word64_journaled(&mut journal, 60.0, Metric::CeAverage, false)
+        .unwrap();
+    let bytes = journal.into_storage().contents(&path).unwrap().to_vec();
+    cache.lock().unwrap().insert(seed, bytes.clone());
+    bytes
+}
+
+fn boot(storage: &SharedStorage<MemStorage>) -> ServiceEngine<SharedStorage<MemStorage>> {
+    ServiceEngine::with_storage(storage.clone(), "daemon", workers(), 64).expect("engine boots")
+}
+
+fn snapshot(storage: &SharedStorage<MemStorage>, id: u64) -> Vec<u8> {
+    let path = PathBuf::from("daemon").join(format!("c{id}.db.json"));
+    storage
+        .with(|s| s.contents(&path).map(<[u8]>::to_vec))
+        .unwrap_or_else(|| panic!("missing snapshot for campaign {id}"))
+}
+
+/// Mutating-op count of one faultless multi-tenant run (counted from
+/// after the submits): the sweep domain. Deterministic for fixed seeds
+/// and worker count, so every sweep index lands on the same operation.
+fn baseline_run_ops(seeds: &[u64]) -> u64 {
+    static CACHE: OnceLock<Mutex<HashMap<Vec<u64>, u64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(Mutex::default);
+    if let Some(&ops) = cache.lock().unwrap().get(seeds) {
+        return ops;
+    }
+    let storage = SharedStorage::new(MemStorage::new());
+    let mut engine = boot(&storage);
+    for &seed in seeds {
+        engine.submit(quick_spec(seed)).expect("submit");
+    }
+    let before = storage.with(|s| s.ops());
+    engine.run_until_idle();
+    let ops = storage.with(|s| s.ops()) - before;
+    cache.lock().unwrap().insert(seeds.to_vec(), ops);
+    ops
+}
+
+/// One chaos case: run `seeds` as co-tenants with the `fault_at`-th
+/// mutating run operation failing, then check containment and recovery.
+fn run_faulted(seeds: &[u64], fault_at: u64) {
+    let storage = SharedStorage::new(MemStorage::new());
+    let mut engine = boot(&storage);
+    let ids: Vec<u64> = seeds
+        .iter()
+        .map(|&seed| engine.submit(quick_spec(seed)).expect("submit").0)
+        .collect();
+    storage.with(|s| s.fail_op(fault_at));
+    // The fault must never panic or wedge the engine: it drains to idle.
+    engine.run_until_idle();
+    storage.with(|s| s.clear_faults());
+    let mut failed = Vec::new();
+    for (&id, &seed) in ids.iter().zip(seeds) {
+        let report = engine.status(id).expect("status");
+        match report.state.as_str() {
+            "done" => assert_eq!(
+                snapshot(&storage, id),
+                solo_ref(seed),
+                "untouched tenant {id} diverged under fault at op {fault_at}"
+            ),
+            "failed" => {
+                let error = report.error.expect("a failed campaign reports its error");
+                assert!(
+                    error.contains("injected fault"),
+                    "unexpected error: {error}"
+                );
+                failed.push((id, seed));
+            }
+            other => panic!("campaign {id} is `{other}` after fault at op {fault_at}"),
+        }
+    }
+    assert!(
+        failed.len() <= 1,
+        "one fault quarantined {} campaigns (fault at op {fault_at})",
+        failed.len()
+    );
+    for (id, seed) in failed {
+        // A quarantined campaign cannot be paused...
+        assert!(
+            engine.set_paused(id, true).is_err(),
+            "pausing quarantined campaign {id} was accepted"
+        );
+        // ...but a resume retries recovery, which succeeds now that the
+        // fault is gone, and the result is bit-identical to a run that
+        // never faulted.
+        engine
+            .set_paused(id, false)
+            .expect("recovery after the fault cleared");
+        engine.run_until_idle();
+        let report = engine.status(id).expect("status");
+        assert_eq!(
+            report.state, "done",
+            "campaign {id} did not recover from fault at op {fault_at}"
+        );
+        assert_eq!(
+            snapshot(&storage, id),
+            solo_ref(seed),
+            "recovered campaign {id} diverged under fault at op {fault_at}"
+        );
+    }
+}
+
+#[test]
+fn a_storage_fault_at_any_op_quarantines_at_most_one_tenant() {
+    let seeds = [41, 42, 43];
+    let run_ops = baseline_run_ops(&seeds);
+    assert!(run_ops > 0, "the baseline run performed no storage ops");
+    let full = std::env::var("DSTRESS_CHAOS_FULL").is_ok_and(|v| v == "1");
+    let stride = if full { 1 } else { (run_ops / 16).max(1) };
+    let mut fault_at = 0;
+    while fault_at < run_ops {
+        run_faulted(&seeds, fault_at);
+        fault_at += stride;
+    }
+    // The final operation (the last settle's bookkeeping) is an edge the
+    // stride can miss.
+    if stride > 1 {
+        run_faulted(&seeds, run_ops - 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The containment contract is not special to three tenants or to
+    /// hand-picked fault sites: any tenant count and any fault index
+    /// spares the untouched campaigns and recovers the hit one.
+    #[test]
+    fn any_fault_index_spares_untouched_tenants(
+        count in 2usize..=4,
+        offset in any::<u64>(),
+    ) {
+        let seeds: Vec<u64> = (0..count as u64).map(|i| 60 + i).collect();
+        let run_ops = baseline_run_ops(&seeds);
+        prop_assume!(run_ops > 0);
+        run_faulted(&seeds, offset % run_ops);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Daemon kill+restart with a reconnecting watcher (real loopback TCP).
+// ---------------------------------------------------------------------
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dstressd-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_daemon(dir: &Path) -> Dstressd {
+    Dstressd::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: dir.to_path_buf(),
+        workers: workers(),
+        event_capacity: 256,
+        ..DaemonConfig::default()
+    })
+    .expect("daemon boots")
+}
+
+fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn send(stream: &mut TcpStream, request: &Request) {
+    let mut line = serde_json::to_string(request).expect("encode");
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("send");
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("reply line");
+    line
+}
+
+/// Accounting for one watch connection: every sequenced event lands in
+/// `seqs` (duplicates assert), `missed` accumulates what `Lagged`
+/// markers admit was dropped, and `completed` records the terminal
+/// event.
+struct WatchLog {
+    seqs: BTreeSet<u64>,
+    missed: u64,
+    completed: bool,
+}
+
+impl WatchLog {
+    fn new() -> Self {
+        WatchLog {
+            seqs: BTreeSet::new(),
+            missed: 0,
+            completed: false,
+        }
+    }
+
+    fn last_seq(&self) -> u64 {
+        self.seqs.iter().next_back().copied().unwrap_or(0)
+    }
+}
+
+/// Opens a watch at `from_seq` and pumps events into `log`. Returns
+/// when the stream settles (daemon end-of-stream marker), or — if
+/// `stop_after` events arrive first — mid-stream, simulating a client
+/// about to lose its daemon.
+fn watch_into(addr: SocketAddr, campaign: u64, from_seq: u64, log: &mut WatchLog, stop_after: u64) {
+    let (mut stream, mut reader) = connect(addr);
+    send(&mut stream, &Request::Watch { campaign, from_seq });
+    match serde_json::from_str::<Response>(&read_line(&mut reader)) {
+        Ok(Response::Watching { .. }) => {}
+        other => panic!("expected Watching, got {other:?}"),
+    }
+    let mut received = 0u64;
+    loop {
+        let line = read_line(&mut reader);
+        let Ok(stamped) = serde_json::from_str::<SeqEvent>(&line) else {
+            // The end-of-stream marker: the campaign settled.
+            return;
+        };
+        if stamped.seq > 0 {
+            assert!(
+                stamped.seq >= from_seq,
+                "daemon replayed seq {} below the requested cut {from_seq}",
+                stamped.seq
+            );
+            assert!(
+                log.seqs.insert(stamped.seq),
+                "duplicate event seq {} across reconnects",
+                stamped.seq
+            );
+        }
+        match stamped.event {
+            Event::Completed { .. } => log.completed = true,
+            Event::Cancelled { .. } => panic!("campaign cancelled unexpectedly"),
+            Event::Failed { error, .. } => panic!("campaign failed unexpectedly: {error}"),
+            Event::Lagged { missed } => log.missed += missed,
+            Event::Generation { .. } => {}
+        }
+        received += 1;
+        if !log.completed && received >= stop_after {
+            return;
+        }
+    }
+}
+
+#[test]
+fn a_watcher_reconnects_across_a_daemon_kill_without_duplicates_or_silent_gaps() {
+    let dir = temp_dir("kill-restart");
+    let daemon = start_daemon(&dir);
+    let (mut stream, mut reader) = connect(daemon.addr());
+    send(
+        &mut stream,
+        &Request::Submit {
+            spec: quick_spec(7),
+        },
+    );
+    let campaign = match serde_json::from_str::<Response>(&read_line(&mut reader)) {
+        Ok(Response::Submitted { campaign, .. }) => campaign,
+        other => panic!("expected Submitted, got {other:?}"),
+    };
+    drop(stream);
+    // Phase 1: watch from the beginning, then abandon the stream after a
+    // couple of events and kill the daemon mid-campaign.
+    let mut log = WatchLog::new();
+    watch_into(daemon.addr(), campaign, 0, &mut log, 2);
+    daemon.shutdown().expect("mid-run shutdown");
+    // Phase 2: a fresh daemon over the same directory resumes the
+    // campaign; the watcher reconnects asking for exactly the events it
+    // has not seen.
+    if !log.completed {
+        let daemon = start_daemon(&dir);
+        watch_into(
+            daemon.addr(),
+            campaign,
+            log.last_seq() + 1,
+            &mut log,
+            u64::MAX,
+        );
+        daemon.shutdown().expect("clean shutdown");
+    }
+    assert!(log.completed, "the watcher never saw the Completed event");
+    // No silent gaps: every sequence number up to the last is either an
+    // event the watcher received or one a Lagged marker owned up to
+    // (events that died with the killed daemon's in-memory ring).
+    let last = log.last_seq();
+    assert!(last >= 2, "campaign produced almost no events");
+    assert_eq!(
+        log.seqs.len() as u64 + log.missed,
+        last,
+        "event stream has unaccounted gaps: got {:?} with {} flagged as lagged",
+        log.seqs,
+        log.missed
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

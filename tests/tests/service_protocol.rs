@@ -25,6 +25,7 @@ fn start_daemon(tag: &str) -> Dstressd {
         dir: temp_dir(tag),
         workers: 1,
         event_capacity: 8,
+        ..DaemonConfig::default()
     })
     .expect("daemon boots")
 }
@@ -183,13 +184,53 @@ fn pausing_cancelling_and_watching_unknown_campaigns_is_typed() {
         Request::Pause { campaign: 9 },
         Request::Resume { campaign: 9 },
         Request::Cancel { campaign: 9 },
-        Request::Watch { campaign: 9 },
+        Request::Watch {
+            campaign: 9,
+            from_seq: 0,
+        },
     ] {
         match roundtrip(&mut stream, &mut reader, &request) {
             Response::Error { message } => assert!(message.contains("no campaign"), "{message}"),
             other => panic!("expected an error for {request:?}, got {other:?}"),
         }
     }
+    daemon.shutdown().expect("clean shutdown");
+}
+
+/// Slow-loris containment: a client that trickles half a frame and then
+/// stalls, and a client that connects and never speaks, are both reaped
+/// on the configured deadlines — and neither takes the daemon (or any
+/// well-behaved client) with it.
+#[test]
+fn stalled_and_idle_connections_are_reaped_without_hurting_the_daemon() {
+    let daemon = Dstressd::start(DaemonConfig {
+        addr: "127.0.0.1:0".into(),
+        dir: temp_dir("slow-loris"),
+        workers: 1,
+        event_capacity: 8,
+        frame_deadline: Duration::from_millis(300),
+        idle_timeout: Duration::from_millis(700),
+    })
+    .expect("daemon boots");
+    let reaped = |mut reader: BufReader<TcpStream>| {
+        // A reaped connection reads EOF; a live one would time out.
+        let mut line = String::new();
+        matches!(reader.read_line(&mut line), Ok(0))
+    };
+    // Half a frame, then silence: reaped on the frame deadline.
+    let (mut stalled, stalled_reader) = connect(daemon.addr());
+    stalled.write_all(b"{\"Status\":{\"campai").expect("send");
+    // No bytes at all: reaped on the (longer) idle timeout.
+    let (_idle, idle_reader) = connect(daemon.addr());
+    std::thread::sleep(Duration::from_millis(2_000));
+    assert!(reaped(stalled_reader), "mid-frame staller was not reaped");
+    assert!(reaped(idle_reader), "idle connection was not reaped");
+    // The daemon and fresh connections are unharmed.
+    let (mut stream, mut reader) = connect(daemon.addr());
+    assert_eq!(
+        roundtrip(&mut stream, &mut reader, &Request::Ping),
+        Response::Pong
+    );
     daemon.shutdown().expect("clean shutdown");
 }
 
@@ -236,7 +277,10 @@ proptest! {
         for request in [
             Request::Status { campaign },
             Request::Pause { campaign },
-            Request::Watch { campaign },
+            Request::Watch {
+                campaign,
+                from_seq: campaign / 2,
+            },
             Request::List,
             Request::Ping,
         ] {
